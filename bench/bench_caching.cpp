@@ -1,0 +1,89 @@
+//===--- bench_caching.cpp - E7: block caching ------------------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+// Experiment E7 (Section 4.3): "since it can be quite costly to analyze
+// that block repeatedly, we cache the calling context and the results of
+// the analysis for that block". The workload calls the same symbolic
+// function from many call sites under compatible contexts; with caching
+// the executor runs it once, without it once per site.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/CParser.h"
+#include "mixy/Mixy.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+using namespace mix::c;
+using mix::DiagnosticEngine;
+
+namespace {
+
+std::string manyCallersProgram(unsigned Callers) {
+  std::string Out = R"(
+void sysutil_free(void * nonnull p_ptr) MIX(typed);
+int g;
+void helper(int *p, int n) MIX(symbolic) {
+  int i;
+  i = 0;
+  while (i < n) { i = i + 1; }
+  if (p != NULL) { sysutil_free((void*)p); }
+}
+)";
+  for (unsigned I = 0; I != Callers; ++I)
+    Out += "void caller" + std::to_string(I) +
+           "(void) { helper(&g, " + std::to_string(5 + (I % 3)) + "); }\n";
+  Out += "int main(void) {\n";
+  for (unsigned I = 0; I != Callers; ++I)
+    Out += "  caller" + std::to_string(I) + "();\n";
+  Out += "  return 0;\n}\n";
+  return Out;
+}
+
+void runCaching(benchmark::State &State, bool EnableCache) {
+  unsigned Callers = (unsigned)State.range(0);
+  std::string Source = manyCallersProgram(Callers);
+  unsigned BlockRuns = 0, CacheHits = 0;
+  for (auto _ : State) {
+    CAstContext Ctx;
+    DiagnosticEngine Diags;
+    const CProgram *P = parseC(Source, Ctx, Diags);
+    MixyOptions Opts;
+    Opts.EnableCache = EnableCache;
+    MixyAnalysis Analysis(*P, Ctx, Diags, Opts);
+    benchmark::DoNotOptimize(
+        Analysis.run(MixyAnalysis::StartMode::Typed));
+    BlockRuns = Analysis.stats().SymbolicBlockRuns;
+    CacheHits = Analysis.stats().SymbolicCacheHits;
+  }
+  State.counters["block_runs"] = BlockRuns;
+  State.counters["cache_hits"] = CacheHits;
+}
+
+void BM_Caching_On(benchmark::State &State) {
+  runCaching(State, true);
+}
+void BM_Caching_Off(benchmark::State &State) {
+  runCaching(State, false);
+}
+
+} // namespace
+
+BENCHMARK(BM_Caching_On)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Caching_Off)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+//===--- bench_fork_vs_defer.cpp - E8: deferral versus execution ----------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+// Experiment E8 (Section 3.1, "Deferral Versus Execution"): forking
+// explores 2^N paths with cheap per-path conditions; SEIf-Defer keeps one
+// path whose conditional values push the case analysis into the solver.
+// The expected shape: fork time grows exponentially in ladder depth,
+// defer time grows with solver effort instead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "mix/MixChecker.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+using namespace mix;
+
+namespace {
+
+std::string ladder(unsigned N) {
+  std::string Out = "{s ";
+  for (unsigned I = 0; I != N; ++I) {
+    if (I != 0)
+      Out += " + ";
+    Out += "(if b" + std::to_string(I) + " then 1 else 0)";
+  }
+  Out += " s}";
+  return Out;
+}
+
+void runLadder(benchmark::State &State, SymExecOptions::Strategy Strat,
+               MixOptions::Exploration Explore =
+                   MixOptions::Exploration::AllPaths) {
+  unsigned N = (unsigned)State.range(0);
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  TypeEnv Gamma;
+  for (unsigned I = 0; I != N; ++I)
+    Gamma["b" + std::to_string(I)] = Ctx.types().boolType();
+  const Expr *Program = parseExpression(ladder(N), Ctx, Diags);
+
+  unsigned Paths = 0;
+  uint64_t Queries = 0;
+  for (auto _ : State) {
+    DiagnosticEngine RunDiags;
+    MixOptions Opts;
+    Opts.Exec.Strat = Strat;
+    Opts.Explore = Explore;
+    MixChecker Mix(Ctx.types(), RunDiags, Opts);
+    benchmark::DoNotOptimize(Mix.checkTyped(Program, Gamma));
+    Paths = Mix.stats().PathsExplored;
+    Queries = Mix.solver().stats().Queries;
+  }
+  State.counters["paths"] = Paths;
+  State.counters["solver_queries"] = (double)Queries;
+}
+
+void BM_Ladder_Fork(benchmark::State &State) {
+  runLadder(State, SymExecOptions::Strategy::Fork);
+}
+void BM_Ladder_Defer(benchmark::State &State) {
+  runLadder(State, SymExecOptions::Strategy::Defer);
+}
+void BM_Ladder_Concolic(benchmark::State &State) {
+  // The DART/CUTE style: one path per concrete run, flips solved with
+  // model extraction. Same 2^N paths as forking, but each path costs an
+  // extra solver query for its seed.
+  runLadder(State, SymExecOptions::Strategy::Concolic,
+            MixOptions::Exploration::Concolic);
+}
+
+} // namespace
+
+BENCHMARK(BM_Ladder_Fork)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(10)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Ladder_Defer)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(10)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Ladder_Concolic)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+//===--- bench_mix_tradeoff.cpp - E9: precision/efficiency trade-off ------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+// Experiment E9 (Sections 1 and 3.2): the mixed analysis is "more precise
+// than type checking alone and more efficient than exclusive symbolic
+// execution". The workload is a program with K independent conditionals;
+// exclusive symbolic execution explores 2^K paths, while MIX wraps all
+// but a fixed window of them in typed blocks, so its cost tracks the
+// small symbolic region rather than the whole program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "mix/MixChecker.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+using namespace mix;
+
+namespace {
+
+/// K conditionals; those below `SymbolicWindow` stay bare (inside the
+/// top-level symbolic block), the rest are wrapped in typed blocks so the
+/// executor models them by type instead of forking.
+std::string tradeoffProgram(unsigned K, unsigned SymbolicWindow) {
+  std::string Out = "{s ";
+  for (unsigned I = 0; I != K; ++I) {
+    if (I != 0)
+      Out += " + ";
+    std::string Cond =
+        "(if b" + std::to_string(I) + " then 1 else 0)";
+    if (I < SymbolicWindow)
+      Out += Cond;
+    else
+      Out += "{t " + Cond + " t}";
+  }
+  Out += " s}";
+  return Out;
+}
+
+void runTradeoff(benchmark::State &State, bool Mixed) {
+  unsigned K = (unsigned)State.range(0);
+  const unsigned Window = 3;
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  TypeEnv Gamma;
+  for (unsigned I = 0; I != K; ++I)
+    Gamma["b" + std::to_string(I)] = Ctx.types().boolType();
+  const Expr *Program =
+      parseExpression(tradeoffProgram(K, Mixed ? Window : K), Ctx, Diags);
+
+  unsigned Paths = 0;
+  for (auto _ : State) {
+    DiagnosticEngine RunDiags;
+    MixChecker Mix(Ctx.types(), RunDiags);
+    benchmark::DoNotOptimize(Mix.checkTyped(Program, Gamma));
+    Paths = Mix.stats().PathsExplored;
+  }
+  State.counters["paths"] = Paths;
+}
+
+void BM_ExclusiveSymbolic(benchmark::State &State) {
+  runTradeoff(State, /*Mixed=*/false);
+}
+void BM_MixedAnalysis(benchmark::State &State) {
+  runTradeoff(State, /*Mixed=*/true);
+}
+
+} // namespace
+
+BENCHMARK(BM_ExclusiveSymbolic)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(10)
+    ->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MixedAnalysis)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(10)
+    ->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+//===--- bench_scaling.cpp - E5: cost per added symbolic block ------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+// Experiment E5 (Section 4.6): "our small examples take less than a
+// second to run without symbolic blocks, but from 5 to 25 seconds to run
+// with one symbolic block, and about 60 seconds with two". The expected
+// *shape* is that pure typed analysis is orders of magnitude cheaper than
+// runs with symbolic blocks, and each added block multiplies cost —
+// absolute numbers differ from the authors' 2010 testbed.
+//
+// The workload is the vsftpd-mini corpus plus filler modules; the
+// argument selects how many filler entry points carry MIX(symbolic).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/CParser.h"
+#include "mixy/Mixy.h"
+#include "mixy/VsftpdMini.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mix::c;
+using mix::DiagnosticEngine;
+
+namespace {
+
+constexpr unsigned FillerModules = 24;
+
+/// Pure typed analysis over the scaled corpus (0 symbolic blocks).
+void BM_Scaling_PureTyped(benchmark::State &State) {
+  std::string Source =
+      corpus::vsftpdScaled(/*Annotated=*/false, FillerModules, 0);
+  for (auto _ : State) {
+    CAstContext Ctx;
+    DiagnosticEngine Diags;
+    const CProgram *P = parseC(Source, Ctx, Diags);
+    QualInference Inf(*P, Ctx, Diags);
+    Inf.analyzeAll();
+    Inf.solve();
+    benchmark::DoNotOptimize(Inf.violationCount());
+  }
+  State.counters["symbolic_blocks"] = 0;
+}
+
+/// MIXY with k symbolic filler blocks (plus the corpus's own).
+void BM_Scaling_SymbolicBlocks(benchmark::State &State) {
+  unsigned Blocks = (unsigned)State.range(0);
+  std::string Source =
+      corpus::vsftpdScaled(/*Annotated=*/true, FillerModules, Blocks);
+  unsigned BlockRuns = 0;
+  for (auto _ : State) {
+    CAstContext Ctx;
+    DiagnosticEngine Diags;
+    const CProgram *P = parseC(Source, Ctx, Diags);
+    MixyAnalysis Analysis(*P, Ctx, Diags);
+    // Enter through the filler-extended main so every block is reached.
+    benchmark::DoNotOptimize(
+        Analysis.run(MixyAnalysis::StartMode::Typed, "filler_main"));
+    BlockRuns = Analysis.stats().SymbolicBlockRuns;
+  }
+  State.counters["symbolic_blocks"] = Blocks;
+  State.counters["block_runs"] = BlockRuns;
+}
+
+} // namespace
+
+BENCHMARK(BM_Scaling_PureTyped)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Scaling_SymbolicBlocks)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+//===--- bench_solver.cpp - E10: solver cost on analysis obligations -------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+// Experiment E10: the SMT-lite substrate's cost on the two query shapes
+// the analyses generate — path-condition feasibility (conjunctions of
+// comparisons) and exhaustive() tautologies (disjunctions of path
+// conditions), plus the raw CDCL core on random 3-SAT.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Sat.h"
+#include "solver/SmtSolver.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+using namespace mix::smt;
+
+namespace {
+
+/// Path-condition feasibility: x0 < x1 < ... < xN with interval bounds.
+void BM_Solver_PathCondition(benchmark::State &State) {
+  unsigned N = (unsigned)State.range(0);
+  for (auto _ : State) {
+    TermArena A;
+    SmtSolver S(A);
+    std::vector<const Term *> Xs;
+    for (unsigned I = 0; I <= N; ++I)
+      Xs.push_back(A.freshIntVar());
+    const Term *Path = A.trueTerm();
+    for (unsigned I = 0; I != N; ++I)
+      Path = A.andTerm(Path, A.lt(Xs[I], Xs[I + 1]));
+    Path = A.andTerm(Path, A.le(A.intConst(0), Xs[0]));
+    Path = A.andTerm(Path, A.le(Xs[N], A.intConst((long long)N)));
+    benchmark::DoNotOptimize(S.checkSat(Path));
+  }
+}
+
+/// Exhaustiveness obligations: the disjunction of the 2^K fork guards of
+/// a K-deep conditional ladder must be a tautology.
+void BM_Solver_Exhaustive(benchmark::State &State) {
+  unsigned K = (unsigned)State.range(0);
+  for (auto _ : State) {
+    TermArena A;
+    SmtSolver S(A);
+    std::vector<const Term *> Bs;
+    for (unsigned I = 0; I != K; ++I)
+      Bs.push_back(A.freshBoolVar());
+    std::vector<const Term *> Guards;
+    for (unsigned Mask = 0; Mask != (1u << K); ++Mask) {
+      const Term *G = A.trueTerm();
+      for (unsigned I = 0; I != K; ++I)
+        G = A.andTerm(G, (Mask >> I) & 1 ? Bs[I] : A.notTerm(Bs[I]));
+      Guards.push_back(G);
+    }
+    benchmark::DoNotOptimize(S.isDefinitelyValid(A.orList(Guards)));
+  }
+}
+
+/// The CDCL core on random 3-SAT at the hard density (~4.3).
+void BM_Solver_Random3Sat(benchmark::State &State) {
+  unsigned Vars = (unsigned)State.range(0);
+  std::mt19937 Rng(12345);
+  for (auto _ : State) {
+    SatSolver S;
+    for (unsigned I = 0; I != Vars; ++I)
+      S.newVar();
+    unsigned Clauses = (unsigned)(Vars * 4.3);
+    for (unsigned I = 0; I != Clauses; ++I) {
+      std::vector<Lit> C;
+      for (int K = 0; K != 3; ++K)
+        C.push_back(Lit(Rng() % Vars, Rng() % 2 == 0));
+      S.addClause(C);
+    }
+    benchmark::DoNotOptimize(S.solve());
+  }
+}
+
+/// Integer reasoning: gcd/tightening obligations FM must refute.
+void BM_Solver_IntegerTightening(benchmark::State &State) {
+  unsigned N = (unsigned)State.range(0);
+  for (auto _ : State) {
+    TermArena A;
+    SmtSolver S(A);
+    // sum of N vars even and odd at once: unsat through gcd reasoning.
+    std::vector<const Term *> Xs;
+    for (unsigned I = 0; I != N; ++I)
+      Xs.push_back(A.freshIntVar());
+    const Term *Sum = A.intConst(0);
+    for (const Term *X : Xs)
+      Sum = A.add(Sum, A.mulConst(2, X));
+    const Term *F = A.eqInt(Sum, A.intConst(1));
+    benchmark::DoNotOptimize(S.checkSat(F));
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_Solver_PathCondition)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Solver_Exhaustive)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Solver_Random3Sat)
+    ->Arg(20)
+    ->Arg(40)
+    ->Arg(60)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Solver_IntegerTightening)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

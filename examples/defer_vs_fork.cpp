@@ -1,0 +1,89 @@
+//===--- defer_vs_fork.cpp - Deferral versus execution ---------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+// Section 3.1 ("Deferral Versus Execution") observes that conditionals
+// can either fork the executor (SEIf-True/False) or defer the choice to
+// the solver with conditional values (SEIf-Defer), trading executor paths
+// against solver formula size. This example makes the trade-off visible
+// on a ladder of N independent conditionals.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "mix/MixChecker.h"
+
+#include <iostream>
+#include <string>
+
+using namespace mix;
+
+namespace {
+
+/// Builds `{s if b0 then 1 else 0 + if b1 then 1 else 0 + ... s}` — a
+/// ladder of N independent symbolic conditionals.
+std::string ladder(unsigned N) {
+  std::string Out = "{s ";
+  for (unsigned I = 0; I != N; ++I) {
+    if (I != 0)
+      Out += " + ";
+    Out += "(if b" + std::to_string(I) + " then 1 else 0)";
+  }
+  Out += " s}";
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "conditional ladders under the two strategies of "
+               "Section 3.1\n\n";
+  std::cout << "N   fork: paths  solver-queries   defer: paths  "
+               "solver-queries\n";
+
+  for (unsigned N = 1; N <= 10; ++N) {
+    AstContext Ctx;
+    DiagnosticEngine Diags;
+    TypeEnv Gamma;
+    for (unsigned I = 0; I != N; ++I)
+      Gamma["b" + std::to_string(I)] = Ctx.types().boolType();
+    const Expr *Program = parseExpression(ladder(N), Ctx, Diags);
+    if (!Program) {
+      std::cerr << Diags.str();
+      return 1;
+    }
+
+    unsigned ForkPaths = 0, ForkQueries = 0;
+    {
+      DiagnosticEngine D2;
+      MixOptions Opts;
+      Opts.Exec.Strat = SymExecOptions::Strategy::Fork;
+      MixChecker Mix(Ctx.types(), D2, Opts);
+      Mix.checkTyped(Program, Gamma);
+      ForkPaths = Mix.stats().PathsExplored;
+      ForkQueries = (unsigned)Mix.solver().stats().Queries;
+    }
+
+    unsigned DeferPaths = 0, DeferQueries = 0;
+    {
+      DiagnosticEngine D2;
+      MixOptions Opts;
+      Opts.Exec.Strat = SymExecOptions::Strategy::Defer;
+      MixChecker Mix(Ctx.types(), D2, Opts);
+      Mix.checkTyped(Program, Gamma);
+      DeferPaths = Mix.stats().PathsExplored;
+      DeferQueries = (unsigned)Mix.solver().stats().Queries;
+    }
+
+    std::printf("%-3u %11u %15u %14u %15u\n", N, ForkPaths, ForkQueries,
+                DeferPaths, DeferQueries);
+  }
+
+  std::cout << "\nforking explores 2^N paths with simple path conditions; "
+               "deferring keeps one\npath whose conditions pile the "
+               "disjunctions onto the solver — 'these choices\ntrade off "
+               "the amount of work done between the symbolic executor and "
+               "the\nunderlying SMT solver.'\n";
+  return 0;
+}

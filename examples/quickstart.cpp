@@ -1,0 +1,89 @@
+//===--- quickstart.cpp - First steps with the MIX library ----------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+// Parses a small program with typed and symbolic blocks, runs the mixed
+// analysis, and contrasts it with pure type checking. Build and run:
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstClone.h"
+#include "lang/Parser.h"
+#include "mix/MixChecker.h"
+
+#include <iostream>
+
+using namespace mix;
+
+namespace {
+
+void analyze(const char *Title, const char *Source) {
+  std::cout << "== " << Title << " ==\n";
+  std::cout << "program: " << Source << "\n";
+
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  const Expr *Program = parseExpression(Source, Ctx, Diags);
+  if (!Program) {
+    std::cout << "parse error:\n" << Diags.str() << "\n";
+    return;
+  }
+
+  // Pure type checking: strip the analysis blocks and run the checker
+  // alone.
+  {
+    DiagnosticEngine PureDiags;
+    TypeChecker Pure(Ctx.types(), PureDiags);
+    const Type *T = Pure.check(cloneStrippingBlocks(Ctx, Program), {});
+    std::cout << "type checking alone : "
+              << (T ? T->str() : "rejected") << "\n";
+  }
+
+  // The mixed analysis: the type checker handles typed regions, the
+  // symbolic executor handles `{s ... s}` blocks, and the two exchange
+  // information only at block boundaries (Figure 4 of the paper).
+  {
+    DiagnosticEngine MixDiags;
+    MixChecker Mix(Ctx.types(), MixDiags);
+    const Type *T = Mix.checkTyped(Program);
+    std::cout << "MIX                 : " << (T ? T->str() : "rejected")
+              << "\n";
+    if (!T)
+      std::cout << MixDiags.str();
+    std::cout << "  symbolic blocks checked: "
+              << Mix.stats().SymBlocksChecked
+              << ", paths explored: " << Mix.stats().PathsExplored << "\n";
+  }
+  std::cout << "\n";
+}
+
+} // namespace
+
+int main() {
+  // Section 2, "Path, Flow, and Context Sensitivity": the false branch is
+  // dead code with a type error; only MIX can accept the program.
+  analyze("unreachable ill-typed branch",
+          "{s if true then {t 5 t} else {t 1 + true t} s}");
+
+  // Section 2's div example: the function returns different types on its
+  // two branches, which monomorphic typing rejects; symbolically
+  // executing the call shows the bad branch is infeasible.
+  analyze("context-sensitive call",
+          "{s (fun (y: int) : int -> if y = 0 then 1 + true else 100 - y) "
+          "4 s}");
+
+  // The flow-sensitivity idiom: an ill-typed write immediately corrected
+  // (the x->obj = NULL; x->obj = malloc(...) shape of Section 2).
+  analyze("write-then-correct",
+          "{s let x = ref 1 in (x := true; x := 2; {t !x + 1 t}) s}");
+
+  // Soundness: a feasible ill-typed branch is still rejected by MIX.
+  analyze("feasible type error is caught",
+          "let b = true in {s if b then {t 5 t} else {t 1 + true t} s}");
+
+  return 0;
+}

@@ -1,0 +1,131 @@
+//===--- CAst.cpp - AST for the mini-C front end ---------------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/CAst.h"
+
+using namespace mix::c;
+
+const char *mix::c::mixAnnotName(MixAnnot A) {
+  switch (A) {
+  case MixAnnot::None:
+    return "none";
+  case MixAnnot::Typed:
+    return "MIX(typed)";
+  case MixAnnot::Symbolic:
+    return "MIX(symbolic)";
+  }
+  return "none";
+}
+
+const char *mix::c::cUnaryOpSpelling(CUnaryOp Op) {
+  switch (Op) {
+  case CUnaryOp::Deref:
+    return "*";
+  case CUnaryOp::AddrOf:
+    return "&";
+  case CUnaryOp::Not:
+    return "!";
+  case CUnaryOp::Neg:
+    return "-";
+  }
+  return "?";
+}
+
+const char *mix::c::cBinaryOpSpelling(CBinaryOp Op) {
+  switch (Op) {
+  case CBinaryOp::Add:
+    return "+";
+  case CBinaryOp::Sub:
+    return "-";
+  case CBinaryOp::Eq:
+    return "==";
+  case CBinaryOp::Ne:
+    return "!=";
+  case CBinaryOp::Lt:
+    return "<";
+  case CBinaryOp::Gt:
+    return ">";
+  case CBinaryOp::Le:
+    return "<=";
+  case CBinaryOp::Ge:
+    return ">=";
+  case CBinaryOp::LAnd:
+    return "&&";
+  case CBinaryOp::LOr:
+    return "||";
+  }
+  return "?";
+}
+
+const CStructDecl *CProgram::findStruct(const std::string &Name) const {
+  for (const CStructDecl *S : Structs)
+    if (S->name() == Name)
+      return S;
+  return nullptr;
+}
+
+const CGlobalDecl *CProgram::findGlobal(const std::string &Name) const {
+  for (const CGlobalDecl *G : Globals)
+    if (G->name() == Name)
+      return G;
+  return nullptr;
+}
+
+const CFuncDecl *CProgram::findFunc(const std::string &Name) const {
+  // Prefer the definition when a function is both forward-declared and
+  // defined (the usual C prototype-then-body pattern).
+  const CFuncDecl *Found = nullptr;
+  for (const CFuncDecl *F : Funcs) {
+    if (F->name() != Name)
+      continue;
+    if (F->isDefined())
+      return F;
+    if (!Found)
+      Found = F;
+  }
+  return Found;
+}
+
+const CType *CAstContext::makeType(CTypeKind Kind, const CType *Inner,
+                                   QualAnnot Qual, const CStructDecl *Struct,
+                                   std::vector<const CType *> Params) {
+  OwnedTypes.push_back(std::unique_ptr<const CType>(
+      new CType(Kind, Inner, Qual, Struct, std::move(Params))));
+  return OwnedTypes.back().get();
+}
+
+const CType *CAstContext::voidType() {
+  if (!VoidTy)
+    VoidTy = makeType(CTypeKind::Void, nullptr, QualAnnot::None, nullptr, {});
+  return VoidTy;
+}
+
+const CType *CAstContext::intType() {
+  if (!IntTy)
+    IntTy = makeType(CTypeKind::Int, nullptr, QualAnnot::None, nullptr, {});
+  return IntTy;
+}
+
+const CType *CAstContext::charType() {
+  if (!CharTy)
+    CharTy = makeType(CTypeKind::Char, nullptr, QualAnnot::None, nullptr, {});
+  return CharTy;
+}
+
+const CType *CAstContext::pointerType(const CType *Pointee, QualAnnot Qual) {
+  return makeType(CTypeKind::Pointer, Pointee, Qual, nullptr, {});
+}
+
+const CType *CAstContext::structType(const CStructDecl *Decl) {
+  return makeType(CTypeKind::Struct, nullptr, QualAnnot::None, Decl, {});
+}
+
+const CType *CAstContext::funcType(const CType *Result,
+                                   std::vector<const CType *> Params) {
+  return makeType(CTypeKind::Func, Result, QualAnnot::None, nullptr,
+                  std::move(Params));
+}

@@ -1,0 +1,89 @@
+//===--- CLexer.h - Lexer for the mini-C front end --------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens and lexer for mini-C. `null`, `nonnull`, `MIX`, `NULL`, `typed`
+/// and `symbolic` are contextual keywords matching the paper's surface
+/// syntax for qualifier and analysis annotations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_CFRONT_CLEXER_H
+#define MIX_CFRONT_CLEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mix::c {
+
+enum class CTokKind {
+  Eof,
+  Error,
+  Ident,
+  IntLit,
+  StrLit,
+
+  // Keywords.
+  KwVoid,
+  KwInt,
+  KwChar,
+  KwStruct,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwSizeof,
+  KwNullMacro, ///< NULL
+  KwNullQual,  ///< null
+  KwNonnull,   ///< nonnull
+  KwMix,       ///< MIX
+
+  // Punctuation.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  Semi,
+  Comma,
+  Star,
+  Amp,
+  Bang,
+  Minus,
+  Plus,
+  EqEq,
+  BangEq,
+  Less,
+  Greater,
+  LessEq,
+  GreaterEq,
+  AmpAmp,
+  PipePipe,
+  Assign,
+  Dot,
+  Arrow,
+};
+
+const char *cTokKindName(CTokKind Kind);
+
+struct CTok {
+  CTokKind Kind = CTokKind::Eof;
+  SourceLoc Loc;
+  std::string Text; ///< Identifier or string-literal contents.
+  long long IntValue = 0;
+
+  bool is(CTokKind K) const { return Kind == K; }
+};
+
+/// Lexes a whole buffer up front (the parser wants cheap lookahead).
+std::vector<CTok> lexC(std::string_view Source, DiagnosticEngine &Diags);
+
+} // namespace mix::c
+
+#endif // MIX_CFRONT_CLEXER_H

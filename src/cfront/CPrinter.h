@@ -1,0 +1,38 @@
+//===--- CPrinter.h - Pretty printer for mini-C ------------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders mini-C ASTs back to compilable source. Round-trips through the
+/// parser (tested), and used by tools that report on annotated programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_CFRONT_CPRINTER_H
+#define MIX_CFRONT_CPRINTER_H
+
+#include "cfront/CAst.h"
+
+#include <string>
+
+namespace mix::c {
+
+/// Renders a whole translation unit.
+std::string printProgram(const CProgram &Program);
+
+/// Renders one expression (fully parenthesized).
+std::string printExpr(const CExpr *E);
+
+/// Renders one statement at the given indentation depth.
+std::string printStmt(const CStmt *S, unsigned Indent = 0);
+
+/// Renders a declaration of \p Name with type \p Ty in C declarator
+/// syntax (handles the function-pointer form).
+std::string printDecl(const CType *Ty, const std::string &Name);
+
+} // namespace mix::c
+
+#endif // MIX_CFRONT_CPRINTER_H

@@ -1,0 +1,201 @@
+//===--- Interp.cpp - Concrete big-step interpreter ------------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "concrete/Interp.h"
+
+using namespace mix;
+
+std::string ConcValue::str() const {
+  switch (K) {
+  case Kind::Int:
+    return std::to_string(IntVal);
+  case Kind::Bool:
+    return IntVal ? "true" : "false";
+  case Kind::Loc:
+    return "loc" + std::to_string(IntVal);
+  case Kind::Closure:
+    return "<closure>";
+  }
+  return "<invalid>";
+}
+
+namespace {
+
+/// Recursive evaluator with a fuel bound.
+class Evaluator {
+public:
+  explicit Evaluator(ConcMemory &Mem) : Mem(Mem) {}
+
+  EvalResult eval(const Expr *E, const ConcEnv &Env) {
+    if (++Steps > MaxSteps)
+      return EvalResult::error("evaluation fuel exhausted");
+
+    switch (E->kind()) {
+    case ExprKind::Var: {
+      const auto *V = cast<VarExpr>(E);
+      auto It = Env.find(V->name());
+      if (It == Env.end())
+        return EvalResult::error("unbound variable '" + V->name() + "'");
+      return EvalResult::ok(It->second);
+    }
+    case ExprKind::IntLit:
+      return EvalResult::ok(
+          ConcValue::intValue(cast<IntLitExpr>(E)->value()));
+    case ExprKind::BoolLit:
+      return EvalResult::ok(
+          ConcValue::boolValue(cast<BoolLitExpr>(E)->value()));
+    case ExprKind::Binary:
+      return evalBinary(cast<BinaryExpr>(E), Env);
+    case ExprKind::Not: {
+      EvalResult R = eval(cast<NotExpr>(E)->sub(), Env);
+      if (R.IsError)
+        return R;
+      if (!R.Value.isBool())
+        return EvalResult::error("'not' applied to a non-boolean");
+      return EvalResult::ok(ConcValue::boolValue(!R.Value.asBool()));
+    }
+    case ExprKind::If: {
+      const auto *I = cast<IfExpr>(E);
+      EvalResult C = eval(I->cond(), Env);
+      if (C.IsError)
+        return C;
+      if (!C.Value.isBool())
+        return EvalResult::error("condition is not a boolean");
+      return eval(C.Value.asBool() ? I->thenExpr() : I->elseExpr(), Env);
+    }
+    case ExprKind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      EvalResult Init = eval(L->init(), Env);
+      if (Init.IsError)
+        return Init;
+      ConcEnv Extended = Env;
+      Extended[L->name()] = std::move(Init.Value);
+      return eval(L->body(), Extended);
+    }
+    case ExprKind::Ref: {
+      EvalResult R = eval(cast<RefExpr>(E)->sub(), Env);
+      if (R.IsError)
+        return R;
+      size_t Loc = Mem.allocate(std::move(R.Value));
+      return EvalResult::ok(ConcValue::locValue(Loc));
+    }
+    case ExprKind::Deref: {
+      EvalResult R = eval(cast<DerefExpr>(E)->sub(), Env);
+      if (R.IsError)
+        return R;
+      if (!R.Value.isLoc())
+        return EvalResult::error("'!' applied to a non-location");
+      if (!Mem.isValid(R.Value.asLoc()))
+        return EvalResult::error("read from an invalid location");
+      return EvalResult::ok(Mem.read(R.Value.asLoc()));
+    }
+    case ExprKind::Assign: {
+      const auto *A = cast<AssignExpr>(E);
+      EvalResult T = eval(A->target(), Env);
+      if (T.IsError)
+        return T;
+      if (!T.Value.isLoc())
+        return EvalResult::error("':=' target is not a location");
+      EvalResult V = eval(A->value(), Env);
+      if (V.IsError)
+        return V;
+      if (!Mem.isValid(T.Value.asLoc()))
+        return EvalResult::error("write to an invalid location");
+      Mem.write(T.Value.asLoc(), V.Value);
+      return EvalResult::ok(std::move(V.Value));
+    }
+    case ExprKind::Seq: {
+      const auto *S = cast<SeqExpr>(E);
+      EvalResult F = eval(S->first(), Env);
+      if (F.IsError)
+        return F;
+      return eval(S->second(), Env);
+    }
+    case ExprKind::Block:
+      // Analysis blocks do not change run-time behaviour.
+      return eval(cast<BlockExpr>(E)->body(), Env);
+    case ExprKind::Fun: {
+      const auto *F = cast<FunExpr>(E);
+      return EvalResult::ok(ConcValue::closureValue(
+          std::make_shared<ConcClosure>(F, Env)));
+    }
+    case ExprKind::App: {
+      const auto *A = cast<AppExpr>(E);
+      EvalResult Fn = eval(A->fn(), Env);
+      if (Fn.IsError)
+        return Fn;
+      if (!Fn.Value.isClosure())
+        return EvalResult::error("application of a non-function");
+      EvalResult Arg = eval(A->arg(), Env);
+      if (Arg.IsError)
+        return Arg;
+      const ConcClosure &Cl = Fn.Value.asClosure();
+      ConcEnv CalleeEnv = Cl.env();
+      CalleeEnv[Cl.fun()->param()] = std::move(Arg.Value);
+      return eval(Cl.fun()->body(), CalleeEnv);
+    }
+    }
+    return EvalResult::error("unhandled expression form");
+  }
+
+private:
+  EvalResult evalBinary(const BinaryExpr *B, const ConcEnv &Env) {
+    EvalResult L = eval(B->lhs(), Env);
+    if (L.IsError)
+      return L;
+    EvalResult R = eval(B->rhs(), Env);
+    if (R.IsError)
+      return R;
+    const ConcValue &LV = L.Value;
+    const ConcValue &RV = R.Value;
+    switch (B->op()) {
+    case BinaryOp::Add:
+      if (!LV.isInt() || !RV.isInt())
+        return EvalResult::error("'+' applied to non-integers");
+      return EvalResult::ok(ConcValue::intValue(LV.asInt() + RV.asInt()));
+    case BinaryOp::Sub:
+      if (!LV.isInt() || !RV.isInt())
+        return EvalResult::error("'-' applied to non-integers");
+      return EvalResult::ok(ConcValue::intValue(LV.asInt() - RV.asInt()));
+    case BinaryOp::Lt:
+      if (!LV.isInt() || !RV.isInt())
+        return EvalResult::error("'<' applied to non-integers");
+      return EvalResult::ok(ConcValue::boolValue(LV.asInt() < RV.asInt()));
+    case BinaryOp::Le:
+      if (!LV.isInt() || !RV.isInt())
+        return EvalResult::error("'<=' applied to non-integers");
+      return EvalResult::ok(ConcValue::boolValue(LV.asInt() <= RV.asInt()));
+    case BinaryOp::Eq:
+      if (LV.isInt() && RV.isInt())
+        return EvalResult::ok(ConcValue::boolValue(LV.asInt() == RV.asInt()));
+      if (LV.isBool() && RV.isBool())
+        return EvalResult::ok(
+            ConcValue::boolValue(LV.asBool() == RV.asBool()));
+      return EvalResult::error("'=' applied to incomparable values");
+    case BinaryOp::And:
+      if (!LV.isBool() || !RV.isBool())
+        return EvalResult::error("'and' applied to non-booleans");
+      return EvalResult::ok(ConcValue::boolValue(LV.asBool() && RV.asBool()));
+    case BinaryOp::Or:
+      if (!LV.isBool() || !RV.isBool())
+        return EvalResult::error("'or' applied to non-booleans");
+      return EvalResult::ok(ConcValue::boolValue(LV.asBool() || RV.asBool()));
+    }
+    return EvalResult::error("unhandled binary operator");
+  }
+
+  ConcMemory &Mem;
+  unsigned Steps = 0;
+  static constexpr unsigned MaxSteps = 1u << 22;
+};
+
+} // namespace
+
+EvalResult mix::evaluate(const Expr *E, const ConcEnv &Env, ConcMemory &Mem) {
+  Evaluator Ev(Mem);
+  return Ev.eval(E, Env);
+}

@@ -1,0 +1,141 @@
+//===--- Interp.h - Concrete big-step interpreter ---------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard big-step operational semantics of Section 3.3, proving
+/// judgments E |- <M ; e> -> r where r is a memory/value pair or the
+/// distinguished error token. Analysis blocks `{t e t}` / `{s e s}` are
+/// semantically transparent.
+///
+/// This is the reference against which MIX soundness (Theorem 1) is
+/// property-tested: programs accepted by MixChecker must never evaluate
+/// to error from any conforming initial environment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_CONCRETE_INTERP_H
+#define MIX_CONCRETE_INTERP_H
+
+#include "lang/Ast.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mix {
+
+class ConcClosure;
+
+/// A concrete run-time value: integer, boolean, location, or closure.
+class ConcValue {
+public:
+  enum class Kind { Int, Bool, Loc, Closure };
+
+  static ConcValue intValue(long long V) {
+    ConcValue C;
+    C.K = Kind::Int;
+    C.IntVal = V;
+    return C;
+  }
+  static ConcValue boolValue(bool V) {
+    ConcValue C;
+    C.K = Kind::Bool;
+    C.IntVal = V ? 1 : 0;
+    return C;
+  }
+  static ConcValue locValue(size_t Loc) {
+    ConcValue C;
+    C.K = Kind::Loc;
+    C.IntVal = (long long)Loc;
+    return C;
+  }
+  static ConcValue closureValue(std::shared_ptr<const ConcClosure> Cl) {
+    ConcValue C;
+    C.K = Kind::Closure;
+    C.Cl = std::move(Cl);
+    return C;
+  }
+
+  Kind kind() const { return K; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isLoc() const { return K == Kind::Loc; }
+  bool isClosure() const { return K == Kind::Closure; }
+
+  long long asInt() const { return IntVal; }
+  bool asBool() const { return IntVal != 0; }
+  size_t asLoc() const { return (size_t)IntVal; }
+  const ConcClosure &asClosure() const { return *Cl; }
+
+  std::string str() const;
+
+private:
+  Kind K = Kind::Int;
+  long long IntVal = 0;
+  std::shared_ptr<const ConcClosure> Cl;
+};
+
+/// A concrete environment E: variables to values.
+using ConcEnv = std::map<std::string, ConcValue>;
+
+/// A closure: the function literal plus its captured environment.
+class ConcClosure {
+public:
+  ConcClosure(const FunExpr *Fun, ConcEnv Env)
+      : Fun(Fun), Env(std::move(Env)) {}
+  const FunExpr *fun() const { return Fun; }
+  const ConcEnv &env() const { return Env; }
+
+private:
+  const FunExpr *Fun;
+  ConcEnv Env;
+};
+
+/// A concrete memory M: locations (dense indices) to values.
+class ConcMemory {
+public:
+  size_t allocate(ConcValue V) {
+    Cells.push_back(std::move(V));
+    return Cells.size() - 1;
+  }
+  bool isValid(size_t Loc) const { return Loc < Cells.size(); }
+  const ConcValue &read(size_t Loc) const { return Cells[Loc]; }
+  void write(size_t Loc, ConcValue V) { Cells[Loc] = std::move(V); }
+  size_t size() const { return Cells.size(); }
+
+private:
+  std::vector<ConcValue> Cells;
+};
+
+/// The evaluation result r: a value, or the error token with a message.
+struct EvalResult {
+  bool IsError = false;
+  ConcValue Value;
+  std::string ErrorMessage;
+
+  static EvalResult ok(ConcValue V) {
+    EvalResult R;
+    R.Value = std::move(V);
+    return R;
+  }
+  static EvalResult error(std::string Message) {
+    EvalResult R;
+    R.IsError = true;
+    R.ErrorMessage = std::move(Message);
+    return R;
+  }
+};
+
+/// Evaluates \p E under environment \p Env, threading memory \p Mem.
+/// Evaluation is deterministic and, for this loop-free language, always
+/// terminates (a fuel bound guards against pathological closure nests).
+EvalResult evaluate(const Expr *E, const ConcEnv &Env, ConcMemory &Mem);
+
+} // namespace mix
+
+#endif // MIX_CONCRETE_INTERP_H

@@ -1,0 +1,100 @@
+//===--- CSymValue.cpp - Symbolic values and stores for mini-C -------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "csym/CSymValue.h"
+
+using namespace mix::c;
+using mix::smt::Term;
+using mix::smt::TermArena;
+
+const Term *CSymValue::nullGuard(TermArena &A) const {
+  assert(isPtr() && "nullGuard() on scalar value");
+  const Term *G = A.falseTerm();
+  for (const PtrCase &C : Cases)
+    if (C.Target.K == PtrTarget::Kind::Null)
+      G = A.orTerm(G, C.Guard);
+  return G;
+}
+
+const Term *CSymValue::nonNullGuard(TermArena &A) const {
+  assert(isPtr() && "nonNullGuard() on scalar value");
+  const Term *G = A.falseTerm();
+  for (const PtrCase &C : Cases)
+    if (C.Target.K != PtrTarget::Kind::Null)
+      G = A.orTerm(G, C.Guard);
+  return G;
+}
+
+CSymValue CSymValue::ite(TermArena &A, const Term *Cond,
+                         const CSymValue &Then, const CSymValue &Else) {
+  if (Cond->kind() == smt::TermKind::BoolConst)
+    return Cond->value() ? Then : Else;
+  if (Then.isScalar() && Else.isScalar())
+    return scalar(A.iteInt(Cond, Then.scalarTerm(), Else.scalarTerm()));
+
+  assert(Then.isPtr() && Else.isPtr() && "ite over mismatched value kinds");
+  std::vector<PtrCase> Merged;
+  for (const PtrCase &C : Then.Cases) {
+    const Term *G = A.andTerm(Cond, C.Guard);
+    if (G->kind() == smt::TermKind::BoolConst && !G->value())
+      continue;
+    // Coalesce with an existing identical target.
+    bool Fused = false;
+    for (PtrCase &M : Merged)
+      if (M.Target == C.Target) {
+        M.Guard = A.orTerm(M.Guard, G);
+        Fused = true;
+        break;
+      }
+    if (!Fused)
+      Merged.push_back({G, C.Target});
+  }
+  for (const PtrCase &C : Else.Cases) {
+    const Term *G = A.andTerm(A.notTerm(Cond), C.Guard);
+    if (G->kind() == smt::TermKind::BoolConst && !G->value())
+      continue;
+    bool Fused = false;
+    for (PtrCase &M : Merged)
+      if (M.Target == C.Target) {
+        M.Guard = A.orTerm(M.Guard, G);
+        Fused = true;
+        break;
+      }
+    if (!Fused)
+      Merged.push_back({G, C.Target});
+  }
+  return pointer(std::move(Merged));
+}
+
+std::string CSymValue::str() const {
+  if (isScalar())
+    return Term_ ? Term_->str() : "<uninit>";
+  std::string Out = "ptr{";
+  for (size_t I = 0; I != Cases.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += Cases[I].Guard->str() + " -> ";
+    switch (Cases[I].Target.K) {
+    case PtrTarget::Kind::Null:
+      Out += "null";
+      break;
+    case PtrTarget::Kind::Object:
+      Out += "obj" + std::to_string(Cases[I].Target.Loc);
+      if (!Cases[I].Target.Field.empty())
+        Out += "." + Cases[I].Target.Field;
+      break;
+    case PtrTarget::Kind::Function:
+      Out += "&" + Cases[I].Target.Fn->name();
+      break;
+    case PtrTarget::Kind::UnknownFn:
+      Out += "<unknown-fn>";
+      break;
+    }
+  }
+  Out += "}";
+  return Out;
+}

@@ -1,0 +1,169 @@
+//===--- CSymValue.h - Symbolic values and stores for mini-C ----*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value and memory representation of the C symbolic executor (the Otter
+/// substitute), following Section 4.2:
+///
+///  - memory is "a map from locations to separate arrays": a store maps
+///    abstract locations (objects) and their fields to symbolic values;
+///  - scalars are solver terms;
+///  - pointers are guarded target lists — each case holds a boolean guard
+///    term and a target (an object, null, a known function, or an unknown
+///    function). Writes through multi-case pointers update every possible
+///    target conditionally, which is exactly Morris's general axiom of
+///    assignment ("aliasing between arrays is modeled using Morris's
+///    general axiom of assignment");
+///  - a null target case makes "may this be null?" a path-condition
+///    query, mirroring the (alpha:bool) ? loc : 0 encoding of
+///    Section 4.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_CSYM_CSYMVALUE_H
+#define MIX_CSYM_CSYMVALUE_H
+
+#include "cfront/CAst.h"
+#include "solver/Term.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mix::c {
+
+/// An abstract memory object id. 0 is invalid.
+using LocId = unsigned;
+constexpr LocId NoLoc = 0;
+
+/// One possible referent of a pointer.
+struct PtrTarget {
+  enum class Kind {
+    Null,      ///< The null pointer.
+    Object,    ///< A cell within a memory object (Loc + Field; the empty
+               ///< field designates the whole object).
+    Function,  ///< A known function (Fn).
+    UnknownFn, ///< A function pointer with unknown target (Section 4.5,
+               ///< Case 4: calls through it cannot be executed).
+  };
+  Kind K = Kind::Null;
+  LocId Loc = NoLoc;
+  std::string Field;
+  const CFuncDecl *Fn = nullptr;
+
+  static PtrTarget null() { return PtrTarget(); }
+  static PtrTarget object(LocId Loc, std::string Field = "") {
+    PtrTarget T;
+    T.K = Kind::Object;
+    T.Loc = Loc;
+    T.Field = std::move(Field);
+    return T;
+  }
+  static PtrTarget function(const CFuncDecl *Fn) {
+    PtrTarget T;
+    T.K = Kind::Function;
+    T.Fn = Fn;
+    return T;
+  }
+  static PtrTarget unknownFn() {
+    PtrTarget T;
+    T.K = Kind::UnknownFn;
+    return T;
+  }
+
+  bool operator==(const PtrTarget &O) const {
+    return K == O.K && Loc == O.Loc && Field == O.Field && Fn == O.Fn;
+  }
+};
+
+/// A guarded pointer case: when Guard holds, the pointer refers to Target.
+struct PtrCase {
+  const smt::Term *Guard;
+  PtrTarget Target;
+};
+
+/// A symbolic mini-C value: a scalar term or a guarded pointer.
+class CSymValue {
+public:
+  enum class Kind { Scalar, Ptr };
+
+  CSymValue() = default;
+
+  static CSymValue scalar(const smt::Term *T) {
+    CSymValue V;
+    V.K = Kind::Scalar;
+    V.Term_ = T;
+    return V;
+  }
+  static CSymValue pointer(std::vector<PtrCase> Cases) {
+    CSymValue V;
+    V.K = Kind::Ptr;
+    V.Cases = std::move(Cases);
+    return V;
+  }
+  /// A definite single-target pointer.
+  static CSymValue pointerTo(smt::TermArena &A, PtrTarget Target) {
+    return pointer({{A.trueTerm(), Target}});
+  }
+  /// The definite null pointer.
+  static CSymValue nullPointer(smt::TermArena &A) {
+    return pointerTo(A, PtrTarget::null());
+  }
+
+  Kind kind() const { return K; }
+  bool isScalar() const { return K == Kind::Scalar; }
+  bool isPtr() const { return K == Kind::Ptr; }
+
+  const smt::Term *scalarTerm() const {
+    assert(isScalar() && "scalarTerm() on pointer value");
+    return Term_;
+  }
+  const std::vector<PtrCase> &cases() const {
+    assert(isPtr() && "cases() on scalar value");
+    return Cases;
+  }
+
+  /// The disjunction of guards under which this pointer is null.
+  const smt::Term *nullGuard(smt::TermArena &A) const;
+  /// The disjunction of guards under which this pointer is non-null.
+  const smt::Term *nonNullGuard(smt::TermArena &A) const;
+
+  /// Merges two values under a condition: Cond ? Then : Else. Values must
+  /// have the same kind.
+  static CSymValue ite(smt::TermArena &A, const smt::Term *Cond,
+                       const CSymValue &Then, const CSymValue &Else);
+
+  std::string str() const;
+
+private:
+  Kind K = Kind::Scalar;
+  const smt::Term *Term_ = nullptr;
+  std::vector<PtrCase> Cases;
+};
+
+/// A field within an object; scalar objects use the empty field name.
+using CellKey = std::pair<LocId, std::string>;
+
+/// The mutable memory of one execution path.
+struct CStore {
+  /// Cell contents; missing cells are lazily initialized on first read.
+  std::map<CellKey, CSymValue> Cells;
+
+  bool has(const CellKey &Key) const { return Cells.count(Key) != 0; }
+  const CSymValue *get(const CellKey &Key) const {
+    auto It = Cells.find(Key);
+    return It == Cells.end() ? nullptr : &It->second;
+  }
+  void set(const CellKey &Key, CSymValue V) {
+    Cells[Key] = std::move(V);
+  }
+  void clear() { Cells.clear(); }
+};
+
+} // namespace mix::c
+
+#endif // MIX_CSYM_CSYMVALUE_H

@@ -1,0 +1,30 @@
+//===--- Ast.cpp - AST of the core MIX language ---------------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Ast.h"
+
+using namespace mix;
+
+const char *mix::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Eq:
+    return "=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::And:
+    return "and";
+  case BinaryOp::Or:
+    return "or";
+  }
+  return "<invalid-op>";
+}

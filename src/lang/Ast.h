@@ -1,0 +1,372 @@
+//===--- Ast.h - AST of the core MIX language -------------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax of the core language (Figure 1):
+///
+///   e ::= x | v | e + e | e = e | not e | e and e
+///       | if e then e else e | let x = e in e
+///       | ref e | !e | e := e
+///       | {t e t} | {s e s}
+///
+/// extended, as Section 2's motivating examples require, with subtraction,
+/// `<` / `<=` comparisons, `or`, sequencing `e; e`, and monomorphic
+/// first-class functions `fun (x: tau) -> e` with application by
+/// juxtaposition.
+///
+/// Nodes are immutable after construction and owned by an AstContext. The
+/// class hierarchy uses LLVM-style kind discriminators with isa/cast/dyn_cast
+/// helpers instead of RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_LANG_AST_H
+#define MIX_LANG_AST_H
+
+#include "lang/Type.h"
+#include "support/SourceLoc.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mix {
+
+/// Discriminator for every expression form.
+enum class ExprKind {
+  Var,
+  IntLit,
+  BoolLit,
+  Binary,
+  Not,
+  If,
+  Let,
+  Ref,
+  Deref,
+  Assign,
+  Seq,
+  Block,
+  Fun,
+  App,
+};
+
+/// Base class of all expressions.
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+  Expr(const Expr &) = delete;
+  Expr &operator=(const Expr &) = delete;
+
+protected:
+  Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+  ~Expr() = default;
+
+private:
+  ExprKind Kind;
+  SourceLoc Loc;
+};
+
+/// LLVM-style isa<> over the Expr hierarchy.
+template <typename T> bool isa(const Expr *E) {
+  assert(E && "isa<> on null expression");
+  return T::classof(E);
+}
+
+/// LLVM-style cast<>: asserts the dynamic kind matches.
+template <typename T> const T *cast(const Expr *E) {
+  assert(isa<T>(E) && "cast<> to incompatible expression kind");
+  return static_cast<const T *>(E);
+}
+
+/// LLVM-style dyn_cast<>: returns null when the kind does not match.
+template <typename T> const T *dyn_cast(const Expr *E) {
+  return isa<T>(E) ? static_cast<const T *>(E) : nullptr;
+}
+
+/// A variable reference `x`.
+class VarExpr : public Expr {
+public:
+  VarExpr(SourceLoc Loc, std::string Name)
+      : Expr(ExprKind::Var, Loc), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Var; }
+
+private:
+  std::string Name;
+};
+
+/// An integer literal `n`.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(SourceLoc Loc, long long Value)
+      : Expr(ExprKind::IntLit, Loc), Value(Value) {}
+
+  long long value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::IntLit; }
+
+private:
+  long long Value;
+};
+
+/// A boolean literal `true` or `false`.
+class BoolLitExpr : public Expr {
+public:
+  BoolLitExpr(SourceLoc Loc, bool Value)
+      : Expr(ExprKind::BoolLit, Loc), Value(Value) {}
+
+  bool value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::BoolLit; }
+
+private:
+  bool Value;
+};
+
+/// Binary operators of the core language.
+enum class BinaryOp {
+  Add, ///< integer addition `e + e`
+  Sub, ///< integer subtraction `e - e`
+  Eq,  ///< equality `e = e` (int = int or bool = bool)
+  Lt,  ///< integer less-than `e < e`
+  Le,  ///< integer less-or-equal `e <= e`
+  And, ///< boolean conjunction `e and e`
+  Or,  ///< boolean disjunction `e or e`
+};
+
+/// Returns the operator's source spelling, e.g. "+" or "and".
+const char *binaryOpSpelling(BinaryOp Op);
+
+/// A binary operation.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(SourceLoc Loc, BinaryOp Op, const Expr *Lhs, const Expr *Rhs)
+      : Expr(ExprKind::Binary, Loc), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+
+  BinaryOp op() const { return Op; }
+  const Expr *lhs() const { return Lhs; }
+  const Expr *rhs() const { return Rhs; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Binary; }
+
+private:
+  BinaryOp Op;
+  const Expr *Lhs;
+  const Expr *Rhs;
+};
+
+/// Boolean negation `not e`.
+class NotExpr : public Expr {
+public:
+  NotExpr(SourceLoc Loc, const Expr *Sub)
+      : Expr(ExprKind::Not, Loc), Sub(Sub) {}
+
+  const Expr *sub() const { return Sub; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Not; }
+
+private:
+  const Expr *Sub;
+};
+
+/// A conditional `if e1 then e2 else e3`.
+class IfExpr : public Expr {
+public:
+  IfExpr(SourceLoc Loc, const Expr *Cond, const Expr *Then, const Expr *Else)
+      : Expr(ExprKind::If, Loc), Cond(Cond), Then(Then), Else(Else) {}
+
+  const Expr *cond() const { return Cond; }
+  const Expr *thenExpr() const { return Then; }
+  const Expr *elseExpr() const { return Else; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::If; }
+
+private:
+  const Expr *Cond;
+  const Expr *Then;
+  const Expr *Else;
+};
+
+/// A let binding `let x = e1 in e2`, optionally carrying a declared type
+/// ascription `let x : tau = e1 in e2`.
+class LetExpr : public Expr {
+public:
+  LetExpr(SourceLoc Loc, std::string Name, const Type *DeclaredType,
+          const Expr *Init, const Expr *Body)
+      : Expr(ExprKind::Let, Loc), Name(std::move(Name)),
+        DeclaredType(DeclaredType), Init(Init), Body(Body) {}
+
+  const std::string &name() const { return Name; }
+  /// The ascribed type, or null when the binding is unannotated.
+  const Type *declaredType() const { return DeclaredType; }
+  const Expr *init() const { return Init; }
+  const Expr *body() const { return Body; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Let; }
+
+private:
+  std::string Name;
+  const Type *DeclaredType;
+  const Expr *Init;
+  const Expr *Body;
+};
+
+/// Reference construction `ref e`.
+class RefExpr : public Expr {
+public:
+  RefExpr(SourceLoc Loc, const Expr *Sub)
+      : Expr(ExprKind::Ref, Loc), Sub(Sub) {}
+
+  const Expr *sub() const { return Sub; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Ref; }
+
+private:
+  const Expr *Sub;
+};
+
+/// Reference read `!e`.
+class DerefExpr : public Expr {
+public:
+  DerefExpr(SourceLoc Loc, const Expr *Sub)
+      : Expr(ExprKind::Deref, Loc), Sub(Sub) {}
+
+  const Expr *sub() const { return Sub; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Deref; }
+
+private:
+  const Expr *Sub;
+};
+
+/// Reference write `e1 := e2`.
+class AssignExpr : public Expr {
+public:
+  AssignExpr(SourceLoc Loc, const Expr *Target, const Expr *Value)
+      : Expr(ExprKind::Assign, Loc), Target(Target), Value(Value) {}
+
+  const Expr *target() const { return Target; }
+  const Expr *value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Assign; }
+
+private:
+  const Expr *Target;
+  const Expr *Value;
+};
+
+/// Sequencing `e1; e2`: evaluate e1 for effect, result is e2.
+class SeqExpr : public Expr {
+public:
+  SeqExpr(SourceLoc Loc, const Expr *First, const Expr *Second)
+      : Expr(ExprKind::Seq, Loc), First(First), Second(Second) {}
+
+  const Expr *first() const { return First; }
+  const Expr *second() const { return Second; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Seq; }
+
+private:
+  const Expr *First;
+  const Expr *Second;
+};
+
+/// Which analysis a block requests.
+enum class BlockKind {
+  Typed,    ///< `{t e t}` — analyze e with the type checker.
+  Symbolic, ///< `{s e s}` — analyze e with the symbolic executor.
+};
+
+/// An analysis block `{t e t}` or `{s e s}` — the paper's central construct.
+class BlockExpr : public Expr {
+public:
+  BlockExpr(SourceLoc Loc, BlockKind BKind, const Expr *Body)
+      : Expr(ExprKind::Block, Loc), BKind(BKind), Body(Body) {}
+
+  BlockKind blockKind() const { return BKind; }
+  const Expr *body() const { return Body; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Block; }
+
+private:
+  BlockKind BKind;
+  const Expr *Body;
+};
+
+/// A function literal `fun (x: tau1) : tau2 -> e`. Both the parameter and
+/// the result type are annotated, keeping the type system monomorphic (as
+/// the paper assumes) and letting the symbolic executor type closure
+/// values without consulting a type checker.
+class FunExpr : public Expr {
+public:
+  FunExpr(SourceLoc Loc, std::string Param, const Type *ParamType,
+          const Type *ResultType, const Expr *Body)
+      : Expr(ExprKind::Fun, Loc), Param(std::move(Param)),
+        ParamType(ParamType), ResultType(ResultType), Body(Body) {}
+
+  const std::string &param() const { return Param; }
+  const Type *paramType() const { return ParamType; }
+  const Type *resultType() const { return ResultType; }
+  const Expr *body() const { return Body; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Fun; }
+
+private:
+  std::string Param;
+  const Type *ParamType;
+  const Type *ResultType;
+  const Expr *Body;
+};
+
+/// Function application `e1 e2`.
+class AppExpr : public Expr {
+public:
+  AppExpr(SourceLoc Loc, const Expr *Fn, const Expr *Arg)
+      : Expr(ExprKind::App, Loc), Fn(Fn), Arg(Arg) {}
+
+  const Expr *fn() const { return Fn; }
+  const Expr *arg() const { return Arg; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::App; }
+
+private:
+  const Expr *Fn;
+  const Expr *Arg;
+};
+
+/// Owns every Expr node of a parse, plus the TypeContext used for type
+/// annotations appearing in the source.
+class AstContext {
+public:
+  TypeContext &types() { return Types; }
+
+  /// Allocates and owns a node of type \p T.
+  template <typename T, typename... Args> const T *make(Args &&...As) {
+    auto Node = std::make_unique<T>(std::forward<Args>(As)...);
+    const T *Ptr = Node.get();
+    Owned.push_back(NodePtr(Node.release(), deleteNode<T>));
+    return Ptr;
+  }
+
+private:
+  template <typename T> static void deleteNode(const Expr *E) {
+    delete static_cast<const T *>(E);
+  }
+
+  using NodePtr = std::unique_ptr<const Expr, void (*)(const Expr *)>;
+  std::vector<NodePtr> Owned;
+  TypeContext Types;
+};
+
+} // namespace mix
+
+#endif // MIX_LANG_AST_H

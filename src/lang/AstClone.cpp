@@ -1,0 +1,90 @@
+//===--- AstClone.cpp - AST cloning and block stripping --------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstClone.h"
+
+using namespace mix;
+
+namespace {
+
+const Expr *clone(AstContext &Ctx, const Expr *E, bool StripBlocks) {
+  switch (E->kind()) {
+  case ExprKind::Var:
+    return Ctx.make<VarExpr>(E->loc(), cast<VarExpr>(E)->name());
+  case ExprKind::IntLit:
+    return Ctx.make<IntLitExpr>(E->loc(), cast<IntLitExpr>(E)->value());
+  case ExprKind::BoolLit:
+    return Ctx.make<BoolLitExpr>(E->loc(), cast<BoolLitExpr>(E)->value());
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return Ctx.make<BinaryExpr>(E->loc(), B->op(),
+                                clone(Ctx, B->lhs(), StripBlocks),
+                                clone(Ctx, B->rhs(), StripBlocks));
+  }
+  case ExprKind::Not:
+    return Ctx.make<NotExpr>(E->loc(),
+                             clone(Ctx, cast<NotExpr>(E)->sub(), StripBlocks));
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    return Ctx.make<IfExpr>(E->loc(), clone(Ctx, I->cond(), StripBlocks),
+                            clone(Ctx, I->thenExpr(), StripBlocks),
+                            clone(Ctx, I->elseExpr(), StripBlocks));
+  }
+  case ExprKind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    return Ctx.make<LetExpr>(E->loc(), L->name(), L->declaredType(),
+                             clone(Ctx, L->init(), StripBlocks),
+                             clone(Ctx, L->body(), StripBlocks));
+  }
+  case ExprKind::Ref:
+    return Ctx.make<RefExpr>(E->loc(),
+                             clone(Ctx, cast<RefExpr>(E)->sub(), StripBlocks));
+  case ExprKind::Deref:
+    return Ctx.make<DerefExpr>(
+        E->loc(), clone(Ctx, cast<DerefExpr>(E)->sub(), StripBlocks));
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    return Ctx.make<AssignExpr>(E->loc(),
+                                clone(Ctx, A->target(), StripBlocks),
+                                clone(Ctx, A->value(), StripBlocks));
+  }
+  case ExprKind::Seq: {
+    const auto *S = cast<SeqExpr>(E);
+    return Ctx.make<SeqExpr>(E->loc(), clone(Ctx, S->first(), StripBlocks),
+                             clone(Ctx, S->second(), StripBlocks));
+  }
+  case ExprKind::Block: {
+    const auto *B = cast<BlockExpr>(E);
+    const Expr *Body = clone(Ctx, B->body(), StripBlocks);
+    if (StripBlocks)
+      return Body;
+    return Ctx.make<BlockExpr>(E->loc(), B->blockKind(), Body);
+  }
+  case ExprKind::Fun: {
+    const auto *F = cast<FunExpr>(E);
+    return Ctx.make<FunExpr>(E->loc(), F->param(), F->paramType(),
+                             F->resultType(),
+                             clone(Ctx, F->body(), StripBlocks));
+  }
+  case ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    return Ctx.make<AppExpr>(E->loc(), clone(Ctx, A->fn(), StripBlocks),
+                             clone(Ctx, A->arg(), StripBlocks));
+  }
+  }
+  return nullptr;
+}
+
+} // namespace
+
+const Expr *mix::cloneExpr(AstContext &Ctx, const Expr *E) {
+  return clone(Ctx, E, /*StripBlocks=*/false);
+}
+
+const Expr *mix::cloneStrippingBlocks(AstContext &Ctx, const Expr *E) {
+  return clone(Ctx, E, /*StripBlocks=*/true);
+}

@@ -1,0 +1,34 @@
+//===--- AstClone.h - AST cloning and block stripping -----------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structure-preserving AST clone with an option to erase analysis blocks.
+/// Since `{t e t}` and `{s e s}` are semantically transparent, the
+/// stripped program is the input for "what would type checking alone (or
+/// symbolic execution alone) say" comparisons in tests and benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_LANG_ASTCLONE_H
+#define MIX_LANG_ASTCLONE_H
+
+#include "lang/Ast.h"
+
+namespace mix {
+
+/// Clones \p E into \p Ctx. Types are re-interned into Ctx's TypeContext
+/// only if \p Ctx is the owning context; pass the same context the tree
+/// was built in (types are shared).
+const Expr *cloneExpr(AstContext &Ctx, const Expr *E);
+
+/// Clones \p E into \p Ctx with every `{t ...}` / `{s ...}` block replaced
+/// by its body.
+const Expr *cloneStrippingBlocks(AstContext &Ctx, const Expr *E);
+
+} // namespace mix
+
+#endif // MIX_LANG_ASTCLONE_H

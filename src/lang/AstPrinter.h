@@ -1,0 +1,31 @@
+//===--- AstPrinter.h - Pretty printer for the core AST ---------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a core-language AST back to concrete syntax. The output
+/// re-parses to a structurally identical tree (used as a round-trip
+/// property in the test suite) and is used by diagnostics that need to
+/// quote program fragments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_LANG_ASTPRINTER_H
+#define MIX_LANG_ASTPRINTER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace mix {
+
+/// Renders \p E in source syntax. Parenthesizes conservatively, so the
+/// result is unambiguous regardless of the original layout.
+std::string printExpr(const Expr *E);
+
+} // namespace mix
+
+#endif // MIX_LANG_ASTPRINTER_H

@@ -1,0 +1,85 @@
+//===--- Token.h - Tokens of the core MIX language --------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token vocabulary for the core language lexer. Block delimiters `{t`,
+/// `t}`, `{s`, `s}` are single tokens, matching the paper's concrete syntax.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_LANG_TOKEN_H
+#define MIX_LANG_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+
+namespace mix {
+
+/// Kinds of core-language tokens.
+enum class TokenKind {
+  Eof,
+  Error,
+
+  Ident,
+  IntLit,
+
+  // Keywords.
+  KwTrue,
+  KwFalse,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwLet,
+  KwIn,
+  KwRef,
+  KwFun,
+  KwNot,
+  KwAnd,
+  KwOr,
+  KwInt,
+  KwBool,
+
+  // Punctuation and operators.
+  Plus,
+  Minus,
+  Equal,
+  Less,
+  LessEqual,
+  LParen,
+  RParen,
+  Bang,
+  ColonEqual,
+  Colon,
+  Semi,
+  Arrow,
+
+  // Analysis-block delimiters.
+  LBraceTyped,    ///< `{t`
+  RBraceTyped,    ///< `t}`
+  LBraceSymbolic, ///< `{s`
+  RBraceSymbolic, ///< `s}`
+};
+
+/// Returns a human-readable name for \p Kind, used in parse diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// A single lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  /// Identifier spelling (Kind == Ident) or raw text for Error tokens.
+  std::string Text;
+  /// Literal value when Kind == IntLit.
+  long long IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace mix
+
+#endif // MIX_LANG_TOKEN_H

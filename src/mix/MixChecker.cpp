@@ -1,0 +1,235 @@
+//===--- MixChecker.cpp - The MIX analysis driver --------------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mix/MixChecker.h"
+
+#include "mix/ConcolicDriver.h"
+#include "symexec/MemCheck.h"
+
+using namespace mix;
+
+MixChecker::MixChecker(TypeContext &Types, DiagnosticEngine &Diags,
+                       MixOptions Opts)
+    : Types(Types), Diags(Diags), Opts(Opts), Syms(Types),
+      Solver(Terms, Opts.Smt), Translator(Syms, Terms), Checker(Types, Diags),
+      Executor(Syms, Diags, executorOptionsFor(Opts)) {
+  Checker.setSymBlockOracle(this);
+  Executor.setTypedBlockOracle(this);
+  Executor.setSolver(&Solver, &Translator);
+}
+
+SymExecOptions MixChecker::executorOptionsFor(const MixOptions &Opts) {
+  SymExecOptions E = Opts.Exec;
+  // Under concolic exploration the driver owns path enumeration; the
+  // executor follows one concrete run at a time.
+  if (Opts.Explore == MixOptions::Exploration::Concolic)
+    E.Strat = SymExecOptions::Strategy::Concolic;
+  return E;
+}
+
+const Type *MixChecker::checkTyped(const Expr *E, const TypeEnv &Gamma) {
+  return Checker.check(E, Gamma);
+}
+
+const Type *MixChecker::checkSymbolic(const Expr *E, const TypeEnv &Gamma) {
+  return checkSymbolicCore(E, Gamma, E->loc());
+}
+
+const Type *MixChecker::typeOfSymbolicBlock(const BlockExpr *Block,
+                                            const TypeEnv &Gamma) {
+  ++Statistics.SymBlocksChecked;
+  return checkSymbolicCore(Block->body(), Gamma, Block->loc());
+}
+
+const Type *MixChecker::typeOfTypedBlock(const BlockExpr *Block,
+                                         const SymEnv &Env,
+                                         const SymState &State) {
+  ++Statistics.TypedBlocksExecuted;
+  // Closures entering the typed world through Sigma or memory are
+  // trusted at their arrow types; verify their bodies first.
+  for (const auto &[Name, Value] : Env)
+    if (!verifyEscapingClosures(Value, nullptr, Block->loc()))
+      return nullptr;
+  if (!verifyEscapingClosures(nullptr, State.Mem, Block->loc()))
+    return nullptr;
+
+  // |- Sigma : Gamma — every variable's type is the type annotation of
+  // the symbolic value it is bound to.
+  TypeEnv Gamma;
+  for (const auto &[Name, Value] : Env)
+    Gamma[Name] = Value->type();
+  return Checker.check(Block->body(), Gamma);
+}
+
+bool MixChecker::verifyClosure(const SymExpr *Closure, SourceLoc Loc) {
+  auto It = VerifiedClosures.find(Closure);
+  if (It != VerifiedClosures.end())
+    return It->second;
+  // Guard against (impossible today) cycles while recursing through the
+  // type checker, which may re-enter via nested blocks.
+  VerifiedClosures[Closure] = true;
+
+  const FunExpr *Fun = Syms.closureFun(Closure);
+  TypeEnv Gamma;
+  for (const auto &[Name, Captured] : Syms.closureEnv(Closure))
+    Gamma[Name] = Captured->type();
+
+  size_t DiagsBefore = Diags.size();
+  bool Ok = Checker.check(Fun, Gamma) != nullptr;
+  if (!Ok) {
+    Diags.error(Loc, "function value escapes its symbolic block, so its "
+                     "body must type check on all inputs");
+    (void)DiagsBefore;
+  }
+  VerifiedClosures[Closure] = Ok;
+  return Ok;
+}
+
+bool MixChecker::verifyEscapingClosures(const SymExpr *Value,
+                                        const MemNode *Mem, SourceLoc Loc) {
+  std::vector<const SymExpr *> Closures;
+  Syms.collectClosures(Value, Closures);
+  Syms.collectClosuresInMemory(Mem, Closures);
+  for (const SymExpr *C : Closures)
+    if (!verifyClosure(C, Loc))
+      return false;
+  return true;
+}
+
+std::string MixChecker::describeWitness(const SymEnv &Env,
+                                        const smt::SmtModel &Model) {
+  std::string Out;
+  for (const auto &[Name, Value] : Env) {
+    if (Value->kind() != SymKind::Var)
+      continue;
+    // Refs and functions have no concise concrete rendering.
+    if (!Value->type()->isInt() && !Value->type()->isBool())
+      continue;
+    const smt::Term *T = Translator.translate(Value);
+    std::string Rendered;
+    if (T->kind() == smt::TermKind::IntVar && Model.Complete)
+      Rendered = std::to_string(Model.intValue(T->varId()));
+    else if (T->kind() == smt::TermKind::BoolVar)
+      Rendered = Model.boolValue(T->varId()) ? "true" : "false";
+    else
+      continue;
+    if (!Out.empty())
+      Out += ", ";
+    Out += Name + " = " + Rendered;
+  }
+  return Out;
+}
+
+const Type *MixChecker::checkSymbolicCore(const Expr *Body,
+                                          const TypeEnv &Gamma,
+                                          SourceLoc Loc) {
+  // TSymBlock, premise 1: Sigma maps each x in dom(Gamma) to a fresh
+  // alpha_x : Gamma(x).
+  SymEnv Env;
+  for (const auto &[Name, Ty] : Gamma)
+    Env[Name] = Syms.freshVar(Ty, /*IsAllocAddr=*/false, Name);
+
+  // Premise 2: run from S = <true ; mu> with mu fresh, enumerating every
+  // path — either eagerly (SEIf-True and SEIf-False) or through the
+  // DART-style concolic loop.
+  SymExecResult Result;
+  if (Opts.Explore == MixOptions::Exploration::Concolic) {
+    SymState Init;
+    Init.Path = Syms.trueGuard();
+    Init.Mem = Syms.freshBaseMemory();
+    ConcolicOptions COpts;
+    COpts.MaxRuns = Opts.MaxConcolicRuns;
+    ConcolicExploreResult CR = exploreConcolic(Executor, Solver, Translator,
+                                               Body, Env, Init, COpts);
+    Result.Paths = std::move(CR.Paths);
+    Result.ResourceLimitHit = CR.BudgetExhausted;
+  } else {
+    Result = Executor.run(Body, Env);
+  }
+  Statistics.PathsExplored += (unsigned)Result.Paths.size();
+
+  if (Result.ResourceLimitHit) {
+    Diags.error(Loc, "symbolic block exceeded the execution budget; "
+                     "cannot establish exhaustiveness");
+    return nullptr;
+  }
+
+  // Classify outcomes. Error paths whose path condition is infeasible are
+  // discarded ("eventually, when symbolic execution completes, we will
+  // check the path condition and discard the path if it is infeasible").
+  std::vector<const PathResult *> Live;
+  for (const PathResult &P : Result.Paths) {
+    smt::SmtModel Model;
+    if (Solver.checkSat(Translator.translate(P.State.Path), &Model) ==
+        smt::SolveResult::Unsat) {
+      ++Statistics.InfeasiblePathsDiscarded;
+      continue;
+    }
+    if (P.IsError) {
+      Diags.error(P.ErrorLoc.isValid() ? P.ErrorLoc : Loc,
+                  P.ErrorMessage + " [on path " + P.State.Path->str() + "]");
+      // A concrete witness makes the report actionable: values for the
+      // block's inputs under which the failing path is taken.
+      std::string Witness = describeWitness(Env, Model);
+      if (!Witness.empty())
+        Diags.note(P.ErrorLoc.isValid() ? P.ErrorLoc : Loc,
+                   "for example, when " + Witness);
+      return nullptr;
+    }
+    Live.push_back(&P);
+  }
+
+  if (Live.empty()) {
+    Diags.error(Loc, "symbolic block has no feasible path");
+    return nullptr;
+  }
+
+  // Premise: all paths produce values u_i : tau of one type tau.
+  const Type *Tau = Live.front()->Value->type();
+  for (const PathResult *P : Live) {
+    if (P->Value->type() != Tau) {
+      Diags.error(Loc, "symbolic block paths disagree on the result type: " +
+                           Tau->str() + " vs " + P->Value->type()->str());
+      return nullptr;
+    }
+  }
+
+  // Escaping closures: the enclosing typed world will trust the block's
+  // value (and anything reachable through Gamma's references) at its
+  // annotated type, so function bodies leaving the block must type check.
+  for (const PathResult *P : Live)
+    if (!verifyEscapingClosures(P->Value, P->State.Mem, Loc))
+      return nullptr;
+
+  // Premise: |- m(S_i) ok — all paths leave memory consistently typed.
+  if (Opts.CheckFinalMemory) {
+    for (const PathResult *P : Live) {
+      if (!checkMemoryOk(P->State.Mem).Ok) {
+        Diags.error(Loc, "symbolic block leaves memory inconsistently "
+                         "typed on some path (|- m ok fails)");
+        return nullptr;
+      }
+    }
+  }
+
+  // Premise: exhaustive(g(S_1), ..., g(S_n)) — the disjunction of the
+  // final path conditions must be a tautology.
+  if (Opts.Exhaustive == MixOptions::Exhaustiveness::Require) {
+    ++Statistics.ExhaustivenessChecks;
+    std::vector<const smt::Term *> Guards;
+    Guards.reserve(Live.size());
+    for (const PathResult *P : Live)
+      Guards.push_back(Translator.translate(P->State.Path));
+    if (!Solver.isDefinitelyValid(Terms.orList(Guards))) {
+      Diags.error(Loc, "symbolic block paths are not exhaustive: the "
+                       "disjunction of path conditions is not a tautology");
+      return nullptr;
+    }
+  }
+
+  return Tau;
+}

@@ -1,0 +1,530 @@
+//===--- Mixy.cpp - The MIXY analysis driver --------------------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mixy/Mixy.h"
+
+using namespace mix::c;
+
+MixyAnalysis::MixyAnalysis(const CProgram &Program, CAstContext &Ctx,
+                           DiagnosticEngine &Diags, MixyOptions Opts)
+    : Program(Program), Ctx(Ctx), Diags(Diags), Opts(Opts),
+      Solver(Terms, Opts.Smt), PtrAnal(Program, Ctx, Diags),
+      Qual(Program, Ctx, Diags, Opts.Qual),
+      Exec(Program, Ctx, Diags, Terms, Solver, Opts.Sym) {
+  Qual.setSymHook(this);
+  Exec.setTypedCallHook(this);
+}
+
+// === region collection =======================================================
+
+void MixyAnalysis::collectCallees(const CStmt *S,
+                                  std::set<const CFuncDecl *> &Out,
+                                  bool &SawIndirect) {
+  if (!S)
+    return;
+  // Walk statements; inspect expressions for calls and address-taken
+  // function names.
+  std::vector<const CExpr *> Exprs;
+  switch (S->kind()) {
+  case CStmtKind::Expr:
+    Exprs.push_back(cast<CExprStmt>(S)->expr());
+    break;
+  case CStmtKind::Decl:
+    if (cast<CDeclStmt>(S)->init())
+      Exprs.push_back(cast<CDeclStmt>(S)->init());
+    break;
+  case CStmtKind::If: {
+    const auto *I = cast<CIfStmt>(S);
+    Exprs.push_back(I->cond());
+    collectCallees(I->thenStmt(), Out, SawIndirect);
+    collectCallees(I->elseStmt(), Out, SawIndirect);
+    break;
+  }
+  case CStmtKind::While: {
+    const auto *W = cast<CWhileStmt>(S);
+    Exprs.push_back(W->cond());
+    collectCallees(W->body(), Out, SawIndirect);
+    break;
+  }
+  case CStmtKind::Return:
+    if (cast<CReturnStmt>(S)->value())
+      Exprs.push_back(cast<CReturnStmt>(S)->value());
+    break;
+  case CStmtKind::Block:
+    for (const CStmt *Sub : cast<CBlockStmt>(S)->stmts())
+      collectCallees(Sub, Out, SawIndirect);
+    break;
+  }
+
+  CSema Sema(Program, Ctx, Diags);
+  while (!Exprs.empty()) {
+    const CExpr *E = Exprs.back();
+    Exprs.pop_back();
+    switch (E->kind()) {
+    case CExprKind::Call: {
+      const auto *Call = cast<CCall>(E);
+      if (const CFuncDecl *F = Sema.directCallee(Call))
+        Out.insert(F);
+      else {
+        SawIndirect = true;
+        Exprs.push_back(Call->callee());
+      }
+      for (const CExpr *Arg : Call->args())
+        Exprs.push_back(Arg);
+      break;
+    }
+    case CExprKind::Unary:
+      Exprs.push_back(cast<CUnary>(E)->sub());
+      break;
+    case CExprKind::Binary:
+      Exprs.push_back(cast<CBinary>(E)->lhs());
+      Exprs.push_back(cast<CBinary>(E)->rhs());
+      break;
+    case CExprKind::Assign:
+      Exprs.push_back(cast<CAssign>(E)->target());
+      Exprs.push_back(cast<CAssign>(E)->value());
+      break;
+    case CExprKind::Member:
+      Exprs.push_back(cast<CMember>(E)->base());
+      break;
+    case CExprKind::Cast:
+      Exprs.push_back(cast<CCast>(E)->sub());
+      break;
+    case CExprKind::Ident:
+      // A function name outside call position: address taken.
+      if (Program.findFunc(cast<CIdent>(E)->name()))
+        SawIndirect = true;
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+std::set<const CFuncDecl *>
+MixyAnalysis::typedRegionFrom(const CFuncDecl *Entry) {
+  // BFS over the call graph, stopping at the MIX(symbolic) frontier.
+  std::set<const CFuncDecl *> Region;
+  std::vector<const CFuncDecl *> Work;
+  bool SawIndirect = false;
+  Work.push_back(Entry);
+  while (!Work.empty()) {
+    const CFuncDecl *F = Work.back();
+    Work.pop_back();
+    if (!F->isDefined() || F->mixAnnot() == MixAnnot::Symbolic)
+      continue;
+    if (!Region.insert(F).second)
+      continue;
+    std::set<const CFuncDecl *> Callees;
+    collectCallees(F->body(), Callees, SawIndirect);
+    for (const CFuncDecl *Callee : Callees)
+      Work.push_back(Callee);
+  }
+  if (SawIndirect) {
+    // Calls through function pointers: conservatively include every
+    // defined, non-symbolic function whose address could be taken (the
+    // paper uses CIL's pointer analysis to find the targets).
+    for (const CFuncDecl *F : Program.Funcs)
+      if (F->isDefined() && F->mixAnnot() != MixAnnot::Symbolic)
+        Region.insert(F);
+  }
+  return Region;
+}
+
+// === context computation (Sections 4.1 / 4.3) ================================
+
+std::vector<NullSeed>
+MixyAnalysis::paramSeedsFromArgQuals(const CFuncDecl *Callee,
+                                     const std::vector<QualVec> &ArgQuals) {
+  // "We first try to solve the current set of constraints to see whether
+  // [the qualifier variable] has a solution as either null or nonnull...
+  // Otherwise, if it could be either, we first optimistically assume it
+  // is nonnull." (Section 4.1)
+  Qual.solve();
+  std::vector<NullSeed> Seeds;
+  for (size_t I = 0; I != Callee->params().size(); ++I) {
+    const CType *Ty = Callee->params()[I].Ty;
+    if (!Ty->isPointer()) {
+      Seeds.push_back(NullSeed::Nonnull); // ignored for non-pointers
+      continue;
+    }
+    bool MayNull = false;
+    if (I < ArgQuals.size() && !ArgQuals[I].empty())
+      MayNull = Qual.mayBeNull(ArgQuals[I][0]);
+    Seeds.push_back(MayNull ? NullSeed::MayBeNull : NullSeed::Nonnull);
+  }
+  return Seeds;
+}
+
+std::map<std::string, NullSeed> MixyAnalysis::globalSeedsFromQuals() {
+  Qual.solve();
+  std::map<std::string, NullSeed> Seeds;
+  for (const CGlobalDecl *G : Program.Globals) {
+    if (!G->type()->isPointer())
+      continue;
+    const QualVec &Q = Qual.qualsOfVar(nullptr, G->name());
+    bool MayNull = !Q.empty() && Qual.mayBeNull(Q[0]);
+    Seeds[G->name()] = MayNull ? NullSeed::MayBeNull : NullSeed::Nonnull;
+  }
+  return Seeds;
+}
+
+QualVec MixyAnalysis::freshQuals(const CType *Ty,
+                                 const std::string &Description,
+                                 SourceLoc Loc) {
+  QualVec Out;
+  unsigned Level = 0;
+  while (Ty->isPointer()) {
+    std::string Name = Description;
+    if (Level != 0)
+      Name += " @" + std::to_string(Level);
+    Out.push_back(Qual.graph().newNode(Name, Loc));
+    Ty = Ty->pointee();
+    ++Level;
+  }
+  return Out;
+}
+
+// === symbolic blocks (typed -> symbolic -> typed) ===========================
+
+MixyAnalysis::SymOutcome
+MixyAnalysis::translateResult(const CFuncDecl *F, const CSymResult &Result) {
+  // "From Symbolic Values to Types": for each caller-visible pointer slot,
+  // ask whether g and (s = 0) is satisfiable and record null if so.
+  SymOutcome Outcome;
+  Outcome.ParamPointeeMayBeNull.assign(F->params().size(), false);
+
+  for (const CSymResult::PathOut &P : Result.Paths) {
+    if (P.Returned && F->returnType()->isPointer() && P.Ret.isPtr() &&
+        Exec.mayBeNull(P.Path, P.Ret))
+      Outcome.RetMayBeNull = true;
+
+    for (size_t I = 0; I != F->params().size(); ++I) {
+      LocId Pointee = I < Result.ParamPointeeLocs.size()
+                          ? Result.ParamPointeeLocs[I]
+                          : NoLoc;
+      if (Pointee == NoLoc)
+        continue;
+      auto Cell = CSymExecutor::finalCell(P, Pointee, "");
+      if (Cell && Cell->isPtr() && Exec.mayBeNull(P.Path, *Cell))
+        Outcome.ParamPointeeMayBeNull[I] = true;
+    }
+
+    for (const CGlobalDecl *G : Program.Globals) {
+      if (!G->type()->isPointer())
+        continue;
+      auto Cell = CSymExecutor::finalCell(P, Exec.globalLoc(G->name()), "");
+      if (Cell && Cell->isPtr() && Exec.mayBeNull(P.Path, *Cell))
+        Outcome.GlobalMayBeNull[G->name()] = true;
+    }
+  }
+  return Outcome;
+}
+
+MixyAnalysis::SymOutcome
+MixyAnalysis::computeSymOutcome(const BlockKey &Key) {
+  if (Opts.EnableCache) {
+    auto It = SymCache.find(Key);
+    if (It != SymCache.end()) {
+      ++Statistics.SymbolicCacheHits;
+      return It->second;
+    }
+  }
+
+  // Recursion detection (Section 4.4): the same block with a compatible
+  // calling context is already being analyzed.
+  for (StackEntry &Entry : BlockStack) {
+    if (Entry.Key == Key) {
+      Entry.Recursive = true;
+      ++Statistics.RecursionsDetected;
+      return Entry.SymAssumption;
+    }
+  }
+
+  BlockStack.push_back({Key, false, SymOutcome(), false});
+  BlockStack.back().SymAssumption.ParamPointeeMayBeNull.assign(
+      Key.F->params().size(), false);
+
+  SymOutcome Outcome;
+  for (unsigned Iter = 0; Iter != Opts.MaxRecursionIterations; ++Iter) {
+    BlockStack.back().Recursive = false;
+    ++Statistics.SymbolicBlockRuns;
+    CSymResult Result = Exec.runFunction(Key.F, Key.Params, Key.Globals);
+    Outcome = translateResult(Key.F, Result);
+    // "If the assumption is compatible with the actual result, we return
+    // the result; otherwise, we re-analyze the block using the actual
+    // result as the updated assumption." (Section 4.4)
+    if (!BlockStack.back().Recursive ||
+        Outcome == BlockStack.back().SymAssumption)
+      break;
+    BlockStack.back().SymAssumption = Outcome;
+  }
+  BlockStack.pop_back();
+
+  if (Opts.EnableCache)
+    SymCache[Key] = Outcome;
+  return Outcome;
+}
+
+void MixyAnalysis::restoreAliasing(const CFuncDecl *Callee) {
+  if (!Opts.RestoreAliasing)
+    return;
+  // "We use CIL's built-in may pointer analysis to conservatively
+  // discover points-to relationships... we add constraints to require
+  // that all may-aliased expressions have the same type." (Section 4.2)
+  auto UnifyTargetsOf = [&](PointsToAnalysis::CellId Cell) {
+    PointsToAnalysis::CellId Target = PtrAnal.pointsTo(Cell);
+    if (Target == PointsToAnalysis::NoCell)
+      return;
+    Qual.unifyAliasClass(PtrAnal.variablesInClass(Target));
+  };
+  for (const auto &P : Callee->params())
+    if (P.Ty->isPointer())
+      UnifyTargetsOf(PtrAnal.cellOfVar(Callee, P.Name));
+  for (const CGlobalDecl *G : Program.Globals)
+    if (G->type()->isPointer())
+      UnifyTargetsOf(PtrAnal.cellOfVar(nullptr, G->name()));
+}
+
+void MixyAnalysis::applySymOutcome(const SymOutcome &Outcome,
+                                   const CCall *Call,
+                                   const CFuncDecl *Callee,
+                                   const std::vector<QualVec> &ArgQuals,
+                                   QualVec &RetQuals) {
+  if (Outcome.RetMayBeNull && !RetQuals.empty())
+    Qual.seedNull(RetQuals[0],
+                  "symbolic result of " + Callee->name() + " may be null",
+                  Call->loc());
+  for (size_t I = 0; I != Outcome.ParamPointeeMayBeNull.size(); ++I) {
+    if (!Outcome.ParamPointeeMayBeNull[I])
+      continue;
+    if (I < ArgQuals.size() && ArgQuals[I].size() > 1)
+      Qual.seedNull(ArgQuals[I][1],
+                    "after " + Callee->name() + ", *" +
+                        Callee->params()[I].Name + " may be null",
+                    Call->loc());
+  }
+  for (const auto &[Name, MayNull] : Outcome.GlobalMayBeNull) {
+    if (!MayNull)
+      continue;
+    const QualVec &Q = Qual.qualsOfVar(nullptr, Name);
+    if (!Q.empty())
+      Qual.seedNull(Q[0],
+                    "after " + Callee->name() + ", global " + Name +
+                        " may be null",
+                    Call->loc());
+  }
+  restoreAliasing(Callee);
+}
+
+bool MixyAnalysis::handleSymbolicCall(QualInference &Inference,
+                                      const CCall *Call,
+                                      const CFuncDecl *Callee,
+                                      const std::vector<QualVec> &ArgQuals,
+                                      QualVec &RetQuals) {
+  if (!Callee->isDefined())
+    return false;
+  ++Statistics.SymbolicCallsFromTyped;
+  (void)Inference;
+
+  BlockKey Key;
+  Key.Symbolic = true;
+  Key.F = Callee;
+  Key.Params = paramSeedsFromArgQuals(Callee, ArgQuals);
+  Key.Globals = globalSeedsFromQuals();
+
+  RetQuals = freshQuals(Callee->returnType(),
+                        "symbolic call " + Callee->name(), Call->loc());
+
+  SymOutcome Outcome = computeSymOutcome(Key);
+  applySymOutcome(Outcome, Call, Callee, ArgQuals, RetQuals);
+
+  // Remember the site for the fixpoint loop (Section 4.1).
+  SymCallSites.push_back({Call, Callee, ArgQuals, RetQuals, Key});
+  return true;
+}
+
+// === typed blocks (symbolic -> typed -> symbolic) ===========================
+
+bool MixyAnalysis::computeTypedRet(const BlockKey &Key, const CCall *Call) {
+  if (Opts.EnableCache) {
+    auto It = TypedCache.find(Key);
+    if (It != TypedCache.end()) {
+      ++Statistics.TypedCacheHits;
+      return It->second;
+    }
+  }
+
+  for (StackEntry &Entry : BlockStack) {
+    if (Entry.Key == Key) {
+      Entry.Recursive = true;
+      ++Statistics.RecursionsDetected;
+      return Entry.TypedAssumption;
+    }
+  }
+
+  BlockStack.push_back({Key, false, SymOutcome(), false});
+
+  bool RetMayBeNull = false;
+  for (unsigned Iter = 0; Iter != Opts.MaxRecursionIterations; ++Iter) {
+    BlockStack.back().Recursive = false;
+    ++Statistics.TypedBlockRuns;
+
+    // Run qualifier inference over the typed region rooted here; nested
+    // MIX(symbolic) frontier calls re-enter handleSymbolicCall.
+    for (const CFuncDecl *F : typedRegionFrom(Key.F))
+      Qual.analyzeFunction(F);
+    Qual.analyzeGlobals();
+
+    // Seed the calling context ("From Symbolic Values to Types").
+    for (size_t I = 0; I != Key.Params.size(); ++I) {
+      if (Key.Params[I] != NullSeed::MayBeNull)
+        continue;
+      const QualVec &PQ = Qual.qualsOfParam(Key.F, (unsigned)I);
+      if (!PQ.empty())
+        Qual.seedNull(PQ[0], "symbolic argument may be null", Call->loc());
+    }
+    for (const auto &[Name, Seed] : Key.Globals) {
+      if (Seed != NullSeed::MayBeNull)
+        continue;
+      const QualVec &GQ = Qual.qualsOfVar(nullptr, Name);
+      if (!GQ.empty())
+        Qual.seedNull(GQ[0], "global may be null at symbolic call",
+                      Call->loc());
+    }
+
+    Qual.solve();
+    const QualVec &RQ = Qual.qualsOfReturn(Key.F);
+    RetMayBeNull = !RQ.empty() && Qual.mayBeNull(RQ[0]);
+
+    if (!BlockStack.back().Recursive ||
+        RetMayBeNull == BlockStack.back().TypedAssumption)
+      break;
+    BlockStack.back().TypedAssumption = RetMayBeNull;
+  }
+  BlockStack.pop_back();
+
+  if (Opts.EnableCache)
+    TypedCache[Key] = RetMayBeNull;
+  return RetMayBeNull;
+}
+
+bool MixyAnalysis::callTypedFunction(CSymExecutor &Exec2, CSymState &State,
+                                     const CCall *Call,
+                                     const CFuncDecl *Callee,
+                                     const std::vector<CSymValue> &Args,
+                                     CSymValue &RetOut) {
+  ++Statistics.TypedCallsFromSymbolic;
+
+  BlockKey Key;
+  Key.Symbolic = false;
+  Key.F = Callee;
+  // The calling context from symbolic values: solver queries per pointer
+  // argument and per pointer global present in the store.
+  for (size_t I = 0; I != Callee->params().size(); ++I) {
+    bool MayNull = I < Args.size() && Args[I].isPtr() &&
+                   Exec2.mayBeNull(State.Path, Args[I]);
+    Key.Params.push_back(MayNull ? NullSeed::MayBeNull : NullSeed::Nonnull);
+  }
+  for (const CGlobalDecl *G : Program.Globals) {
+    if (!G->type()->isPointer())
+      continue;
+    auto Cell = State.Store.get({Exec2.globalLoc(G->name()), ""});
+    if (!Cell || !Cell->isPtr())
+      continue;
+    Key.Globals[G->name()] = Exec2.mayBeNull(State.Path, *Cell)
+                                 ? NullSeed::MayBeNull
+                                 : NullSeed::Nonnull;
+  }
+
+  bool RetMayBeNull = computeTypedRet(Key, Call);
+
+  // Re-entering symbolic execution: memory is havocked ("symbolic blocks
+  // are forced to start with a fresh memory when switching from typed
+  // blocks", Section 4.6), then pointer globals are re-seeded from the
+  // current qualifier solution.
+  Exec2.havocStore(State);
+  Qual.solve();
+  for (const CGlobalDecl *G : Program.Globals) {
+    if (!G->type()->isPointer())
+      continue;
+    const QualVec &Q = Qual.qualsOfVar(nullptr, G->name());
+    NullSeed Seed = (!Q.empty() && Qual.mayBeNull(Q[0]))
+                        ? NullSeed::MayBeNull
+                        : NullSeed::Nonnull;
+    State.Store.set({Exec2.globalLoc(G->name()), ""},
+                    Exec2.seededPointer(G->type(), Seed, G->name()));
+  }
+
+  if (Callee->returnType()->isPointer())
+    RetOut = Exec2.seededPointer(Callee->returnType(),
+                                 RetMayBeNull ? NullSeed::MayBeNull
+                                              : NullSeed::Nonnull,
+                                 Callee->name() + "()");
+  else
+    RetOut = CSymValue::scalar(
+        Terms.freshIntVar(Callee->name() + "()"));
+  return true;
+}
+
+// === driver ==================================================================
+
+unsigned MixyAnalysis::run(StartMode Mode, const std::string &Entry) {
+  PtrAnal.run();
+
+  const CFuncDecl *EntryFunc = Program.findFunc(Entry);
+  if (!EntryFunc || !EntryFunc->isDefined()) {
+    Diags.error(SourceLoc(), "entry function '" + Entry + "' not found");
+    return Diags.warningCount();
+  }
+
+  if (Mode == StartMode::Symbolic ||
+      EntryFunc->mixAnnot() == MixAnnot::Symbolic) {
+    // Begin in symbolic mode: execute the entry function; typed frontier
+    // calls switch through callTypedFunction.
+    ++Statistics.SymbolicBlockRuns;
+    CSymResult Result = Exec.runFunction(EntryFunc);
+    (void)Result;
+    Qual.solve();
+    Qual.reportWarnings();
+    return Diags.warningCount();
+  }
+
+  // Begin in typed mode: qualifier inference over the region reachable
+  // from the entry, with symbolic frontier calls via handleSymbolicCall.
+  Qual.analyzeGlobals();
+  for (const CFuncDecl *F : typedRegionFrom(EntryFunc))
+    Qual.analyzeFunction(F);
+
+  // Fixpoint (Section 4.1): re-run symbolic blocks whose calling context
+  // changed as constraints accumulated, until nothing changes.
+  for (unsigned Iter = 0; Iter != Opts.MaxFixpointIterations; ++Iter) {
+    Qual.solve();
+    bool Changed = false;
+    for (SymCallSite &Site : SymCallSites) {
+      BlockKey Key;
+      Key.Symbolic = true;
+      Key.F = Site.Callee;
+      Key.Params = paramSeedsFromArgQuals(Site.Callee, Site.ArgQuals);
+      Key.Globals = globalSeedsFromQuals();
+      if (Key == Site.LastKey)
+        continue;
+      Changed = true;
+      Site.LastKey = Key;
+      SymOutcome Outcome = computeSymOutcome(Key);
+      applySymOutcome(Outcome, Site.Call, Site.Callee, Site.ArgQuals,
+                      Site.RetQuals);
+    }
+    if (!Changed)
+      break;
+    ++Statistics.FixpointIterations;
+  }
+
+  Qual.solve();
+  Qual.reportWarnings();
+  return Diags.warningCount();
+}

@@ -1,0 +1,205 @@
+//===--- Mixy.h - The MIXY analysis driver ----------------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MIXY (Section 4): mixes null/nonnull type qualifier inference with the
+/// C symbolic executor at function granularity.
+///
+///  - Analysis starts in typed or symbolic mode at an entry function.
+///  - In typed mode, qualifier inference covers every function reachable
+///    from the entry "up to the frontier of any functions that are marked
+///    with MIX(symbolic)"; each frontier call switches to the symbolic
+///    executor through QualSymHook.
+///  - In symbolic mode, execution proceeds through unmarked functions and
+///    switches to inference at MIX(typed) functions through
+///    TypedCallHook.
+///  - Translations follow Section 4.1: types to symbolic values seed
+///    pointers as nonnull (fresh location) or maybe-null
+///    ((alpha ? loc : 0)), with unconstrained qualifier variables treated
+///    optimistically as nonnull; symbolic values to types ask the solver
+///    whether g and (s = 0) is satisfiable and add null constraints.
+///  - Optimism makes a fixpoint necessary: symbolic blocks re-run when
+///    later-discovered constraints change their calling context
+///    (Section 4.1's two-symbolic-block example).
+///  - Aliasing is restored at symbolic-to-typed transitions using the
+///    may-points-to pre-pass (Section 4.2).
+///  - Block results are cached per compatible calling context
+///    (Section 4.3) and recursion between blocks is resolved with a block
+///    stack and assumption iteration (Section 4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_MIXY_MIXY_H
+#define MIX_MIXY_MIXY_H
+
+#include "csym/CSymExecutor.h"
+#include "ptranal/PointsTo.h"
+#include "qual/QualInference.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mix::c {
+
+/// Configuration of a MIXY run.
+struct MixyOptions {
+  /// Cache block analysis results per calling context (Section 4.3).
+  bool EnableCache = true;
+  /// Restore aliasing relationships via the points-to pre-pass at
+  /// symbolic-to-typed transitions (Section 4.2).
+  bool RestoreAliasing = true;
+  unsigned MaxFixpointIterations = 16;
+  unsigned MaxRecursionIterations = 8;
+  CSymOptions Sym;
+  QualOptions Qual;
+  smt::SmtOptions Smt;
+};
+
+/// Statistics of a MIXY run.
+struct MixyStats {
+  unsigned SymbolicBlockRuns = 0;     ///< csym invocations (cache misses)
+  unsigned SymbolicCacheHits = 0;
+  unsigned TypedBlockRuns = 0;        ///< typed-block summaries computed
+  unsigned TypedCacheHits = 0;
+  unsigned SymbolicCallsFromTyped = 0;
+  unsigned TypedCallsFromSymbolic = 0;
+  unsigned FixpointIterations = 0;
+  unsigned RecursionsDetected = 0;
+};
+
+/// The MIXY analysis.
+class MixyAnalysis : public QualSymHook, public TypedCallHook {
+public:
+  enum class StartMode { Typed, Symbolic };
+
+  MixyAnalysis(const CProgram &Program, CAstContext &Ctx,
+               DiagnosticEngine &Diags, MixyOptions Opts = MixyOptions());
+
+  /// Runs the full analysis from \p Entry. Returns the number of
+  /// warnings (qualifier violations plus symbolic-execution warnings).
+  unsigned run(StartMode Mode, const std::string &Entry = "main");
+
+  // --- QualSymHook: typed-to-symbolic switching (Section 4.1) -----------
+  bool handleSymbolicCall(QualInference &Inference, const CCall *Call,
+                          const CFuncDecl *Callee,
+                          const std::vector<QualVec> &ArgQuals,
+                          QualVec &RetQuals) override;
+
+  // --- TypedCallHook: symbolic-to-typed switching ------------------------
+  bool callTypedFunction(CSymExecutor &Exec, CSymState &State,
+                         const CCall *Call, const CFuncDecl *Callee,
+                         const std::vector<CSymValue> &Args,
+                         CSymValue &RetOut) override;
+
+  const MixyStats &stats() const { return Statistics; }
+  QualInference &qualifiers() { return Qual; }
+  CSymExecutor &executor() { return Exec; }
+  PointsToAnalysis &pointsTo() { return PtrAnal; }
+
+private:
+  /// Identity of a block analysis: the block plus its calling context,
+  /// "the types for all variables that will be translated into symbolic
+  /// values" (Section 4.3).
+  struct BlockKey {
+    bool Symbolic = true;
+    const CFuncDecl *F = nullptr;
+    std::vector<NullSeed> Params;
+    std::map<std::string, NullSeed> Globals;
+
+    bool operator<(const BlockKey &O) const {
+      return std::tie(Symbolic, F, Params, Globals) <
+             std::tie(O.Symbolic, O.F, O.Params, O.Globals);
+    }
+    bool operator==(const BlockKey &O) const {
+      return Symbolic == O.Symbolic && F == O.F && Params == O.Params &&
+             Globals == O.Globals;
+    }
+  };
+
+  /// The caller-visible summary of one symbolic block run ("we cache the
+  /// translated types", Section 4.3).
+  struct SymOutcome {
+    bool RetMayBeNull = false;
+    std::vector<bool> ParamPointeeMayBeNull;
+    std::map<std::string, bool> GlobalMayBeNull;
+
+    bool operator==(const SymOutcome &O) const {
+      return RetMayBeNull == O.RetMayBeNull &&
+             ParamPointeeMayBeNull == O.ParamPointeeMayBeNull &&
+             GlobalMayBeNull == O.GlobalMayBeNull;
+    }
+  };
+
+  /// One frontier call site, remembered for the fixpoint loop.
+  struct SymCallSite {
+    const CCall *Call;
+    const CFuncDecl *Callee;
+    std::vector<QualVec> ArgQuals;
+    QualVec RetQuals;
+    BlockKey LastKey;
+  };
+
+  // Region handling.
+  std::set<const CFuncDecl *> typedRegionFrom(const CFuncDecl *Entry);
+  void collectCallees(const CStmt *S, std::set<const CFuncDecl *> &Out,
+                      bool &SawIndirect);
+
+  // Context computation (Section 4.1 / 4.3).
+  std::vector<NullSeed>
+  paramSeedsFromArgQuals(const CFuncDecl *Callee,
+                         const std::vector<QualVec> &ArgQuals);
+  std::map<std::string, NullSeed> globalSeedsFromQuals();
+
+  // Symbolic-block execution and translation.
+  SymOutcome computeSymOutcome(const BlockKey &Key);
+  SymOutcome translateResult(const CFuncDecl *F, const CSymResult &Result);
+  void applySymOutcome(const SymOutcome &Outcome, const CCall *Call,
+                       const CFuncDecl *Callee,
+                       const std::vector<QualVec> &ArgQuals,
+                       QualVec &RetQuals);
+  void restoreAliasing(const CFuncDecl *Callee);
+
+  // Typed-block execution (from the symbolic side).
+  bool computeTypedRet(const BlockKey &Key, const CCall *Call);
+
+  /// Fresh, unconstrained qualifier variables shaped like \p Ty.
+  QualVec freshQuals(const CType *Ty, const std::string &Description,
+                     SourceLoc Loc);
+
+  const CProgram &Program;
+  CAstContext &Ctx;
+  DiagnosticEngine &Diags;
+  MixyOptions Opts;
+
+  smt::TermArena Terms;
+  smt::SmtSolver Solver;
+  PointsToAnalysis PtrAnal;
+  QualInference Qual;
+  CSymExecutor Exec;
+
+  std::map<BlockKey, SymOutcome> SymCache;
+  std::map<BlockKey, bool> TypedCache;
+
+  struct StackEntry {
+    BlockKey Key;
+    bool Recursive = false;
+    SymOutcome SymAssumption;
+    bool TypedAssumption = false;
+  };
+  std::vector<StackEntry> BlockStack;
+
+  std::vector<SymCallSite> SymCallSites;
+  std::set<const CFuncDecl *> TypedRegionAnalyzed;
+
+  MixyStats Statistics;
+};
+
+} // namespace mix::c
+
+#endif // MIX_MIXY_MIXY_H

@@ -1,0 +1,92 @@
+//===--- QualGraph.cpp - Qualifier constraint graph -------------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "qual/QualGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace mix::c;
+
+QualGraph::Node QualGraph::newNode(std::string Description, SourceLoc Loc) {
+  Node N = (Node)Descriptions.size();
+  Descriptions.push_back(std::move(Description));
+  Locations.push_back(Loc);
+  Successors.emplace_back();
+  NullSource.push_back(false);
+  NonnullBound.push_back(false);
+  NullReachable.push_back(false);
+  Parents.push_back(NoNode);
+  return N;
+}
+
+void QualGraph::addFlow(Node From, Node To) {
+  assert(From < numNodes() && To < numNodes() && "flow between bad nodes");
+  if (From == To)
+    return;
+  auto &Succ = Successors[From];
+  if (std::find(Succ.begin(), Succ.end(), To) != Succ.end())
+    return;
+  Succ.push_back(To);
+  ++NumEdges;
+}
+
+void QualGraph::markNullSource(Node N) { NullSource[N] = true; }
+
+void QualGraph::markNonnullBound(Node N) { NonnullBound[N] = true; }
+
+void QualGraph::solve() {
+  std::fill(NullReachable.begin(), NullReachable.end(), false);
+  std::fill(Parents.begin(), Parents.end(), NoNode);
+  std::deque<Node> Work;
+  for (Node N = 0; N != numNodes(); ++N) {
+    if (NullSource[N]) {
+      NullReachable[N] = true;
+      Work.push_back(N);
+    }
+  }
+  while (!Work.empty()) {
+    Node N = Work.front();
+    Work.pop_front();
+    for (Node S : Successors[N]) {
+      if (NullReachable[S])
+        continue;
+      NullReachable[S] = true;
+      Parents[S] = N;
+      Work.push_back(S);
+    }
+  }
+}
+
+std::vector<QualGraph::Node> QualGraph::violations() const {
+  std::vector<Node> Out;
+  for (Node N = 0; N != numNodes(); ++N)
+    if (NonnullBound[N] && NullReachable[N])
+      Out.push_back(N);
+  return Out;
+}
+
+std::vector<QualGraph::Node> QualGraph::witnessPath(Node N) const {
+  if (!NullReachable[N])
+    return {};
+  std::vector<Node> Path;
+  for (Node Cur = N; Cur != NoNode; Cur = Parents[Cur])
+    Path.push_back(Cur);
+  std::reverse(Path.begin(), Path.end());
+  return Path;
+}
+
+std::string QualGraph::describePath(const std::vector<Node> &Path) const {
+  std::string Out;
+  for (size_t I = 0; I != Path.size(); ++I) {
+    if (I != 0)
+      Out += " -> ";
+    Out += Descriptions[Path[I]];
+  }
+  return Out;
+}

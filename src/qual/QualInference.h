@@ -1,0 +1,171 @@
+//===--- QualInference.h - null/nonnull qualifier inference -----*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monomorphic, flow-insensitive null/nonnull type qualifier inference
+/// for mini-C — the paper's CilQual. Every pointer position (variable,
+/// struct field, parameter, return) gets one qualifier variable per
+/// pointer level; assignments, calls, and returns generate flow
+/// constraints; NULL literals and `null` annotations are null sources;
+/// `nonnull` annotations are bounds. A warning is a flow from a source to
+/// a bound, with a witness path.
+///
+/// The deliberate imprecision matches the paper:
+///  - flow-insensitive: assignment order is ignored (Case 1),
+///  - path-insensitive: null checks are ignored (Cases 1-3),
+///  - context-insensitive: one qualifier per function parameter conflates
+///    call sites (Case 2).
+///
+/// MIXY hooks in through QualSymHook: when the inference reaches a call
+/// to a MIX(symbolic) function, the hook analyzes it symbolically and
+/// seeds constraints from the result (Section 4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_QUAL_QUALINFERENCE_H
+#define MIX_QUAL_QUALINFERENCE_H
+
+#include "ptranal/PointsTo.h"
+#include "qual/QualGraph.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mix::c {
+
+/// Qualifier variables of an expression, one per pointer level of its
+/// type (outermost first). Scalars have an empty vector.
+using QualVec = std::vector<QualGraph::Node>;
+
+class QualInference;
+
+/// MIXY's entry point into typed regions: called when inference reaches a
+/// call to a MIX(symbolic) function.
+class QualSymHook {
+public:
+  virtual ~QualSymHook() = default;
+
+  /// Analyzes the call to \p Callee symbolically and adds the resulting
+  /// constraints to \p Inference. \p ArgQuals are the qualifier variables
+  /// of the actual arguments; \p RetQuals receives the result qualifiers.
+  /// Returns false to fall back to ordinary monomorphic binding.
+  virtual bool handleSymbolicCall(QualInference &Inference,
+                                  const CCall *Call, const CFuncDecl *Callee,
+                                  const std::vector<QualVec> &ArgQuals,
+                                  QualVec &RetQuals) = 0;
+};
+
+/// Options for the inference.
+struct QualOptions {
+  /// Treat every pointer dereference as a nonnull requirement (the
+  /// "annotate all dereferences" mode the paper chose not to start with).
+  bool WarnAllDereferences = false;
+};
+
+/// The inference engine. Constraint generation is incremental: MIXY calls
+/// analyzeFunction for each function in a typed region and solve()
+/// whenever it needs qualifier answers.
+class QualInference {
+public:
+  QualInference(const CProgram &Program, CAstContext &Ctx,
+                DiagnosticEngine &Diags, QualOptions Opts = QualOptions())
+      : Program(Program), Sema(Program, Ctx, Diags), Diags(Diags),
+        Opts(Opts) {}
+
+  void setSymHook(QualSymHook *Hook) { this->Hook = Hook; }
+
+  /// Generates constraints for all globals and every defined function —
+  /// "pure type qualifier inference" over the program.
+  void analyzeAll();
+
+  /// Generates constraints for one function body (idempotent).
+  void analyzeFunction(const CFuncDecl *F);
+
+  /// Generates constraints for global initializers (idempotent).
+  void analyzeGlobals();
+
+  /// Recomputes reachability.
+  void solve() { Graph.solve(); }
+
+  /// After solve(): reports one warning (plus a witness-path note) per
+  /// violated nonnull bound. Returns the number of warnings.
+  unsigned reportWarnings();
+
+  /// After solve(): the number of violated nonnull bounds.
+  unsigned violationCount() const { return (unsigned)Graph.violations().size(); }
+
+  // --- qualifier variables (for MIXY's translations, Section 4.1) -------
+
+  /// Qualifier variables of variable \p Name (function-local or global).
+  const QualVec &qualsOfVar(const CFuncDecl *Func, const std::string &Name);
+  /// Qualifier variables of field \p Field of \p Struct.
+  const QualVec &qualsOfField(const CStructDecl *Struct,
+                              const std::string &Field);
+  const QualVec &qualsOfReturn(const CFuncDecl *F);
+  const QualVec &qualsOfParam(const CFuncDecl *F, unsigned Index);
+
+  /// Qualifier variables of an arbitrary expression in a scope (generates
+  /// any constraints the expression implies).
+  QualVec qualsOfExpr(const CExpr *E, const CScope &Scope);
+
+  /// After solve(): may a null value reach this qualifier variable?
+  bool mayBeNull(QualGraph::Node N) const { return Graph.mayBeNull(N); }
+
+  /// Seeds a null source into \p N (used when translating a possibly-null
+  /// symbolic value back to types). \p Reason labels the source node.
+  void seedNull(QualGraph::Node N, const std::string &Reason, SourceLoc Loc);
+
+  /// Adds a plain flow edge (used by alias restoration, Section 4.2).
+  void addFlow(QualGraph::Node From, QualGraph::Node To) {
+    Graph.addFlow(From, To);
+  }
+
+  /// Makes the top-level qualifiers of all pointer variables that the
+  /// points-to analysis places in one equivalence class flow into each
+  /// other (Section 4.2, symbolic-to-typed transition).
+  void unifyAliasClass(
+      const std::vector<std::pair<const CFuncDecl *, std::string>> &Vars);
+
+  QualGraph &graph() { return Graph; }
+  CSema &sema() { return Sema; }
+
+private:
+  /// Number of pointer levels along the spine of \p Ty.
+  static unsigned qualDepth(const CType *Ty);
+
+  /// Builds the qualifier variables for a declared type, applying its
+  /// source annotations.
+  QualVec makeQualsForType(const CType *Ty, const std::string &Description,
+                           SourceLoc Loc);
+
+  /// Top-level flow plus deeper-level invariance, padding with fresh
+  /// nodes where depths differ.
+  void flowInto(const QualVec &From, const QualVec &To);
+
+  void analyzeStmt(const CStmt *S, CScope &Scope);
+  QualVec analyzeCall(const CCall *Call, const CScope &Scope);
+
+  const CProgram &Program;
+  CSema Sema;
+  DiagnosticEngine &Diags;
+  QualOptions Opts;
+  QualGraph Graph;
+  QualSymHook *Hook = nullptr;
+
+  std::map<std::pair<const CFuncDecl *, std::string>, QualVec> VarQuals;
+  std::map<std::pair<const CStructDecl *, std::string>, QualVec> FieldQuals;
+  std::map<const CFuncDecl *, QualVec> ReturnQuals;
+  std::map<std::pair<const CFuncDecl *, unsigned>, QualVec> ParamQuals;
+  std::set<const CFuncDecl *> AnalyzedFuncs;
+  bool GlobalsAnalyzed = false;
+};
+
+} // namespace mix::c
+
+#endif // MIX_QUAL_QUALINFERENCE_H

@@ -1,0 +1,180 @@
+//===--- SignChecker.cpp - Sign-qualifier type checker ----------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sign/SignChecker.h"
+
+using namespace mix;
+
+const SType *SignChecker::error(SourceLoc Loc, const std::string &Message) {
+  Diags.error(Loc, Message);
+  return nullptr;
+}
+
+const SType *SignChecker::expect(SourceLoc Loc, const SType *Found,
+                                 const SType *Expected, const char *What) {
+  if (Types.subtype(Found, Expected))
+    return Expected;
+  return error(Loc, std::string(What) + ": expected " + Expected->str() +
+                        ", got " + Found->str());
+}
+
+const SType *SignChecker::check(const Expr *E, const SignEnv &Gamma) {
+  switch (E->kind()) {
+  case ExprKind::Var: {
+    const auto *V = cast<VarExpr>(E);
+    auto It = Gamma.find(V->name());
+    if (It == Gamma.end())
+      return error(E->loc(), "unbound variable '" + V->name() + "'");
+    return It->second;
+  }
+  case ExprKind::IntLit:
+    return Types.intType(signOfValue(cast<IntLitExpr>(E)->value()));
+  case ExprKind::BoolLit:
+    return Types.boolType();
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    const SType *L = check(B->lhs(), Gamma);
+    const SType *R = check(B->rhs(), Gamma);
+    if (!L || !R)
+      return nullptr;
+    switch (B->op()) {
+    case BinaryOp::Add:
+      if (!L->isInt() || !R->isInt())
+        return error(E->loc(), "'+' requires int operands");
+      return Types.intType(addSigns(L->sign(), R->sign()));
+    case BinaryOp::Sub:
+      if (!L->isInt() || !R->isInt())
+        return error(E->loc(), "'-' requires int operands");
+      return Types.intType(subSigns(L->sign(), R->sign()));
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+      if (!L->isInt() || !R->isInt())
+        return error(E->loc(), "comparison requires int operands");
+      return Types.boolType();
+    case BinaryOp::Eq:
+      if (L->isInt() && R->isInt())
+        return Types.boolType();
+      if (L->isBool() && R->isBool())
+        return Types.boolType();
+      return error(E->loc(), "'=' requires two ints or two bools");
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      if (!L->isBool() || !R->isBool())
+        return error(E->loc(), "boolean operator requires bool operands");
+      return Types.boolType();
+    }
+    return nullptr;
+  }
+  case ExprKind::Not: {
+    const SType *T = check(cast<NotExpr>(E)->sub(), Gamma);
+    if (!T)
+      return nullptr;
+    if (!T->isBool())
+      return error(E->loc(), "'not' requires a bool operand");
+    return Types.boolType();
+  }
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    const SType *C = check(I->cond(), Gamma);
+    if (!C)
+      return nullptr;
+    if (!C->isBool())
+      return error(I->cond()->loc(), "condition must be bool");
+    const SType *T = check(I->thenExpr(), Gamma);
+    const SType *F = check(I->elseExpr(), Gamma);
+    if (!T || !F)
+      return nullptr;
+    const SType *J = Types.join(T, F);
+    if (!J)
+      return error(E->loc(), "branches of 'if' have incompatible types: " +
+                                 T->str() + " vs " + F->str());
+    return J;
+  }
+  case ExprKind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    const SType *Init = check(L->init(), Gamma);
+    if (!Init)
+      return nullptr;
+    if (L->declaredType() &&
+        Types.erase(Init) != L->declaredType())
+      return error(E->loc(),
+                   "let annotation does not match initializer type");
+    SignEnv Extended = Gamma;
+    Extended[L->name()] = Init;
+    return check(L->body(), Extended);
+  }
+  case ExprKind::Ref: {
+    const SType *T = check(cast<RefExpr>(E)->sub(), Gamma);
+    if (!T)
+      return nullptr;
+    // The cell's qualifier is fixed by the initializer — the
+    // flow-insensitive coarseness that symbolic blocks relieve.
+    return Types.refType(T);
+  }
+  case ExprKind::Deref: {
+    const SType *T = check(cast<DerefExpr>(E)->sub(), Gamma);
+    if (!T)
+      return nullptr;
+    if (!T->isRef())
+      return error(E->loc(), "'!' requires a reference");
+    return T->pointee();
+  }
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    const SType *Target = check(A->target(), Gamma);
+    const SType *Value = check(A->value(), Gamma);
+    if (!Target || !Value)
+      return nullptr;
+    if (!Target->isRef())
+      return error(E->loc(), "':=' requires a reference target");
+    if (!expect(E->loc(), Value, Target->pointee(), "assignment"))
+      return nullptr;
+    return Target->pointee();
+  }
+  case ExprKind::Seq: {
+    const auto *S = cast<SeqExpr>(E);
+    if (!check(S->first(), Gamma))
+      return nullptr;
+    return check(S->second(), Gamma);
+  }
+  case ExprKind::Block: {
+    const auto *B = cast<BlockExpr>(E);
+    if (B->blockKind() == BlockKind::Typed)
+      return check(B->body(), Gamma);
+    if (!SymOracle)
+      return error(E->loc(), "symbolic block is not allowed here (no "
+                             "symbolic executor attached)");
+    return SymOracle->stypeOfSymbolicBlock(B, Gamma);
+  }
+  case ExprKind::Fun: {
+    const auto *F = cast<FunExpr>(E);
+    const SType *Param = Types.lift(F->paramType());
+    const SType *DeclaredResult = Types.lift(F->resultType());
+    SignEnv Extended = Gamma;
+    Extended[F->param()] = Param;
+    const SType *Body = check(F->body(), Extended);
+    if (!Body)
+      return nullptr;
+    if (!expect(E->loc(), Body, DeclaredResult, "function result"))
+      return nullptr;
+    return Types.funType(Param, DeclaredResult);
+  }
+  case ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    const SType *Fn = check(A->fn(), Gamma);
+    const SType *Arg = check(A->arg(), Gamma);
+    if (!Fn || !Arg)
+      return nullptr;
+    if (!Fn->isFun())
+      return error(E->loc(), "application of a non-function");
+    if (!expect(E->loc(), Arg, Fn->param(), "argument"))
+      return nullptr;
+    return Fn->result();
+  }
+  }
+  return error(E->loc(), "unhandled expression form");
+}

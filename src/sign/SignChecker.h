@@ -1,0 +1,74 @@
+//===--- SignChecker.h - Sign-qualifier type checker ------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flow-insensitive type checker for the sign-qualified types of
+/// SignTypes.h — the "non-standard type system" of Section 2's "Local
+/// Refinements of Data" example. It is deliberately another off-the-shelf
+/// checker in the sense of the paper: the only MIX-aware element is the
+/// SignSymBlockOracle hook for `{s e s}` blocks, mirroring how the plain
+/// TypeChecker exposes SymBlockOracle. SignMix instantiates the mix rules
+/// for this system, demonstrating that the MIX architecture is generic in
+/// the type system being mixed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_SIGN_SIGNCHECKER_H
+#define MIX_SIGN_SIGNCHECKER_H
+
+#include "lang/Ast.h"
+#include "sign/SignTypes.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <string>
+
+namespace mix {
+
+/// A sign-typing environment.
+using SignEnv = std::map<std::string, const SType *>;
+
+/// The hook by which the sign checker "type checks" a symbolic block.
+class SignSymBlockOracle {
+public:
+  virtual ~SignSymBlockOracle() = default;
+
+  /// Returns the sign-qualified type of `{s e s}` under \p Gamma, or null
+  /// after reporting diagnostics.
+  virtual const SType *stypeOfSymbolicBlock(const BlockExpr *Block,
+                                            const SignEnv &Gamma) = 0;
+};
+
+/// Checks expressions against the sign-qualified type system.
+class SignChecker {
+public:
+  SignChecker(SignTypeContext &Types, DiagnosticEngine &Diags)
+      : Types(Types), Diags(Diags) {}
+
+  void setSymBlockOracle(SignSymBlockOracle *Oracle) { SymOracle = Oracle; }
+
+  /// Derives Gamma |- e : sigma; null (with a diagnostic) when e does not
+  /// check.
+  const SType *check(const Expr *E, const SignEnv &Gamma);
+
+  SignTypeContext &types() { return Types; }
+
+private:
+  const SType *error(SourceLoc Loc, const std::string &Message);
+  /// Checks that \p Found is a subtype of \p Expected, reporting
+  /// \p What on mismatch. Returns Expected on success.
+  const SType *expect(SourceLoc Loc, const SType *Found,
+                      const SType *Expected, const char *What);
+
+  SignTypeContext &Types;
+  DiagnosticEngine &Diags;
+  SignSymBlockOracle *SymOracle = nullptr;
+};
+
+} // namespace mix
+
+#endif // MIX_SIGN_SIGNCHECKER_H

@@ -1,0 +1,195 @@
+//===--- SignTypes.cpp - Sign-qualified types -------------------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sign/SignTypes.h"
+
+using namespace mix;
+
+const char *mix::signQualName(SignQual Q) {
+  switch (Q) {
+  case SignQual::Pos:
+    return "pos";
+  case SignQual::Zero:
+    return "zero";
+  case SignQual::Neg:
+    return "neg";
+  case SignQual::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+SignQual mix::joinSign(SignQual A, SignQual B) {
+  return A == B ? A : SignQual::Unknown;
+}
+
+bool mix::signSubtype(SignQual A, SignQual B) {
+  return A == B || B == SignQual::Unknown;
+}
+
+SignQual mix::signOfValue(long long V) {
+  if (V > 0)
+    return SignQual::Pos;
+  if (V < 0)
+    return SignQual::Neg;
+  return SignQual::Zero;
+}
+
+SignQual mix::addSigns(SignQual A, SignQual B) {
+  if (A == SignQual::Zero)
+    return B;
+  if (B == SignQual::Zero)
+    return A;
+  if (A == B && (A == SignQual::Pos || A == SignQual::Neg))
+    return A; // pos + pos = pos, neg + neg = neg
+  return SignQual::Unknown;
+}
+
+SignQual mix::subSigns(SignQual A, SignQual B) {
+  // A - B == A + (-B).
+  SignQual NegB = SignQual::Unknown;
+  switch (B) {
+  case SignQual::Pos:
+    NegB = SignQual::Neg;
+    break;
+  case SignQual::Neg:
+    NegB = SignQual::Pos;
+    break;
+  case SignQual::Zero:
+    NegB = SignQual::Zero;
+    break;
+  case SignQual::Unknown:
+    NegB = SignQual::Unknown;
+    break;
+  }
+  return addSigns(A, NegB);
+}
+
+std::string SType::str() const {
+  switch (K) {
+  case Kind::Int:
+    return Q == SignQual::Unknown ? "int"
+                                  : std::string(signQualName(Q)) + " int";
+  case Kind::Bool:
+    return "bool";
+  case Kind::Ref: {
+    std::string Inner = pointee()->str();
+    if (pointee()->isFun())
+      Inner = "(" + Inner + ")";
+    return Inner + " ref";
+  }
+  case Kind::Fun: {
+    std::string Lhs = param()->str();
+    if (param()->isFun())
+      Lhs = "(" + Lhs + ")";
+    return Lhs + " -> " + result()->str();
+  }
+  }
+  return "<invalid>";
+}
+
+const SType *SignTypeContext::make(SType::Kind K, SignQual Q,
+                                   const SType *Arg0, const SType *Arg1) {
+  auto Key = std::make_tuple((int)K, (int)Q, Arg0, Arg1);
+  auto It = Interned.find(Key);
+  if (It != Interned.end())
+    return It->second;
+  Owned.push_back(std::unique_ptr<SType>(new SType(K, Q, Arg0, Arg1)));
+  const SType *S = Owned.back().get();
+  Interned.emplace(Key, S);
+  return S;
+}
+
+const SType *SignTypeContext::intType(SignQual Q) {
+  return make(SType::Kind::Int, Q, nullptr, nullptr);
+}
+
+const SType *SignTypeContext::boolType() {
+  return make(SType::Kind::Bool, SignQual::Unknown, nullptr, nullptr);
+}
+
+const SType *SignTypeContext::refType(const SType *Pointee) {
+  return make(SType::Kind::Ref, SignQual::Unknown, Pointee, nullptr);
+}
+
+const SType *SignTypeContext::funType(const SType *Param,
+                                      const SType *Result) {
+  return make(SType::Kind::Fun, SignQual::Unknown, Param, Result);
+}
+
+const Type *SignTypeContext::erase(const SType *S) {
+  switch (S->kind()) {
+  case SType::Kind::Int:
+    return Plain.intType();
+  case SType::Kind::Bool:
+    return Plain.boolType();
+  case SType::Kind::Ref:
+    return Plain.refType(erase(S->pointee()));
+  case SType::Kind::Fun:
+    return Plain.funType(erase(S->param()), erase(S->result()));
+  }
+  return Plain.intType();
+}
+
+const SType *SignTypeContext::lift(const Type *T) {
+  switch (T->kind()) {
+  case TypeKind::Int:
+    return intType(SignQual::Unknown);
+  case TypeKind::Bool:
+    return boolType();
+  case TypeKind::Ref:
+    return refType(lift(T->pointee()));
+  case TypeKind::Fun:
+    return funType(lift(T->param()), lift(T->result()));
+  }
+  return intType(SignQual::Unknown);
+}
+
+bool SignTypeContext::subtype(const SType *A, const SType *B) {
+  if (A == B)
+    return true;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case SType::Kind::Int:
+    return signSubtype(A->sign(), B->sign());
+  case SType::Kind::Bool:
+    return true;
+  case SType::Kind::Ref:
+    // Mutable cells are invariant.
+    return A->pointee() == B->pointee();
+  case SType::Kind::Fun:
+    return subtype(B->param(), A->param()) &&
+           subtype(A->result(), B->result());
+  }
+  return false;
+}
+
+const SType *SignTypeContext::join(const SType *A, const SType *B) {
+  if (A == B)
+    return A;
+  if (A->kind() != B->kind())
+    return nullptr;
+  switch (A->kind()) {
+  case SType::Kind::Int:
+    return intType(joinSign(A->sign(), B->sign()));
+  case SType::Kind::Bool:
+    return boolType();
+  case SType::Kind::Ref:
+    // Invariant: joinable only when identical (handled above).
+    return nullptr;
+  case SType::Kind::Fun: {
+    // Meet on parameters would be needed in general; require identical
+    // parameters and join results, which covers the language's use.
+    if (A->param() != B->param())
+      return nullptr;
+    const SType *R = join(A->result(), B->result());
+    return R ? funType(A->param(), R) : nullptr;
+  }
+  }
+  return nullptr;
+}

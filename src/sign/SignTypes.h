@@ -1,0 +1,133 @@
+//===--- SignTypes.h - Sign-qualified types ---------------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sign qualifier system from Section 2's "Local Refinements of
+/// Data": "suppose we introduce a type qualifier system that
+/// distinguishes the sign of an integer as either positive, negative,
+/// zero, or unknown." This header defines the qualified types
+///
+///   sigma ::= q int | bool | sigma ref | sigma -> sigma
+///   q     ::= pos | zero | neg | unknown
+///
+/// with the subtyping order q <= unknown, used by SignChecker and by the
+/// sign-flavoured mix rules in SignMix. Interned in SignTypeContext, so
+/// equality is pointer equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_SIGN_SIGNTYPES_H
+#define MIX_SIGN_SIGNTYPES_H
+
+#include "lang/Type.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mix {
+
+/// The sign qualifier lattice: pos, zero, neg below unknown.
+enum class SignQual { Pos, Zero, Neg, Unknown };
+
+const char *signQualName(SignQual Q);
+
+/// Least upper bound.
+SignQual joinSign(SignQual A, SignQual B);
+/// Subtyping: A <= B iff A == B or B == Unknown.
+bool signSubtype(SignQual A, SignQual B);
+/// The sign of a known integer.
+SignQual signOfValue(long long V);
+/// The sign of A + B (the abstract addition table).
+SignQual addSigns(SignQual A, SignQual B);
+/// The sign of A - B.
+SignQual subSigns(SignQual A, SignQual B);
+
+/// A sign-qualified type. Obtain from SignTypeContext; compare with ==.
+class SType {
+public:
+  enum class Kind { Int, Bool, Ref, Fun };
+
+  Kind kind() const { return K; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isRef() const { return K == Kind::Ref; }
+  bool isFun() const { return K == Kind::Fun; }
+
+  /// For Int: the sign qualifier.
+  SignQual sign() const {
+    assert(isInt() && "sign() on non-int");
+    return Q;
+  }
+  const SType *pointee() const {
+    assert(isRef() && "pointee() on non-ref");
+    return Arg0;
+  }
+  const SType *param() const {
+    assert(isFun() && "param() on non-fun");
+    return Arg0;
+  }
+  const SType *result() const {
+    assert(isFun() && "result() on non-fun");
+    return Arg1;
+  }
+
+  /// Renders e.g. "pos int ref" (unknown int prints as "int").
+  std::string str() const;
+
+private:
+  friend class SignTypeContext;
+  SType(Kind K, SignQual Q, const SType *Arg0, const SType *Arg1)
+      : K(K), Q(Q), Arg0(Arg0), Arg1(Arg1) {}
+
+  Kind K;
+  SignQual Q;
+  const SType *Arg0;
+  const SType *Arg1;
+};
+
+/// Owns and interns sign-qualified types, and converts to/from the plain
+/// types of the core language.
+class SignTypeContext {
+public:
+  explicit SignTypeContext(TypeContext &Plain) : Plain(Plain) {}
+  SignTypeContext(const SignTypeContext &) = delete;
+  SignTypeContext &operator=(const SignTypeContext &) = delete;
+
+  const SType *intType(SignQual Q);
+  const SType *boolType();
+  const SType *refType(const SType *Pointee);
+  const SType *funType(const SType *Param, const SType *Result);
+
+  /// Erases qualifiers, producing the plain structural type.
+  const Type *erase(const SType *S);
+  /// Lifts a plain type, giving every int the Unknown qualifier.
+  const SType *lift(const Type *T);
+
+  /// Structural subtyping: covariant in int qualifiers at immediate
+  /// positions, invariant under ref, standard contra/co for functions.
+  bool subtype(const SType *A, const SType *B);
+
+  /// Least upper bound; null when the structures are incompatible.
+  const SType *join(const SType *A, const SType *B);
+
+  TypeContext &plain() { return Plain; }
+
+private:
+  const SType *make(SType::Kind K, SignQual Q, const SType *Arg0,
+                    const SType *Arg1);
+
+  TypeContext &Plain;
+  std::vector<std::unique_ptr<SType>> Owned;
+  std::map<std::tuple<int, int, const SType *, const SType *>, const SType *>
+      Interned;
+};
+
+} // namespace mix
+
+#endif // MIX_SIGN_SIGNTYPES_H

@@ -1,0 +1,579 @@
+//===--- LinearArith.cpp - Linear integer arithmetic theory ---------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/LinearArith.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <set>
+
+using namespace mix::smt;
+
+std::string LinConstraint::str() const {
+  std::string Out;
+  bool First = true;
+  for (const auto &[Var, Coeff] : Coeffs) {
+    if (!First)
+      Out += " + ";
+    Out += std::to_string(Coeff) + "*x" + std::to_string(Var);
+    First = false;
+  }
+  if (First)
+    Out += "0";
+  switch (Rel) {
+  case LinRel::Eq:
+    Out += " = ";
+    break;
+  case LinRel::Le:
+    Out += " <= ";
+    break;
+  case LinRel::Ne:
+    Out += " != ";
+    break;
+  }
+  Out += std::to_string(Rhs);
+  return Out;
+}
+
+namespace {
+
+/// Floor division for possibly negative operands.
+long long floorDiv(long long A, long long B) {
+  assert(B > 0 && "floorDiv expects a positive divisor");
+  long long Q = A / B;
+  if (A % B != 0 && A < 0)
+    --Q;
+  return Q;
+}
+
+/// A working constraint during elimination: the constraint plus the set of
+/// input constraints it was derived from (for unsat cores).
+struct WorkItem {
+  LinConstraint C;
+  std::set<unsigned> Sources;
+};
+
+/// Outcome of normalizing a single constraint.
+enum class NormStatus { Keep, Trivial, Contradiction, Overflow };
+
+/// Divides through by the gcd of the coefficients and tightens integer
+/// bounds; detects trivially true/false constraints.
+NormStatus normalize(LinConstraint &C, const LiaOptions &Opts) {
+  for (auto It = C.Coeffs.begin(); It != C.Coeffs.end();) {
+    if (It->second == 0)
+      It = C.Coeffs.erase(It);
+    else
+      ++It;
+  }
+  if (C.Coeffs.empty()) {
+    bool Holds = false;
+    switch (C.Rel) {
+    case LinRel::Eq:
+      Holds = C.Rhs == 0;
+      break;
+    case LinRel::Le:
+      Holds = 0 <= C.Rhs;
+      break;
+    case LinRel::Ne:
+      Holds = C.Rhs != 0;
+      break;
+    }
+    return Holds ? NormStatus::Trivial : NormStatus::Contradiction;
+  }
+
+  long long G = 0;
+  for (const auto &[Var, Coeff] : C.Coeffs) {
+    (void)Var;
+    G = std::gcd(G, Coeff < 0 ? -Coeff : Coeff);
+    if (Coeff > Opts.MaxCoefficient || Coeff < -Opts.MaxCoefficient)
+      return NormStatus::Overflow;
+  }
+  assert(G > 0 && "gcd of nonempty coefficient set must be positive");
+  if (G > 1) {
+    switch (C.Rel) {
+    case LinRel::Eq:
+      // gcd divisibility test: g | rhs or the equality has no int solution.
+      if (C.Rhs % G != 0)
+        return NormStatus::Contradiction;
+      C.Rhs /= G;
+      break;
+    case LinRel::Le:
+      // Integer tightening: sum (c/g) x <= floor(rhs/g).
+      C.Rhs = floorDiv(C.Rhs, G);
+      break;
+    case LinRel::Ne:
+      if (C.Rhs % G != 0)
+        return NormStatus::Trivial; // lhs always divisible, rhs not: holds
+      C.Rhs /= G;
+      break;
+    }
+    for (auto &[Var, Coeff] : C.Coeffs) {
+      (void)Var;
+      Coeff /= G;
+    }
+  }
+  return NormStatus::Keep;
+}
+
+/// One step of the elimination history, for model reconstruction.
+struct ElimEvent {
+  enum class Kind { Substitution, FourierMotzkin } K;
+  unsigned Var = 0;
+  /// Substitution: Var appears with coefficient +-1 in Def (Rel == Eq).
+  long long VarCoeff = 0;
+  LinConstraint Def;
+  /// FourierMotzkin: the Le constraints mentioning Var, split by the
+  /// sign of its coefficient.
+  std::vector<LinConstraint> Uppers; // coeff > 0: a*x + rest <= rhs
+  std::vector<LinConstraint> Lowers; // coeff < 0
+};
+
+/// The elimination engine for conjunctions of Eq/Le constraints.
+class Eliminator {
+public:
+  Eliminator(const LiaOptions &Opts) : Opts(Opts) {}
+
+  /// Adds a constraint; returns false when a contradiction is found
+  /// immediately (core recorded).
+  bool add(WorkItem Item) {
+    switch (normalize(Item.C, Opts)) {
+    case NormStatus::Trivial:
+      return true;
+    case NormStatus::Contradiction:
+      CoreOut.assign(Item.Sources.begin(), Item.Sources.end());
+      return false;
+    case NormStatus::Overflow:
+      HitResourceLimit = true;
+      return true;
+    case NormStatus::Keep:
+      Work.push_back(std::move(Item));
+      return true;
+    }
+    return true;
+  }
+
+  LiaResult run() {
+    for (;;) {
+      if (Failed) {
+        LiaResult R;
+        R.Verdict = LiaVerdict::Unsat;
+        R.Core = std::move(CoreOut);
+        return R;
+      }
+      if (HitResourceLimit || Work.size() > Opts.MaxConstraints)
+        return LiaResult();
+
+      if (substituteOneEquality())
+        continue;
+      if (splitOneEquality())
+        continue;
+
+      unsigned Var = 0;
+      if (!pickVariable(Var)) {
+        LiaResult R;
+        R.Verdict = LiaVerdict::Sat;
+        return R; // no variables left anywhere
+      }
+      if (!eliminate(Var)) {
+        LiaResult R;
+        R.Verdict = LiaVerdict::Unsat;
+        R.Core = std::move(CoreOut);
+        return R;
+      }
+    }
+  }
+
+private:
+  /// Finds an equality with a +-1 coefficient and substitutes that variable
+  /// away. Returns true if a substitution happened. On contradiction sets
+  /// CoreOut and forces run() to report Unsat via eliminate()'s path --
+  /// so instead contradictions here are recorded by re-adding.
+  bool substituteOneEquality() {
+    for (size_t I = 0; I != Work.size(); ++I) {
+      if (Work[I].C.Rel != LinRel::Eq)
+        continue;
+      unsigned Var = 0;
+      long long VarCoeff = 0;
+      for (const auto &[V, Coeff] : Work[I].C.Coeffs) {
+        if (Coeff == 1 || Coeff == -1) {
+          Var = V;
+          VarCoeff = Coeff;
+          break;
+        }
+      }
+      if (VarCoeff == 0)
+        continue;
+
+      // x = (Rhs - rest) / VarCoeff; with |VarCoeff| == 1 this is integral.
+      WorkItem Def = std::move(Work[I]);
+      Work.erase(Work.begin() + I);
+      ElimEvent Event;
+      Event.K = ElimEvent::Kind::Substitution;
+      Event.Var = Var;
+      Event.VarCoeff = VarCoeff;
+      Event.Def = Def.C;
+      History.push_back(std::move(Event));
+      if (!substitute(Var, VarCoeff, Def))
+        return true; // contradiction recorded; Work left with Failed flag
+      return true;
+    }
+    return false;
+  }
+
+  /// Replaces every occurrence of \p Var using the defining equality
+  /// \p Def (where Var has coefficient \p VarCoeff, +-1). Returns false on
+  /// contradiction (CoreOut set) and flags failure.
+  bool substitute(unsigned Var, long long VarCoeff, const WorkItem &Def) {
+    std::vector<WorkItem> Old;
+    Old.swap(Work);
+    for (WorkItem &Item : Old) {
+      auto It = Item.C.Coeffs.find(Var);
+      if (It == Item.C.Coeffs.end()) {
+        Work.push_back(std::move(Item));
+        continue;
+      }
+      long long K = It->second;
+      Item.C.Coeffs.erase(It);
+      // Item + (K / VarCoeff) * (Def.Rhs - Def.lhs) adjustments:
+      // lhs_item := lhs_item - K*x; x = VarCoeff*(Rhs_def - rest_def)
+      // (since VarCoeff is +-1, 1/VarCoeff == VarCoeff).
+      long long Scale = K * VarCoeff;
+      bool Overflow = false;
+      for (const auto &[V, C] : Def.C.Coeffs) {
+        if (V == Var)
+          continue;
+        __int128 NewC = (__int128)Item.C.Coeffs[V] - (__int128)Scale * C;
+        if (NewC > Opts.MaxCoefficient || NewC < -Opts.MaxCoefficient) {
+          Overflow = true;
+          break;
+        }
+        Item.C.Coeffs[V] = (long long)NewC;
+      }
+      __int128 NewRhs = (__int128)Item.C.Rhs - (__int128)Scale * Def.C.Rhs;
+      if (Overflow || NewRhs > Opts.MaxCoefficient ||
+          NewRhs < -Opts.MaxCoefficient) {
+        HitResourceLimit = true;
+        Work.push_back(std::move(Item));
+        continue;
+      }
+      Item.C.Rhs = (long long)NewRhs;
+      Item.Sources.insert(Def.Sources.begin(), Def.Sources.end());
+      if (!add(std::move(Item))) {
+        Failed = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Converts a remaining (non-unit-coefficient) equality into a pair of
+  /// inequalities. Sound; loses only integer-divisibility precision that
+  /// normalize() has already exploited.
+  bool splitOneEquality() {
+    for (size_t I = 0; I != Work.size(); ++I) {
+      if (Work[I].C.Rel != LinRel::Eq)
+        continue;
+      WorkItem Item = std::move(Work[I]);
+      Work.erase(Work.begin() + I);
+      WorkItem LeSide = Item;
+      LeSide.C.Rel = LinRel::Le;
+      WorkItem GeSide = Item;
+      GeSide.C.Rel = LinRel::Le;
+      for (auto &[V, C] : GeSide.C.Coeffs) {
+        (void)V;
+        C = -C;
+      }
+      GeSide.C.Rhs = -GeSide.C.Rhs;
+      if (!add(std::move(LeSide)) || !add(std::move(GeSide))) {
+        Failed = true;
+        return true;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  /// Chooses the variable whose elimination produces the fewest new
+  /// constraints (classic FM heuristic). Returns false when no constraint
+  /// mentions a variable.
+  bool pickVariable(unsigned &VarOut) {
+    std::map<unsigned, std::pair<unsigned, unsigned>> PosNeg;
+    for (const WorkItem &Item : Work)
+      for (const auto &[V, C] : Item.C.Coeffs) {
+        if (C > 0)
+          ++PosNeg[V].first;
+        else
+          ++PosNeg[V].second;
+      }
+    if (PosNeg.empty())
+      return false;
+    unsigned Best = PosNeg.begin()->first;
+    unsigned long long BestCost = ~0ULL;
+    for (const auto &[V, PN] : PosNeg) {
+      unsigned long long Cost =
+          (unsigned long long)PN.first * PN.second;
+      if (Cost < BestCost) {
+        BestCost = Cost;
+        Best = V;
+      }
+    }
+    VarOut = Best;
+    return true;
+  }
+
+  /// Fourier–Motzkin elimination of \p Var. Returns false on contradiction.
+  bool eliminate(unsigned Var) {
+    std::vector<WorkItem> Upper, Lower, Rest;
+    for (WorkItem &Item : Work) {
+      assert(Item.C.Rel == LinRel::Le && "only Le constraints at FM stage");
+      auto It = Item.C.Coeffs.find(Var);
+      if (It == Item.C.Coeffs.end())
+        Rest.push_back(std::move(Item));
+      else if (It->second > 0)
+        Upper.push_back(std::move(Item)); // a*x + e <= b, a > 0
+      else
+        Lower.push_back(std::move(Item)); // -a*x + e <= b, a > 0
+    }
+    Work = std::move(Rest);
+
+    ElimEvent Event;
+    Event.K = ElimEvent::Kind::FourierMotzkin;
+    Event.Var = Var;
+    for (const WorkItem &U : Upper)
+      Event.Uppers.push_back(U.C);
+    for (const WorkItem &L : Lower)
+      Event.Lowers.push_back(L.C);
+    History.push_back(std::move(Event));
+
+    for (const WorkItem &U : Upper) {
+      long long A = U.C.Coeffs.at(Var);
+      for (const WorkItem &L : Lower) {
+        long long B = -L.C.Coeffs.at(Var);
+        assert(A > 0 && B > 0 && "FM pair signs wrong");
+        // B*(U) + A*(L): coefficient of Var cancels.
+        WorkItem Combined;
+        Combined.Sources = U.Sources;
+        Combined.Sources.insert(L.Sources.begin(), L.Sources.end());
+        Combined.C.Rel = LinRel::Le;
+        bool Overflow = false;
+        auto Accumulate = [&](const LinConstraint &C, long long Mult) {
+          for (const auto &[V, Coeff] : C.Coeffs) {
+            if (V == Var)
+              continue;
+            __int128 NewC =
+                (__int128)Combined.C.Coeffs[V] + (__int128)Mult * Coeff;
+            if (NewC > Opts.MaxCoefficient || NewC < -Opts.MaxCoefficient) {
+              Overflow = true;
+              return;
+            }
+            Combined.C.Coeffs[V] = (long long)NewC;
+          }
+        };
+        Accumulate(U.C, B);
+        if (!Overflow)
+          Accumulate(L.C, A);
+        __int128 NewRhs =
+            (__int128)B * U.C.Rhs + (__int128)A * L.C.Rhs;
+        if (Overflow || NewRhs > Opts.MaxCoefficient ||
+            NewRhs < -Opts.MaxCoefficient) {
+          HitResourceLimit = true;
+          continue;
+        }
+        Combined.C.Rhs = (long long)NewRhs;
+        if (!add(std::move(Combined)))
+          return false;
+        if (Work.size() > Opts.MaxConstraints) {
+          HitResourceLimit = true;
+          return true;
+        }
+      }
+    }
+    return !Failed;
+  }
+
+public:
+  bool Failed = false;
+  bool HitResourceLimit = false;
+  std::vector<unsigned> CoreOut;
+
+  /// After a Sat run(): reconstructs an integer model by replaying the
+  /// elimination history in reverse — later-eliminated variables are
+  /// ground by the time earlier ones need them. Returns false when an
+  /// integer gap (a hole the rational relaxation glossed over) blocks
+  /// extraction.
+  bool extractModel(std::map<unsigned, long long> &Model) const {
+    auto RestOf = [&Model](const LinConstraint &C, unsigned Var) {
+      long long Rest = 0;
+      for (const auto &[V, Coeff] : C.Coeffs) {
+        if (V == Var)
+          continue;
+        auto It = Model.find(V);
+        Rest += Coeff * (It == Model.end() ? 0 : It->second);
+      }
+      return Rest;
+    };
+
+    for (auto It = History.rbegin(), E = History.rend(); It != E; ++It) {
+      const ElimEvent &Ev = *It;
+      if (Ev.K == ElimEvent::Kind::Substitution) {
+        // Var*VarCoeff + rest = Rhs, |VarCoeff| == 1:
+        // Var = (Rhs - rest) * VarCoeff.
+        Model[Ev.Var] = (Ev.Def.Rhs - RestOf(Ev.Def, Ev.Var)) * Ev.VarCoeff;
+        continue;
+      }
+      // Fourier-Motzkin: intersect the bounds under the current
+      // assignment and pick an integer (toward zero).
+      bool HasHi = false, HasLo = false;
+      long long Hi = 0, Lo = 0;
+      for (const LinConstraint &U : Ev.Uppers) {
+        long long A = U.Coeffs.at(Ev.Var);
+        long long Bound = floorDiv(U.Rhs - RestOf(U, Ev.Var), A);
+        Hi = HasHi ? std::min(Hi, Bound) : Bound;
+        HasHi = true;
+      }
+      for (const LinConstraint &L : Ev.Lowers) {
+        long long B = -L.Coeffs.at(Ev.Var); // B > 0
+        // -B*x + rest <= rhs  ==>  x >= ceil((rest - rhs) / B).
+        long long Bound = -floorDiv(L.Rhs - RestOf(L, Ev.Var), B);
+        Lo = HasLo ? std::max(Lo, Bound) : Bound;
+        HasLo = true;
+      }
+      if (HasHi && HasLo && Lo > Hi)
+        return false; // an integer gap: extraction fails, Sat stands
+      long long Value = 0;
+      if (HasLo && Lo > 0)
+        Value = Lo;
+      else if (HasHi && Hi < 0)
+        Value = Hi;
+      Model[Ev.Var] = Value;
+    }
+    return true;
+  }
+
+private:
+  const LiaOptions &Opts;
+  std::vector<WorkItem> Work;
+  std::vector<ElimEvent> History;
+};
+
+/// Recursive driver that case-splits disequalities, then runs elimination.
+class ConjunctionChecker {
+public:
+  ConjunctionChecker(const std::vector<LinConstraint> &Input,
+                     const LiaOptions &Opts)
+      : Input(Input), Opts(Opts) {}
+
+  LiaResult check() {
+    std::vector<WorkItem> EqLe;
+    std::vector<WorkItem> Nes;
+    for (unsigned I = 0; I != Input.size(); ++I) {
+      WorkItem Item;
+      Item.C = Input[I];
+      Item.Sources = {I};
+      if (Item.C.Rel == LinRel::Ne)
+        Nes.push_back(std::move(Item));
+      else
+        EqLe.push_back(std::move(Item));
+    }
+    if (Nes.size() > Opts.MaxDisequalitySplits)
+      return LiaResult();
+    return split(EqLe, Nes, 0);
+  }
+
+private:
+  /// Splits Nes[Index..] into strict < / > branches. Unsat only when every
+  /// branch is unsat; the core is the union of branch cores.
+  LiaResult split(std::vector<WorkItem> &EqLe, std::vector<WorkItem> &Nes,
+                  size_t Index) {
+    if (Index == Nes.size())
+      return runElimination(EqLe);
+
+    // Constant disequalities are decided directly.
+    WorkItem &Ne = Nes[Index];
+    LinConstraint Normalized = Ne.C;
+    switch (normalize(Normalized, Opts)) {
+    case NormStatus::Trivial:
+      return split(EqLe, Nes, Index + 1);
+    case NormStatus::Contradiction: {
+      LiaResult R;
+      R.Verdict = LiaVerdict::Unsat;
+      R.Core.assign(Ne.Sources.begin(), Ne.Sources.end());
+      return R;
+    }
+    case NormStatus::Overflow:
+      return LiaResult();
+    case NormStatus::Keep:
+      break;
+    }
+
+    std::set<unsigned> MergedCore;
+    bool SawUnknown = false;
+    for (int Branch = 0; Branch != 2; ++Branch) {
+      WorkItem Strict;
+      Strict.Sources = Ne.Sources;
+      Strict.C.Rel = LinRel::Le;
+      if (Branch == 0) {
+        // lhs < rhs  ==>  lhs <= rhs - 1
+        Strict.C.Coeffs = Normalized.Coeffs;
+        Strict.C.Rhs = Normalized.Rhs - 1;
+      } else {
+        // lhs > rhs  ==>  -lhs <= -rhs - 1
+        for (const auto &[V, C] : Normalized.Coeffs)
+          Strict.C.Coeffs[V] = -C;
+        Strict.C.Rhs = -Normalized.Rhs - 1;
+      }
+      EqLe.push_back(std::move(Strict));
+      LiaResult R = split(EqLe, Nes, Index + 1);
+      EqLe.pop_back();
+      if (R.Verdict == LiaVerdict::Sat)
+        return R;
+      if (R.Verdict == LiaVerdict::Unknown)
+        SawUnknown = true;
+      else
+        MergedCore.insert(R.Core.begin(), R.Core.end());
+    }
+    if (SawUnknown)
+      return LiaResult();
+    LiaResult R;
+    R.Verdict = LiaVerdict::Unsat;
+    R.Core.assign(MergedCore.begin(), MergedCore.end());
+    return R;
+  }
+
+  LiaResult runElimination(const std::vector<WorkItem> &EqLe) {
+    Eliminator E(Opts);
+    auto UnsatWithCore = [&E] {
+      LiaResult R;
+      R.Verdict = LiaVerdict::Unsat;
+      R.Core = std::move(E.CoreOut);
+      return R;
+    };
+    for (const WorkItem &Item : EqLe)
+      if (!E.add(Item))
+        return UnsatWithCore();
+    if (E.Failed)
+      return UnsatWithCore();
+    LiaResult R = E.run();
+    if (R.Verdict == LiaVerdict::Sat && E.HitResourceLimit)
+      return LiaResult();
+    if (R.Verdict == LiaVerdict::Sat)
+      R.HasModel = E.extractModel(R.Model);
+    return R;
+  }
+
+  const std::vector<LinConstraint> &Input;
+  const LiaOptions &Opts;
+};
+
+} // namespace
+
+LiaResult mix::smt::checkLinearConjunction(
+    const std::vector<LinConstraint> &Constraints, const LiaOptions &Opts) {
+  ConjunctionChecker Checker(Constraints, Opts);
+  return Checker.check();
+}

@@ -1,0 +1,120 @@
+//===--- SmtSolver.h - DPLL(T) SMT facade -----------------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solver interface the rest of the project uses — the stand-in for
+/// STP in the paper's prototype. Satisfiability of quantifier-free
+/// formulas over booleans and linear integer arithmetic is decided with a
+/// lazy DPLL(T) loop: Tseitin encoding to CNF, CDCL SAT search, and
+/// theory-checking of the integer atoms in each propositional model, with
+/// unsat cores turned into blocking clauses.
+///
+/// If-then-else integer terms (from the SEIf-Defer rule and the
+/// null-pointer encoding of Section 4.1) are lowered to fresh variables
+/// with guarded defining equations.
+///
+/// Three-valued results: Unknown arises only from resource caps; every
+/// client in this project treats Unknown in the conservative direction
+/// (possible path is explored, exhaustiveness is rejected, a warning is
+/// kept).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_SOLVER_SMTSOLVER_H
+#define MIX_SOLVER_SMTSOLVER_H
+
+#include "solver/LinearArith.h"
+#include "solver/Term.h"
+
+#include <cstdint>
+
+namespace mix::smt {
+
+/// Verdict of a satisfiability query.
+enum class SolveResult { Sat, Unsat, Unknown };
+
+/// A satisfying assignment for a Sat query. Variables not mentioned were
+/// unconstrained (any value works; treat as 0/false). Complete is false
+/// when integer-model reconstruction hit a gap the rational relaxation
+/// glossed over — the Sat verdict still stands, but the integer values
+/// are unavailable.
+struct SmtModel {
+  std::map<unsigned, long long> Ints;
+  std::map<unsigned, bool> Bools;
+  bool Complete = true;
+
+  long long intValue(unsigned Var) const {
+    auto It = Ints.find(Var);
+    return It == Ints.end() ? 0 : It->second;
+  }
+  bool boolValue(unsigned Var) const {
+    auto It = Bools.find(Var);
+    return It != Bools.end() && It->second;
+  }
+};
+
+/// Configuration for SmtSolver.
+struct SmtOptions {
+  LiaOptions Lia;
+  /// Bound on SAT-model / theory-check round trips per query.
+  unsigned MaxTheoryIterations = 50000;
+};
+
+/// One-shot and reusable SMT queries over a TermArena.
+///
+/// The solver object is stateless between queries apart from cumulative
+/// statistics, so a single instance can serve an entire analysis run.
+class SmtSolver {
+public:
+  explicit SmtSolver(TermArena &Arena, SmtOptions Opts = SmtOptions())
+      : Arena(Arena), Opts(Opts) {}
+
+  /// Is \p Formula (bool sort) satisfiable? When \p ModelOut is non-null
+  /// and the answer is Sat, it receives a satisfying assignment.
+  SolveResult checkSat(const Term *Formula, SmtModel *ModelOut = nullptr);
+
+  /// Convenience: true iff the formula is definitely unsatisfiable.
+  /// Unknown maps to false — the conservative direction for feasibility
+  /// pruning (an Unknown path is still explored).
+  bool isDefinitelyUnsat(const Term *Formula) {
+    return checkSat(Formula) == SolveResult::Unsat;
+  }
+
+  /// Convenience: true iff the formula is definitely valid (a tautology).
+  /// This implements the paper's exhaustive(g1, ..., gn) check: the
+  /// disjunction of path conditions must be a tautology. Unknown maps to
+  /// false — the conservative direction (exhaustiveness is rejected).
+  bool isDefinitelyValid(const Term *Formula) {
+    return checkSat(Arena.notTerm(Formula)) == SolveResult::Unsat;
+  }
+
+  /// Convenience: true iff the formula may be satisfiable (Sat or
+  /// Unknown) — the conservative answer for "could this error occur".
+  bool isPossiblySat(const Term *Formula) {
+    return checkSat(Formula) != SolveResult::Unsat;
+  }
+
+  /// Cumulative statistics across queries.
+  struct Stats {
+    uint64_t Queries = 0;
+    uint64_t SatCalls = 0;
+    uint64_t TheoryChecks = 0;
+    uint64_t BlockedModels = 0;
+  };
+  const Stats &stats() const { return Statistics; }
+
+  TermArena &arena() { return Arena; }
+
+private:
+  TermArena &Arena;
+  SmtOptions Opts;
+  Stats Statistics;
+};
+
+} // namespace mix::smt
+
+#endif // MIX_SOLVER_SMTSOLVER_H

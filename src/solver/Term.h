@@ -1,0 +1,187 @@
+//===--- Term.h - Solver term language --------------------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The term language of the SMT-lite solver used throughout the project.
+/// The paper's prototype used STP; this is our from-scratch stand-in. The
+/// fragment is what symbolic execution needs: linear integer arithmetic,
+/// booleans, and if-then-else terms (for the SEIf-Defer rule and the
+/// null-pointer modelling of Section 4.1).
+///
+/// Terms are hash-consed in a TermArena: structurally equal terms are
+/// pointer-equal, so clients can use pointer identity for the syntactic
+/// equivalence tests the paper's Overwrite-Ok rule needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_SOLVER_TERM_H
+#define MIX_SOLVER_TERM_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mix::smt {
+
+/// Term sorts. The solver is two-sorted.
+enum class Sort { Bool, Int };
+
+/// Term constructors.
+enum class TermKind {
+  // Integer-sorted terms.
+  IntConst, ///< Integer literal.
+  IntVar,   ///< Free integer variable (also used for opaque terms).
+  Add,      ///< Binary addition.
+  Sub,      ///< Binary subtraction.
+  Neg,      ///< Unary negation.
+  MulConst, ///< Multiplication by a constant (Value * operand 0).
+  IteInt,   ///< if-then-else over integers: Ops = {cond, then, else}.
+
+  // Boolean-sorted terms.
+  BoolConst, ///< true / false.
+  BoolVar,   ///< Free boolean variable.
+  EqInt,     ///< Integer equality.
+  Lt,        ///< Integer strict less-than.
+  Le,        ///< Integer less-or-equal.
+  EqBool,    ///< Boolean equivalence.
+  Not,
+  And,
+  Or,
+  Implies,
+  IteBool, ///< if-then-else over booleans: Ops = {cond, then, else}.
+};
+
+/// A hash-consed, immutable term. Build via TermArena; compare with ==.
+class Term {
+public:
+  TermKind kind() const { return Kind; }
+  Sort sort() const { return TermSort; }
+
+  /// Literal value for IntConst, multiplier for MulConst, 0/1 for BoolConst.
+  long long value() const { return Value; }
+
+  /// Variable id for IntVar / BoolVar.
+  unsigned varId() const {
+    assert((Kind == TermKind::IntVar || Kind == TermKind::BoolVar) &&
+           "varId() on non-variable term");
+    return static_cast<unsigned>(Value);
+  }
+
+  unsigned numOperands() const { return static_cast<unsigned>(Ops.size()); }
+  const Term *operand(unsigned I) const {
+    assert(I < Ops.size() && "operand index out of range");
+    return Ops[I];
+  }
+
+  bool isBool() const { return TermSort == Sort::Bool; }
+  bool isInt() const { return TermSort == Sort::Int; }
+
+  /// Renders the term in SMT-LIB-flavoured prefix syntax (for debugging
+  /// and tests).
+  std::string str() const;
+
+private:
+  friend class TermArena;
+  Term(TermKind Kind, Sort TermSort, long long Value,
+       std::vector<const Term *> Ops)
+      : Kind(Kind), TermSort(TermSort), Value(Value), Ops(std::move(Ops)) {}
+
+  TermKind Kind;
+  Sort TermSort;
+  long long Value;
+  std::vector<const Term *> Ops;
+};
+
+/// Owns and hash-conses terms. Also allocates fresh variable ids.
+///
+/// The arena applies lightweight local simplifications on construction
+/// (constant folding, double negation, neutral elements); these keep terms
+/// produced by long symbolic executions compact without a separate
+/// simplifier pass.
+class TermArena {
+public:
+  TermArena() = default;
+  TermArena(const TermArena &) = delete;
+  TermArena &operator=(const TermArena &) = delete;
+
+  // --- Variables ---------------------------------------------------------
+
+  /// Allocates a fresh integer variable with an optional debug name.
+  const Term *freshIntVar(std::string Name = "");
+  /// Allocates a fresh boolean variable with an optional debug name.
+  const Term *freshBoolVar(std::string Name = "");
+  /// Returns the debug name of variable \p VarId of sort \p S (may be "").
+  const std::string &varName(Sort S, unsigned VarId) const;
+  unsigned numIntVars() const { return (unsigned)IntVarNames.size(); }
+  unsigned numBoolVars() const { return (unsigned)BoolVarNames.size(); }
+
+  // --- Integer terms -----------------------------------------------------
+
+  const Term *intConst(long long Value);
+  const Term *add(const Term *L, const Term *R);
+  const Term *sub(const Term *L, const Term *R);
+  const Term *neg(const Term *T);
+  const Term *mulConst(long long K, const Term *T);
+  const Term *iteInt(const Term *Cond, const Term *Then, const Term *Else);
+
+  // --- Boolean terms -----------------------------------------------------
+
+  const Term *boolConst(bool Value);
+  const Term *trueTerm() { return boolConst(true); }
+  const Term *falseTerm() { return boolConst(false); }
+  const Term *eqInt(const Term *L, const Term *R);
+  const Term *lt(const Term *L, const Term *R);
+  const Term *le(const Term *L, const Term *R);
+  const Term *eqBool(const Term *L, const Term *R);
+  const Term *notTerm(const Term *T);
+  const Term *andTerm(const Term *L, const Term *R);
+  const Term *orTerm(const Term *L, const Term *R);
+  const Term *implies(const Term *L, const Term *R);
+  const Term *iteBool(const Term *Cond, const Term *Then, const Term *Else);
+
+  /// Generic if-then-else dispatching on the sort of the branches.
+  const Term *ite(const Term *Cond, const Term *Then, const Term *Else);
+
+  /// Conjunction of a list (true when empty).
+  const Term *andList(const std::vector<const Term *> &Ts);
+  /// Disjunction of a list (false when empty).
+  const Term *orList(const std::vector<const Term *> &Ts);
+
+private:
+  const Term *make(TermKind Kind, Sort S, long long Value,
+                   std::vector<const Term *> Ops);
+
+  struct Key {
+    TermKind Kind;
+    long long Value;
+    std::vector<const Term *> Ops;
+    bool operator==(const Key &O) const {
+      return Kind == O.Kind && Value == O.Value && Ops == O.Ops;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      size_t H = std::hash<int>()(static_cast<int>(K.Kind));
+      H = H * 31 + std::hash<long long>()(K.Value);
+      for (const Term *T : K.Ops)
+        H = H * 31 + std::hash<const void *>()(T);
+      return H;
+    }
+  };
+
+  std::vector<std::unique_ptr<Term>> Owned;
+  std::unordered_map<Key, const Term *, KeyHash> Interned;
+  std::vector<std::string> IntVarNames;
+  std::vector<std::string> BoolVarNames;
+};
+
+} // namespace mix::smt
+
+#endif // MIX_SOLVER_TERM_H

@@ -1,0 +1,56 @@
+//===--- Diagnostics.cpp - Diagnostic engine ------------------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace mix;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Column);
+}
+
+static const char *diagKindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  return Loc.str() + ": " + diagKindName(Kind) + ": " + Message;
+}
+
+void DiagnosticEngine::report(DiagKind Kind, SourceLoc Loc,
+                              std::string Message) {
+  if (Kind == DiagKind::Error)
+    ++NumErrors;
+  else if (Kind == DiagKind::Warning)
+    ++NumWarnings;
+  Diags.push_back({Kind, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+  NumWarnings = 0;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

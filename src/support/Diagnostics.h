@@ -1,0 +1,88 @@
+//===--- Diagnostics.h - Diagnostic engine ----------------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine shared by every analysis in the project.
+///
+/// The paper's analyses report three flavours of result: hard errors (the
+/// program is rejected), warnings (possible null dereference found by
+/// qualifier inference or symbolic execution), and notes that explain a
+/// preceding diagnostic (e.g. the qualifier flow path that witnesses a
+/// warning). Library code never prints directly; it records diagnostics
+/// here and tools render them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_SUPPORT_DIAGNOSTICS_H
+#define MIX_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace mix {
+
+/// Severity of a diagnostic.
+enum class DiagKind {
+  Error,   ///< The analysis rejects the program.
+  Warning, ///< A possible property violation (e.g. null dereference).
+  Note,    ///< Additional context attached to the previous diagnostic.
+};
+
+/// A single reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders the diagnostic in the conventional "line:col: kind: message"
+  /// shape used by compilers.
+  std::string str() const;
+};
+
+/// Collects diagnostics emitted during an analysis run.
+///
+/// Analyses append diagnostics as they go; clients query counts afterwards
+/// or render the full list. The engine is deliberately append-only so a
+/// caller can snapshot size() before a sub-analysis and diff afterwards.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagKind::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagKind::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagKind::Note, Loc, std::move(Message));
+  }
+  void report(DiagKind Kind, SourceLoc Loc, std::string Message);
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  size_t size() const { return Diags.size(); }
+  bool empty() const { return Diags.empty(); }
+
+  unsigned errorCount() const { return NumErrors; }
+  unsigned warningCount() const { return NumWarnings; }
+  bool hasErrors() const { return NumErrors != 0; }
+
+  /// Discards all recorded diagnostics.
+  void clear();
+
+  /// Renders every diagnostic, one per line.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
+};
+
+} // namespace mix
+
+#endif // MIX_SUPPORT_DIAGNOSTICS_H

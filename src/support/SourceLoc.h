@@ -1,0 +1,62 @@
+//===--- SourceLoc.h - Source locations and ranges --------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight value types describing positions in source buffers. Every
+/// front end in this project (the core MIX language and mini-C) produces
+/// these so diagnostics can point at program text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_SUPPORT_SOURCELOC_H
+#define MIX_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace mix {
+
+/// A position in a source buffer, 1-based line and column.
+///
+/// An invalid (default-constructed) location has Line == 0 and is used for
+/// synthesized nodes that have no textual origin.
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Column) : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+  friend bool operator!=(SourceLoc A, SourceLoc B) { return !(A == B); }
+  friend bool operator<(SourceLoc A, SourceLoc B) {
+    return A.Line != B.Line ? A.Line < B.Line : A.Column < B.Column;
+  }
+
+  /// Renders the location as "line:column", or "<unknown>" when invalid.
+  std::string str() const;
+};
+
+/// A half-open range of source text [Begin, End).
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  SourceRange(SourceLoc Begin, SourceLoc End) : Begin(Begin), End(End) {}
+  explicit SourceRange(SourceLoc Loc) : Begin(Loc), End(Loc) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace mix
+
+#endif // MIX_SUPPORT_SOURCELOC_H

@@ -1,0 +1,49 @@
+//===--- StringExtras.cpp - String utilities ------------------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringExtras.h"
+
+using namespace mix;
+
+std::string mix::join(const std::vector<std::string> &Parts,
+                      std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+bool mix::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+std::vector<std::string> mix::split(std::string_view S, char Sep) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  for (size_t I = 0, E = S.size(); I != E; ++I) {
+    if (S[I] != Sep)
+      continue;
+    Out.emplace_back(S.substr(Start, I - Start));
+    Start = I + 1;
+  }
+  Out.emplace_back(S.substr(Start));
+  return Out;
+}
+
+std::string_view mix::trim(std::string_view S) {
+  auto IsSpace = [](char C) {
+    return C == ' ' || C == '\t' || C == '\n' || C == '\r';
+  };
+  while (!S.empty() && IsSpace(S.front()))
+    S.remove_prefix(1);
+  while (!S.empty() && IsSpace(S.back()))
+    S.remove_suffix(1);
+  return S;
+}

@@ -1,0 +1,36 @@
+//===--- StringExtras.h - String utilities ----------------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers shared across the project's printers and parsers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_SUPPORT_STRINGEXTRAS_H
+#define MIX_SUPPORT_STRINGEXTRAS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mix {
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// Returns true if \p S starts with \p Prefix.
+bool startsWith(std::string_view S, std::string_view Prefix);
+
+/// Splits \p S on \p Sep, keeping empty fields.
+std::vector<std::string> split(std::string_view S, char Sep);
+
+/// Trims ASCII whitespace from both ends of \p S.
+std::string_view trim(std::string_view S);
+
+} // namespace mix
+
+#endif // MIX_SUPPORT_STRINGEXTRAS_H

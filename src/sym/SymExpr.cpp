@@ -1,0 +1,63 @@
+//===--- SymExpr.cpp - Typed symbolic expressions and memories ------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sym/SymExpr.h"
+
+using namespace mix;
+
+std::string SymExpr::str() const {
+  auto Typed = [this](std::string Bare) {
+    return "(" + Bare + "):" + Ty->str();
+  };
+  switch (Kind) {
+  case SymKind::Var:
+    return "a" + std::to_string(Value) + ":" + Ty->str();
+  case SymKind::IntConst:
+    return std::to_string(Value) + ":int";
+  case SymKind::BoolConst:
+    return std::string(Value ? "true" : "false") + ":bool";
+  case SymKind::Add:
+    return Typed(operand(0)->str() + " + " + operand(1)->str());
+  case SymKind::Sub:
+    return Typed(operand(0)->str() + " - " + operand(1)->str());
+  case SymKind::Eq:
+    return Typed(operand(0)->str() + " = " + operand(1)->str());
+  case SymKind::Lt:
+    return Typed(operand(0)->str() + " < " + operand(1)->str());
+  case SymKind::Le:
+    return Typed(operand(0)->str() + " <= " + operand(1)->str());
+  case SymKind::Not:
+    return Typed("not " + operand(0)->str());
+  case SymKind::And:
+    return Typed(operand(0)->str() + " and " + operand(1)->str());
+  case SymKind::Or:
+    return Typed(operand(0)->str() + " or " + operand(1)->str());
+  case SymKind::Ite:
+    return Typed(operand(0)->str() + " ? " + operand(1)->str() + " : " +
+                 operand(2)->str());
+  case SymKind::Select:
+    return Typed(Mem->str() + "[" + operand(0)->str() + "]");
+  case SymKind::Closure:
+    return "<closure" + std::to_string(Value) + ">:" + Ty->str();
+  }
+  return "<invalid-symexpr>";
+}
+
+std::string MemNode::str() const {
+  switch (Kind) {
+  case MemKind::Base:
+    return "mu" + std::to_string(Id);
+  case MemKind::Update:
+    return Prev->str() + ",(" + Addr->str() + " -> " + Val->str() + ")";
+  case MemKind::Alloc:
+    return Prev->str() + ",(" + Addr->str() + " ->a " + Val->str() + ")";
+  case MemKind::Ite:
+    return "(" + Addr->str() + " ? " + Prev->str() + " : " + Else->str() +
+           ")";
+  }
+  return "<invalid-memory>";
+}

@@ -1,0 +1,207 @@
+//===--- SymExpr.h - Typed symbolic expressions and memories ----*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbolic-expression vocabulary of Figure 1:
+///
+///   s ::= u : tau                   typed symbolic expressions
+///   g ::= u : bool                  guards
+///   u ::= alpha | v | u + u | s = s | not g | g and g | m[u : tau ref]
+///   m ::= mu | m,(s -> s') | m,(s ->a s')
+///
+/// Every symbolic expression carries its type, exactly as in the paper:
+/// "with these type annotations, we can immediately determine the type of
+/// a symbolic expression, just like in a concrete evaluator with values."
+/// Ill-sorted expressions cannot be built (constructors assert), mirroring
+/// the paper's syntactic restriction.
+///
+/// Extensions (used by the SEIf-Defer rule and Section 2's examples):
+/// subtraction, `<`/`<=`, `or`, and conditional expressions `g ? s1 : s2`,
+/// plus conditional memories for the deferring executor.
+///
+/// Expressions and memories are immutable and hash-consed in SymArena, so
+/// the syntactic-equivalence tests of the Overwrite-Ok rule are pointer
+/// comparisons.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_SYM_SYMEXPR_H
+#define MIX_SYM_SYMEXPR_H
+
+#include "lang/Type.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace mix {
+
+class FunExpr;
+class MemNode;
+
+/// Constructors of bare symbolic expressions `u`.
+enum class SymKind {
+  Var,       ///< A symbolic variable alpha.
+  IntConst,  ///< A known integer value.
+  BoolConst, ///< A known boolean value.
+  Add,
+  Sub,
+  Eq, ///< Integer equality (the paper's s = s).
+  Lt,
+  Le,
+  Not,
+  And,
+  Or,
+  Ite,     ///< g ? s1 : s2 (Section 3.1, "Deferral Versus Execution").
+  Select,  ///< m[u : tau ref] — deferred memory read.
+  Closure, ///< A function value with its captured environment (Section 2
+           ///< extension; needed to execute `let id = fun ... in id 3`).
+};
+
+/// A typed symbolic expression `u : tau`. Obtain instances from SymArena;
+/// structural equality is pointer equality.
+class SymExpr {
+public:
+  SymKind kind() const { return Kind; }
+  /// The type annotation tau of this expression.
+  const Type *type() const { return Ty; }
+
+  /// For Var: the symbolic variable id (alpha's index).
+  unsigned varId() const {
+    assert(Kind == SymKind::Var && "varId() on non-variable");
+    return static_cast<unsigned>(Value);
+  }
+
+  /// For IntConst / BoolConst: the known value.
+  long long intValue() const {
+    assert(Kind == SymKind::IntConst && "intValue() on non-int-constant");
+    return Value;
+  }
+  bool boolValue() const {
+    assert(Kind == SymKind::BoolConst && "boolValue() on non-bool-constant");
+    return Value != 0;
+  }
+
+  /// True when this expression is a known concrete value.
+  bool isConst() const {
+    return Kind == SymKind::IntConst || Kind == SymKind::BoolConst;
+  }
+
+  unsigned numOperands() const { return (unsigned)Ops.size(); }
+  const SymExpr *operand(unsigned I) const {
+    assert(I < Ops.size() && "operand index out of range");
+    return Ops[I];
+  }
+
+  /// For Select: the memory being read.
+  const MemNode *memory() const {
+    assert(Kind == SymKind::Select && "memory() on non-select");
+    return Mem;
+  }
+  /// For Select: the address read from.
+  const SymExpr *address() const {
+    assert(Kind == SymKind::Select && "address() on non-select");
+    return Ops[0];
+  }
+
+  /// For Closure: the index into SymArena's closure table.
+  unsigned closureId() const {
+    assert(Kind == SymKind::Closure && "closureId() on non-closure");
+    return static_cast<unsigned>(Value);
+  }
+
+  /// Renders the expression, e.g. "(a0:int + 3:int):int".
+  std::string str() const;
+
+private:
+  friend class SymArena;
+  SymExpr(SymKind Kind, const Type *Ty, long long Value,
+          std::vector<const SymExpr *> Ops, const MemNode *Mem)
+      : Kind(Kind), Ty(Ty), Value(Value), Ops(std::move(Ops)), Mem(Mem) {}
+
+  SymKind Kind;
+  const Type *Ty;
+  long long Value;
+  std::vector<const SymExpr *> Ops;
+  const MemNode *Mem;
+};
+
+/// Constructors of symbolic memories `m`.
+enum class MemKind {
+  Base,   ///< mu — an arbitrary but consistently typed memory.
+  Update, ///< m,(s -> s') — a logged write.
+  Alloc,  ///< m,(s ->a s') — a logged allocation (address is fresh).
+  Ite,    ///< g ? m1 : m2 — conditional memory (SEIf-Defer extension).
+};
+
+/// A symbolic memory. Memories form an immutable log (the paper: "writes
+/// and allocations are simply logged during symbolic execution for later
+/// inspection"), extended with conditional nodes for the deferring
+/// executor.
+class MemNode {
+public:
+  MemKind kind() const { return Kind; }
+
+  /// For Base: the identity of the arbitrary memory mu.
+  unsigned baseId() const {
+    assert(Kind == MemKind::Base && "baseId() on non-base memory");
+    return Id;
+  }
+
+  /// For Update / Alloc: the previous memory.
+  const MemNode *previous() const {
+    assert((Kind == MemKind::Update || Kind == MemKind::Alloc) &&
+           "previous() on base/ite memory");
+    return Prev;
+  }
+  /// For Update / Alloc: the written address (a ref-typed expression).
+  const SymExpr *address() const {
+    assert((Kind == MemKind::Update || Kind == MemKind::Alloc) &&
+           "address() on base/ite memory");
+    return Addr;
+  }
+  /// For Update / Alloc: the stored value.
+  const SymExpr *value() const {
+    assert((Kind == MemKind::Update || Kind == MemKind::Alloc) &&
+           "value() on base/ite memory");
+    return Val;
+  }
+
+  /// For Ite: guard and branches.
+  const SymExpr *guard() const {
+    assert(Kind == MemKind::Ite && "guard() on non-ite memory");
+    return Addr;
+  }
+  const MemNode *thenMemory() const {
+    assert(Kind == MemKind::Ite && "thenMemory() on non-ite memory");
+    return Prev;
+  }
+  const MemNode *elseMemory() const {
+    assert(Kind == MemKind::Ite && "elseMemory() on non-ite memory");
+    return Else;
+  }
+
+  /// Renders the memory log, e.g. "mu0,(a1:int ref -> 3:int)".
+  std::string str() const;
+
+private:
+  friend class SymArena;
+  MemNode(MemKind Kind, unsigned Id, const MemNode *Prev, const SymExpr *Addr,
+          const SymExpr *Val, const MemNode *Else)
+      : Kind(Kind), Id(Id), Prev(Prev), Addr(Addr), Val(Val), Else(Else) {}
+
+  MemKind Kind;
+  unsigned Id;
+  const MemNode *Prev;
+  const SymExpr *Addr;
+  const SymExpr *Val;
+  const MemNode *Else;
+};
+
+} // namespace mix
+
+#endif // MIX_SYM_SYMEXPR_H

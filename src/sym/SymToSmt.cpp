@@ -1,0 +1,82 @@
+//===--- SymToSmt.cpp - Symbolic-expression to solver translation ---------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sym/SymToSmt.h"
+
+using namespace mix;
+using smt::Term;
+
+const Term *SymToSmt::translate(const SymExpr *E) {
+  auto It = Cache.find(E);
+  if (It != Cache.end())
+    return It->second;
+  const Term *T = translateUncached(E);
+  Cache[E] = T;
+  return T;
+}
+
+const Term *SymToSmt::varTerm(const SymExpr *E) {
+  // Booleans get boolean solver variables; ints, refs (addresses), and
+  // functions get integer-sorted ones.
+  std::string Name = Syms.varName(E->varId());
+  if (Name.empty())
+    Name = "a" + std::to_string(E->varId());
+  if (E->type()->isBool())
+    return Terms.freshBoolVar(Name);
+  return Terms.freshIntVar(Name);
+}
+
+const Term *SymToSmt::opaqueTerm(const SymExpr *E) {
+  if (E->type()->isBool())
+    return Terms.freshBoolVar("sel");
+  return Terms.freshIntVar("sel");
+}
+
+const Term *SymToSmt::translateUncached(const SymExpr *E) {
+  switch (E->kind()) {
+  case SymKind::Var:
+    return varTerm(E);
+  case SymKind::IntConst:
+    return Terms.intConst(E->intValue());
+  case SymKind::BoolConst:
+    return Terms.boolConst(E->boolValue());
+  case SymKind::Add:
+    return Terms.add(translate(E->operand(0)), translate(E->operand(1)));
+  case SymKind::Sub:
+    return Terms.sub(translate(E->operand(0)), translate(E->operand(1)));
+  case SymKind::Eq: {
+    const Term *L = translate(E->operand(0));
+    const Term *R = translate(E->operand(1));
+    if (L->isBool())
+      return Terms.eqBool(L, R);
+    return Terms.eqInt(L, R);
+  }
+  case SymKind::Lt:
+    return Terms.lt(translate(E->operand(0)), translate(E->operand(1)));
+  case SymKind::Le:
+    return Terms.le(translate(E->operand(0)), translate(E->operand(1)));
+  case SymKind::Not:
+    return Terms.notTerm(translate(E->operand(0)));
+  case SymKind::And:
+    return Terms.andTerm(translate(E->operand(0)), translate(E->operand(1)));
+  case SymKind::Or:
+    return Terms.orTerm(translate(E->operand(0)), translate(E->operand(1)));
+  case SymKind::Ite:
+    return Terms.ite(translate(E->operand(0)), translate(E->operand(1)),
+                     translate(E->operand(2)));
+  case SymKind::Select:
+    // Deferred memory reads are opaque to the solver; hash-consing makes
+    // identical reads share one variable (memoized via the cache).
+    return opaqueTerm(E);
+  case SymKind::Closure:
+    // Function values never occur in arithmetic; an opaque handle is all
+    // the solver needs.
+    return Terms.intConst((long long)E->closureId());
+  }
+  assert(false && "unhandled symbolic expression kind");
+  return Terms.intConst(0);
+}

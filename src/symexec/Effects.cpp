@@ -1,0 +1,123 @@
+//===--- Effects.cpp - Write-effect inference for typed blocks -------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "symexec/Effects.h"
+
+#include <map>
+
+using namespace mix;
+
+namespace {
+
+/// How a block-local binding behaves for effect purposes.
+enum class BindingKind {
+  FreshRef, ///< `let x = ref e`: a block-local allocation.
+  Opaque,   ///< anything else: may alias an outer location.
+};
+
+class EffectWalker {
+public:
+  WriteEffects run(const Expr *E) {
+    std::map<std::string, BindingKind> Locals;
+    walk(E, Locals);
+    return Effects;
+  }
+
+private:
+  void writeTo(const Expr *Target,
+               const std::map<std::string, BindingKind> &Locals) {
+    const auto *V = dyn_cast<VarExpr>(Target);
+    if (!V) {
+      // A computed target (e.g. `!p := e`): could be any location.
+      Effects.MayWriteUnknown = true;
+      return;
+    }
+    auto It = Locals.find(V->name());
+    if (It == Locals.end()) {
+      // An outer variable's cell.
+      Effects.Vars.insert(V->name());
+      return;
+    }
+    if (It->second == BindingKind::Opaque)
+      // A local alias of something unknown.
+      Effects.MayWriteUnknown = true;
+    // FreshRef: writes to a block-local allocation never escape.
+  }
+
+  void walk(const Expr *E, std::map<std::string, BindingKind> Locals) {
+    switch (E->kind()) {
+    case ExprKind::Var:
+    case ExprKind::IntLit:
+    case ExprKind::BoolLit:
+      return;
+    case ExprKind::Binary:
+      walk(cast<BinaryExpr>(E)->lhs(), Locals);
+      walk(cast<BinaryExpr>(E)->rhs(), Locals);
+      return;
+    case ExprKind::Not:
+      walk(cast<NotExpr>(E)->sub(), Locals);
+      return;
+    case ExprKind::If: {
+      const auto *I = cast<IfExpr>(E);
+      walk(I->cond(), Locals);
+      walk(I->thenExpr(), Locals);
+      walk(I->elseExpr(), Locals);
+      return;
+    }
+    case ExprKind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      walk(L->init(), Locals);
+      Locals[L->name()] = isa<RefExpr>(L->init()) ? BindingKind::FreshRef
+                                                  : BindingKind::Opaque;
+      walk(L->body(), Locals);
+      return;
+    }
+    case ExprKind::Ref:
+      walk(cast<RefExpr>(E)->sub(), Locals);
+      return;
+    case ExprKind::Deref:
+      walk(cast<DerefExpr>(E)->sub(), Locals);
+      return;
+    case ExprKind::Assign: {
+      const auto *A = cast<AssignExpr>(E);
+      writeTo(A->target(), Locals);
+      walk(A->target(), Locals);
+      walk(A->value(), Locals);
+      return;
+    }
+    case ExprKind::Seq:
+      walk(cast<SeqExpr>(E)->first(), Locals);
+      walk(cast<SeqExpr>(E)->second(), Locals);
+      return;
+    case ExprKind::Block:
+      // Nested blocks execute their body either way.
+      walk(cast<BlockExpr>(E)->body(), Locals);
+      return;
+    case ExprKind::Fun:
+      // The closure body runs only when applied, and applications are
+      // already treated as unknown effects; still, scan it so a later,
+      // smarter treatment of App does not silently miss writes.
+      walk(cast<FunExpr>(E)->body(), Locals);
+      return;
+    case ExprKind::App:
+      // The callee may capture and write arbitrary references.
+      Effects.MayWriteUnknown = true;
+      walk(cast<AppExpr>(E)->fn(), Locals);
+      walk(cast<AppExpr>(E)->arg(), Locals);
+      return;
+    }
+  }
+
+  WriteEffects Effects;
+};
+
+} // namespace
+
+WriteEffects mix::computeWriteEffects(const Expr *E) {
+  EffectWalker Walker;
+  return Walker.run(E);
+}

@@ -1,0 +1,56 @@
+//===--- Effects.h - Write-effect inference for typed blocks ----*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The effect refinement the paper sketches in Section 3.2: "if we were
+/// to use a type and effect system rather than just a type system, we
+/// could avoid introducing a completely fresh memory mu' in SETypBlock —
+/// instead, we could find the effect of e and limit applying this 'havoc'
+/// operation only to locations that could have been changed."
+///
+/// computeWriteEffects() conservatively over-approximates the set of
+/// *outer* variables whose referent a typed block may write:
+///
+///  - `x := e` with x free in the block writes x's cell;
+///  - `x := e` where x is block-local and bound by `let x = ref ...`
+///    writes a block-local allocation, invisible outside;
+///  - `x := e` where x is block-local but bound to anything else may
+///    alias an outer cell: unknown effect;
+///  - writes through computed targets (`!p := e`) and any function
+///    application are unknown effects (the callee may write anything).
+///
+/// An unknown effect forces the full havoc of the original SETypBlock
+/// rule, so the refinement is sound by construction; the property tests
+/// in tests/SoundnessTest.cpp check this end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_SYMEXEC_EFFECTS_H
+#define MIX_SYMEXEC_EFFECTS_H
+
+#include "lang/Ast.h"
+
+#include <set>
+#include <string>
+
+namespace mix {
+
+/// The write effect of an expression.
+struct WriteEffects {
+  /// Some write's target could not be resolved: the block may modify any
+  /// location, and callers must fall back to a full havoc.
+  bool MayWriteUnknown = false;
+  /// Free variables whose referent the expression may write.
+  std::set<std::string> Vars;
+};
+
+/// Computes the write effect of \p E (typically a typed block's body).
+WriteEffects computeWriteEffects(const Expr *E);
+
+} // namespace mix
+
+#endif // MIX_SYMEXEC_EFFECTS_H

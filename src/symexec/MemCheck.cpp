@@ -1,0 +1,82 @@
+//===--- MemCheck.cpp - The memory consistency judgment |- m ok ----------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "symexec/MemCheck.h"
+
+#include <algorithm>
+
+using namespace mix;
+
+MemCheckResult mix::checkMemoryOk(const MemNode *Mem) {
+  // Collect the update/alloc chain newest-first, stopping at the spine's
+  // terminal node (Base or Ite).
+  std::vector<const MemNode *> Chain;
+  const MemNode *Cursor = Mem;
+  while (Cursor->kind() == MemKind::Update || Cursor->kind() == MemKind::Alloc) {
+    Chain.push_back(Cursor);
+    Cursor = Cursor->previous();
+  }
+
+  MemCheckResult Result;
+
+  // A conditional memory at the spine's end: both branches must be ok
+  // (Empty-Ok generalized conservatively).
+  if (Cursor->kind() == MemKind::Ite) {
+    MemCheckResult Then = checkMemoryOk(Cursor->thenMemory());
+    MemCheckResult Else = checkMemoryOk(Cursor->elseMemory());
+    if (!Then.Ok) {
+      Result.Ok = false;
+      Result.BadWrites.insert(Result.BadWrites.end(), Then.BadWrites.begin(),
+                              Then.BadWrites.end());
+    }
+    if (!Else.Ok) {
+      Result.Ok = false;
+      Result.BadWrites.insert(Result.BadWrites.end(), Else.BadWrites.begin(),
+                              Else.BadWrites.end());
+    }
+  }
+  // else: Base is Empty-Ok — an arbitrary memory is consistently typed.
+
+  // Replay the log oldest-first, maintaining the set U of inconsistent
+  // writes (Arbitrary-NotOk / Overwrite-Ok / Alloc-Ok of Figure 3).
+  std::vector<const MemNode *> U;
+  for (auto It = Chain.rbegin(), E = Chain.rend(); It != E; ++It) {
+    const MemNode *Entry = *It;
+    const Type *AddrTy = Entry->address()->type();
+    assert(AddrTy->isRef() && "memory log address must be ref-typed");
+    bool WellTyped = Entry->value()->type() == AddrTy->pointee();
+
+    if (Entry->kind() == MemKind::Alloc) {
+      // Alloc-Ok: allocations are created well-typed by SERef; an
+      // ill-typed one (impossible via SymArena's executor path, but
+      // constructible by clients) is treated like an arbitrary write.
+      if (!WellTyped)
+        U.push_back(Entry);
+      continue;
+    }
+
+    if (WellTyped) {
+      // Overwrite-Ok: forgive earlier ill-typed writes to a syntactically
+      // identical address (pointer equality thanks to hash-consing).
+      const SymExpr *Addr = Entry->address();
+      U.erase(std::remove_if(U.begin(), U.end(),
+                             [Addr](const MemNode *Bad) {
+                               return Bad->address() == Addr;
+                             }),
+              U.end());
+    } else {
+      // Arbitrary-NotOk: record the inconsistent write.
+      U.push_back(Entry);
+    }
+  }
+
+  if (!U.empty()) {
+    Result.Ok = false;
+    Result.BadWrites.insert(Result.BadWrites.end(), U.begin(), U.end());
+  }
+  return Result;
+}

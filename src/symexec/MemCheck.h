@@ -1,0 +1,42 @@
+//===--- MemCheck.h - The memory consistency judgment |- m ok --*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the `|- m ok` judgment of Figure 3: a symbolic memory is
+/// consistently typed when every pointer points to a value of its
+/// annotated type, except that ill-typed writes which were later
+/// overwritten (at a syntactically identical address, Overwrite-Ok) are
+/// forgiven. SEDeref and both mix rules use this check before trusting
+/// type annotations on memory reads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_SYMEXEC_MEMCHECK_H
+#define MIX_SYMEXEC_MEMCHECK_H
+
+#include "sym/SymArena.h"
+
+#include <vector>
+
+namespace mix {
+
+/// Result of checking `|- m ok`.
+struct MemCheckResult {
+  bool Ok = true;
+  /// When !Ok: the log entries whose writes are inconsistently typed and
+  /// never overwritten (the residual set U of the judgment).
+  std::vector<const MemNode *> BadWrites;
+};
+
+/// Checks the consistency judgment `|- m ok` for \p Mem. Conditional
+/// memories (the SEIf-Defer extension) are ok only when both branches are
+/// ok — a sound approximation.
+MemCheckResult checkMemoryOk(const MemNode *Mem);
+
+} // namespace mix
+
+#endif // MIX_SYMEXEC_MEMCHECK_H

@@ -1,0 +1,183 @@
+//===--- TypeChecker.cpp - Type checker for the core language -------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "types/TypeChecker.h"
+
+using namespace mix;
+
+const Type *TypeChecker::error(SourceLoc Loc, const std::string &Message) {
+  Diags.error(Loc, Message);
+  return nullptr;
+}
+
+const Type *TypeChecker::check(const Expr *E, const TypeEnv &Gamma) {
+  switch (E->kind()) {
+  case ExprKind::Var: {
+    const auto *V = cast<VarExpr>(E);
+    auto It = Gamma.find(V->name());
+    if (It == Gamma.end())
+      return error(E->loc(), "unbound variable '" + V->name() + "'");
+    return It->second;
+  }
+  case ExprKind::IntLit:
+    return Types.intType();
+  case ExprKind::BoolLit:
+    return Types.boolType();
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    const Type *L = check(B->lhs(), Gamma);
+    const Type *R = check(B->rhs(), Gamma);
+    if (!L || !R)
+      return nullptr;
+    switch (B->op()) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+      if (!L->isInt() || !R->isInt())
+        return error(E->loc(), std::string("operator '") +
+                                   binaryOpSpelling(B->op()) +
+                                   "' requires int operands, got " +
+                                   L->str() + " and " + R->str());
+      return Types.intType();
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+      if (!L->isInt() || !R->isInt())
+        return error(E->loc(), std::string("operator '") +
+                                   binaryOpSpelling(B->op()) +
+                                   "' requires int operands, got " +
+                                   L->str() + " and " + R->str());
+      return Types.boolType();
+    case BinaryOp::Eq:
+      if (L != R || !(L->isInt() || L->isBool()))
+        return error(E->loc(), "operator '=' requires two ints or two "
+                               "bools, got " +
+                                   L->str() + " and " + R->str());
+      return Types.boolType();
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      if (!L->isBool() || !R->isBool())
+        return error(E->loc(), std::string("operator '") +
+                                   binaryOpSpelling(B->op()) +
+                                   "' requires bool operands, got " +
+                                   L->str() + " and " + R->str());
+      return Types.boolType();
+    }
+    return nullptr;
+  }
+  case ExprKind::Not: {
+    const Type *T = check(cast<NotExpr>(E)->sub(), Gamma);
+    if (!T)
+      return nullptr;
+    if (!T->isBool())
+      return error(E->loc(), "'not' requires a bool operand, got " +
+                                 T->str());
+    return Types.boolType();
+  }
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    const Type *C = check(I->cond(), Gamma);
+    if (!C)
+      return nullptr;
+    if (!C->isBool())
+      return error(I->cond()->loc(),
+                   "condition must be bool, got " + C->str());
+    const Type *T = check(I->thenExpr(), Gamma);
+    const Type *F = check(I->elseExpr(), Gamma);
+    if (!T || !F)
+      return nullptr;
+    if (T != F)
+      return error(E->loc(), "branches of 'if' have different types: " +
+                                 T->str() + " vs " + F->str());
+    return T;
+  }
+  case ExprKind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    const Type *Init = check(L->init(), Gamma);
+    if (!Init)
+      return nullptr;
+    if (L->declaredType() && L->declaredType() != Init)
+      return error(E->loc(), "let binding declares " +
+                                 L->declaredType()->str() +
+                                 " but initializer has type " + Init->str());
+    TypeEnv Extended = Gamma;
+    Extended[L->name()] = Init;
+    return check(L->body(), Extended);
+  }
+  case ExprKind::Ref: {
+    const Type *T = check(cast<RefExpr>(E)->sub(), Gamma);
+    if (!T)
+      return nullptr;
+    return Types.refType(T);
+  }
+  case ExprKind::Deref: {
+    const Type *T = check(cast<DerefExpr>(E)->sub(), Gamma);
+    if (!T)
+      return nullptr;
+    if (!T->isRef())
+      return error(E->loc(), "'!' requires a reference, got " + T->str());
+    return T->pointee();
+  }
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    const Type *Target = check(A->target(), Gamma);
+    const Type *Value = check(A->value(), Gamma);
+    if (!Target || !Value)
+      return nullptr;
+    if (!Target->isRef())
+      return error(E->loc(),
+                   "':=' requires a reference target, got " + Target->str());
+    if (Target->pointee() != Value)
+      return error(E->loc(), "assignment of " + Value->str() +
+                                 " to reference of " +
+                                 Target->pointee()->str());
+    return Value;
+  }
+  case ExprKind::Seq: {
+    const auto *S = cast<SeqExpr>(E);
+    if (!check(S->first(), Gamma))
+      return nullptr;
+    return check(S->second(), Gamma);
+  }
+  case ExprKind::Block: {
+    const auto *B = cast<BlockExpr>(E);
+    if (B->blockKind() == BlockKind::Typed)
+      return check(B->body(), Gamma); // typed-in-typed passes through
+    if (!SymOracle)
+      return error(E->loc(), "symbolic block is not allowed here (no "
+                             "symbolic executor attached)");
+    return SymOracle->typeOfSymbolicBlock(B, Gamma);
+  }
+  case ExprKind::Fun: {
+    const auto *F = cast<FunExpr>(E);
+    TypeEnv Extended = Gamma;
+    Extended[F->param()] = F->paramType();
+    const Type *Body = check(F->body(), Extended);
+    if (!Body)
+      return nullptr;
+    if (Body != F->resultType())
+      return error(E->loc(), "function body has type " + Body->str() +
+                                 " but declares result type " +
+                                 F->resultType()->str());
+    return Types.funType(F->paramType(), F->resultType());
+  }
+  case ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    const Type *Fn = check(A->fn(), Gamma);
+    const Type *Arg = check(A->arg(), Gamma);
+    if (!Fn || !Arg)
+      return nullptr;
+    if (!Fn->isFun())
+      return error(E->loc(),
+                   "application of a non-function of type " + Fn->str());
+    if (Fn->param() != Arg)
+      return error(E->loc(), "argument has type " + Arg->str() +
+                                 " but function expects " +
+                                 Fn->param()->str());
+    return Fn->result();
+  }
+  }
+  return error(E->loc(), "unhandled expression form");
+}

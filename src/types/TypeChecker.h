@@ -1,0 +1,71 @@
+//===--- TypeChecker.h - Type checker for the core language -----*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "entirely standard" type checker of Section 3.1, proving judgments
+/// Gamma |- e : tau. It is deliberately an off-the-shelf checker: the only
+/// MIX-specific element is a single hook, SymBlockOracle, through which
+/// the TSymBlock mix rule delegates symbolic blocks `{s e s}` to the
+/// symbolic executor. Run without an oracle, the checker rejects symbolic
+/// blocks — that is "type checking alone".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_TYPES_TYPECHECKER_H
+#define MIX_TYPES_TYPECHECKER_H
+
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <string>
+
+namespace mix {
+
+/// A typing environment Gamma: program variables to types.
+using TypeEnv = std::map<std::string, const Type *>;
+
+/// The hook by which the type checker "type checks" a symbolic block —
+/// the TSymBlock rule of Figure 4. The MIX driver implements this by
+/// running the symbolic executor; see mix/MixChecker.h.
+class SymBlockOracle {
+public:
+  virtual ~SymBlockOracle() = default;
+
+  /// Returns the type of `{s e s}` under \p Gamma, or null after reporting
+  /// diagnostics when the block fails to check.
+  virtual const Type *typeOfSymbolicBlock(const BlockExpr *Block,
+                                          const TypeEnv &Gamma) = 0;
+};
+
+/// Checks expressions of the core language against Figure 1's type system.
+class TypeChecker {
+public:
+  TypeChecker(TypeContext &Types, DiagnosticEngine &Diags)
+      : Types(Types), Diags(Diags) {}
+
+  /// Installs the mix hook for symbolic blocks (may be null).
+  void setSymBlockOracle(SymBlockOracle *Oracle) { SymOracle = Oracle; }
+
+  /// Derives Gamma |- e : tau; returns tau, or null after reporting a
+  /// diagnostic when no derivation exists.
+  const Type *check(const Expr *E, const TypeEnv &Gamma);
+
+  TypeContext &types() { return Types; }
+  DiagnosticEngine &diags() { return Diags; }
+
+private:
+  const Type *error(SourceLoc Loc, const std::string &Message);
+
+  TypeContext &Types;
+  DiagnosticEngine &Diags;
+  SymBlockOracle *SymOracle = nullptr;
+};
+
+} // namespace mix
+
+#endif // MIX_TYPES_TYPECHECKER_H

@@ -1,0 +1,110 @@
+//===--- AutoPlacementTest.cpp - Automatic block insertion ----------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+#include "lang/Parser.h"
+#include "mix/AutoPlacement.h"
+
+#include <gtest/gtest.h>
+
+using namespace mix;
+
+namespace {
+
+class AutoPlacementTest : public ::testing::Test {
+protected:
+  AutoPlacementResult refine(std::string_view Source,
+                             const TypeEnv &Gamma = {}) {
+    Diags.clear();
+    const Expr *E = parseExpression(Source, Ctx, Diags);
+    EXPECT_NE(E, nullptr) << Diags.str();
+    return autoPlaceSymbolicBlocks(Ctx, E, Gamma, Diags);
+  }
+
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+};
+
+} // namespace
+
+TEST_F(AutoPlacementTest, WellTypedProgramsNeedNoBlocks) {
+  AutoPlacementResult R = refine("1 + 2");
+  ASSERT_NE(R.ResultType, nullptr);
+  EXPECT_EQ(R.BlocksInserted, 0u);
+  EXPECT_EQ(R.ResultType->str(), "int");
+}
+
+TEST_F(AutoPlacementTest, DeadBranchGetsASymbolicBlock) {
+  // The Section 2 unreachable-code idiom, with no annotations: the
+  // refinement loop must discover where to put the symbolic block.
+  AutoPlacementResult R = refine("if true then 5 else (1 + true)");
+  ASSERT_NE(R.ResultType, nullptr) << Diags.str();
+  EXPECT_EQ(R.ResultType->str(), "int");
+  EXPECT_GE(R.BlocksInserted, 1u);
+  // The annotation landed somewhere that contains the conditional.
+  EXPECT_NE(printExpr(R.Program).find("{s"), std::string::npos);
+}
+
+TEST_F(AutoPlacementTest, DivIdiomIsDiscovered) {
+  AutoPlacementResult R = refine(
+      "(fun (y: int) : int -> if y = 0 then 1 + true else 100 - y) 4");
+  ASSERT_NE(R.ResultType, nullptr) << Diags.str();
+  EXPECT_EQ(R.ResultType->str(), "int");
+  EXPECT_GE(R.BlocksInserted, 1u);
+}
+
+TEST_F(AutoPlacementTest, WriteThenCorrectIdiomIsDiscovered) {
+  AutoPlacementResult R =
+      refine("let x = ref 1 in (x := true; x := 2; !x + 1)");
+  ASSERT_NE(R.ResultType, nullptr) << Diags.str();
+  EXPECT_EQ(R.ResultType->str(), "int");
+  EXPECT_GE(R.BlocksInserted, 1u);
+}
+
+TEST_F(AutoPlacementTest, TwoIndependentErrorsGetTwoBlocks) {
+  AutoPlacementResult R = refine(
+      "(if true then 1 else (1 + true)) + "
+      "(if false then (true + 1) else 2)");
+  ASSERT_NE(R.ResultType, nullptr) << Diags.str();
+  EXPECT_EQ(R.ResultType->str(), "int");
+  EXPECT_GE(R.BlocksInserted, 2u);
+}
+
+TEST_F(AutoPlacementTest, GenuineErrorsStillFail) {
+  // A feasible type error: no placement can save it, and the final
+  // diagnostics must be reported.
+  TypeEnv Gamma;
+  Gamma["b"] = Ctx.types().boolType();
+  AutoPlacementResult R = refine("if b then 1 else (1 + true)", Gamma);
+  EXPECT_EQ(R.ResultType, nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST_F(AutoPlacementTest, PrefersSmallBlocks) {
+  // The innermost sufficient wrap should win: the symbolic region should
+  // not swallow the outer arithmetic.
+  AutoPlacementResult R =
+      refine("1000 + (if true then 5 else (1 + true))");
+  ASSERT_NE(R.ResultType, nullptr) << Diags.str();
+  std::string Printed = printExpr(R.Program);
+  // The + 1000 stays outside the symbolic block.
+  EXPECT_TRUE(Printed.find("1000 + ({s") != std::string::npos ||
+              Printed.find("(1000 + {s") != std::string::npos)
+      << Printed;
+}
+
+TEST_F(AutoPlacementTest, RespectsRefinementBudget) {
+  AutoPlacementOptions Opts;
+  Opts.MaxRefinements = 0;
+  const Expr *E =
+      parseExpression("if true then 5 else (1 + true)", Ctx, Diags);
+  ASSERT_NE(E, nullptr);
+  AutoPlacementResult R =
+      autoPlaceSymbolicBlocks(Ctx, E, {}, Diags, Opts);
+  EXPECT_EQ(R.ResultType, nullptr);
+  EXPECT_EQ(R.BlocksInserted, 0u);
+}

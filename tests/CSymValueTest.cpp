@@ -1,0 +1,117 @@
+//===--- CSymValueTest.cpp - Tests for the mini-C value algebra ------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "csym/CSymValue.h"
+
+#include <gtest/gtest.h>
+
+using namespace mix::c;
+using mix::smt::Term;
+using mix::smt::TermArena;
+using mix::smt::TermKind;
+
+namespace {
+
+class CSymValueTest : public ::testing::Test {
+protected:
+  TermArena A;
+};
+
+} // namespace
+
+TEST_F(CSymValueTest, ScalarBasics) {
+  CSymValue V = CSymValue::scalar(A.intConst(42));
+  EXPECT_TRUE(V.isScalar());
+  EXPECT_EQ(V.scalarTerm()->value(), 42);
+}
+
+TEST_F(CSymValueTest, NullPointerGuards) {
+  CSymValue Null = CSymValue::nullPointer(A);
+  EXPECT_EQ(Null.nullGuard(A), A.trueTerm());
+  EXPECT_EQ(Null.nonNullGuard(A), A.falseTerm());
+
+  CSymValue Obj = CSymValue::pointerTo(A, PtrTarget::object(7));
+  EXPECT_EQ(Obj.nullGuard(A), A.falseTerm());
+  EXPECT_EQ(Obj.nonNullGuard(A), A.trueTerm());
+}
+
+TEST_F(CSymValueTest, MaybeNullGuardsPartition) {
+  const Term *Alpha = A.freshBoolVar("a");
+  CSymValue V = CSymValue::pointer({{Alpha, PtrTarget::object(3)},
+                                    {A.notTerm(Alpha), PtrTarget::null()}});
+  EXPECT_EQ(V.nullGuard(A), A.notTerm(Alpha));
+  EXPECT_EQ(V.nonNullGuard(A), Alpha);
+}
+
+TEST_F(CSymValueTest, IteOnScalars) {
+  const Term *C = A.freshBoolVar("c");
+  CSymValue V = CSymValue::ite(A, C, CSymValue::scalar(A.intConst(1)),
+                               CSymValue::scalar(A.intConst(2)));
+  ASSERT_TRUE(V.isScalar());
+  EXPECT_EQ(V.scalarTerm()->kind(), TermKind::IteInt);
+}
+
+TEST_F(CSymValueTest, IteWithConstantConditionPicksBranch) {
+  CSymValue Then = CSymValue::scalar(A.intConst(1));
+  CSymValue Else = CSymValue::scalar(A.intConst(2));
+  CSymValue V = CSymValue::ite(A, A.trueTerm(), Then, Else);
+  EXPECT_EQ(V.scalarTerm()->value(), 1);
+  V = CSymValue::ite(A, A.falseTerm(), Then, Else);
+  EXPECT_EQ(V.scalarTerm()->value(), 2);
+}
+
+TEST_F(CSymValueTest, IteOnPointersMergesGuardedCases) {
+  const Term *C = A.freshBoolVar("c");
+  CSymValue P = CSymValue::pointerTo(A, PtrTarget::object(1));
+  CSymValue Q = CSymValue::pointerTo(A, PtrTarget::object(2));
+  CSymValue V = CSymValue::ite(A, C, P, Q);
+  ASSERT_TRUE(V.isPtr());
+  ASSERT_EQ(V.cases().size(), 2u);
+  EXPECT_EQ(V.cases()[0].Guard, C);
+  EXPECT_EQ(V.cases()[0].Target.Loc, 1u);
+  EXPECT_EQ(V.cases()[1].Guard, A.notTerm(C));
+  EXPECT_EQ(V.cases()[1].Target.Loc, 2u);
+}
+
+TEST_F(CSymValueTest, IteCoalescesIdenticalTargets) {
+  // ite(c, p, p) where both sides may be null: the cases fuse by target
+  // with disjoined guards rather than duplicating.
+  const Term *C = A.freshBoolVar("c");
+  const Term *G = A.freshBoolVar("g");
+  CSymValue P = CSymValue::pointer(
+      {{G, PtrTarget::object(5)}, {A.notTerm(G), PtrTarget::null()}});
+  CSymValue V = CSymValue::ite(A, C, P, P);
+  ASSERT_TRUE(V.isPtr());
+  EXPECT_EQ(V.cases().size(), 2u);
+}
+
+TEST_F(CSymValueTest, FieldsDistinguishTargets) {
+  PtrTarget A1 = PtrTarget::object(3, "bar");
+  PtrTarget A2 = PtrTarget::object(3, "baz");
+  PtrTarget A3 = PtrTarget::object(3, "bar");
+  EXPECT_FALSE(A1 == A2);
+  EXPECT_TRUE(A1 == A3);
+}
+
+TEST_F(CSymValueTest, StoreRoundTrips) {
+  CStore S;
+  CellKey K{4, "field"};
+  EXPECT_FALSE(S.has(K));
+  EXPECT_EQ(S.get(K), nullptr);
+  S.set(K, CSymValue::scalar(A.intConst(9)));
+  ASSERT_TRUE(S.has(K));
+  EXPECT_EQ(S.get(K)->scalarTerm()->value(), 9);
+  S.clear();
+  EXPECT_FALSE(S.has(K));
+}
+
+TEST_F(CSymValueTest, Rendering) {
+  CSymValue Null = CSymValue::nullPointer(A);
+  EXPECT_NE(Null.str().find("null"), std::string::npos);
+  CSymValue Obj = CSymValue::pointerTo(A, PtrTarget::object(3, "f"));
+  EXPECT_NE(Obj.str().find("obj3.f"), std::string::npos);
+}

@@ -1,0 +1,121 @@
+//===--- InterpTest.cpp - Tests for the concrete interpreter --------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "concrete/Interp.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mix;
+
+namespace {
+
+class InterpTest : public ::testing::Test {
+protected:
+  EvalResult evalSource(std::string_view Source, const ConcEnv &Env = {}) {
+    const Expr *E = parseExpression(Source, Ctx, Diags);
+    EXPECT_NE(E, nullptr) << Diags.str();
+    if (!E)
+      return EvalResult::error("parse failure");
+    ConcMemory Mem;
+    return evaluate(E, Env, Mem);
+  }
+
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+};
+
+} // namespace
+
+TEST_F(InterpTest, Arithmetic) {
+  EvalResult R = evalSource("1 + 2 - 4");
+  ASSERT_FALSE(R.IsError);
+  EXPECT_EQ(R.Value.asInt(), -1);
+}
+
+TEST_F(InterpTest, BooleansAndComparisons) {
+  EXPECT_TRUE(evalSource("1 < 2").Value.asBool());
+  EXPECT_FALSE(evalSource("2 <= 1").Value.asBool());
+  EXPECT_TRUE(evalSource("1 = 1").Value.asBool());
+  EXPECT_TRUE(evalSource("true and not false").Value.asBool());
+  EXPECT_TRUE(evalSource("false or true").Value.asBool());
+}
+
+TEST_F(InterpTest, Conditionals) {
+  EXPECT_EQ(evalSource("if 1 < 2 then 10 else 20").Value.asInt(), 10);
+  EXPECT_EQ(evalSource("if 2 < 1 then 10 else 20").Value.asInt(), 20);
+}
+
+TEST_F(InterpTest, LetAndShadowing) {
+  EXPECT_EQ(evalSource("let x = 1 in let x = x + 1 in x").Value.asInt(), 2);
+}
+
+TEST_F(InterpTest, References) {
+  EXPECT_EQ(evalSource("let r = ref 5 in !r").Value.asInt(), 5);
+  EXPECT_EQ(evalSource("let r = ref 0 in (r := 7; !r)").Value.asInt(), 7);
+  EXPECT_EQ(
+      evalSource("let r = ref 0 in (r := 1; r := !r + 1; !r)").Value.asInt(),
+      2);
+  // Aliasing through a second name.
+  EXPECT_EQ(evalSource("let r = ref 0 in let s = r in (s := 9; !r)")
+                .Value.asInt(),
+            9);
+}
+
+TEST_F(InterpTest, Functions) {
+  EXPECT_EQ(
+      evalSource("(fun (x: int) : int -> x + x) 21").Value.asInt(), 42);
+  EXPECT_EQ(evalSource("let add = fun (a: int) : int -> a + 1 in "
+                       "add (add 40)")
+                .Value.asInt(),
+            42);
+  // Closures capture their environment.
+  EXPECT_EQ(evalSource("let y = 10 in "
+                       "let addy = fun (x: int) : int -> x + y in "
+                       "let y = 999 in addy 5")
+                .Value.asInt(),
+            15);
+}
+
+TEST_F(InterpTest, BlocksAreTransparent) {
+  EXPECT_EQ(evalSource("{t 1 + 2 t}").Value.asInt(), 3);
+  EXPECT_EQ(evalSource("{s 1 + 2 s}").Value.asInt(), 3);
+  EXPECT_EQ(evalSource("{t {s {t 7 t} s} t}").Value.asInt(), 7);
+}
+
+TEST_F(InterpTest, RuntimeTypeErrors) {
+  EXPECT_TRUE(evalSource("1 + true").IsError);
+  EXPECT_TRUE(evalSource("if 3 then 1 else 2").IsError);
+  EXPECT_TRUE(evalSource("!5").IsError);
+  EXPECT_TRUE(evalSource("true 3").IsError);
+  EXPECT_TRUE(evalSource("x").IsError);
+  EXPECT_TRUE(evalSource("not 0").IsError);
+  EXPECT_TRUE(evalSource("1 = true").IsError);
+}
+
+TEST_F(InterpTest, ErrorsShortCircuit) {
+  // Evaluation is left-to-right; the error in the first operand stops
+  // the sequence before the write happens.
+  EXPECT_TRUE(evalSource("(1 + true); 2").IsError);
+  EXPECT_TRUE(evalSource("let r = ref 0 in ((!1); r := 5)").IsError);
+}
+
+TEST_F(InterpTest, EnvironmentInputs) {
+  ConcEnv Env;
+  Env["x"] = ConcValue::intValue(5);
+  Env["b"] = ConcValue::boolValue(true);
+  EXPECT_EQ(evalSource("x + 1", Env).Value.asInt(), 6);
+  EXPECT_EQ(evalSource("if b then x else 0", Env).Value.asInt(), 5);
+}
+
+TEST_F(InterpTest, MemoryThreading) {
+  // Dead-branch writes must not happen.
+  EXPECT_EQ(evalSource("let r = ref 0 in "
+                       "((if false then r := 1 else 0); !r)")
+                .Value.asInt(),
+            0);
+}

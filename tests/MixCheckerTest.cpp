@@ -1,0 +1,390 @@
+//===--- MixCheckerTest.cpp - Tests for the MIX mixed analysis ------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+// These tests exercise the mix rules of Figure 4 and reproduce the
+// motivating idioms of Section 2: each "idiom" program is rejected by one
+// analysis alone but accepted by the mixture.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstClone.h"
+#include "lang/Parser.h"
+#include "mix/MixChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace mix;
+
+namespace {
+
+class MixTest : public ::testing::Test {
+protected:
+  const Expr *parse(std::string_view Source) {
+    const Expr *E = parseExpression(Source, Ctx, Diags);
+    EXPECT_NE(E, nullptr) << "parse failed: " << Diags.str();
+    return E;
+  }
+
+  /// Runs the mixed analysis with the program's outermost scope typed.
+  std::string mixTyped(std::string_view Source, const TypeEnv &Gamma = {},
+                       MixOptions Opts = MixOptions()) {
+    Diags.clear();
+    const Expr *E = parse(Source);
+    if (!E)
+      return "<parse-error>";
+    MixChecker Mix(Ctx.types(), Diags, Opts);
+    const Type *T = Mix.checkTyped(E, Gamma);
+    return T ? T->str() : "<error>";
+  }
+
+  /// Runs the mixed analysis with the outermost scope symbolic.
+  std::string mixSymbolic(std::string_view Source,
+                          const TypeEnv &Gamma = {},
+                          MixOptions Opts = MixOptions()) {
+    Diags.clear();
+    const Expr *E = parse(Source);
+    if (!E)
+      return "<parse-error>";
+    MixChecker Mix(Ctx.types(), Diags, Opts);
+    const Type *T = Mix.checkSymbolic(E, Gamma);
+    return T ? T->str() : "<error>";
+  }
+
+  /// "Type checking alone": strips the blocks and runs the pure checker.
+  std::string pureTyped(std::string_view Source, const TypeEnv &Gamma = {}) {
+    DiagnosticEngine LocalDiags;
+    const Expr *E = parseExpression(Source, Ctx, LocalDiags);
+    if (!E)
+      return "<parse-error>";
+    const Expr *Stripped = cloneStrippingBlocks(Ctx, E);
+    TypeChecker Checker(Ctx.types(), LocalDiags);
+    const Type *T = Checker.check(Stripped, Gamma);
+    return T ? T->str() : "<error>";
+  }
+
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+};
+
+} // namespace
+
+// --- plumbing ---------------------------------------------------------------
+
+TEST_F(MixTest, PlainProgramsTypeCheck) {
+  EXPECT_EQ(mixTyped("1 + 2"), "int");
+  EXPECT_EQ(mixTyped("let r = ref 1 in (r := 2; !r)"), "int");
+}
+
+TEST_F(MixTest, SymbolicBlocksProduceTypes) {
+  EXPECT_EQ(mixTyped("{s 1 + 2 s} + 3"), "int");
+  EXPECT_EQ(mixTyped("if {s true s} then 1 else 2"), "int");
+}
+
+TEST_F(MixTest, TypedBlocksInsideSymbolic) {
+  EXPECT_EQ(mixSymbolic("{t 1 + 2 t} + 3"), "int");
+}
+
+TEST_F(MixTest, DeepNesting) {
+  EXPECT_EQ(mixTyped("{s {t {s {t 1 t} + 1 s} + 1 t} + 1 s} + 1"), "int");
+}
+
+TEST_F(MixTest, SymbolicBlockSeesGammaVariables) {
+  TypeEnv Gamma;
+  Gamma["x"] = Ctx.types().intType();
+  EXPECT_EQ(mixTyped("{s x + 1 s}", Gamma), "int");
+}
+
+// --- Section 2: path sensitivity -------------------------------------------
+
+TEST_F(MixTest, UnreachableCodeIdiom) {
+  // {t ... {s if true then {t 5 t} else {t <ill-typed> t} s} ... t}
+  // Pure typing rejects the dead ill-typed branch; MIX never reaches it.
+  const char *Program = "{s if true then {t 5 t} else {t 1 + true t} s}";
+  EXPECT_EQ(pureTyped(Program), "<error>");
+  EXPECT_EQ(mixTyped(Program), "int");
+}
+
+TEST_F(MixTest, FeasibleIllTypedBranchStillRejected) {
+  // Soundness check: with a symbolic condition both branches are
+  // feasible, so the ill-typed one must be reported.
+  TypeEnv Gamma;
+  Gamma["b"] = Ctx.types().boolType();
+  EXPECT_EQ(mixTyped("{s if b then {t 5 t} else {t 1 + true t} s}", Gamma),
+            "<error>");
+}
+
+TEST_F(MixTest, InfeasiblePathErrorsAreDiscarded) {
+  // The guard x = x + 1 is unsatisfiable; the error behind it is on an
+  // infeasible path and must be discarded by the solver check.
+  TypeEnv Gamma;
+  Gamma["x"] = Ctx.types().intType();
+  EXPECT_EQ(mixTyped("{s if x = x + 1 then 1 + true else 7 s}", Gamma),
+            "int");
+}
+
+// --- Section 2: flow sensitivity --------------------------------------------
+
+TEST_F(MixTest, VariableReuseByRebinding) {
+  // `{s var x = 1; {t ... t}; x = "foo" s}`: in the paper's
+  // dynamically-typed rendition, reassignment rebinds the variable; the
+  // ML-core analogue is let-shadowing at a different type, which the
+  // symbolic executor tracks per binding.
+  const char *Program =
+      "{s let x = 1 in ({t x + 1 t}; let x = true in "
+      "{t if x then 2 else 3 t}) s}";
+  EXPECT_EQ(mixTyped(Program), "int");
+}
+
+TEST_F(MixTest, CellReuseAtAnotherTypeIsFlaggedAtBoundaries) {
+  // The *reference-cell* version of variable reuse violates the formal
+  // system's global |- m ok at every boundary — exactly the limitation
+  // the paper reports in Section 4.6 ("any temporary violation of type
+  // invariants from symbolic blocks would immediately be flagged when
+  // switching to typed blocks").
+  const char *Program =
+      "{s let x = ref 1 in ({t !x + 1 t}; x := true; !x) s}";
+  EXPECT_EQ(pureTyped(Program), "<error>");
+  EXPECT_EQ(mixTyped(Program), "<error>");
+}
+
+TEST_F(MixTest, NullThenInitIdiom) {
+  // Section 2's x->obj = NULL; x->obj = malloc(...) shape: an ill-typed
+  // first write immediately overwritten by a well-typed one.
+  const char *Program =
+      "{s let x = ref 1 in (x := true; x := 2; {t !x + 1 t}) s}";
+  EXPECT_EQ(pureTyped(Program), "<error>");
+  EXPECT_EQ(mixTyped(Program), "int");
+}
+
+TEST_F(MixTest, UnoverwrittenIllTypedWriteRejected) {
+  // Leaving memory inconsistent at the typed-block boundary fails
+  // SETypBlock's |- m ok premise.
+  EXPECT_EQ(mixTyped("{s let x = ref 1 in (x := true; {t 0 t}) s}"),
+            "<error>");
+}
+
+// --- Section 2: context sensitivity ------------------------------------------
+
+TEST_F(MixTest, ContextSensitivityThroughSymbolicBlocks) {
+  // `div` returns different types on its two branches, so typing alone
+  // rejects it; symbolically executing the call `div 7 4`-style shows the
+  // error branch is infeasible.
+  const char *Program =
+      "{s (fun (y: int) : int -> if y = 0 then 1 + true else 7) 4 s}";
+  EXPECT_EQ(pureTyped(Program), "<error>");
+  EXPECT_EQ(mixTyped(Program), "int");
+}
+
+TEST_F(MixTest, PathAndContextSensitivityCombined) {
+  // The div example: the error branch is infeasible at both call sites,
+  // and each call is executed separately (context sensitivity).
+  const char *Program = "{s let div = fun (y: int) : int -> "
+                        "if y = 0 then true + 1 else 100 - y in "
+                        "(div 4) + (div 10) s}";
+  EXPECT_EQ(pureTyped(Program), "<error>");
+  EXPECT_EQ(mixTyped(Program), "int");
+}
+
+TEST_F(MixTest, EscapingClosuresMustTypeCheck) {
+  // Regression test for a soundness hole in the closure extension: a
+  // closure returned from a symbolic block carries its annotated arrow
+  // type into the typed world, which may apply it to *any* argument —
+  // so its body must type check on all inputs, not just the ones the
+  // block exercised.
+  const char *Escape =
+      "({s fun (y: int) : int -> if y = 0 then 1 + true else y s}) 0";
+  EXPECT_EQ(mixTyped(Escape), "<error>");
+
+  // The same closure applied *inside* the block is fine: symbolic
+  // execution checks exactly the feasible behaviour (the div idiom).
+  const char *Internal =
+      "{s (fun (y: int) : int -> if y = 0 then 1 + true else y) 4 s}";
+  EXPECT_EQ(mixTyped(Internal), "int");
+
+  // A well-typed closure escapes without complaint.
+  const char *Good = "({s fun (y: int) : int -> y + 1 s}) 41";
+  EXPECT_EQ(mixTyped(Good), "int");
+}
+
+TEST_F(MixTest, ClosuresStoredInMemoryAreVerifiedAtBoundaries) {
+  // The memory route for the same hole: the block stores a bad closure
+  // into a Gamma-provided reference; the typed world could fetch and
+  // apply it.
+  TypeEnv Gamma;
+  Gamma["p"] = Ctx.types().refType(
+      Ctx.types().funType(Ctx.types().intType(), Ctx.types().intType()));
+  const char *ViaMemory =
+      "{s p := (fun (y: int) : int -> if y = 0 then 1 + true else y); "
+      "0 s}";
+  EXPECT_EQ(mixTyped(ViaMemory, Gamma), "<error>");
+
+  const char *GoodViaMemory =
+      "{s p := (fun (y: int) : int -> y + y); 0 s}";
+  EXPECT_EQ(mixTyped(GoodViaMemory, Gamma), "int");
+}
+
+TEST_F(MixTest, ClosuresEnteringTypedBlocksAreVerified) {
+  // The Sigma route: a bad closure bound to a local crosses into a typed
+  // block which could apply it by type.
+  const char *ViaSigma =
+      "{s let f = fun (y: int) : int -> if y = 0 then 1 + true else y in "
+      "{t f 0 t} s}";
+  EXPECT_EQ(mixTyped(ViaSigma), "<error>");
+}
+
+TEST_F(MixTest, FunctionsDoNotCrossBlockBoundaries) {
+  // A known limitation the paper notes ("the lexical scoping of typed
+  // and symbolic blocks is one limitation"): a function value entering a
+  // typed block is abstracted to its arrow type, so a nested symbolic
+  // block can no longer execute its body.
+  const char *Program = "{s let f = fun (y: int) : int -> y in "
+                        "{t {s f 4 s} t} s}";
+  EXPECT_EQ(mixTyped(Program), "<error>");
+}
+
+// --- Section 2: local refinements -------------------------------------------
+
+TEST_F(MixTest, SignSplitIsExhaustive) {
+  // The sign-refinement example: three-way split over a symbolic int.
+  TypeEnv Gamma;
+  Gamma["x"] = Ctx.types().intType();
+  const char *Program = "{s if 0 < x then {t 1 t} "
+                        "else if x = 0 then {t 2 t} else {t 3 t} s}";
+  EXPECT_EQ(mixTyped(Program, Gamma), "int");
+}
+
+TEST_F(MixTest, LocalInitializationIdiom) {
+  // The malloc-then-initialize idiom: a fresh cell is written step by
+  // step inside the symbolic block; the surrounding typed code sees a
+  // consistently typed memory.
+  const char *Program =
+      "{t let y = {s let x = ref 0 in (x := 1; x := 2; !x) s} in y + 1 t}";
+  EXPECT_EQ(mixTyped(Program), "int");
+}
+
+// --- Section 2: helping symbolic execution ----------------------------------
+
+TEST_F(MixTest, TypedBlockModelsUnknownCall) {
+  // Wrapping an operation the executor cannot handle (here: applying a
+  // symbolic function value) in a typed block models its result by type.
+  TypeEnv Gamma;
+  Gamma["f"] =
+      Ctx.types().funType(Ctx.types().intType(), Ctx.types().intType());
+  // Without the typed block, symbolic execution fails...
+  EXPECT_EQ(mixSymbolic("f 1 + 2", Gamma), "<error>");
+  // ... with it, the call is conservatively modeled by its type.
+  EXPECT_EQ(mixSymbolic("{t f 1 t} + 2", Gamma), "int");
+}
+
+// --- result-type agreement and memory premises -------------------------------
+
+TEST_F(MixTest, PathsMustAgreeOnResultType) {
+  TypeEnv Gamma;
+  Gamma["b"] = Ctx.types().boolType();
+  EXPECT_EQ(mixTyped("{s if b then 1 else true s}", Gamma), "<error>");
+}
+
+TEST_F(MixTest, FinalMemoryMustBeConsistent) {
+  // The symbolic block ends with an un-overwritten ill-typed write.
+  EXPECT_EQ(mixTyped("{s let x = ref 1 in (x := true; 0) s}"), "<error>");
+  // Turning the final-memory premise off (ablation hook) accepts it.
+  MixOptions Opts;
+  Opts.CheckFinalMemory = false;
+  EXPECT_EQ(mixTyped("{s let x = ref 1 in (x := true; 0) s}", {}, Opts),
+            "int");
+}
+
+// --- strategies and options ---------------------------------------------------
+
+TEST_F(MixTest, DeferStrategyChecksTheSamePrograms) {
+  MixOptions Opts;
+  Opts.Exec.Strat = SymExecOptions::Strategy::Defer;
+  TypeEnv Gamma;
+  Gamma["x"] = Ctx.types().intType();
+  EXPECT_EQ(mixTyped("{s if 0 < x then 1 else 2 s}", Gamma, Opts), "int");
+  EXPECT_EQ(mixTyped("{s if 0 < x then 1 else true s}", Gamma, Opts),
+            "<error>");
+}
+
+TEST_F(MixTest, ExhaustivenessIsCheckedAndCounted) {
+  TypeEnv Gamma;
+  Gamma["x"] = Ctx.types().intType();
+  const Expr *E = parse("{s if 0 < x then 1 else 2 s}");
+  ASSERT_NE(E, nullptr);
+  MixChecker Mix(Ctx.types(), Diags);
+  ASSERT_NE(Mix.checkTyped(E, Gamma), nullptr);
+  EXPECT_EQ(Mix.stats().SymBlocksChecked, 1u);
+  EXPECT_EQ(Mix.stats().ExhaustivenessChecks, 1u);
+  EXPECT_EQ(Mix.stats().PathsExplored, 2u);
+}
+
+TEST_F(MixTest, AssumeCompleteSkipsExhaustiveness) {
+  MixOptions Opts;
+  Opts.Exhaustive = MixOptions::Exhaustiveness::AssumeComplete;
+  TypeEnv Gamma;
+  Gamma["x"] = Ctx.types().intType();
+  const Expr *E = parse("{s if 0 < x then 1 else 2 s}");
+  ASSERT_NE(E, nullptr);
+  MixChecker Mix(Ctx.types(), Diags, Opts);
+  ASSERT_NE(Mix.checkTyped(E, Gamma), nullptr);
+  EXPECT_EQ(Mix.stats().ExhaustivenessChecks, 0u);
+}
+
+TEST_F(MixTest, ResourceLimitRejectsSoundly) {
+  MixOptions Opts;
+  Opts.Exec.MaxPaths = 2;
+  TypeEnv Gamma;
+  Gamma["a"] = Ctx.types().boolType();
+  Gamma["b"] = Ctx.types().boolType();
+  EXPECT_EQ(mixTyped("{s if a then (if b then 1 else 2) else "
+                     "(if b then 3 else 4) s}",
+                     Gamma, Opts),
+            "<error>");
+}
+
+// --- the running example of Section 1 ----------------------------------------
+
+TEST_F(MixTest, MultithreadedFlagIdiom) {
+  // The introduction's shape: a top-level symbolic block separates the
+  // multithreaded=true and =false worlds; the typed regions are analyzed
+  // once per world. We model fork/lock/unlock effects as reference
+  // updates whose consistency depends on the flag correlation.
+  TypeEnv Gamma;
+  Gamma["multithreaded"] = Ctx.types().boolType();
+  const char *Program =
+      "{s let locked = ref 0 in ("
+      "  (if multithreaded then locked := 1 else 0); "
+      "  {t !locked t}; "
+      "  (if multithreaded then locked := 0 else 0); "
+      "  !locked) s}";
+  EXPECT_EQ(mixTyped(Program, Gamma), "int");
+}
+
+TEST_F(MixTest, FeasibleErrorsCarryConcreteWitnesses) {
+  // A rejected symbolic block reports a concrete input triggering the
+  // failing path — made possible by the solver's model extraction.
+  TypeEnv Gamma;
+  Gamma["x"] = Ctx.types().intType();
+  EXPECT_EQ(mixTyped("{s if x = 7 then 1 + true else 0 s}", Gamma),
+            "<error>");
+  bool SawWitness = false;
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Kind == DiagKind::Note &&
+        D.Message.find("x = 7") != std::string::npos)
+      SawWitness = true;
+  EXPECT_TRUE(SawWitness) << Diags.str();
+}
+
+TEST_F(MixTest, BooleanWitnesses) {
+  TypeEnv Gamma;
+  Gamma["b"] = Ctx.types().boolType();
+  EXPECT_EQ(mixTyped("{s if b then 1 + true else 0 s}", Gamma), "<error>");
+  bool SawWitness = false;
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Kind == DiagKind::Note &&
+        D.Message.find("b = true") != std::string::npos)
+      SawWitness = true;
+  EXPECT_TRUE(SawWitness) << Diags.str();
+}

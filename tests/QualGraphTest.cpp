@@ -1,0 +1,127 @@
+//===--- QualGraphTest.cpp - Unit tests for the qualifier graph -----------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "qual/QualGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace mix::c;
+
+TEST(QualGraphTest, EmptyGraphSolves) {
+  QualGraph G;
+  G.solve();
+  EXPECT_TRUE(G.violations().empty());
+}
+
+TEST(QualGraphTest, ReachabilityAlongFlows) {
+  QualGraph G;
+  auto A = G.newNode("a");
+  auto B = G.newNode("b");
+  auto C = G.newNode("c");
+  G.addFlow(A, B);
+  G.addFlow(B, C);
+  G.markNullSource(A);
+  G.solve();
+  EXPECT_TRUE(G.mayBeNull(A));
+  EXPECT_TRUE(G.mayBeNull(B));
+  EXPECT_TRUE(G.mayBeNull(C));
+}
+
+TEST(QualGraphTest, FlowsAreDirected) {
+  QualGraph G;
+  auto A = G.newNode("a");
+  auto B = G.newNode("b");
+  G.addFlow(A, B);
+  G.markNullSource(B);
+  G.solve();
+  EXPECT_FALSE(G.mayBeNull(A));
+  EXPECT_TRUE(G.mayBeNull(B));
+}
+
+TEST(QualGraphTest, ViolationsAreBoundNodesReached) {
+  QualGraph G;
+  auto Src = G.newNode("NULL");
+  auto Mid = G.newNode("x");
+  auto Sink = G.newNode("free::p");
+  auto Unrelated = G.newNode("y");
+  G.markNullSource(Src);
+  G.markNonnullBound(Sink);
+  G.markNonnullBound(Unrelated);
+  G.addFlow(Src, Mid);
+  G.addFlow(Mid, Sink);
+  G.solve();
+  auto V = G.violations();
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0], Sink);
+}
+
+TEST(QualGraphTest, WitnessPathIsAValidFlowChain) {
+  QualGraph G;
+  auto Src = G.newNode("NULL");
+  auto M1 = G.newNode("m1");
+  auto M2 = G.newNode("m2");
+  auto Sink = G.newNode("sink");
+  G.markNullSource(Src);
+  G.markNonnullBound(Sink);
+  G.addFlow(Src, M1);
+  G.addFlow(M1, M2);
+  G.addFlow(M2, Sink);
+  G.solve();
+  auto Path = G.witnessPath(Sink);
+  ASSERT_EQ(Path.size(), 4u);
+  EXPECT_EQ(Path.front(), Src);
+  EXPECT_EQ(Path.back(), Sink);
+  EXPECT_EQ(G.describePath(Path), "NULL -> m1 -> m2 -> sink");
+}
+
+TEST(QualGraphTest, WitnessPrefersShortestViaBfs) {
+  QualGraph G;
+  auto Src = G.newNode("src");
+  auto Long1 = G.newNode("l1");
+  auto Long2 = G.newNode("l2");
+  auto Sink = G.newNode("sink");
+  G.markNullSource(Src);
+  G.markNonnullBound(Sink);
+  G.addFlow(Src, Long1);
+  G.addFlow(Long1, Long2);
+  G.addFlow(Long2, Sink);
+  G.addFlow(Src, Sink); // the short route
+  G.solve();
+  EXPECT_EQ(G.witnessPath(Sink).size(), 2u);
+}
+
+TEST(QualGraphTest, UnreachableNodeHasEmptyWitness) {
+  QualGraph G;
+  auto A = G.newNode("a");
+  G.solve();
+  EXPECT_TRUE(G.witnessPath(A).empty());
+}
+
+TEST(QualGraphTest, DuplicateEdgesAreDeduplicated) {
+  QualGraph G;
+  auto A = G.newNode("a");
+  auto B = G.newNode("b");
+  G.addFlow(A, B);
+  G.addFlow(A, B);
+  G.addFlow(A, A); // self loops are dropped too
+  EXPECT_EQ(G.numEdges(), 1u);
+}
+
+TEST(QualGraphTest, ResolvesAfterIncrementalGrowth) {
+  // MIXY's fixpoint re-solves after adding constraints; reachability
+  // must refresh, not accumulate stale state.
+  QualGraph G;
+  auto A = G.newNode("a");
+  auto B = G.newNode("b");
+  G.markNonnullBound(B);
+  G.solve();
+  EXPECT_TRUE(G.violations().empty());
+  G.markNullSource(A);
+  G.addFlow(A, B);
+  G.solve();
+  EXPECT_EQ(G.violations().size(), 1u);
+}

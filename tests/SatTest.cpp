@@ -1,0 +1,192 @@
+//===--- SatTest.cpp - Tests for the CDCL SAT core ------------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Sat.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mix::smt;
+
+namespace {
+
+Lit pos(unsigned V) { return Lit(V, false); }
+Lit neg(unsigned V) { return Lit(V, true); }
+
+/// Exhaustive truth-table satisfiability check for cross-validation.
+bool bruteForceSat(unsigned NumVars,
+                   const std::vector<std::vector<Lit>> &Clauses) {
+  for (uint64_t Mask = 0; Mask < (1ULL << NumVars); ++Mask) {
+    bool AllSat = true;
+    for (const auto &C : Clauses) {
+      bool ClauseSat = false;
+      for (Lit L : C) {
+        bool Val = (Mask >> L.var()) & 1;
+        if (Val != L.negated()) {
+          ClauseSat = true;
+          break;
+        }
+      }
+      if (!ClauseSat) {
+        AllSat = false;
+        break;
+      }
+    }
+    if (AllSat)
+      return true;
+  }
+  return false;
+}
+
+/// Checks that a reported model satisfies all clauses.
+void expectModelSatisfies(const SatSolver &S,
+                          const std::vector<std::vector<Lit>> &Clauses) {
+  for (const auto &C : Clauses) {
+    bool ClauseSat = false;
+    for (Lit L : C)
+      if (S.modelValue(L.var()) != L.negated())
+        ClauseSat = true;
+    EXPECT_TRUE(ClauseSat) << "model does not satisfy a clause";
+  }
+}
+
+} // namespace
+
+TEST(SatTest, EmptyInstanceIsSat) {
+  SatSolver S;
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+}
+
+TEST(SatTest, SingleUnit) {
+  SatSolver S;
+  unsigned X = S.newVar();
+  S.addClause({pos(X)});
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_TRUE(S.modelValue(X));
+}
+
+TEST(SatTest, ContradictoryUnits) {
+  SatSolver S;
+  unsigned X = S.newVar();
+  S.addClause({pos(X)});
+  S.addClause({neg(X)});
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+}
+
+TEST(SatTest, EmptyClauseIsUnsat) {
+  SatSolver S;
+  S.newVar();
+  S.addClause({});
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+}
+
+TEST(SatTest, TautologicalClauseIgnored) {
+  SatSolver S;
+  unsigned X = S.newVar();
+  S.addClause({pos(X), neg(X)});
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+}
+
+TEST(SatTest, UnitPropagationChain) {
+  // x1, x1->x2, x2->x3, ..., forces all true.
+  SatSolver S;
+  const unsigned N = 20;
+  std::vector<unsigned> Vars;
+  for (unsigned I = 0; I != N; ++I)
+    Vars.push_back(S.newVar());
+  S.addClause({pos(Vars[0])});
+  for (unsigned I = 0; I + 1 != N; ++I)
+    S.addClause({neg(Vars[I]), pos(Vars[I + 1])});
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  for (unsigned I = 0; I != N; ++I)
+    EXPECT_TRUE(S.modelValue(Vars[I]));
+}
+
+TEST(SatTest, RequiresConflictAnalysis) {
+  // (a | b) & (a | ~b) & (~a | c) & (~a | ~c) is unsat.
+  SatSolver S;
+  unsigned A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addClause({pos(A), pos(B)});
+  S.addClause({pos(A), neg(B)});
+  S.addClause({neg(A), pos(C)});
+  S.addClause({neg(A), neg(C)});
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+}
+
+TEST(SatTest, PigeonholeThreeIntoTwo) {
+  // 3 pigeons, 2 holes: classic small unsat instance.
+  SatSolver S;
+  unsigned P[3][2];
+  for (auto &Row : P)
+    for (unsigned &V : Row)
+      V = S.newVar();
+  for (auto &Row : P)
+    S.addClause({pos(Row[0]), pos(Row[1])});
+  for (unsigned H = 0; H != 2; ++H)
+    for (unsigned I = 0; I != 3; ++I)
+      for (unsigned J = I + 1; J != 3; ++J)
+        S.addClause({neg(P[I][H]), neg(P[J][H])});
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+}
+
+TEST(SatTest, IncrementalAddAfterSolve) {
+  SatSolver S;
+  unsigned X = S.newVar(), Y = S.newVar();
+  S.addClause({pos(X), pos(Y)});
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  // Block both-possible models one at a time.
+  S.addClause({neg(X)});
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_TRUE(S.modelValue(Y));
+  S.addClause({neg(Y)});
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+}
+
+/// Random 3-SAT instances cross-checked against a truth table, over a range
+/// of clause densities (the interesting band is around ratio 4.3).
+class SatRandomTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SatRandomTest, MatchesBruteForce) {
+  std::mt19937 Rng(GetParam());
+  for (int Round = 0; Round != 40; ++Round) {
+    unsigned NumVars = 3 + Rng() % 8; // 3..10
+    unsigned NumClauses = 1 + Rng() % (NumVars * 5);
+    std::vector<std::vector<Lit>> Clauses;
+    SatSolver S;
+    for (unsigned I = 0; I != NumVars; ++I)
+      S.newVar();
+    for (unsigned I = 0; I != NumClauses; ++I) {
+      std::vector<Lit> C;
+      unsigned Width = 1 + Rng() % 3;
+      for (unsigned K = 0; K != Width; ++K)
+        C.push_back(Lit(Rng() % NumVars, Rng() % 2 == 0));
+      Clauses.push_back(C);
+      S.addClause(C);
+    }
+    bool Expected = bruteForceSat(NumVars, Clauses);
+    SatResult Got = S.solve();
+    ASSERT_EQ(Got == SatResult::Sat, Expected)
+        << "mismatch with brute force (seed " << GetParam() << " round "
+        << Round << ")";
+    if (Got == SatResult::Sat)
+      expectModelSatisfies(S, Clauses);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatRandomTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+TEST(SatTest, StatisticsAccumulate) {
+  SatSolver S;
+  unsigned A = S.newVar(), B = S.newVar();
+  S.addClause({pos(A), pos(B)});
+  S.addClause({neg(A), pos(B)});
+  S.addClause({pos(A), neg(B)});
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_GT(S.stats().Propagations + S.stats().Decisions, 0u);
+}

@@ -1,0 +1,422 @@
+//===--- SignTest.cpp - Tests for the sign-qualifier MIX instantiation ----===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+// The sign-qualifier system of Section 2's "Local Refinements of Data",
+// checked standalone and mixed with the symbolic executor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+#include "lang/Parser.h"
+#include "sign/SignMix.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mix;
+
+// --- the lattice ---------------------------------------------------------------
+
+TEST(SignLatticeTest, Join) {
+  EXPECT_EQ(joinSign(SignQual::Pos, SignQual::Pos), SignQual::Pos);
+  EXPECT_EQ(joinSign(SignQual::Pos, SignQual::Zero), SignQual::Unknown);
+  EXPECT_EQ(joinSign(SignQual::Neg, SignQual::Unknown), SignQual::Unknown);
+}
+
+TEST(SignLatticeTest, Subtyping) {
+  EXPECT_TRUE(signSubtype(SignQual::Pos, SignQual::Unknown));
+  EXPECT_TRUE(signSubtype(SignQual::Zero, SignQual::Zero));
+  EXPECT_FALSE(signSubtype(SignQual::Unknown, SignQual::Pos));
+  EXPECT_FALSE(signSubtype(SignQual::Pos, SignQual::Neg));
+}
+
+TEST(SignLatticeTest, ArithmeticTables) {
+  EXPECT_EQ(addSigns(SignQual::Pos, SignQual::Pos), SignQual::Pos);
+  EXPECT_EQ(addSigns(SignQual::Pos, SignQual::Zero), SignQual::Pos);
+  EXPECT_EQ(addSigns(SignQual::Pos, SignQual::Neg), SignQual::Unknown);
+  EXPECT_EQ(addSigns(SignQual::Zero, SignQual::Zero), SignQual::Zero);
+  EXPECT_EQ(subSigns(SignQual::Pos, SignQual::Neg), SignQual::Pos);
+  EXPECT_EQ(subSigns(SignQual::Zero, SignQual::Pos), SignQual::Neg);
+  EXPECT_EQ(subSigns(SignQual::Pos, SignQual::Pos), SignQual::Unknown);
+}
+
+/// Exhaustive lattice soundness: the abstract tables over-approximate the
+/// concrete operations on every pair of representative values.
+TEST(SignLatticeTest, TablesAreSoundOnRepresentatives) {
+  long long Reps[] = {-7, -1, 0, 1, 7};
+  for (long long A : Reps)
+    for (long long B : Reps) {
+      SignQual QA = signOfValue(A), QB = signOfValue(B);
+      EXPECT_TRUE(signSubtype(signOfValue(A + B), addSigns(QA, QB)))
+          << A << " + " << B;
+      EXPECT_TRUE(signSubtype(signOfValue(A - B), subSigns(QA, QB)))
+          << A << " - " << B;
+    }
+}
+
+// --- the checker alone ----------------------------------------------------------
+
+namespace {
+
+class SignCheckTest : public ::testing::Test {
+protected:
+  std::string stypeOf(std::string_view Source,
+                      const SignEnv &Gamma = SignEnv()) {
+    Diags.clear();
+    const Expr *E = parseExpression(Source, Ctx, Diags);
+    EXPECT_NE(E, nullptr) << Diags.str();
+    if (!E)
+      return "<parse-error>";
+    SignMixChecker Mix(Ctx.types(), Diags);
+    const SType *S = Mix.checkTyped(E, Gamma);
+    return S ? S->str() : "<error>";
+  }
+
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+};
+
+} // namespace
+
+TEST_F(SignCheckTest, LiteralsHaveExactSigns) {
+  EXPECT_EQ(stypeOf("3"), "pos int");
+  EXPECT_EQ(stypeOf("0"), "zero int");
+  EXPECT_EQ(stypeOf("0 - 4"), "neg int");
+}
+
+TEST_F(SignCheckTest, ArithmeticPropagatesSigns) {
+  EXPECT_EQ(stypeOf("1 + 2"), "pos int");
+  EXPECT_EQ(stypeOf("let z = 0 in z + 5"), "pos int");
+  EXPECT_EQ(stypeOf("(0 - 1) + (0 - 2)"), "neg int");
+  EXPECT_EQ(stypeOf("1 - 2"), "int"); // pos - pos: unknown
+}
+
+TEST_F(SignCheckTest, JoinsAtConditionals) {
+  EXPECT_EQ(stypeOf("if true then 1 else 2"), "pos int");
+  EXPECT_EQ(stypeOf("if true then 1 else 0"), "int"); // pos |_| zero
+}
+
+TEST_F(SignCheckTest, ReferencesAreInvariant) {
+  EXPECT_EQ(stypeOf("let r = ref 1 in !r"), "pos int");
+  // Writing a different sign into a pos cell is the flow-insensitive
+  // false positive the symbolic block will later remove.
+  EXPECT_EQ(stypeOf("let r = ref 1 in r := 0"), "<error>");
+  // Unknown-qualified cells accept any sign.
+  EXPECT_EQ(stypeOf("let r = ref (1 - 2) in (r := 0; r := 5; !r)"), "int");
+}
+
+TEST_F(SignCheckTest, FunctionsUseLiftedAnnotations) {
+  EXPECT_EQ(stypeOf("(fun (x: int) : int -> x + 1) 5"), "int");
+  EXPECT_EQ(stypeOf("fun (x: int) : int -> x"), "int -> int");
+}
+
+TEST_F(SignCheckTest, GammaCarriesQualifiers) {
+  AstContext LocalCtx;
+  DiagnosticEngine LocalDiags;
+  SignMixChecker Mix(LocalCtx.types(), LocalDiags);
+  SignEnv Gamma;
+  Gamma["p"] = Mix.signTypes().intType(SignQual::Pos);
+  const Expr *E = parseExpression("p + 1", LocalCtx, LocalDiags);
+  ASSERT_NE(E, nullptr);
+  const SType *S = Mix.checkTyped(E, Gamma);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->str(), "pos int");
+}
+
+// --- the mixed analysis -----------------------------------------------------------
+
+namespace {
+
+class SignMixTest : public ::testing::Test {
+protected:
+  std::string mixTyped(std::string_view Source,
+                       const SignEnv &Gamma = SignEnv()) {
+    Diags.clear();
+    const Expr *E = parseExpression(Source, Ctx, Diags);
+    EXPECT_NE(E, nullptr) << Diags.str();
+    if (!E)
+      return "<parse-error>";
+    Mix = std::make_unique<SignMixChecker>(Ctx.types(), Diags);
+    const SType *S = Mix->checkTyped(E, Gamma);
+    LastDiags = Diags.str();
+    return S ? S->str() : "<error>";
+  }
+
+  SignEnv gammaWith(const char *Name, SignQual Q) {
+    // Builds Gamma against a throwaway checker sharing Ctx's types.
+    Scratch = std::make_unique<SignMixChecker>(Ctx.types(), ScratchDiags);
+    SignEnv Gamma;
+    Gamma[Name] = Scratch->signTypes().intType(Q);
+    return Gamma;
+  }
+
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  DiagnosticEngine ScratchDiags;
+  std::unique_ptr<SignMixChecker> Mix;
+  std::unique_ptr<SignMixChecker> Scratch;
+  std::string LastDiags;
+};
+
+} // namespace
+
+TEST_F(SignMixTest, SymbolicBlocksRecoverResultSigns) {
+  // The executor + solver derive a sharper sign than the checker could.
+  EXPECT_EQ(mixTyped("{s if true then 1 else 0 s}"), "pos int");
+  // Pure checking joins to unknown:
+  EXPECT_EQ(mixTyped("if true then 1 else 0"), "int");
+}
+
+TEST_F(SignMixTest, PaperSignRefinementExample) {
+  // Section 2's example, with the three typed blocks returning the
+  // refined variable itself; each branch's sign is recovered exactly and
+  // the join is unknown — but, crucially, each typed block checked with
+  // x at its refined sign.
+  AstContext LocalCtx;
+  DiagnosticEngine LocalDiags;
+  SignMixChecker LocalMix(LocalCtx.types(), LocalDiags);
+  SignEnv Gamma;
+  Gamma["x"] = LocalMix.signTypes().intType(SignQual::Unknown);
+
+  // Inside each branch the typed block computes x + x; for pos x the
+  // result is pos, so dividing the branches by sign matters: the whole
+  // block's type is the join of pos/zero/neg = unknown int, but a
+  // variant returning 1 / x+1 / 0-x is provably pos.
+  const Expr *E = parseExpression(
+      "{s if 0 < x then {t x + x t} "
+      "else if x = 0 then {t x t} else {t x + x t} s}",
+      LocalCtx, LocalDiags);
+  ASSERT_NE(E, nullptr) << LocalDiags.str();
+  const SType *S = LocalMix.checkTyped(E, Gamma);
+  ASSERT_NE(S, nullptr) << LocalDiags.str();
+  EXPECT_EQ(S->str(), "int"); // pos |_| zero |_| neg
+
+  // The positive-everywhere variant: pos branch yields pos (via the
+  // typed block seeing x : pos int!), zero branch yields pos literal,
+  // neg branch yields 0 - x which is pos for neg x.
+  const Expr *E2 = parseExpression(
+      "{s if 0 < x then {t x + x t} "
+      "else if x = 0 then {t 7 t} else {t 0 - x t} s}",
+      LocalCtx, LocalDiags);
+  ASSERT_NE(E2, nullptr) << LocalDiags.str();
+  const SType *S2 = LocalMix.checkTyped(E2, Gamma);
+  ASSERT_NE(S2, nullptr) << LocalDiags.str();
+  EXPECT_EQ(S2->str(), "pos int");
+}
+
+TEST_F(SignMixTest, TypedBlocksSeeRefinedInputSigns) {
+  // x is unknown in Gamma; the guard makes it pos inside the branch, and
+  // the typed block's checker must see `x : pos int` (so x + 1 is pos,
+  // which the enclosing assignment to a pos cell requires).
+  SignEnv Gamma = gammaWith("x", SignQual::Unknown);
+  EXPECT_EQ(mixTyped("{s let r = ref 1 in "
+                     "(if 0 < x then r := {t x + 1 t} else r := 2; !r) s}",
+                     Gamma),
+            "pos int")
+      << LastDiags;
+}
+
+TEST_F(SignMixTest, GammaSignsConstrainTheExecutor) {
+  // TSymBlock-sign seeds the path condition from Gamma: for pos x the
+  // x = 0 branch is infeasible and its would-be error is discarded.
+  SignEnv Gamma = gammaWith("x", SignQual::Pos);
+  EXPECT_EQ(mixTyped("{s if x = 0 then true + 1 else x s}", Gamma),
+            "pos int")
+      << LastDiags;
+  // With unknown x the error branch is feasible and reported.
+  SignEnv Unknown = gammaWith("x", SignQual::Unknown);
+  EXPECT_EQ(mixTyped("{s if x = 0 then true + 1 else x s}", Unknown),
+            "<error>");
+}
+
+TEST_F(SignMixTest, ResultRefinementFlowsBackIntoExecution) {
+  // The typed block's pos result refines the continuing path, so the
+  // following symbolic test against 0 is decided.
+  SignEnv Gamma = gammaWith("x", SignQual::Pos);
+  EXPECT_EQ(mixTyped("{s if {t x + 1 t} = 0 then true + 1 else 5 s}",
+                     Gamma),
+            "pos int")
+      << LastDiags;
+}
+
+TEST_F(SignMixTest, FeasibleSignErrorsAreCaught) {
+  // A Gamma-provided pos cell written with an unknown-sign value inside
+  // a symbolic block: the sign analogue of |- m ok flags it at exit.
+  AstContext LocalCtx;
+  DiagnosticEngine LocalDiags;
+  SignMixChecker LocalMix(LocalCtx.types(), LocalDiags);
+  SignEnv Gamma;
+  Gamma["x"] = LocalMix.signTypes().intType(SignQual::Unknown);
+  Gamma["r"] = LocalMix.signTypes().refType(
+      LocalMix.signTypes().intType(SignQual::Pos));
+
+  const Expr *Bad = parseExpression("{s r := x s}", LocalCtx, LocalDiags);
+  ASSERT_NE(Bad, nullptr);
+  EXPECT_EQ(LocalMix.checkTyped(Bad, Gamma), nullptr);
+
+  // Writing a provably positive value is fine.
+  DiagnosticEngine OkDiags;
+  SignMixChecker OkMix(LocalCtx.types(), OkDiags);
+  SignEnv Gamma2;
+  Gamma2["x"] = OkMix.signTypes().intType(SignQual::Pos);
+  Gamma2["r"] = OkMix.signTypes().refType(
+      OkMix.signTypes().intType(SignQual::Pos));
+  const Expr *Good =
+      parseExpression("{s r := x + 1 s}", LocalCtx, OkDiags);
+  ASSERT_NE(Good, nullptr);
+  EXPECT_NE(OkMix.checkTyped(Good, Gamma2), nullptr) << OkDiags.str();
+}
+
+TEST_F(SignMixTest, BlockLocalCellsAreUnconstrained) {
+  // A block-local cell has no sign annotation; symbolic execution may
+  // write any signs into it (the analogue of SEAssign's arbitrary
+  // writes), and the read's sign is whatever the solver can prove.
+  EXPECT_EQ(mixTyped("{s let r = ref 1 in (r := 0 - 5; !r) s}"),
+            "neg int");
+}
+
+TEST_F(SignMixTest, InitialCellContentsCarryGammaSigns) {
+  // Reading a pos-qualified cell inside the block yields a provably
+  // positive value.
+  AstContext LocalCtx;
+  DiagnosticEngine LocalDiags;
+  SignMixChecker LocalMix(LocalCtx.types(), LocalDiags);
+  SignEnv Gamma;
+  Gamma["r"] = LocalMix.signTypes().refType(
+      LocalMix.signTypes().intType(SignQual::Pos));
+  const Expr *E =
+      parseExpression("{s if 0 < !r then 1 else true + 1 s}", LocalCtx,
+                      LocalDiags);
+  ASSERT_NE(E, nullptr);
+  const SType *S = LocalMix.checkTyped(E, Gamma);
+  ASSERT_NE(S, nullptr) << LocalDiags.str();
+  EXPECT_EQ(S->str(), "pos int");
+}
+
+TEST_F(SignMixTest, EscapingClosuresMustSignCheck) {
+  // The closure's body promises (lifted) int -> int and sign-checks.
+  EXPECT_EQ(mixTyped("({s fun (y: int) : int -> y + 1 s}) 3"), "int");
+}
+
+// === sign soundness property ====================================================
+
+namespace {
+
+/// Type-directed generator of int-only programs (literals, arithmetic,
+/// conditionals, lets, blocks) for the sign property.
+class SignProgramGen {
+public:
+  SignProgramGen(mix::AstContext &Ctx, std::mt19937 &Rng)
+      : Ctx(Ctx), Rng(Rng) {}
+
+  const Expr *gen(unsigned Depth, std::vector<std::string> Vars) {
+    if (Depth == 0) {
+      if (!Vars.empty() && Rng() % 2)
+        return Ctx.make<VarExpr>(mix::SourceLoc(),
+                                 Vars[Rng() % Vars.size()]);
+      return Ctx.make<IntLitExpr>(mix::SourceLoc(),
+                                  (long long)(Rng() % 13) - 6);
+    }
+    switch (Rng() % 6) {
+    case 0:
+      return Ctx.make<BinaryExpr>(mix::SourceLoc(), BinaryOp::Add,
+                                  gen(Depth - 1, Vars), gen(Depth - 1, Vars));
+    case 1:
+      return Ctx.make<BinaryExpr>(mix::SourceLoc(), BinaryOp::Sub,
+                                  gen(Depth - 1, Vars), gen(Depth - 1, Vars));
+    case 2: {
+      const Expr *C = Ctx.make<BinaryExpr>(
+          mix::SourceLoc(), Rng() % 2 ? BinaryOp::Lt : BinaryOp::Le,
+          gen(Depth - 1, Vars), gen(Depth - 1, Vars));
+      return Ctx.make<IfExpr>(mix::SourceLoc(), C, gen(Depth - 1, Vars),
+                              gen(Depth - 1, Vars));
+    }
+    case 3: {
+      std::string Name = "t" + std::to_string(Counter++);
+      const Expr *Init = gen(Depth - 1, Vars);
+      Vars.push_back(Name);
+      return Ctx.make<LetExpr>(mix::SourceLoc(), Name, nullptr, Init,
+                               gen(Depth - 1, Vars));
+    }
+    case 4: {
+      // A block around a subterm: symbolic or typed.
+      const Expr *Sub = gen(Depth - 1, Vars);
+      return Ctx.make<BlockExpr>(mix::SourceLoc(),
+                                 Rng() % 2 ? BlockKind::Symbolic
+                                           : BlockKind::Typed,
+                                 Sub);
+    }
+    default:
+      return gen(0, Vars);
+    }
+  }
+
+private:
+  mix::AstContext &Ctx;
+  std::mt19937 &Rng;
+  unsigned Counter = 0;
+};
+
+bool signAdmits(SignQual Q, long long V) {
+  switch (Q) {
+  case SignQual::Pos:
+    return V > 0;
+  case SignQual::Zero:
+    return V == 0;
+  case SignQual::Neg:
+    return V < 0;
+  case SignQual::Unknown:
+    return true;
+  }
+  return true;
+}
+
+} // namespace
+
+#include "concrete/Interp.h"
+
+/// Soundness of the sign-mixed analysis: if the analysis derives sign Q
+/// for a program over inputs x, y (unknown ints), then every concrete
+/// evaluation's result has sign Q.
+class SignSoundnessTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SignSoundnessTest, DerivedSignsAdmitAllConcreteResults) {
+  std::mt19937 Rng(GetParam());
+  unsigned Accepted = 0;
+  for (int Round = 0; Round != 50; ++Round) {
+    AstContext Ctx;
+    DiagnosticEngine Diags;
+    SignProgramGen Gen(Ctx, Rng);
+    const Expr *Program = Gen.gen(4, {"x", "y"});
+
+    SignMixChecker Mix(Ctx.types(), Diags);
+    SignEnv Gamma;
+    Gamma["x"] = Mix.signTypes().intType(SignQual::Unknown);
+    Gamma["y"] = Mix.signTypes().intType(SignQual::Unknown);
+    const SType *S = Mix.checkTyped(Program, Gamma);
+    if (!S || !S->isInt())
+      continue;
+    ++Accepted;
+
+    for (int Trial = 0; Trial != 12; ++Trial) {
+      ConcEnv Env;
+      Env["x"] = ConcValue::intValue((long long)(Rng() % 21) - 10);
+      Env["y"] = ConcValue::intValue((long long)(Rng() % 21) - 10);
+      ConcMemory Mem;
+      EvalResult R = evaluate(Program, Env, Mem);
+      ASSERT_FALSE(R.IsError);
+      ASSERT_TRUE(R.Value.isInt());
+      EXPECT_TRUE(signAdmits(S->sign(), R.Value.asInt()))
+          << "derived " << S->str() << " but got " << R.Value.asInt()
+          << " for x=" << Env["x"].asInt() << " y=" << Env["y"].asInt()
+          << "\nprogram: " << mix::printExpr(Program);
+    }
+  }
+  EXPECT_GT(Accepted, 25u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SignSoundnessTest,
+                         ::testing::Values(31u, 62u, 93u, 124u));

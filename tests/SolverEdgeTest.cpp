@@ -1,0 +1,116 @@
+//===--- SolverEdgeTest.cpp - Resource caps and conservativeness ----------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+// The solver's failure modes matter for the analysis' soundness: resource
+// exhaustion must surface as Unknown (never as a wrong Sat/Unsat), and
+// the convenience predicates must map Unknown in the conservative
+// direction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/SmtSolver.h"
+
+#include <gtest/gtest.h>
+
+using namespace mix::smt;
+
+TEST(SolverEdgeTest, DisequalitySplitCapYieldsUnknown) {
+  // More disequalities than the split budget: Unknown, not a guess.
+  LiaOptions Opts;
+  Opts.MaxDisequalitySplits = 2;
+  std::vector<LinConstraint> Cs;
+  for (unsigned I = 0; I != 4; ++I) {
+    LinConstraint C;
+    C.Coeffs[0] = 1;
+    C.Rel = LinRel::Ne;
+    C.Rhs = (long long)I;
+    Cs.push_back(C);
+  }
+  EXPECT_EQ(checkLinearConjunction(Cs, Opts).Verdict, LiaVerdict::Unknown);
+}
+
+TEST(SolverEdgeTest, ConstraintCapYieldsUnknown) {
+  // A dense system small caps cannot finish: Unknown, not a wrong answer.
+  LiaOptions Opts;
+  Opts.MaxConstraints = 3;
+  std::vector<LinConstraint> Cs;
+  for (unsigned I = 0; I != 6; ++I) {
+    LinConstraint C;
+    C.Coeffs[I % 3] = 1;
+    C.Coeffs[(I + 1) % 3] = (I % 2) ? 1 : -1;
+    C.Rel = LinRel::Le;
+    C.Rhs = 1;
+    Cs.push_back(C);
+  }
+  LiaResult R = checkLinearConjunction(Cs, Opts);
+  EXPECT_NE(R.Verdict, LiaVerdict::Unsat); // it is satisfiable or unknown
+}
+
+TEST(SolverEdgeTest, UnknownMapsConservatively) {
+  // isDefinitelyUnsat/Valid must answer false on Unknown; isPossiblySat
+  // must answer true.
+  TermArena A;
+  SmtOptions Opts;
+  Opts.Lia.MaxDisequalitySplits = 0; // every disequality -> Unknown
+  SmtSolver S(A, Opts);
+  const Term *X = A.freshIntVar();
+  const Term *F = A.notTerm(A.eqInt(X, A.intConst(0)));
+  EXPECT_EQ(S.checkSat(F), SolveResult::Unknown);
+  EXPECT_FALSE(S.isDefinitelyUnsat(F));
+  EXPECT_TRUE(S.isPossiblySat(F));
+  EXPECT_FALSE(S.isDefinitelyValid(A.notTerm(F)));
+}
+
+TEST(SolverEdgeTest, StatisticsCountBlockedModels) {
+  TermArena A;
+  SmtSolver S(A);
+  // Force at least one theory conflict: p <-> (x < 0), q <-> (x > 0),
+  // p /\ q is propositionally fine but theory-blocked.
+  const Term *X = A.freshIntVar();
+  const Term *F = A.andTerm(A.lt(X, A.intConst(0)),
+                            A.lt(A.intConst(0), X));
+  EXPECT_EQ(S.checkSat(F), SolveResult::Unsat);
+  EXPECT_GE(S.stats().TheoryChecks, 1u);
+}
+
+TEST(SolverEdgeTest, TermPrinterIsStable) {
+  TermArena A;
+  const Term *X = A.freshIntVar("x");
+  const Term *T =
+      A.andTerm(A.lt(X, A.intConst(3)), A.notTerm(A.eqInt(X, A.intConst(0))));
+  std::string S = T->str();
+  EXPECT_NE(S.find("and"), std::string::npos);
+  EXPECT_NE(S.find("<"), std::string::npos);
+  EXPECT_NE(S.find("not"), std::string::npos);
+  // Hash-consing: printing twice yields the same string.
+  EXPECT_EQ(S, T->str());
+}
+
+TEST(SolverEdgeTest, LargeCoefficientOverflowIsUnknownNotWrong) {
+  LiaOptions Opts;
+  Opts.MaxCoefficient = 100;
+  LinConstraint C;
+  C.Coeffs[0] = 1000; // beyond the cap
+  C.Rel = LinRel::Le;
+  C.Rhs = 5;
+  LiaResult R = checkLinearConjunction({C}, Opts);
+  EXPECT_NE(R.Verdict, LiaVerdict::Unsat);
+}
+
+TEST(SolverEdgeTest, MixedSortEqualityThroughIte) {
+  // Regression: lowering nested ite-int inside boolean structure.
+  TermArena A;
+  SmtSolver S(A);
+  const Term *C1 = A.freshBoolVar();
+  const Term *C2 = A.freshBoolVar();
+  const Term *V = A.iteInt(C1, A.iteInt(C2, A.intConst(1), A.intConst(2)),
+                           A.intConst(3));
+  // V == 2 forces c1 /\ !c2; adding c2 contradicts.
+  EXPECT_EQ(S.checkSat(A.andTerm(A.eqInt(V, A.intConst(2)), C2)),
+            SolveResult::Unsat);
+  EXPECT_EQ(S.checkSat(A.eqInt(V, A.intConst(2))), SolveResult::Sat);
+  // V can never be 4.
+  EXPECT_EQ(S.checkSat(A.eqInt(V, A.intConst(4))), SolveResult::Unsat);
+}

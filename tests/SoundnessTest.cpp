@@ -1,0 +1,388 @@
+//===--- SoundnessTest.cpp - Property tests for MIX soundness -------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+// Theorem 1 (MIX Soundness), property-tested: programs accepted by the
+// mixed analysis never evaluate to the error token under the concrete
+// big-step semantics, from any environment conforming to Gamma. A second
+// property cross-checks the symbolic executor against the interpreter on
+// closed programs (soundness part 2, specialized to concrete inputs).
+//
+//===----------------------------------------------------------------------===//
+
+#include "concrete/Interp.h"
+#include "lang/AstPrinter.h"
+#include "mix/MixChecker.h"
+#include "symexec/SymExecutor.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mix;
+
+namespace {
+
+/// Type-directed random program generator. Produces mostly well-typed
+/// expressions over a fixed Gamma, with analysis blocks sprinkled in.
+class ProgramGenerator {
+public:
+  ProgramGenerator(AstContext &Ctx, std::mt19937 &Rng, bool AllowBlocks)
+      : Ctx(Ctx), Rng(Rng), AllowBlocks(AllowBlocks) {}
+
+  /// Variables available to the generated program.
+  struct Scope {
+    std::vector<std::string> IntVars;
+    std::vector<std::string> BoolVars;
+    std::vector<std::string> RefVars; // int ref
+  };
+
+  const Expr *genInt(const Scope &S, unsigned Depth) {
+    return maybeBlock(genIntRaw(S, Depth));
+  }
+
+  const Expr *genBool(const Scope &S, unsigned Depth) {
+    return maybeBlock(genBoolRaw(S, Depth));
+  }
+
+  bool usedTypedBlock() const { return UsedTypedBlock; }
+
+private:
+  const Expr *maybeBlock(const Expr *E) {
+    if (!AllowBlocks || Rng() % 5 != 0)
+      return E;
+    if (Rng() % 2) {
+      return Ctx.make<BlockExpr>(SourceLoc(), BlockKind::Symbolic, E);
+    }
+    UsedTypedBlock = true;
+    return Ctx.make<BlockExpr>(SourceLoc(), BlockKind::Typed, E);
+  }
+
+  const Expr *genIntRaw(const Scope &S, unsigned Depth) {
+    if (Depth == 0) {
+      if (!S.IntVars.empty() && Rng() % 2)
+        return Ctx.make<VarExpr>(SourceLoc(),
+                                 S.IntVars[Rng() % S.IntVars.size()]);
+      return Ctx.make<IntLitExpr>(SourceLoc(), (long long)(Rng() % 9) - 4);
+    }
+    // Occasionally build and immediately apply a function literal; the
+    // literal itself may get wrapped in an analysis block by maybeBlock,
+    // exercising closure escape across boundaries.
+    if (Rng() % 8 == 0) {
+      std::string Param = freshName();
+      Scope Inner = S;
+      Inner.IntVars.push_back(Param);
+      const Expr *Fn = maybeBlock(Ctx.make<FunExpr>(
+          SourceLoc(), Param, Ctx.types().intType(), Ctx.types().intType(),
+          genInt(Inner, Depth - 1)));
+      return Ctx.make<AppExpr>(SourceLoc(), Fn, genInt(S, Depth - 1));
+    }
+    switch (Rng() % 8) {
+    case 0:
+    case 1:
+      return Ctx.make<BinaryExpr>(SourceLoc(),
+                                  Rng() % 2 ? BinaryOp::Add : BinaryOp::Sub,
+                                  genInt(S, Depth - 1), genInt(S, Depth - 1));
+    case 2:
+      return Ctx.make<IfExpr>(SourceLoc(), genBool(S, Depth - 1),
+                              genInt(S, Depth - 1), genInt(S, Depth - 1));
+    case 3: {
+      // let x = <int> in <int with x in scope>
+      std::string Name = freshName();
+      Scope Inner = S;
+      Inner.IntVars.push_back(Name);
+      return Ctx.make<LetExpr>(SourceLoc(), Name, nullptr,
+                               genInt(S, Depth - 1), genInt(Inner, Depth - 1));
+    }
+    case 4: {
+      // let r = ref <int> in <int with r in scope>
+      std::string Name = freshName();
+      Scope Inner = S;
+      Inner.RefVars.push_back(Name);
+      const Expr *Init =
+          Ctx.make<RefExpr>(SourceLoc(), genInt(S, Depth - 1));
+      return Ctx.make<LetExpr>(SourceLoc(), Name, nullptr, Init,
+                               genInt(Inner, Depth - 1));
+    }
+    case 5:
+      if (!S.RefVars.empty())
+        return Ctx.make<DerefExpr>(
+            SourceLoc(), Ctx.make<VarExpr>(SourceLoc(),
+                                           S.RefVars[Rng() % S.RefVars.size()]));
+      return genIntRaw(S, Depth - 1);
+    case 6:
+      if (!S.RefVars.empty()) {
+        const Expr *Target = Ctx.make<VarExpr>(
+            SourceLoc(), S.RefVars[Rng() % S.RefVars.size()]);
+        return Ctx.make<AssignExpr>(SourceLoc(), Target,
+                                    genInt(S, Depth - 1));
+      }
+      return genIntRaw(S, Depth - 1);
+    default:
+      return Ctx.make<SeqExpr>(SourceLoc(), genBool(S, Depth - 1),
+                               genInt(S, Depth - 1));
+    }
+  }
+
+  const Expr *genBoolRaw(const Scope &S, unsigned Depth) {
+    if (Depth == 0) {
+      if (!S.BoolVars.empty() && Rng() % 2)
+        return Ctx.make<VarExpr>(SourceLoc(),
+                                 S.BoolVars[Rng() % S.BoolVars.size()]);
+      return Ctx.make<BoolLitExpr>(SourceLoc(), Rng() % 2 == 0);
+    }
+    switch (Rng() % 6) {
+    case 0:
+      return Ctx.make<BinaryExpr>(
+          SourceLoc(),
+          Rng() % 3 == 0   ? BinaryOp::Eq
+          : Rng() % 2 == 0 ? BinaryOp::Lt
+                           : BinaryOp::Le,
+          genInt(S, Depth - 1), genInt(S, Depth - 1));
+    case 1:
+      return Ctx.make<BinaryExpr>(SourceLoc(),
+                                  Rng() % 2 ? BinaryOp::And : BinaryOp::Or,
+                                  genBool(S, Depth - 1),
+                                  genBool(S, Depth - 1));
+    case 2:
+      return Ctx.make<NotExpr>(SourceLoc(), genBool(S, Depth - 1));
+    case 3:
+      return Ctx.make<IfExpr>(SourceLoc(), genBool(S, Depth - 1),
+                              genBool(S, Depth - 1), genBool(S, Depth - 1));
+    default:
+      return genBoolRaw(S, 0);
+    }
+  }
+
+  std::string freshName() { return "v" + std::to_string(Counter++); }
+
+  AstContext &Ctx;
+  std::mt19937 &Rng;
+  bool AllowBlocks;
+  bool UsedTypedBlock = false;
+  unsigned Counter = 0;
+};
+
+/// Builds a conforming concrete environment for the standard Gamma used
+/// by the generator.
+ConcEnv makeConcreteEnv(std::mt19937 &Rng, ConcMemory &Mem) {
+  ConcEnv Env;
+  Env["x"] = ConcValue::intValue((long long)(Rng() % 21) - 10);
+  Env["y"] = ConcValue::intValue((long long)(Rng() % 21) - 10);
+  Env["b"] = ConcValue::boolValue(Rng() % 2 == 0);
+  size_t Loc = Mem.allocate(ConcValue::intValue((long long)(Rng() % 7) - 3));
+  Env["p"] = ConcValue::locValue(Loc);
+  return Env;
+}
+
+} // namespace
+
+/// Theorem 1 as a property: MIX-accepted implies no concrete error.
+class MixSoundnessTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MixSoundnessTest, AcceptedProgramsNeverGoWrong) {
+  std::mt19937 Rng(GetParam());
+  unsigned Accepted = 0;
+  for (int Round = 0; Round != 60; ++Round) {
+    AstContext Ctx;
+    DiagnosticEngine Diags;
+    ProgramGenerator Gen(Ctx, Rng, /*AllowBlocks=*/true);
+    ProgramGenerator::Scope Scope;
+    Scope.IntVars = {"x", "y"};
+    Scope.BoolVars = {"b"};
+    Scope.RefVars = {"p"};
+    const Expr *Program = Rng() % 2 ? Gen.genInt(Scope, 4)
+                                    : Gen.genBool(Scope, 4);
+
+    TypeEnv Gamma;
+    Gamma["x"] = Ctx.types().intType();
+    Gamma["y"] = Ctx.types().intType();
+    Gamma["b"] = Ctx.types().boolType();
+    Gamma["p"] = Ctx.types().refType(Ctx.types().intType());
+
+    MixChecker Mix(Ctx.types(), Diags);
+    const Type *T = Mix.checkTyped(Program, Gamma);
+    if (!T)
+      continue; // rejected: soundness says nothing
+    ++Accepted;
+
+    for (int Trial = 0; Trial != 10; ++Trial) {
+      ConcMemory Mem;
+      ConcEnv Env = makeConcreteEnv(Rng, Mem);
+      EvalResult R = evaluate(Program, Env, Mem);
+      ASSERT_FALSE(R.IsError)
+          << "MIX accepted a program that crashed: " << R.ErrorMessage
+          << "\nprogram: " << printExpr(Program);
+      // The value's runtime shape matches the static type.
+      if (T->isInt()) {
+        EXPECT_TRUE(R.Value.isInt()) << printExpr(Program);
+      } else if (T->isBool()) {
+        EXPECT_TRUE(R.Value.isBool()) << printExpr(Program);
+      }
+    }
+  }
+  // The property must not be vacuous.
+  EXPECT_GT(Accepted, 10u) << "generator produced too few accepted programs";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixSoundnessTest,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+/// Theorem 1 across the executor's option space: the defer strategy, the
+/// effect-limited havoc refinement, and the precise dereference rule must
+/// all preserve soundness (each weakens a premise the proof used, so the
+/// refinements are prime suspects for latent unsoundness).
+class MixOptionSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MixOptionSoundnessTest, RefinementsPreserveSoundness) {
+  int Combo = GetParam();
+  MixOptions Opts;
+  Opts.Exec.Strat = (Combo & 1) ? SymExecOptions::Strategy::Defer
+                                : SymExecOptions::Strategy::Fork;
+  Opts.Exec.Havoc = (Combo & 2)
+                        ? SymExecOptions::HavocPolicy::WriteEffects
+                        : SymExecOptions::HavocPolicy::FullMemory;
+  Opts.Exec.PreciseDeref = (Combo & 4) != 0;
+  if (Combo & 8)
+    Opts.Explore = MixOptions::Exploration::Concolic;
+
+  std::mt19937 Rng(9000u + (unsigned)Combo);
+  unsigned Accepted = 0;
+  for (int Round = 0; Round != 60; ++Round) {
+    AstContext Ctx;
+    DiagnosticEngine Diags;
+    ProgramGenerator Gen(Ctx, Rng, /*AllowBlocks=*/true);
+    ProgramGenerator::Scope Scope;
+    Scope.IntVars = {"x", "y"};
+    Scope.BoolVars = {"b"};
+    Scope.RefVars = {"p"};
+    const Expr *Program =
+        Rng() % 2 ? Gen.genInt(Scope, 4) : Gen.genBool(Scope, 4);
+
+    TypeEnv Gamma;
+    Gamma["x"] = Ctx.types().intType();
+    Gamma["y"] = Ctx.types().intType();
+    Gamma["b"] = Ctx.types().boolType();
+    Gamma["p"] = Ctx.types().refType(Ctx.types().intType());
+
+    MixChecker Mix(Ctx.types(), Diags, Opts);
+    const Type *T = Mix.checkTyped(Program, Gamma);
+    if (!T)
+      continue;
+    ++Accepted;
+
+    for (int Trial = 0; Trial != 8; ++Trial) {
+      ConcMemory Mem;
+      ConcEnv Env = makeConcreteEnv(Rng, Mem);
+      EvalResult R = evaluate(Program, Env, Mem);
+      ASSERT_FALSE(R.IsError)
+          << "combo " << Combo << " accepted a crashing program: "
+          << R.ErrorMessage << "\nprogram: " << printExpr(Program);
+      if (T->isInt()) {
+        EXPECT_TRUE(R.Value.isInt()) << printExpr(Program);
+      } else if (T->isBool()) {
+        EXPECT_TRUE(R.Value.isBool()) << printExpr(Program);
+      }
+    }
+  }
+  EXPECT_GT(Accepted, 10u) << "combo " << Combo << " accepted too little";
+}
+
+INSTANTIATE_TEST_SUITE_P(Combos, MixOptionSoundnessTest,
+                         ::testing::Range(0, 16));
+
+/// Symbolic execution soundness, specialized to concrete inputs: on
+/// closed, typed-block-free programs the executor is a (precise)
+/// interpreter and must agree with the big-step semantics.
+class ExecutorAgreementTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ExecutorAgreementTest, ExecutorMatchesInterpreterOnClosedPrograms) {
+  std::mt19937 Rng(GetParam());
+  unsigned Compared = 0;
+  for (int Round = 0; Round != 80; ++Round) {
+    AstContext Ctx;
+    DiagnosticEngine Diags;
+    ProgramGenerator Gen(Ctx, Rng, /*AllowBlocks=*/false);
+    ProgramGenerator::Scope Scope; // closed: no free variables
+    const Expr *Program =
+        Rng() % 2 ? Gen.genInt(Scope, 4) : Gen.genBool(Scope, 4);
+
+    ConcMemory Mem;
+    EvalResult Conc = evaluate(Program, {}, Mem);
+
+    SymArena Arena(Ctx.types());
+    SymExecutor Exec(Arena, Diags);
+    SymExecResult Sym = Exec.run(Program, {});
+
+    if (Conc.IsError) {
+      // Closed generated programs are well-typed by construction, so this
+      // should not happen; if it does, the executor must agree.
+      ASSERT_EQ(Sym.Paths.size(), 1u);
+      EXPECT_TRUE(Sym.Paths[0].IsError);
+      continue;
+    }
+    ASSERT_EQ(Sym.Paths.size(), 1u)
+        << "closed program forked: " << printExpr(Program);
+    const PathResult &P = Sym.Paths[0];
+    ASSERT_FALSE(P.IsError)
+        << P.ErrorMessage << "\nprogram: " << printExpr(Program);
+    ++Compared;
+    if (Conc.Value.isInt()) {
+      ASSERT_EQ(P.Value->kind(), SymKind::IntConst) << printExpr(Program);
+      EXPECT_EQ(P.Value->intValue(), Conc.Value.asInt())
+          << printExpr(Program);
+    } else if (Conc.Value.isBool()) {
+      ASSERT_EQ(P.Value->kind(), SymKind::BoolConst) << printExpr(Program);
+      EXPECT_EQ(P.Value->boolValue(), Conc.Value.asBool())
+          << printExpr(Program);
+    }
+  }
+  EXPECT_GT(Compared, 40u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorAgreementTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+/// Classic type soundness on block-free programs: checker-accepted
+/// implies no runtime error (statement 1 of Theorem 1).
+class TypeSoundnessTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TypeSoundnessTest, WellTypedProgramsDoNotGoWrong) {
+  std::mt19937 Rng(GetParam());
+  unsigned Accepted = 0;
+  for (int Round = 0; Round != 80; ++Round) {
+    AstContext Ctx;
+    DiagnosticEngine Diags;
+    ProgramGenerator Gen(Ctx, Rng, /*AllowBlocks=*/false);
+    ProgramGenerator::Scope Scope;
+    Scope.IntVars = {"x"};
+    Scope.BoolVars = {"b"};
+    Scope.RefVars = {"p"};
+    const Expr *Program =
+        Rng() % 2 ? Gen.genInt(Scope, 4) : Gen.genBool(Scope, 4);
+
+    TypeEnv Gamma;
+    Gamma["x"] = Ctx.types().intType();
+    Gamma["b"] = Ctx.types().boolType();
+    Gamma["p"] = Ctx.types().refType(Ctx.types().intType());
+
+    TypeChecker Checker(Ctx.types(), Diags);
+    if (!Checker.check(Program, Gamma))
+      continue;
+    ++Accepted;
+
+    ConcMemory Mem;
+    ConcEnv Env;
+    Env["x"] = ConcValue::intValue((long long)(Rng() % 15) - 7);
+    Env["b"] = ConcValue::boolValue(Rng() % 2 == 0);
+    Env["p"] = ConcValue::locValue(Mem.allocate(ConcValue::intValue(1)));
+    EvalResult R = evaluate(Program, Env, Mem);
+    EXPECT_FALSE(R.IsError)
+        << R.ErrorMessage << "\nprogram: " << printExpr(Program);
+  }
+  EXPECT_GT(Accepted, 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TypeSoundnessTest,
+                         ::testing::Values(5u, 6u, 7u, 8u));

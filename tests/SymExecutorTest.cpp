@@ -1,0 +1,333 @@
+//===--- SymExecutorTest.cpp - Tests for the symbolic executor ------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "symexec/SymExecutor.h"
+
+#include <gtest/gtest.h>
+
+using namespace mix;
+
+namespace {
+
+class SymExecTest : public ::testing::Test {
+protected:
+  SymExecTest() : A(Ctx.types()) {}
+
+  const Expr *parse(std::string_view Source) {
+    const Expr *E = parseExpression(Source, Ctx, Diags);
+    EXPECT_NE(E, nullptr) << Diags.str();
+    return E;
+  }
+
+  /// Runs with the given free variables as fresh symbolic inputs.
+  SymExecResult run(std::string_view Source,
+                    const std::vector<std::pair<std::string, const Type *>>
+                        &Inputs = {},
+                    SymExecOptions Opts = SymExecOptions()) {
+    SymExecutor Exec(A, Diags, Opts);
+    SymEnv Env;
+    for (const auto &[Name, Ty] : Inputs)
+      Env[Name] = A.freshVar(Ty, false, Name);
+    const Expr *E = parse(Source);
+    if (!E)
+      return SymExecResult();
+    return Exec.run(E, Env);
+  }
+
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  SymArena A;
+};
+
+} // namespace
+
+TEST_F(SymExecTest, LiteralsEvaluateToConstants) {
+  SymExecResult R = run("42");
+  ASSERT_EQ(R.Paths.size(), 1u);
+  EXPECT_FALSE(R.Paths[0].IsError);
+  EXPECT_EQ(R.Paths[0].Value, A.intConst(42));
+  EXPECT_EQ(R.Paths[0].State.Path, A.trueGuard());
+}
+
+TEST_F(SymExecTest, ArithmeticOnConstantsFolds) {
+  SymExecResult R = run("1 + 2 - 4");
+  ASSERT_EQ(R.Paths.size(), 1u);
+  EXPECT_EQ(R.Paths[0].Value, A.intConst(-1));
+}
+
+TEST_F(SymExecTest, SymbolicInputsStaySymbolic) {
+  SymExecResult R = run("x + 1", {{"x", Ctx.types().intType()}});
+  ASSERT_EQ(R.Paths.size(), 1u);
+  EXPECT_EQ(R.Paths[0].Value->kind(), SymKind::Add);
+  EXPECT_TRUE(R.Paths[0].Value->type()->isInt());
+}
+
+TEST_F(SymExecTest, UnboundVariableIsAnError) {
+  SymExecResult R = run("y");
+  ASSERT_EQ(R.Paths.size(), 1u);
+  EXPECT_TRUE(R.Paths[0].IsError);
+}
+
+TEST_F(SymExecTest, DynamicTypeErrorOnPath) {
+  // SEPlus requires int operands; `true + 1` fails the path.
+  SymExecResult R = run("true + 1");
+  ASSERT_EQ(R.Paths.size(), 1u);
+  EXPECT_TRUE(R.Paths[0].IsError);
+}
+
+TEST_F(SymExecTest, ForkingExploresBothBranches) {
+  SymExecResult R = run("if b then 1 else 2", {{"b", Ctx.types().boolType()}});
+  ASSERT_EQ(R.Paths.size(), 2u);
+  EXPECT_FALSE(R.Paths[0].IsError);
+  EXPECT_FALSE(R.Paths[1].IsError);
+  EXPECT_EQ(R.Paths[0].Value, A.intConst(1));
+  EXPECT_EQ(R.Paths[1].Value, A.intConst(2));
+  // Path conditions are the guard and its negation.
+  EXPECT_NE(R.Paths[0].State.Path, R.Paths[1].State.Path);
+}
+
+TEST_F(SymExecTest, ConstantConditionTakesOneBranch) {
+  // The unreachable-code idiom of Section 2: the false branch, which
+  // would be a type error, is never executed.
+  SymExecResult R = run("if true then 5 else (1 + true)");
+  ASSERT_EQ(R.Paths.size(), 1u);
+  EXPECT_FALSE(R.Paths[0].IsError);
+  EXPECT_EQ(R.Paths[0].Value, A.intConst(5));
+}
+
+TEST_F(SymExecTest, NestedConditionalsGrowPathsMultiplicatively) {
+  SymExecResult R = run("if a then (if b then 1 else 2) else "
+                        "(if b then 3 else 4)",
+                        {{"a", Ctx.types().boolType()},
+                         {"b", Ctx.types().boolType()}});
+  EXPECT_EQ(R.Paths.size(), 4u);
+}
+
+TEST_F(SymExecTest, TypeErrorOnOneBranchOnly) {
+  SymExecResult R =
+      run("if b then 1 + true else 2", {{"b", Ctx.types().boolType()}});
+  ASSERT_EQ(R.Paths.size(), 2u);
+  EXPECT_TRUE(R.Paths[0].IsError);
+  EXPECT_FALSE(R.Paths[1].IsError);
+}
+
+TEST_F(SymExecTest, FlowSensitiveVariableReuseThroughMemory) {
+  // Section 2's flow-sensitivity example: a cell written with a
+  // wrong-typed value and then re-written correctly; the read sees the
+  // newest write. (The ill-typed intermediate is policed by |- m ok only
+  // at reads/blocks, and the final state is consistent again.)
+  SymExecResult R = run("let x = ref 1 in (x := 2; !x)");
+  ASSERT_EQ(R.Paths.size(), 1u);
+  ASSERT_FALSE(R.Paths[0].IsError);
+  EXPECT_EQ(R.Paths[0].Value, A.intConst(2));
+}
+
+TEST_F(SymExecTest, DerefAfterIllTypedWriteFails) {
+  // Reading while memory is inconsistent violates SEDeref's |- m ok.
+  SymExecResult R = run("let x = ref 1 in (x := true; !x)");
+  ASSERT_EQ(R.Paths.size(), 1u);
+  EXPECT_TRUE(R.Paths[0].IsError);
+}
+
+TEST_F(SymExecTest, DerefAfterCorrectingWriteSucceeds) {
+  SymExecResult R = run("let x = ref 1 in (x := true; x := 2; !x)");
+  ASSERT_EQ(R.Paths.size(), 1u);
+  ASSERT_FALSE(R.Paths[0].IsError);
+  EXPECT_EQ(R.Paths[0].Value, A.intConst(2));
+}
+
+TEST_F(SymExecTest, AllocationsAreLogged) {
+  SymExecResult R = run("ref 7");
+  ASSERT_EQ(R.Paths.size(), 1u);
+  const PathResult &P = R.Paths[0];
+  ASSERT_FALSE(P.IsError);
+  EXPECT_TRUE(P.Value->type()->isRef());
+  EXPECT_TRUE(A.isAllocAddress(P.Value));
+  ASSERT_EQ(P.State.Mem->kind(), MemKind::Alloc);
+  EXPECT_EQ(P.State.Mem->value(), A.intConst(7));
+}
+
+TEST_F(SymExecTest, SymbolicPointerReadsAreDeferred) {
+  SymExecResult R = run("!p", {{"p", Ctx.types().refType(
+                                         Ctx.types().intType())}});
+  ASSERT_EQ(R.Paths.size(), 1u);
+  ASSERT_FALSE(R.Paths[0].IsError);
+  EXPECT_EQ(R.Paths[0].Value->kind(), SymKind::Select);
+  EXPECT_TRUE(R.Paths[0].Value->type()->isInt());
+}
+
+TEST_F(SymExecTest, WriteThroughSymbolicPointerThenReadOtherCell) {
+  // A write through an unknown pointer may alias anything from the base
+  // memory; a subsequent read stays deferred but is not an error (the
+  // write was well-typed).
+  SymExecResult R = run("(p := 3; !q)",
+                        {{"p", Ctx.types().refType(Ctx.types().intType())},
+                         {"q", Ctx.types().refType(Ctx.types().intType())}});
+  ASSERT_EQ(R.Paths.size(), 1u);
+  ASSERT_FALSE(R.Paths[0].IsError);
+  EXPECT_EQ(R.Paths[0].Value->kind(), SymKind::Select);
+}
+
+TEST_F(SymExecTest, FunctionsApplyByExecution) {
+  SymExecResult R = run("let inc = fun (x: int) : int -> x + 1 in inc 41");
+  ASSERT_EQ(R.Paths.size(), 1u);
+  ASSERT_FALSE(R.Paths[0].IsError);
+  EXPECT_EQ(R.Paths[0].Value, A.intConst(42));
+}
+
+TEST_F(SymExecTest, ContextSensitivityThroughExecution) {
+  // The paper's div example shape: the error branch is infeasible for
+  // this call, which only execution (not monomorphic typing) can see.
+  SymExecResult R = run("let div = fun (y: int) : int -> "
+                        "if y = 0 then true + 1 else 7 in div 4");
+  ASSERT_EQ(R.Paths.size(), 1u);
+  EXPECT_FALSE(R.Paths[0].IsError);
+  EXPECT_EQ(R.Paths[0].Value, A.intConst(7));
+}
+
+TEST_F(SymExecTest, SymbolicFunctionValueCannotBeApplied) {
+  // The Otter function-pointer limitation (Section 4.5, Case 4).
+  SymExecResult R =
+      run("f 1", {{"f", Ctx.types().funType(Ctx.types().intType(),
+                                            Ctx.types().intType())}});
+  ASSERT_EQ(R.Paths.size(), 1u);
+  EXPECT_TRUE(R.Paths[0].IsError);
+}
+
+TEST_F(SymExecTest, SymbolicBlockInsideSymbolicPassesThrough) {
+  SymExecResult R = run("{s 1 + 2 s}");
+  ASSERT_EQ(R.Paths.size(), 1u);
+  EXPECT_EQ(R.Paths[0].Value, A.intConst(3));
+}
+
+TEST_F(SymExecTest, TypedBlockWithoutOracleIsError) {
+  SymExecResult R = run("{t 1 t}");
+  ASSERT_EQ(R.Paths.size(), 1u);
+  EXPECT_TRUE(R.Paths[0].IsError);
+}
+
+namespace {
+
+/// An oracle that types every block as int, for testing SETypBlock's
+/// state handling without the full mix driver.
+class IntOracle : public TypedBlockOracle {
+public:
+  explicit IntOracle(const Type *IntTy) : IntTy(IntTy) {}
+  const Type *typeOfTypedBlock(const BlockExpr *, const SymEnv &,
+                               const SymState &) override {
+    ++Calls;
+    return IntTy;
+  }
+  const Type *IntTy;
+  unsigned Calls = 0;
+};
+
+} // namespace
+
+TEST_F(SymExecTest, TypedBlockHavocsMemoryAndYieldsFreshVariable) {
+  IntOracle Oracle(Ctx.types().intType());
+  SymExecutor Exec(A, Diags);
+  Exec.setTypedBlockOracle(&Oracle);
+  const Expr *E = parse("let x = ref 1 in ({t 0 t}; !x)");
+  ASSERT_NE(E, nullptr);
+  SymExecResult R = Exec.run(E, {});
+  ASSERT_EQ(R.Paths.size(), 1u);
+  ASSERT_FALSE(R.Paths[0].IsError);
+  EXPECT_EQ(Oracle.Calls, 1u);
+  // The read after the block must be deferred: the typed block havocked
+  // memory, so !x is a select from the fresh mu', not intConst(1).
+  EXPECT_EQ(R.Paths[0].Value->kind(), SymKind::Select);
+}
+
+TEST_F(SymExecTest, TypedBlockEntryRequiresConsistentMemory) {
+  IntOracle Oracle(Ctx.types().intType());
+  SymExecutor Exec(A, Diags);
+  Exec.setTypedBlockOracle(&Oracle);
+  const Expr *E = parse("let x = ref 1 in (x := true; {t 0 t})");
+  ASSERT_NE(E, nullptr);
+  SymExecResult R = Exec.run(E, {});
+  ASSERT_EQ(R.Paths.size(), 1u);
+  EXPECT_TRUE(R.Paths[0].IsError);
+  EXPECT_EQ(Oracle.Calls, 0u);
+}
+
+// --- SEIf-Defer ------------------------------------------------------------
+
+TEST_F(SymExecTest, DeferMergesBranchesIntoConditionalValue) {
+  SymExecOptions Opts;
+  Opts.Strat = SymExecOptions::Strategy::Defer;
+  SymExecResult R =
+      run("if b then 1 else 2", {{"b", Ctx.types().boolType()}}, Opts);
+  ASSERT_EQ(R.Paths.size(), 1u);
+  ASSERT_FALSE(R.Paths[0].IsError);
+  EXPECT_EQ(R.Paths[0].Value->kind(), SymKind::Ite);
+  EXPECT_TRUE(R.Paths[0].Value->type()->isInt());
+}
+
+TEST_F(SymExecTest, DeferKeepsPathCountConstant) {
+  SymExecOptions Opts;
+  Opts.Strat = SymExecOptions::Strategy::Defer;
+  SymExecResult R = run("if a then (if b then 1 else 2) else "
+                        "(if b then 3 else 4)",
+                        {{"a", Ctx.types().boolType()},
+                         {"b", Ctx.types().boolType()}},
+                        Opts);
+  EXPECT_EQ(R.Paths.size(), 1u);
+}
+
+TEST_F(SymExecTest, DeferRequiresMatchingBranchTypes) {
+  // SEIf-Defer is more conservative than forking: branches of different
+  // types are an error even though each alone is fine.
+  SymExecOptions Opts;
+  Opts.Strat = SymExecOptions::Strategy::Defer;
+  SymExecResult R =
+      run("if b then 1 else true", {{"b", Ctx.types().boolType()}}, Opts);
+  ASSERT_EQ(R.Paths.size(), 1u);
+  EXPECT_TRUE(R.Paths[0].IsError);
+
+  // Forking accepts it: each path returns its own type (the mix rule
+  // will reject later if types must agree, but pure execution is fine).
+  SymExecResult F = run("if b then 1 else true",
+                        {{"b", Ctx.types().boolType()}});
+  EXPECT_EQ(F.Paths.size(), 2u);
+  EXPECT_FALSE(F.Paths[0].IsError);
+  EXPECT_FALSE(F.Paths[1].IsError);
+}
+
+TEST_F(SymExecTest, DeferMergesMemory) {
+  SymExecOptions Opts;
+  Opts.Strat = SymExecOptions::Strategy::Defer;
+  SymExecResult R = run("let x = ref 0 in "
+                        "((if b then x := 1 else x := 2); !x)",
+                        {{"b", Ctx.types().boolType()}}, Opts);
+  ASSERT_EQ(R.Paths.size(), 1u);
+  ASSERT_FALSE(R.Paths[0].IsError);
+  // The read merges into a conditional over the two writes.
+  EXPECT_EQ(R.Paths[0].Value->kind(), SymKind::Ite);
+}
+
+// --- resource limits --------------------------------------------------------
+
+TEST_F(SymExecTest, PathBudgetTripsResourceFlag) {
+  SymExecOptions Opts;
+  Opts.MaxPaths = 3;
+  SymExecResult R = run("if a then (if b then (if c then 1 else 2) else 3) "
+                        "else (if b then 4 else (if c then 5 else 6))",
+                        {{"a", Ctx.types().boolType()},
+                         {"b", Ctx.types().boolType()},
+                         {"c", Ctx.types().boolType()}},
+                        Opts);
+  EXPECT_TRUE(R.ResourceLimitHit);
+}
+
+TEST_F(SymExecTest, SequencingThreadsStateLeftToRight) {
+  SymExecResult R = run("let x = ref 0 in (x := 1; x := !x + 1; !x)");
+  ASSERT_EQ(R.Paths.size(), 1u);
+  ASSERT_FALSE(R.Paths[0].IsError);
+  EXPECT_EQ(R.Paths[0].Value, A.intConst(2));
+}

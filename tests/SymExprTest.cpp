@@ -1,0 +1,221 @@
+//===--- SymExprTest.cpp - Tests for symbolic expressions and memory ------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sym/SymArena.h"
+#include "sym/SymToSmt.h"
+#include "symexec/MemCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace mix;
+
+namespace {
+
+class SymTest : public ::testing::Test {
+protected:
+  TypeContext Types;
+  SymArena A{Types};
+};
+
+} // namespace
+
+TEST_F(SymTest, HashConsingSharesStructure) {
+  const SymExpr *X = A.freshVar(Types.intType());
+  EXPECT_EQ(A.add(X, A.intConst(1)), A.add(X, A.intConst(1)));
+  EXPECT_NE(A.add(X, A.intConst(1)), A.add(X, A.intConst(2)));
+  EXPECT_EQ(A.intConst(5), A.intConst(5));
+}
+
+TEST_F(SymTest, FreshVariablesAreDistinct) {
+  const SymExpr *X = A.freshVar(Types.intType());
+  const SymExpr *Y = A.freshVar(Types.intType());
+  EXPECT_NE(X, Y);
+  EXPECT_NE(X->varId(), Y->varId());
+  EXPECT_EQ(A.varType(X->varId()), Types.intType());
+}
+
+TEST_F(SymTest, ConstantFolding) {
+  EXPECT_EQ(A.add(A.intConst(2), A.intConst(3)), A.intConst(5));
+  EXPECT_EQ(A.sub(A.intConst(2), A.intConst(3)), A.intConst(-1));
+  EXPECT_EQ(A.eq(A.intConst(2), A.intConst(2)), A.boolConst(true));
+  EXPECT_EQ(A.lt(A.intConst(3), A.intConst(2)), A.boolConst(false));
+  EXPECT_EQ(A.notG(A.boolConst(true)), A.boolConst(false));
+  EXPECT_EQ(A.andG(A.boolConst(true), A.boolConst(false)),
+            A.boolConst(false));
+}
+
+TEST_F(SymTest, GuardSimplifications) {
+  const SymExpr *G = A.freshVar(Types.boolType());
+  EXPECT_EQ(A.andG(A.trueGuard(), G), G);
+  EXPECT_EQ(A.andG(G, A.falseGuard()), A.falseGuard());
+  EXPECT_EQ(A.orG(G, A.trueGuard()), A.trueGuard());
+  EXPECT_EQ(A.notG(A.notG(G)), G);
+  EXPECT_EQ(A.eq(G, G), A.trueGuard());
+}
+
+TEST_F(SymTest, TypeAnnotationsPropagate) {
+  const SymExpr *X = A.freshVar(Types.intType());
+  EXPECT_TRUE(A.add(X, A.intConst(3))->type()->isInt());
+  EXPECT_TRUE(A.lt(X, A.intConst(0))->type()->isBool());
+  const SymExpr *R = A.freshVar(Types.refType(Types.intType()));
+  EXPECT_TRUE(R->type()->isRef());
+}
+
+TEST_F(SymTest, IteRequiresMatchingBranchTypes) {
+  const SymExpr *G = A.freshVar(Types.boolType());
+  const SymExpr *I = A.ite(G, A.intConst(1), A.intConst(2));
+  EXPECT_TRUE(I->type()->isInt());
+  EXPECT_EQ(A.ite(A.trueGuard(), A.intConst(1), A.intConst(2)),
+            A.intConst(1));
+  EXPECT_EQ(A.ite(G, A.intConst(7), A.intConst(7)), A.intConst(7));
+}
+
+TEST_F(SymTest, SelectHitsNewestMatchingEntry) {
+  const Type *IntRef = Types.refType(Types.intType());
+  const MemNode *Mu = A.freshBaseMemory();
+  const SymExpr *P = A.freshVar(IntRef, /*IsAllocAddr=*/true);
+  const MemNode *M1 = A.alloc(Mu, P, A.intConst(1));
+  const MemNode *M2 = A.update(M1, P, A.intConst(2));
+  EXPECT_EQ(A.select(M2, P), A.intConst(2));
+  EXPECT_EQ(A.select(M1, P), A.intConst(1));
+}
+
+TEST_F(SymTest, SelectSkipsDistinctAllocations) {
+  // Two allocations never alias, so a read of P can see through a write
+  // to Q — the paper's reason for distinguishing ->a entries.
+  const Type *IntRef = Types.refType(Types.intType());
+  const MemNode *Mu = A.freshBaseMemory();
+  const SymExpr *P = A.freshVar(IntRef, true);
+  const SymExpr *Q = A.freshVar(IntRef, true);
+  const MemNode *M = A.update(A.alloc(A.alloc(Mu, P, A.intConst(1)), Q,
+                                      A.intConst(2)),
+                              Q, A.intConst(3));
+  EXPECT_EQ(A.select(M, P), A.intConst(1));
+  EXPECT_EQ(A.select(M, Q), A.intConst(3));
+}
+
+TEST_F(SymTest, SelectStaysDeferredOnPossibleAlias) {
+  // A write through an unknown pointer may alias P, so the read must stay
+  // a deferred select expression.
+  const Type *IntRef = Types.refType(Types.intType());
+  const MemNode *Mu = A.freshBaseMemory();
+  const SymExpr *P = A.freshVar(IntRef, true);
+  const SymExpr *Unknown = A.freshVar(IntRef); // not an allocation
+  const MemNode *M =
+      A.update(A.alloc(Mu, P, A.intConst(1)), Unknown, A.intConst(9));
+  const SymExpr *Read = A.select(M, P);
+  EXPECT_EQ(Read->kind(), SymKind::Select);
+  EXPECT_TRUE(Read->type()->isInt());
+}
+
+TEST_F(SymTest, SelectFromBaseMemoryIsDeferred) {
+  const Type *IntRef = Types.refType(Types.intType());
+  const MemNode *Mu = A.freshBaseMemory();
+  const SymExpr *P = A.freshVar(IntRef);
+  const SymExpr *Read = A.select(Mu, P);
+  EXPECT_EQ(Read->kind(), SymKind::Select);
+  // Identical reads are shared (hash-consed).
+  EXPECT_EQ(Read, A.select(Mu, P));
+}
+
+// --- |- m ok -------------------------------------------------------------
+
+TEST_F(SymTest, MemOkOnBaseMemory) {
+  EXPECT_TRUE(checkMemoryOk(A.freshBaseMemory()).Ok);
+}
+
+TEST_F(SymTest, MemOkWithWellTypedWrites) {
+  const Type *IntRef = Types.refType(Types.intType());
+  const MemNode *Mu = A.freshBaseMemory();
+  const SymExpr *P = A.freshVar(IntRef, true);
+  const MemNode *M = A.update(A.alloc(Mu, P, A.intConst(1)), P,
+                              A.intConst(2));
+  EXPECT_TRUE(checkMemoryOk(M).Ok);
+}
+
+TEST_F(SymTest, MemNotOkWithIllTypedWrite) {
+  const Type *IntRef = Types.refType(Types.intType());
+  const MemNode *Mu = A.freshBaseMemory();
+  const SymExpr *P = A.freshVar(IntRef, true);
+  const MemNode *M =
+      A.update(A.alloc(Mu, P, A.intConst(1)), P, A.boolConst(true));
+  MemCheckResult R = checkMemoryOk(M);
+  EXPECT_FALSE(R.Ok);
+  ASSERT_EQ(R.BadWrites.size(), 1u);
+  EXPECT_EQ(R.BadWrites[0]->address(), P);
+}
+
+TEST_F(SymTest, OverwriteForgivesIllTypedWrite) {
+  // Overwrite-Ok: an ill-typed write followed by a well-typed write to
+  // the syntactically same address is forgiven — this is exactly the
+  // variable-reuse idiom of Section 2.
+  const Type *IntRef = Types.refType(Types.intType());
+  const MemNode *Mu = A.freshBaseMemory();
+  const SymExpr *P = A.freshVar(IntRef, true);
+  const MemNode *M = A.update(
+      A.update(A.alloc(Mu, P, A.intConst(1)), P, A.boolConst(true)), P,
+      A.intConst(2));
+  EXPECT_TRUE(checkMemoryOk(M).Ok);
+}
+
+TEST_F(SymTest, OverwriteToDifferentAddressDoesNotForgive) {
+  const Type *IntRef = Types.refType(Types.intType());
+  const MemNode *Mu = A.freshBaseMemory();
+  const SymExpr *P = A.freshVar(IntRef, true);
+  const SymExpr *Q = A.freshVar(IntRef, true);
+  const MemNode *M = A.update(
+      A.update(A.alloc(A.alloc(Mu, P, A.intConst(0)), Q, A.intConst(0)), P,
+               A.boolConst(true)),
+      Q, A.intConst(2));
+  EXPECT_FALSE(checkMemoryOk(M).Ok);
+}
+
+TEST_F(SymTest, IteMemoryOkRequiresBothBranches) {
+  const Type *IntRef = Types.refType(Types.intType());
+  const SymExpr *G = A.freshVar(Types.boolType());
+  const SymExpr *P = A.freshVar(IntRef, true);
+  const MemNode *Good = A.alloc(A.freshBaseMemory(), P, A.intConst(1));
+  const MemNode *Bad = A.update(Good, P, A.boolConst(true));
+  EXPECT_TRUE(checkMemoryOk(A.iteMem(G, Good, Good)).Ok);
+  EXPECT_FALSE(checkMemoryOk(A.iteMem(G, Good, Bad)).Ok);
+  EXPECT_FALSE(checkMemoryOk(A.iteMem(G, Bad, Good)).Ok);
+}
+
+// --- translation to solver terms ------------------------------------------
+
+TEST_F(SymTest, TranslationPreservesStructure) {
+  smt::TermArena Terms;
+  SymToSmt Tr(A, Terms);
+  const SymExpr *X = A.freshVar(Types.intType());
+  const smt::Term *T = Tr.translate(A.lt(A.add(X, A.intConst(1)),
+                                         A.intConst(5)));
+  EXPECT_TRUE(T->isBool());
+  // Same expression translates to the same term (memoized).
+  EXPECT_EQ(T, Tr.translate(A.lt(A.add(X, A.intConst(1)), A.intConst(5))));
+}
+
+TEST_F(SymTest, TranslationIsStableAcrossQueries) {
+  smt::TermArena Terms;
+  SymToSmt Tr(A, Terms);
+  const SymExpr *X = A.freshVar(Types.intType());
+  const smt::Term *T1 = Tr.translate(X);
+  const smt::Term *T2 = Tr.translate(X);
+  EXPECT_EQ(T1, T2);
+}
+
+TEST_F(SymTest, SelectsTranslateToSharedOpaqueVariables) {
+  smt::TermArena Terms;
+  SymToSmt Tr(A, Terms);
+  const Type *IntRef = Types.refType(Types.intType());
+  const MemNode *Mu = A.freshBaseMemory();
+  const SymExpr *P = A.freshVar(IntRef);
+  const SymExpr *Read = A.select(Mu, P);
+  EXPECT_EQ(Tr.translate(Read), Tr.translate(Read));
+  // A different address yields a different opaque variable.
+  const SymExpr *Q = A.freshVar(IntRef);
+  EXPECT_NE(Tr.translate(Read), Tr.translate(A.select(Mu, Q)));
+}

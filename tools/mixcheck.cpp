@@ -1,0 +1,215 @@
+//===--- mixcheck.cpp - Command-line driver for the core MIX analysis ------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+// Checks a core-language program (with `{t ... t}` / `{s ... s}` blocks)
+// using the mixed analysis. See --help for options.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+#include "lang/Parser.h"
+#include "mix/AutoPlacement.h"
+#include "mix/MixChecker.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace mix;
+
+namespace {
+
+void printUsage() {
+  std::cout <<
+      R"(usage: mixcheck [options] <file | ->
+
+Checks a MIX core-language program. Reads from stdin when the file is '-'.
+
+options:
+  --mode=typed|symbolic   treat the outermost scope as a typed (default)
+                          or symbolic block
+  --strategy=fork|defer   conditional strategy (Section 3.1); default fork
+  --havoc=full|effects    SETypBlock memory havoc policy (Section 3.2);
+                          default full
+  --precise-deref         use the refined SEDeref rule (Section 3.1)
+  --assume-complete       skip the exhaustive() check (unsound mode)
+  --explore=concolic      enumerate paths DART-style (one per concrete
+                          run, flips solved via model extraction)
+  --auto-place            insert symbolic blocks automatically on failure
+  --var name:type         add a free variable to Gamma (type: int, bool,
+                          'int ref', ...); may be repeated
+  --print-program         echo the (possibly auto-annotated) program
+  --stats                 print analysis statistics
+  --help                  this text
+
+exit status: 0 when the program checks, 1 otherwise.
+)";
+}
+
+/// Parses a type spelled on the command line, e.g. "int ref ref".
+const Type *parseTypeSpec(TypeContext &Types, const std::string &Spec) {
+  std::istringstream In(Spec);
+  std::string Word;
+  if (!(In >> Word))
+    return nullptr;
+  const Type *T = nullptr;
+  if (Word == "int")
+    T = Types.intType();
+  else if (Word == "bool")
+    T = Types.boolType();
+  else
+    return nullptr;
+  while (In >> Word) {
+    if (Word != "ref")
+      return nullptr;
+    T = Types.refType(T);
+  }
+  return T;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Path;
+  bool Symbolic = false;
+  bool AutoPlace = false;
+  bool PrintProgram = false;
+  bool Stats = false;
+  MixOptions Opts;
+  std::vector<std::pair<std::string, std::string>> VarSpecs;
+
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help") {
+      printUsage();
+      return 0;
+    } else if (Arg == "--mode=typed") {
+      Symbolic = false;
+    } else if (Arg == "--mode=symbolic") {
+      Symbolic = true;
+    } else if (Arg == "--strategy=fork") {
+      Opts.Exec.Strat = SymExecOptions::Strategy::Fork;
+    } else if (Arg == "--strategy=defer") {
+      Opts.Exec.Strat = SymExecOptions::Strategy::Defer;
+    } else if (Arg == "--havoc=full") {
+      Opts.Exec.Havoc = SymExecOptions::HavocPolicy::FullMemory;
+    } else if (Arg == "--havoc=effects") {
+      Opts.Exec.Havoc = SymExecOptions::HavocPolicy::WriteEffects;
+    } else if (Arg == "--precise-deref") {
+      Opts.Exec.PreciseDeref = true;
+    } else if (Arg == "--assume-complete") {
+      Opts.Exhaustive = MixOptions::Exhaustiveness::AssumeComplete;
+    } else if (Arg == "--explore=concolic") {
+      Opts.Explore = MixOptions::Exploration::Concolic;
+    } else if (Arg == "--explore=all") {
+      Opts.Explore = MixOptions::Exploration::AllPaths;
+    } else if (Arg == "--auto-place") {
+      AutoPlace = true;
+    } else if (Arg == "--var" && I + 1 != Argc) {
+      std::string Spec = Argv[++I];
+      size_t Colon = Spec.find(':');
+      if (Colon == std::string::npos) {
+        std::cerr << "mixcheck: bad --var spec '" << Spec
+                  << "' (want name:type)\n";
+        return 2;
+      }
+      VarSpecs.emplace_back(Spec.substr(0, Colon), Spec.substr(Colon + 1));
+    } else if (Arg == "--print-program") {
+      PrintProgram = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
+      std::cerr << "mixcheck: unknown option '" << Arg << "'\n";
+      return 2;
+    } else if (Path.empty()) {
+      Path = Arg;
+    } else {
+      std::cerr << "mixcheck: extra argument '" << Arg << "'\n";
+      return 2;
+    }
+  }
+  if (Path.empty()) {
+    printUsage();
+    return 2;
+  }
+
+  std::string Source;
+  if (Path == "-") {
+    std::ostringstream Buf;
+    Buf << std::cin.rdbuf();
+    Source = Buf.str();
+  } else {
+    std::ifstream In(Path);
+    if (!In) {
+      std::cerr << "mixcheck: cannot open '" << Path << "'\n";
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  }
+
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  const Expr *Program = parseExpression(Source, Ctx, Diags);
+  if (!Program) {
+    std::cerr << Diags.str();
+    return 1;
+  }
+
+  TypeEnv Gamma;
+  for (const auto &[Name, Spec] : VarSpecs) {
+    const Type *T = parseTypeSpec(Ctx.types(), Spec);
+    if (!T) {
+      std::cerr << "mixcheck: bad type '" << Spec << "' for variable "
+                << Name << "\n";
+      return 2;
+    }
+    Gamma[Name] = T;
+  }
+
+  const Type *ResultType = nullptr;
+  if (AutoPlace) {
+    AutoPlacementOptions APOpts;
+    APOpts.Mix = Opts;
+    AutoPlacementResult R =
+        autoPlaceSymbolicBlocks(Ctx, Program, Gamma, Diags, APOpts);
+    ResultType = R.ResultType;
+    Program = R.Program;
+    if (R.BlocksInserted)
+      std::cout << "auto-placement inserted " << R.BlocksInserted
+                << " symbolic block(s) in " << R.Refinements
+                << " refinement(s)\n";
+  } else {
+    MixChecker Mix(Ctx.types(), Diags, Opts);
+    ResultType = Symbolic ? Mix.checkSymbolic(Program, Gamma)
+                          : Mix.checkTyped(Program, Gamma);
+    if (Stats) {
+      std::cout << "symbolic blocks checked : "
+                << Mix.stats().SymBlocksChecked << "\n"
+                << "typed blocks executed   : "
+                << Mix.stats().TypedBlocksExecuted << "\n"
+                << "paths explored          : "
+                << Mix.stats().PathsExplored << "\n"
+                << "infeasible discarded    : "
+                << Mix.stats().InfeasiblePathsDiscarded << "\n"
+                << "solver queries          : "
+                << Mix.solver().stats().Queries << "\n";
+    }
+  }
+
+  if (PrintProgram)
+    std::cout << printExpr(Program) << "\n";
+
+  std::cerr << Diags.str();
+  if (!ResultType) {
+    std::cout << "rejected\n";
+    return 1;
+  }
+  std::cout << "ok: " << ResultType->str() << "\n";
+  return 0;
+}

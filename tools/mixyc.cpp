@@ -1,0 +1,165 @@
+//===--- mixyc.cpp - Command-line driver for MIXY ---------------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+// Runs null/nonnull checking on a mini-C file: pure type qualifier
+// inference (--baseline) or the full MIXY analysis with MIX(typed) /
+// MIX(symbolic) block switching. See --help.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/CParser.h"
+#include "mixy/Mixy.h"
+#include "mixy/VsftpdMini.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace mix::c;
+using mix::DiagnosticEngine;
+
+namespace {
+
+void printUsage() {
+  std::cout <<
+      R"(usage: mixyc [options] <file | - | @caseN | @vsftpd>
+
+Null-pointer checking for mini-C. '@case1'..'@case4' and '@vsftpd' load
+the built-in vsftpd-derived corpus (Section 4.5 of the paper); append
+':baseline' (e.g. @case1:baseline) for the un-annotated variant.
+
+options:
+  --baseline          pure type qualifier inference (ignore MIX blocks)
+  --entry=NAME        entry function (default: main)
+  --start=typed|symbolic  initial analysis mode (default: typed)
+  --no-cache          disable block-result caching (Section 4.3)
+  --no-alias-restore  disable aliasing restoration (Section 4.2)
+  --warn-derefs       treat every dereference as a nonnull requirement
+  --stats             print analysis statistics
+  --help              this text
+
+exit status: 0 with no warnings, 1 with warnings, 2 on usage/parse errors.
+)";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Path;
+  std::string Entry = "main";
+  bool Baseline = false;
+  bool Stats = false;
+  MixyAnalysis::StartMode Mode = MixyAnalysis::StartMode::Typed;
+  MixyOptions Opts;
+
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help") {
+      printUsage();
+      return 0;
+    } else if (Arg == "--baseline") {
+      Baseline = true;
+    } else if (Arg.rfind("--entry=", 0) == 0) {
+      Entry = Arg.substr(8);
+    } else if (Arg == "--start=typed") {
+      Mode = MixyAnalysis::StartMode::Typed;
+    } else if (Arg == "--start=symbolic") {
+      Mode = MixyAnalysis::StartMode::Symbolic;
+    } else if (Arg == "--no-cache") {
+      Opts.EnableCache = false;
+    } else if (Arg == "--no-alias-restore") {
+      Opts.RestoreAliasing = false;
+    } else if (Arg == "--warn-derefs") {
+      Opts.Qual.WarnAllDereferences = true;
+      Opts.Sym.CheckDereferences = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
+      std::cerr << "mixyc: unknown option '" << Arg << "'\n";
+      return 2;
+    } else if (Path.empty()) {
+      Path = Arg;
+    } else {
+      std::cerr << "mixyc: extra argument '" << Arg << "'\n";
+      return 2;
+    }
+  }
+  if (Path.empty()) {
+    printUsage();
+    return 2;
+  }
+
+  std::string Source;
+  if (!Path.empty() && Path[0] == '@') {
+    bool Annotated = Path.find(":baseline") == std::string::npos;
+    std::string Corpus = Path.substr(1, Path.find(':') - 1);
+    if (Corpus == "vsftpd")
+      Source = corpus::vsftpdFull(Annotated);
+    else if (Corpus.size() == 5 && Corpus.rfind("case", 0) == 0 &&
+             Corpus[4] >= '1' && Corpus[4] <= '4')
+      Source = corpus::vsftpdCase(Corpus[4] - '0', Annotated);
+    else {
+      std::cerr << "mixyc: unknown corpus '" << Path << "'\n";
+      return 2;
+    }
+  } else if (Path == "-") {
+    std::ostringstream Buf;
+    Buf << std::cin.rdbuf();
+    Source = Buf.str();
+  } else {
+    std::ifstream In(Path);
+    if (!In) {
+      std::cerr << "mixyc: cannot open '" << Path << "'\n";
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  }
+
+  CAstContext Ctx;
+  DiagnosticEngine Diags;
+  const CProgram *Program = parseC(Source, Ctx, Diags);
+  if (!Program) {
+    std::cerr << Diags.str();
+    return 2;
+  }
+
+  unsigned Warnings = 0;
+  if (Baseline) {
+    QualInference Inference(*Program, Ctx, Diags, Opts.Qual);
+    Inference.analyzeAll();
+    Inference.solve();
+    Warnings = Inference.reportWarnings();
+    if (Stats)
+      std::cout << "qualifier variables : "
+                << Inference.graph().numNodes() << "\n"
+                << "flow edges          : " << Inference.graph().numEdges()
+                << "\n";
+  } else {
+    MixyAnalysis Analysis(*Program, Ctx, Diags, Opts);
+    Warnings = Analysis.run(Mode, Entry);
+    if (Stats) {
+      const MixyStats &S = Analysis.stats();
+      std::cout << "typed->symbolic switches : " << S.SymbolicCallsFromTyped
+                << "\n"
+                << "symbolic->typed switches : " << S.TypedCallsFromSymbolic
+                << "\n"
+                << "symbolic block runs      : " << S.SymbolicBlockRuns
+                << " (+" << S.SymbolicCacheHits << " cached)\n"
+                << "typed block runs         : " << S.TypedBlockRuns << " (+"
+                << S.TypedCacheHits << " cached)\n"
+                << "fixpoint iterations      : " << S.FixpointIterations
+                << "\n"
+                << "recursions detected      : " << S.RecursionsDetected
+                << "\n";
+    }
+  }
+
+  std::cerr << Diags.str();
+  std::cout << Warnings << " warning(s)\n";
+  return Warnings == 0 ? 0 : 1;
+}
