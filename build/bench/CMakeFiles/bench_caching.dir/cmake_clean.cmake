@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_caching.dir/bench_caching.cpp.o"
+  "CMakeFiles/bench_caching.dir/bench_caching.cpp.o.d"
+  "bench_caching"
+  "bench_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fork_vs_defer.dir/bench_fork_vs_defer.cpp.o"
+  "CMakeFiles/bench_fork_vs_defer.dir/bench_fork_vs_defer.cpp.o.d"
+  "bench_fork_vs_defer"
+  "bench_fork_vs_defer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fork_vs_defer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fork_vs_defer.
+# This may be replaced when dependencies are built.

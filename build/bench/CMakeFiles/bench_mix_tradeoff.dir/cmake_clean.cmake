@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mix_tradeoff.dir/bench_mix_tradeoff.cpp.o"
+  "CMakeFiles/bench_mix_tradeoff.dir/bench_mix_tradeoff.cpp.o.d"
+  "bench_mix_tradeoff"
+  "bench_mix_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mix_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_placement.dir/auto_placement.cpp.o"
+  "CMakeFiles/auto_placement.dir/auto_placement.cpp.o.d"
+  "auto_placement"
+  "auto_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

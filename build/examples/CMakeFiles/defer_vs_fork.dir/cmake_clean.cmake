@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defer_vs_fork.dir/defer_vs_fork.cpp.o"
+  "CMakeFiles/defer_vs_fork.dir/defer_vs_fork.cpp.o.d"
+  "defer_vs_fork"
+  "defer_vs_fork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defer_vs_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

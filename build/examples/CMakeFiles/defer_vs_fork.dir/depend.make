@@ -1,0 +1,2 @@
+# Empty dependencies file for defer_vs_fork.
+# This may be replaced when dependencies are built.

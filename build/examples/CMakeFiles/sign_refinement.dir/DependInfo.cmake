@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sign_refinement.cpp" "examples/CMakeFiles/sign_refinement.dir/sign_refinement.cpp.o" "gcc" "examples/CMakeFiles/sign_refinement.dir/sign_refinement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sign/CMakeFiles/mix_sign.dir/DependInfo.cmake"
+  "/root/repo/build/src/mix/CMakeFiles/mix_mix.dir/DependInfo.cmake"
+  "/root/repo/build/src/symexec/CMakeFiles/mix_symexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/mix_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/mix_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/mix_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/mix_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mix_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sign_refinement.dir/sign_refinement.cpp.o"
+  "CMakeFiles/sign_refinement.dir/sign_refinement.cpp.o.d"
+  "sign_refinement"
+  "sign_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sign_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsftpd_nullness.dir/vsftpd_nullness.cpp.o"
+  "CMakeFiles/vsftpd_nullness.dir/vsftpd_nullness.cpp.o.d"
+  "vsftpd_nullness"
+  "vsftpd_nullness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsftpd_nullness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vsftpd_nullness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for vsftpd_nullness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lang")
+subdirs("solver")
+subdirs("sym")
+subdirs("symexec")
+subdirs("types")
+subdirs("mix")
+subdirs("concrete")
+subdirs("cfront")
+subdirs("ptranal")
+subdirs("qual")
+subdirs("csym")
+subdirs("mixy")
+subdirs("sign")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_cfront.dir/CAst.cpp.o"
+  "CMakeFiles/mix_cfront.dir/CAst.cpp.o.d"
+  "CMakeFiles/mix_cfront.dir/CLexer.cpp.o"
+  "CMakeFiles/mix_cfront.dir/CLexer.cpp.o.d"
+  "CMakeFiles/mix_cfront.dir/CParser.cpp.o"
+  "CMakeFiles/mix_cfront.dir/CParser.cpp.o.d"
+  "CMakeFiles/mix_cfront.dir/CPrinter.cpp.o"
+  "CMakeFiles/mix_cfront.dir/CPrinter.cpp.o.d"
+  "CMakeFiles/mix_cfront.dir/CSema.cpp.o"
+  "CMakeFiles/mix_cfront.dir/CSema.cpp.o.d"
+  "CMakeFiles/mix_cfront.dir/CType.cpp.o"
+  "CMakeFiles/mix_cfront.dir/CType.cpp.o.d"
+  "libmix_cfront.a"
+  "libmix_cfront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_cfront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

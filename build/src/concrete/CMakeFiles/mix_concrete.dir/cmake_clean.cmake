@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_concrete.dir/Interp.cpp.o"
+  "CMakeFiles/mix_concrete.dir/Interp.cpp.o.d"
+  "libmix_concrete.a"
+  "libmix_concrete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_concrete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

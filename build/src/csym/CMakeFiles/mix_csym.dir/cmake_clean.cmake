@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_csym.dir/CSymExecutor.cpp.o"
+  "CMakeFiles/mix_csym.dir/CSymExecutor.cpp.o.d"
+  "CMakeFiles/mix_csym.dir/CSymValue.cpp.o"
+  "CMakeFiles/mix_csym.dir/CSymValue.cpp.o.d"
+  "libmix_csym.a"
+  "libmix_csym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_csym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

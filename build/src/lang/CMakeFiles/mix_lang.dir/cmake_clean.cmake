@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_lang.dir/Ast.cpp.o"
+  "CMakeFiles/mix_lang.dir/Ast.cpp.o.d"
+  "CMakeFiles/mix_lang.dir/AstClone.cpp.o"
+  "CMakeFiles/mix_lang.dir/AstClone.cpp.o.d"
+  "CMakeFiles/mix_lang.dir/AstPrinter.cpp.o"
+  "CMakeFiles/mix_lang.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/mix_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/mix_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/mix_lang.dir/Parser.cpp.o"
+  "CMakeFiles/mix_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/mix_lang.dir/Type.cpp.o"
+  "CMakeFiles/mix_lang.dir/Type.cpp.o.d"
+  "libmix_lang.a"
+  "libmix_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_mix.dir/AutoPlacement.cpp.o"
+  "CMakeFiles/mix_mix.dir/AutoPlacement.cpp.o.d"
+  "CMakeFiles/mix_mix.dir/ConcolicDriver.cpp.o"
+  "CMakeFiles/mix_mix.dir/ConcolicDriver.cpp.o.d"
+  "CMakeFiles/mix_mix.dir/MixChecker.cpp.o"
+  "CMakeFiles/mix_mix.dir/MixChecker.cpp.o.d"
+  "libmix_mix.a"
+  "libmix_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

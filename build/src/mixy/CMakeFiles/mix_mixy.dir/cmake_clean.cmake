@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_mixy.dir/Mixy.cpp.o"
+  "CMakeFiles/mix_mixy.dir/Mixy.cpp.o.d"
+  "CMakeFiles/mix_mixy.dir/VsftpdMini.cpp.o"
+  "CMakeFiles/mix_mixy.dir/VsftpdMini.cpp.o.d"
+  "libmix_mixy.a"
+  "libmix_mixy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_mixy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

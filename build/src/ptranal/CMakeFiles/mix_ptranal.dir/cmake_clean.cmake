@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_ptranal.dir/PointsTo.cpp.o"
+  "CMakeFiles/mix_ptranal.dir/PointsTo.cpp.o.d"
+  "libmix_ptranal.a"
+  "libmix_ptranal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_ptranal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmix_ptranal.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_qual.dir/QualGraph.cpp.o"
+  "CMakeFiles/mix_qual.dir/QualGraph.cpp.o.d"
+  "CMakeFiles/mix_qual.dir/QualInference.cpp.o"
+  "CMakeFiles/mix_qual.dir/QualInference.cpp.o.d"
+  "libmix_qual.a"
+  "libmix_qual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_qual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_sign.dir/SignChecker.cpp.o"
+  "CMakeFiles/mix_sign.dir/SignChecker.cpp.o.d"
+  "CMakeFiles/mix_sign.dir/SignMix.cpp.o"
+  "CMakeFiles/mix_sign.dir/SignMix.cpp.o.d"
+  "CMakeFiles/mix_sign.dir/SignTypes.cpp.o"
+  "CMakeFiles/mix_sign.dir/SignTypes.cpp.o.d"
+  "libmix_sign.a"
+  "libmix_sign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_sign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

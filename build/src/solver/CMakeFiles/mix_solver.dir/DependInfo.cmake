@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/LinearArith.cpp" "src/solver/CMakeFiles/mix_solver.dir/LinearArith.cpp.o" "gcc" "src/solver/CMakeFiles/mix_solver.dir/LinearArith.cpp.o.d"
+  "/root/repo/src/solver/Sat.cpp" "src/solver/CMakeFiles/mix_solver.dir/Sat.cpp.o" "gcc" "src/solver/CMakeFiles/mix_solver.dir/Sat.cpp.o.d"
+  "/root/repo/src/solver/SmtSolver.cpp" "src/solver/CMakeFiles/mix_solver.dir/SmtSolver.cpp.o" "gcc" "src/solver/CMakeFiles/mix_solver.dir/SmtSolver.cpp.o.d"
+  "/root/repo/src/solver/Term.cpp" "src/solver/CMakeFiles/mix_solver.dir/Term.cpp.o" "gcc" "src/solver/CMakeFiles/mix_solver.dir/Term.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mix_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

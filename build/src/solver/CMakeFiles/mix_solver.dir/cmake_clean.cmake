@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_solver.dir/LinearArith.cpp.o"
+  "CMakeFiles/mix_solver.dir/LinearArith.cpp.o.d"
+  "CMakeFiles/mix_solver.dir/Sat.cpp.o"
+  "CMakeFiles/mix_solver.dir/Sat.cpp.o.d"
+  "CMakeFiles/mix_solver.dir/SmtSolver.cpp.o"
+  "CMakeFiles/mix_solver.dir/SmtSolver.cpp.o.d"
+  "CMakeFiles/mix_solver.dir/Term.cpp.o"
+  "CMakeFiles/mix_solver.dir/Term.cpp.o.d"
+  "libmix_solver.a"
+  "libmix_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/mix_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/mix_support.dir/StringExtras.cpp.o"
+  "CMakeFiles/mix_support.dir/StringExtras.cpp.o.d"
+  "libmix_support.a"
+  "libmix_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sym/SymArena.cpp" "src/sym/CMakeFiles/mix_sym.dir/SymArena.cpp.o" "gcc" "src/sym/CMakeFiles/mix_sym.dir/SymArena.cpp.o.d"
+  "/root/repo/src/sym/SymExpr.cpp" "src/sym/CMakeFiles/mix_sym.dir/SymExpr.cpp.o" "gcc" "src/sym/CMakeFiles/mix_sym.dir/SymExpr.cpp.o.d"
+  "/root/repo/src/sym/SymToSmt.cpp" "src/sym/CMakeFiles/mix_sym.dir/SymToSmt.cpp.o" "gcc" "src/sym/CMakeFiles/mix_sym.dir/SymToSmt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/mix_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/mix_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mix_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_sym.dir/SymArena.cpp.o"
+  "CMakeFiles/mix_sym.dir/SymArena.cpp.o.d"
+  "CMakeFiles/mix_sym.dir/SymExpr.cpp.o"
+  "CMakeFiles/mix_sym.dir/SymExpr.cpp.o.d"
+  "CMakeFiles/mix_sym.dir/SymToSmt.cpp.o"
+  "CMakeFiles/mix_sym.dir/SymToSmt.cpp.o.d"
+  "libmix_sym.a"
+  "libmix_sym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_symexec.dir/Effects.cpp.o"
+  "CMakeFiles/mix_symexec.dir/Effects.cpp.o.d"
+  "CMakeFiles/mix_symexec.dir/MemCheck.cpp.o"
+  "CMakeFiles/mix_symexec.dir/MemCheck.cpp.o.d"
+  "CMakeFiles/mix_symexec.dir/SymExecutor.cpp.o"
+  "CMakeFiles/mix_symexec.dir/SymExecutor.cpp.o.d"
+  "libmix_symexec.a"
+  "libmix_symexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_symexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

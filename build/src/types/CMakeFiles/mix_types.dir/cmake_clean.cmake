@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_types.dir/TypeChecker.cpp.o"
+  "CMakeFiles/mix_types.dir/TypeChecker.cpp.o.d"
+  "libmix_types.a"
+  "libmix_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

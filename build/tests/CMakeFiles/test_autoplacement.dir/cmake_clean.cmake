@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autoplacement.dir/AutoPlacementTest.cpp.o"
+  "CMakeFiles/test_autoplacement.dir/AutoPlacementTest.cpp.o.d"
+  "test_autoplacement"
+  "test_autoplacement.pdb"
+  "test_autoplacement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autoplacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

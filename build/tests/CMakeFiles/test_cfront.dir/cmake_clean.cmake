@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfront.dir/CFrontTest.cpp.o"
+  "CMakeFiles/test_cfront.dir/CFrontTest.cpp.o.d"
+  "test_cfront"
+  "test_cfront.pdb"
+  "test_cfront[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

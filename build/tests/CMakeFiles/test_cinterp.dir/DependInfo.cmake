@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/CInterpTest.cpp" "tests/CMakeFiles/test_cinterp.dir/CInterpTest.cpp.o" "gcc" "tests/CMakeFiles/test_cinterp.dir/CInterpTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/csym/CMakeFiles/mix_csym.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptranal/CMakeFiles/mix_ptranal.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfront/CMakeFiles/mix_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/mix_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mix_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cinterp.dir/CInterpTest.cpp.o"
+  "CMakeFiles/test_cinterp.dir/CInterpTest.cpp.o.d"
+  "test_cinterp"
+  "test_cinterp.pdb"
+  "test_cinterp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cinterp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concolic.dir/ConcolicTest.cpp.o"
+  "CMakeFiles/test_concolic.dir/ConcolicTest.cpp.o.d"
+  "test_concolic"
+  "test_concolic.pdb"
+  "test_concolic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csym.dir/CSymTest.cpp.o"
+  "CMakeFiles/test_csym.dir/CSymTest.cpp.o.d"
+  "test_csym"
+  "test_csym.pdb"
+  "test_csym[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csymvalue.dir/CSymValueTest.cpp.o"
+  "CMakeFiles/test_csymvalue.dir/CSymValueTest.cpp.o.d"
+  "test_csymvalue"
+  "test_csymvalue.pdb"
+  "test_csymvalue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csymvalue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lia.dir/LinearArithTest.cpp.o"
+  "CMakeFiles/test_lia.dir/LinearArithTest.cpp.o.d"
+  "test_lia"
+  "test_lia.pdb"
+  "test_lia[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

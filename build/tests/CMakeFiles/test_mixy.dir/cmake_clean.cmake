@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixy.dir/MixyTest.cpp.o"
+  "CMakeFiles/test_mixy.dir/MixyTest.cpp.o.d"
+  "test_mixy"
+  "test_mixy.pdb"
+  "test_mixy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

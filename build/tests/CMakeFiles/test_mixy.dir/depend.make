@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mixy.
+# This may be replaced when dependencies are built.

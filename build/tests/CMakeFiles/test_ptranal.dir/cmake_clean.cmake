@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptranal.dir/PointsToTest.cpp.o"
+  "CMakeFiles/test_ptranal.dir/PointsToTest.cpp.o.d"
+  "test_ptranal"
+  "test_ptranal.pdb"
+  "test_ptranal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptranal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ptranal.
+# This may be replaced when dependencies are built.

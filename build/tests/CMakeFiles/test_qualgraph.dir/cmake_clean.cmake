@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qualgraph.dir/QualGraphTest.cpp.o"
+  "CMakeFiles/test_qualgraph.dir/QualGraphTest.cpp.o.d"
+  "test_qualgraph"
+  "test_qualgraph.pdb"
+  "test_qualgraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qualgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

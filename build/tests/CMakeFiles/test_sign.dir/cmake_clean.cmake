@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sign.dir/SignTest.cpp.o"
+  "CMakeFiles/test_sign.dir/SignTest.cpp.o.d"
+  "test_sign"
+  "test_sign.pdb"
+  "test_sign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solveredge.dir/SolverEdgeTest.cpp.o"
+  "CMakeFiles/test_solveredge.dir/SolverEdgeTest.cpp.o.d"
+  "test_solveredge"
+  "test_solveredge.pdb"
+  "test_solveredge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solveredge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symexec.dir/SymExecutorTest.cpp.o"
+  "CMakeFiles/test_symexec.dir/SymExecutorTest.cpp.o.d"
+  "test_symexec"
+  "test_symexec.pdb"
+  "test_symexec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

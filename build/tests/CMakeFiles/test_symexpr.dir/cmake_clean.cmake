@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symexpr.dir/SymExprTest.cpp.o"
+  "CMakeFiles/test_symexpr.dir/SymExprTest.cpp.o.d"
+  "test_symexpr"
+  "test_symexpr.pdb"
+  "test_symexpr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symexpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

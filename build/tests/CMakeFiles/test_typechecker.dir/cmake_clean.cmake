@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_typechecker.dir/TypeCheckerTest.cpp.o"
+  "CMakeFiles/test_typechecker.dir/TypeCheckerTest.cpp.o.d"
+  "test_typechecker"
+  "test_typechecker.pdb"
+  "test_typechecker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_typechecker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

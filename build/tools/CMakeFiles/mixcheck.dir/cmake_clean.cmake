@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixcheck.dir/mixcheck.cpp.o"
+  "CMakeFiles/mixcheck.dir/mixcheck.cpp.o.d"
+  "mixcheck"
+  "mixcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mixcheck.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixyc.dir/mixyc.cpp.o"
+  "CMakeFiles/mixyc.dir/mixyc.cpp.o.d"
+  "mixyc"
+  "mixyc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixyc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
