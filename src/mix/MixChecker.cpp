@@ -16,7 +16,7 @@ MixChecker::MixChecker(TypeContext &Types, DiagnosticEngine &Diags,
                        MixOptions Opts)
     : Types(Types), Diags(Diags), Opts(Opts), Syms(Types),
       Solver(Terms, Opts.Smt), Translator(Syms, Terms), Checker(Types, Diags),
-      Executor(Syms, Diags, executorOptionsFor(Opts)) {
+      Executor(Syms, Diags, executorOptionsFor(Opts)), Solvers(Opts.Smt) {
   Checker.setSymBlockOracle(this);
   Executor.setTypedBlockOracle(this);
   Executor.setSolver(&Solver, &Translator);
@@ -124,6 +124,25 @@ std::string MixChecker::describeWitness(const SymEnv &Env,
   return Out;
 }
 
+std::vector<char>
+MixChecker::classifyFeasibility(const std::vector<PathResult> &Paths) {
+  std::vector<char> Feasible(Paths.size(), 1);
+  if (!Pool)
+    Pool = std::make_unique<rt::ThreadPool>(Opts.Jobs);
+  // The symbol arena is quiescent here (enumeration finished), so each
+  // worker may translate against it with a private term arena; solver
+  // verdicts are deterministic per formula, so the feasible/infeasible
+  // split matches what the shared solver would say.
+  Pool->parallelFor(Paths.size(), [&](size_t I) {
+    smt::SolverPool::Lease Lease = Solvers.acquire();
+    SymToSmt LocalTranslator(Syms, Lease.terms());
+    Feasible[I] =
+        Lease.solver().checkSat(LocalTranslator.translate(
+            Paths[I].State.Path)) != smt::SolveResult::Unsat;
+  });
+  return Feasible;
+}
+
 const Type *MixChecker::checkSymbolicCore(const Expr *Body,
                                           const TypeEnv &Gamma,
                                           SourceLoc Loc) {
@@ -162,25 +181,55 @@ const Type *MixChecker::checkSymbolicCore(const Expr *Body,
   // discarded ("eventually, when symbolic execution completes, we will
   // check the path condition and discard the path if it is infeasible").
   std::vector<const PathResult *> Live;
-  for (const PathResult &P : Result.Paths) {
-    smt::SmtModel Model;
-    if (Solver.checkSat(Translator.translate(P.State.Path), &Model) ==
-        smt::SolveResult::Unsat) {
-      ++Statistics.InfeasiblePathsDiscarded;
-      continue;
+  if (Opts.Jobs > 1 && Result.Paths.size() > 1) {
+    // Paths are independent once enumerated: feasibility is checked
+    // concurrently (one pooled solver per worker), then the results are
+    // reported at the join in path order. The witness model for a
+    // feasible error path is re-derived on the shared solver so the
+    // diagnostic text matches the serial classification exactly.
+    std::vector<char> Feasible = classifyFeasibility(Result.Paths);
+    for (size_t I = 0; I != Result.Paths.size(); ++I) {
+      const PathResult &P = Result.Paths[I];
+      if (!Feasible[I]) {
+        ++Statistics.InfeasiblePathsDiscarded;
+        continue;
+      }
+      if (P.IsError) {
+        smt::SmtModel Model;
+        Solver.checkSat(Translator.translate(P.State.Path), &Model);
+        Diags.error(P.ErrorLoc.isValid() ? P.ErrorLoc : Loc,
+                    P.ErrorMessage + " [on path " + P.State.Path->str() +
+                        "]");
+        std::string Witness = describeWitness(Env, Model);
+        if (!Witness.empty())
+          Diags.note(P.ErrorLoc.isValid() ? P.ErrorLoc : Loc,
+                     "for example, when " + Witness);
+        return nullptr;
+      }
+      Live.push_back(&P);
     }
-    if (P.IsError) {
-      Diags.error(P.ErrorLoc.isValid() ? P.ErrorLoc : Loc,
-                  P.ErrorMessage + " [on path " + P.State.Path->str() + "]");
-      // A concrete witness makes the report actionable: values for the
-      // block's inputs under which the failing path is taken.
-      std::string Witness = describeWitness(Env, Model);
-      if (!Witness.empty())
-        Diags.note(P.ErrorLoc.isValid() ? P.ErrorLoc : Loc,
-                   "for example, when " + Witness);
-      return nullptr;
+  } else {
+    for (const PathResult &P : Result.Paths) {
+      smt::SmtModel Model;
+      if (Solver.checkSat(Translator.translate(P.State.Path), &Model) ==
+          smt::SolveResult::Unsat) {
+        ++Statistics.InfeasiblePathsDiscarded;
+        continue;
+      }
+      if (P.IsError) {
+        Diags.error(P.ErrorLoc.isValid() ? P.ErrorLoc : Loc,
+                    P.ErrorMessage + " [on path " + P.State.Path->str() +
+                        "]");
+        // A concrete witness makes the report actionable: values for the
+        // block's inputs under which the failing path is taken.
+        std::string Witness = describeWitness(Env, Model);
+        if (!Witness.empty())
+          Diags.note(P.ErrorLoc.isValid() ? P.ErrorLoc : Loc,
+                     "for example, when " + Witness);
+        return nullptr;
+      }
+      Live.push_back(&P);
     }
-    Live.push_back(&P);
   }
 
   if (Live.empty()) {

@@ -29,14 +29,26 @@
 #ifndef MIX_MIX_MIXCHECKER_H
 #define MIX_MIX_MIXCHECKER_H
 
+#include "runtime/ThreadPool.h"
+#include "solver/SolverPool.h"
 #include "symexec/SymExecutor.h"
 #include "types/TypeChecker.h"
+
+#include <memory>
 
 namespace mix {
 
 /// Configuration of the mixed analysis.
 struct MixOptions {
   SymExecOptions Exec;
+
+  /// Worker threads for classifying a symbolic block's paths (the
+  /// feasibility query per enumerated path is the solver-bound hot loop).
+  /// 1 keeps the serial classification, byte-for-byte identical in
+  /// diagnostics; N > 1 checks paths concurrently on a work-stealing
+  /// pool with one solver instance per worker, then reports at the join
+  /// in path order — same verdicts, same messages.
+  unsigned Jobs = 1;
 
   /// Section 3.2: exhaustive() can be required (sound) or weakened to a
   /// "good enough check" (the unsound-but-useful mode of typical symbolic
@@ -128,6 +140,11 @@ private:
   /// for concolic exploration).
   static SymExecOptions executorOptionsFor(const MixOptions &Opts);
 
+  /// Feasibility of every path in \p Paths, computed concurrently when
+  /// Opts.Jobs > 1 (each worker leases a pooled solver and translates
+  /// against the quiescent symbol arena). Serial when Jobs <= 1.
+  std::vector<char> classifyFeasibility(const std::vector<PathResult> &Paths);
+
   TypeContext &Types;
   DiagnosticEngine &Diags;
   MixOptions Opts;
@@ -140,6 +157,10 @@ private:
   SymExecutor Executor;
   MixStats Statistics;
   std::map<const SymExpr *, bool> VerifiedClosures;
+
+  // Parallel classification (lazily built on first use).
+  smt::SolverPool Solvers;
+  std::unique_ptr<rt::ThreadPool> Pool;
 };
 
 } // namespace mix

@@ -1,0 +1,26 @@
+//===--- BlockCache.cpp - Sharded block-summary cache -----------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mixy/BlockCache.h"
+
+using namespace mix::c;
+
+std::string BlockCacheStats::str() const {
+  return "hits=" + std::to_string(Hits) + " misses=" + std::to_string(Misses) +
+         " inserts=" + std::to_string(Inserts) +
+         " dropped=" + std::to_string(DroppedInserts) +
+         " evictions=" + std::to_string(Evictions);
+}
+
+unsigned mix::c::blockCacheShardsFor(unsigned Workers) {
+  if (Workers <= 1)
+    return 1;
+  unsigned N = 1;
+  while (N < Workers * 4 && N < 256)
+    N <<= 1;
+  return N;
+}

@@ -1,0 +1,164 @@
+//===--- BlockCache.h - Sharded block-summary cache -------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 4.3 cache — "we cache the translated types" of each block
+/// per compatible calling context — made safe for concurrent block
+/// analyses. The key space is sharded and each shard carries its own
+/// mutex, so lookups and inserts from different workers only contend when
+/// they hash to the same stripe.
+///
+/// Semantics under races: first insert for a key wins and later inserts
+/// of the same key are dropped (block outcomes are deterministic per key,
+/// so the dropped value is identical — the insert is "lost" only as work,
+/// never as information). An optional per-shard capacity evicts oldest
+/// entries first; evictions only cost re-analysis, never soundness, which
+/// is exactly the contract of the paper's cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_MIXY_BLOCKCACHE_H
+#define MIX_MIXY_BLOCKCACHE_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mix::c {
+
+/// Counter snapshot of one cache (summed over shards).
+struct BlockCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Inserts = 0;
+  uint64_t DroppedInserts = 0; ///< insert raced an existing entry
+  uint64_t Evictions = 0;
+
+  /// "hits=3 misses=5 inserts=5 evictions=0"-style rendering.
+  std::string str() const;
+};
+
+/// Number of stripes that keeps contention negligible for \p Workers
+/// concurrent workers (a power of two comfortably above the worker
+/// count).
+unsigned blockCacheShardsFor(unsigned Workers);
+
+/// A mutex-striped map from block calling contexts to block summaries.
+///
+/// \p Hash only selects the stripe; within a stripe, \p Key's operator<
+/// orders the entries (the analysis keys already define it).
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class BlockCache {
+public:
+  /// \p Shards is rounded up to a power of two; \p MaxEntriesPerShard of
+  /// 0 means unbounded.
+  explicit BlockCache(unsigned Shards = 16, size_t MaxEntriesPerShard = 0,
+                      Hash Hasher = Hash())
+      : MaxPerShard(MaxEntriesPerShard), Hasher(Hasher) {
+    unsigned N = 1;
+    while (N < Shards)
+      N <<= 1;
+    Stripes = std::vector<Shard>(N);
+  }
+
+  /// Returns the cached summary for \p K, or nullopt on a miss.
+  std::optional<Value> lookup(const Key &K) {
+    Shard &S = shardFor(K);
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Map.find(K);
+    if (It == S.Map.end()) {
+      ++S.Counters.Misses;
+      return std::nullopt;
+    }
+    ++S.Counters.Hits;
+    return It->second;
+  }
+
+  /// Inserts \p K -> \p V. Returns true when this call created the entry;
+  /// false when another insert got there first (the existing entry is
+  /// kept — summaries are deterministic per key).
+  bool insert(const Key &K, Value V) {
+    Shard &S = shardFor(K);
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto [It, Fresh] = S.Map.emplace(K, std::move(V));
+    if (!Fresh) {
+      ++S.Counters.DroppedInserts;
+      return false;
+    }
+    ++S.Counters.Inserts;
+    S.Order.push_back(K);
+    if (MaxPerShard != 0 && S.Map.size() > MaxPerShard) {
+      S.Map.erase(S.Order.front());
+      S.Order.pop_front();
+      ++S.Counters.Evictions;
+    }
+    return true;
+  }
+
+  /// Entries across all shards.
+  size_t size() const {
+    size_t N = 0;
+    for (const Shard &S : Stripes) {
+      std::lock_guard<std::mutex> Lock(S.M);
+      N += S.Map.size();
+    }
+    return N;
+  }
+
+  void clear() {
+    for (Shard &S : Stripes) {
+      std::lock_guard<std::mutex> Lock(S.M);
+      S.Map.clear();
+      S.Order.clear();
+    }
+  }
+
+  unsigned shardCount() const { return (unsigned)Stripes.size(); }
+
+  /// Counter totals. Call at a barrier for exact numbers; counters are
+  /// mutated under shard locks, so the snapshot is always consistent
+  /// per-shard.
+  BlockCacheStats stats() const {
+    BlockCacheStats Total;
+    for (const Shard &S : Stripes) {
+      std::lock_guard<std::mutex> Lock(S.M);
+      Total.Hits += S.Counters.Hits;
+      Total.Misses += S.Counters.Misses;
+      Total.Inserts += S.Counters.Inserts;
+      Total.DroppedInserts += S.Counters.DroppedInserts;
+      Total.Evictions += S.Counters.Evictions;
+    }
+    return Total;
+  }
+
+private:
+  struct Shard {
+    mutable std::mutex M;
+    std::map<Key, Value> Map;
+    std::deque<Key> Order; ///< insertion order, for FIFO eviction
+    BlockCacheStats Counters;
+  };
+
+  Shard &shardFor(const Key &K) {
+    // Mix the hash so clustered low bits still spread across stripes.
+    size_t H = Hasher(K);
+    H ^= (H >> 16) | (H << 16);
+    return Stripes[H & (Stripes.size() - 1)];
+  }
+
+  size_t MaxPerShard;
+  Hash Hasher;
+  std::vector<Shard> Stripes;
+};
+
+} // namespace mix::c
+
+#endif // MIX_MIXY_BLOCKCACHE_H

@@ -9,14 +9,48 @@
 
 using namespace mix::c;
 
+namespace {
+/// The WorkerContext of the pool task currently running on this thread,
+/// if any (type-erased so the private nested type stays private).
+thread_local void *ActiveWorkerCtx = nullptr;
+} // namespace
+
+/// Everything a pool worker owns privately: a leased solver instance
+/// (with its term arena), a diagnostics buffer merged at round barriers,
+/// a symbolic executor bound to all three, and a recursion stack.
+struct MixyAnalysis::WorkerContext {
+  MixyAnalysis *Owner;
+  smt::SolverPool::Lease SolverLease;
+  DiagnosticEngine Diags;
+  CSymExecutor Exec;
+  std::vector<StackEntry> Stack;
+  size_t Merged = 0; ///< diagnostics already consumed by earlier barriers
+
+  explicit WorkerContext(MixyAnalysis &A)
+      : Owner(&A), SolverLease(A.Solvers.acquire()),
+        Exec(A.Program, A.Ctx, Diags, SolverLease.terms(),
+             SolverLease.solver(), A.Opts.Sym) {
+    Exec.setTypedCallHook(&A);
+  }
+};
+
 MixyAnalysis::MixyAnalysis(const CProgram &Program, CAstContext &Ctx,
                            DiagnosticEngine &Diags, MixyOptions Opts)
     : Program(Program), Ctx(Ctx), Diags(Diags), Opts(Opts),
       Solver(Terms, Opts.Smt), PtrAnal(Program, Ctx, Diags),
       Qual(Program, Ctx, Diags, Opts.Qual),
-      Exec(Program, Ctx, Diags, Terms, Solver, Opts.Sym) {
+      Exec(Program, Ctx, Diags, Terms, Solver, Opts.Sym),
+      SymCache(blockCacheShardsFor(Opts.Jobs)),
+      TypedCache(blockCacheShardsFor(Opts.Jobs)), Solvers(Opts.Smt) {
   Qual.setSymHook(this);
   Exec.setTypedCallHook(this);
+}
+
+MixyAnalysis::~MixyAnalysis() = default;
+
+void MixyAnalysis::bumpStat(unsigned MixyStats::*Field) {
+  std::lock_guard<std::mutex> Lock(StatsM);
+  ++(Statistics.*Field);
 }
 
 // === region collection =======================================================
@@ -189,10 +223,53 @@ QualVec MixyAnalysis::freshQuals(const CType *Ty,
   return Out;
 }
 
+// === parallel-engine plumbing ================================================
+
+MixyAnalysis::WorkerContext &MixyAnalysis::workerContext() {
+  int W = Pool->currentWorker();
+  std::lock_guard<std::mutex> Lock(SlotsM);
+  std::unique_ptr<WorkerContext> &Slot = WorkerSlots[(size_t)W];
+  if (!Slot)
+    Slot = std::make_unique<WorkerContext>(*this);
+  return *Slot;
+}
+
+MixyAnalysis::ExecContext MixyAnalysis::currentContext() {
+  auto *W = static_cast<WorkerContext *>(ActiveWorkerCtx);
+  if (W && W->Owner == this)
+    return ExecContext{W->Exec, W->Diags, W->Stack};
+  return ExecContext{Exec, Diags, BlockStack};
+}
+
+void MixyAnalysis::mergeRoundDiagnostics(
+    const std::vector<std::vector<Diagnostic>> &Per) {
+  // Append in round-task order (deterministic: tasks are keyed by the
+  // round's distinct-context list, not by which worker ran them). Each
+  // worker executor already deduplicates its own warnings; the set below
+  // extends that across workers with the same location|message key.
+  for (const std::vector<Diagnostic> &Slice : Per) {
+    bool DropNotes = false;
+    for (const Diagnostic &D : Slice) {
+      if (D.Kind == DiagKind::Warning) {
+        std::string Key = D.Loc.str() + "|" + D.Message;
+        DropNotes = !MergedWarnings.insert(Key).second;
+        if (DropNotes)
+          continue;
+      } else if (D.Kind == DiagKind::Note && DropNotes) {
+        continue; // notes ride with the warning that owned them
+      } else {
+        DropNotes = false;
+      }
+      Diags.report(D.Kind, D.Loc, D.Message);
+    }
+  }
+}
+
 // === symbolic blocks (typed -> symbolic -> typed) ===========================
 
 MixyAnalysis::SymOutcome
-MixyAnalysis::translateResult(const CFuncDecl *F, const CSymResult &Result) {
+MixyAnalysis::translateResult(const CFuncDecl *F, const CSymResult &Result,
+                              CSymExecutor &WithExec) {
   // "From Symbolic Values to Types": for each caller-visible pointer slot,
   // ask whether g and (s = 0) is satisfiable and record null if so.
   SymOutcome Outcome;
@@ -200,7 +277,7 @@ MixyAnalysis::translateResult(const CFuncDecl *F, const CSymResult &Result) {
 
   for (const CSymResult::PathOut &P : Result.Paths) {
     if (P.Returned && F->returnType()->isPointer() && P.Ret.isPtr() &&
-        Exec.mayBeNull(P.Path, P.Ret))
+        WithExec.mayBeNull(P.Path, P.Ret))
       Outcome.RetMayBeNull = true;
 
     for (size_t I = 0; I != F->params().size(); ++I) {
@@ -210,15 +287,16 @@ MixyAnalysis::translateResult(const CFuncDecl *F, const CSymResult &Result) {
       if (Pointee == NoLoc)
         continue;
       auto Cell = CSymExecutor::finalCell(P, Pointee, "");
-      if (Cell && Cell->isPtr() && Exec.mayBeNull(P.Path, *Cell))
+      if (Cell && Cell->isPtr() && WithExec.mayBeNull(P.Path, *Cell))
         Outcome.ParamPointeeMayBeNull[I] = true;
     }
 
     for (const CGlobalDecl *G : Program.Globals) {
       if (!G->type()->isPointer())
         continue;
-      auto Cell = CSymExecutor::finalCell(P, Exec.globalLoc(G->name()), "");
-      if (Cell && Cell->isPtr() && Exec.mayBeNull(P.Path, *Cell))
+      auto Cell =
+          CSymExecutor::finalCell(P, WithExec.globalLoc(G->name()), "");
+      if (Cell && Cell->isPtr() && WithExec.mayBeNull(P.Path, *Cell))
         Outcome.GlobalMayBeNull[G->name()] = true;
     }
   }
@@ -226,47 +304,47 @@ MixyAnalysis::translateResult(const CFuncDecl *F, const CSymResult &Result) {
 }
 
 MixyAnalysis::SymOutcome
-MixyAnalysis::computeSymOutcome(const BlockKey &Key) {
+MixyAnalysis::computeSymOutcome(const BlockKey &Key, ExecContext C) {
   if (Opts.EnableCache) {
-    auto It = SymCache.find(Key);
-    if (It != SymCache.end()) {
-      ++Statistics.SymbolicCacheHits;
-      return It->second;
+    if (auto Cached = SymCache.lookup(Key)) {
+      bumpStat(&MixyStats::SymbolicCacheHits);
+      return *Cached;
     }
   }
 
   // Recursion detection (Section 4.4): the same block with a compatible
-  // calling context is already being analyzed.
-  for (StackEntry &Entry : BlockStack) {
+  // calling context is already being analyzed (on this thread's stack —
+  // recursion cannot span threads, since a block's nested blocks run on
+  // the worker that runs the block).
+  for (StackEntry &Entry : C.Stack) {
     if (Entry.Key == Key) {
       Entry.Recursive = true;
-      ++Statistics.RecursionsDetected;
+      bumpStat(&MixyStats::RecursionsDetected);
       return Entry.SymAssumption;
     }
   }
 
-  BlockStack.push_back({Key, false, SymOutcome(), false});
-  BlockStack.back().SymAssumption.ParamPointeeMayBeNull.assign(
+  C.Stack.push_back({Key, false, SymOutcome(), false});
+  C.Stack.back().SymAssumption.ParamPointeeMayBeNull.assign(
       Key.F->params().size(), false);
 
   SymOutcome Outcome;
   for (unsigned Iter = 0; Iter != Opts.MaxRecursionIterations; ++Iter) {
-    BlockStack.back().Recursive = false;
-    ++Statistics.SymbolicBlockRuns;
-    CSymResult Result = Exec.runFunction(Key.F, Key.Params, Key.Globals);
-    Outcome = translateResult(Key.F, Result);
+    C.Stack.back().Recursive = false;
+    bumpStat(&MixyStats::SymbolicBlockRuns);
+    CSymResult Result = C.Exec.runFunction(Key.F, Key.Params, Key.Globals);
+    Outcome = translateResult(Key.F, Result, C.Exec);
     // "If the assumption is compatible with the actual result, we return
     // the result; otherwise, we re-analyze the block using the actual
     // result as the updated assumption." (Section 4.4)
-    if (!BlockStack.back().Recursive ||
-        Outcome == BlockStack.back().SymAssumption)
+    if (!C.Stack.back().Recursive || Outcome == C.Stack.back().SymAssumption)
       break;
-    BlockStack.back().SymAssumption = Outcome;
+    C.Stack.back().SymAssumption = Outcome;
   }
-  BlockStack.pop_back();
+  C.Stack.pop_back();
 
   if (Opts.EnableCache)
-    SymCache[Key] = Outcome;
+    SymCache.insert(Key, Outcome);
   return Outcome;
 }
 
@@ -328,8 +406,41 @@ bool MixyAnalysis::handleSymbolicCall(QualInference &Inference,
                                       QualVec &RetQuals) {
   if (!Callee->isDefined())
     return false;
-  ++Statistics.SymbolicCallsFromTyped;
   (void)Inference;
+
+  if (parallel()) {
+    auto *W = static_cast<WorkerContext *>(ActiveWorkerCtx);
+    if (!W || W->Owner != this) {
+      // Main thread, during constraint generation: defer the block to the
+      // next round barrier. The fresh, unconstrained result qualifiers are
+      // exactly the paper's optimism ("we first optimistically assume it
+      // is nonnull", Section 4.1); the fixpoint loop evaluates the block
+      // and seeds the constraints it missed.
+      std::lock_guard<std::recursive_mutex> Lock(QualM);
+      bumpStat(&MixyStats::SymbolicCallsFromTyped);
+      RetQuals = freshQuals(Callee->returnType(),
+                            "symbolic call " + Callee->name(), Call->loc());
+      SymCallSites.push_back({Call, Callee, ArgQuals, RetQuals, BlockKey()});
+      return true;
+    }
+    // Worker thread: a typed block nested inside a symbolic block hit the
+    // symbolic frontier again. Run it synchronously on this worker's
+    // context; the caller (callTypedFunction) already holds QualM.
+    bumpStat(&MixyStats::SymbolicCallsFromTyped);
+    BlockKey Key;
+    Key.Symbolic = true;
+    Key.F = Callee;
+    Key.Params = paramSeedsFromArgQuals(Callee, ArgQuals);
+    Key.Globals = globalSeedsFromQuals();
+    RetQuals = freshQuals(Callee->returnType(),
+                          "symbolic call " + Callee->name(), Call->loc());
+    SymOutcome Outcome = computeSymOutcome(Key, currentContext());
+    applySymOutcome(Outcome, Call, Callee, ArgQuals, RetQuals);
+    SymCallSites.push_back({Call, Callee, ArgQuals, RetQuals, Key});
+    return true;
+  }
+
+  bumpStat(&MixyStats::SymbolicCallsFromTyped);
 
   BlockKey Key;
   Key.Symbolic = true;
@@ -340,7 +451,7 @@ bool MixyAnalysis::handleSymbolicCall(QualInference &Inference,
   RetQuals = freshQuals(Callee->returnType(),
                         "symbolic call " + Callee->name(), Call->loc());
 
-  SymOutcome Outcome = computeSymOutcome(Key);
+  SymOutcome Outcome = computeSymOutcome(Key, currentContext());
   applySymOutcome(Outcome, Call, Callee, ArgQuals, RetQuals);
 
   // Remember the site for the fixpoint loop (Section 4.1).
@@ -350,29 +461,29 @@ bool MixyAnalysis::handleSymbolicCall(QualInference &Inference,
 
 // === typed blocks (symbolic -> typed -> symbolic) ===========================
 
-bool MixyAnalysis::computeTypedRet(const BlockKey &Key, const CCall *Call) {
+bool MixyAnalysis::computeTypedRet(const BlockKey &Key, const CCall *Call,
+                                   ExecContext C) {
   if (Opts.EnableCache) {
-    auto It = TypedCache.find(Key);
-    if (It != TypedCache.end()) {
-      ++Statistics.TypedCacheHits;
-      return It->second;
+    if (auto Cached = TypedCache.lookup(Key)) {
+      bumpStat(&MixyStats::TypedCacheHits);
+      return *Cached;
     }
   }
 
-  for (StackEntry &Entry : BlockStack) {
+  for (StackEntry &Entry : C.Stack) {
     if (Entry.Key == Key) {
       Entry.Recursive = true;
-      ++Statistics.RecursionsDetected;
+      bumpStat(&MixyStats::RecursionsDetected);
       return Entry.TypedAssumption;
     }
   }
 
-  BlockStack.push_back({Key, false, SymOutcome(), false});
+  C.Stack.push_back({Key, false, SymOutcome(), false});
 
   bool RetMayBeNull = false;
   for (unsigned Iter = 0; Iter != Opts.MaxRecursionIterations; ++Iter) {
-    BlockStack.back().Recursive = false;
-    ++Statistics.TypedBlockRuns;
+    C.Stack.back().Recursive = false;
+    bumpStat(&MixyStats::TypedBlockRuns);
 
     // Run qualifier inference over the typed region rooted here; nested
     // MIX(symbolic) frontier calls re-enter handleSymbolicCall.
@@ -401,15 +512,15 @@ bool MixyAnalysis::computeTypedRet(const BlockKey &Key, const CCall *Call) {
     const QualVec &RQ = Qual.qualsOfReturn(Key.F);
     RetMayBeNull = !RQ.empty() && Qual.mayBeNull(RQ[0]);
 
-    if (!BlockStack.back().Recursive ||
-        RetMayBeNull == BlockStack.back().TypedAssumption)
+    if (!C.Stack.back().Recursive ||
+        RetMayBeNull == C.Stack.back().TypedAssumption)
       break;
-    BlockStack.back().TypedAssumption = RetMayBeNull;
+    C.Stack.back().TypedAssumption = RetMayBeNull;
   }
-  BlockStack.pop_back();
+  C.Stack.pop_back();
 
   if (Opts.EnableCache)
-    TypedCache[Key] = RetMayBeNull;
+    TypedCache.insert(Key, RetMayBeNull);
   return RetMayBeNull;
 }
 
@@ -418,13 +529,14 @@ bool MixyAnalysis::callTypedFunction(CSymExecutor &Exec2, CSymState &State,
                                      const CFuncDecl *Callee,
                                      const std::vector<CSymValue> &Args,
                                      CSymValue &RetOut) {
-  ++Statistics.TypedCallsFromSymbolic;
+  bumpStat(&MixyStats::TypedCallsFromSymbolic);
 
   BlockKey Key;
   Key.Symbolic = false;
   Key.F = Callee;
   // The calling context from symbolic values: solver queries per pointer
-  // argument and per pointer global present in the store.
+  // argument and per pointer global present in the store. These touch
+  // only the calling executor's own state — no lock needed yet.
   for (size_t I = 0; I != Callee->params().size(); ++I) {
     bool MayNull = I < Args.size() && Args[I].isPtr() &&
                    Exec2.mayBeNull(State.Path, Args[I]);
@@ -441,7 +553,14 @@ bool MixyAnalysis::callTypedFunction(CSymExecutor &Exec2, CSymState &State,
                                  : NullSeed::Nonnull;
   }
 
-  bool RetMayBeNull = computeTypedRet(Key, Call);
+  // The typed block runs against the shared qualifier graph; in parallel
+  // mode every such touch is serialized (recursively — typed and symbolic
+  // blocks nest through the hooks).
+  std::unique_lock<std::recursive_mutex> Lock(QualM, std::defer_lock);
+  if (parallel())
+    Lock.lock();
+
+  bool RetMayBeNull = computeTypedRet(Key, Call, currentContext());
 
   // Re-entering symbolic execution: memory is havocked ("symbolic blocks
   // are forced to start with a fresh memory when switching from typed
@@ -460,6 +579,9 @@ bool MixyAnalysis::callTypedFunction(CSymExecutor &Exec2, CSymState &State,
                     Exec2.seededPointer(G->type(), Seed, G->name()));
   }
 
+  if (Lock.owns_lock())
+    Lock.unlock();
+
   if (Callee->returnType()->isPointer())
     RetOut = Exec2.seededPointer(Callee->returnType(),
                                  RetMayBeNull ? NullSeed::MayBeNull
@@ -467,7 +589,7 @@ bool MixyAnalysis::callTypedFunction(CSymExecutor &Exec2, CSymState &State,
                                  Callee->name() + "()");
   else
     RetOut = CSymValue::scalar(
-        Terms.freshIntVar(Callee->name() + "()"));
+        Exec2.terms().freshIntVar(Callee->name() + "()"));
   return true;
 }
 
@@ -485,7 +607,8 @@ unsigned MixyAnalysis::run(StartMode Mode, const std::string &Entry) {
   if (Mode == StartMode::Symbolic ||
       EntryFunc->mixAnnot() == MixAnnot::Symbolic) {
     // Begin in symbolic mode: execute the entry function; typed frontier
-    // calls switch through callTypedFunction.
+    // calls switch through callTypedFunction. A single symbolic block has
+    // no sibling blocks to farm out, so this path is always serial.
     ++Statistics.SymbolicBlockRuns;
     CSymResult Result = Exec.runFunction(EntryFunc);
     (void)Result;
@@ -493,6 +616,9 @@ unsigned MixyAnalysis::run(StartMode Mode, const std::string &Entry) {
     Qual.reportWarnings();
     return Diags.warningCount();
   }
+
+  if (parallel())
+    return runTypedParallel(EntryFunc);
 
   // Begin in typed mode: qualifier inference over the region reachable
   // from the entry, with symbolic frontier calls via handleSymbolicCall.
@@ -515,13 +641,94 @@ unsigned MixyAnalysis::run(StartMode Mode, const std::string &Entry) {
         continue;
       Changed = true;
       Site.LastKey = Key;
-      SymOutcome Outcome = computeSymOutcome(Key);
+      SymOutcome Outcome = computeSymOutcome(Key, currentContext());
       applySymOutcome(Outcome, Site.Call, Site.Callee, Site.ArgQuals,
                       Site.RetQuals);
     }
     if (!Changed)
       break;
     ++Statistics.FixpointIterations;
+  }
+
+  Qual.solve();
+  Qual.reportWarnings();
+  return Diags.warningCount();
+}
+
+unsigned MixyAnalysis::runTypedParallel(const CFuncDecl *EntryFunc) {
+  // Warm the lazily-built singleton types so workers mostly read the AST
+  // context instead of racing to create them.
+  Ctx.voidType();
+  Ctx.intType();
+  Ctx.charType();
+
+  Pool = std::make_unique<rt::ThreadPool>(Opts.Jobs);
+  WorkerSlots.resize(Pool->workerCount());
+
+  // Constraint generation over the typed region. Frontier calls defer
+  // their blocks (handleSymbolicCall records the sites with an empty
+  // LastKey), so this phase is pure qualifier inference.
+  Qual.analyzeGlobals();
+  for (const CFuncDecl *F : typedRegionFrom(EntryFunc))
+    Qual.analyzeFunction(F);
+
+  // Round-barrier fixpoint: each round recomputes every site's calling
+  // context against the current qualifier solution, evaluates the round's
+  // distinct contexts concurrently, then applies the summaries to the
+  // qualifier graph in deterministic site order at the barrier. The
+  // constraint system is monotone, so these Jacobi-style rounds reach the
+  // same least fixpoint as the serial site-at-a-time loop.
+  for (unsigned Iter = 0; Iter != Opts.MaxFixpointIterations; ++Iter) {
+    Qual.solve();
+
+    std::vector<std::pair<size_t, size_t>> Changed; // (site, key index)
+    std::vector<BlockKey> RoundKeys;
+    for (size_t I = 0; I != SymCallSites.size(); ++I) {
+      SymCallSite &Site = SymCallSites[I];
+      BlockKey Key;
+      Key.Symbolic = true;
+      Key.F = Site.Callee;
+      Key.Params = paramSeedsFromArgQuals(Site.Callee, Site.ArgQuals);
+      Key.Globals = globalSeedsFromQuals();
+      if (Site.LastKey.F && Key == Site.LastKey)
+        continue;
+      Site.LastKey = Key;
+      size_t KeyIdx = 0;
+      while (KeyIdx != RoundKeys.size() && !(RoundKeys[KeyIdx] == Key))
+        ++KeyIdx;
+      if (KeyIdx == RoundKeys.size())
+        RoundKeys.push_back(Key);
+      Changed.push_back({I, KeyIdx});
+    }
+    if (Changed.empty())
+      break;
+    ++Statistics.FixpointIterations;
+
+    // Evaluate the round. Results are carried out of the tasks directly
+    // (not via the cache, which may be disabled) and diagnostics are
+    // collected per task so their merge order is independent of worker
+    // scheduling.
+    std::vector<SymOutcome> RoundOutcomes(RoundKeys.size());
+    std::vector<std::vector<Diagnostic>> RoundDiags(RoundKeys.size());
+    Pool->parallelFor(RoundKeys.size(), [&](size_t K) {
+      WorkerContext &W = workerContext();
+      void *Prev = ActiveWorkerCtx;
+      ActiveWorkerCtx = &W;
+      size_t Before = W.Diags.size();
+      RoundOutcomes[K] =
+          computeSymOutcome(RoundKeys[K], ExecContext{W.Exec, W.Diags, W.Stack});
+      const std::vector<Diagnostic> &All = W.Diags.diagnostics();
+      RoundDiags[K].assign(All.begin() + (long)Before, All.end());
+      ActiveWorkerCtx = Prev;
+    });
+    mergeRoundDiagnostics(RoundDiags);
+
+    // Barrier: apply summaries in site order.
+    for (const auto &[SiteIdx, KeyIdx] : Changed) {
+      SymCallSite &Site = SymCallSites[SiteIdx];
+      applySymOutcome(RoundOutcomes[KeyIdx], Site.Call, Site.Callee,
+                      Site.ArgQuals, Site.RetQuals);
+    }
   }
 
   Qual.solve();

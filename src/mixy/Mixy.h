@@ -28,8 +28,25 @@
 ///  - Aliasing is restored at symbolic-to-typed transitions using the
 ///    may-points-to pre-pass (Section 4.2).
 ///  - Block results are cached per compatible calling context
-///    (Section 4.3) and recursion between blocks is resolved with a block
-///    stack and assumption iteration (Section 4.4).
+///    (Section 4.3) in a sharded, mutex-striped BlockCache, and recursion
+///    between blocks is resolved with a block stack and assumption
+///    iteration (Section 4.4).
+///
+/// Parallelism (Jobs > 1): symbolic blocks are independent at their
+/// boundaries — all a block exchanges with its caller is a calling
+/// context (the BlockKey) and a translated summary (the SymOutcome) — so
+/// each fixpoint round evaluates the round's distinct calling contexts
+/// concurrently on a work-stealing pool and joins at a round barrier,
+/// where summaries are applied to the qualifier graph in deterministic
+/// site order. Frontier calls met during constraint generation are
+/// *deferred* to the first round barrier instead of being analyzed
+/// inline; that is just more of the optimism the paper already requires a
+/// fixpoint for, and the qualifier constraint system is monotone, so the
+/// rounds converge to the same least solution as the serial
+/// Gauss-Seidel-style loop. Every worker owns its executor, solver, term
+/// arena, block stack, and diagnostic buffer; the shared qualifier graph
+/// is only touched under a lock (by nested symbolic-to-typed switches) or
+/// at barriers. With Jobs <= 1 the original serial path runs unchanged.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,10 +54,15 @@
 #define MIX_MIXY_MIXY_H
 
 #include "csym/CSymExecutor.h"
+#include "mixy/BlockCache.h"
 #include "ptranal/PointsTo.h"
 #include "qual/QualInference.h"
+#include "runtime/ThreadPool.h"
+#include "solver/SolverPool.h"
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -56,6 +78,10 @@ struct MixyOptions {
   bool RestoreAliasing = true;
   unsigned MaxFixpointIterations = 16;
   unsigned MaxRecursionIterations = 8;
+  /// Worker threads for block-level parallelism. 1 (the default) is the
+  /// serial engine, byte-for-byte identical to the pre-parallel driver;
+  /// N > 1 evaluates each fixpoint round's symbolic blocks on N workers.
+  unsigned Jobs = 1;
   CSymOptions Sym;
   QualOptions Qual;
   smt::SmtOptions Smt;
@@ -80,6 +106,7 @@ public:
 
   MixyAnalysis(const CProgram &Program, CAstContext &Ctx,
                DiagnosticEngine &Diags, MixyOptions Opts = MixyOptions());
+  ~MixyAnalysis();
 
   /// Runs the full analysis from \p Entry. Returns the number of
   /// warnings (qualifier violations plus symbolic-execution warnings).
@@ -102,6 +129,11 @@ public:
   CSymExecutor &executor() { return Exec; }
   PointsToAnalysis &pointsTo() { return PtrAnal; }
 
+  /// Counters of the sharded symbolic-block cache (Section 4.3).
+  BlockCacheStats symCacheStats() const { return SymCache.stats(); }
+  /// Counters of the sharded typed-block cache.
+  BlockCacheStats typedCacheStats() const { return TypedCache.stats(); }
+
 private:
   /// Identity of a block analysis: the block plus its calling context,
   /// "the types for all variables that will be translated into symbolic
@@ -122,6 +154,19 @@ private:
     }
   };
 
+  /// Stripe selector for the sharded caches (only placement, never
+  /// identity: shards compare keys with operator<).
+  struct BlockKeyHash {
+    size_t operator()(const BlockKey &K) const {
+      size_t H = std::hash<const void *>()(K.F) * 2 + (K.Symbolic ? 1 : 0);
+      for (NullSeed S : K.Params)
+        H = H * 131 + (size_t)S + 7;
+      for (const auto &[Name, Seed] : K.Globals)
+        H = H * 131 + std::hash<std::string>()(Name) + (size_t)Seed;
+      return H;
+    }
+  };
+
   /// The caller-visible summary of one symbolic block run ("we cache the
   /// translated types", Section 4.3).
   struct SymOutcome {
@@ -136,7 +181,9 @@ private:
     }
   };
 
-  /// One frontier call site, remembered for the fixpoint loop.
+  /// One frontier call site, remembered for the fixpoint loop. LastKey.F
+  /// is null until the site's block has been analyzed at least once (the
+  /// deferred state of the parallel engine).
   struct SymCallSite {
     const CCall *Call;
     const CFuncDecl *Callee;
@@ -144,6 +191,27 @@ private:
     QualVec RetQuals;
     BlockKey LastKey;
   };
+
+  struct StackEntry {
+    BlockKey Key;
+    bool Recursive = false;
+    SymOutcome SymAssumption;
+    bool TypedAssumption = false;
+  };
+
+  /// The per-thread slice of analysis state a block evaluation runs
+  /// against: an executor (with its solver and term arena behind it), the
+  /// diagnostics sink for that executor, and the recursion stack. The
+  /// serial engine binds these to the analysis-owned members; parallel
+  /// workers bind them to their own WorkerContext.
+  struct ExecContext {
+    CSymExecutor &Exec;
+    DiagnosticEngine &Diags;
+    std::vector<StackEntry> &Stack;
+  };
+
+  /// Everything one pool worker owns privately (defined in Mixy.cpp).
+  struct WorkerContext;
 
   // Region handling.
   std::set<const CFuncDecl *> typedRegionFrom(const CFuncDecl *Entry);
@@ -157,8 +225,9 @@ private:
   std::map<std::string, NullSeed> globalSeedsFromQuals();
 
   // Symbolic-block execution and translation.
-  SymOutcome computeSymOutcome(const BlockKey &Key);
-  SymOutcome translateResult(const CFuncDecl *F, const CSymResult &Result);
+  SymOutcome computeSymOutcome(const BlockKey &Key, ExecContext C);
+  SymOutcome translateResult(const CFuncDecl *F, const CSymResult &Result,
+                             CSymExecutor &WithExec);
   void applySymOutcome(const SymOutcome &Outcome, const CCall *Call,
                        const CFuncDecl *Callee,
                        const std::vector<QualVec> &ArgQuals,
@@ -166,11 +235,26 @@ private:
   void restoreAliasing(const CFuncDecl *Callee);
 
   // Typed-block execution (from the symbolic side).
-  bool computeTypedRet(const BlockKey &Key, const CCall *Call);
+  bool computeTypedRet(const BlockKey &Key, const CCall *Call, ExecContext C);
 
   /// Fresh, unconstrained qualifier variables shaped like \p Ty.
   QualVec freshQuals(const CType *Ty, const std::string &Description,
                      SourceLoc Loc);
+
+  // --- parallel engine ---------------------------------------------------
+  bool parallel() const { return Opts.Jobs > 1; }
+  /// The calling thread's context: its WorkerContext when on a pool
+  /// worker of this analysis, the serial members otherwise.
+  ExecContext currentContext();
+  /// Lazily builds the calling pool worker's private context.
+  WorkerContext &workerContext();
+  /// The typed-start driver for Jobs > 1 (round-barrier fixpoint).
+  unsigned runTypedParallel(const CFuncDecl *EntryFunc);
+  /// Appends a round's worker diagnostics to the shared engine in
+  /// deterministic order, deduplicating warnings across workers the same
+  /// way one executor deduplicates across runs.
+  void mergeRoundDiagnostics(const std::vector<std::vector<Diagnostic>> &Per);
+  void bumpStat(unsigned MixyStats::*Field);
 
   const CProgram &Program;
   CAstContext &Ctx;
@@ -183,19 +267,24 @@ private:
   QualInference Qual;
   CSymExecutor Exec;
 
-  std::map<BlockKey, SymOutcome> SymCache;
-  std::map<BlockKey, bool> TypedCache;
+  BlockCache<BlockKey, SymOutcome, BlockKeyHash> SymCache;
+  BlockCache<BlockKey, bool, BlockKeyHash> TypedCache;
 
-  struct StackEntry {
-    BlockKey Key;
-    bool Recursive = false;
-    SymOutcome SymAssumption;
-    bool TypedAssumption = false;
-  };
   std::vector<StackEntry> BlockStack;
 
   std::vector<SymCallSite> SymCallSites;
   std::set<const CFuncDecl *> TypedRegionAnalyzed;
+
+  // Parallel-engine state. QualM serializes every touch of the shared
+  // qualifier graph (and shared diagnostics) from worker threads; it is
+  // recursive because symbolic and typed blocks nest through the hooks.
+  smt::SolverPool Solvers;
+  std::unique_ptr<rt::ThreadPool> Pool;
+  std::vector<std::unique_ptr<WorkerContext>> WorkerSlots;
+  std::recursive_mutex QualM;
+  std::mutex SlotsM;
+  std::mutex StatsM;
+  std::set<std::string> MergedWarnings;
 
   MixyStats Statistics;
 };

@@ -1,0 +1,57 @@
+//===--- SolverPool.cpp - Per-worker SMT solver instances -------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/SolverPool.h"
+
+using namespace mix::smt;
+
+void SolverPool::Lease::release() {
+  if (Pool && Inst)
+    Pool->releaseInstance(Inst);
+  Pool = nullptr;
+  Inst = nullptr;
+}
+
+SolverPool::Lease SolverPool::acquire() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (!Idle.empty()) {
+      Instance *Inst = Idle.back();
+      Idle.pop_back();
+      return Lease(this, Inst);
+    }
+  }
+  // Construct outside the lock; arena setup is not free.
+  auto Fresh = std::make_unique<Instance>(Opts);
+  Instance *Inst = Fresh.get();
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    All.push_back(std::move(Fresh));
+  }
+  return Lease(this, Inst);
+}
+
+void SolverPool::releaseInstance(Instance *Inst) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Idle.size() < MaxIdle)
+    Idle.push_back(Inst);
+  // Beyond the cap the instance stays owned by All (so leases already
+  // pointing at siblings stay valid) but is never handed out again.
+}
+
+uint64_t SolverPool::totalQueries() const {
+  std::lock_guard<std::mutex> Lock(M);
+  uint64_t Total = 0;
+  for (const auto &Inst : All)
+    Total += Inst->Solver.stats().Queries;
+  return Total;
+}
+
+size_t SolverPool::instancesCreated() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return All.size();
+}

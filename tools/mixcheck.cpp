@@ -40,6 +40,9 @@ options:
   --explore=concolic      enumerate paths DART-style (one per concrete
                           run, flips solved via model extraction)
   --auto-place            insert symbolic blocks automatically on failure
+  --jobs=N                check a block's paths (and auto-place
+                          candidates) on N worker threads (default 1 =
+                          serial; 0 = one per hardware thread)
   --var name:type         add a free variable to Gamma (type: int, bool,
                           'int ref', ...); may be repeated
   --print-program         echo the (possibly auto-annotated) program
@@ -109,6 +112,15 @@ int main(int Argc, char **Argv) {
       Opts.Explore = MixOptions::Exploration::AllPaths;
     } else if (Arg == "--auto-place") {
       AutoPlace = true;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      std::string N = Arg.substr(7);
+      if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos) {
+        std::cerr << "mixcheck: bad --jobs value '" << N << "'\n";
+        return 2;
+      }
+      Opts.Jobs = (unsigned)std::stoul(N);
+      if (Opts.Jobs == 0)
+        Opts.Jobs = rt::ThreadPool::hardwareWorkers();
     } else if (Arg == "--var" && I + 1 != Argc) {
       std::string Spec = Argv[++I];
       size_t Colon = Spec.find(':');
@@ -176,6 +188,7 @@ int main(int Argc, char **Argv) {
   if (AutoPlace) {
     AutoPlacementOptions APOpts;
     APOpts.Mix = Opts;
+    APOpts.Jobs = Opts.Jobs;
     AutoPlacementResult R =
         autoPlaceSymbolicBlocks(Ctx, Program, Gamma, Diags, APOpts);
     ResultType = R.ResultType;

@@ -37,6 +37,8 @@ options:
   --start=typed|symbolic  initial analysis mode (default: typed)
   --no-cache          disable block-result caching (Section 4.3)
   --no-alias-restore  disable aliasing restoration (Section 4.2)
+  --jobs=N            analyze symbolic blocks on N worker threads
+                      (default 1 = serial; 0 = one per hardware thread)
   --warn-derefs       treat every dereference as a nonnull requirement
   --stats             print analysis statistics
   --help              this text
@@ -72,6 +74,15 @@ int main(int Argc, char **Argv) {
       Opts.EnableCache = false;
     } else if (Arg == "--no-alias-restore") {
       Opts.RestoreAliasing = false;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      std::string N = Arg.substr(7);
+      if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos) {
+        std::cerr << "mixyc: bad --jobs value '" << N << "'\n";
+        return 2;
+      }
+      Opts.Jobs = (unsigned)std::stoul(N);
+      if (Opts.Jobs == 0)
+        Opts.Jobs = mix::rt::ThreadPool::hardwareWorkers();
     } else if (Arg == "--warn-derefs") {
       Opts.Qual.WarnAllDereferences = true;
       Opts.Sym.CheckDereferences = true;
@@ -156,6 +167,11 @@ int main(int Argc, char **Argv) {
                 << "\n"
                 << "recursions detected      : " << S.RecursionsDetected
                 << "\n";
+      if (Opts.Jobs > 1)
+        std::cout << "sym block cache          : "
+                  << Analysis.symCacheStats().str() << "\n"
+                  << "typed block cache        : "
+                  << Analysis.typedCacheStats().str() << "\n";
     }
   }
 
