@@ -1,0 +1,128 @@
+//===--- bench_observe.cpp - Observability overhead guard -------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+// Guards the overhead contract from DESIGN.md section 10: a detached
+// (null) metrics handle or trace sink must cost one predictable branch
+// per instrumentation site, so the instrumented analyses run at seed
+// speed when no --trace/--metrics is requested. The attached variants are
+// benchmarked alongside so a regression in either direction is visible.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/CParser.h"
+#include "mixy/Mixy.h"
+#include "mixy/VsftpdMini.h"
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mix::c;
+using mix::DiagnosticEngine;
+namespace obs = mix::obs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Micro: the per-site cost of detached vs attached handles.
+//===----------------------------------------------------------------------===//
+
+void BM_Counter_Detached(benchmark::State &State) {
+  obs::Counter C; // null handle: add() is a branch
+  for (auto _ : State) {
+    C.inc();
+    benchmark::DoNotOptimize(C);
+  }
+}
+
+void BM_Counter_Attached(benchmark::State &State) {
+  obs::MetricsRegistry Reg;
+  obs::Counter C = Reg.counter("bench.count");
+  for (auto _ : State) {
+    C.inc();
+    benchmark::DoNotOptimize(C);
+  }
+}
+
+void BM_Histogram_Detached(benchmark::State &State) {
+  obs::Histogram H;
+  uint64_t V = 0;
+  for (auto _ : State) {
+    H.record(++V);
+    benchmark::DoNotOptimize(H);
+  }
+}
+
+void BM_Histogram_Attached(benchmark::State &State) {
+  obs::MetricsRegistry Reg;
+  obs::Histogram H = Reg.histogram("bench.lat");
+  uint64_t V = 0;
+  for (auto _ : State) {
+    H.record(++V);
+    benchmark::DoNotOptimize(H);
+  }
+}
+
+void BM_TraceSpan_NullSink(benchmark::State &State) {
+  for (auto _ : State) {
+    obs::TraceSpan Span(nullptr, "bench.span", "bench");
+    benchmark::DoNotOptimize(Span);
+  }
+}
+
+void BM_TraceSpan_LiveSink(benchmark::State &State) {
+  obs::TraceSink Sink;
+  for (auto _ : State) {
+    obs::TraceSpan Span(&Sink, "bench.span", "bench");
+    benchmark::DoNotOptimize(Span);
+  }
+  State.counters["events"] = (double)Sink.eventCount();
+}
+
+//===----------------------------------------------------------------------===//
+// Macro: a full MIXY case-study run with instrumentation off / on. The
+// "Off" variant is the configuration every untraced CLI run uses and is
+// the one the <2% regression budget applies to.
+//===----------------------------------------------------------------------===//
+
+void runCase(benchmark::State &State, bool Metrics, bool Trace) {
+  std::string Source = corpus::vsftpdCase(2, true);
+  for (auto _ : State) {
+    CAstContext Ctx;
+    DiagnosticEngine Diags;
+    const CProgram *P = parseC(Source, Ctx, Diags);
+    obs::MetricsRegistry Reg;
+    obs::TraceSink Sink;
+    MixyOptions Opts;
+    if (Metrics)
+      Opts.Metrics = &Reg;
+    if (Trace)
+      Opts.Trace = &Sink;
+    MixyAnalysis Analysis(*P, Ctx, Diags, Opts);
+    benchmark::DoNotOptimize(Analysis.run(MixyAnalysis::StartMode::Typed));
+  }
+}
+
+void BM_Mixy_ObservabilityOff(benchmark::State &State) {
+  runCase(State, false, false);
+}
+void BM_Mixy_MetricsOn(benchmark::State &State) { runCase(State, true, false); }
+void BM_Mixy_MetricsAndTraceOn(benchmark::State &State) {
+  runCase(State, true, true);
+}
+
+} // namespace
+
+BENCHMARK(BM_Counter_Detached);
+BENCHMARK(BM_Counter_Attached);
+BENCHMARK(BM_Histogram_Detached);
+BENCHMARK(BM_Histogram_Attached);
+BENCHMARK(BM_TraceSpan_NullSink);
+BENCHMARK(BM_TraceSpan_LiveSink);
+BENCHMARK(BM_Mixy_ObservabilityOff);
+BENCHMARK(BM_Mixy_MetricsOn);
+BENCHMARK(BM_Mixy_MetricsAndTraceOn);
+
+BENCHMARK_MAIN();

@@ -154,7 +154,7 @@ private:
         while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
           advance();
         if (atEnd()) {
-          Diags.error(Start, "unterminated comment");
+          Diags.error(Start, "unterminated comment", mix::DiagID::LexError);
           return;
         }
         advance();
@@ -251,7 +251,8 @@ private:
     default:
       break;
     }
-    Diags.error(Start, std::string("unexpected character '") + C + "'");
+    Diags.error(Start, std::string("unexpected character '") + C + "'",
+                mix::DiagID::LexError);
     return make(CTokKind::Error, Start);
   }
 
@@ -300,7 +301,7 @@ private:
       Text += C;
     }
     if (atEnd()) {
-      Diags.error(Start, "unterminated string literal");
+      Diags.error(Start, "unterminated string literal", mix::DiagID::LexError);
       return make(CTokKind::Error, Start);
     }
     advance(); // closing quote

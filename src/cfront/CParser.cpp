@@ -53,12 +53,14 @@ private:
       consume();
       return true;
     }
-    Diags.error(tok().Loc, std::string("expected ") + cTokKindName(Kind) +
-                               ", found " + cTokKindName(tok().Kind));
+    Diags.error(tok().Loc,
+                std::string("expected ") + cTokKindName(Kind) + ", found " +
+                    cTokKindName(tok().Kind),
+                mix::DiagID::ParseError);
     return false;
   }
   bool error(const std::string &Message) {
-    Diags.error(tok().Loc, Message);
+    Diags.error(tok().Loc, Message, mix::DiagID::ParseError);
     return false;
   }
 
@@ -297,7 +299,7 @@ private:
       // Fill in a forward declaration.
       S = const_cast<CStructDecl *>(Existing);
       if (!S->fields().empty()) {
-        Diags.error(Loc, "struct '" + Name + "' redefined");
+        Diags.error(Loc, "struct '" + Name + "' redefined", mix::DiagID::ParseError);
         return false;
       }
     } else {

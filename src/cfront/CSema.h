@@ -66,7 +66,7 @@ public:
 
 private:
   const CType *fail(SourceLoc Loc, const std::string &Message) {
-    Diags.error(Loc, Message);
+    Diags.error(Loc, Message, DiagID::TypeError);
     return nullptr;
   }
 

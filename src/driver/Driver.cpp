@@ -1,0 +1,65 @@
+//===--- Driver.cpp - Shared tool driver plumbing ---------------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include <fstream>
+#include <iostream>
+
+using namespace mix::driver;
+
+void DriverContext::registerOptions(OptionParser &P) {
+  P.value("--trace", [this](const std::string &V) {
+    if (V.empty())
+      return false;
+    TraceFile = V;
+    return true;
+  });
+  P.value("--metrics", [this](const std::string &V) {
+    if (V.empty())
+      return false;
+    MetricsFile = V;
+    return true;
+  });
+  P.value("--format", [this](const std::string &V) {
+    if (V == "text")
+      Json = false;
+    else if (V == "json")
+      Json = true;
+    else
+      return false;
+    return true;
+  });
+  P.flag("--stats", &Stats);
+}
+
+bool DriverContext::writeArtifacts(const std::string &Tool) {
+  bool Ok = true;
+  if (!TraceFile.empty())
+    Ok = writeFile(Tool, TraceFile, Sink.renderJSON()) && Ok;
+  if (!MetricsFile.empty())
+    Ok = writeFile(Tool, MetricsFile, Registry.renderJSON()) && Ok;
+  return Ok;
+}
+
+void DriverContext::emitDiagnostics(const DiagnosticEngine &Diags) {
+  if (Json)
+    std::cout << Diags.renderJSON() << "\n";
+  else
+    std::cerr << Diags.str();
+}
+
+bool mix::driver::writeFile(const std::string &Tool, const std::string &Path,
+                            const std::string &Content) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::cerr << Tool << ": cannot write '" << Path << "'\n";
+    return false;
+  }
+  Out << Content;
+  return Out.good();
+}

@@ -1,0 +1,80 @@
+//===--- Driver.h - Shared tool driver plumbing -----------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability and output half of the shared driver layer. Both
+/// tools own a DriverContext; it registers the cross-cutting flags
+/// (--trace=FILE, --metrics=FILE, --format=text|json, --stats), carries
+/// the metrics registry and trace sink the analyses report into, and
+/// writes the requested artifacts at exit.
+///
+///  - The registry is always live: --stats renders from it and the
+///    library counters (block caches, solver, analyses) are cheap relaxed
+///    atomics, so there is no "metrics off" tool mode to keep consistent.
+///  - The trace sink is attached only when --trace was given; a null sink
+///    pointer is the library-level off switch (one branch per site).
+///  - With --format=json, stdout carries exactly one JSON document (the
+///    diagnostics array), so machine consumers can pipe it straight into
+///    a JSON parser; human-oriented extras (--stats) move to stderr.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_DRIVER_DRIVER_H
+#define MIX_DRIVER_DRIVER_H
+
+#include "driver/OptionParser.h"
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace mix::driver {
+
+/// Cross-cutting driver state: observability sinks plus the output-format
+/// switches, shared verbatim by both CLIs.
+class DriverContext {
+public:
+  /// Registers --trace, --metrics, --format, and --stats on \p P.
+  void registerOptions(OptionParser &P);
+
+  /// The registry every analysis in the process reports into.
+  obs::MetricsRegistry &metrics() { return Registry; }
+
+  /// The trace sink to hand to analyses: the real sink when --trace was
+  /// given, null otherwise (which turns every instrumentation site into a
+  /// branch).
+  obs::TraceSink *traceSink() { return TraceFile.empty() ? nullptr : &Sink; }
+
+  bool statsRequested() const { return Stats; }
+  bool jsonOutput() const { return Json; }
+
+  /// Writes the --trace and --metrics artifacts, if requested. Returns
+  /// false (with an error on stderr) when a file cannot be written.
+  bool writeArtifacts(const std::string &Tool);
+
+  /// Renders \p Diags the way the selected --format dictates: text to
+  /// stderr (the historical shape), or one JSON document to stdout.
+  void emitDiagnostics(const DiagnosticEngine &Diags);
+
+private:
+  obs::MetricsRegistry Registry;
+  obs::TraceSink Sink;
+  std::string TraceFile;
+  std::string MetricsFile;
+  bool Stats = false;
+  bool Json = false;
+};
+
+/// Writes \p Content to \p Path. Returns false after printing
+/// "<tool>: cannot write '...'" to stderr.
+bool writeFile(const std::string &Tool, const std::string &Path,
+               const std::string &Content);
+
+} // namespace mix::driver
+
+#endif // MIX_DRIVER_DRIVER_H

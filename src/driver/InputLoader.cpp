@@ -1,0 +1,39 @@
+//===--- InputLoader.cpp - Shared tool input loading ------------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/InputLoader.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+bool mix::driver::loadInput(const std::string &Tool, const std::string &Path,
+                            std::string &SourceOut,
+                            const CorpusResolver &Corpus) {
+  if (!Path.empty() && Path[0] == '@' && Corpus) {
+    if (!Corpus(Path.substr(1), SourceOut)) {
+      std::cerr << Tool << ": unknown corpus '" << Path << "'\n";
+      return false;
+    }
+    return true;
+  }
+  if (Path == "-") {
+    std::ostringstream Buf;
+    Buf << std::cin.rdbuf();
+    SourceOut = Buf.str();
+    return true;
+  }
+  std::ifstream In(Path);
+  if (!In) {
+    std::cerr << Tool << ": cannot open '" << Path << "'\n";
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  SourceOut = Buf.str();
+  return true;
+}

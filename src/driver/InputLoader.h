@@ -1,0 +1,40 @@
+//===--- InputLoader.h - Shared tool input loading --------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The input half of the shared driver layer: one function resolving the
+/// three input shapes both tools accept — a file path, "-" for stdin, and
+/// "@name" for an entry in a built-in corpus (resolved through a
+/// tool-supplied callback; tools without a corpus pass none and "@name"
+/// is treated as a file path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_DRIVER_INPUTLOADER_H
+#define MIX_DRIVER_INPUTLOADER_H
+
+#include <functional>
+#include <string>
+
+namespace mix::driver {
+
+/// Resolves the corpus spec after '@' (e.g. "case1:baseline") to source
+/// text. Return false for an unknown spec.
+using CorpusResolver =
+    std::function<bool(const std::string &Spec, std::string &SourceOut)>;
+
+/// Loads \p Path into \p SourceOut: "-" reads stdin, "@spec" consults
+/// \p Corpus (when provided), anything else is opened as a file. On
+/// failure prints "<tool>: ..." to stderr and returns false (the caller
+/// exits with ExitUsage).
+bool loadInput(const std::string &Tool, const std::string &Path,
+               std::string &SourceOut,
+               const CorpusResolver &Corpus = CorpusResolver());
+
+} // namespace mix::driver
+
+#endif // MIX_DRIVER_INPUTLOADER_H

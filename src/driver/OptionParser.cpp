@@ -1,0 +1,127 @@
+//===--- OptionParser.cpp - Shared CLI option parsing -----------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/OptionParser.h"
+
+#include "runtime/ThreadPool.h"
+#include "support/StringExtras.h"
+
+#include <iostream>
+
+using namespace mix::driver;
+
+void OptionParser::flag(const std::string &Name, bool *Target) {
+  flag(Name, [Target] { *Target = true; });
+}
+
+void OptionParser::flag(const std::string &Name, std::function<void()> Fn) {
+  Option O;
+  O.Name = Name;
+  O.Run = std::move(Fn);
+  Options.push_back(std::move(O));
+}
+
+void OptionParser::value(const std::string &Name,
+                         std::function<bool(const std::string &)> Fn) {
+  Option O;
+  O.Name = Name;
+  O.TakesValue = true;
+  O.Apply = std::move(Fn);
+  Options.push_back(std::move(O));
+}
+
+void OptionParser::separateValue(const std::string &Name,
+                                 std::function<bool(const std::string &)> Fn) {
+  Option O;
+  O.Name = Name;
+  O.TakesValue = true;
+  O.Separate = true;
+  O.Apply = std::move(Fn);
+  Options.push_back(std::move(O));
+}
+
+void OptionParser::jobs(unsigned *Jobs) {
+  value("--jobs", [Jobs](const std::string &V) {
+    if (V.empty() || V.find_first_not_of("0123456789") != std::string::npos)
+      return false;
+    *Jobs = (unsigned)std::stoul(V);
+    if (*Jobs == 0)
+      *Jobs = rt::ThreadPool::hardwareWorkers();
+    return true;
+  });
+}
+
+std::string OptionParser::suggestionFor(const std::string &Flag) const {
+  // Compare the name parts only ("--strategy=fork" suggests against
+  // "--strategy").
+  std::string Name = Flag.substr(0, Flag.find('='));
+  std::string Best;
+  unsigned BestDist = ~0u;
+  for (const Option &O : Options) {
+    unsigned D = editDistance(Name, O.Name);
+    if (D < BestDist) {
+      BestDist = D;
+      Best = O.Name;
+    }
+  }
+  // Only suggest near-misses: at most one edit per three characters.
+  if (Best.empty() || BestDist * 3 > (unsigned)Name.size())
+    return std::string();
+  return Best;
+}
+
+bool OptionParser::usageError(const std::string &Message) const {
+  std::cerr << Tool << ": " << Message << "\n";
+  return false;
+}
+
+bool OptionParser::parse(int Argc, char **Argv) {
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.empty() || Arg[0] != '-' || Arg == "-") {
+      Positionals.push_back(Arg);
+      continue;
+    }
+
+    std::string Name = Arg.substr(0, Arg.find('='));
+    bool HasValue = Arg.size() != Name.size();
+    std::string Value = HasValue ? Arg.substr(Name.size() + 1) : std::string();
+
+    const Option *Match = nullptr;
+    for (const Option &O : Options)
+      if (O.Name == Name) {
+        Match = &O;
+        break;
+      }
+    if (!Match) {
+      std::string Hint = suggestionFor(Arg);
+      return usageError("unknown option '" + Arg + "'" +
+                        (Hint.empty() ? "" : " (did you mean '" + Hint + "'?)"));
+    }
+
+    if (!Match->TakesValue) {
+      if (HasValue)
+        return usageError("option '" + Name + "' takes no value");
+      Match->Run();
+      continue;
+    }
+    if (Match->Separate) {
+      if (HasValue)
+        return usageError("option '" + Name +
+                          "' takes its value as a separate argument");
+      if (I + 1 == Argc)
+        return usageError("option '" + Name + "' requires a value");
+      Value = Argv[++I];
+    } else if (!HasValue) {
+      return usageError("option '" + Name + "' requires a value ('" + Name +
+                        "=...')");
+    }
+    if (!Match->Apply(Value))
+      return usageError("bad " + Name + " value '" + Value + "'");
+  }
+  return true;
+}

@@ -1,0 +1,97 @@
+//===--- OptionParser.h - Shared CLI option parsing -------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flag-parsing half of the shared driver layer. Both tools register
+/// their options here instead of hand-rolling an argv loop, which buys:
+///
+///  - one exit-code contract (ExitCode below),
+///  - one error shape ("<tool>: unknown option '--x'"), with a
+///    "did you mean" suggestion computed by edit distance over the
+///    registered names,
+///  - one --jobs parser (0 resolves to one worker per hardware thread).
+///
+/// Usage errors print to stderr and parse() returns false; the caller
+/// exits with ExitUsage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_DRIVER_OPTIONPARSER_H
+#define MIX_DRIVER_OPTIONPARSER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mix::driver {
+
+/// The exit-code contract every tool follows: analysis findings are 1,
+/// anything that prevented the analysis from running (bad flags, file not
+/// found, parse errors) is 2.
+enum ExitCode : int {
+  ExitClean = 0,    ///< analysis ran; no findings
+  ExitFindings = 1, ///< analysis ran; warnings or rejection
+  ExitUsage = 2,    ///< usage, input, or parse error
+};
+
+/// Registers named options, parses argv, collects positionals.
+class OptionParser {
+public:
+  explicit OptionParser(std::string Tool) : Tool(std::move(Tool)) {}
+
+  /// --name (no value): sets \p *Target.
+  void flag(const std::string &Name, bool *Target);
+
+  /// --name (no value): runs \p Fn.
+  void flag(const std::string &Name, std::function<void()> Fn);
+
+  /// --name=VALUE: runs \p Fn; returning false rejects the value (the
+  /// parser reports "bad --name value 'VALUE'").
+  void value(const std::string &Name,
+             std::function<bool(const std::string &)> Fn);
+
+  /// --name VALUE (value in the next argv slot).
+  void separateValue(const std::string &Name,
+                     std::function<bool(const std::string &)> Fn);
+
+  /// The shared --jobs=N option: digits only, 0 resolves to one worker
+  /// per hardware thread, result stored into \p *Jobs.
+  void jobs(unsigned *Jobs);
+
+  /// Parses \p Argv. Returns false (after printing to stderr) on an
+  /// unknown option, a missing/invalid value, or an unconsumed '='.
+  /// Positional arguments (not starting with '-', or exactly "-") are
+  /// collected in order.
+  bool parse(int Argc, char **Argv);
+
+  const std::vector<std::string> &positionals() const { return Positionals; }
+
+  /// Closest registered option name to \p Flag, or empty when nothing is
+  /// close enough to suggest (distance > 1/3 of the flag's length).
+  std::string suggestionFor(const std::string &Flag) const;
+
+  const std::string &tool() const { return Tool; }
+
+private:
+  struct Option {
+    std::string Name;                              ///< including "--"
+    bool TakesValue = false;                       ///< --name=VALUE
+    bool Separate = false;                         ///< --name VALUE
+    std::function<bool(const std::string &)> Apply; ///< value handler
+    std::function<void()> Run;                     ///< flag handler
+  };
+
+  bool usageError(const std::string &Message) const;
+
+  std::string Tool;
+  std::vector<Option> Options;
+  std::vector<std::string> Positionals;
+};
+
+} // namespace mix::driver
+
+#endif // MIX_DRIVER_OPTIONPARSER_H

@@ -127,7 +127,7 @@ void Lexer::skipWhitespaceAndComments() {
       unsigned Depth = 1;
       while (Depth != 0) {
         if (atEnd()) {
-          Diags.error(Start, "unterminated comment");
+          Diags.error(Start, "unterminated comment", DiagID::LexError);
           return;
         }
         if (peek() == '(' && peek(1) == '*') {
@@ -255,7 +255,8 @@ Token Lexer::next() {
     break;
   }
 
-  Diags.error(Start, std::string("unexpected character '") + C + "'");
+  Diags.error(Start, std::string("unexpected character '") + C + "'",
+              DiagID::LexError);
   Token T = makeToken(TokenKind::Error, Start);
   T.Text = std::string(1, C);
   return T;

@@ -22,13 +22,15 @@ bool Parser::expect(TokenKind Kind) {
     consume();
     return true;
   }
-  Diags.error(Tok.Loc, std::string("expected ") + tokenKindName(Kind) +
-                           ", found " + tokenKindName(Tok.Kind));
+  Diags.error(Tok.Loc,
+              std::string("expected ") + tokenKindName(Kind) + ", found " +
+                  tokenKindName(Tok.Kind),
+              DiagID::ParseError);
   return false;
 }
 
 bool Parser::error(const std::string &Message) {
-  Diags.error(Tok.Loc, Message);
+  Diags.error(Tok.Loc, Message, DiagID::ParseError);
   return false;
 }
 

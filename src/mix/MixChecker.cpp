@@ -12,14 +12,32 @@
 
 using namespace mix;
 
+/// Pushes the checker-level observability sinks down into the nested
+/// option structs so the solver and executor report into the same
+/// registry/trace.
+static MixOptions normalizedOptions(MixOptions O) {
+  O.Smt.Metrics = O.Metrics;
+  O.Smt.Trace = O.Trace;
+  O.Exec.Metrics = O.Metrics;
+  O.Exec.Trace = O.Trace;
+  return O;
+}
+
 MixChecker::MixChecker(TypeContext &Types, DiagnosticEngine &Diags,
-                       MixOptions Opts)
-    : Types(Types), Diags(Diags), Opts(Opts), Syms(Types),
+                       MixOptions OptsIn)
+    : Types(Types), Diags(Diags), Opts(normalizedOptions(OptsIn)), Syms(Types),
       Solver(Terms, Opts.Smt), Translator(Syms, Terms), Checker(Types, Diags),
       Executor(Syms, Diags, executorOptionsFor(Opts)), Solvers(Opts.Smt) {
   Checker.setSymBlockOracle(this);
   Executor.setTypedBlockOracle(this);
   Executor.setSolver(&Solver, &Translator);
+  if (Opts.Metrics) {
+    CSymBlocks = Opts.Metrics->counter("mix.sym_blocks_checked");
+    CTypedBlocks = Opts.Metrics->counter("mix.typed_blocks_executed");
+    CPaths = Opts.Metrics->counter("mix.paths_explored");
+    CInfeasible = Opts.Metrics->counter("mix.paths_infeasible");
+    CExhaustive = Opts.Metrics->counter("mix.exhaustiveness_checks");
+  }
 }
 
 SymExecOptions MixChecker::executorOptionsFor(const MixOptions &Opts) {
@@ -42,6 +60,7 @@ const Type *MixChecker::checkSymbolic(const Expr *E, const TypeEnv &Gamma) {
 const Type *MixChecker::typeOfSymbolicBlock(const BlockExpr *Block,
                                             const TypeEnv &Gamma) {
   ++Statistics.SymBlocksChecked;
+  CSymBlocks.inc();
   return checkSymbolicCore(Block->body(), Gamma, Block->loc());
 }
 
@@ -49,6 +68,8 @@ const Type *MixChecker::typeOfTypedBlock(const BlockExpr *Block,
                                          const SymEnv &Env,
                                          const SymState &State) {
   ++Statistics.TypedBlocksExecuted;
+  CTypedBlocks.inc();
+  obs::TraceSpan Span(Opts.Trace, "mix.block.typed", "mix");
   // Closures entering the typed world through Sigma or memory are
   // trusted at their arrow types; verify their bodies first.
   for (const auto &[Name, Value] : Env)
@@ -81,8 +102,10 @@ bool MixChecker::verifyClosure(const SymExpr *Closure, SourceLoc Loc) {
   size_t DiagsBefore = Diags.size();
   bool Ok = Checker.check(Fun, Gamma) != nullptr;
   if (!Ok) {
-    Diags.error(Loc, "function value escapes its symbolic block, so its "
-                     "body must type check on all inputs");
+    Diags.error(Loc,
+                "function value escapes its symbolic block, so its "
+                "body must type check on all inputs",
+                DiagID::EscapedClosure);
     (void)DiagsBefore;
   }
   VerifiedClosures[Closure] = Ok;
@@ -128,7 +151,7 @@ std::vector<char>
 MixChecker::classifyFeasibility(const std::vector<PathResult> &Paths) {
   std::vector<char> Feasible(Paths.size(), 1);
   if (!Pool)
-    Pool = std::make_unique<rt::ThreadPool>(Opts.Jobs);
+    Pool = std::make_unique<rt::ThreadPool>(Opts.Jobs, Opts.Trace, "mix");
   // The symbol arena is quiescent here (enumeration finished), so each
   // worker may translate against it with a private term arena; solver
   // verdicts are deterministic per formula, so the feasible/infeasible
@@ -146,6 +169,7 @@ MixChecker::classifyFeasibility(const std::vector<PathResult> &Paths) {
 const Type *MixChecker::checkSymbolicCore(const Expr *Body,
                                           const TypeEnv &Gamma,
                                           SourceLoc Loc) {
+  obs::TraceSpan Span(Opts.Trace, "mix.block.sym", "mix");
   // TSymBlock, premise 1: Sigma maps each x in dom(Gamma) to a fresh
   // alpha_x : Gamma(x).
   SymEnv Env;
@@ -170,10 +194,13 @@ const Type *MixChecker::checkSymbolicCore(const Expr *Body,
     Result = Executor.run(Body, Env);
   }
   Statistics.PathsExplored += (unsigned)Result.Paths.size();
+  CPaths.add(Result.Paths.size());
 
   if (Result.ResourceLimitHit) {
-    Diags.error(Loc, "symbolic block exceeded the execution budget; "
-                     "cannot establish exhaustiveness");
+    Diags.error(Loc,
+                "symbolic block exceeded the execution budget; "
+                "cannot establish exhaustiveness",
+                DiagID::ExecBudget);
     return nullptr;
   }
 
@@ -192,6 +219,7 @@ const Type *MixChecker::checkSymbolicCore(const Expr *Body,
       const PathResult &P = Result.Paths[I];
       if (!Feasible[I]) {
         ++Statistics.InfeasiblePathsDiscarded;
+        CInfeasible.inc();
         continue;
       }
       if (P.IsError) {
@@ -199,11 +227,12 @@ const Type *MixChecker::checkSymbolicCore(const Expr *Body,
         Solver.checkSat(Translator.translate(P.State.Path), &Model);
         Diags.error(P.ErrorLoc.isValid() ? P.ErrorLoc : Loc,
                     P.ErrorMessage + " [on path " + P.State.Path->str() +
-                        "]");
+                        "]",
+                    DiagID::SymExecError);
         std::string Witness = describeWitness(Env, Model);
         if (!Witness.empty())
           Diags.note(P.ErrorLoc.isValid() ? P.ErrorLoc : Loc,
-                     "for example, when " + Witness);
+                     "for example, when " + Witness, DiagID::WitnessNote);
         return nullptr;
       }
       Live.push_back(&P);
@@ -214,18 +243,20 @@ const Type *MixChecker::checkSymbolicCore(const Expr *Body,
       if (Solver.checkSat(Translator.translate(P.State.Path), &Model) ==
           smt::SolveResult::Unsat) {
         ++Statistics.InfeasiblePathsDiscarded;
+        CInfeasible.inc();
         continue;
       }
       if (P.IsError) {
         Diags.error(P.ErrorLoc.isValid() ? P.ErrorLoc : Loc,
                     P.ErrorMessage + " [on path " + P.State.Path->str() +
-                        "]");
+                        "]",
+                    DiagID::SymExecError);
         // A concrete witness makes the report actionable: values for the
         // block's inputs under which the failing path is taken.
         std::string Witness = describeWitness(Env, Model);
         if (!Witness.empty())
           Diags.note(P.ErrorLoc.isValid() ? P.ErrorLoc : Loc,
-                     "for example, when " + Witness);
+                     "for example, when " + Witness, DiagID::WitnessNote);
         return nullptr;
       }
       Live.push_back(&P);
@@ -233,7 +264,8 @@ const Type *MixChecker::checkSymbolicCore(const Expr *Body,
   }
 
   if (Live.empty()) {
-    Diags.error(Loc, "symbolic block has no feasible path");
+    Diags.error(Loc, "symbolic block has no feasible path",
+                DiagID::NoFeasiblePath);
     return nullptr;
   }
 
@@ -241,8 +273,10 @@ const Type *MixChecker::checkSymbolicCore(const Expr *Body,
   const Type *Tau = Live.front()->Value->type();
   for (const PathResult *P : Live) {
     if (P->Value->type() != Tau) {
-      Diags.error(Loc, "symbolic block paths disagree on the result type: " +
-                           Tau->str() + " vs " + P->Value->type()->str());
+      Diags.error(Loc,
+                  "symbolic block paths disagree on the result type: " +
+                      Tau->str() + " vs " + P->Value->type()->str(),
+                  DiagID::ResultTypeMismatch);
       return nullptr;
     }
   }
@@ -258,8 +292,10 @@ const Type *MixChecker::checkSymbolicCore(const Expr *Body,
   if (Opts.CheckFinalMemory) {
     for (const PathResult *P : Live) {
       if (!checkMemoryOk(P->State.Mem).Ok) {
-        Diags.error(Loc, "symbolic block leaves memory inconsistently "
-                         "typed on some path (|- m ok fails)");
+        Diags.error(Loc,
+                    "symbolic block leaves memory inconsistently "
+                    "typed on some path (|- m ok fails)",
+                    DiagID::MemoryInconsistent);
         return nullptr;
       }
     }
@@ -269,13 +305,16 @@ const Type *MixChecker::checkSymbolicCore(const Expr *Body,
   // final path conditions must be a tautology.
   if (Opts.Exhaustive == MixOptions::Exhaustiveness::Require) {
     ++Statistics.ExhaustivenessChecks;
+    CExhaustive.inc();
     std::vector<const smt::Term *> Guards;
     Guards.reserve(Live.size());
     for (const PathResult *P : Live)
       Guards.push_back(Translator.translate(P->State.Path));
     if (!Solver.isDefinitelyValid(Terms.orList(Guards))) {
-      Diags.error(Loc, "symbolic block paths are not exhaustive: the "
-                       "disjunction of path conditions is not a tautology");
+      Diags.error(Loc,
+                  "symbolic block paths are not exhaustive: the "
+                  "disjunction of path conditions is not a tautology",
+                  DiagID::PathsNotExhaustive);
       return nullptr;
     }
   }

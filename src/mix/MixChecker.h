@@ -73,6 +73,15 @@ struct MixOptions {
   unsigned MaxConcolicRuns = 512;
 
   smt::SmtOptions Smt;
+
+  /// Observability sinks (see src/observe/). The checker copies these
+  /// into Smt and Exec, so solver latency histograms and executor
+  /// fork/defer/havoc events land in the same registry/trace; it also
+  /// maintains live "mix.*" counters mirroring MixStats and wraps each
+  /// block boundary in a "mix.block.sym" / "mix.block.typed" span. Null
+  /// (the default) disables everything at one branch per site.
+  obs::MetricsRegistry *Metrics = nullptr;
+  obs::TraceSink *Trace = nullptr;
 };
 
 /// Statistics describing one analysis run.
@@ -157,6 +166,10 @@ private:
   SymExecutor Executor;
   MixStats Statistics;
   std::map<const SymExpr *, bool> VerifiedClosures;
+
+  // Registry handles mirroring MixStats live (null/free without a
+  // registry).
+  obs::Counter CSymBlocks, CTypedBlocks, CPaths, CInfeasible, CExhaustive;
 
   // Parallel classification (lazily built on first use).
   smt::SolverPool Solvers;

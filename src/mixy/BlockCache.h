@@ -24,9 +24,12 @@
 #ifndef MIX_MIXY_BLOCKCACHE_H
 #define MIX_MIXY_BLOCKCACHE_H
 
+#include "observe/Metrics.h"
+
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -55,31 +58,52 @@ unsigned blockCacheShardsFor(unsigned Workers);
 ///
 /// \p Hash only selects the stripe; within a stripe, \p Key's operator<
 /// orders the entries (the analysis keys already define it).
+///
+/// Counters are registry-backed (src/observe/): pass a MetricsRegistry
+/// and a name prefix to surface "<prefix>hits", "<prefix>misses",
+/// "<prefix>inserts", "<prefix>dropped", and "<prefix>evictions" in that
+/// registry — the same numbers --stats renders and --trace/--metrics
+/// export, by construction. Without a registry the cache owns a private
+/// one, so stats() always works.
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class BlockCache {
 public:
   /// \p Shards is rounded up to a power of two; \p MaxEntriesPerShard of
   /// 0 means unbounded.
   explicit BlockCache(unsigned Shards = 16, size_t MaxEntriesPerShard = 0,
-                      Hash Hasher = Hash())
+                      Hash Hasher = Hash(),
+                      obs::MetricsRegistry *Metrics = nullptr,
+                      const std::string &Prefix = "blockcache.")
       : MaxPerShard(MaxEntriesPerShard), Hasher(Hasher) {
     unsigned N = 1;
     while (N < Shards)
       N <<= 1;
     Stripes = std::vector<Shard>(N);
+    if (!Metrics) {
+      OwnedMetrics = std::make_unique<obs::MetricsRegistry>(N);
+      Metrics = OwnedMetrics.get();
+    }
+    CHits = Metrics->counter(Prefix + "hits");
+    CMisses = Metrics->counter(Prefix + "misses");
+    CInserts = Metrics->counter(Prefix + "inserts");
+    CDropped = Metrics->counter(Prefix + "dropped");
+    CEvictions = Metrics->counter(Prefix + "evictions");
   }
 
   /// Returns the cached summary for \p K, or nullopt on a miss.
   std::optional<Value> lookup(const Key &K) {
     Shard &S = shardFor(K);
-    std::lock_guard<std::mutex> Lock(S.M);
+    std::unique_lock<std::mutex> Lock(S.M);
     auto It = S.Map.find(K);
     if (It == S.Map.end()) {
-      ++S.Counters.Misses;
+      Lock.unlock();
+      CMisses.inc();
       return std::nullopt;
     }
-    ++S.Counters.Hits;
-    return It->second;
+    std::optional<Value> Out = It->second;
+    Lock.unlock();
+    CHits.inc();
+    return Out;
   }
 
   /// Inserts \p K -> \p V. Returns true when this call created the entry;
@@ -87,19 +111,24 @@ public:
   /// kept — summaries are deterministic per key).
   bool insert(const Key &K, Value V) {
     Shard &S = shardFor(K);
-    std::lock_guard<std::mutex> Lock(S.M);
+    std::unique_lock<std::mutex> Lock(S.M);
     auto [It, Fresh] = S.Map.emplace(K, std::move(V));
     if (!Fresh) {
-      ++S.Counters.DroppedInserts;
+      Lock.unlock();
+      CDropped.inc();
       return false;
     }
-    ++S.Counters.Inserts;
     S.Order.push_back(K);
+    bool Evicted = false;
     if (MaxPerShard != 0 && S.Map.size() > MaxPerShard) {
       S.Map.erase(S.Order.front());
       S.Order.pop_front();
-      ++S.Counters.Evictions;
+      Evicted = true;
     }
+    Lock.unlock();
+    CInserts.inc();
+    if (Evicted)
+      CEvictions.inc();
     return true;
   }
 
@@ -123,19 +152,15 @@ public:
 
   unsigned shardCount() const { return (unsigned)Stripes.size(); }
 
-  /// Counter totals. Call at a barrier for exact numbers; counters are
-  /// mutated under shard locks, so the snapshot is always consistent
-  /// per-shard.
+  /// Counter totals, read from the backing registry. Call at a barrier
+  /// for exact numbers (increments are relaxed atomics on sharded slots).
   BlockCacheStats stats() const {
     BlockCacheStats Total;
-    for (const Shard &S : Stripes) {
-      std::lock_guard<std::mutex> Lock(S.M);
-      Total.Hits += S.Counters.Hits;
-      Total.Misses += S.Counters.Misses;
-      Total.Inserts += S.Counters.Inserts;
-      Total.DroppedInserts += S.Counters.DroppedInserts;
-      Total.Evictions += S.Counters.Evictions;
-    }
+    Total.Hits = CHits.value();
+    Total.Misses = CMisses.value();
+    Total.Inserts = CInserts.value();
+    Total.DroppedInserts = CDropped.value();
+    Total.Evictions = CEvictions.value();
     return Total;
   }
 
@@ -144,7 +169,6 @@ private:
     mutable std::mutex M;
     std::map<Key, Value> Map;
     std::deque<Key> Order; ///< insertion order, for FIFO eviction
-    BlockCacheStats Counters;
   };
 
   Shard &shardFor(const Key &K) {
@@ -157,6 +181,9 @@ private:
   size_t MaxPerShard;
   Hash Hasher;
   std::vector<Shard> Stripes;
+  /// Fallback registry when none was supplied (keeps stats() total).
+  std::unique_ptr<obs::MetricsRegistry> OwnedMetrics;
+  obs::Counter CHits, CMisses, CInserts, CDropped, CEvictions;
 };
 
 } // namespace mix::c

@@ -7,6 +7,8 @@
 
 #include "mixy/Mixy.h"
 
+#include "support/StringExtras.h"
+
 using namespace mix::c;
 
 namespace {
@@ -34,14 +36,26 @@ struct MixyAnalysis::WorkerContext {
   }
 };
 
+/// Pushes the analysis-level observability sinks down into the nested
+/// option structs so every solver (serial and pooled) reports into the
+/// same registry/trace.
+static MixyOptions normalizedOptions(MixyOptions O) {
+  O.Smt.Metrics = O.Metrics;
+  O.Smt.Trace = O.Trace;
+  return O;
+}
+
 MixyAnalysis::MixyAnalysis(const CProgram &Program, CAstContext &Ctx,
-                           DiagnosticEngine &Diags, MixyOptions Opts)
-    : Program(Program), Ctx(Ctx), Diags(Diags), Opts(Opts),
-      Solver(Terms, Opts.Smt), PtrAnal(Program, Ctx, Diags),
-      Qual(Program, Ctx, Diags, Opts.Qual),
+                           DiagnosticEngine &Diags, MixyOptions OptsIn)
+    : Program(Program), Ctx(Ctx), Diags(Diags),
+      Opts(normalizedOptions(std::move(OptsIn))), Solver(Terms, Opts.Smt),
+      PtrAnal(Program, Ctx, Diags), Qual(Program, Ctx, Diags, Opts.Qual),
       Exec(Program, Ctx, Diags, Terms, Solver, Opts.Sym),
-      SymCache(blockCacheShardsFor(Opts.Jobs)),
-      TypedCache(blockCacheShardsFor(Opts.Jobs)), Solvers(Opts.Smt) {
+      SymCache(blockCacheShardsFor(Opts.Jobs), 0, BlockKeyHash(), Opts.Metrics,
+               "mixy.cache.sym."),
+      TypedCache(blockCacheShardsFor(Opts.Jobs), 0, BlockKeyHash(),
+                 Opts.Metrics, "mixy.cache.typed."),
+      Solvers(Opts.Smt) {
   Qual.setSymHook(this);
   Exec.setTypedCallHook(this);
 }
@@ -51,6 +65,29 @@ MixyAnalysis::~MixyAnalysis() = default;
 void MixyAnalysis::bumpStat(unsigned MixyStats::*Field) {
   std::lock_guard<std::mutex> Lock(StatsM);
   ++(Statistics.*Field);
+}
+
+void MixyAnalysis::publishStats() {
+  obs::MetricsRegistry *M = Opts.Metrics;
+  if (!M)
+    return;
+  // Counters are monotone; raise each one to the stat's current value so
+  // repeated run() calls against one analysis stay consistent.
+  auto Publish = [&](const char *Name, uint64_t V) {
+    obs::Counter C = M->counter(Name);
+    uint64_t Cur = C.value();
+    if (V > Cur)
+      C.add(V - Cur);
+  };
+  std::lock_guard<std::mutex> Lock(StatsM);
+  Publish("mixy.sym_block_runs", Statistics.SymbolicBlockRuns);
+  Publish("mixy.sym_cache_hits", Statistics.SymbolicCacheHits);
+  Publish("mixy.typed_block_runs", Statistics.TypedBlockRuns);
+  Publish("mixy.typed_cache_hits", Statistics.TypedCacheHits);
+  Publish("mixy.switch.typed_to_sym", Statistics.SymbolicCallsFromTyped);
+  Publish("mixy.switch.sym_to_typed", Statistics.TypedCallsFromSymbolic);
+  Publish("mixy.fixpoint_rounds", Statistics.FixpointIterations);
+  Publish("mixy.recursions", Statistics.RecursionsDetected);
 }
 
 // === region collection =======================================================
@@ -260,7 +297,7 @@ void MixyAnalysis::mergeRoundDiagnostics(
       } else {
         DropNotes = false;
       }
-      Diags.report(D.Kind, D.Loc, D.Message);
+      Diags.report(D.Kind, D.Loc, D.Message, D.ID);
     }
   }
 }
@@ -327,6 +364,10 @@ MixyAnalysis::computeSymOutcome(const BlockKey &Key, ExecContext C) {
   C.Stack.push_back({Key, false, SymOutcome(), false});
   C.Stack.back().SymAssumption.ParamPointeeMayBeNull.assign(
       Key.F->params().size(), false);
+
+  obs::TraceSpan Span(Opts.Trace, "mixy.block.sym", "mixy");
+  if (Opts.Trace)
+    Span.setArgs("{\"function\": \"" + jsonEscape(Key.F->name()) + "\"}");
 
   SymOutcome Outcome;
   for (unsigned Iter = 0; Iter != Opts.MaxRecursionIterations; ++Iter) {
@@ -480,6 +521,10 @@ bool MixyAnalysis::computeTypedRet(const BlockKey &Key, const CCall *Call,
 
   C.Stack.push_back({Key, false, SymOutcome(), false});
 
+  obs::TraceSpan Span(Opts.Trace, "mixy.block.typed", "mixy");
+  if (Opts.Trace)
+    Span.setArgs("{\"function\": \"" + jsonEscape(Key.F->name()) + "\"}");
+
   bool RetMayBeNull = false;
   for (unsigned Iter = 0; Iter != Opts.MaxRecursionIterations; ++Iter) {
     C.Stack.back().Recursive = false;
@@ -600,7 +645,9 @@ unsigned MixyAnalysis::run(StartMode Mode, const std::string &Entry) {
 
   const CFuncDecl *EntryFunc = Program.findFunc(Entry);
   if (!EntryFunc || !EntryFunc->isDefined()) {
-    Diags.error(SourceLoc(), "entry function '" + Entry + "' not found");
+    Diags.error(SourceLoc(), "entry function '" + Entry + "' not found",
+                DiagID::EntryNotFound);
+    publishStats();
     return Diags.warningCount();
   }
 
@@ -610,10 +657,17 @@ unsigned MixyAnalysis::run(StartMode Mode, const std::string &Entry) {
     // calls switch through callTypedFunction. A single symbolic block has
     // no sibling blocks to farm out, so this path is always serial.
     ++Statistics.SymbolicBlockRuns;
-    CSymResult Result = Exec.runFunction(EntryFunc);
-    (void)Result;
+    {
+      obs::TraceSpan Span(Opts.Trace, "mixy.block.sym", "mixy");
+      if (Opts.Trace)
+        Span.setArgs("{\"function\": \"" + jsonEscape(EntryFunc->name()) +
+                     "\"}");
+      CSymResult Result = Exec.runFunction(EntryFunc);
+      (void)Result;
+    }
     Qual.solve();
     Qual.reportWarnings();
+    publishStats();
     return Diags.warningCount();
   }
 
@@ -629,6 +683,9 @@ unsigned MixyAnalysis::run(StartMode Mode, const std::string &Entry) {
   // Fixpoint (Section 4.1): re-run symbolic blocks whose calling context
   // changed as constraints accumulated, until nothing changes.
   for (unsigned Iter = 0; Iter != Opts.MaxFixpointIterations; ++Iter) {
+    obs::TraceSpan RoundSpan(Opts.Trace, "mixy.round", "mixy");
+    if (Opts.Trace)
+      RoundSpan.setArgs("{\"round\": " + std::to_string(Iter) + "}");
     Qual.solve();
     bool Changed = false;
     for (SymCallSite &Site : SymCallSites) {
@@ -652,6 +709,7 @@ unsigned MixyAnalysis::run(StartMode Mode, const std::string &Entry) {
 
   Qual.solve();
   Qual.reportWarnings();
+  publishStats();
   return Diags.warningCount();
 }
 
@@ -662,7 +720,7 @@ unsigned MixyAnalysis::runTypedParallel(const CFuncDecl *EntryFunc) {
   Ctx.intType();
   Ctx.charType();
 
-  Pool = std::make_unique<rt::ThreadPool>(Opts.Jobs);
+  Pool = std::make_unique<rt::ThreadPool>(Opts.Jobs, Opts.Trace, "mixy");
   WorkerSlots.resize(Pool->workerCount());
 
   // Constraint generation over the typed region. Frontier calls defer
@@ -679,6 +737,9 @@ unsigned MixyAnalysis::runTypedParallel(const CFuncDecl *EntryFunc) {
   // constraint system is monotone, so these Jacobi-style rounds reach the
   // same least fixpoint as the serial site-at-a-time loop.
   for (unsigned Iter = 0; Iter != Opts.MaxFixpointIterations; ++Iter) {
+    obs::TraceSpan RoundSpan(Opts.Trace, "mixy.round", "mixy");
+    if (Opts.Trace)
+      RoundSpan.setArgs("{\"round\": " + std::to_string(Iter) + "}");
     Qual.solve();
 
     std::vector<std::pair<size_t, size_t>> Changed; // (site, key index)
@@ -733,5 +794,6 @@ unsigned MixyAnalysis::runTypedParallel(const CFuncDecl *EntryFunc) {
 
   Qual.solve();
   Qual.reportWarnings();
+  publishStats();
   return Diags.warningCount();
 }

@@ -85,6 +85,17 @@ struct MixyOptions {
   CSymOptions Sym;
   QualOptions Qual;
   smt::SmtOptions Smt;
+
+  /// Observability sinks (see src/observe/). The analysis copies these
+  /// into Smt (solver counters/latency), the block caches
+  /// ("mixy.cache.sym.*" / "mixy.cache.typed.*" counters), and the
+  /// thread pool (per-worker task spans); the fixpoint driver adds
+  /// "mixy.round" / "mixy.block.sym" / "mixy.block.typed" spans and
+  /// publishes the MixyStats fields as "mixy.*" counters when the run
+  /// finishes. Null (the default) disables all of it at one branch per
+  /// site.
+  obs::MetricsRegistry *Metrics = nullptr;
+  obs::TraceSink *Trace = nullptr;
 };
 
 /// Statistics of a MIXY run.
@@ -255,6 +266,9 @@ private:
   /// way one executor deduplicates across runs.
   void mergeRoundDiagnostics(const std::vector<std::vector<Diagnostic>> &Per);
   void bumpStat(unsigned MixyStats::*Field);
+  /// Mirrors the final MixyStats into the metrics registry (no-op without
+  /// one) so --stats / --metrics render from the same source.
+  void publishStats();
 
   const CProgram &Program;
   CAstContext &Ctx;

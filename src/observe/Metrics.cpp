@@ -1,0 +1,147 @@
+//===--- Metrics.cpp - Sharded counters and histograms ----------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Metrics.h"
+
+#include "support/StringExtras.h"
+
+using namespace mix::obs;
+
+unsigned mix::obs::threadSlot() {
+  static std::atomic<unsigned> Next{0};
+  thread_local unsigned Slot = Next.fetch_add(1, std::memory_order_relaxed);
+  return Slot;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot Out;
+  if (!Data)
+    return Out;
+  uint64_t Min = UINT64_MAX;
+  for (const detail::HistogramSlot &S : Data->Slots) {
+    Out.Count += S.Count.load(std::memory_order_relaxed);
+    Out.Sum += S.Sum.load(std::memory_order_relaxed);
+    Min = std::min(Min, S.Min.load(std::memory_order_relaxed));
+    Out.Max = std::max(Out.Max, S.Max.load(std::memory_order_relaxed));
+    for (unsigned B = 0; B != detail::HistogramBuckets; ++B)
+      Out.Buckets[B] += S.Buckets[B].load(std::memory_order_relaxed);
+  }
+  Out.Min = Out.Count == 0 ? 0 : Min;
+  return Out;
+}
+
+static unsigned roundPow2(unsigned N) {
+  unsigned P = 1;
+  while (P < N && P < 1024)
+    P <<= 1;
+  return P;
+}
+
+MetricsRegistry::MetricsRegistry(unsigned ShardsHint)
+    : Shards(roundPow2(ShardsHint == 0 ? 32 : ShardsHint)) {}
+
+Counter MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<detail::CounterData> &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<detail::CounterData>(Shards);
+  return Counter(Slot.get());
+}
+
+Histogram MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<detail::HistogramData> &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<detail::HistogramData>(Shards);
+  return Histogram(Slot.get());
+}
+
+uint64_t MetricsRegistry::counterValue(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second->total();
+}
+
+HistogramSnapshot
+MetricsRegistry::histogramSnapshot(const std::string &Name) const {
+  detail::HistogramData *Data = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Histograms.find(Name);
+    if (It != Histograms.end())
+      Data = It->second.get();
+  }
+  Histogram H;
+  H.Data = Data;
+  return H.snapshot();
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  Out.reserve(Counters.size());
+  for (const auto &[Name, Data] : Counters)
+    Out.emplace_back(Name, Data->total());
+  return Out;
+}
+
+std::vector<std::string> MetricsRegistry::histogramNames() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::vector<std::string> Out;
+  Out.reserve(Histograms.size());
+  for (const auto &[Name, Data] : Histograms) {
+    (void)Data;
+    Out.push_back(Name);
+  }
+  return Out;
+}
+
+std::string MetricsRegistry::renderText() const {
+  std::string Out;
+  for (const auto &[Name, Value] : counters())
+    Out += Name + " = " + std::to_string(Value) + "\n";
+  for (const std::string &Name : histogramNames()) {
+    HistogramSnapshot S = histogramSnapshot(Name);
+    Out += Name + " = count " + std::to_string(S.Count) + ", sum " +
+           std::to_string(S.Sum) + ", min " + std::to_string(S.Min) +
+           ", max " + std::to_string(S.Max) + "\n";
+  }
+  return Out;
+}
+
+std::string MetricsRegistry::renderJSON() const {
+  std::string Out = "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : counters()) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    \"" + jsonEscape(Name) + "\": " + std::to_string(Value);
+  }
+  Out += First ? "},\n" : "\n  },\n";
+  Out += "  \"histograms\": {";
+  First = true;
+  for (const std::string &Name : histogramNames()) {
+    HistogramSnapshot S = histogramSnapshot(Name);
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    \"" + jsonEscape(Name) + "\": {\"count\": " +
+           std::to_string(S.Count) + ", \"sum\": " + std::to_string(S.Sum) +
+           ", \"min\": " + std::to_string(S.Min) +
+           ", \"max\": " + std::to_string(S.Max) + ", \"buckets\": [";
+    // Trailing zero buckets are elided so files stay small; bucket i
+    // counts values in [2^i, 2^(i+1)).
+    unsigned Last = detail::HistogramBuckets;
+    while (Last > 0 && S.Buckets[Last - 1] == 0)
+      --Last;
+    for (unsigned B = 0; B != Last; ++B)
+      Out += (B ? ", " : "") + std::to_string(S.Buckets[B]);
+    Out += "]}";
+  }
+  Out += First ? "}\n" : "\n  }\n";
+  Out += "}\n";
+  return Out;
+}

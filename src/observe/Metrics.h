@@ -1,0 +1,212 @@
+//===--- Metrics.h - Sharded counters and histograms ------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the observability subsystem: a registry of named
+/// counters and latency histograms that analysis code can bump from any
+/// thread without taking a lock.
+///
+/// Design contract (see DESIGN.md section 10):
+///  - Handles, not names, on the hot path. Code resolves a Counter or
+///    Histogram handle once at setup time (registry lookups intern the
+///    name under a mutex) and then increments through the handle.
+///  - Per-worker sharding. Each metric owns a power-of-two array of
+///    cache-line-sized slots; a thread increments the slot selected by
+///    its stable threadSlot() with a relaxed atomic add, so concurrent
+///    workers touch disjoint cache lines and never contend.
+///  - Null handles are free. A default-constructed handle carries a null
+///    slot pointer and every record operation is a single branch on it —
+///    instrumented code paths cost nothing when no registry is attached
+///    (bench_observe guards this).
+///  - Reads (renderText / renderJSON / counterValue) sum the slots; call
+///    them at a barrier for exact totals, which is when the CLIs render
+///    --stats / --metrics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_OBSERVE_METRICS_H
+#define MIX_OBSERVE_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mix::obs {
+
+/// A small, stable per-thread index used to pick a metric shard (and to
+/// tag trace events with a thread id). Assigned on first use, process
+/// wide, and never reused; the main thread typically gets 0.
+unsigned threadSlot();
+
+namespace detail {
+
+/// One cache line holding one shard of a counter.
+struct alignas(64) CounterSlot {
+  std::atomic<uint64_t> Value{0};
+};
+
+struct CounterData {
+  std::vector<CounterSlot> Slots;
+  unsigned Mask = 0;
+  explicit CounterData(unsigned NumSlots) : Slots(NumSlots), Mask(NumSlots - 1) {}
+  uint64_t total() const {
+    uint64_t N = 0;
+    for (const CounterSlot &S : Slots)
+      N += S.Value.load(std::memory_order_relaxed);
+    return N;
+  }
+};
+
+/// Histograms bucket by floor(log2(value)) — enough resolution to tell
+/// microsecond solver queries from millisecond block analyses.
+constexpr unsigned HistogramBuckets = 40;
+
+struct alignas(64) HistogramSlot {
+  std::array<std::atomic<uint64_t>, HistogramBuckets> Buckets{};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Min{UINT64_MAX};
+  std::atomic<uint64_t> Max{0};
+};
+
+struct HistogramData {
+  std::vector<HistogramSlot> Slots;
+  unsigned Mask = 0;
+  explicit HistogramData(unsigned NumSlots)
+      : Slots(NumSlots), Mask(NumSlots - 1) {}
+};
+
+} // namespace detail
+
+/// Hot-path handle to a registry counter. Default-constructed handles are
+/// detached: add() is a branch on a null pointer and nothing else.
+class Counter {
+public:
+  Counter() = default;
+
+  explicit operator bool() const { return Data != nullptr; }
+
+  void add(uint64_t N) {
+    if (Data)
+      Data->Slots[threadSlot() & Data->Mask].Value.fetch_add(
+          N, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+
+  /// Sum over shards (exact at a barrier).
+  uint64_t value() const { return Data ? Data->total() : 0; }
+
+private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::CounterData *Data) : Data(Data) {}
+  detail::CounterData *Data = nullptr;
+};
+
+/// Point-in-time view of one histogram, summed over shards.
+struct HistogramSnapshot {
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Min = 0; ///< 0 when Count == 0
+  uint64_t Max = 0;
+  std::array<uint64_t, detail::HistogramBuckets> Buckets{};
+};
+
+/// Hot-path handle to a registry histogram (values are unit-free; the
+/// solver records microseconds). Detached handles record nothing.
+class Histogram {
+public:
+  Histogram() = default;
+
+  explicit operator bool() const { return Data != nullptr; }
+
+  void record(uint64_t Value) {
+    if (!Data)
+      return;
+    detail::HistogramSlot &S = Data->Slots[threadSlot() & Data->Mask];
+    S.Buckets[bucketOf(Value)].fetch_add(1, std::memory_order_relaxed);
+    S.Count.fetch_add(1, std::memory_order_relaxed);
+    S.Sum.fetch_add(Value, std::memory_order_relaxed);
+    // Min/max races only lose against a strictly better value.
+    uint64_t Cur = S.Min.load(std::memory_order_relaxed);
+    while (Value < Cur &&
+           !S.Min.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+      ;
+    Cur = S.Max.load(std::memory_order_relaxed);
+    while (Value > Cur &&
+           !S.Max.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+      ;
+  }
+
+  HistogramSnapshot snapshot() const;
+
+  /// Bucket index: floor(log2(Value)) clamped to the bucket range; 0 maps
+  /// to bucket 0.
+  static unsigned bucketOf(uint64_t Value) {
+    unsigned B = 0;
+    while (Value > 1 && B + 1 < detail::HistogramBuckets) {
+      Value >>= 1;
+      ++B;
+    }
+    return B;
+  }
+
+private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::HistogramData *Data) : Data(Data) {}
+  detail::HistogramData *Data = nullptr;
+};
+
+/// The registry: interns metric names to sharded storage and renders the
+/// whole set as text or JSON. Registration is mutex-guarded (cold path);
+/// recording goes through the handles above (lock-free).
+class MetricsRegistry {
+public:
+  /// \p ShardsHint is rounded up to a power of two; it should comfortably
+  /// exceed the worker count. The default suits any --jobs value this
+  /// project uses.
+  explicit MetricsRegistry(unsigned ShardsHint = 32);
+
+  /// Returns the (interned) counter named \p Name; repeated calls with
+  /// the same name share storage.
+  Counter counter(const std::string &Name);
+
+  /// Returns the (interned) histogram named \p Name.
+  Histogram histogram(const std::string &Name);
+
+  /// Sum of the named counter, or 0 when it was never registered.
+  uint64_t counterValue(const std::string &Name) const;
+
+  /// Snapshot of the named histogram (all-zero when never registered).
+  HistogramSnapshot histogramSnapshot(const std::string &Name) const;
+
+  /// All counters, name-sorted, with their current sums.
+  std::vector<std::pair<std::string, uint64_t>> counters() const;
+
+  /// All histogram names, sorted.
+  std::vector<std::string> histogramNames() const;
+
+  /// "name = value" per line, name-sorted — the --stats building block.
+  std::string renderText() const;
+
+  /// {"counters": {...}, "histograms": {...}} — the --metrics=FILE body.
+  std::string renderJSON() const;
+
+private:
+  unsigned Shards;
+  mutable std::mutex M;
+  std::map<std::string, std::unique_ptr<detail::CounterData>> Counters;
+  std::map<std::string, std::unique_ptr<detail::HistogramData>> Histograms;
+};
+
+} // namespace mix::obs
+
+#endif // MIX_OBSERVE_METRICS_H

@@ -1,0 +1,113 @@
+//===--- Trace.cpp - Chrome-trace-format span/event sink --------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Trace.h"
+
+#include "observe/Metrics.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+
+using namespace mix::obs;
+
+TraceSink::TraceSink()
+    : Epoch(std::chrono::steady_clock::now()), Shards(NumShards) {}
+
+uint64_t TraceSink::nowUs() const {
+  return (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - Epoch)
+      .count();
+}
+
+void TraceSink::record(Event E) {
+  unsigned Slot = threadSlot() % NumShards;
+  E.Tid = threadSlot();
+  std::lock_guard<std::mutex> Lock(Shards[Slot].M);
+  Shards[Slot].Events.push_back(std::move(E));
+}
+
+void TraceSink::instant(const char *Name, const char *Cat,
+                        const std::string &ArgsJson) {
+  Event E;
+  E.Ph = Phase::Instant;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Ts = nowUs();
+  E.Args = ArgsJson;
+  record(std::move(E));
+}
+
+void TraceSink::complete(const char *Name, const char *Cat, uint64_t StartUs,
+                         uint64_t DurUs, const std::string &ArgsJson) {
+  Event E;
+  E.Ph = Phase::Complete;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Ts = StartUs;
+  E.Dur = DurUs;
+  E.Args = ArgsJson;
+  record(std::move(E));
+}
+
+void TraceSink::nameCurrentThread(const std::string &Name) {
+  Event E;
+  E.Ph = Phase::Metadata;
+  E.Name = "thread_name";
+  E.Cat = "__metadata";
+  E.Args = "{\"name\": \"" + mix::jsonEscape(Name) + "\"}";
+  record(std::move(E));
+}
+
+size_t TraceSink::eventCount() const {
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(const_cast<std::mutex &>(S.M));
+    N += S.Events.size();
+  }
+  return N;
+}
+
+std::string TraceSink::renderJSON() const {
+  // Snapshot every shard, then order by (ts, tid, name) so the rendering
+  // is deterministic for a given multiset of events.
+  std::vector<Event> All;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(const_cast<std::mutex &>(S.M));
+    All.insert(All.end(), S.Events.begin(), S.Events.end());
+  }
+  std::stable_sort(All.begin(), All.end(), [](const Event &A, const Event &B) {
+    if (A.Ts != B.Ts)
+      return A.Ts < B.Ts;
+    if (A.Tid != B.Tid)
+      return A.Tid < B.Tid;
+    return A.Name < B.Name;
+  });
+
+  std::string Out = "{\"traceEvents\": [";
+  bool First = true;
+  for (const Event &E : All) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "  {\"name\": \"" + mix::jsonEscape(E.Name) + "\", \"cat\": \"";
+    Out += E.Cat;
+    Out += "\", \"ph\": \"";
+    Out += (char)E.Ph;
+    Out += "\", \"pid\": 1, \"tid\": " + std::to_string(E.Tid);
+    if (E.Ph != Phase::Metadata)
+      Out += ", \"ts\": " + std::to_string(E.Ts);
+    if (E.Ph == Phase::Complete)
+      Out += ", \"dur\": " + std::to_string(E.Dur);
+    if (E.Ph == Phase::Instant)
+      Out += ", \"s\": \"t\"";
+    if (!E.Args.empty())
+      Out += ", \"args\": " + E.Args;
+    Out += "}";
+  }
+  Out += First ? "],\n" : "\n],\n";
+  Out += "\"displayTimeUnit\": \"ms\"}\n";
+  return Out;
+}

@@ -1,0 +1,124 @@
+//===--- Trace.h - Chrome-trace-format span/event sink ----------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing half of the observability subsystem. A TraceSink records
+/// phase spans (complete events), instant events, and thread-name
+/// metadata, and renders them as Chrome trace format JSON — loadable in
+/// chrome://tracing or https://ui.perfetto.dev.
+///
+/// Recording is sharded by thread: each event goes to a slot picked by
+/// threadSlot(), guarded by a per-slot mutex that only same-slot threads
+/// ever contend on. Events carry a tid (the recording thread's slot), so
+/// a ThreadPool run renders one timeline lane per worker.
+///
+/// Like metrics handles, a null sink pointer is the off switch: TraceSpan
+/// and every record helper branch on the pointer and do nothing else, so
+/// untraced runs pay one predictable branch per instrumentation site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_OBSERVE_TRACE_H
+#define MIX_OBSERVE_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mix::obs {
+
+/// Collects trace events; thread-safe.
+class TraceSink {
+public:
+  TraceSink();
+
+  /// Microseconds since the sink was created (steady clock).
+  uint64_t nowUs() const;
+
+  /// A zero-duration marker, e.g. one path fork. \p ArgsJson, when
+  /// non-empty, must be a JSON object ("{\"k\": 1}") rendered verbatim
+  /// into the event's "args".
+  void instant(const char *Name, const char *Cat,
+               const std::string &ArgsJson = std::string());
+
+  /// A span [StartUs, StartUs + DurUs) — usually recorded via TraceSpan.
+  void complete(const char *Name, const char *Cat, uint64_t StartUs,
+                uint64_t DurUs, const std::string &ArgsJson = std::string());
+
+  /// Names the calling thread's timeline lane ("mixy worker 3").
+  void nameCurrentThread(const std::string &Name);
+
+  /// Number of events recorded so far (spans + instants + metadata).
+  size_t eventCount() const;
+
+  /// The whole trace as Chrome trace format JSON, events sorted by
+  /// timestamp (deterministic rendering for a given event multiset).
+  std::string renderJSON() const;
+
+private:
+  enum class Phase : char { Complete = 'X', Instant = 'i', Metadata = 'M' };
+
+  struct Event {
+    Phase Ph;
+    std::string Name;
+    const char *Cat;
+    uint64_t Ts = 0;
+    uint64_t Dur = 0;
+    unsigned Tid = 0;
+    std::string Args; ///< pre-rendered JSON object, may be empty
+  };
+
+  /// One thread-slot's buffer. The mutex is uncontended unless two
+  /// threads share a slot (more threads than shards).
+  struct alignas(64) Shard {
+    std::mutex M;
+    std::vector<Event> Events;
+  };
+
+  void record(Event E);
+
+  std::chrono::steady_clock::time_point Epoch;
+  static constexpr unsigned NumShards = 64;
+  std::vector<Shard> Shards;
+};
+
+/// RAII span: records a complete event covering its lifetime. Null sink
+/// means both constructor and destructor reduce to a branch.
+class TraceSpan {
+public:
+  TraceSpan(TraceSink *Sink, const char *Name, const char *Cat)
+      : Sink(Sink), Name(Name), Cat(Cat),
+        Start(Sink ? Sink->nowUs() : 0) {}
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// Attaches args to the event emitted at scope exit; \p Json must be a
+  /// JSON object.
+  void setArgs(std::string Json) {
+    if (Sink)
+      Args = std::move(Json);
+  }
+
+  ~TraceSpan() {
+    if (Sink)
+      Sink->complete(Name, Cat, Start, Sink->nowUs() - Start, Args);
+  }
+
+private:
+  TraceSink *Sink;
+  const char *Name;
+  const char *Cat;
+  uint64_t Start;
+  std::string Args;
+};
+
+} // namespace mix::obs
+
+#endif // MIX_OBSERVE_TRACE_H

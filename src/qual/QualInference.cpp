@@ -429,11 +429,13 @@ unsigned QualInference::reportWarnings() {
     ++Count;
     Diags.warning(Graph.location(N),
                   "null value may reach nonnull position '" +
-                      Graph.description(N) + "'");
+                      Graph.description(N) + "'",
+                  DiagID::NullWarning);
     std::vector<QualGraph::Node> Path = Graph.witnessPath(N);
     if (!Path.empty())
       Diags.note(Graph.location(Path.front()),
-                 "qualifier flow: " + Graph.describePath(Path));
+                 "qualifier flow: " + Graph.describePath(Path),
+                 DiagID::QualFlowNote);
   }
   return Count;
 }

@@ -19,7 +19,9 @@ thread_local int CurrentWorkerIndex = -1;
 
 } // namespace
 
-ThreadPool::ThreadPool(unsigned WorkerCount) {
+ThreadPool::ThreadPool(unsigned WorkerCount, obs::TraceSink *TraceSink,
+                       const char *Name)
+    : Trace(TraceSink), PoolName(Name) {
   Queues.reserve(WorkerCount);
   for (unsigned I = 0; I != WorkerCount; ++I)
     Queues.push_back(std::make_unique<WorkerQueue>());
@@ -94,21 +96,29 @@ bool ThreadPool::popTask(Task &Out) {
   return false;
 }
 
+void ThreadPool::runTask(Task &T) {
+  obs::TraceSpan Span(Trace, "pool.task", "pool");
+  T();
+}
+
 bool ThreadPool::runOneTask() {
   Task T;
   if (!popTask(T))
     return false;
-  T();
+  runTask(T);
   return true;
 }
 
 void ThreadPool::workerLoop(unsigned Index) {
   CurrentPool = this;
   CurrentWorkerIndex = (int)Index;
+  if (Trace)
+    Trace->nameCurrentThread(std::string(PoolName) + " worker " +
+                             std::to_string(Index));
   for (;;) {
     Task T;
     if (popTask(T)) {
-      T();
+      runTask(T);
       continue;
     }
     std::unique_lock<std::mutex> Lock(SleepM);

@@ -29,6 +29,8 @@
 #ifndef MIX_RUNTIME_THREADPOOL_H
 #define MIX_RUNTIME_THREADPOOL_H
 
+#include "observe/Trace.h"
+
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -134,7 +136,13 @@ class ThreadPool {
 public:
   /// \p Workers threads are spawned. 0 means inline execution: submit()
   /// runs the task immediately on the calling thread.
-  explicit ThreadPool(unsigned Workers);
+  ///
+  /// With a trace sink attached, each worker names its timeline lane
+  /// ("<name> worker N") and every executed task is recorded as a
+  /// "pool.task" span on the worker that ran it; a null sink costs one
+  /// branch per task.
+  explicit ThreadPool(unsigned Workers, obs::TraceSink *Trace = nullptr,
+                      const char *Name = "pool");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool &) = delete;
@@ -205,7 +213,10 @@ private:
   void enqueue(Task T);
   bool popTask(Task &Out);
   void workerLoop(unsigned Index);
+  void runTask(Task &T);
 
+  obs::TraceSink *Trace = nullptr;
+  const char *PoolName = "pool";
   std::vector<std::unique_ptr<WorkerQueue>> Queues;
   std::vector<std::thread> Workers;
 

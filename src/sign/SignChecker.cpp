@@ -10,7 +10,7 @@
 using namespace mix;
 
 const SType *SignChecker::error(SourceLoc Loc, const std::string &Message) {
-  Diags.error(Loc, Message);
+  Diags.error(Loc, Message, DiagID::SignError);
   return nullptr;
 }
 

@@ -81,8 +81,10 @@ bool SignMixChecker::verifyEscapingClosures(const SymExpr *Value,
     bool Ok = Checker.check(Syms.closureFun(C), Gamma) != nullptr;
     VerifiedClosures[C] = Ok;
     if (!Ok) {
-      Diags.error(Loc, "function value escapes its symbolic block, so its "
-                       "body must sign-check on all inputs");
+      Diags.error(Loc,
+                  "function value escapes its symbolic block, so its "
+                  "body must sign-check on all inputs",
+                  DiagID::EscapedClosure);
       return false;
     }
   }
@@ -133,8 +135,10 @@ const SType *SignMixChecker::checkSymbolicCore(const Expr *Body,
   ++Statistics.SymBlocksChecked;
 
   if (Result.ResourceLimitHit) {
-    Diags.error(Loc, "symbolic block exceeded the execution budget; "
-                     "cannot establish exhaustiveness");
+    Diags.error(Loc,
+                "symbolic block exceeded the execution budget; "
+                "cannot establish exhaustiveness",
+                DiagID::ExecBudget);
     return nullptr;
   }
 
@@ -146,14 +150,16 @@ const SType *SignMixChecker::checkSymbolicCore(const Expr *Body,
     }
     if (P.IsError) {
       Diags.error(P.ErrorLoc.isValid() ? P.ErrorLoc : Loc,
-                  P.ErrorMessage + " [on path " + P.State.Path->str() + "]");
+                  P.ErrorMessage + " [on path " + P.State.Path->str() + "]",
+                  DiagID::SymExecError);
       return nullptr;
     }
     Live.push_back(&P);
   }
 
   if (Live.empty()) {
-    Diags.error(Loc, "symbolic block has no feasible path");
+    Diags.error(Loc, "symbolic block has no feasible path",
+                DiagID::NoFeasiblePath);
     return nullptr;
   }
 
@@ -161,7 +167,8 @@ const SType *SignMixChecker::checkSymbolicCore(const Expr *Body,
   const Type *Tau = Live.front()->Value->type();
   for (const PathResult *P : Live) {
     if (P->Value->type() != Tau) {
-      Diags.error(Loc, "symbolic block paths disagree on the result type");
+      Diags.error(Loc, "symbolic block paths disagree on the result type",
+                  DiagID::ResultTypeMismatch);
       return nullptr;
     }
   }
@@ -173,8 +180,10 @@ const SType *SignMixChecker::checkSymbolicCore(const Expr *Body,
   if (Opts.CheckFinalMemory) {
     for (const PathResult *P : Live) {
       if (!checkMemoryOk(P->State.Mem).Ok) {
-        Diags.error(Loc, "symbolic block leaves memory inconsistently "
-                         "typed on some path (|- m ok fails)");
+        Diags.error(Loc,
+                    "symbolic block leaves memory inconsistently "
+                    "typed on some path (|- m ok fails)",
+                    DiagID::MemoryInconsistent);
         return nullptr;
       }
       if (!checkSignedMemory(SignedRefs, P->State.Mem, P->State.Path, Loc))
@@ -197,7 +206,8 @@ const SType *SignMixChecker::checkSymbolicCore(const Expr *Body,
     const smt::Term *Obligation =
         Terms.implies(Antecedent, Terms.orList(Guards));
     if (!Solver.isDefinitelyValid(Obligation)) {
-      Diags.error(Loc, "symbolic block paths are not exhaustive");
+      Diags.error(Loc, "symbolic block paths are not exhaustive",
+                  DiagID::PathsNotExhaustive);
       return nullptr;
     }
   }
@@ -292,7 +302,8 @@ bool SignMixChecker::checkSignedMemory(
           Diags.error(Loc,
                       "write to a " +
                           std::string(signQualName(It->second)) +
-                          " int cell may violate its sign qualifier");
+                          " int cell may violate its sign qualifier",
+                      DiagID::SignError);
           return false;
         }
       } else if (!Syms.isAllocAddress(Addr)) {
@@ -303,8 +314,10 @@ bool SignMixChecker::checkSignedMemory(
           (void)RefAddr;
           if (!Mem->value()->type()->isInt() ||
               !signSubtype(signUnderPath(Path, Mem->value()), Q)) {
-            Diags.error(Loc, "write through an unresolved pointer may "
-                             "violate a sign qualifier");
+            Diags.error(Loc,
+                        "write through an unresolved pointer may "
+                        "violate a sign qualifier",
+                        DiagID::SignError);
             return false;
           }
         }

@@ -326,7 +326,52 @@ LinConstraint atomToConstraint(const Term *Atom, bool Positive) {
 
 } // namespace
 
+static const char *solveResultName(SolveResult R) {
+  switch (R) {
+  case SolveResult::Sat:
+    return "sat";
+  case SolveResult::Unsat:
+    return "unsat";
+  case SolveResult::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
 SolveResult SmtSolver::checkSat(const Term *Formula, SmtModel *ModelOut) {
+  // The uninstrumented run is the common case: both sinks null, so the
+  // whole observability layer costs two branches per query.
+  if (!HQueryUs && !Opts.Trace) {
+    SolveResult R = checkSatImpl(Formula, ModelOut);
+    CQueries.inc();
+    (R == SolveResult::Sat ? CSat
+     : R == SolveResult::Unsat ? CUnsat
+                               : CUnknown)
+        .inc();
+    return R;
+  }
+
+  uint64_t Start =
+      Opts.Trace ? Opts.Trace->nowUs() : 0;
+  auto T0 = std::chrono::steady_clock::now();
+  SolveResult R = checkSatImpl(Formula, ModelOut);
+  uint64_t DurUs = (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  CQueries.inc();
+  (R == SolveResult::Sat ? CSat
+   : R == SolveResult::Unsat ? CUnsat
+                             : CUnknown)
+      .inc();
+  HQueryUs.record(DurUs);
+  if (Opts.Trace)
+    Opts.Trace->complete("solver.query", "solver", Start, DurUs,
+                         std::string("{\"result\": \"") + solveResultName(R) +
+                             "\"}");
+  return R;
+}
+
+SolveResult SmtSolver::checkSatImpl(const Term *Formula, SmtModel *ModelOut) {
   ++Statistics.Queries;
   assert(Formula->isBool() && "checkSat() requires a boolean formula");
 

@@ -27,6 +27,8 @@
 #ifndef MIX_SOLVER_SMTSOLVER_H
 #define MIX_SOLVER_SMTSOLVER_H
 
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
 #include "solver/LinearArith.h"
 #include "solver/Term.h"
 
@@ -62,6 +64,17 @@ struct SmtOptions {
   LiaOptions Lia;
   /// Bound on SAT-model / theory-check round trips per query.
   unsigned MaxTheoryIterations = 50000;
+
+  /// Observability sinks (see src/observe/). When attached, every query
+  /// bumps the "solver.queries" / "solver.sat" / "solver.unsat" /
+  /// "solver.unknown" counters and records its latency in the
+  /// "solver.query_us" histogram; a trace sink additionally gets one
+  /// "solver.query" span per query, tagged with the verdict. Null (the
+  /// default) keeps the hot path at a single branch. SolverPool copies
+  /// these into every pooled instance, so per-worker solvers aggregate
+  /// into the same registry.
+  obs::MetricsRegistry *Metrics = nullptr;
+  obs::TraceSink *Trace = nullptr;
 };
 
 /// One-shot and reusable SMT queries over a TermArena.
@@ -71,7 +84,15 @@ struct SmtOptions {
 class SmtSolver {
 public:
   explicit SmtSolver(TermArena &Arena, SmtOptions Opts = SmtOptions())
-      : Arena(Arena), Opts(Opts) {}
+      : Arena(Arena), Opts(Opts) {
+    if (Opts.Metrics) {
+      CQueries = Opts.Metrics->counter("solver.queries");
+      CSat = Opts.Metrics->counter("solver.sat");
+      CUnsat = Opts.Metrics->counter("solver.unsat");
+      CUnknown = Opts.Metrics->counter("solver.unknown");
+      HQueryUs = Opts.Metrics->histogram("solver.query_us");
+    }
+  }
 
   /// Is \p Formula (bool sort) satisfiable? When \p ModelOut is non-null
   /// and the answer is Sat, it receives a satisfying assignment.
@@ -110,9 +131,15 @@ public:
   TermArena &arena() { return Arena; }
 
 private:
+  SolveResult checkSatImpl(const Term *Formula, SmtModel *ModelOut);
+
   TermArena &Arena;
   SmtOptions Opts;
   Stats Statistics;
+
+  // Observability handles; detached (free) unless Opts.Metrics was set.
+  obs::Counter CQueries, CSat, CUnsat, CUnknown;
+  obs::Histogram HQueryUs;
 };
 
 } // namespace mix::smt

@@ -7,6 +7,8 @@
 
 #include "support/Diagnostics.h"
 
+#include "support/StringExtras.h"
+
 using namespace mix;
 
 std::string SourceLoc::str() const {
@@ -27,17 +29,62 @@ static const char *diagKindName(DiagKind Kind) {
   return "unknown";
 }
 
+std::string mix::diagIdString(DiagID ID) {
+  unsigned N = (unsigned)ID;
+  std::string Digits = std::to_string(N);
+  while (Digits.size() < 3)
+    Digits.insert(Digits.begin(), '0');
+  return "MIX" + Digits;
+}
+
+const char *mix::diagCategory(DiagID ID) {
+  switch ((unsigned)ID / 100) {
+  case 1:
+    return "parse";
+  case 2:
+    return "type";
+  case 3:
+    return "path";
+  case 4:
+    return "null";
+  case 5:
+    return "driver";
+  case 6:
+    return "sign";
+  default:
+    return "general";
+  }
+}
+
 std::string Diagnostic::str() const {
   return Loc.str() + ": " + diagKindName(Kind) + ": " + Message;
 }
 
 void DiagnosticEngine::report(DiagKind Kind, SourceLoc Loc,
-                              std::string Message) {
-  if (Kind == DiagKind::Error)
+                              std::string Message, DiagID ID) {
+  Diagnostic D{Kind, Loc, std::move(Message), ID, Diagnostic::NoParent};
+  if (Kind == DiagKind::Error) {
     ++NumErrors;
-  else if (Kind == DiagKind::Warning)
+  } else if (Kind == DiagKind::Warning) {
     ++NumWarnings;
-  Diags.push_back({Kind, Loc, std::move(Message)});
+  } else {
+    // Attach the note to the most recent error or warning.
+    for (size_t I = Diags.size(); I != 0; --I) {
+      if (Diags[I - 1].Kind != DiagKind::Note) {
+        D.Parent = I - 1;
+        break;
+      }
+    }
+  }
+  Diags.push_back(std::move(D));
+}
+
+std::vector<size_t> DiagnosticEngine::notesFor(size_t Parent) const {
+  std::vector<size_t> Out;
+  for (size_t I = Parent + 1; I < Diags.size(); ++I)
+    if (Diags[I].Kind == DiagKind::Note && Diags[I].Parent == Parent)
+      Out.push_back(I);
+  return Out;
 }
 
 void DiagnosticEngine::clear() {
@@ -52,5 +99,42 @@ std::string DiagnosticEngine::str() const {
     Out += D.str();
     Out += '\n';
   }
+  return Out;
+}
+
+static void appendDiagJSON(std::string &Out, const Diagnostic &D,
+                           const char *Indent) {
+  Out += Indent;
+  Out += "{\"id\": \"" + diagIdString(D.ID) + "\", \"category\": \"";
+  Out += diagCategory(D.ID);
+  Out += "\", \"severity\": \"";
+  Out += diagKindName(D.Kind);
+  Out += "\", \"line\": " + std::to_string(D.Loc.Line) +
+         ", \"column\": " + std::to_string(D.Loc.Column) +
+         ", \"message\": \"" + jsonEscape(D.Message) + "\"";
+}
+
+std::string DiagnosticEngine::renderJSON() const {
+  std::string Out = "[";
+  bool First = true;
+  for (size_t I = 0; I != Diags.size(); ++I) {
+    const Diagnostic &D = Diags[I];
+    // Notes with a parent are rendered inside that parent.
+    if (D.Kind == DiagKind::Note && D.Parent != Diagnostic::NoParent)
+      continue;
+    Out += First ? "\n" : ",\n";
+    First = false;
+    appendDiagJSON(Out, D, "  ");
+    Out += ", \"notes\": [";
+    bool FirstNote = true;
+    for (size_t N : notesFor(I)) {
+      Out += FirstNote ? "\n" : ",\n";
+      FirstNote = false;
+      appendDiagJSON(Out, Diags[N], "    ");
+      Out += "}";
+    }
+    Out += FirstNote ? "]}" : "\n  ]}";
+  }
+  Out += First ? "]\n" : "\n]\n";
   return Out;
 }

@@ -22,6 +22,8 @@
 
 #include "support/SourceLoc.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,11 +36,61 @@ enum class DiagKind {
   Note,    ///< Additional context attached to the previous diagnostic.
 };
 
+/// Stable identity of a diagnostic, independent of its message text.
+/// Values are grouped by hundreds into categories (see diagCategory) and
+/// are part of the tool output contract: renumbering an existing ID is a
+/// breaking change to --format=json consumers.
+enum class DiagID : uint16_t {
+  None = 0, ///< Unclassified (legacy call sites); category "general".
+
+  // 1xx — parse: lexing / parsing of either input language.
+  LexError = 101,
+  ParseError = 102,
+
+  // 2xx — type: the off-the-shelf type checkers.
+  TypeError = 201,
+
+  // 3xx — path: symbolic execution and the mix rules.
+  SymExecError = 301,      ///< type error on a feasible path
+  PathsNotExhaustive = 302,
+  ExecBudget = 303,        ///< path/step budget exhausted
+  NoFeasiblePath = 304,
+  ResultTypeMismatch = 305,
+  MemoryInconsistent = 306, ///< |- m ok failed
+  EscapedClosure = 307,
+
+  // 4xx — null: MIXY qualifier inference / null-pointer checking.
+  NullWarning = 401,
+  QualFlowNote = 402,
+  WitnessNote = 403,
+
+  // 5xx — driver: tool-level failures surfaced as diagnostics.
+  EntryNotFound = 501,
+
+  // 6xx — sign: the sign-qualifier extension.
+  SignError = 601,
+};
+
+/// Stable rendering of an ID: "MIX401". DiagID::None renders as "MIX000".
+std::string diagIdString(DiagID ID);
+
+/// Category slug of an ID's hundreds group: "parse", "type", "path",
+/// "null", "driver", "sign", or "general".
+const char *diagCategory(DiagID ID);
+
 /// A single reported diagnostic.
 struct Diagnostic {
   DiagKind Kind = DiagKind::Error;
   SourceLoc Loc;
   std::string Message;
+  DiagID ID = DiagID::None;
+  /// For notes: index (into the engine's diagnostic list) of the error or
+  /// warning this note elaborates, or NoParent for a free-standing note.
+  /// The structural link replaces the old by-adjacency convention; text
+  /// rendering still emits notes right after their parent, so str()
+  /// output is unchanged.
+  static constexpr size_t NoParent = (size_t)-1;
+  size_t Parent = NoParent;
 
   /// Renders the diagnostic in the conventional "line:col: kind: message"
   /// shape used by compilers.
@@ -52,20 +104,26 @@ struct Diagnostic {
 /// caller can snapshot size() before a sub-analysis and diff afterwards.
 class DiagnosticEngine {
 public:
-  void error(SourceLoc Loc, std::string Message) {
-    report(DiagKind::Error, Loc, std::move(Message));
+  void error(SourceLoc Loc, std::string Message, DiagID ID = DiagID::None) {
+    report(DiagKind::Error, Loc, std::move(Message), ID);
   }
-  void warning(SourceLoc Loc, std::string Message) {
-    report(DiagKind::Warning, Loc, std::move(Message));
+  void warning(SourceLoc Loc, std::string Message, DiagID ID = DiagID::None) {
+    report(DiagKind::Warning, Loc, std::move(Message), ID);
   }
-  void note(SourceLoc Loc, std::string Message) {
-    report(DiagKind::Note, Loc, std::move(Message));
+  /// Notes attach structurally to the most recent error or warning (their
+  /// Parent index); a note with no preceding diagnostic stands alone.
+  void note(SourceLoc Loc, std::string Message, DiagID ID = DiagID::None) {
+    report(DiagKind::Note, Loc, std::move(Message), ID);
   }
-  void report(DiagKind Kind, SourceLoc Loc, std::string Message);
+  void report(DiagKind Kind, SourceLoc Loc, std::string Message,
+              DiagID ID = DiagID::None);
 
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
   size_t size() const { return Diags.size(); }
   bool empty() const { return Diags.empty(); }
+
+  /// Indices of the notes attached to the diagnostic at \p Parent.
+  std::vector<size_t> notesFor(size_t Parent) const;
 
   unsigned errorCount() const { return NumErrors; }
   unsigned warningCount() const { return NumWarnings; }
@@ -76,6 +134,13 @@ public:
 
   /// Renders every diagnostic, one per line.
   std::string str() const;
+
+  /// Renders the diagnostics as a JSON array. Errors and warnings become
+  /// objects with "id", "category", "severity", "line", "column",
+  /// "message", and a "notes" array of their structurally attached notes;
+  /// free-standing notes render as top-level objects with an empty notes
+  /// list. The --format=json surface of both CLIs.
+  std::string renderJSON() const;
 
 private:
   std::vector<Diagnostic> Diags;

@@ -7,6 +7,8 @@
 
 #include "support/StringExtras.h"
 
+#include <algorithm>
+
 using namespace mix;
 
 std::string mix::join(const std::vector<std::string> &Parts,
@@ -35,6 +37,58 @@ std::vector<std::string> mix::split(std::string_view S, char Sep) {
   }
   Out.emplace_back(S.substr(Start));
   return Out;
+}
+
+std::string mix::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if ((unsigned char)C < 0x20) {
+        static const char *Hex = "0123456789abcdef";
+        Out += "\\u00";
+        Out += Hex[((unsigned char)C >> 4) & 0xF];
+        Out += Hex[(unsigned char)C & 0xF];
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+unsigned mix::editDistance(std::string_view A, std::string_view B) {
+  // One-row dynamic program; the strings here are flag names, so the
+  // quadratic cost is trivial.
+  std::vector<unsigned> Row(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Row[J] = (unsigned)J;
+  for (size_t I = 1; I <= A.size(); ++I) {
+    unsigned Diag = Row[0];
+    Row[0] = (unsigned)I;
+    for (size_t J = 1; J <= B.size(); ++J) {
+      unsigned Sub = Diag + (A[I - 1] == B[J - 1] ? 0 : 1);
+      Diag = Row[J];
+      Row[J] = std::min({Row[J] + 1, Row[J - 1] + 1, Sub});
+    }
+  }
+  return Row[B.size()];
 }
 
 std::string_view mix::trim(std::string_view S) {

@@ -31,6 +31,14 @@ std::vector<std::string> split(std::string_view S, char Sep);
 /// Trims ASCII whitespace from both ends of \p S.
 std::string_view trim(std::string_view S);
 
+/// Escapes \p S for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string jsonEscape(std::string_view S);
+
+/// Levenshtein edit distance between \p A and \p B (insert, delete,
+/// substitute all cost 1). Used for "did you mean" flag suggestions.
+unsigned editDistance(std::string_view A, std::string_view B);
+
 } // namespace mix
 
 #endif // MIX_SUPPORT_STRINGEXTRAS_H

@@ -401,6 +401,9 @@ std::vector<PathResult> SymExecutor::execIf(const IfExpr *I, const SymEnv &Env,
 
         std::vector<PathResult> Results;
         ++LivePaths;
+        CForks.inc();
+        if (Opts.Trace)
+          Opts.Trace->instant("sym.fork", "sym");
         if (LivePaths > Opts.MaxPaths) {
           HitLimit = true;
           return {PathResult::failure(S1, I->loc(),
@@ -442,6 +445,10 @@ std::vector<PathResult> SymExecutor::execIfDefer(const IfExpr *I,
         if (G->isConst())
           return exec(G->boolValue() ? I->thenExpr() : I->elseExpr(), Env,
                       S1);
+
+        CDefers.inc();
+        if (Opts.Trace)
+          Opts.Trace->instant("sym.defer", "sym");
 
         SymState ThenState = S1;
         ThenState.Path = Arena.andG(S1.Path, G);
@@ -570,6 +577,9 @@ std::vector<PathResult> SymExecutor::execTypedBlock(const BlockExpr *B,
 const MemNode *SymExecutor::havocForTypedBlock(const BlockExpr *B,
                                                const SymEnv &Env,
                                                const MemNode *Mem) {
+  CHavocs.inc();
+  if (Opts.Trace)
+    Opts.Trace->instant("sym.havoc", "sym");
   if (Opts.Havoc == SymExecOptions::HavocPolicy::FullMemory)
     // The paper's rule: "we conservatively set the memory of the output
     // state to a fresh mu'".

@@ -28,6 +28,8 @@
 #define MIX_SYMEXEC_SYMEXECUTOR_H
 
 #include "lang/Ast.h"
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
 #include "support/Diagnostics.h"
 #include "sym/SymArena.h"
 #include "sym/SymToSmt.h"
@@ -162,6 +164,14 @@ struct SymExecOptions {
   /// U"; with PreciseDeref the executor does exactly that (allocation
   /// addresses are distinct by construction; other pairs ask the solver).
   bool PreciseDeref = false;
+
+  /// Observability sinks (see src/observe/). With a registry attached the
+  /// executor maintains "sym.forks", "sym.defers", and "sym.havocs"
+  /// counters; with a trace sink it emits matching "sym.fork" /
+  /// "sym.defer" / "sym.havoc" instant events. Null disables each at one
+  /// branch per site.
+  obs::MetricsRegistry *Metrics = nullptr;
+  obs::TraceSink *Trace = nullptr;
 };
 
 /// Result of a full execution: every path outcome, in exploration order.
@@ -185,7 +195,13 @@ class SymExecutor {
 public:
   SymExecutor(SymArena &Arena, DiagnosticEngine &Diags,
               SymExecOptions Opts = SymExecOptions())
-      : Arena(Arena), Diags(Diags), Opts(Opts) {}
+      : Arena(Arena), Diags(Diags), Opts(Opts) {
+    if (Opts.Metrics) {
+      CForks = Opts.Metrics->counter("sym.forks");
+      CDefers = Opts.Metrics->counter("sym.defers");
+      CHavocs = Opts.Metrics->counter("sym.havocs");
+    }
+  }
 
   /// Installs the mix hook for typed blocks (may be null, in which case
   /// typed blocks are errors — that is "symbolic execution alone").
@@ -263,6 +279,9 @@ private:
   unsigned Steps = 0;
   unsigned LivePaths = 1;
   bool HitLimit = false;
+
+  // Registry handles (null/free when no registry is attached).
+  obs::Counter CForks, CDefers, CHavocs;
 };
 
 } // namespace mix

@@ -10,7 +10,7 @@
 using namespace mix;
 
 const Type *TypeChecker::error(SourceLoc Loc, const std::string &Message) {
-  Diags.error(Loc, Message);
+  Diags.error(Loc, Message, DiagID::TypeError);
   return nullptr;
 }
 

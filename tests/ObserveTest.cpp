@@ -1,0 +1,313 @@
+//===--- ObserveTest.cpp - Tests for the observability subsystem ----------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+// Covers the contracts DESIGN.md section 10 promises: exact counter
+// totals under concurrent increments, detached (null) handles as no-ops,
+// and Chrome-trace JSON that a strict parser accepts with the expected
+// event structure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
+
+#include "TestJson.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace mix::obs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Counters
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, CounterBasics) {
+  MetricsRegistry Reg;
+  Counter C = Reg.counter("test.count");
+  EXPECT_EQ(C.value(), 0u);
+  C.inc();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+  EXPECT_EQ(Reg.counterValue("test.count"), 42u);
+}
+
+TEST(MetricsTest, CounterInterning) {
+  MetricsRegistry Reg;
+  Counter A = Reg.counter("shared");
+  Counter B = Reg.counter("shared");
+  A.add(10);
+  B.add(5);
+  EXPECT_EQ(Reg.counterValue("shared"), 15u);
+}
+
+TEST(MetricsTest, UnregisteredCounterReadsZero) {
+  MetricsRegistry Reg;
+  EXPECT_EQ(Reg.counterValue("never.registered"), 0u);
+  EXPECT_EQ(Reg.histogramSnapshot("never.registered").Count, 0u);
+}
+
+TEST(MetricsTest, DetachedHandlesAreNoOps) {
+  Counter C;
+  EXPECT_FALSE(C);
+  C.inc();
+  C.add(100);
+  EXPECT_EQ(C.value(), 0u);
+
+  Histogram H;
+  EXPECT_FALSE(H);
+  H.record(123);
+  EXPECT_EQ(H.snapshot().Count, 0u);
+}
+
+// The headline concurrency contract: N threads doing relaxed sharded
+// increments must still sum to the exact total at the join barrier.
+TEST(MetricsTest, CounterExactUnderEightThreads) {
+  MetricsRegistry Reg;
+  Counter C = Reg.counter("mt.count");
+  constexpr unsigned Threads = 8;
+  constexpr uint64_t PerThread = 100000;
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([&C] {
+      for (uint64_t I = 0; I != PerThread; ++I)
+        C.inc();
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(C.value(), Threads * PerThread);
+}
+
+TEST(MetricsTest, CountersListedSorted) {
+  MetricsRegistry Reg;
+  Reg.counter("zebra").inc();
+  Reg.counter("alpha").add(2);
+  auto All = Reg.counters();
+  ASSERT_EQ(All.size(), 2u);
+  EXPECT_EQ(All[0].first, "alpha");
+  EXPECT_EQ(All[0].second, 2u);
+  EXPECT_EQ(All[1].first, "zebra");
+  EXPECT_EQ(All[1].second, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Histograms
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, HistogramSnapshot) {
+  MetricsRegistry Reg;
+  Histogram H = Reg.histogram("lat");
+  H.record(1);
+  H.record(10);
+  H.record(100);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 3u);
+  EXPECT_EQ(S.Sum, 111u);
+  EXPECT_EQ(S.Min, 1u);
+  EXPECT_EQ(S.Max, 100u);
+}
+
+TEST(MetricsTest, HistogramBucketing) {
+  EXPECT_EQ(Histogram::bucketOf(0), 0u);
+  EXPECT_EQ(Histogram::bucketOf(1), 0u);
+  EXPECT_EQ(Histogram::bucketOf(2), 1u);
+  EXPECT_EQ(Histogram::bucketOf(3), 1u);
+  EXPECT_EQ(Histogram::bucketOf(4), 2u);
+  EXPECT_EQ(Histogram::bucketOf(1024), 10u);
+  // Huge values clamp to the last bucket instead of indexing out of range.
+  EXPECT_EQ(Histogram::bucketOf(UINT64_MAX), mix::obs::detail::HistogramBuckets - 1);
+}
+
+TEST(MetricsTest, HistogramExactUnderThreads) {
+  MetricsRegistry Reg;
+  Histogram H = Reg.histogram("mt.lat");
+  constexpr unsigned Threads = 8;
+  constexpr uint64_t PerThread = 20000;
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([&H, T] {
+      for (uint64_t I = 0; I != PerThread; ++I)
+        H.record(T + 1);
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, Threads * PerThread);
+  // Sum of (T+1) * PerThread for T in [0, 8) = 36 * PerThread.
+  EXPECT_EQ(S.Sum, 36 * PerThread);
+  EXPECT_EQ(S.Min, 1u);
+  EXPECT_EQ(S.Max, 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry rendering
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, RenderTextSortedPairs) {
+  MetricsRegistry Reg;
+  Reg.counter("b.count").add(2);
+  Reg.counter("a.count").add(1);
+  std::string Text = Reg.renderText();
+  size_t A = Text.find("a.count = 1");
+  size_t B = Text.find("b.count = 2");
+  EXPECT_NE(A, std::string::npos);
+  EXPECT_NE(B, std::string::npos);
+  EXPECT_LT(A, B);
+}
+
+TEST(MetricsTest, RenderJSONWellFormed) {
+  MetricsRegistry Reg;
+  Reg.counter("solver.queries").add(7);
+  Histogram H = Reg.histogram("solver.query_us");
+  H.record(3);
+  H.record(9);
+
+  testjson::Value Doc;
+  std::string Error;
+  ASSERT_TRUE(testjson::parseDocument(Reg.renderJSON(), Doc, &Error)) << Error;
+  ASSERT_TRUE(Doc.isObject());
+  ASSERT_TRUE(Doc.has("counters"));
+  EXPECT_EQ(Doc["counters"]["solver.queries"].Num, 7);
+  ASSERT_TRUE(Doc.has("histograms"));
+  const testjson::Value &Lat = Doc["histograms"]["solver.query_us"];
+  ASSERT_TRUE(Lat.isObject());
+  EXPECT_EQ(Lat["count"].Num, 2);
+  EXPECT_EQ(Lat["sum"].Num, 12);
+  EXPECT_EQ(Lat["min"].Num, 3);
+  EXPECT_EQ(Lat["max"].Num, 9);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace sink
+//===----------------------------------------------------------------------===//
+
+TEST(TraceTest, NullSinkSpanIsSafe) {
+  // The library-wide off switch: spans and instants on a null sink must
+  // be no-ops (this is how every instrumentation site runs untraced).
+  TraceSpan Span(nullptr, "noop", "test");
+  Span.setArgs("{\"k\": 1}");
+  // Destructor runs at scope exit; nothing to assert beyond not crashing.
+}
+
+TEST(TraceTest, EventsRecorded) {
+  TraceSink Sink;
+  Sink.nameCurrentThread("tester");
+  Sink.instant("marker", "test");
+  {
+    TraceSpan Span(&Sink, "phase", "test");
+  }
+  EXPECT_EQ(Sink.eventCount(), 3u);
+}
+
+TEST(TraceTest, RenderJSONWellFormed) {
+  TraceSink Sink;
+  Sink.nameCurrentThread("main");
+  {
+    TraceSpan Outer(&Sink, "outer", "test");
+    Sink.instant("tick", "test", "{\"n\": 1}");
+    TraceSpan Inner(&Sink, "inner", "test");
+  }
+
+  testjson::Value Doc;
+  std::string Error;
+  ASSERT_TRUE(testjson::parseDocument(Sink.renderJSON(), Doc, &Error)) << Error;
+  ASSERT_TRUE(Doc.isObject());
+  ASSERT_TRUE(Doc["traceEvents"].isArray());
+  const testjson::Value &Events = Doc["traceEvents"];
+  ASSERT_EQ(Events.size(), 4u);
+
+  const testjson::Value *Meta = nullptr, *Tick = nullptr, *Outer = nullptr,
+                        *Inner = nullptr;
+  for (size_t I = 0; I != Events.size(); ++I) {
+    const testjson::Value &E = Events[I];
+    ASSERT_TRUE(E.isObject());
+    ASSERT_TRUE(E.has("name"));
+    ASSERT_TRUE(E.has("ph"));
+    if (E["name"].Str == "thread_name")
+      Meta = &E;
+    else if (E["name"].Str == "tick")
+      Tick = &E;
+    else if (E["name"].Str == "outer")
+      Outer = &E;
+    else if (E["name"].Str == "inner")
+      Inner = &E;
+  }
+  ASSERT_NE(Meta, nullptr);
+  ASSERT_NE(Tick, nullptr);
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+
+  EXPECT_EQ((*Meta)["ph"].Str, "M");
+  EXPECT_EQ((*Meta)["args"]["name"].Str, "main");
+  EXPECT_EQ((*Tick)["ph"].Str, "i");
+  EXPECT_EQ((*Tick)["args"]["n"].Num, 1);
+  EXPECT_EQ((*Outer)["ph"].Str, "X");
+  EXPECT_EQ((*Inner)["ph"].Str, "X");
+
+  // Span nesting: the inner span's [ts, ts+dur) interval must lie inside
+  // the outer one's (both were open simultaneously on this thread).
+  double OutStart = (*Outer)["ts"].Num, OutEnd = OutStart + (*Outer)["dur"].Num;
+  double InStart = (*Inner)["ts"].Num, InEnd = InStart + (*Inner)["dur"].Num;
+  EXPECT_GE(InStart, OutStart);
+  EXPECT_LE(InEnd, OutEnd);
+  EXPECT_EQ((*Outer)["tid"].Num, (*Inner)["tid"].Num);
+}
+
+TEST(TraceTest, EventsSortedByTimestamp) {
+  TraceSink Sink;
+  for (int I = 0; I != 20; ++I)
+    Sink.instant("e", "test");
+  testjson::Value Doc;
+  std::string Error;
+  ASSERT_TRUE(testjson::parseDocument(Sink.renderJSON(), Doc, &Error)) << Error;
+  const testjson::Value &Events = Doc["traceEvents"];
+  double Prev = -1;
+  for (size_t I = 0; I != Events.size(); ++I) {
+    EXPECT_GE(Events[I]["ts"].Num, Prev);
+    Prev = Events[I]["ts"].Num;
+  }
+}
+
+TEST(TraceTest, ConcurrentRecordingKeepsEveryEvent) {
+  TraceSink Sink;
+  constexpr unsigned Threads = 8;
+  constexpr unsigned PerThread = 2000;
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([&Sink] {
+      for (unsigned I = 0; I != PerThread; ++I)
+        Sink.instant("e", "mt");
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(Sink.eventCount(), Threads * PerThread);
+  testjson::Value Doc;
+  std::string Error;
+  ASSERT_TRUE(testjson::parseDocument(Sink.renderJSON(), Doc, &Error)) << Error;
+  EXPECT_EQ(Doc["traceEvents"].size(), Threads * PerThread);
+}
+
+TEST(TraceTest, ArgsEscapedStringsSurvive) {
+  TraceSink Sink;
+  Sink.instant("quoted", "test", "{\"s\": \"a \\\"b\\\" c\"}");
+  testjson::Value Doc;
+  std::string Error;
+  ASSERT_TRUE(testjson::parseDocument(Sink.renderJSON(), Doc, &Error)) << Error;
+  EXPECT_EQ(Doc["traceEvents"][0]["args"]["s"].Str, "a \"b\" c");
+}
+
+TEST(ThreadSlotTest, StableWithinThreadDistinctAcross) {
+  unsigned Main = threadSlot();
+  EXPECT_EQ(threadSlot(), Main);
+  unsigned Other = Main;
+  std::thread([&Other] { Other = threadSlot(); }).join();
+  EXPECT_NE(Other, Main);
+}
+
+} // namespace

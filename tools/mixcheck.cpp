@@ -8,12 +8,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/Driver.h"
+#include "driver/InputLoader.h"
 #include "lang/AstPrinter.h"
 #include "lang/Parser.h"
 #include "mix/AutoPlacement.h"
 #include "mix/MixChecker.h"
 
-#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -46,10 +47,16 @@ options:
   --var name:type         add a free variable to Gamma (type: int, bool,
                           'int ref', ...); may be repeated
   --print-program         echo the (possibly auto-annotated) program
+  --format=text|json      diagnostic rendering: text to stderr (default)
+                          or one JSON document on stdout
+  --trace=FILE            write a Chrome-trace-format JSON timeline
+                          (load in chrome://tracing or Perfetto)
+  --metrics=FILE          write all counters and histograms as JSON
   --stats                 print analysis statistics
   --help                  this text
 
-exit status: 0 when the program checks, 1 otherwise.
+exit status: 0 when the program checks, 1 when it is rejected, 2 on
+usage or parse errors.
 )";
 }
 
@@ -77,112 +84,114 @@ const Type *parseTypeSpec(TypeContext &Types, const std::string &Spec) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string Path;
+  bool Help = false;
   bool Symbolic = false;
   bool AutoPlace = false;
   bool PrintProgram = false;
-  bool Stats = false;
   MixOptions Opts;
   std::vector<std::pair<std::string, std::string>> VarSpecs;
 
-  for (int I = 1; I != Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg == "--help") {
-      printUsage();
-      return 0;
-    } else if (Arg == "--mode=typed") {
+  driver::OptionParser Parser("mixcheck");
+  driver::DriverContext Driver;
+  Driver.registerOptions(Parser);
+  Parser.flag("--help", &Help);
+  Parser.value("--mode", [&](const std::string &V) {
+    if (V == "typed")
       Symbolic = false;
-    } else if (Arg == "--mode=symbolic") {
+    else if (V == "symbolic")
       Symbolic = true;
-    } else if (Arg == "--strategy=fork") {
+    else
+      return false;
+    return true;
+  });
+  Parser.value("--strategy", [&](const std::string &V) {
+    if (V == "fork")
       Opts.Exec.Strat = SymExecOptions::Strategy::Fork;
-    } else if (Arg == "--strategy=defer") {
+    else if (V == "defer")
       Opts.Exec.Strat = SymExecOptions::Strategy::Defer;
-    } else if (Arg == "--havoc=full") {
+    else
+      return false;
+    return true;
+  });
+  Parser.value("--havoc", [&](const std::string &V) {
+    if (V == "full")
       Opts.Exec.Havoc = SymExecOptions::HavocPolicy::FullMemory;
-    } else if (Arg == "--havoc=effects") {
+    else if (V == "effects")
       Opts.Exec.Havoc = SymExecOptions::HavocPolicy::WriteEffects;
-    } else if (Arg == "--precise-deref") {
-      Opts.Exec.PreciseDeref = true;
-    } else if (Arg == "--assume-complete") {
-      Opts.Exhaustive = MixOptions::Exhaustiveness::AssumeComplete;
-    } else if (Arg == "--explore=concolic") {
+    else
+      return false;
+    return true;
+  });
+  Parser.flag("--precise-deref", &Opts.Exec.PreciseDeref);
+  Parser.flag("--assume-complete", [&] {
+    Opts.Exhaustive = MixOptions::Exhaustiveness::AssumeComplete;
+  });
+  Parser.value("--explore", [&](const std::string &V) {
+    if (V == "concolic")
       Opts.Explore = MixOptions::Exploration::Concolic;
-    } else if (Arg == "--explore=all") {
+    else if (V == "all")
       Opts.Explore = MixOptions::Exploration::AllPaths;
-    } else if (Arg == "--auto-place") {
-      AutoPlace = true;
-    } else if (Arg.rfind("--jobs=", 0) == 0) {
-      std::string N = Arg.substr(7);
-      if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos) {
-        std::cerr << "mixcheck: bad --jobs value '" << N << "'\n";
-        return 2;
-      }
-      Opts.Jobs = (unsigned)std::stoul(N);
-      if (Opts.Jobs == 0)
-        Opts.Jobs = rt::ThreadPool::hardwareWorkers();
-    } else if (Arg == "--var" && I + 1 != Argc) {
-      std::string Spec = Argv[++I];
-      size_t Colon = Spec.find(':');
-      if (Colon == std::string::npos) {
-        std::cerr << "mixcheck: bad --var spec '" << Spec
-                  << "' (want name:type)\n";
-        return 2;
-      }
-      VarSpecs.emplace_back(Spec.substr(0, Colon), Spec.substr(Colon + 1));
-    } else if (Arg == "--print-program") {
-      PrintProgram = true;
-    } else if (Arg == "--stats") {
-      Stats = true;
-    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
-      std::cerr << "mixcheck: unknown option '" << Arg << "'\n";
-      return 2;
-    } else if (Path.empty()) {
-      Path = Arg;
-    } else {
-      std::cerr << "mixcheck: extra argument '" << Arg << "'\n";
-      return 2;
-    }
-  }
-  if (Path.empty()) {
+    else
+      return false;
+    return true;
+  });
+  Parser.flag("--auto-place", &AutoPlace);
+  Parser.jobs(&Opts.Jobs);
+  Parser.separateValue("--var", [&](const std::string &Spec) {
+    size_t Colon = Spec.find(':');
+    if (Colon == std::string::npos)
+      return false;
+    VarSpecs.emplace_back(Spec.substr(0, Colon), Spec.substr(Colon + 1));
+    return true;
+  });
+  Parser.flag("--print-program", &PrintProgram);
+
+  if (!Parser.parse(Argc, Argv))
+    return driver::ExitUsage;
+  if (Help) {
     printUsage();
-    return 2;
+    return driver::ExitClean;
+  }
+  if (Parser.positionals().size() > 1) {
+    std::cerr << "mixcheck: extra argument '" << Parser.positionals()[1]
+              << "'\n";
+    return driver::ExitUsage;
+  }
+  if (Parser.positionals().empty()) {
+    printUsage();
+    return driver::ExitUsage;
   }
 
   std::string Source;
-  if (Path == "-") {
-    std::ostringstream Buf;
-    Buf << std::cin.rdbuf();
-    Source = Buf.str();
-  } else {
-    std::ifstream In(Path);
-    if (!In) {
-      std::cerr << "mixcheck: cannot open '" << Path << "'\n";
-      return 2;
-    }
-    std::ostringstream Buf;
-    Buf << In.rdbuf();
-    Source = Buf.str();
-  }
+  if (!driver::loadInput("mixcheck", Parser.positionals()[0], Source))
+    return driver::ExitUsage;
+
+  // Observability: every analysis below reports into the driver's
+  // registry; the trace sink is attached only under --trace.
+  Opts.Metrics = &Driver.metrics();
+  Opts.Trace = Driver.traceSink();
 
   AstContext Ctx;
   DiagnosticEngine Diags;
   const Expr *Program = parseExpression(Source, Ctx, Diags);
   if (!Program) {
-    std::cerr << Diags.str();
-    return 1;
+    Driver.emitDiagnostics(Diags);
+    Driver.writeArtifacts("mixcheck");
+    return driver::ExitUsage;
   }
 
   TypeEnv Gamma;
   for (const auto &[Name, Spec] : VarSpecs) {
     const Type *T = parseTypeSpec(Ctx.types(), Spec);
     if (!T) {
-      std::cerr << "mixcheck: bad type '" << Spec << "' for variable "
-                << Name << "\n";
-      return 2;
+      std::cerr << "mixcheck: bad type '" << Spec << "' for variable " << Name
+                << "\n";
+      return driver::ExitUsage;
     }
     Gamma[Name] = T;
   }
+
+  std::ostream &Info = Driver.jsonOutput() ? std::cerr : std::cout;
 
   const Type *ResultType = nullptr;
   if (AutoPlace) {
@@ -194,35 +203,42 @@ int main(int Argc, char **Argv) {
     ResultType = R.ResultType;
     Program = R.Program;
     if (R.BlocksInserted)
-      std::cout << "auto-placement inserted " << R.BlocksInserted
-                << " symbolic block(s) in " << R.Refinements
-                << " refinement(s)\n";
+      Info << "auto-placement inserted " << R.BlocksInserted
+           << " symbolic block(s) in " << R.Refinements << " refinement(s)\n";
   } else {
     MixChecker Mix(Ctx.types(), Diags, Opts);
     ResultType = Symbolic ? Mix.checkSymbolic(Program, Gamma)
                           : Mix.checkTyped(Program, Gamma);
-    if (Stats) {
-      std::cout << "symbolic blocks checked : "
-                << Mix.stats().SymBlocksChecked << "\n"
-                << "typed blocks executed   : "
-                << Mix.stats().TypedBlocksExecuted << "\n"
-                << "paths explored          : "
-                << Mix.stats().PathsExplored << "\n"
-                << "infeasible discarded    : "
-                << Mix.stats().InfeasiblePathsDiscarded << "\n"
-                << "solver queries          : "
-                << Mix.solver().stats().Queries << "\n";
-    }
+  }
+
+  if (Driver.statsRequested() && !AutoPlace) {
+    // Rendered from the metrics registry — the same numbers --metrics
+    // exports (and, serially, the same the pre-registry tool printed).
+    const obs::MetricsRegistry &Reg = Driver.metrics();
+    Info << "symbolic blocks checked : "
+         << Reg.counterValue("mix.sym_blocks_checked") << "\n"
+         << "typed blocks executed   : "
+         << Reg.counterValue("mix.typed_blocks_executed") << "\n"
+         << "paths explored          : "
+         << Reg.counterValue("mix.paths_explored") << "\n"
+         << "infeasible discarded    : "
+         << Reg.counterValue("mix.paths_infeasible") << "\n"
+         << "solver queries          : " << Reg.counterValue("solver.queries")
+         << "\n";
   }
 
   if (PrintProgram)
-    std::cout << printExpr(Program) << "\n";
+    Info << printExpr(Program) << "\n";
 
-  std::cerr << Diags.str();
+  Driver.emitDiagnostics(Diags);
+  if (!Driver.writeArtifacts("mixcheck"))
+    return driver::ExitUsage;
   if (!ResultType) {
-    std::cout << "rejected\n";
-    return 1;
+    if (!Driver.jsonOutput())
+      std::cout << "rejected\n";
+    return driver::ExitFindings;
   }
-  std::cout << "ok: " << ResultType->str() << "\n";
-  return 0;
+  if (!Driver.jsonOutput())
+    std::cout << "ok: " << ResultType->str() << "\n";
+  return driver::ExitClean;
 }

@@ -10,16 +10,18 @@
 //===----------------------------------------------------------------------===//
 
 #include "cfront/CParser.h"
+#include "driver/Driver.h"
+#include "driver/InputLoader.h"
 #include "mixy/Mixy.h"
 #include "mixy/VsftpdMini.h"
 
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 
 using namespace mix::c;
 using mix::DiagnosticEngine;
+namespace driver = mix::driver;
+namespace obs = mix::obs;
 
 namespace {
 
@@ -40,6 +42,11 @@ options:
   --jobs=N            analyze symbolic blocks on N worker threads
                       (default 1 = serial; 0 = one per hardware thread)
   --warn-derefs       treat every dereference as a nonnull requirement
+  --format=text|json  diagnostic rendering: text to stderr (default) or
+                      one JSON document on stdout
+  --trace=FILE        write a Chrome-trace-format JSON timeline (load in
+                      chrome://tracing or Perfetto)
+  --metrics=FILE      write all counters and histograms as JSON
   --stats             print analysis statistics
   --help              this text
 
@@ -47,97 +54,97 @@ exit status: 0 with no warnings, 1 with warnings, 2 on usage/parse errors.
 )";
 }
 
+/// The built-in corpus behind '@' specs ("case1".."case4" and "vsftpd",
+/// with an optional ":baseline" suffix for the un-annotated variants).
+bool resolveCorpus(const std::string &Spec, std::string &SourceOut) {
+  bool Annotated = Spec.find(":baseline") == std::string::npos;
+  std::string Corpus = Spec.substr(0, Spec.find(':'));
+  if (Corpus == "vsftpd") {
+    SourceOut = corpus::vsftpdFull(Annotated);
+    return true;
+  }
+  if (Corpus.size() == 5 && Corpus.rfind("case", 0) == 0 && Corpus[4] >= '1' &&
+      Corpus[4] <= '4') {
+    SourceOut = corpus::vsftpdCase(Corpus[4] - '0', Annotated);
+    return true;
+  }
+  return false;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string Path;
+  bool Help = false;
   std::string Entry = "main";
   bool Baseline = false;
-  bool Stats = false;
   MixyAnalysis::StartMode Mode = MixyAnalysis::StartMode::Typed;
   MixyOptions Opts;
 
-  for (int I = 1; I != Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg == "--help") {
-      printUsage();
-      return 0;
-    } else if (Arg == "--baseline") {
-      Baseline = true;
-    } else if (Arg.rfind("--entry=", 0) == 0) {
-      Entry = Arg.substr(8);
-    } else if (Arg == "--start=typed") {
+  driver::OptionParser Parser("mixyc");
+  driver::DriverContext Driver;
+  Driver.registerOptions(Parser);
+  Parser.flag("--help", &Help);
+  Parser.flag("--baseline", &Baseline);
+  Parser.value("--entry", [&](const std::string &V) {
+    if (V.empty())
+      return false;
+    Entry = V;
+    return true;
+  });
+  Parser.value("--start", [&](const std::string &V) {
+    if (V == "typed")
       Mode = MixyAnalysis::StartMode::Typed;
-    } else if (Arg == "--start=symbolic") {
+    else if (V == "symbolic")
       Mode = MixyAnalysis::StartMode::Symbolic;
-    } else if (Arg == "--no-cache") {
-      Opts.EnableCache = false;
-    } else if (Arg == "--no-alias-restore") {
-      Opts.RestoreAliasing = false;
-    } else if (Arg.rfind("--jobs=", 0) == 0) {
-      std::string N = Arg.substr(7);
-      if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos) {
-        std::cerr << "mixyc: bad --jobs value '" << N << "'\n";
-        return 2;
-      }
-      Opts.Jobs = (unsigned)std::stoul(N);
-      if (Opts.Jobs == 0)
-        Opts.Jobs = mix::rt::ThreadPool::hardwareWorkers();
-    } else if (Arg == "--warn-derefs") {
-      Opts.Qual.WarnAllDereferences = true;
-      Opts.Sym.CheckDereferences = true;
-    } else if (Arg == "--stats") {
-      Stats = true;
-    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
-      std::cerr << "mixyc: unknown option '" << Arg << "'\n";
-      return 2;
-    } else if (Path.empty()) {
-      Path = Arg;
-    } else {
-      std::cerr << "mixyc: extra argument '" << Arg << "'\n";
-      return 2;
-    }
-  }
-  if (Path.empty()) {
+    else
+      return false;
+    return true;
+  });
+  Parser.flag("--no-cache", [&] { Opts.EnableCache = false; });
+  Parser.flag("--no-alias-restore", [&] { Opts.RestoreAliasing = false; });
+  Parser.jobs(&Opts.Jobs);
+  Parser.flag("--warn-derefs", [&] {
+    Opts.Qual.WarnAllDereferences = true;
+    Opts.Sym.CheckDereferences = true;
+  });
+
+  if (!Parser.parse(Argc, Argv))
+    return driver::ExitUsage;
+  if (Help) {
     printUsage();
-    return 2;
+    return driver::ExitClean;
+  }
+  if (Parser.positionals().size() > 1) {
+    std::cerr << "mixyc: extra argument '" << Parser.positionals()[1] << "'\n";
+    return driver::ExitUsage;
+  }
+  if (Parser.positionals().empty()) {
+    printUsage();
+    return driver::ExitUsage;
   }
 
   std::string Source;
-  if (!Path.empty() && Path[0] == '@') {
-    bool Annotated = Path.find(":baseline") == std::string::npos;
-    std::string Corpus = Path.substr(1, Path.find(':') - 1);
-    if (Corpus == "vsftpd")
-      Source = corpus::vsftpdFull(Annotated);
-    else if (Corpus.size() == 5 && Corpus.rfind("case", 0) == 0 &&
-             Corpus[4] >= '1' && Corpus[4] <= '4')
-      Source = corpus::vsftpdCase(Corpus[4] - '0', Annotated);
-    else {
-      std::cerr << "mixyc: unknown corpus '" << Path << "'\n";
-      return 2;
-    }
-  } else if (Path == "-") {
-    std::ostringstream Buf;
-    Buf << std::cin.rdbuf();
-    Source = Buf.str();
-  } else {
-    std::ifstream In(Path);
-    if (!In) {
-      std::cerr << "mixyc: cannot open '" << Path << "'\n";
-      return 2;
-    }
-    std::ostringstream Buf;
-    Buf << In.rdbuf();
-    Source = Buf.str();
-  }
+  if (!driver::loadInput("mixyc", Parser.positionals()[0], Source,
+                         resolveCorpus))
+    return driver::ExitUsage;
+
+  // Observability: the analysis (solver, caches, pool, fixpoint driver)
+  // reports into the driver's registry; the trace sink is attached only
+  // under --trace.
+  Opts.Metrics = &Driver.metrics();
+  Opts.Trace = Driver.traceSink();
 
   CAstContext Ctx;
   DiagnosticEngine Diags;
   const CProgram *Program = parseC(Source, Ctx, Diags);
   if (!Program) {
-    std::cerr << Diags.str();
-    return 2;
+    Driver.emitDiagnostics(Diags);
+    Driver.writeArtifacts("mixyc");
+    return driver::ExitUsage;
   }
+
+  std::ostream &Info = Driver.jsonOutput() ? std::cerr : std::cout;
+  obs::MetricsRegistry &Reg = Driver.metrics();
 
   unsigned Warnings = 0;
   if (Baseline) {
@@ -145,37 +152,46 @@ int main(int Argc, char **Argv) {
     Inference.analyzeAll();
     Inference.solve();
     Warnings = Inference.reportWarnings();
-    if (Stats)
-      std::cout << "qualifier variables : "
-                << Inference.graph().numNodes() << "\n"
-                << "flow edges          : " << Inference.graph().numEdges()
-                << "\n";
+    Reg.counter("qual.variables").add(Inference.graph().numNodes());
+    Reg.counter("qual.flow_edges").add(Inference.graph().numEdges());
+    if (Driver.statsRequested())
+      Info << "qualifier variables : " << Reg.counterValue("qual.variables")
+           << "\n"
+           << "flow edges          : " << Reg.counterValue("qual.flow_edges")
+           << "\n";
   } else {
     MixyAnalysis Analysis(*Program, Ctx, Diags, Opts);
     Warnings = Analysis.run(Mode, Entry);
-    if (Stats) {
-      const MixyStats &S = Analysis.stats();
-      std::cout << "typed->symbolic switches : " << S.SymbolicCallsFromTyped
-                << "\n"
-                << "symbolic->typed switches : " << S.TypedCallsFromSymbolic
-                << "\n"
-                << "symbolic block runs      : " << S.SymbolicBlockRuns
-                << " (+" << S.SymbolicCacheHits << " cached)\n"
-                << "typed block runs         : " << S.TypedBlockRuns << " (+"
-                << S.TypedCacheHits << " cached)\n"
-                << "fixpoint iterations      : " << S.FixpointIterations
-                << "\n"
-                << "recursions detected      : " << S.RecursionsDetected
-                << "\n";
+    if (Driver.statsRequested()) {
+      // Rendered from the metrics registry — the same numbers --metrics
+      // exports (MixyAnalysis publishes its stats there at the end of
+      // each run).
+      Info << "typed->symbolic switches : "
+           << Reg.counterValue("mixy.switch.typed_to_sym") << "\n"
+           << "symbolic->typed switches : "
+           << Reg.counterValue("mixy.switch.sym_to_typed") << "\n"
+           << "symbolic block runs      : "
+           << Reg.counterValue("mixy.sym_block_runs") << " (+"
+           << Reg.counterValue("mixy.sym_cache_hits") << " cached)\n"
+           << "typed block runs         : "
+           << Reg.counterValue("mixy.typed_block_runs") << " (+"
+           << Reg.counterValue("mixy.typed_cache_hits") << " cached)\n"
+           << "fixpoint iterations      : "
+           << Reg.counterValue("mixy.fixpoint_rounds") << "\n"
+           << "recursions detected      : "
+           << Reg.counterValue("mixy.recursions") << "\n";
       if (Opts.Jobs > 1)
-        std::cout << "sym block cache          : "
-                  << Analysis.symCacheStats().str() << "\n"
-                  << "typed block cache        : "
-                  << Analysis.typedCacheStats().str() << "\n";
+        Info << "sym block cache          : " << Analysis.symCacheStats().str()
+             << "\n"
+             << "typed block cache        : "
+             << Analysis.typedCacheStats().str() << "\n";
     }
   }
 
-  std::cerr << Diags.str();
-  std::cout << Warnings << " warning(s)\n";
-  return Warnings == 0 ? 0 : 1;
+  Driver.emitDiagnostics(Diags);
+  if (!Driver.writeArtifacts("mixyc"))
+    return driver::ExitUsage;
+  if (!Driver.jsonOutput())
+    std::cout << Warnings << " warning(s)\n";
+  return Warnings == 0 ? driver::ExitClean : driver::ExitFindings;
 }
