@@ -172,6 +172,15 @@ public:
   DiagnosticEngine &diags() { return Diags; }
   const CProgram &program() const { return Program; }
 
+  /// Seeds the cross-run warning dedup set without reporting anything.
+  /// Returns true when the warning was not yet recorded. MIXY uses this
+  /// when replaying persisted block diagnostics, so a replayed warning
+  /// and a freshly executed one deduplicate against each other exactly
+  /// as two fresh runs would.
+  bool tryMarkWarningEmitted(SourceLoc Loc, const std::string &Message) {
+    return EmittedWarnings.insert(Loc.str() + "|" + Message).second;
+  }
+
   /// Cumulative statistics.
   struct Stats {
     unsigned PathsExplored = 0;

@@ -13,32 +13,80 @@
 using namespace mix::driver;
 
 void DriverContext::registerOptions(OptionParser &P) {
-  P.value("--trace", [this](const std::string &V) {
-    if (V.empty())
-      return false;
-    TraceFile = V;
-    return true;
-  });
-  P.value("--metrics", [this](const std::string &V) {
-    if (V.empty())
-      return false;
-    MetricsFile = V;
-    return true;
-  });
-  P.value("--format", [this](const std::string &V) {
-    if (V == "text")
-      Json = false;
-    else if (V == "json")
-      Json = true;
-    else
-      return false;
-    return true;
-  });
-  P.flag("--stats", &Stats);
+  P.value(
+      "--trace",
+      [this](const std::string &V) {
+        if (V.empty())
+          return false;
+        TraceFile = V;
+        return true;
+      },
+      "FILE", "write a JSON event trace of the run to FILE");
+  P.value(
+      "--metrics",
+      [this](const std::string &V) {
+        if (V.empty())
+          return false;
+        MetricsFile = V;
+        return true;
+      },
+      "FILE", "write the metrics registry as JSON to FILE");
+  P.value(
+      "--format",
+      [this](const std::string &V) {
+        if (V == "text")
+          Json = false;
+        else if (V == "json")
+          Json = true;
+        else
+          return false;
+        return true;
+      },
+      "text|json",
+      "diagnostic output format: text to stderr (default) or one JSON\n"
+      "document to stdout");
+  P.flag("--stats", &Stats, "print analysis statistics after the run");
+  P.value(
+      "--cache-dir",
+      [this](const std::string &V) {
+        if (V.empty())
+          return false;
+        CacheDir = V;
+        return true;
+      },
+      "DIR",
+      "persist solver results (and, with --incremental, block summaries)\n"
+      "under DIR and reuse them on later runs");
+}
+
+mix::persist::PersistSession *
+DriverContext::openPersist(bool Incremental, uint64_t BlockFingerprint,
+                           DiagnosticEngine &Diags) {
+  if (CacheDir.empty())
+    return nullptr;
+  persist::PersistOptions PO;
+  PO.Dir = CacheDir;
+  PO.Incremental = Incremental;
+  PO.BlockFingerprint = BlockFingerprint;
+  PO.Metrics = &Registry;
+  Persist = std::make_unique<persist::PersistSession>(std::move(PO));
+  if (!Persist->degradedReason().empty())
+    Diags.note(SourceLoc(),
+               "persistent cache unusable (" + Persist->degradedReason() +
+                   "); analysis starts cold",
+               DiagID::CacheDegraded);
+  return Persist.get();
 }
 
 bool DriverContext::writeArtifacts(const std::string &Tool) {
   bool Ok = true;
+  if (Persist) {
+    // A failed save only costs the next run its warm start; the analysis
+    // already finished, so warn without touching the exit code.
+    std::string Error;
+    if (!Persist->save(&Error))
+      std::cerr << Tool << ": warning: cache not saved: " << Error << "\n";
+  }
   if (!TraceFile.empty())
     Ok = writeFile(Tool, TraceFile, Sink.renderJSON()) && Ok;
   if (!MetricsFile.empty())

@@ -29,8 +29,10 @@
 #include "driver/OptionParser.h"
 #include "observe/Metrics.h"
 #include "observe/Trace.h"
+#include "persist/PersistSession.h"
 #include "support/Diagnostics.h"
 
+#include <memory>
 #include <string>
 
 namespace mix::driver {
@@ -39,7 +41,8 @@ namespace mix::driver {
 /// switches, shared verbatim by both CLIs.
 class DriverContext {
 public:
-  /// Registers --trace, --metrics, --format, and --stats on \p P.
+  /// Registers --trace, --metrics, --format, --stats, and --cache-dir
+  /// on \p P.
   void registerOptions(OptionParser &P);
 
   /// The registry every analysis in the process reports into.
@@ -53,8 +56,24 @@ public:
   bool statsRequested() const { return Stats; }
   bool jsonOutput() const { return Json; }
 
-  /// Writes the --trace and --metrics artifacts, if requested. Returns
-  /// false (with an error on stderr) when a file cannot be written.
+  /// Did the user pass --cache-dir?
+  bool cacheDirRequested() const { return !CacheDir.empty(); }
+  const std::string &cacheDir() const { return CacheDir; }
+
+  /// Opens the persistent cache session for this run, or returns null
+  /// when --cache-dir was not given. Loads whatever the directory holds;
+  /// a rejected cache (corruption, version skew, unusable directory)
+  /// degrades to a cold session and reports one free-standing MIX502
+  /// note on \p Diags — never an error, findings are unaffected. The
+  /// session is owned by the context and saved by writeArtifacts.
+  persist::PersistSession *openPersist(bool Incremental,
+                                       uint64_t BlockFingerprint,
+                                       DiagnosticEngine &Diags);
+
+  /// Writes the --trace and --metrics artifacts, if requested, and saves
+  /// the persistent cache session (if open). Returns false (with an
+  /// error on stderr) when a file cannot be written; a cache save
+  /// failure warns on stderr but does not fail the run.
   bool writeArtifacts(const std::string &Tool);
 
   /// Renders \p Diags the way the selected --format dictates: text to
@@ -66,6 +85,8 @@ private:
   obs::TraceSink Sink;
   std::string TraceFile;
   std::string MetricsFile;
+  std::string CacheDir;
+  std::unique_ptr<persist::PersistSession> Persist;
   bool Stats = false;
   bool Json = false;
 };

@@ -11,48 +11,109 @@
 #include "support/StringExtras.h"
 
 #include <iostream>
+#include <sstream>
 
 using namespace mix::driver;
 
-void OptionParser::flag(const std::string &Name, bool *Target) {
-  flag(Name, [Target] { *Target = true; });
+void OptionParser::flag(const std::string &Name, bool *Target,
+                        const std::string &Help) {
+  flag(Name, [Target] { *Target = true; }, Help);
 }
 
-void OptionParser::flag(const std::string &Name, std::function<void()> Fn) {
+void OptionParser::flag(const std::string &Name, std::function<void()> Fn,
+                        const std::string &Help) {
   Option O;
   O.Name = Name;
   O.Run = std::move(Fn);
+  O.Help = Help;
   Options.push_back(std::move(O));
 }
 
 void OptionParser::value(const std::string &Name,
-                         std::function<bool(const std::string &)> Fn) {
+                         std::function<bool(const std::string &)> Fn,
+                         const std::string &Meta, const std::string &Help) {
   Option O;
   O.Name = Name;
   O.TakesValue = true;
   O.Apply = std::move(Fn);
+  O.Meta = Meta;
+  O.Help = Help;
   Options.push_back(std::move(O));
 }
 
 void OptionParser::separateValue(const std::string &Name,
-                                 std::function<bool(const std::string &)> Fn) {
+                                 std::function<bool(const std::string &)> Fn,
+                                 const std::string &Meta,
+                                 const std::string &Help) {
   Option O;
   O.Name = Name;
   O.TakesValue = true;
   O.Separate = true;
   O.Apply = std::move(Fn);
+  O.Meta = Meta;
+  O.Help = Help;
   Options.push_back(std::move(O));
 }
 
-void OptionParser::jobs(unsigned *Jobs) {
-  value("--jobs", [Jobs](const std::string &V) {
-    if (V.empty() || V.find_first_not_of("0123456789") != std::string::npos)
-      return false;
-    *Jobs = (unsigned)std::stoul(V);
-    if (*Jobs == 0)
-      *Jobs = rt::ThreadPool::hardwareWorkers();
-    return true;
-  });
+void OptionParser::jobs(unsigned *Jobs, const std::string &Help) {
+  value(
+      "--jobs",
+      [Jobs](const std::string &V) {
+        if (V.empty() || V.find_first_not_of("0123456789") != std::string::npos)
+          return false;
+        *Jobs = (unsigned)std::stoul(V);
+        if (*Jobs == 0)
+          *Jobs = rt::ThreadPool::hardwareWorkers();
+        return true;
+      },
+      "N",
+      Help.empty() ? "analyze with N worker threads (0 = one per hardware "
+                     "thread; default 1)"
+                   : Help);
+}
+
+std::string OptionParser::renderHelp() const {
+  // Left column: "--name" / "--name=META" / "--name META", padded to the
+  // widest registered spelling so descriptions line up.
+  std::vector<std::string> Spellings;
+  size_t Widest = 0;
+  for (const Option &O : Options) {
+    std::string S = O.Name;
+    if (O.TakesValue)
+      S += (O.Separate ? " " : "=") + O.Meta;
+    Widest = std::max(Widest, S.size());
+    Spellings.push_back(std::move(S));
+  }
+
+  std::ostringstream OS;
+  for (size_t I = 0; I != Options.size(); ++I) {
+    OS << "  " << Spellings[I];
+    if (!Options[I].Help.empty()) {
+      // Continuation lines (after '\n' in the help text) indent to the
+      // description column.
+      OS << std::string(Widest - Spellings[I].size() + 2, ' ');
+      std::string Indent(Widest + 4, ' ');
+      const std::string &H = Options[I].Help;
+      for (size_t Pos = 0;;) {
+        size_t NL = H.find('\n', Pos);
+        OS << H.substr(Pos, NL == std::string::npos ? NL : NL - Pos);
+        if (NL == std::string::npos)
+          break;
+        OS << "\n" << Indent;
+        Pos = NL + 1;
+      }
+    }
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+std::vector<std::string> OptionParser::optionNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Options.size());
+  for (const Option &O : Options)
+    Names.push_back(O.Name);
+  return Names;
 }
 
 std::string OptionParser::suggestionFor(const std::string &Flag) const {

@@ -39,28 +39,47 @@ enum ExitCode : int {
 };
 
 /// Registers named options, parses argv, collects positionals.
+///
+/// Every registration carries the option's help text, and renderHelp()
+/// generates the "options:" section of --help from the registrations in
+/// order — so the help can never drift from what the parser actually
+/// accepts (a golden test walks optionNames() against renderHelp()).
 class OptionParser {
 public:
   explicit OptionParser(std::string Tool) : Tool(std::move(Tool)) {}
 
   /// --name (no value): sets \p *Target.
-  void flag(const std::string &Name, bool *Target);
+  void flag(const std::string &Name, bool *Target,
+            const std::string &Help = std::string());
 
   /// --name (no value): runs \p Fn.
-  void flag(const std::string &Name, std::function<void()> Fn);
+  void flag(const std::string &Name, std::function<void()> Fn,
+            const std::string &Help = std::string());
 
   /// --name=VALUE: runs \p Fn; returning false rejects the value (the
-  /// parser reports "bad --name value 'VALUE'").
+  /// parser reports "bad --name value 'VALUE'"). \p Meta is the value
+  /// placeholder in help ("FILE", "N", "text|json").
   void value(const std::string &Name,
-             std::function<bool(const std::string &)> Fn);
+             std::function<bool(const std::string &)> Fn,
+             const std::string &Meta = "VALUE",
+             const std::string &Help = std::string());
 
   /// --name VALUE (value in the next argv slot).
   void separateValue(const std::string &Name,
-                     std::function<bool(const std::string &)> Fn);
+                     std::function<bool(const std::string &)> Fn,
+                     const std::string &Meta = "VALUE",
+                     const std::string &Help = std::string());
 
   /// The shared --jobs=N option: digits only, 0 resolves to one worker
   /// per hardware thread, result stored into \p *Jobs.
-  void jobs(unsigned *Jobs);
+  void jobs(unsigned *Jobs, const std::string &Help = std::string());
+
+  /// The "options:" body of --help: one line (or more, on '\n' in the
+  /// help text) per registered option, in registration order.
+  std::string renderHelp() const;
+
+  /// Every registered option name, in registration order.
+  std::vector<std::string> optionNames() const;
 
   /// Parses \p Argv. Returns false (after printing to stderr) on an
   /// unknown option, a missing/invalid value, or an unconsumed '='.
@@ -83,6 +102,8 @@ private:
     bool Separate = false;                         ///< --name VALUE
     std::function<bool(const std::string &)> Apply; ///< value handler
     std::function<void()> Run;                     ///< flag handler
+    std::string Meta;                              ///< value placeholder
+    std::string Help;                              ///< one-line description
   };
 
   bool usageError(const std::string &Message) const;

@@ -25,6 +25,7 @@
 #define MIX_MIXY_BLOCKCACHE_H
 
 #include "observe/Metrics.h"
+#include "support/Hash.h"
 
 #include <cstdint>
 #include <deque>
@@ -172,9 +173,9 @@ private:
   };
 
   Shard &shardFor(const Key &K) {
-    // Mix the hash so clustered low bits still spread across stripes.
-    size_t H = Hasher(K);
-    H ^= (H >> 16) | (H << 16);
+    // Avalanche the hash so clustered inputs still spread across stripes
+    // when the low bits select the stripe.
+    size_t H = (size_t)avalanche64(Hasher(K));
     return Stripes[H & (Stripes.size() - 1)];
   }
 

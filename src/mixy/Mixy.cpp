@@ -7,6 +7,10 @@
 
 #include "mixy/Mixy.h"
 
+#include "persist/AstHash.h"
+#include "persist/PersistSession.h"
+#include "persist/RecordFile.h"
+#include "support/Hash.h"
 #include "support/StringExtras.h"
 
 using namespace mix::c;
@@ -15,6 +19,13 @@ namespace {
 /// The WorkerContext of the pool task currently running on this thread,
 /// if any (type-erased so the private nested type stays private).
 thread_local void *ActiveWorkerCtx = nullptr;
+
+/// The typed-switch log of the innermost persistable symbolic block run
+/// on this thread (a std::vector<MixyAnalysis::TypedSwitch>*, type-erased
+/// like ActiveWorkerCtx). Null when the current run is not being
+/// recorded. computeSymOutcome saves and restores it around each block,
+/// so nested blocks log to their own summaries.
+thread_local void *ActiveTypedLog = nullptr;
 } // namespace
 
 /// Everything a pool worker owns privately: a leased solver instance
@@ -38,11 +49,31 @@ struct MixyAnalysis::WorkerContext {
 
 /// Pushes the analysis-level observability sinks down into the nested
 /// option structs so every solver (serial and pooled) reports into the
-/// same registry/trace.
+/// same registry/trace, and attaches the persistent query store (if any)
+/// the same way — SolverPool copies Smt into every pooled instance, so
+/// one assignment covers the serial solver and all workers.
 static MixyOptions normalizedOptions(MixyOptions O) {
   O.Smt.Metrics = O.Metrics;
   O.Smt.Trace = O.Trace;
+  if (O.Persist)
+    O.Smt.Cache = &O.Persist->solverCache();
   return O;
+}
+
+uint64_t mix::c::mixyPersistFingerprint(const MixyOptions &Opts) {
+  StableHasher H;
+  H.boolean(Opts.RestoreAliasing);
+  H.u32(Opts.MaxFixpointIterations);
+  H.u32(Opts.MaxRecursionIterations);
+  H.u32(Opts.Sym.LoopBound);
+  H.u32(Opts.Sym.MaxCallDepth);
+  H.u32(Opts.Sym.MaxPaths);
+  H.boolean(Opts.Sym.ParamsMayBeNull);
+  H.boolean(Opts.Sym.CheckNonnullArguments);
+  H.boolean(Opts.Sym.CheckDereferences);
+  H.boolean(Opts.Qual.WarnAllDereferences);
+  H.u32(Opts.Smt.MaxTheoryIterations);
+  return H.digest();
 }
 
 MixyAnalysis::MixyAnalysis(const CProgram &Program, CAstContext &Ctx,
@@ -88,6 +119,226 @@ void MixyAnalysis::publishStats() {
   Publish("mixy.switch.sym_to_typed", Statistics.TypedCallsFromSymbolic);
   Publish("mixy.fixpoint_rounds", Statistics.FixpointIterations);
   Publish("mixy.recursions", Statistics.RecursionsDetected);
+}
+
+// === persistent cache / incremental engine (src/persist/) ====================
+
+void MixyAnalysis::initPersist() {
+  persist::PersistSession *Session = Opts.Persist;
+  if (!Session || PersistReady)
+    return;
+  PersistReady = true;
+  PersistBlocks = Session->incremental();
+
+  // Content hash per defined function, from the printed AST (stable
+  // across runs; see persist/AstHash.h).
+  std::map<const CFuncDecl *, uint64_t> Content;
+  for (const CFuncDecl *F : Program.Funcs)
+    if (F->isDefined())
+      Content[F] = persist::functionContentHash(*F);
+  uint64_t Env = persist::environmentHash(Program);
+
+  // Dependency edges. A block's result depends on its callees (direct
+  // call graph; indirect calls conservatively reach every defined
+  // function, mirroring typedRegionFrom) and on its qualifier-alias
+  // neighbors: restoreAliasing unifies qualifiers of variables sharing a
+  // points-to class, so an edit to one such function can shift another's
+  // calling context.
+  std::map<const CFuncDecl *, std::vector<const CFuncDecl *>> Deps;
+  bool SawIndirect = false;
+  for (const auto &[F, Hash] : Content) {
+    (void)Hash;
+    std::set<const CFuncDecl *> Callees;
+    collectCallees(F->body(), Callees, SawIndirect);
+    Deps[F].assign(Callees.begin(), Callees.end());
+  }
+  if (SawIndirect) {
+    std::vector<const CFuncDecl *> All;
+    for (const auto &[F, Hash] : Content) {
+      (void)Hash;
+      All.push_back(F);
+    }
+    for (auto &[F, D] : Deps) {
+      (void)F;
+      D = All;
+    }
+  } else {
+    for (PointsToAnalysis::CellId Cell = 1; Cell <= PtrAnal.numCells();
+         ++Cell) {
+      if (PtrAnal.find(Cell) != Cell)
+        continue;
+      std::set<const CFuncDecl *> Owners;
+      for (const auto &[Func, Name] : PtrAnal.variablesInClass(Cell)) {
+        (void)Name;
+        if (Func && Func->isDefined())
+          Owners.insert(Func);
+      }
+      if (Owners.size() < 2)
+        continue;
+      for (const CFuncDecl *A : Owners)
+        for (const CFuncDecl *B : Owners)
+          if (A != B)
+            Deps[A].push_back(B);
+    }
+  }
+
+  FuncClosure = persist::closureHashes(Content, Deps, Env);
+
+  // Manifest bookkeeping: record this run's hashes and, in incremental
+  // mode, diff against the previous run's to report how much of the
+  // program actually needs re-analysis ("persist.funcs.*" metrics).
+  persist::Manifest M;
+  for (const auto &[F, Hash] : Content)
+    M.Funcs[F->name()] = {Hash, FuncClosure.at(F)};
+  const persist::Manifest &Prev = Session->previousManifest();
+  if (Opts.Metrics && PersistBlocks) {
+    unsigned Changed = 0, Dirty = 0;
+    for (const auto &[Name, Rec] : M.Funcs) {
+      auto It = Prev.Funcs.find(Name);
+      if (It == Prev.Funcs.end() || It->second.ContentHash != Rec.ContentHash)
+        ++Changed;
+      if (It == Prev.Funcs.end() || It->second.ClosureHash != Rec.ClosureHash)
+        ++Dirty;
+    }
+    Opts.Metrics->counter("persist.funcs.total").add(M.Funcs.size());
+    Opts.Metrics->counter("persist.funcs.changed").add(Changed);
+    Opts.Metrics->counter("persist.funcs.dirty").add(Dirty);
+  }
+  Session->setCurrentManifest(std::move(M));
+}
+
+uint64_t MixyAnalysis::stableBlockKey(const BlockKey &Key) const {
+  StableHasher H;
+  H.u64(FuncClosure.at(Key.F));
+  H.boolean(Key.Symbolic);
+  H.u32((uint32_t)Key.Params.size());
+  for (NullSeed S : Key.Params)
+    H.u8((uint8_t)S);
+  H.u32((uint32_t)Key.Globals.size());
+  for (const auto &[Name, Seed] : Key.Globals) {
+    H.str(Name);
+    H.u8((uint8_t)Seed);
+  }
+  return H.digest();
+}
+
+std::string MixyAnalysis::encodeBlockSummary(
+    const SymOutcome &Outcome, const std::vector<Diagnostic> &Slice,
+    const std::vector<TypedSwitch> &Switches) const {
+  persist::ByteWriter W;
+  W.boolean(Outcome.RetMayBeNull);
+  W.u32((uint32_t)Outcome.ParamPointeeMayBeNull.size());
+  for (bool B : Outcome.ParamPointeeMayBeNull)
+    W.boolean(B);
+  W.u32((uint32_t)Outcome.GlobalMayBeNull.size());
+  for (const auto &[Name, MayNull] : Outcome.GlobalMayBeNull) {
+    W.str(Name);
+    W.boolean(MayNull);
+  }
+  W.u32((uint32_t)Slice.size());
+  for (const Diagnostic &D : Slice) {
+    W.u8((uint8_t)D.Kind);
+    W.u16((uint16_t)D.ID);
+    W.u32(D.Loc.Line);
+    W.u32(D.Loc.Column);
+    W.str(D.Message);
+  }
+  W.u32((uint32_t)Switches.size());
+  for (const TypedSwitch &S : Switches) {
+    W.str(S.Callee);
+    W.u32((uint32_t)S.Params.size());
+    for (NullSeed Seed : S.Params)
+      W.u8((uint8_t)Seed);
+    W.u32((uint32_t)S.Globals.size());
+    for (const auto &[Name, Seed] : S.Globals) {
+      W.str(Name);
+      W.u8((uint8_t)Seed);
+    }
+    W.u32(S.Loc.Line);
+    W.u32(S.Loc.Column);
+  }
+  return W.take();
+}
+
+bool MixyAnalysis::decodeBlockSummary(
+    const std::string &Payload, SymOutcome &Outcome,
+    std::vector<Diagnostic> &Slice,
+    std::vector<TypedSwitch> &Switches) const {
+  persist::ByteReader R(Payload);
+  Outcome = SymOutcome();
+  Slice.clear();
+  Switches.clear();
+  Outcome.RetMayBeNull = R.boolean();
+  uint32_t NumParams = R.u32();
+  for (uint32_t I = 0; R.ok() && I != NumParams; ++I)
+    Outcome.ParamPointeeMayBeNull.push_back(R.boolean());
+  uint32_t NumGlobals = R.u32();
+  for (uint32_t I = 0; R.ok() && I != NumGlobals; ++I) {
+    std::string Name = R.str();
+    Outcome.GlobalMayBeNull[Name] = R.boolean();
+  }
+  uint32_t NumDiags = R.u32();
+  for (uint32_t I = 0; R.ok() && I != NumDiags; ++I) {
+    Diagnostic D;
+    uint8_t Kind = R.u8();
+    if (Kind > (uint8_t)DiagKind::Note)
+      return false;
+    D.Kind = (DiagKind)Kind;
+    D.ID = (DiagID)R.u16();
+    D.Loc.Line = R.u32();
+    D.Loc.Column = R.u32();
+    D.Message = R.str();
+    Slice.push_back(std::move(D));
+  }
+  uint32_t NumSwitches = R.u32();
+  for (uint32_t I = 0; R.ok() && I != NumSwitches; ++I) {
+    TypedSwitch S;
+    S.Callee = R.str();
+    uint32_t NP = R.u32();
+    for (uint32_t J = 0; R.ok() && J != NP; ++J) {
+      uint8_t Seed = R.u8();
+      if (Seed > (uint8_t)NullSeed::Nonnull)
+        return false;
+      S.Params.push_back((NullSeed)Seed);
+    }
+    uint32_t NG = R.u32();
+    for (uint32_t J = 0; R.ok() && J != NG; ++J) {
+      std::string Name = R.str();
+      uint8_t Seed = R.u8();
+      if (Seed > (uint8_t)NullSeed::Nonnull)
+        return false;
+      S.Globals[Name] = (NullSeed)Seed;
+    }
+    S.Loc.Line = R.u32();
+    S.Loc.Column = R.u32();
+    Switches.push_back(std::move(S));
+  }
+  return R.ok() && R.atEnd();
+}
+
+bool MixyAnalysis::switchesResolvable(
+    const std::vector<TypedSwitch> &Switches) const {
+  for (const TypedSwitch &S : Switches)
+    if (!Program.findFunc(S.Callee))
+      return false;
+  return true;
+}
+
+void MixyAnalysis::replayTypedSwitches(
+    const std::vector<TypedSwitch> &Switches, ExecContext C) {
+  for (const TypedSwitch &S : Switches) {
+    BlockKey Key;
+    Key.Symbolic = false;
+    Key.F = Program.findFunc(S.Callee);
+    Key.Params = S.Params;
+    Key.Globals = S.Globals;
+    // Same serialization as a live sym-to-typed switch: the typed block
+    // runs against the shared qualifier graph.
+    std::unique_lock<std::recursive_mutex> Lock(QualM, std::defer_lock);
+    if (parallel())
+      Lock.lock();
+    computeTypedRet(Key, S.Loc, C);
+  }
 }
 
 // === region collection =======================================================
@@ -361,6 +612,52 @@ MixyAnalysis::computeSymOutcome(const BlockKey &Key, ExecContext C) {
     }
   }
 
+  // Persistent lookup (src/persist/), after the recursion check so a
+  // recursive re-entry still returns the in-flight assumption exactly as
+  // a cold run would. The stable key embeds the function's
+  // dependency-closure hash, so entries written before an edit anywhere
+  // in this block's dependency cone can never match.
+  bool Persistable = PersistBlocks && FuncClosure.count(Key.F) != 0;
+  uint64_t PKey = Persistable ? stableBlockKey(Key) : 0;
+  if (Persistable) {
+    if (auto Payload = Opts.Persist->blocks().lookup(PKey)) {
+      SymOutcome Outcome;
+      std::vector<Diagnostic> Slice;
+      std::vector<TypedSwitch> Switches;
+      // A summary only replays when every recorded callee still resolves
+      // (always true when the closure hash matched; checked up front so a
+      // bad payload never half-replays).
+      if (decodeBlockSummary(*Payload, Outcome, Slice, Switches) &&
+          switchesResolvable(Switches)) {
+        // Replay the stored run's diagnostics through the executor's
+        // warning dedup, mirroring mergeRoundDiagnostics: a warning this
+        // context already saw is dropped along with its notes, so warm
+        // output matches cold output byte for byte. The slice replays
+        // first (it carries the cold emission order, including nested
+        // blocks' warnings); the typed switches after it re-seed the
+        // qualifier graph, and any diagnostics their nested replays
+        // surface deduplicate against the slice.
+        bool DropNotes = false;
+        for (const Diagnostic &D : Slice) {
+          if (D.Kind == DiagKind::Warning) {
+            DropNotes = !C.Exec.tryMarkWarningEmitted(D.Loc, D.Message);
+            if (DropNotes)
+              continue;
+          } else if (D.Kind == DiagKind::Note && DropNotes) {
+            continue;
+          } else {
+            DropNotes = false;
+          }
+          C.Diags.report(D.Kind, D.Loc, D.Message, D.ID);
+        }
+        replayTypedSwitches(Switches, C);
+        if (Opts.EnableCache)
+          SymCache.insert(Key, Outcome);
+        return Outcome;
+      }
+    }
+  }
+
   C.Stack.push_back({Key, false, SymOutcome(), false});
   C.Stack.back().SymAssumption.ParamPointeeMayBeNull.assign(
       Key.F->params().size(), false);
@@ -368,6 +665,15 @@ MixyAnalysis::computeSymOutcome(const BlockKey &Key, ExecContext C) {
   obs::TraceSpan Span(Opts.Trace, "mixy.block.sym", "mixy");
   if (Opts.Trace)
     Span.setArgs("{\"function\": \"" + jsonEscape(Key.F->name()) + "\"}");
+
+  size_t DiagsBefore = C.Diags.size();
+
+  // Record this run's sym-to-typed switches for the persistent summary;
+  // nested blocks save and restore the slot so each run logs only its own
+  // switches.
+  std::vector<TypedSwitch> SwitchLog;
+  void *PrevLog = ActiveTypedLog;
+  ActiveTypedLog = Persistable ? &SwitchLog : nullptr;
 
   SymOutcome Outcome;
   for (unsigned Iter = 0; Iter != Opts.MaxRecursionIterations; ++Iter) {
@@ -383,6 +689,14 @@ MixyAnalysis::computeSymOutcome(const BlockKey &Key, ExecContext C) {
     C.Stack.back().SymAssumption = Outcome;
   }
   C.Stack.pop_back();
+  ActiveTypedLog = PrevLog;
+
+  if (Persistable) {
+    const std::vector<Diagnostic> &All = C.Diags.diagnostics();
+    std::vector<Diagnostic> Slice(All.begin() + (long)DiagsBefore, All.end());
+    Opts.Persist->blocks().store(
+        PKey, encodeBlockSummary(Outcome, Slice, SwitchLog));
+  }
 
   if (Opts.EnableCache)
     SymCache.insert(Key, Outcome);
@@ -502,7 +816,7 @@ bool MixyAnalysis::handleSymbolicCall(QualInference &Inference,
 
 // === typed blocks (symbolic -> typed -> symbolic) ===========================
 
-bool MixyAnalysis::computeTypedRet(const BlockKey &Key, const CCall *Call,
+bool MixyAnalysis::computeTypedRet(const BlockKey &Key, SourceLoc CallLoc,
                                    ExecContext C) {
   if (Opts.EnableCache) {
     if (auto Cached = TypedCache.lookup(Key)) {
@@ -542,15 +856,14 @@ bool MixyAnalysis::computeTypedRet(const BlockKey &Key, const CCall *Call,
         continue;
       const QualVec &PQ = Qual.qualsOfParam(Key.F, (unsigned)I);
       if (!PQ.empty())
-        Qual.seedNull(PQ[0], "symbolic argument may be null", Call->loc());
+        Qual.seedNull(PQ[0], "symbolic argument may be null", CallLoc);
     }
     for (const auto &[Name, Seed] : Key.Globals) {
       if (Seed != NullSeed::MayBeNull)
         continue;
       const QualVec &GQ = Qual.qualsOfVar(nullptr, Name);
       if (!GQ.empty())
-        Qual.seedNull(GQ[0], "global may be null at symbolic call",
-                      Call->loc());
+        Qual.seedNull(GQ[0], "global may be null at symbolic call", CallLoc);
     }
 
     Qual.solve();
@@ -598,6 +911,12 @@ bool MixyAnalysis::callTypedFunction(CSymExecutor &Exec2, CSymState &State,
                                  : NullSeed::Nonnull;
   }
 
+  // Record the switch for the enclosing block's persistent summary (null
+  // slot when the run is not being recorded): a warm replay re-seeds the
+  // same qualifier constraints this switch is about to.
+  if (auto *Log = static_cast<std::vector<TypedSwitch> *>(ActiveTypedLog))
+    Log->push_back({Callee->name(), Key.Params, Key.Globals, Call->loc()});
+
   // The typed block runs against the shared qualifier graph; in parallel
   // mode every such touch is serialized (recursively — typed and symbolic
   // blocks nest through the hooks).
@@ -605,7 +924,7 @@ bool MixyAnalysis::callTypedFunction(CSymExecutor &Exec2, CSymState &State,
   if (parallel())
     Lock.lock();
 
-  bool RetMayBeNull = computeTypedRet(Key, Call, currentContext());
+  bool RetMayBeNull = computeTypedRet(Key, Call->loc(), currentContext());
 
   // Re-entering symbolic execution: memory is havocked ("symbolic blocks
   // are forced to start with a fresh memory when switching from typed
@@ -642,6 +961,7 @@ bool MixyAnalysis::callTypedFunction(CSymExecutor &Exec2, CSymState &State,
 
 unsigned MixyAnalysis::run(StartMode Mode, const std::string &Entry) {
   PtrAnal.run();
+  initPersist();
 
   const CFuncDecl *EntryFunc = Program.findFunc(Entry);
   if (!EntryFunc || !EntryFunc->isDefined()) {

@@ -67,6 +67,10 @@
 #include <string>
 #include <vector>
 
+namespace mix::persist {
+class PersistSession;
+}
+
 namespace mix::c {
 
 /// Configuration of a MIXY run.
@@ -96,7 +100,22 @@ struct MixyOptions {
   /// site.
   obs::MetricsRegistry *Metrics = nullptr;
   obs::TraceSink *Trace = nullptr;
+
+  /// The persistent cache session behind --cache-dir (see src/persist/).
+  /// When set, solver queries are answered from / recorded into the
+  /// session's query store; when the session is incremental, symbolic
+  /// block summaries (and the diagnostics their runs emitted, replayed
+  /// verbatim on a hit) persist across runs too. Null (the default)
+  /// keeps every run cold.
+  persist::PersistSession *Persist = nullptr;
 };
+
+/// Digest of every MixyOptions field that can change a persisted block
+/// summary or its diagnostics. Used as the block-store fingerprint: a
+/// cache written under different options loads as empty. Deliberately
+/// excludes Jobs (results are --jobs-invariant) and the caching knobs
+/// themselves.
+uint64_t mixyPersistFingerprint(const MixyOptions &Opts);
 
 /// Statistics of a MIXY run.
 struct MixyStats {
@@ -169,11 +188,12 @@ private:
   /// identity: shards compare keys with operator<).
   struct BlockKeyHash {
     size_t operator()(const BlockKey &K) const {
-      size_t H = std::hash<const void *>()(K.F) * 2 + (K.Symbolic ? 1 : 0);
+      size_t H = hashCombine(std::hash<const void *>()(K.F), K.Symbolic);
       for (NullSeed S : K.Params)
-        H = H * 131 + (size_t)S + 7;
+        H = hashCombine(H, (size_t)S);
       for (const auto &[Name, Seed] : K.Globals)
-        H = H * 131 + std::hash<std::string>()(Name) + (size_t)Seed;
+        H = hashCombine(hashCombine(H, std::hash<std::string>()(Name)),
+                        (size_t)Seed);
       return H;
     }
   };
@@ -190,6 +210,19 @@ private:
              ParamPointeeMayBeNull == O.ParamPointeeMayBeNull &&
              GlobalMayBeNull == O.GlobalMayBeNull;
     }
+  };
+
+  /// One sym-to-typed switch a symbolic block run performed, recorded so
+  /// a persisted summary can replay it: the typed block seeded the shared
+  /// qualifier graph (parameter/global null sources), and a warm hit must
+  /// reproduce those constraints or the end-of-run qualifier solution
+  /// would differ from a cold run. Seeding is monotone, so replay order
+  /// does not matter.
+  struct TypedSwitch {
+    std::string Callee;
+    std::vector<NullSeed> Params;
+    std::map<std::string, NullSeed> Globals;
+    SourceLoc Loc;
   };
 
   /// One frontier call site, remembered for the fixpoint loop. LastKey.F
@@ -245,8 +278,38 @@ private:
                        QualVec &RetQuals);
   void restoreAliasing(const CFuncDecl *Callee);
 
-  // Typed-block execution (from the symbolic side).
-  bool computeTypedRet(const BlockKey &Key, const CCall *Call, ExecContext C);
+  // Typed-block execution (from the symbolic side). \p CallLoc anchors
+  // the null-seed notes (the call site, or the persisted location when a
+  // recorded switch is replayed).
+  bool computeTypedRet(const BlockKey &Key, SourceLoc CallLoc, ExecContext C);
+
+  // --- persistent cache / incremental engine (src/persist/) --------------
+  /// Computes per-function content and dependency-closure hashes, primes
+  /// the session manifest, and publishes the incremental dirty-set
+  /// metrics. Runs once per analysis, after the points-to pre-pass.
+  void initPersist();
+  /// The cross-run identity of a block analysis: closure hash of the
+  /// function (so any edit in its dependency cone misses by
+  /// construction) plus the calling context.
+  uint64_t stableBlockKey(const BlockKey &Key) const;
+  /// Serializes a summary plus the diagnostics and typed switches its
+  /// block run emitted.
+  std::string encodeBlockSummary(const SymOutcome &Outcome,
+                                 const std::vector<Diagnostic> &Slice,
+                                 const std::vector<TypedSwitch> &Switches)
+      const;
+  bool decodeBlockSummary(const std::string &Payload, SymOutcome &Outcome,
+                          std::vector<Diagnostic> &Slice,
+                          std::vector<TypedSwitch> &Switches) const;
+  /// Does every recorded callee still resolve? (Always true when the
+  /// closure hash matched; a summary that fails this is stale and the
+  /// block re-runs cold.)
+  bool switchesResolvable(const std::vector<TypedSwitch> &Switches) const;
+  /// Re-runs the recorded typed switches of a persisted block through the
+  /// regular typed-block path, restoring the qualifier-graph constraints
+  /// the cold run seeded.
+  void replayTypedSwitches(const std::vector<TypedSwitch> &Switches,
+                           ExecContext C);
 
   /// Fresh, unconstrained qualifier variables shaped like \p Ty.
   QualVec freshQuals(const CType *Ty, const std::string &Description,
@@ -288,6 +351,12 @@ private:
 
   std::vector<SymCallSite> SymCallSites;
   std::set<const CFuncDecl *> TypedRegionAnalyzed;
+
+  // Persistent-cache state (read-only after initPersist, so workers need
+  // no lock).
+  bool PersistReady = false;
+  bool PersistBlocks = false;
+  std::map<const CFuncDecl *, uint64_t> FuncClosure;
 
   // Parallel-engine state. QualM serializes every touch of the shared
   // qualifier graph (and shared diagnostics) from worker threads; it is

@@ -1,0 +1,96 @@
+//===--- AstHash.cpp - Stable content hashes over mini-C ASTs ---------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/AstHash.h"
+
+#include "cfront/CPrinter.h"
+#include "support/Hash.h"
+
+#include <algorithm>
+
+using namespace mix::persist;
+using namespace mix::c;
+
+uint64_t mix::persist::functionContentHash(const CFuncDecl &F) {
+  StableHasher H;
+  H.str(F.name());
+  H.u8((uint8_t)F.mixAnnot());
+  H.str(printDecl(F.returnType(), ""));
+  H.u32((uint32_t)F.params().size());
+  for (const CFuncDecl::Param &P : F.params()) {
+    H.str(P.Name);
+    H.str(printDecl(P.Ty, ""));
+  }
+  H.boolean(F.isDefined());
+  if (F.isDefined())
+    H.str(printStmt(F.body()));
+  return H.digest();
+}
+
+uint64_t mix::persist::environmentHash(const CProgram &P) {
+  StableHasher H;
+  H.u32((uint32_t)P.Structs.size());
+  for (const CStructDecl *S : P.Structs) {
+    H.str(S->name());
+    H.u32((uint32_t)S->fields().size());
+    for (const CStructDecl::Field &F : S->fields()) {
+      H.str(F.Name);
+      H.str(printDecl(F.Ty, ""));
+    }
+  }
+  H.u32((uint32_t)P.Globals.size());
+  for (const CGlobalDecl *G : P.Globals) {
+    H.str(G->name());
+    H.str(printDecl(G->type(), ""));
+    H.boolean(G->init() != nullptr);
+    if (G->init())
+      H.str(printExpr(G->init()));
+  }
+  // Extern signatures are part of every block's environment; defined
+  // bodies are covered per-function by the closure hashes.
+  for (const CFuncDecl *F : P.Funcs)
+    if (!F->isDefined())
+      H.u64(functionContentHash(*F));
+  return H.digest();
+}
+
+std::map<const CFuncDecl *, uint64_t> mix::persist::closureHashes(
+    const std::map<const CFuncDecl *, uint64_t> &Content,
+    const std::map<const CFuncDecl *, std::vector<const CFuncDecl *>> &Deps,
+    uint64_t EnvHash) {
+  std::map<const CFuncDecl *, uint64_t> Out;
+  for (const auto &[F, Hash] : Content) {
+    (void)Hash;
+    // Plain BFS reachability (reflexive), so mutual recursion and shared
+    // helpers are handled without any SCC machinery.
+    std::vector<const CFuncDecl *> Work{F};
+    std::map<const CFuncDecl *, bool> Seen{{F, true}};
+    std::vector<uint64_t> Cone;
+    while (!Work.empty()) {
+      const CFuncDecl *Cur = Work.back();
+      Work.pop_back();
+      auto It = Content.find(Cur);
+      if (It != Content.end())
+        Cone.push_back(It->second);
+      auto DepIt = Deps.find(Cur);
+      if (DepIt == Deps.end())
+        continue;
+      for (const CFuncDecl *Next : DepIt->second)
+        if (Seen.emplace(Next, true).second)
+          Work.push_back(Next);
+    }
+    // Sorted, so the digest is independent of traversal order.
+    std::sort(Cone.begin(), Cone.end());
+    StableHasher H;
+    H.u64(EnvHash);
+    H.u32((uint32_t)Cone.size());
+    for (uint64_t C : Cone)
+      H.u64(C);
+    Out[F] = H.digest();
+  }
+  return Out;
+}

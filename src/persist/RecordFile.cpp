@@ -1,0 +1,118 @@
+//===--- RecordFile.cpp - Checksummed on-disk record format -----------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/RecordFile.h"
+
+#include "support/Hash.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#define getpid _getpid
+#else
+#include <unistd.h>
+#endif
+
+using namespace mix::persist;
+
+static const char Magic[8] = {'M', 'I', 'X', 'P', 'E', 'R', 'S', 'T'};
+
+LoadStatus mix::persist::loadRecordFile(const std::string &Path,
+                                        uint64_t Fingerprint,
+                                        std::vector<std::string> &Records,
+                                        std::string &Error) {
+  Records.clear();
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return LoadStatus::Missing;
+  std::ostringstream Raw;
+  Raw << In.rdbuf();
+  std::string Buf = Raw.str();
+
+  ByteReader R(Buf);
+  char Head[8];
+  for (char &C : Head)
+    C = (char)R.u8();
+  if (!R.ok() || std::string(Head, 8) != std::string(Magic, 8)) {
+    Error = "bad magic";
+    return LoadStatus::Corrupt;
+  }
+  uint32_t Version = R.u32();
+  if (!R.ok() || Version != FormatVersion) {
+    Error = "format version " + std::to_string(Version) + " (expected " +
+            std::to_string(FormatVersion) + ")";
+    return LoadStatus::Corrupt;
+  }
+  uint64_t FileFp = R.u64();
+  if (!R.ok()) {
+    Error = "truncated header";
+    return LoadStatus::Corrupt;
+  }
+  // A different fingerprint means the cache was written under different
+  // analysis options: stale, not corrupt. Load as empty.
+  if (FileFp != Fingerprint)
+    return LoadStatus::Missing;
+
+  while (!R.atEnd()) {
+    std::string Payload = R.str();
+    uint64_t Sum = R.u64();
+    if (!R.ok()) {
+      Records.clear();
+      Error = "truncated record";
+      return LoadStatus::Corrupt;
+    }
+    if (Sum != stableHash64(Payload)) {
+      Records.clear();
+      Error = "record checksum mismatch";
+      return LoadStatus::Corrupt;
+    }
+    Records.push_back(std::move(Payload));
+  }
+  return LoadStatus::Ok;
+}
+
+bool mix::persist::saveRecordFile(const std::string &Path, uint64_t Fingerprint,
+                                  const std::vector<std::string> &Records,
+                                  std::string &Error) {
+  ByteWriter W;
+  for (char C : Magic)
+    W.u8((uint8_t)C);
+  W.u32(FormatVersion);
+  W.u64(Fingerprint);
+  for (const std::string &Payload : Records) {
+    W.str(Payload);
+    W.u64(stableHash64(Payload));
+  }
+
+  // Publish atomically: a concurrent reader sees either the old complete
+  // file or the new one, never a partial write; racing writers resolve to
+  // whoever renames last.
+  std::string Tmp = Path + ".tmp." + std::to_string((unsigned long)::getpid());
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      Error = "cannot write '" + Tmp + "'";
+      return false;
+    }
+    Out << W.bytes();
+    if (!Out.good()) {
+      Error = "short write to '" + Tmp + "'";
+      Out.close();
+      std::remove(Tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    Error = "cannot rename '" + Tmp + "' to '" + Path + "'";
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}

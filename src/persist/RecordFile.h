@@ -1,0 +1,146 @@
+//===--- RecordFile.h - Checksummed on-disk record format -------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The binary container every persistent store (src/persist/) writes:
+///
+///   header:  "MIXPERST" magic (8 bytes)
+///            u32 format version
+///            u64 store fingerprint (analysis-options digest)
+///   records: u32 payload length, payload bytes, u64 stableHash64 checksum
+///
+/// All integers are little-endian regardless of host order (ByteWriter /
+/// ByteReader below). The failure contract is strict: a bad magic, an
+/// unsupported version, a truncated record, or a checksum mismatch
+/// rejects the *whole* file — the caller degrades to a cold run, which is
+/// always sound because everything persisted is a cache. A fingerprint
+/// mismatch is not corruption (the user changed analysis options); it
+/// loads as empty without complaint.
+///
+/// Writes go to a temporary sibling and are published with rename(), so a
+/// concurrent reader only ever sees a complete file and concurrent
+/// writers resolve to last-rename-wins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_PERSIST_RECORDFILE_H
+#define MIX_PERSIST_RECORDFILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mix::persist {
+
+/// Bumped whenever any store's record encoding changes; skew degrades the
+/// file to a cold load.
+constexpr uint32_t FormatVersion = 1;
+
+/// Serializes fixed little-endian layouts into a byte string.
+class ByteWriter {
+public:
+  ByteWriter &u8(uint8_t V) {
+    Buf.push_back((char)V);
+    return *this;
+  }
+  ByteWriter &u16(uint16_t V) {
+    u8((uint8_t)V);
+    return u8((uint8_t)(V >> 8));
+  }
+  ByteWriter &u32(uint32_t V) {
+    u16((uint16_t)V);
+    return u16((uint16_t)(V >> 16));
+  }
+  ByteWriter &u64(uint64_t V) {
+    u32((uint32_t)V);
+    return u32((uint32_t)(V >> 32));
+  }
+  ByteWriter &boolean(bool V) { return u8(V ? 1 : 0); }
+  ByteWriter &str(const std::string &S) {
+    u32((uint32_t)S.size());
+    Buf.append(S);
+    return *this;
+  }
+
+  const std::string &bytes() const { return Buf; }
+  std::string take() { return std::move(Buf); }
+
+private:
+  std::string Buf;
+};
+
+/// Deserializes ByteWriter layouts. Reads past the end set the error
+/// flag and return zero values; callers check ok() once at the end
+/// instead of guarding every read.
+class ByteReader {
+public:
+  explicit ByteReader(const std::string &Buf) : Buf(Buf) {}
+
+  uint8_t u8() {
+    if (Pos >= Buf.size()) {
+      Failed = true;
+      return 0;
+    }
+    return (uint8_t)Buf[Pos++];
+  }
+  uint16_t u16() {
+    uint16_t Lo = u8();
+    return (uint16_t)(Lo | ((uint16_t)u8() << 8));
+  }
+  uint32_t u32() {
+    uint32_t Lo = u16();
+    return Lo | ((uint32_t)u16() << 16);
+  }
+  uint64_t u64() {
+    uint64_t Lo = u32();
+    return Lo | ((uint64_t)u32() << 32);
+  }
+  bool boolean() { return u8() != 0; }
+  std::string str() {
+    uint32_t N = u32();
+    if (Buf.size() - Pos < N) {
+      Failed = true;
+      return std::string();
+    }
+    std::string S = Buf.substr(Pos, N);
+    Pos += N;
+    return S;
+  }
+
+  bool ok() const { return !Failed; }
+  bool atEnd() const { return Pos == Buf.size(); }
+
+private:
+  const std::string &Buf;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+/// Outcome of loading a record file.
+enum class LoadStatus {
+  Ok,      ///< header verified, records checksum-clean
+  Missing, ///< no file (or a fingerprint mismatch): a normal cold start
+  Corrupt, ///< magic/version/length/checksum anomaly: degrade with a note
+};
+
+/// Reads \p Path into \p Records (one byte-string payload each). On
+/// Corrupt, \p Error describes the first anomaly and \p Records is left
+/// empty.
+LoadStatus loadRecordFile(const std::string &Path, uint64_t Fingerprint,
+                          std::vector<std::string> &Records,
+                          std::string &Error);
+
+/// Writes \p Records to \p Path atomically (temporary file + rename).
+/// Returns false with \p Error set when the directory or file cannot be
+/// written.
+bool saveRecordFile(const std::string &Path, uint64_t Fingerprint,
+                    const std::vector<std::string> &Records,
+                    std::string &Error);
+
+} // namespace mix::persist
+
+#endif // MIX_PERSIST_RECORDFILE_H

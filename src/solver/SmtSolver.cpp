@@ -7,6 +7,7 @@
 
 #include "solver/SmtSolver.h"
 
+#include "solver/QueryHash.h"
 #include "solver/Sat.h"
 
 #include <cassert>
@@ -338,7 +339,25 @@ static const char *solveResultName(SolveResult R) {
   return "unknown";
 }
 
+QueryCache::~QueryCache() = default;
+
 SolveResult SmtSolver::checkSat(const Term *Formula, SmtModel *ModelOut) {
+  // Persistent memo (src/persist/): only verdicts are stored, so a model
+  // request must run the real solver; Unknown is a resource-cap artifact
+  // and is neither served nor recorded. A hit still counts as a query so
+  // hit-rate arithmetic against "solver.queries" stays meaningful.
+  uint64_t CacheKey = 0;
+  bool UseCache = Opts.Cache && !ModelOut;
+  if (UseCache) {
+    CacheKey = canonicalQueryHash(Formula);
+    SolveResult R;
+    if (Opts.Cache->lookup(CacheKey, R)) {
+      CQueries.inc();
+      (R == SolveResult::Sat ? CSat : CUnsat).inc();
+      return R;
+    }
+  }
+
   // The uninstrumented run is the common case: both sinks null, so the
   // whole observability layer costs two branches per query.
   if (!HQueryUs && !Opts.Trace) {
@@ -348,6 +367,8 @@ SolveResult SmtSolver::checkSat(const Term *Formula, SmtModel *ModelOut) {
      : R == SolveResult::Unsat ? CUnsat
                                : CUnknown)
         .inc();
+    if (UseCache && R != SolveResult::Unknown)
+      Opts.Cache->store(CacheKey, R);
     return R;
   }
 
@@ -368,6 +389,8 @@ SolveResult SmtSolver::checkSat(const Term *Formula, SmtModel *ModelOut) {
     Opts.Trace->complete("solver.query", "solver", Start, DurUs,
                          std::string("{\"result\": \"") + solveResultName(R) +
                              "\"}");
+  if (UseCache && R != SolveResult::Unknown)
+    Opts.Cache->store(CacheKey, R);
   return R;
 }
 

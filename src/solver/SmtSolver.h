@@ -59,6 +59,22 @@ struct SmtModel {
   }
 };
 
+/// A persistent memo of query verdicts, keyed by canonicalQueryHash (see
+/// solver/QueryHash.h). Implemented by src/persist/ over an on-disk
+/// store; the solver consults it only for model-free queries and never
+/// stores Unknown (a resource-cap artifact, not a property of the
+/// formula). Implementations must be thread-safe: SolverPool copies one
+/// cache pointer into every pooled instance.
+class QueryCache {
+public:
+  virtual ~QueryCache();
+  /// True (with \p Out set to Sat or Unsat) when \p Key has a recorded
+  /// verdict.
+  virtual bool lookup(uint64_t Key, SolveResult &Out) = 0;
+  /// Records a Sat/Unsat verdict for \p Key.
+  virtual void store(uint64_t Key, SolveResult Result) = 0;
+};
+
 /// Configuration for SmtSolver.
 struct SmtOptions {
   LiaOptions Lia;
@@ -75,6 +91,10 @@ struct SmtOptions {
   /// into the same registry.
   obs::MetricsRegistry *Metrics = nullptr;
   obs::TraceSink *Trace = nullptr;
+
+  /// Optional persistent query memo (see QueryCache above). Null — the
+  /// default — keeps checkSat untouched.
+  QueryCache *Cache = nullptr;
 };
 
 /// One-shot and reusable SMT queries over a TermArena.

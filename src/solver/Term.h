@@ -21,6 +21,8 @@
 #ifndef MIX_SOLVER_TERM_H
 #define MIX_SOLVER_TERM_H
 
+#include "support/Hash.h"
+
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -168,10 +170,9 @@ private:
   };
   struct KeyHash {
     size_t operator()(const Key &K) const {
-      size_t H = std::hash<int>()(static_cast<int>(K.Kind));
-      H = H * 31 + std::hash<long long>()(K.Value);
+      size_t H = hashCombine((size_t)K.Kind, (size_t)K.Value);
       for (const Term *T : K.Ops)
-        H = H * 31 + std::hash<const void *>()(T);
+        H = hashCombine(H, std::hash<const void *>()(T));
       return H;
     }
   };

@@ -66,6 +66,7 @@ enum class DiagID : uint16_t {
 
   // 5xx — driver: tool-level failures surfaced as diagnostics.
   EntryNotFound = 501,
+  CacheDegraded = 502, ///< persistent cache rejected; run started cold
 
   // 6xx — sign: the sign-qualifier extension.
   SignError = 601,

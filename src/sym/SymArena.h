@@ -20,6 +20,8 @@
 
 #include "sym/SymExpr.h"
 
+#include "support/Hash.h"
+
 #include <map>
 #include <memory>
 #include <string>
@@ -150,13 +152,11 @@ private:
   };
   struct ExprKeyHash {
     size_t operator()(const ExprKey &K) const {
-      size_t H = std::hash<int>()((int)K.Kind);
-      H = H * 31 + std::hash<const void *>()(K.Ty);
-      H = H * 31 + std::hash<long long>()(K.Value);
+      size_t H = hashCombine((size_t)K.Kind, std::hash<const void *>()(K.Ty));
+      H = hashCombine(H, (size_t)K.Value);
       for (const SymExpr *Op : K.Ops)
-        H = H * 31 + std::hash<const void *>()(Op);
-      H = H * 31 + std::hash<const void *>()(K.Mem);
-      return H;
+        H = hashCombine(H, std::hash<const void *>()(Op));
+      return hashCombine(H, std::hash<const void *>()(K.Mem));
     }
   };
 
@@ -174,13 +174,11 @@ private:
   };
   struct MemKeyHash {
     size_t operator()(const MemKey &K) const {
-      size_t H = std::hash<int>()((int)K.Kind);
-      H = H * 31 + std::hash<unsigned>()(K.Id);
-      H = H * 31 + std::hash<const void *>()(K.Prev);
-      H = H * 31 + std::hash<const void *>()(K.Addr);
-      H = H * 31 + std::hash<const void *>()(K.Val);
-      H = H * 31 + std::hash<const void *>()(K.Else);
-      return H;
+      size_t H = hashCombine((size_t)K.Kind, K.Id);
+      H = hashCombine(H, std::hash<const void *>()(K.Prev));
+      H = hashCombine(H, std::hash<const void *>()(K.Addr));
+      H = hashCombine(H, std::hash<const void *>()(K.Val));
+      return hashCombine(H, std::hash<const void *>()(K.Else));
     }
   };
 

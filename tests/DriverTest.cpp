@@ -151,6 +151,53 @@ TEST(OptionParserTest, ExitCodeContract) {
   EXPECT_EQ(driver::ExitUsage, 2);
 }
 
+TEST(OptionParserTest, RenderHelpCoversEveryRegisteredOption) {
+  // --help is generated from the registration table, so it cannot drift:
+  // every registered spelling must appear in the rendered text, in
+  // registration order, with its help string.
+  driver::OptionParser P("tool");
+  bool B = false;
+  P.flag("--baseline", &B, "run the baseline analysis");
+  P.value(
+      "--entry", [](const std::string &) { return true; }, "NAME",
+      "analyze starting from NAME");
+  P.separateValue(
+      "--var", [](const std::string &) { return true; }, "name:type",
+      "add a typed variable");
+  unsigned Jobs = 1;
+  P.jobs(&Jobs);
+
+  std::string Help = P.renderHelp();
+  size_t Last = 0;
+  for (const std::string &Name : P.optionNames()) {
+    size_t At = Help.find(Name);
+    ASSERT_NE(At, std::string::npos) << "missing from --help: " << Name;
+    EXPECT_GE(At, Last) << "out of registration order: " << Name;
+    Last = At;
+  }
+  EXPECT_NE(Help.find("run the baseline analysis"), std::string::npos);
+  EXPECT_NE(Help.find("--entry=NAME"), std::string::npos);
+  // separateValue options take their value as the next argv element.
+  EXPECT_NE(Help.find("--var name:type"), std::string::npos);
+}
+
+TEST(DriverContextTest, RegisteredFlagsAllDocumented) {
+  // The shared DriverContext flags ride along in every tool's --help.
+  driver::DriverContext Driver;
+  driver::OptionParser P("tool");
+  Driver.registerOptions(P);
+  std::string Help = P.renderHelp();
+  for (const char *Name :
+       {"--trace", "--metrics", "--format", "--stats", "--cache-dir"}) {
+    EXPECT_NE(Help.find(Name), std::string::npos)
+        << "missing from --help: " << Name;
+  }
+  // Each option renders with a non-empty help string: the line must be
+  // longer than the spelling itself.
+  EXPECT_NE(Help.find("--cache-dir=DIR"), std::string::npos);
+  EXPECT_NE(Help.find("--format=text|json"), std::string::npos);
+}
+
 //===----------------------------------------------------------------------===//
 // InputLoader
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,395 @@
+//===--- PersistTest.cpp - Tests for the persistent cache layer -----------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+// Covers src/persist/: the checksummed record-file container (round-trip
+// plus every corruption mode in the failure contract), the three stores,
+// and PersistSession's cold/warm/degraded lifecycle including concurrent
+// writers sharing a cache directory.
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/PersistSession.h"
+#include "persist/RecordFile.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace mix;
+using namespace mix::persist;
+
+namespace {
+
+/// A fresh, empty directory per test; removed on destruction so ctest -j
+/// runs never share state.
+class TempDir {
+public:
+  explicit TempDir(const std::string &Name)
+      : Path(::testing::TempDir() + "mix_persist_" + Name) {
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() { std::filesystem::remove_all(Path); }
+  std::string file(const std::string &Name) const { return Path + "/" + Name; }
+  const std::string Path;
+};
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(In)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out << Bytes;
+}
+
+//===----------------------------------------------------------------------===//
+// ByteWriter / ByteReader
+//===----------------------------------------------------------------------===//
+
+TEST(ByteCodecTest, RoundTrip) {
+  ByteWriter W;
+  W.u8(7).u16(300).u32(70000).u64(1ull << 40).boolean(true).str("hello");
+  ByteReader R(W.bytes());
+  EXPECT_EQ(R.u8(), 7u);
+  EXPECT_EQ(R.u16(), 300u);
+  EXPECT_EQ(R.u32(), 70000u);
+  EXPECT_EQ(R.u64(), 1ull << 40);
+  EXPECT_TRUE(R.boolean());
+  EXPECT_EQ(R.str(), "hello");
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(ByteCodecTest, ReadPastEndFailsSoftly) {
+  std::string Short("\x01", 1);
+  ByteReader R(Short);
+  (void)R.u32();        // value is unspecified on a truncated read...
+  EXPECT_FALSE(R.ok()); // ...but the sticky error flag must trip
+  EXPECT_EQ(R.u64(), 0u); // past the end entirely: all zero bytes
+}
+
+TEST(ByteCodecTest, OversizedStringLengthFails) {
+  ByteWriter W;
+  W.u32(1000); // claims 1000 bytes, provides none
+  ByteReader R(W.bytes());
+  EXPECT_EQ(R.str(), "");
+  EXPECT_FALSE(R.ok());
+}
+
+//===----------------------------------------------------------------------===//
+// RecordFile: round-trip and the failure contract
+//===----------------------------------------------------------------------===//
+
+const uint64_t FP = 0x1234;
+
+TEST(RecordFileTest, RoundTrip) {
+  TempDir D("roundtrip");
+  std::vector<std::string> In = {"alpha", std::string("\0\xff", 2), ""};
+  std::string Error;
+  ASSERT_TRUE(saveRecordFile(D.file("s.mixcache"), FP, In, Error)) << Error;
+
+  std::vector<std::string> Out;
+  EXPECT_EQ(loadRecordFile(D.file("s.mixcache"), FP, Out, Error),
+            LoadStatus::Ok);
+  EXPECT_EQ(Out, In);
+}
+
+TEST(RecordFileTest, MissingFileIsACleanColdStart) {
+  TempDir D("missing");
+  std::vector<std::string> Out;
+  std::string Error;
+  EXPECT_EQ(loadRecordFile(D.file("absent.mixcache"), FP, Out, Error),
+            LoadStatus::Missing);
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(RecordFileTest, FingerprintMismatchLoadsEmptyNotCorrupt) {
+  // Changed analysis options are a normal event, not file damage.
+  TempDir D("fingerprint");
+  std::string Error;
+  ASSERT_TRUE(saveRecordFile(D.file("s.mixcache"), FP, {"payload"}, Error));
+  std::vector<std::string> Out;
+  EXPECT_EQ(loadRecordFile(D.file("s.mixcache"), FP + 1, Out, Error),
+            LoadStatus::Missing);
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(RecordFileTest, TruncatedFileIsCorrupt) {
+  TempDir D("truncated");
+  std::string Error;
+  ASSERT_TRUE(
+      saveRecordFile(D.file("s.mixcache"), FP, {"some payload data"}, Error));
+  std::string Bytes = slurp(D.file("s.mixcache"));
+  ASSERT_GT(Bytes.size(), 4u);
+  spit(D.file("s.mixcache"), Bytes.substr(0, Bytes.size() - 4));
+
+  std::vector<std::string> Out;
+  EXPECT_EQ(loadRecordFile(D.file("s.mixcache"), FP, Out, Error),
+            LoadStatus::Corrupt);
+  EXPECT_TRUE(Out.empty());
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(RecordFileTest, FlippedChecksumByteIsCorrupt) {
+  TempDir D("checksum");
+  std::string Error;
+  ASSERT_TRUE(saveRecordFile(D.file("s.mixcache"), FP, {"payload"}, Error));
+  std::string Bytes = slurp(D.file("s.mixcache"));
+  Bytes.back() ^= 0x40; // last byte lies inside the record checksum
+  spit(D.file("s.mixcache"), Bytes);
+
+  std::vector<std::string> Out;
+  EXPECT_EQ(loadRecordFile(D.file("s.mixcache"), FP, Out, Error),
+            LoadStatus::Corrupt);
+  EXPECT_NE(Error.find("checksum"), std::string::npos) << Error;
+}
+
+TEST(RecordFileTest, FlippedPayloadByteIsCorrupt) {
+  TempDir D("payload");
+  std::string Error;
+  ASSERT_TRUE(
+      saveRecordFile(D.file("s.mixcache"), FP, {"payload bytes"}, Error));
+  std::string Bytes = slurp(D.file("s.mixcache"));
+  // 8 magic + 4 version + 8 fingerprint + 4 length: first payload byte.
+  Bytes[24] ^= 0x01;
+  spit(D.file("s.mixcache"), Bytes);
+
+  std::vector<std::string> Out;
+  EXPECT_EQ(loadRecordFile(D.file("s.mixcache"), FP, Out, Error),
+            LoadStatus::Corrupt);
+}
+
+TEST(RecordFileTest, BadMagicIsCorrupt) {
+  TempDir D("magic");
+  spit(D.file("s.mixcache"), "NOTMYFMT with trailing bytes beyond header");
+  std::vector<std::string> Out;
+  std::string Error;
+  EXPECT_EQ(loadRecordFile(D.file("s.mixcache"), FP, Out, Error),
+            LoadStatus::Corrupt);
+  EXPECT_NE(Error.find("magic"), std::string::npos) << Error;
+}
+
+TEST(RecordFileTest, VersionSkewIsCorrupt) {
+  TempDir D("version");
+  ByteWriter Rest;
+  Rest.u32(FormatVersion + 1).u64(FP);
+  spit(D.file("s.mixcache"), "MIXPERST" + Rest.take());
+
+  std::vector<std::string> Out;
+  std::string Error;
+  EXPECT_EQ(loadRecordFile(D.file("s.mixcache"), FP, Out, Error),
+            LoadStatus::Corrupt);
+  EXPECT_NE(Error.find("version"), std::string::npos) << Error;
+}
+
+TEST(RecordFileTest, ConcurrentWritersNeverTearTheFile) {
+  // Two writers race on the same path; rename() publication means any
+  // subsequent load sees one writer's complete file, never a mix.
+  TempDir D("race");
+  const std::string Path = D.file("s.mixcache");
+  auto Writer = [&](const std::string &Payload) {
+    for (int I = 0; I != 50; ++I) {
+      std::string Error;
+      ASSERT_TRUE(saveRecordFile(Path, FP, {Payload}, Error)) << Error;
+    }
+  };
+  std::thread A(Writer, std::string(100, 'a'));
+  std::thread B(Writer, std::string(2000, 'b'));
+  A.join();
+  B.join();
+
+  std::vector<std::string> Out;
+  std::string Error;
+  ASSERT_EQ(loadRecordFile(Path, FP, Out, Error), LoadStatus::Ok) << Error;
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_TRUE(Out[0] == std::string(100, 'a') ||
+              Out[0] == std::string(2000, 'b'));
+}
+
+//===----------------------------------------------------------------------===//
+// Stores
+//===----------------------------------------------------------------------===//
+
+TEST(SolverQueryStoreTest, StoreLookupEncodeDecode) {
+  SolverQueryStore S(nullptr);
+  S.store(1, smt::SolveResult::Sat);
+  S.store(2, smt::SolveResult::Unsat);
+  S.store(3, smt::SolveResult::Unknown); // never persisted: not a verdict
+  EXPECT_EQ(S.size(), 2u);
+
+  smt::SolveResult R;
+  ASSERT_TRUE(S.lookup(1, R));
+  EXPECT_EQ(R, smt::SolveResult::Sat);
+  ASSERT_TRUE(S.lookup(2, R));
+  EXPECT_EQ(R, smt::SolveResult::Unsat);
+  EXPECT_FALSE(S.lookup(3, R));
+
+  SolverQueryStore S2(nullptr);
+  ASSERT_TRUE(S2.decode(S.encode()));
+  EXPECT_EQ(S2.size(), 2u);
+  ASSERT_TRUE(S2.lookup(1, R));
+  EXPECT_EQ(R, smt::SolveResult::Sat);
+}
+
+TEST(SolverQueryStoreTest, MalformedRecordRejected) {
+  SolverQueryStore S(nullptr);
+  EXPECT_FALSE(S.decode({std::string("zz")}));
+  EXPECT_EQ(S.size(), 0u);
+}
+
+TEST(BlockSummaryStoreTest, OpaquePayloadRoundTrip) {
+  BlockSummaryStore B(nullptr);
+  EXPECT_FALSE(B.lookup(9).has_value());
+  B.store(9, std::string("\x01payload\x00", 9));
+  auto Hit = B.lookup(9);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(*Hit, std::string("\x01payload\x00", 9));
+
+  BlockSummaryStore B2(nullptr);
+  ASSERT_TRUE(B2.decode(B.encode()));
+  EXPECT_EQ(B2.size(), 1u);
+  EXPECT_TRUE(B2.lookup(9).has_value());
+}
+
+TEST(ManifestTest, RoundTrip) {
+  Manifest M;
+  M.Funcs["f"] = {11, 21};
+  M.Funcs["g"] = {12, 22};
+  Manifest M2;
+  ASSERT_TRUE(M2.decode(M.encode()));
+  ASSERT_EQ(M2.Funcs.size(), 2u);
+  EXPECT_EQ(M2.Funcs["f"].ContentHash, 11u);
+  EXPECT_EQ(M2.Funcs["g"].ClosureHash, 22u);
+}
+
+//===----------------------------------------------------------------------===//
+// PersistSession lifecycle
+//===----------------------------------------------------------------------===//
+
+PersistOptions sessionOpts(const std::string &Dir, bool Incremental = true) {
+  PersistOptions PO;
+  PO.Dir = Dir;
+  PO.Incremental = Incremental;
+  PO.BlockFingerprint = 42;
+  return PO;
+}
+
+TEST(PersistSessionTest, ColdThenWarm) {
+  TempDir D("session");
+  {
+    PersistSession S(sessionOpts(D.Path));
+    EXPECT_TRUE(S.degradedReason().empty());
+    EXPECT_TRUE(S.previousManifest().Funcs.empty());
+    S.solverCache().store(5, smt::SolveResult::Unsat);
+    S.blocks().store(7, "summary");
+    Manifest M;
+    M.Funcs["main"] = {1, 2};
+    S.setCurrentManifest(std::move(M));
+    std::string Error;
+    ASSERT_TRUE(S.save(&Error)) << Error;
+  }
+  PersistSession Warm(sessionOpts(D.Path));
+  EXPECT_TRUE(Warm.degradedReason().empty());
+  smt::SolveResult R;
+  ASSERT_TRUE(Warm.solverCache().lookup(5, R));
+  EXPECT_EQ(R, smt::SolveResult::Unsat);
+  EXPECT_TRUE(Warm.blocks().lookup(7).has_value());
+  EXPECT_EQ(Warm.previousManifest().Funcs.at("main").ClosureHash, 2u);
+}
+
+TEST(PersistSessionTest, BlockFingerprintChangeLoadsColdSilently) {
+  TempDir D("refp");
+  {
+    PersistSession S(sessionOpts(D.Path));
+    S.blocks().store(7, "summary");
+    ASSERT_TRUE(S.save());
+  }
+  PersistOptions PO = sessionOpts(D.Path);
+  PO.BlockFingerprint = 43; // analysis options changed
+  PersistSession S(PO);
+  EXPECT_TRUE(S.degradedReason().empty()); // not an anomaly
+  EXPECT_FALSE(S.blocks().lookup(7).has_value());
+}
+
+TEST(PersistSessionTest, CorruptStoreDegradesButSessionWorks) {
+  TempDir D("degraded");
+  {
+    PersistSession S(sessionOpts(D.Path));
+    S.solverCache().store(5, smt::SolveResult::Sat);
+    ASSERT_TRUE(S.save());
+  }
+  std::string Bytes = slurp(D.file("solver.mixcache"));
+  Bytes.back() ^= 0x01;
+  spit(D.file("solver.mixcache"), Bytes);
+
+  obs::MetricsRegistry Reg;
+  PersistOptions PO = sessionOpts(D.Path);
+  PO.Metrics = &Reg;
+  PersistSession S(PO);
+  EXPECT_FALSE(S.degradedReason().empty());
+  EXPECT_EQ(Reg.counterValue("persist.degraded"), 1u);
+  // Cold but functional: stores work and a save repairs the directory.
+  smt::SolveResult R;
+  EXPECT_FALSE(S.solverCache().lookup(5, R));
+  S.solverCache().store(6, smt::SolveResult::Sat);
+  ASSERT_TRUE(S.save());
+  PersistSession S2(sessionOpts(D.Path));
+  EXPECT_TRUE(S2.degradedReason().empty());
+  EXPECT_TRUE(S2.solverCache().lookup(6, R));
+}
+
+TEST(PersistSessionTest, UnusableDirectoryDegrades) {
+  TempDir D("blocked");
+  spit(D.file("not_a_dir"), "file"); // a file where the dir should be
+  PersistSession S(sessionOpts(D.file("not_a_dir") + "/cache"));
+  EXPECT_FALSE(S.degradedReason().empty());
+  EXPECT_FALSE(S.save()); // nothing to write into
+}
+
+TEST(PersistSessionTest, SolverStoreSharedAcrossFingerprints) {
+  // Sat/Unsat verdicts are option-independent, so the solver store loads
+  // under any block fingerprint.
+  TempDir D("solvershared");
+  {
+    PersistSession S(sessionOpts(D.Path));
+    S.solverCache().store(5, smt::SolveResult::Sat);
+    ASSERT_TRUE(S.save());
+  }
+  PersistOptions PO = sessionOpts(D.Path);
+  PO.BlockFingerprint = 99;
+  PersistSession S(PO);
+  smt::SolveResult R;
+  EXPECT_TRUE(S.solverCache().lookup(5, R));
+}
+
+TEST(PersistSessionTest, MetricsCounters) {
+  obs::MetricsRegistry Reg;
+  TempDir D("metrics");
+  PersistOptions PO = sessionOpts(D.Path);
+  PO.Metrics = &Reg;
+  PersistSession S(PO);
+  smt::SolveResult R;
+  S.solverCache().lookup(1, R);
+  S.solverCache().store(1, smt::SolveResult::Sat);
+  S.solverCache().lookup(1, R);
+  S.blocks().lookup(2);
+  S.blocks().store(2, "p");
+  S.blocks().lookup(2);
+  EXPECT_EQ(Reg.counterValue("persist.solver.misses"), 1u);
+  EXPECT_EQ(Reg.counterValue("persist.solver.hits"), 1u);
+  EXPECT_EQ(Reg.counterValue("persist.solver.stores"), 1u);
+  EXPECT_EQ(Reg.counterValue("persist.block.misses"), 1u);
+  EXPECT_EQ(Reg.counterValue("persist.block.hits"), 1u);
+  EXPECT_EQ(Reg.counterValue("persist.block.stores"), 1u);
+}
+
+} // namespace

@@ -24,37 +24,18 @@ using namespace mix;
 
 namespace {
 
-void printUsage() {
+// The options section is generated from the parser registrations
+// (OptionParser::renderHelp), so --help cannot drift from the flags the
+// tool actually accepts; a golden test enforces the coverage.
+void printUsage(const driver::OptionParser &Parser) {
   std::cout <<
       R"(usage: mixcheck [options] <file | ->
 
 Checks a MIX core-language program. Reads from stdin when the file is '-'.
 
 options:
-  --mode=typed|symbolic   treat the outermost scope as a typed (default)
-                          or symbolic block
-  --strategy=fork|defer   conditional strategy (Section 3.1); default fork
-  --havoc=full|effects    SETypBlock memory havoc policy (Section 3.2);
-                          default full
-  --precise-deref         use the refined SEDeref rule (Section 3.1)
-  --assume-complete       skip the exhaustive() check (unsound mode)
-  --explore=concolic      enumerate paths DART-style (one per concrete
-                          run, flips solved via model extraction)
-  --auto-place            insert symbolic blocks automatically on failure
-  --jobs=N                check a block's paths (and auto-place
-                          candidates) on N worker threads (default 1 =
-                          serial; 0 = one per hardware thread)
-  --var name:type         add a free variable to Gamma (type: int, bool,
-                          'int ref', ...); may be repeated
-  --print-program         echo the (possibly auto-annotated) program
-  --format=text|json      diagnostic rendering: text to stderr (default)
-                          or one JSON document on stdout
-  --trace=FILE            write a Chrome-trace-format JSON timeline
-                          (load in chrome://tracing or Perfetto)
-  --metrics=FILE          write all counters and histograms as JSON
-  --stats                 print analysis statistics
-  --help                  this text
-
+)" << Parser.renderHelp()
+            << R"(
 exit status: 0 when the program checks, 1 when it is rejected, 2 on
 usage or parse errors.
 )";
@@ -93,63 +74,92 @@ int main(int Argc, char **Argv) {
 
   driver::OptionParser Parser("mixcheck");
   driver::DriverContext Driver;
+  Parser.value(
+      "--mode",
+      [&](const std::string &V) {
+        if (V == "typed")
+          Symbolic = false;
+        else if (V == "symbolic")
+          Symbolic = true;
+        else
+          return false;
+        return true;
+      },
+      "typed|symbolic",
+      "treat the outermost scope as a typed (default) or symbolic block");
+  Parser.value(
+      "--strategy",
+      [&](const std::string &V) {
+        if (V == "fork")
+          Opts.Exec.Strat = SymExecOptions::Strategy::Fork;
+        else if (V == "defer")
+          Opts.Exec.Strat = SymExecOptions::Strategy::Defer;
+        else
+          return false;
+        return true;
+      },
+      "fork|defer", "conditional strategy (Section 3.1); default fork");
+  Parser.value(
+      "--havoc",
+      [&](const std::string &V) {
+        if (V == "full")
+          Opts.Exec.Havoc = SymExecOptions::HavocPolicy::FullMemory;
+        else if (V == "effects")
+          Opts.Exec.Havoc = SymExecOptions::HavocPolicy::WriteEffects;
+        else
+          return false;
+        return true;
+      },
+      "full|effects",
+      "SETypBlock memory havoc policy (Section 3.2); default full");
+  Parser.flag("--precise-deref", &Opts.Exec.PreciseDeref,
+              "use the refined SEDeref rule (Section 3.1)");
+  Parser.flag("--assume-complete",
+              [&] {
+                Opts.Exhaustive = MixOptions::Exhaustiveness::AssumeComplete;
+              },
+              "skip the exhaustive() check (unsound mode)");
+  Parser.value(
+      "--explore",
+      [&](const std::string &V) {
+        if (V == "concolic")
+          Opts.Explore = MixOptions::Exploration::Concolic;
+        else if (V == "all")
+          Opts.Explore = MixOptions::Exploration::AllPaths;
+        else
+          return false;
+        return true;
+      },
+      "concolic",
+      "enumerate paths DART-style (one per concrete run, flips solved\n"
+      "via model extraction)");
+  Parser.flag("--auto-place", &AutoPlace,
+              "insert symbolic blocks automatically on failure");
+  Parser.jobs(&Opts.Jobs,
+              "check a block's paths (and auto-place candidates) on N\n"
+              "worker threads (default 1 = serial; 0 = one per hardware "
+              "thread)");
+  Parser.separateValue(
+      "--var",
+      [&](const std::string &Spec) {
+        size_t Colon = Spec.find(':');
+        if (Colon == std::string::npos)
+          return false;
+        VarSpecs.emplace_back(Spec.substr(0, Colon), Spec.substr(Colon + 1));
+        return true;
+      },
+      "name:type",
+      "add a free variable to Gamma (type: int, bool, 'int ref', ...);\n"
+      "may be repeated");
+  Parser.flag("--print-program", &PrintProgram,
+              "echo the (possibly auto-annotated) program");
   Driver.registerOptions(Parser);
-  Parser.flag("--help", &Help);
-  Parser.value("--mode", [&](const std::string &V) {
-    if (V == "typed")
-      Symbolic = false;
-    else if (V == "symbolic")
-      Symbolic = true;
-    else
-      return false;
-    return true;
-  });
-  Parser.value("--strategy", [&](const std::string &V) {
-    if (V == "fork")
-      Opts.Exec.Strat = SymExecOptions::Strategy::Fork;
-    else if (V == "defer")
-      Opts.Exec.Strat = SymExecOptions::Strategy::Defer;
-    else
-      return false;
-    return true;
-  });
-  Parser.value("--havoc", [&](const std::string &V) {
-    if (V == "full")
-      Opts.Exec.Havoc = SymExecOptions::HavocPolicy::FullMemory;
-    else if (V == "effects")
-      Opts.Exec.Havoc = SymExecOptions::HavocPolicy::WriteEffects;
-    else
-      return false;
-    return true;
-  });
-  Parser.flag("--precise-deref", &Opts.Exec.PreciseDeref);
-  Parser.flag("--assume-complete", [&] {
-    Opts.Exhaustive = MixOptions::Exhaustiveness::AssumeComplete;
-  });
-  Parser.value("--explore", [&](const std::string &V) {
-    if (V == "concolic")
-      Opts.Explore = MixOptions::Exploration::Concolic;
-    else if (V == "all")
-      Opts.Explore = MixOptions::Exploration::AllPaths;
-    else
-      return false;
-    return true;
-  });
-  Parser.flag("--auto-place", &AutoPlace);
-  Parser.jobs(&Opts.Jobs);
-  Parser.separateValue("--var", [&](const std::string &Spec) {
-    size_t Colon = Spec.find(':');
-    if (Colon == std::string::npos)
-      return false;
-    VarSpecs.emplace_back(Spec.substr(0, Colon), Spec.substr(Colon + 1));
-    return true;
-  });
-  Parser.flag("--print-program", &PrintProgram);
+  Parser.flag("--help", &Help, "this text");
 
   if (!Parser.parse(Argc, Argv))
     return driver::ExitUsage;
   if (Help) {
-    printUsage();
+    printUsage(Parser);
     return driver::ExitClean;
   }
   if (Parser.positionals().size() > 1) {
@@ -158,7 +168,7 @@ int main(int Argc, char **Argv) {
     return driver::ExitUsage;
   }
   if (Parser.positionals().empty()) {
-    printUsage();
+    printUsage(Parser);
     return driver::ExitUsage;
   }
 
@@ -173,6 +183,14 @@ int main(int Argc, char **Argv) {
 
   AstContext Ctx;
   DiagnosticEngine Diags;
+
+  // Persistence (--cache-dir): reuse solver verdicts across runs. The
+  // session is saved by writeArtifacts; a rejected cache degrades to a
+  // cold run with one MIX502 note.
+  if (auto *Session = Driver.openPersist(/*Incremental=*/false,
+                                         /*BlockFingerprint=*/0, Diags))
+    Opts.Smt.Cache = &Session->solverCache();
+
   const Expr *Program = parseExpression(Source, Ctx, Diags);
   if (!Program) {
     Driver.emitDiagnostics(Diags);

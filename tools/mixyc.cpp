@@ -25,7 +25,10 @@ namespace obs = mix::obs;
 
 namespace {
 
-void printUsage() {
+// The options section is generated from the parser registrations
+// (OptionParser::renderHelp), so --help cannot drift from the flags the
+// tool actually accepts; a golden test enforces the coverage.
+void printUsage(const driver::OptionParser &Parser) {
   std::cout <<
       R"(usage: mixyc [options] <file | - | @caseN | @vsftpd>
 
@@ -34,22 +37,8 @@ the built-in vsftpd-derived corpus (Section 4.5 of the paper); append
 ':baseline' (e.g. @case1:baseline) for the un-annotated variant.
 
 options:
-  --baseline          pure type qualifier inference (ignore MIX blocks)
-  --entry=NAME        entry function (default: main)
-  --start=typed|symbolic  initial analysis mode (default: typed)
-  --no-cache          disable block-result caching (Section 4.3)
-  --no-alias-restore  disable aliasing restoration (Section 4.2)
-  --jobs=N            analyze symbolic blocks on N worker threads
-                      (default 1 = serial; 0 = one per hardware thread)
-  --warn-derefs       treat every dereference as a nonnull requirement
-  --format=text|json  diagnostic rendering: text to stderr (default) or
-                      one JSON document on stdout
-  --trace=FILE        write a Chrome-trace-format JSON timeline (load in
-                      chrome://tracing or Perfetto)
-  --metrics=FILE      write all counters and histograms as JSON
-  --stats             print analysis statistics
-  --help              this text
-
+)" << Parser.renderHelp()
+            << R"(
 exit status: 0 with no warnings, 1 with warnings, 2 on usage/parse errors.
 )";
 }
@@ -77,49 +66,71 @@ int main(int Argc, char **Argv) {
   bool Help = false;
   std::string Entry = "main";
   bool Baseline = false;
+  bool Incremental = false;
   MixyAnalysis::StartMode Mode = MixyAnalysis::StartMode::Typed;
   MixyOptions Opts;
 
   driver::OptionParser Parser("mixyc");
   driver::DriverContext Driver;
+  Parser.flag("--baseline", &Baseline,
+              "pure type qualifier inference (ignore MIX blocks)");
+  Parser.value(
+      "--entry",
+      [&](const std::string &V) {
+        if (V.empty())
+          return false;
+        Entry = V;
+        return true;
+      },
+      "NAME", "entry function (default: main)");
+  Parser.value(
+      "--start",
+      [&](const std::string &V) {
+        if (V == "typed")
+          Mode = MixyAnalysis::StartMode::Typed;
+        else if (V == "symbolic")
+          Mode = MixyAnalysis::StartMode::Symbolic;
+        else
+          return false;
+        return true;
+      },
+      "typed|symbolic", "initial analysis mode (default: typed)");
+  Parser.flag("--no-cache", [&] { Opts.EnableCache = false; },
+              "disable block-result caching (Section 4.3)");
+  Parser.flag("--no-alias-restore", [&] { Opts.RestoreAliasing = false; },
+              "disable aliasing restoration (Section 4.2)");
+  Parser.jobs(&Opts.Jobs,
+              "analyze symbolic blocks on N worker threads\n"
+              "(default 1 = serial; 0 = one per hardware thread)");
+  Parser.flag("--warn-derefs",
+              [&] {
+                Opts.Qual.WarnAllDereferences = true;
+                Opts.Sym.CheckDereferences = true;
+              },
+              "treat every dereference as a nonnull requirement");
   Driver.registerOptions(Parser);
-  Parser.flag("--help", &Help);
-  Parser.flag("--baseline", &Baseline);
-  Parser.value("--entry", [&](const std::string &V) {
-    if (V.empty())
-      return false;
-    Entry = V;
-    return true;
-  });
-  Parser.value("--start", [&](const std::string &V) {
-    if (V == "typed")
-      Mode = MixyAnalysis::StartMode::Typed;
-    else if (V == "symbolic")
-      Mode = MixyAnalysis::StartMode::Symbolic;
-    else
-      return false;
-    return true;
-  });
-  Parser.flag("--no-cache", [&] { Opts.EnableCache = false; });
-  Parser.flag("--no-alias-restore", [&] { Opts.RestoreAliasing = false; });
-  Parser.jobs(&Opts.Jobs);
-  Parser.flag("--warn-derefs", [&] {
-    Opts.Qual.WarnAllDereferences = true;
-    Opts.Sym.CheckDereferences = true;
-  });
+  Parser.flag("--incremental", &Incremental,
+              "with --cache-dir: reuse per-block summaries across runs,\n"
+              "re-analyzing only functions whose code or dependencies "
+              "changed");
+  Parser.flag("--help", &Help, "this text");
 
   if (!Parser.parse(Argc, Argv))
     return driver::ExitUsage;
   if (Help) {
-    printUsage();
+    printUsage(Parser);
     return driver::ExitClean;
+  }
+  if (Incremental && !Driver.cacheDirRequested()) {
+    std::cerr << "mixyc: --incremental requires --cache-dir\n";
+    return driver::ExitUsage;
   }
   if (Parser.positionals().size() > 1) {
     std::cerr << "mixyc: extra argument '" << Parser.positionals()[1] << "'\n";
     return driver::ExitUsage;
   }
   if (Parser.positionals().empty()) {
-    printUsage();
+    printUsage(Parser);
     return driver::ExitUsage;
   }
 
@@ -136,6 +147,13 @@ int main(int Argc, char **Argv) {
 
   CAstContext Ctx;
   DiagnosticEngine Diags;
+
+  // Persistence: the session (null without --cache-dir) is loaded now and
+  // saved by writeArtifacts. A rejected cache degrades to a cold run with
+  // one MIX502 note.
+  Opts.Persist =
+      Driver.openPersist(Incremental, mixyPersistFingerprint(Opts), Diags);
+
   const CProgram *Program = parseC(Source, Ctx, Diags);
   if (!Program) {
     Driver.emitDiagnostics(Diags);
