@@ -16,12 +16,14 @@
 #include "mixy/VsftpdMini.h"
 #include "observe/Metrics.h"
 #include "observe/Trace.h"
+#include "provenance/Provenance.h"
 
 #include <benchmark/benchmark.h>
 
 using namespace mix::c;
 using mix::DiagnosticEngine;
 namespace obs = mix::obs;
+namespace prov = mix::prov;
 
 namespace {
 
@@ -87,7 +89,8 @@ void BM_TraceSpan_LiveSink(benchmark::State &State) {
 // the one the <2% regression budget applies to.
 //===----------------------------------------------------------------------===//
 
-void runCase(benchmark::State &State, bool Metrics, bool Trace) {
+void runCase(benchmark::State &State, bool Metrics, bool Trace,
+             bool Explain = false) {
   std::string Source = corpus::vsftpdCase(2, true);
   for (auto _ : State) {
     CAstContext Ctx;
@@ -95,11 +98,14 @@ void runCase(benchmark::State &State, bool Metrics, bool Trace) {
     const CProgram *P = parseC(Source, Ctx, Diags);
     obs::MetricsRegistry Reg;
     obs::TraceSink Sink;
+    prov::ProvenanceSink Prov;
     MixyOptions Opts;
     if (Metrics)
       Opts.Metrics = &Reg;
     if (Trace)
       Opts.Trace = &Sink;
+    if (Explain)
+      Opts.Prov = &Prov;
     MixyAnalysis Analysis(*P, Ctx, Diags, Opts);
     benchmark::DoNotOptimize(Analysis.run(MixyAnalysis::StartMode::Typed));
   }
@@ -111,6 +117,13 @@ void BM_Mixy_ObservabilityOff(benchmark::State &State) {
 void BM_Mixy_MetricsOn(benchmark::State &State) { runCase(State, true, false); }
 void BM_Mixy_MetricsAndTraceOn(benchmark::State &State) {
   runCase(State, true, true);
+}
+// The provenance sink follows the same null-handle contract: the default
+// (detached) run above doubles as the explain-off baseline, and this
+// variant shows what recording witness paths / flow chains / block
+// contexts costs when --explain or --format=sarif asks for them.
+void BM_Mixy_ProvenanceOn(benchmark::State &State) {
+  runCase(State, true, false, /*Explain=*/true);
 }
 
 } // namespace
@@ -124,5 +137,6 @@ BENCHMARK(BM_TraceSpan_LiveSink);
 BENCHMARK(BM_Mixy_ObservabilityOff);
 BENCHMARK(BM_Mixy_MetricsOn);
 BENCHMARK(BM_Mixy_MetricsAndTraceOn);
+BENCHMARK(BM_Mixy_ProvenanceOn);
 
 BENCHMARK_MAIN();

@@ -58,12 +58,29 @@ bool CSymExecutor::feasible(const Term *Path) {
   return !Solver.isDefinitelyUnsat(Path);
 }
 
-void CSymExecutor::warn(SourceLoc Loc, const std::string &Message) {
+void CSymExecutor::warn(SourceLoc Loc, const std::string &Message,
+                        const CSymState *State, const Term *WitnessCond) {
   std::string Key = Loc.str() + "|" + Message;
   if (!EmittedWarnings.insert(Key).second)
     return;
   ++WarningsThisRun;
-  Diags.warning(Loc, Message);
+  size_t Idx = Diags.report(DiagKind::Warning, Loc, Message);
+  if (Opts.Prov && State) {
+    auto Payload = std::make_shared<prov::DiagProvenance>();
+    prov::WitnessPath W;
+    W.Steps = State->Trail;
+    const Term *Cond = WitnessCond ? WitnessCond : State->Path;
+    W.PathCondition = Cond->str();
+    smt::SmtModel Model;
+    if (Solver.checkSat(Cond, &Model) == smt::SolveResult::Sat) {
+      for (auto &[Name, Value] : smt::modelBindings(Terms, Model))
+        W.Model.push_back({Name, Value});
+      W.ModelComplete = Model.Complete;
+    }
+    Payload->Witness = std::move(W);
+    Diags.attachProvenance(Idx, std::move(Payload));
+    Opts.Prov->countWitness();
+  }
 }
 
 CScope CSymExecutor::scopeOf(const CSymState &State,
@@ -205,8 +222,9 @@ CSymExecutor::resolveLValue(const CExpr *E, CSymState State,
       if (Opts.CheckDereferences) {
         ++Statistics.NullChecks;
         const Term *NullG = F.Value.nullGuard(Terms);
-        if (feasible(Terms.andTerm(F.State.Path, NullG)))
-          warn(E->loc(), "possible null dereference");
+        const Term *NullPath = Terms.andTerm(F.State.Path, NullG);
+        if (feasible(NullPath))
+          warn(E->loc(), "possible null dereference", &F.State, NullPath);
       }
       // Continue under the assumption the dereference survived.
       LResolved R;
@@ -246,8 +264,9 @@ CSymExecutor::resolveLValue(const CExpr *E, CSymState State,
       if (Opts.CheckDereferences) {
         ++Statistics.NullChecks;
         const Term *NullG = F.Value.nullGuard(Terms);
-        if (feasible(Terms.andTerm(F.State.Path, NullG)))
-          warn(E->loc(), "possible null dereference");
+        const Term *NullPath = Terms.andTerm(F.State.Path, NullG);
+        if (feasible(NullPath))
+          warn(E->loc(), "possible null dereference", &F.State, NullPath);
       }
       LResolved R;
       R.State = std::move(F.State);
@@ -336,8 +355,9 @@ CSymExecutor::evalExpr(const CExpr *E, CSymState State, const Frame &Frame) {
         if (Opts.CheckDereferences) {
           ++Statistics.NullChecks;
           const Term *NullG = F.Value.nullGuard(Terms);
-          if (feasible(Terms.andTerm(F.State.Path, NullG)))
-            warn(E->loc(), "possible null dereference");
+          const Term *NullPath = Terms.andTerm(F.State.Path, NullG);
+          if (feasible(NullPath))
+            warn(E->loc(), "possible null dereference", &F.State, NullPath);
         }
         CSymState S = std::move(F.State);
         S.Path = Terms.andTerm(S.Path, F.Value.nonNullGuard(Terms));
@@ -589,14 +609,16 @@ CSymExecutor::evalCall(const CCall *Call, CSymState State,
           AnyTarget = true;
           warn(Call->loc(),
                "call through unknown function pointer cannot be "
-               "executed symbolically; consider MIX(typed)");
+               "executed symbolically; consider MIX(typed)",
+               &Branch);
           Flow Conservative = externCall(Call, nullptr, Args,
                                          std::move(Branch));
           Out.push_back(std::move(Conservative));
           break;
         }
         case PtrTarget::Kind::Null:
-          warn(Call->loc(), "possible call through null function pointer");
+          warn(Call->loc(), "possible call through null function pointer",
+               &Branch);
           break;
         case PtrTarget::Kind::Object:
           break;
@@ -634,11 +656,13 @@ void CSymExecutor::dispatchCall(const CCall *Call, const CFuncDecl *Callee,
         continue;
       ++Statistics.NullChecks;
       const Term *NullG = Args[I].nullGuard(Terms);
-      if (feasible(Terms.andTerm(State.Path, NullG)))
-        warn(Call->loc(), "possibly-null argument passed to nonnull "
-                          "parameter '" +
-                              Callee->params()[I].Name + "' of " +
-                              Callee->name());
+      const Term *NullPath = Terms.andTerm(State.Path, NullG);
+      if (feasible(NullPath))
+        warn(Call->loc(),
+             "possibly-null argument passed to nonnull "
+             "parameter '" +
+                 Callee->params()[I].Name + "' of " + Callee->name(),
+             &State, NullPath);
     }
   }
 
@@ -757,6 +781,8 @@ std::vector<CSymState> CSymExecutor::execStmt(const CStmt *S, CSymState State,
         ++Statistics.PathsExplored;
         CSymState Then = F.State;
         Then.Path = ThenPath;
+        if (Opts.Prov)
+          Then.Trail.push_back({I->cond()->loc(), "condition true"});
         for (CSymState &R : execStmt(I->thenStmt(), std::move(Then), Frame))
           Out.push_back(std::move(R));
       } else {
@@ -770,6 +796,8 @@ std::vector<CSymState> CSymExecutor::execStmt(const CStmt *S, CSymState State,
         ++Statistics.PathsExplored;
         CSymState Else = std::move(F.State);
         Else.Path = ElsePath;
+        if (Opts.Prov)
+          Else.Trail.push_back({I->cond()->loc(), "condition false"});
         if (I->elseStmt()) {
           for (CSymState &R :
                execStmt(I->elseStmt(), std::move(Else), Frame))
@@ -841,12 +869,16 @@ std::vector<CSymState> CSymExecutor::execWhile(const CWhileStmt *W,
         if (feasible(ExitPath)) {
           CSymState Exit = F.State;
           Exit.Path = ExitPath;
+          if (Opts.Prov)
+            Exit.Trail.push_back({W->cond()->loc(), "loop exit"});
           Exited.push_back(std::move(Exit));
         }
         const Term *LoopPath = Terms.andTerm(F.State.Path, Cond);
         if (feasible(LoopPath)) {
           CSymState Loop = std::move(F.State);
           Loop.Path = LoopPath;
+          if (Opts.Prov)
+            Loop.Trail.push_back({W->cond()->loc(), "loop iteration"});
           for (CSymState &R : execStmt(W->body(), std::move(Loop), Frame))
             NextActive.push_back(std::move(R));
         }

@@ -31,6 +31,7 @@
 
 #include "cfront/CSema.h"
 #include "csym/CSymValue.h"
+#include "provenance/Provenance.h"
 #include "solver/SmtSolver.h"
 #include "support/Diagnostics.h"
 
@@ -52,6 +53,10 @@ struct CSymState {
   std::map<std::string, const CType *> LocalTypes;
   bool Returned = false;
   CSymValue RetValue;
+  /// With provenance recording on (CSymOptions::Prov): the branch
+  /// decisions that produced this path, in execution order. Always empty
+  /// when recording is off, so state copies stay cheap.
+  std::vector<prov::WitnessStep> Trail;
 };
 
 /// MIXY's hook for calls to MIX(typed) functions met during symbolic
@@ -81,6 +86,12 @@ struct CSymOptions {
   bool CheckNonnullArguments = true;
   /// Warn on dereferences whose null case is feasible.
   bool CheckDereferences = true;
+
+  /// Provenance recording (see src/provenance/). When attached, states
+  /// carry branch trails and every warning emitted with a state in hand
+  /// gets a witness path (trail, feasible null path condition, and a
+  /// solver model for it). Null — the default — records nothing.
+  prov::ProvenanceSink *Prov = nullptr;
 };
 
 /// Result of symbolically executing one function.
@@ -263,7 +274,15 @@ private:
   const smt::Term *intTerm(const CSymValue &V);
 
   bool feasible(const smt::Term *Path);
-  void warn(SourceLoc Loc, const std::string &Message);
+
+  /// Reports a (deduplicated) warning. When \p State is given and
+  /// provenance recording is on, the warning carries a witness path built
+  /// from the state's branch trail and \p WitnessCond — the feasible
+  /// condition that triggered the warning (defaults to the state's path
+  /// condition) — with a satisfying model extracted from the solver.
+  void warn(SourceLoc Loc, const std::string &Message,
+            const CSymState *State = nullptr,
+            const smt::Term *WitnessCond = nullptr);
 
   const CType *typeOf(const CExpr *E, const CSymState &State,
                       const Frame &Frame);

@@ -7,6 +7,8 @@
 
 #include "driver/Driver.h"
 
+#include "provenance/Sarif.h"
+
 #include <fstream>
 #include <iostream>
 
@@ -35,16 +37,23 @@ void DriverContext::registerOptions(OptionParser &P) {
       "--format",
       [this](const std::string &V) {
         if (V == "text")
-          Json = false;
+          Format = OutputFormat::Text;
         else if (V == "json")
-          Json = true;
+          Format = OutputFormat::Json;
+        else if (V == "sarif")
+          Format = OutputFormat::Sarif;
         else
           return false;
         return true;
       },
-      "text|json",
-      "diagnostic output format: text to stderr (default) or one JSON\n"
-      "document to stdout");
+      "text|json|sarif",
+      "diagnostic output format: text to stderr (default), one JSON\n"
+      "document to stdout, or a SARIF 2.1.0 log (with witness paths and\n"
+      "qualifier flow chains as code flows) to stdout");
+  P.flag("--explain", &Explain,
+         "follow each diagnostic with its evidence: the symbolic witness\n"
+         "path (with a concrete counterexample) or the qualifier flow\n"
+         "chain, plus the MIX block it came from");
   P.flag("--stats", &Stats, "print analysis statistics after the run");
   P.value(
       "--cache-dir",
@@ -94,11 +103,36 @@ bool DriverContext::writeArtifacts(const std::string &Tool) {
   return Ok;
 }
 
-void DriverContext::emitDiagnostics(const DiagnosticEngine &Diags) {
-  if (Json)
-    std::cout << Diags.renderJSON() << "\n";
-  else
-    std::cerr << Diags.str();
+mix::prov::ProvenanceSink *DriverContext::provenanceSink() {
+  if (!Explain && Format != OutputFormat::Sarif)
+    return nullptr;
+  if (!ProvAttached) {
+    Prov.attachMetrics(Registry);
+    ProvAttached = true;
+  }
+  return &Prov;
+}
+
+void DriverContext::emitDiagnostics(const DiagnosticEngine &Diags,
+                                    const std::string &Tool) {
+  switch (Format) {
+  case OutputFormat::Sarif: {
+    prov::SarifOptions SO;
+    SO.ToolName = Tool;
+    SO.ArtifactUri = InputName;
+    std::cout << prov::renderSarif(Diags, SO) << "\n";
+    return;
+  }
+  case OutputFormat::Json:
+    std::cout << Diags.renderJSON(/*Sorted=*/true) << "\n";
+    return;
+  case OutputFormat::Text:
+    if (Explain)
+      std::cerr << prov::renderExplainText(Diags);
+    else
+      std::cerr << Diags.str();
+    return;
+  }
 }
 
 bool mix::driver::writeFile(const std::string &Tool, const std::string &Path,

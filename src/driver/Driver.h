@@ -8,18 +8,23 @@
 /// \file
 /// The observability and output half of the shared driver layer. Both
 /// tools own a DriverContext; it registers the cross-cutting flags
-/// (--trace=FILE, --metrics=FILE, --format=text|json, --stats), carries
-/// the metrics registry and trace sink the analyses report into, and
-/// writes the requested artifacts at exit.
+/// (--trace=FILE, --metrics=FILE, --format=text|json|sarif, --explain,
+/// --stats), carries the metrics registry and trace sink the analyses
+/// report into, and writes the requested artifacts at exit.
 ///
 ///  - The registry is always live: --stats renders from it and the
 ///    library counters (block caches, solver, analyses) are cheap relaxed
 ///    atomics, so there is no "metrics off" tool mode to keep consistent.
 ///  - The trace sink is attached only when --trace was given; a null sink
 ///    pointer is the library-level off switch (one branch per site).
-///  - With --format=json, stdout carries exactly one JSON document (the
-///    diagnostics array), so machine consumers can pipe it straight into
-///    a JSON parser; human-oriented extras (--stats) move to stderr.
+///  - The provenance sink is attached only when the output needs recorded
+///    evidence (--explain or --format=sarif); null is the same
+///    one-branch-per-site off switch.
+///  - With --format=json or --format=sarif, stdout carries exactly one
+///    JSON document, so machine consumers can pipe it straight into a
+///    JSON parser; human-oriented extras (--stats) move to stderr.
+///    Machine formats emit diagnostics sorted by (location, id) so the
+///    document is byte-identical across --jobs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +35,7 @@
 #include "observe/Metrics.h"
 #include "observe/Trace.h"
 #include "persist/PersistSession.h"
+#include "provenance/Provenance.h"
 #include "support/Diagnostics.h"
 
 #include <memory>
@@ -41,8 +47,10 @@ namespace mix::driver {
 /// switches, shared verbatim by both CLIs.
 class DriverContext {
 public:
-  /// Registers --trace, --metrics, --format, --stats, and --cache-dir
-  /// on \p P.
+  enum class OutputFormat { Text, Json, Sarif };
+
+  /// Registers --trace, --metrics, --format, --explain, --stats, and
+  /// --cache-dir on \p P.
   void registerOptions(OptionParser &P);
 
   /// The registry every analysis in the process reports into.
@@ -53,8 +61,20 @@ public:
   /// branch).
   obs::TraceSink *traceSink() { return TraceFile.empty() ? nullptr : &Sink; }
 
+  /// The provenance sink to hand to analyses: live (counting into the
+  /// registry's provenance.* counters) when the selected output renders
+  /// evidence — --explain or --format=sarif — and null otherwise, which
+  /// keeps recording at one branch per site.
+  prov::ProvenanceSink *provenanceSink();
+
   bool statsRequested() const { return Stats; }
-  bool jsonOutput() const { return Json; }
+  OutputFormat format() const { return Format; }
+  bool jsonOutput() const { return Format != OutputFormat::Text; }
+  bool explainRequested() const { return Explain; }
+
+  /// Remembers the input path so SARIF output can cite it as the
+  /// artifact URI ("input" when never set, e.g. stdin).
+  void setInputName(const std::string &Name) { InputName = Name; }
 
   /// Did the user pass --cache-dir?
   bool cacheDirRequested() const { return !CacheDir.empty(); }
@@ -77,18 +97,26 @@ public:
   bool writeArtifacts(const std::string &Tool);
 
   /// Renders \p Diags the way the selected --format dictates: text to
-  /// stderr (the historical shape), or one JSON document to stdout.
-  void emitDiagnostics(const DiagnosticEngine &Diags);
+  /// stderr (the historical shape; with --explain each diagnostic is
+  /// followed by its recorded evidence), or one JSON/SARIF document to
+  /// stdout (sorted by location so the bytes are --jobs-invariant).
+  /// \p Tool names the SARIF tool.driver.
+  void emitDiagnostics(const DiagnosticEngine &Diags,
+                       const std::string &Tool = "mix");
 
 private:
   obs::MetricsRegistry Registry;
   obs::TraceSink Sink;
+  prov::ProvenanceSink Prov;
   std::string TraceFile;
   std::string MetricsFile;
   std::string CacheDir;
+  std::string InputName;
   std::unique_ptr<persist::PersistSession> Persist;
   bool Stats = false;
-  bool Json = false;
+  bool Explain = false;
+  bool ProvAttached = false;
+  OutputFormat Format = OutputFormat::Text;
 };
 
 /// Writes \p Content to \p Path. Returns false after printing

@@ -20,6 +20,7 @@ static MixOptions normalizedOptions(MixOptions O) {
   O.Smt.Trace = O.Trace;
   O.Exec.Metrics = O.Metrics;
   O.Exec.Trace = O.Trace;
+  O.Exec.Prov = O.Prov;
   return O;
 }
 
@@ -123,9 +124,9 @@ bool MixChecker::verifyEscapingClosures(const SymExpr *Value,
   return true;
 }
 
-std::string MixChecker::describeWitness(const SymEnv &Env,
-                                        const smt::SmtModel &Model) {
-  std::string Out;
+std::vector<mix::prov::ModelBinding>
+MixChecker::witnessBindings(const SymEnv &Env, const smt::SmtModel &Model) {
+  std::vector<prov::ModelBinding> Out;
   for (const auto &[Name, Value] : Env) {
     if (Value->kind() != SymKind::Var)
       continue;
@@ -140,11 +141,44 @@ std::string MixChecker::describeWitness(const SymEnv &Env,
       Rendered = Model.boolValue(T->varId()) ? "true" : "false";
     else
       continue;
-    if (!Out.empty())
-      Out += ", ";
-    Out += Name + " = " + Rendered;
+    Out.push_back({Name, Rendered});
   }
   return Out;
+}
+
+std::string MixChecker::describeWitness(const SymEnv &Env,
+                                        const smt::SmtModel &Model) {
+  std::string Out;
+  for (const prov::ModelBinding &B : witnessBindings(Env, Model)) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += B.Name + " = " + B.Value;
+  }
+  return Out;
+}
+
+void MixChecker::reportPathError(const PathResult &P, SourceLoc BlockLoc,
+                                 const SymEnv &Env,
+                                 const smt::SmtModel &Model) {
+  SourceLoc Loc = P.ErrorLoc.isValid() ? P.ErrorLoc : BlockLoc;
+  size_t Idx = Diags.report(DiagKind::Error, Loc,
+                            P.ErrorMessage + " [on path " +
+                                P.State.Path->str() + "]",
+                            DiagID::SymExecError);
+  if (Opts.Prov) {
+    auto Payload = std::make_shared<prov::DiagProvenance>();
+    prov::WitnessPath W;
+    W.Steps = P.State.Trail;
+    W.PathCondition = P.State.Path->str();
+    W.Model = witnessBindings(Env, Model);
+    W.ModelComplete = Model.Complete;
+    Payload->Witness = std::move(W);
+    Diags.attachProvenance(Idx, std::move(Payload));
+    Opts.Prov->countWitness();
+  }
+  std::string Witness = describeWitness(Env, Model);
+  if (!Witness.empty())
+    Diags.note(Loc, "for example, when " + Witness, DiagID::WitnessNote);
 }
 
 std::vector<char>
@@ -225,14 +259,7 @@ const Type *MixChecker::checkSymbolicCore(const Expr *Body,
       if (P.IsError) {
         smt::SmtModel Model;
         Solver.checkSat(Translator.translate(P.State.Path), &Model);
-        Diags.error(P.ErrorLoc.isValid() ? P.ErrorLoc : Loc,
-                    P.ErrorMessage + " [on path " + P.State.Path->str() +
-                        "]",
-                    DiagID::SymExecError);
-        std::string Witness = describeWitness(Env, Model);
-        if (!Witness.empty())
-          Diags.note(P.ErrorLoc.isValid() ? P.ErrorLoc : Loc,
-                     "for example, when " + Witness, DiagID::WitnessNote);
+        reportPathError(P, Loc, Env, Model);
         return nullptr;
       }
       Live.push_back(&P);
@@ -247,16 +274,9 @@ const Type *MixChecker::checkSymbolicCore(const Expr *Body,
         continue;
       }
       if (P.IsError) {
-        Diags.error(P.ErrorLoc.isValid() ? P.ErrorLoc : Loc,
-                    P.ErrorMessage + " [on path " + P.State.Path->str() +
-                        "]",
-                    DiagID::SymExecError);
         // A concrete witness makes the report actionable: values for the
         // block's inputs under which the failing path is taken.
-        std::string Witness = describeWitness(Env, Model);
-        if (!Witness.empty())
-          Diags.note(P.ErrorLoc.isValid() ? P.ErrorLoc : Loc,
-                     "for example, when " + Witness, DiagID::WitnessNote);
+        reportPathError(P, Loc, Env, Model);
         return nullptr;
       }
       Live.push_back(&P);

@@ -82,6 +82,12 @@ struct MixOptions {
   /// (the default) disables everything at one branch per site.
   obs::MetricsRegistry *Metrics = nullptr;
   obs::TraceSink *Trace = nullptr;
+
+  /// Provenance recording (see src/provenance/). When attached — the
+  /// checker copies it into Exec — every feasible-path error carries a
+  /// witness path: the branch trail, the path condition, and the solver
+  /// model already extracted for the witness note. Null records nothing.
+  prov::ProvenanceSink *Prov = nullptr;
 };
 
 /// Statistics describing one analysis run.
@@ -140,10 +146,19 @@ private:
                               SourceLoc Loc);
   bool verifyClosure(const SymExpr *Closure, SourceLoc Loc);
 
-  /// Renders the model's values for the block's named scalar inputs,
-  /// e.g. "x = -3, b = true" — the concrete counterexample attached to
-  /// feasible-path error reports.
+  /// The model's values for the block's named scalar inputs, in name
+  /// order — the concrete counterexample attached to feasible-path error
+  /// reports.
+  std::vector<prov::ModelBinding> witnessBindings(const SymEnv &Env,
+                                                  const smt::SmtModel &Model);
+
+  /// Renders witnessBindings as "x = -3, b = true".
   std::string describeWitness(const SymEnv &Env, const smt::SmtModel &Model);
+
+  /// Reports the SymExecError for failed path \p P (with its witness
+  /// note) and, when provenance is on, attaches the witness-path payload.
+  void reportPathError(const PathResult &P, SourceLoc BlockLoc,
+                       const SymEnv &Env, const smt::SmtModel &Model);
 
   /// The executor configuration implied by \p Opts (adjusts the strategy
   /// for concolic exploration).

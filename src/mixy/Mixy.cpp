@@ -55,6 +55,8 @@ struct MixyAnalysis::WorkerContext {
 static MixyOptions normalizedOptions(MixyOptions O) {
   O.Smt.Metrics = O.Metrics;
   O.Smt.Trace = O.Trace;
+  O.Sym.Prov = O.Prov;
+  O.Qual.Prov = O.Prov;
   if (O.Persist)
     O.Smt.Cache = &O.Persist->solverCache();
   return O;
@@ -73,6 +75,10 @@ uint64_t mix::c::mixyPersistFingerprint(const MixyOptions &Opts) {
   H.boolean(Opts.Sym.CheckDereferences);
   H.boolean(Opts.Qual.WarnAllDereferences);
   H.u32(Opts.Smt.MaxTheoryIterations);
+  // Recording changes the persisted payload (summaries carry the
+  // provenance of their diagnostics), so explain-on and explain-off runs
+  // must not share a block store.
+  H.boolean(Opts.Prov != nullptr);
   return H.digest();
 }
 
@@ -242,6 +248,11 @@ std::string MixyAnalysis::encodeBlockSummary(
     W.u32(D.Loc.Line);
     W.u32(D.Loc.Column);
     W.str(D.Message);
+    // The provenance payload rides along verbatim, so a warm hit replays
+    // the same explanation the cold run printed.
+    W.boolean(D.Prov != nullptr);
+    if (D.Prov)
+      prov::encodeProvenance(*D.Prov, W);
   }
   W.u32((uint32_t)Switches.size());
   for (const TypedSwitch &S : Switches) {
@@ -288,6 +299,11 @@ bool MixyAnalysis::decodeBlockSummary(
     D.Loc.Line = R.u32();
     D.Loc.Column = R.u32();
     D.Message = R.str();
+    if (R.boolean()) {
+      D.Prov = prov::decodeProvenance(R);
+      if (!D.Prov)
+        return false;
+    }
     Slice.push_back(std::move(D));
   }
   uint32_t NumSwitches = R.u32();
@@ -548,7 +564,9 @@ void MixyAnalysis::mergeRoundDiagnostics(
       } else {
         DropNotes = false;
       }
-      Diags.report(D.Kind, D.Loc, D.Message, D.ID);
+      size_t Idx = Diags.report(D.Kind, D.Loc, D.Message, D.ID);
+      if (D.Prov)
+        Diags.attachProvenance(Idx, D.Prov);
     }
   }
 }
@@ -648,7 +666,16 @@ MixyAnalysis::computeSymOutcome(const BlockKey &Key, ExecContext C) {
           } else {
             DropNotes = false;
           }
-          C.Diags.report(D.Kind, D.Loc, D.Message, D.ID);
+          size_t Idx = C.Diags.report(D.Kind, D.Loc, D.Message, D.ID);
+          // Re-attach the recorded explanation verbatim — including the
+          // disposition the cold run stamped — so --explain output is
+          // byte-identical cold vs. warm; only the replay counter tells
+          // the runs apart.
+          if (D.Prov) {
+            C.Diags.attachProvenance(Idx, D.Prov);
+            if (Opts.Prov)
+              Opts.Prov->countReplay();
+          }
         }
         replayTypedSwitches(Switches, C);
         if (Opts.EnableCache)
@@ -691,6 +718,32 @@ MixyAnalysis::computeSymOutcome(const BlockKey &Key, ExecContext C) {
   C.Stack.pop_back();
   ActiveTypedLog = PrevLog;
 
+  if (Opts.Prov) {
+    // Stamp every diagnostic this run emitted with the block stack that
+    // was live while it ran. Nested block runs already stamped their own
+    // (deeper) stack and are left alone; notes inherit their parent's
+    // context implicitly.
+    std::vector<std::string> StackNames;
+    for (const StackEntry &E : C.Stack)
+      StackNames.push_back(E.Key.F->name() +
+                           (E.Key.Symbolic ? " [symbolic]" : " [typed]"));
+    StackNames.push_back(Key.F->name() + " [symbolic]");
+    const std::vector<Diagnostic> &All = C.Diags.diagnostics();
+    for (size_t I = DiagsBefore; I != All.size(); ++I) {
+      const Diagnostic &D = All[I];
+      if (D.Kind == DiagKind::Note)
+        continue;
+      if (D.Prov && !D.Prov->Block.Stack.empty())
+        continue;
+      auto P = std::make_shared<prov::DiagProvenance>(
+          D.Prov ? *D.Prov : prov::DiagProvenance());
+      P->Block.Stack = StackNames;
+      P->Block.Disposition = prov::BlockDisposition::Fresh;
+      C.Diags.attachProvenance(I, std::move(P));
+      Opts.Prov->countBlock();
+    }
+  }
+
   if (Persistable) {
     const std::vector<Diagnostic> &All = C.Diags.diagnostics();
     std::vector<Diagnostic> Slice(All.begin() + (long)DiagsBefore, All.end());
@@ -713,7 +766,7 @@ void MixyAnalysis::restoreAliasing(const CFuncDecl *Callee) {
     PointsToAnalysis::CellId Target = PtrAnal.pointsTo(Cell);
     if (Target == PointsToAnalysis::NoCell)
       return;
-    Qual.unifyAliasClass(PtrAnal.variablesInClass(Target));
+    Qual.unifyAliasClass(PtrAnal.variablesInClass(Target), Callee->loc());
   };
   for (const auto &P : Callee->params())
     if (P.Ty->isPointer())
@@ -728,10 +781,13 @@ void MixyAnalysis::applySymOutcome(const SymOutcome &Outcome,
                                    const CFuncDecl *Callee,
                                    const std::vector<QualVec> &ArgQuals,
                                    QualVec &RetQuals) {
+  // These seeds cross the symbolic-to-typed boundary (the block summary
+  // feeding the qualifier graph), so their flow-chain edges are labeled
+  // as mix-boundary edges.
   if (Outcome.RetMayBeNull && !RetQuals.empty())
     Qual.seedNull(RetQuals[0],
                   "symbolic result of " + Callee->name() + " may be null",
-                  Call->loc());
+                  Call->loc(), prov::FlowEdgeKind::MixBoundary);
   for (size_t I = 0; I != Outcome.ParamPointeeMayBeNull.size(); ++I) {
     if (!Outcome.ParamPointeeMayBeNull[I])
       continue;
@@ -739,7 +795,7 @@ void MixyAnalysis::applySymOutcome(const SymOutcome &Outcome,
       Qual.seedNull(ArgQuals[I][1],
                     "after " + Callee->name() + ", *" +
                         Callee->params()[I].Name + " may be null",
-                    Call->loc());
+                    Call->loc(), prov::FlowEdgeKind::MixBoundary);
   }
   for (const auto &[Name, MayNull] : Outcome.GlobalMayBeNull) {
     if (!MayNull)
@@ -749,7 +805,7 @@ void MixyAnalysis::applySymOutcome(const SymOutcome &Outcome,
       Qual.seedNull(Q[0],
                     "after " + Callee->name() + ", global " + Name +
                         " may be null",
-                    Call->loc());
+                    Call->loc(), prov::FlowEdgeKind::MixBoundary);
   }
   restoreAliasing(Callee);
 }
@@ -856,14 +912,16 @@ bool MixyAnalysis::computeTypedRet(const BlockKey &Key, SourceLoc CallLoc,
         continue;
       const QualVec &PQ = Qual.qualsOfParam(Key.F, (unsigned)I);
       if (!PQ.empty())
-        Qual.seedNull(PQ[0], "symbolic argument may be null", CallLoc);
+        Qual.seedNull(PQ[0], "symbolic argument may be null", CallLoc,
+                      prov::FlowEdgeKind::MixBoundary);
     }
     for (const auto &[Name, Seed] : Key.Globals) {
       if (Seed != NullSeed::MayBeNull)
         continue;
       const QualVec &GQ = Qual.qualsOfVar(nullptr, Name);
       if (!GQ.empty())
-        Qual.seedNull(GQ[0], "global may be null at symbolic call", CallLoc);
+        Qual.seedNull(GQ[0], "global may be null at symbolic call", CallLoc,
+                      prov::FlowEdgeKind::MixBoundary);
     }
 
     Qual.solve();

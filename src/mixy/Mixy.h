@@ -101,6 +101,15 @@ struct MixyOptions {
   obs::MetricsRegistry *Metrics = nullptr;
   obs::TraceSink *Trace = nullptr;
 
+  /// Provenance recording (see src/provenance/). When attached — the
+  /// analysis copies it into Sym and Qual — qualifier warnings carry
+  /// their flow chain (with mix-boundary and alias edges labeled),
+  /// symbolic-executor warnings carry their witness path, and every
+  /// diagnostic a block run emits carries the block stack it came from.
+  /// Recorded payloads persist inside block summaries, so warm --cache-dir
+  /// runs replay the same explanations. Null records nothing.
+  prov::ProvenanceSink *Prov = nullptr;
+
   /// The persistent cache session behind --cache-dir (see src/persist/).
   /// When set, solver queries are answered from / recorded into the
   /// session's query store; when the session is incremental, symbolic

@@ -9,6 +9,7 @@
 
 #include "support/Hash.h"
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -93,8 +94,12 @@ bool mix::persist::saveRecordFile(const std::string &Path, uint64_t Fingerprint,
 
   // Publish atomically: a concurrent reader sees either the old complete
   // file or the new one, never a partial write; racing writers resolve to
-  // whoever renames last.
-  std::string Tmp = Path + ".tmp." + std::to_string((unsigned long)::getpid());
+  // whoever renames last. The temp name must be unique per *writer*, not
+  // per process: two threads sharing a pid-only suffix would write the
+  // same temp file and the rename loser would fail spuriously.
+  static std::atomic<unsigned> TmpSeq{0};
+  std::string Tmp = Path + ".tmp." + std::to_string((unsigned long)::getpid()) +
+                    "." + std::to_string(TmpSeq.fetch_add(1));
   {
     std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
     if (!Out) {

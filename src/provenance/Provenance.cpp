@@ -1,0 +1,204 @@
+//===--- Provenance.cpp - Diagnostic provenance payloads ------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "provenance/Provenance.h"
+
+using namespace mix;
+using namespace mix::prov;
+
+const char *mix::prov::flowEdgeKindName(FlowEdgeKind Kind) {
+  switch (Kind) {
+  case FlowEdgeKind::Seed:
+    return "seed";
+  case FlowEdgeKind::Flow:
+    return "flow";
+  case FlowEdgeKind::MixBoundary:
+    return "mix boundary";
+  case FlowEdgeKind::Alias:
+    return "alias";
+  }
+  return "flow";
+}
+
+const char *mix::prov::blockDispositionName(BlockDisposition D) {
+  switch (D) {
+  case BlockDisposition::None:
+    return "";
+  case BlockDisposition::Fresh:
+    return "fresh";
+  case BlockDisposition::WarmHit:
+    return "warm hit";
+  case BlockDisposition::Replay:
+    return "replay";
+  }
+  return "";
+}
+
+std::string mix::prov::renderExplain(const DiagProvenance &P,
+                                     const std::string &Indent) {
+  std::string Out;
+  if (P.Witness) {
+    const WitnessPath &W = *P.Witness;
+    Out += Indent + "witness path:\n";
+    if (W.Steps.empty())
+      Out += Indent + "  (no branches: the error is on the straight-line "
+                      "path)\n";
+    for (const WitnessStep &S : W.Steps)
+      Out += Indent + "  " + S.Loc.str() + ": " + S.Note + "\n";
+    if (!W.PathCondition.empty())
+      Out += Indent + "path condition: " + W.PathCondition + "\n";
+    if (!W.Model.empty()) {
+      Out += Indent + "for example, when ";
+      for (size_t I = 0; I != W.Model.size(); ++I) {
+        if (I)
+          Out += ", ";
+        Out += W.Model[I].Name + " = " + W.Model[I].Value;
+      }
+      if (!W.ModelComplete)
+        Out += " (model may be partial)";
+      Out += "\n";
+    }
+  }
+  if (P.Flow) {
+    Out += Indent + "qualifier flow:\n";
+    const std::vector<FlowStep> &Steps = P.Flow->Steps;
+    for (size_t I = 0; I != Steps.size(); ++I) {
+      const FlowStep &S = Steps[I];
+      Out += Indent + "  ";
+      if (I == 0)
+        Out += "$null source: ";
+      else
+        Out += std::string("-> (") + flowEdgeKindName(S.EdgeFromPrev) + ") ";
+      Out += S.Desc;
+      if (S.Loc.isValid())
+        Out += " at " + S.Loc.str();
+      if (I + 1 == Steps.size())
+        Out += "  [$nonnull sink]";
+      Out += "\n";
+    }
+  }
+  if (!P.Block.Stack.empty() ||
+      P.Block.Disposition != BlockDisposition::None) {
+    Out += Indent + "block context: ";
+    if (P.Block.Stack.empty()) {
+      Out += "<top level>";
+    } else {
+      for (size_t I = 0; I != P.Block.Stack.size(); ++I) {
+        if (I)
+          Out += " > ";
+        Out += P.Block.Stack[I];
+      }
+    }
+    const char *Disp = blockDispositionName(P.Block.Disposition);
+    if (*Disp)
+      Out += std::string(" (") + Disp + ")";
+    Out += "\n";
+  }
+  return Out;
+}
+
+std::string mix::prov::renderExplainText(const DiagnosticEngine &Diags) {
+  std::string Out;
+  for (const Diagnostic &D : Diags.diagnostics()) {
+    Out += D.str();
+    Out += '\n';
+    if (D.Prov)
+      Out += renderExplain(*D.Prov, "    ");
+  }
+  return Out;
+}
+
+static void encodeLoc(SourceLoc Loc, persist::ByteWriter &W) {
+  W.u32(Loc.Line).u32(Loc.Column);
+}
+
+static SourceLoc decodeLoc(persist::ByteReader &R) {
+  uint32_t Line = R.u32();
+  uint32_t Column = R.u32();
+  return SourceLoc(Line, Column);
+}
+
+void mix::prov::encodeProvenance(const DiagProvenance &P,
+                                 persist::ByteWriter &W) {
+  W.boolean(P.Witness.has_value());
+  if (P.Witness) {
+    const WitnessPath &WP = *P.Witness;
+    W.u32((uint32_t)WP.Steps.size());
+    for (const WitnessStep &S : WP.Steps) {
+      encodeLoc(S.Loc, W);
+      W.str(S.Note);
+    }
+    W.str(WP.PathCondition);
+    W.u32((uint32_t)WP.Model.size());
+    for (const ModelBinding &B : WP.Model)
+      W.str(B.Name).str(B.Value);
+    W.boolean(WP.ModelComplete);
+  }
+  W.boolean(P.Flow.has_value());
+  if (P.Flow) {
+    W.u32((uint32_t)P.Flow->Steps.size());
+    for (const FlowStep &S : P.Flow->Steps) {
+      W.str(S.Desc);
+      encodeLoc(S.Loc, W);
+      W.u8((uint8_t)S.EdgeFromPrev);
+    }
+  }
+  W.u8((uint8_t)P.Block.Disposition);
+  W.u32((uint32_t)P.Block.Stack.size());
+  for (const std::string &F : P.Block.Stack)
+    W.str(F);
+}
+
+std::shared_ptr<const DiagProvenance>
+mix::prov::decodeProvenance(persist::ByteReader &R) {
+  auto P = std::make_shared<DiagProvenance>();
+  if (R.boolean()) {
+    WitnessPath WP;
+    uint32_t NSteps = R.u32();
+    for (uint32_t I = 0; I != NSteps && R.ok(); ++I) {
+      WitnessStep S;
+      S.Loc = decodeLoc(R);
+      S.Note = R.str();
+      WP.Steps.push_back(std::move(S));
+    }
+    WP.PathCondition = R.str();
+    uint32_t NBindings = R.u32();
+    for (uint32_t I = 0; I != NBindings && R.ok(); ++I) {
+      ModelBinding B;
+      B.Name = R.str();
+      B.Value = R.str();
+      WP.Model.push_back(std::move(B));
+    }
+    WP.ModelComplete = R.boolean();
+    P->Witness = std::move(WP);
+  }
+  if (R.boolean()) {
+    FlowChain FC;
+    uint32_t NSteps = R.u32();
+    for (uint32_t I = 0; I != NSteps && R.ok(); ++I) {
+      FlowStep S;
+      S.Desc = R.str();
+      S.Loc = decodeLoc(R);
+      uint8_t Kind = R.u8();
+      if (Kind > (uint8_t)FlowEdgeKind::Alias)
+        return nullptr;
+      S.EdgeFromPrev = (FlowEdgeKind)Kind;
+      FC.Steps.push_back(std::move(S));
+    }
+    P->Flow = std::move(FC);
+  }
+  uint8_t Disp = R.u8();
+  if (Disp > (uint8_t)BlockDisposition::Replay)
+    return nullptr;
+  P->Block.Disposition = (BlockDisposition)Disp;
+  uint32_t NStack = R.u32();
+  for (uint32_t I = 0; I != NStack && R.ok(); ++I)
+    P->Block.Stack.push_back(R.str());
+  if (!R.ok())
+    return nullptr;
+  return P;
+}

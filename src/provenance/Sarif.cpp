@@ -1,0 +1,201 @@
+//===--- Sarif.cpp - SARIF 2.1.0 export of diagnostics --------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "provenance/Sarif.h"
+
+#include "provenance/Provenance.h"
+#include "support/StringExtras.h"
+
+#include <vector>
+
+using namespace mix;
+using namespace mix::prov;
+
+static const char *sarifLevel(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "none";
+}
+
+/// One SARIF location object on a single line: physicalLocation with the
+/// shared artifact (index 0) and, when the location is valid, a region.
+static std::string locationJSON(SourceLoc Loc, const std::string &Uri,
+                                const std::string &MessageText) {
+  std::string Out = "{";
+  if (!MessageText.empty())
+    Out += "\"message\": {\"text\": \"" + jsonEscape(MessageText) + "\"}, ";
+  Out += "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"" +
+         jsonEscape(Uri) + "\", \"index\": 0}";
+  if (Loc.isValid())
+    Out += ", \"region\": {\"startLine\": " + std::to_string(Loc.Line) +
+           ", \"startColumn\": " + std::to_string(Loc.Column) + "}";
+  Out += "}}";
+  return Out;
+}
+
+/// A codeFlow with one threadFlow whose locations are rendered one per
+/// line at \p Indent + 6.
+static void appendCodeFlow(std::string &Out, const std::string &Indent,
+                           const std::vector<std::string> &Locations) {
+  Out += Indent + "{\"threadFlows\": [{\"locations\": [\n";
+  for (size_t I = 0; I != Locations.size(); ++I) {
+    Out += Indent + "  {\"location\": " + Locations[I] + "}";
+    Out += I + 1 == Locations.size() ? "\n" : ",\n";
+  }
+  Out += Indent + "]}]}";
+}
+
+std::string mix::prov::renderSarif(const DiagnosticEngine &Diags,
+                                   const SarifOptions &Opts) {
+  const std::string Uri = Opts.ArtifactUri.empty() ? "input" : Opts.ArtifactUri;
+  const std::vector<Diagnostic> &All = Diags.diagnostics();
+  std::vector<size_t> Top = Diags.sortedTopLevelIndices();
+
+  // Rules, in first-use order over the sorted results.
+  std::vector<DiagID> Rules;
+  auto ruleIndex = [&](DiagID ID) {
+    for (size_t I = 0; I != Rules.size(); ++I)
+      if (Rules[I] == ID)
+        return I;
+    Rules.push_back(ID);
+    return Rules.size() - 1;
+  };
+  for (size_t I : Top)
+    ruleIndex(All[I].ID);
+
+  std::string Out;
+  Out += "{\n";
+  Out += "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  Out += "  \"version\": \"2.1.0\",\n";
+  Out += "  \"runs\": [{\n";
+  Out += "    \"tool\": {\"driver\": {\n";
+  Out += "      \"name\": \"" + jsonEscape(Opts.ToolName) + "\",\n";
+  Out += "      \"informationUri\": "
+         "\"https://doi.org/10.1145/1706299.1706325\",\n";
+  Out += "      \"rules\": [\n";
+  for (size_t I = 0; I != Rules.size(); ++I) {
+    Out += "        {\"id\": \"" + diagIdString(Rules[I]) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           diagCategory(Rules[I]) + "\"}}";
+    Out += I + 1 == Rules.size() ? "\n" : ",\n";
+  }
+  Out += "      ]\n";
+  Out += "    }},\n";
+  Out += "    \"artifacts\": [{\"location\": {\"uri\": \"" + jsonEscape(Uri) +
+         "\"}}],\n";
+  Out += "    \"results\": [";
+
+  bool FirstResult = true;
+  for (size_t I : Top) {
+    const Diagnostic &D = All[I];
+    Out += FirstResult ? "\n" : ",\n";
+    FirstResult = false;
+    Out += "      {\n";
+    Out += "        \"ruleId\": \"" + diagIdString(D.ID) + "\",\n";
+    Out += "        \"ruleIndex\": " + std::to_string(ruleIndex(D.ID)) + ",\n";
+    Out += "        \"level\": \"" + std::string(sarifLevel(D.Kind)) + "\",\n";
+    Out += "        \"message\": {\"text\": \"" + jsonEscape(D.Message) +
+           "\"},\n";
+    Out += "        \"locations\": [" + locationJSON(D.Loc, Uri, "") + "]";
+
+    std::vector<size_t> Notes = Diags.notesFor(I);
+    if (!Notes.empty()) {
+      Out += ",\n        \"relatedLocations\": [\n";
+      for (size_t N = 0; N != Notes.size(); ++N) {
+        Out += "          " +
+               locationJSON(All[Notes[N]].Loc, Uri, All[Notes[N]].Message);
+        Out += N + 1 == Notes.size() ? "\n" : ",\n";
+      }
+      Out += "        ]";
+    }
+
+    if (D.Prov) {
+      const DiagProvenance &P = *D.Prov;
+      if (P.Witness || P.Flow) {
+        Out += ",\n        \"codeFlows\": [\n";
+        bool FirstFlow = true;
+        if (P.Witness) {
+          std::vector<std::string> Locs;
+          for (const WitnessStep &S : P.Witness->Steps)
+            Locs.push_back(locationJSON(S.Loc, Uri, S.Note));
+          Locs.push_back(locationJSON(D.Loc, Uri, "reported here"));
+          appendCodeFlow(Out, "          ", Locs);
+          FirstFlow = false;
+        }
+        if (P.Flow) {
+          std::vector<std::string> Locs;
+          const std::vector<FlowStep> &Steps = P.Flow->Steps;
+          for (size_t S = 0; S != Steps.size(); ++S) {
+            std::string Text =
+                S == 0 ? "$null source: " + Steps[S].Desc
+                       : "(" + std::string(flowEdgeKindName(
+                                   Steps[S].EdgeFromPrev)) +
+                             ") " + Steps[S].Desc;
+            if (S + 1 == Steps.size())
+              Text += " [$nonnull sink]";
+            Locs.push_back(locationJSON(Steps[S].Loc, Uri, Text));
+          }
+          if (!FirstFlow)
+            Out += ",\n";
+          appendCodeFlow(Out, "          ", Locs);
+        }
+        Out += "\n        ]";
+      }
+
+      // The evidence that has no standard SARIF slot rides in the
+      // property bag: constraints, the solver model, and block context.
+      std::vector<std::pair<std::string, std::string>> Props;
+      if (P.Witness) {
+        if (!P.Witness->PathCondition.empty())
+          Props.emplace_back("pathCondition", P.Witness->PathCondition);
+        if (!P.Witness->Model.empty()) {
+          std::string Model;
+          for (const ModelBinding &B : P.Witness->Model) {
+            if (!Model.empty())
+              Model += ", ";
+            Model += B.Name + " = " + B.Value;
+          }
+          Props.emplace_back("model", Model);
+        }
+      }
+      if (!P.Block.Stack.empty()) {
+        std::string Stack;
+        for (const std::string &F : P.Block.Stack) {
+          if (!Stack.empty())
+            Stack += " > ";
+          Stack += F;
+        }
+        Props.emplace_back("blockStack", Stack);
+      }
+      const char *Disp = blockDispositionName(P.Block.Disposition);
+      if (*Disp)
+        Props.emplace_back("blockDisposition", Disp);
+      if (!Props.empty()) {
+        Out += ",\n        \"properties\": {";
+        for (size_t PI = 0; PI != Props.size(); ++PI) {
+          if (PI)
+            Out += ", ";
+          Out += "\"" + Props[PI].first + "\": \"" +
+                 jsonEscape(Props[PI].second) + "\"";
+        }
+        Out += "}";
+      }
+    }
+    Out += "\n      }";
+  }
+  Out += FirstResult ? "]\n" : "\n    ]\n";
+  Out += "  }]\n";
+  Out += "}\n";
+  return Out;
+}

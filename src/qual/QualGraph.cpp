@@ -18,14 +18,18 @@ QualGraph::Node QualGraph::newNode(std::string Description, SourceLoc Loc) {
   Descriptions.push_back(std::move(Description));
   Locations.push_back(Loc);
   Successors.emplace_back();
+  EdgeMeta.emplace_back();
   NullSource.push_back(false);
   NonnullBound.push_back(false);
   NullReachable.push_back(false);
   Parents.push_back(NoNode);
+  ParentEdges.emplace_back();
   return N;
 }
 
-void QualGraph::addFlow(Node From, Node To) {
+void QualGraph::addFlow(Node From, Node To) { addFlow(From, To, EdgeInfo()); }
+
+void QualGraph::addFlow(Node From, Node To, EdgeInfo Info) {
   assert(From < numNodes() && To < numNodes() && "flow between bad nodes");
   if (From == To)
     return;
@@ -33,6 +37,7 @@ void QualGraph::addFlow(Node From, Node To) {
   if (std::find(Succ.begin(), Succ.end(), To) != Succ.end())
     return;
   Succ.push_back(To);
+  EdgeMeta[From].push_back(Info);
   ++NumEdges;
 }
 
@@ -43,6 +48,7 @@ void QualGraph::markNonnullBound(Node N) { NonnullBound[N] = true; }
 void QualGraph::solve() {
   std::fill(NullReachable.begin(), NullReachable.end(), false);
   std::fill(Parents.begin(), Parents.end(), NoNode);
+  std::fill(ParentEdges.begin(), ParentEdges.end(), EdgeInfo());
   std::deque<Node> Work;
   for (Node N = 0; N != numNodes(); ++N) {
     if (NullSource[N]) {
@@ -53,11 +59,13 @@ void QualGraph::solve() {
   while (!Work.empty()) {
     Node N = Work.front();
     Work.pop_front();
-    for (Node S : Successors[N]) {
+    for (size_t I = 0; I != Successors[N].size(); ++I) {
+      Node S = Successors[N][I];
       if (NullReachable[S])
         continue;
       NullReachable[S] = true;
       Parents[S] = N;
+      ParentEdges[S] = EdgeMeta[N][I];
       Work.push_back(S);
     }
   }
@@ -89,4 +97,22 @@ std::string QualGraph::describePath(const std::vector<Node> &Path) const {
     Out += Descriptions[Path[I]];
   }
   return Out;
+}
+
+mix::prov::FlowChain QualGraph::flowChain(Node N) const {
+  prov::FlowChain Chain;
+  std::vector<Node> Path = witnessPath(N);
+  for (size_t I = 0; I != Path.size(); ++I) {
+    prov::FlowStep Step;
+    Step.Desc = Descriptions[Path[I]];
+    Step.Loc = Locations[Path[I]];
+    if (I != 0) {
+      const EdgeInfo &E = ParentEdges[Path[I]];
+      Step.EdgeFromPrev = E.Kind;
+      if (E.Loc.isValid())
+        Step.Loc = E.Loc;
+    }
+    Chain.Steps.push_back(std::move(Step));
+  }
+  return Chain;
 }

@@ -146,14 +146,15 @@ const QualVec &QualInference::qualsOfParam(const CFuncDecl *F,
 }
 
 void QualInference::seedNull(QualGraph::Node N, const std::string &Reason,
-                             SourceLoc Loc) {
+                             SourceLoc Loc, prov::FlowEdgeKind Kind) {
   QualGraph::Node Source = Graph.newNode(Reason, Loc);
   Graph.markNullSource(Source);
-  Graph.addFlow(Source, N);
+  Graph.addFlow(Source, N, {Kind, Loc});
 }
 
 void QualInference::unifyAliasClass(
-    const std::vector<std::pair<const CFuncDecl *, std::string>> &Vars) {
+    const std::vector<std::pair<const CFuncDecl *, std::string>> &Vars,
+    SourceLoc Loc) {
   // "We add constraints to require that all may-aliased expressions have
   // the same type" (Section 4.2): bidirectional flows pairwise through
   // the first member.
@@ -167,8 +168,8 @@ void QualInference::unifyAliasClass(
       continue;
     }
     for (size_t I = 0; I < Q.size() && I < First->size(); ++I) {
-      Graph.addFlow(Q[I], (*First)[I]);
-      Graph.addFlow((*First)[I], Q[I]);
+      Graph.addFlow(Q[I], (*First)[I], {prov::FlowEdgeKind::Alias, Loc});
+      Graph.addFlow((*First)[I], Q[I], {prov::FlowEdgeKind::Alias, Loc});
     }
   }
 }
@@ -427,10 +428,16 @@ unsigned QualInference::reportWarnings() {
   unsigned Count = 0;
   for (QualGraph::Node N : Graph.violations()) {
     ++Count;
-    Diags.warning(Graph.location(N),
-                  "null value may reach nonnull position '" +
-                      Graph.description(N) + "'",
-                  DiagID::NullWarning);
+    size_t Idx = Diags.report(DiagKind::Warning, Graph.location(N),
+                              "null value may reach nonnull position '" +
+                                  Graph.description(N) + "'",
+                              DiagID::NullWarning);
+    if (Opts.Prov) {
+      auto P = std::make_shared<prov::DiagProvenance>();
+      P->Flow = Graph.flowChain(N);
+      Diags.attachProvenance(Idx, std::move(P));
+      Opts.Prov->countFlow();
+    }
     std::vector<QualGraph::Node> Path = Graph.witnessPath(N);
     if (!Path.empty())
       Diags.note(Graph.location(Path.front()),

@@ -66,6 +66,11 @@ struct QualOptions {
   /// Treat every pointer dereference as a nonnull requirement (the
   /// "annotate all dereferences" mode the paper chose not to start with).
   bool WarnAllDereferences = false;
+
+  /// When attached, every reported warning carries a qualifier flow
+  /// chain (shortest $null-source-to-sink path with per-edge provenance).
+  /// Null — the default — skips recording entirely.
+  prov::ProvenanceSink *Prov = nullptr;
 };
 
 /// The inference engine. Constraint generation is incremental: MIXY calls
@@ -118,8 +123,11 @@ public:
   bool mayBeNull(QualGraph::Node N) const { return Graph.mayBeNull(N); }
 
   /// Seeds a null source into \p N (used when translating a possibly-null
-  /// symbolic value back to types). \p Reason labels the source node.
-  void seedNull(QualGraph::Node N, const std::string &Reason, SourceLoc Loc);
+  /// symbolic value back to types). \p Reason labels the source node;
+  /// \p Kind tags the induced edge for flow-chain explanations (MIXY's
+  /// block-boundary translations pass MixBoundary).
+  void seedNull(QualGraph::Node N, const std::string &Reason, SourceLoc Loc,
+                prov::FlowEdgeKind Kind = prov::FlowEdgeKind::Seed);
 
   /// Adds a plain flow edge (used by alias restoration, Section 4.2).
   void addFlow(QualGraph::Node From, QualGraph::Node To) {
@@ -128,9 +136,11 @@ public:
 
   /// Makes the top-level qualifiers of all pointer variables that the
   /// points-to analysis places in one equivalence class flow into each
-  /// other (Section 4.2, symbolic-to-typed transition).
+  /// other (Section 4.2, symbolic-to-typed transition). \p Loc is the
+  /// program point that triggered the restoration (tags the alias edges).
   void unifyAliasClass(
-      const std::vector<std::pair<const CFuncDecl *, std::string>> &Vars);
+      const std::vector<std::pair<const CFuncDecl *, std::string>> &Vars,
+      SourceLoc Loc = SourceLoc());
 
   QualGraph &graph() { return Graph; }
   CSema &sema() { return Sema; }

@@ -10,6 +10,7 @@
 #include "solver/QueryHash.h"
 #include "solver/Sat.h"
 
+#include <algorithm>
 #include <cassert>
 #include <unordered_map>
 
@@ -479,4 +480,18 @@ SolveResult SmtSolver::checkSatImpl(const Term *Formula, SmtModel *ModelOut) {
     ++Statistics.BlockedModels;
   }
   return SolveResult::Unknown;
+}
+
+std::vector<std::pair<std::string, std::string>>
+mix::smt::modelBindings(const TermArena &Arena, const SmtModel &Model) {
+  std::vector<std::pair<std::string, std::string>> Out;
+  for (const auto &[Var, Value] : Model.Ints)
+    if (Var < Arena.numIntVars())
+      Out.emplace_back(Arena.varName(Sort::Int, Var), std::to_string(Value));
+  for (const auto &[Var, Value] : Model.Bools)
+    if (Var < Arena.numBoolVars())
+      Out.emplace_back(Arena.varName(Sort::Bool, Var),
+                       Value ? "true" : "false");
+  std::sort(Out.begin(), Out.end());
+  return Out;
 }

@@ -59,6 +59,14 @@ struct SmtModel {
   }
 };
 
+/// Renders \p Model as deterministic, name-sorted (name, value) pairs
+/// using the source-level variable names interned in \p Arena. Only the
+/// variables the model actually constrains appear (unconstrained ones
+/// may take any value). The model-extraction surface diagnostic
+/// provenance renders concrete witnesses from.
+std::vector<std::pair<std::string, std::string>>
+modelBindings(const TermArena &Arena, const SmtModel &Model);
+
 /// A persistent memo of query verdicts, keyed by canonicalQueryHash (see
 /// solver/QueryHash.h). Implemented by src/persist/ over an on-disk
 /// store; the solver consults it only for model-free queries and never

@@ -9,6 +9,8 @@
 
 #include "support/StringExtras.h"
 
+#include <algorithm>
+
 using namespace mix;
 
 std::string SourceLoc::str() const {
@@ -60,9 +62,9 @@ std::string Diagnostic::str() const {
   return Loc.str() + ": " + diagKindName(Kind) + ": " + Message;
 }
 
-void DiagnosticEngine::report(DiagKind Kind, SourceLoc Loc,
-                              std::string Message, DiagID ID) {
-  Diagnostic D{Kind, Loc, std::move(Message), ID, Diagnostic::NoParent};
+size_t DiagnosticEngine::report(DiagKind Kind, SourceLoc Loc,
+                                std::string Message, DiagID ID) {
+  Diagnostic D{Kind, Loc, std::move(Message), ID, Diagnostic::NoParent, {}};
   if (Kind == DiagKind::Error) {
     ++NumErrors;
   } else if (Kind == DiagKind::Warning) {
@@ -77,6 +79,7 @@ void DiagnosticEngine::report(DiagKind Kind, SourceLoc Loc,
     }
   }
   Diags.push_back(std::move(D));
+  return Diags.size() - 1;
 }
 
 std::vector<size_t> DiagnosticEngine::notesFor(size_t Parent) const {
@@ -114,14 +117,37 @@ static void appendDiagJSON(std::string &Out, const Diagnostic &D,
          ", \"message\": \"" + jsonEscape(D.Message) + "\"";
 }
 
-std::string DiagnosticEngine::renderJSON() const {
+std::vector<size_t> DiagnosticEngine::sortedTopLevelIndices() const {
+  std::vector<size_t> Top;
+  for (size_t I = 0; I != Diags.size(); ++I)
+    if (Diags[I].Kind != DiagKind::Note ||
+        Diags[I].Parent == Diagnostic::NoParent)
+      Top.push_back(I);
+  std::stable_sort(Top.begin(), Top.end(), [this](size_t A, size_t B) {
+    const Diagnostic &DA = Diags[A], &DB = Diags[B];
+    if (DA.Loc.Line != DB.Loc.Line)
+      return DA.Loc.Line < DB.Loc.Line;
+    if (DA.Loc.Column != DB.Loc.Column)
+      return DA.Loc.Column < DB.Loc.Column;
+    return (unsigned)DA.ID < (unsigned)DB.ID;
+  });
+  return Top;
+}
+
+std::string DiagnosticEngine::renderJSON(bool Sorted) const {
+  std::vector<size_t> Top;
+  if (Sorted) {
+    Top = sortedTopLevelIndices();
+  } else {
+    for (size_t I = 0; I != Diags.size(); ++I)
+      if (Diags[I].Kind != DiagKind::Note ||
+          Diags[I].Parent == Diagnostic::NoParent)
+        Top.push_back(I);
+  }
   std::string Out = "[";
   bool First = true;
-  for (size_t I = 0; I != Diags.size(); ++I) {
+  for (size_t I : Top) {
     const Diagnostic &D = Diags[I];
-    // Notes with a parent are rendered inside that parent.
-    if (D.Kind == DiagKind::Note && D.Parent != Diagnostic::NoParent)
-      continue;
     Out += First ? "\n" : ",\n";
     First = false;
     appendDiagJSON(Out, D, "  ");

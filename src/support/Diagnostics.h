@@ -24,10 +24,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace mix {
+
+namespace prov {
+struct DiagProvenance;
+} // namespace prov
 
 /// Severity of a diagnostic.
 enum class DiagKind {
@@ -93,6 +98,13 @@ struct Diagnostic {
   static constexpr size_t NoParent = (size_t)-1;
   size_t Parent = NoParent;
 
+  /// Evidence for this diagnostic (witness path, qualifier flow chain,
+  /// block context), or null when no provenance sink was attached. The
+  /// payload is immutable and shared: cache replays and parallel merges
+  /// re-attach the same object. Opaque to this layer — src/provenance
+  /// defines the type and every renderer of it.
+  std::shared_ptr<const prov::DiagProvenance> Prov;
+
   /// Renders the diagnostic in the conventional "line:col: kind: message"
   /// shape used by compilers.
   std::string str() const;
@@ -116,8 +128,17 @@ public:
   void note(SourceLoc Loc, std::string Message, DiagID ID = DiagID::None) {
     report(DiagKind::Note, Loc, std::move(Message), ID);
   }
-  void report(DiagKind Kind, SourceLoc Loc, std::string Message,
-              DiagID ID = DiagID::None);
+  /// Appends a diagnostic and returns its index, so callers can attach
+  /// provenance or notes structurally.
+  size_t report(DiagKind Kind, SourceLoc Loc, std::string Message,
+                DiagID ID = DiagID::None);
+
+  /// Attaches a provenance payload to the diagnostic at \p Index. A null
+  /// payload clears it.
+  void attachProvenance(size_t Index,
+                        std::shared_ptr<const prov::DiagProvenance> P) {
+    Diags[Index].Prov = std::move(P);
+  }
 
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
   size_t size() const { return Diags.size(); }
@@ -125,6 +146,13 @@ public:
 
   /// Indices of the notes attached to the diagnostic at \p Parent.
   std::vector<size_t> notesFor(size_t Parent) const;
+
+  /// Indices of every top-level diagnostic (errors, warnings, and
+  /// free-standing notes — everything except notes with a parent),
+  /// stably sorted by (line, column, id). The shared result order of the
+  /// sorted JSON and SARIF renderers, which makes machine output
+  /// byte-identical across --jobs values.
+  std::vector<size_t> sortedTopLevelIndices() const;
 
   unsigned errorCount() const { return NumErrors; }
   unsigned warningCount() const { return NumWarnings; }
@@ -141,7 +169,11 @@ public:
   /// "message", and a "notes" array of their structurally attached notes;
   /// free-standing notes render as top-level objects with an empty notes
   /// list. The --format=json surface of both CLIs.
-  std::string renderJSON() const;
+  ///
+  /// With \p Sorted, top-level entries are ordered by (line, column, id)
+  /// instead of emission order, so parallel runs render byte-identically
+  /// (the drivers always pass true); the default mirrors engine order.
+  std::string renderJSON(bool Sorted = false) const;
 
 private:
   std::vector<Diagnostic> Diags;

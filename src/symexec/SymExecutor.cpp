@@ -375,6 +375,9 @@ std::vector<PathResult> SymExecutor::execIfConcolic(const IfExpr *I,
   SymState Next = std::move(S);
   Next.Path = Arena.andG(Next.Path, Signed);
   Next.Decisions.push_back(Signed);
+  if (Opts.Prov)
+    Next.Trail.push_back({I->cond()->loc(),
+                          TakeThen ? "condition true" : "condition false"});
   return exec(TakeThen ? I->thenExpr() : I->elseExpr(), Env, Next);
 }
 
@@ -412,6 +415,8 @@ std::vector<PathResult> SymExecutor::execIf(const IfExpr *I, const SymEnv &Env,
 
         SymState ThenState = S1;
         ThenState.Path = Arena.andG(S1.Path, G);
+        if (Opts.Prov)
+          ThenState.Trail.push_back({I->cond()->loc(), "condition true"});
         if (!pruned(ThenState)) {
           auto Then = exec(I->thenExpr(), Env, ThenState);
           for (PathResult &R : Then)
@@ -420,6 +425,8 @@ std::vector<PathResult> SymExecutor::execIf(const IfExpr *I, const SymEnv &Env,
 
         SymState ElseState = S1;
         ElseState.Path = Arena.andG(S1.Path, Arena.notG(G));
+        if (Opts.Prov)
+          ElseState.Trail.push_back({I->cond()->loc(), "condition false"});
         if (!pruned(ElseState)) {
           auto Else = exec(I->elseExpr(), Env, ElseState);
           for (PathResult &R : Else)
@@ -454,6 +461,12 @@ std::vector<PathResult> SymExecutor::execIfDefer(const IfExpr *I,
         ThenState.Path = Arena.andG(S1.Path, G);
         SymState ElseState = S1;
         ElseState.Path = Arena.andG(S1.Path, Arena.notG(G));
+        if (Opts.Prov) {
+          ThenState.Trail.push_back(
+              {I->cond()->loc(), "condition true (deferred)"});
+          ElseState.Trail.push_back(
+              {I->cond()->loc(), "condition false (deferred)"});
+        }
 
         std::vector<PathResult> ThenOuts =
             exec(I->thenExpr(), Env, ThenState);
@@ -488,6 +501,11 @@ std::vector<PathResult> SymExecutor::execIfDefer(const IfExpr *I,
             SymState Merged;
             Merged.Path = Arena.ite(G, T.State.Path, F.State.Path);
             Merged.Mem = Arena.iteMem(G, T.State.Mem, F.State.Mem);
+            if (Opts.Prov) {
+              Merged.Trail = S1.Trail;
+              Merged.Trail.push_back(
+                  {I->cond()->loc(), "branches merged (defer)"});
+            }
             Results.push_back(PathResult::success(
                 Merged, Arena.ite(G, T.Value, F.Value)));
           }

@@ -30,6 +30,7 @@
 #include "lang/Ast.h"
 #include "observe/Metrics.h"
 #include "observe/Trace.h"
+#include "provenance/Provenance.h"
 #include "support/Diagnostics.h"
 #include "sym/SymArena.h"
 #include "sym/SymToSmt.h"
@@ -48,6 +49,11 @@ struct SymState {
   /// In concolic mode: the signed branch guards taken, in order (the
   /// decision list DART negates to reach new paths). Empty otherwise.
   std::vector<const SymExpr *> Decisions;
+  /// With provenance recording on (SymExecOptions::Prov): the branch
+  /// decisions that led to this state, in execution order — the witness
+  /// path attached to path-sensitive diagnostics. Always empty when
+  /// recording is off, so state copies stay cheap.
+  std::vector<prov::WitnessStep> Trail;
 };
 
 /// A concrete valuation guiding a concolic run (the DART/CUTE style of
@@ -172,6 +178,11 @@ struct SymExecOptions {
   /// branch per site.
   obs::MetricsRegistry *Metrics = nullptr;
   obs::TraceSink *Trace = nullptr;
+
+  /// Provenance recording (see src/provenance/). When attached, every
+  /// state carries its branch trail (SymState::Trail) so diagnostics can
+  /// print witness paths. Null — the default — records nothing.
+  prov::ProvenanceSink *Prov = nullptr;
 };
 
 /// Result of a full execution: every path outcome, in exploration order.

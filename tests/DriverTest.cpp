@@ -187,15 +187,15 @@ TEST(DriverContextTest, RegisteredFlagsAllDocumented) {
   driver::OptionParser P("tool");
   Driver.registerOptions(P);
   std::string Help = P.renderHelp();
-  for (const char *Name :
-       {"--trace", "--metrics", "--format", "--stats", "--cache-dir"}) {
+  for (const char *Name : {"--trace", "--metrics", "--format", "--explain",
+                           "--stats", "--cache-dir"}) {
     EXPECT_NE(Help.find(Name), std::string::npos)
         << "missing from --help: " << Name;
   }
   // Each option renders with a non-empty help string: the line must be
   // longer than the spelling itself.
   EXPECT_NE(Help.find("--cache-dir=DIR"), std::string::npos);
-  EXPECT_NE(Help.find("--format=text|json"), std::string::npos);
+  EXPECT_NE(Help.find("--format=text|json|sarif"), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//
@@ -272,6 +272,43 @@ TEST(DriverContextTest, ObservabilityFlags) {
   EXPECT_NE(Driver.traceSink(), nullptr);
   EXPECT_TRUE(Driver.statsRequested());
   EXPECT_TRUE(Driver.jsonOutput());
+}
+
+TEST(DriverContextTest, ProvenanceSinkFollowsTheOutputSurface) {
+  // Null by default and under --format=json (nothing renders evidence):
+  // the null-handle off switch the analyses branch on.
+  {
+    driver::DriverContext Driver;
+    driver::OptionParser P("tool");
+    Driver.registerOptions(P);
+    ASSERT_TRUE(parseArgs(P, {"--format=json"}));
+    EXPECT_EQ(Driver.provenanceSink(), nullptr);
+    EXPECT_FALSE(Driver.explainRequested());
+  }
+  // --explain keeps text output but turns recording on.
+  {
+    driver::DriverContext Driver;
+    driver::OptionParser P("tool");
+    Driver.registerOptions(P);
+    ASSERT_TRUE(parseArgs(P, {"--explain"}));
+    EXPECT_TRUE(Driver.explainRequested());
+    EXPECT_NE(Driver.provenanceSink(), nullptr);
+    EXPECT_FALSE(Driver.jsonOutput());
+  }
+  // --format=sarif needs the evidence for codeFlows, so the sink is live
+  // and counts into the shared registry.
+  {
+    driver::DriverContext Driver;
+    driver::OptionParser P("tool");
+    Driver.registerOptions(P);
+    ASSERT_TRUE(parseArgs(P, {"--format=sarif"}));
+    EXPECT_EQ(Driver.format(), driver::DriverContext::OutputFormat::Sarif);
+    EXPECT_TRUE(Driver.jsonOutput()); // machine format: one doc on stdout
+    prov::ProvenanceSink *Sink = Driver.provenanceSink();
+    ASSERT_NE(Sink, nullptr);
+    Sink->countWitness();
+    EXPECT_EQ(Driver.metrics().counterValue("provenance.witnesses"), 1u);
+  }
 }
 
 TEST(DriverContextTest, BadFormatRejected) {

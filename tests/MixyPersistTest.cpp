@@ -15,6 +15,7 @@
 #include "mixy/Mixy.h"
 #include "mixy/VsftpdMini.h"
 #include "persist/PersistSession.h"
+#include "provenance/Provenance.h"
 
 #include <gtest/gtest.h>
 
@@ -61,10 +62,13 @@ struct RunResult {
   uint64_t SolverHits = 0;
   uint64_t FuncsTotal = 0, FuncsChanged = 0, FuncsDirty = 0;
   uint64_t SymBlockRuns = 0;
+  std::string Explain; ///< renderExplainText output (Explain runs only)
+  uint64_t ProvWitnesses = 0, ProvFlows = 0, ProvBlocks = 0, ProvReplayed = 0;
 };
 
 RunResult runMixy(const std::string &Source, const std::string &Dir,
-                  unsigned Jobs = 1) {
+                  unsigned Jobs = 1, bool Explain = false,
+                  bool WarnDerefs = false) {
   RunResult R;
   CAstContext Ctx;
   DiagnosticEngine Diags;
@@ -77,6 +81,15 @@ RunResult runMixy(const std::string &Source, const std::string &Dir,
   MixyOptions Opts;
   Opts.Jobs = Jobs;
   Opts.Metrics = &Reg;
+  if (WarnDerefs) {
+    Opts.Qual.WarnAllDereferences = true;
+    Opts.Sym.CheckDereferences = true;
+  }
+  prov::ProvenanceSink ProvSink;
+  if (Explain) {
+    ProvSink.attachMetrics(Reg);
+    Opts.Prov = &ProvSink;
+  }
 
   std::unique_ptr<persist::PersistSession> Session;
   if (!Dir.empty()) {
@@ -93,6 +106,8 @@ RunResult runMixy(const std::string &Source, const std::string &Dir,
   MixyAnalysis Mixy(*P, Ctx, Diags, Opts);
   R.Warnings = Mixy.run(MixyAnalysis::StartMode::Typed);
   R.Diags = Diags.str();
+  if (Explain)
+    R.Explain = prov::renderExplainText(Diags);
   // Warnings only: across job counts (and warm replay orders) the
   // warning *set* is the contract; a note's qualifier-flow witness path
   // may legitimately differ with seeding order.
@@ -112,6 +127,10 @@ RunResult runMixy(const std::string &Source, const std::string &Dir,
   R.FuncsChanged = Reg.counterValue("persist.funcs.changed");
   R.FuncsDirty = Reg.counterValue("persist.funcs.dirty");
   R.SymBlockRuns = Reg.counterValue("mixy.sym_block_runs");
+  R.ProvWitnesses = Reg.counterValue("provenance.witnesses");
+  R.ProvFlows = Reg.counterValue("provenance.flows");
+  R.ProvBlocks = Reg.counterValue("provenance.blocks");
+  R.ProvReplayed = Reg.counterValue("provenance.replayed");
   return R;
 }
 
@@ -157,6 +176,102 @@ TEST(MixyPersistTest, WarmRunMatchesUnderParallelJobs) {
   EXPECT_EQ(Warm.Warnings, Cold.Warnings);
   EXPECT_EQ(Warm.SortedDiags, Cold.SortedDiags);
   EXPECT_GT(Warm.BlockHits, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Provenance through the cache: explanations survive warm replay
+//===----------------------------------------------------------------------===//
+
+// A null dereference reported from *inside* a symbolic block run: the
+// warning carries a symbolic witness and a block context, and — unlike
+// the vsftpd corpus warning, which the final top-level qualifier solve
+// emits after all blocks finish — it is recorded into the block's
+// persisted summary, so it exercises warm replay.
+const char *InBlockDerefSource = R"(
+int *g_p;
+void use(void) MIX(symbolic) {
+  int x;
+  if (g_p != NULL) {
+    x = *g_p;
+  }
+  x = *g_p;
+}
+int main(void) {
+  g_p = NULL;
+  use();
+  return 0;
+}
+)";
+
+TEST(MixyPersistTest, ExplainIsIdenticalColdAndWarm) {
+  // Provenance payloads ride inside the persisted block summaries, so a
+  // warm --explain run replays the recorded explanations verbatim: the
+  // full rendered text (diagnostics + evidence) is byte-identical, and
+  // only the provenance.replayed counter tells the runs apart.
+  TempDir D("explain");
+  RunResult Cold = runMixy(InBlockDerefSource, D.Path, /*Jobs=*/1,
+                           /*Explain=*/true, /*WarnDerefs=*/true);
+  RunResult Warm = runMixy(InBlockDerefSource, D.Path, /*Jobs=*/1,
+                           /*Explain=*/true, /*WarnDerefs=*/true);
+
+  // The cold run recorded real evidence: the symbolic witness of the
+  // unguarded dereference and the block context of the run that found it.
+  EXPECT_GT(Cold.Warnings, 0u);
+  EXPECT_GT(Cold.ProvWitnesses, 0u);
+  EXPECT_GT(Cold.ProvBlocks, 0u);
+  EXPECT_EQ(Cold.ProvReplayed, 0u);
+  EXPECT_NE(Cold.Explain.find("witness path:"), std::string::npos)
+      << Cold.Explain;
+  EXPECT_NE(Cold.Explain.find("block context:"), std::string::npos)
+      << Cold.Explain;
+
+  // Warm: same findings, same explanations — replayed, not rebuilt.
+  EXPECT_EQ(Warm.Diags, Cold.Diags);
+  EXPECT_EQ(Warm.Explain, Cold.Explain);
+  EXPECT_GT(Warm.BlockHits, 0u);
+  EXPECT_EQ(Warm.SymBlockRuns, 0u);
+  EXPECT_GT(Warm.ProvReplayed, 0u);
+}
+
+TEST(MixyPersistTest, FlowChainExplanationIsIdenticalColdAndWarm) {
+  // The vsftpd warning's evidence is a qualifier flow chain built by the
+  // final top-level solve, not by a block run — it is recomputed each
+  // run rather than replayed, and must still come out byte-identical.
+  TempDir D("explain_flow");
+  const std::string Source = corpus::vsftpdFull(true);
+  RunResult Cold = runMixy(Source, D.Path, /*Jobs=*/1, /*Explain=*/true);
+  RunResult Warm = runMixy(Source, D.Path, /*Jobs=*/1, /*Explain=*/true);
+  EXPECT_GT(Cold.Warnings, 0u);
+  EXPECT_GT(Cold.ProvFlows, 0u);
+  EXPECT_NE(Cold.Explain.find("qualifier flow:"), std::string::npos)
+      << Cold.Explain;
+  EXPECT_EQ(Warm.Diags, Cold.Diags);
+  EXPECT_EQ(Warm.Explain, Cold.Explain);
+  EXPECT_GT(Warm.BlockHits, 0u);
+}
+
+TEST(MixyPersistTest, ExplainOnAndOffRunsDoNotShareAStore) {
+  // The store fingerprint includes whether provenance is recorded: a
+  // cache written without evidence must not answer an --explain run (its
+  // summaries carry no payloads to replay). The mismatch loads as a
+  // silent cold start — the explain run re-executes the block and
+  // rebuilds full evidence — never as corruption or a replay of
+  // evidence-free summaries.
+  TempDir D("explain_fp");
+  RunResult Plain = runMixy(InBlockDerefSource, D.Path, /*Jobs=*/1,
+                            /*Explain=*/false, /*WarnDerefs=*/true);
+  RunResult Explained = runMixy(InBlockDerefSource, D.Path, /*Jobs=*/1,
+                                /*Explain=*/true, /*WarnDerefs=*/true);
+  EXPECT_EQ(Explained.Warnings, Plain.Warnings);
+  EXPECT_TRUE(Explained.Degraded.empty());
+  // Different fingerprint: nothing answered from the plain store, the
+  // symbolic block really re-ran, and the evidence is fresh.
+  EXPECT_GT(Explained.BlockMisses, 0u);
+  EXPECT_GT(Explained.SymBlockRuns, 0u);
+  EXPECT_EQ(Explained.ProvReplayed, 0u);
+  EXPECT_GT(Explained.ProvWitnesses, 0u);
+  EXPECT_NE(Explained.Explain.find("witness path:"), std::string::npos)
+      << Explained.Explain;
 }
 
 //===----------------------------------------------------------------------===//

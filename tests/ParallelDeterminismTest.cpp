@@ -23,6 +23,8 @@
 #include "mix/MixChecker.h"
 #include "mixy/Mixy.h"
 #include "mixy/VsftpdMini.h"
+#include "provenance/Provenance.h"
+#include "provenance/Sarif.h"
 
 #include <gtest/gtest.h>
 
@@ -248,6 +250,49 @@ TEST(MixyParallelDeterminismTest, CorpusWarningsMatchAcrossJobCounts) {
   // order).
   EXPECT_EQ(Par1Warnings, Par2Warnings);
   EXPECT_EQ(Par1Ord, Par2Ord);
+}
+
+/// The machine-output contract: the sorted JSON and SARIF documents the
+/// drivers emit must be byte-identical across job counts, even though
+/// the engine's emission order may differ (the renderers sort top-level
+/// diagnostics by location and id). Provenance recording is on, so the
+/// SARIF comparison also pins codeFlows and property bags.
+TEST(MixyParallelDeterminismTest, SortedMachineOutputIsByteIdenticalAcrossJobs) {
+  using namespace mix::c;
+  std::string Source = corpus::vsftpdFull(/*Annotated=*/false);
+
+  auto Render = [&](unsigned Jobs, std::string &Json, std::string &Sarif) {
+    CAstContext Ctx;
+    DiagnosticEngine Diags;
+    const CProgram *P = parseC(Source, Ctx, Diags);
+    ASSERT_NE(P, nullptr);
+    prov::ProvenanceSink Sink;
+    MixyOptions Opts;
+    Opts.Jobs = Jobs;
+    Opts.Prov = &Sink;
+    MixyAnalysis Analysis(*P, Ctx, Diags, Opts);
+    ASSERT_GT(Analysis.run(MixyAnalysis::StartMode::Typed), 0u);
+    Json = Diags.renderJSON(/*Sorted=*/true);
+    prov::SarifOptions SO;
+    SO.ToolName = "mixyc";
+    SO.ArtifactUri = "corpus.c";
+    Sarif = prov::renderSarif(Diags, SO);
+  };
+
+  std::string SerialJson, SerialSarif;
+  Render(1, SerialJson, SerialSarif);
+  std::string ParJson, ParSarif;
+  Render(8, ParJson, ParSarif);
+  std::string Par2Json, Par2Sarif;
+  Render(8, Par2Json, Par2Sarif);
+
+  // Serial vs parallel: the sorted renderers erase scheduling order.
+  EXPECT_EQ(SerialJson, ParJson);
+  EXPECT_EQ(SerialSarif, ParSarif);
+  // Run-to-run at jobs=8: trivially stable given the above, asserted
+  // separately so a failure distinguishes nondeterminism from skew.
+  EXPECT_EQ(ParJson, Par2Json);
+  EXPECT_EQ(ParSarif, Par2Sarif);
 }
 
 /// Same contract on the plain (unscaled) case studies: every entry in

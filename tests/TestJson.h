@@ -264,6 +264,63 @@ inline bool parseDocument(const std::string &Text, Value &Out,
   return Ok;
 }
 
+/// Structural sanity check of a SARIF 2.1.0 log as the provenance
+/// renderer emits it: the fixed envelope ($schema, version, one run with
+/// a named tool.driver and its rules) plus, per result, the fields every
+/// SARIF consumer requires (ruleId resolving into the rules table, level,
+/// message.text, at least one location). On failure \p Why says which
+/// requirement broke.
+inline bool checkSarifShape(const Value &Doc, std::string *Why) {
+  auto fail = [&](const std::string &W) {
+    if (Why)
+      *Why = W;
+    return false;
+  };
+  if (!Doc.isObject())
+    return fail("document is not an object");
+  if (Doc["$schema"].Str != "https://json.schemastore.org/sarif-2.1.0.json")
+    return fail("bad $schema: " + Doc["$schema"].Str);
+  if (Doc["version"].Str != "2.1.0")
+    return fail("bad version: " + Doc["version"].Str);
+  if (!Doc["runs"].isArray() || Doc["runs"].size() != 1)
+    return fail("expected exactly one run");
+  const Value &Run = Doc["runs"][0];
+  const Value &Driver = Run["tool"]["driver"];
+  if (!Driver.isObject() || Driver["name"].Str.empty())
+    return fail("tool.driver.name missing");
+  if (!Driver["rules"].isArray())
+    return fail("tool.driver.rules missing");
+  for (size_t I = 0; I != Driver["rules"].size(); ++I)
+    if (Driver["rules"][I]["id"].Str.empty())
+      return fail("rule without id");
+  if (!Run["results"].isArray())
+    return fail("results missing");
+  for (size_t I = 0; I != Run["results"].size(); ++I) {
+    const Value &R = Run["results"][I];
+    std::string Where = "result " + std::to_string(I) + ": ";
+    if (R["ruleId"].Str.empty())
+      return fail(Where + "ruleId missing");
+    if (R["ruleIndex"].K != Value::Kind::Number ||
+        (size_t)R["ruleIndex"].Num >= Driver["rules"].size())
+      return fail(Where + "ruleIndex out of range");
+    if (Driver["rules"][(size_t)R["ruleIndex"].Num]["id"].Str !=
+        R["ruleId"].Str)
+      return fail(Where + "ruleIndex does not resolve to ruleId");
+    if (R["level"].Str != "error" && R["level"].Str != "warning" &&
+        R["level"].Str != "note")
+      return fail(Where + "bad level: " + R["level"].Str);
+    if (R["message"]["text"].Str.empty())
+      return fail(Where + "message.text missing");
+    if (!R["locations"].isArray() || R["locations"].size() == 0)
+      return fail(Where + "locations missing");
+    for (size_t L = 0; L != R["locations"].size(); ++L)
+      if (R["locations"][L]["physicalLocation"]["artifactLocation"]["uri"]
+              .Str.empty())
+        return fail(Where + "location without artifact uri");
+  }
+  return true;
+}
+
 } // namespace testjson
 
 #endif // MIX_TESTS_TESTJSON_H

@@ -173,13 +173,23 @@ int main(int Argc, char **Argv) {
   }
 
   std::string Source;
-  if (!driver::loadInput("mixcheck", Parser.positionals()[0], Source))
+  if (!driver::loadInput("mixcheck", Parser.positionals()[0], Source)) {
+    // The driver is live from here on: artifacts the user asked for
+    // (--trace, --metrics) are flushed on every exit path, including the
+    // exit-code-2 ones.
+    Driver.writeArtifacts("mixcheck");
     return driver::ExitUsage;
+  }
+  if (Parser.positionals()[0] != "-")
+    Driver.setInputName(Parser.positionals()[0]);
 
   // Observability: every analysis below reports into the driver's
-  // registry; the trace sink is attached only under --trace.
+  // registry; the trace sink is attached only under --trace, the
+  // provenance sink only when the output renders evidence (--explain /
+  // --format=sarif).
   Opts.Metrics = &Driver.metrics();
   Opts.Trace = Driver.traceSink();
+  Opts.Prov = Driver.provenanceSink();
 
   AstContext Ctx;
   DiagnosticEngine Diags;
@@ -193,7 +203,7 @@ int main(int Argc, char **Argv) {
 
   const Expr *Program = parseExpression(Source, Ctx, Diags);
   if (!Program) {
-    Driver.emitDiagnostics(Diags);
+    Driver.emitDiagnostics(Diags, "mixcheck");
     Driver.writeArtifacts("mixcheck");
     return driver::ExitUsage;
   }
@@ -204,6 +214,8 @@ int main(int Argc, char **Argv) {
     if (!T) {
       std::cerr << "mixcheck: bad type '" << Spec << "' for variable " << Name
                 << "\n";
+      Driver.emitDiagnostics(Diags, "mixcheck");
+      Driver.writeArtifacts("mixcheck");
       return driver::ExitUsage;
     }
     Gamma[Name] = T;
@@ -248,7 +260,7 @@ int main(int Argc, char **Argv) {
   if (PrintProgram)
     Info << printExpr(Program) << "\n";
 
-  Driver.emitDiagnostics(Diags);
+  Driver.emitDiagnostics(Diags, "mixcheck");
   if (!Driver.writeArtifacts("mixcheck"))
     return driver::ExitUsage;
   if (!ResultType) {

@@ -136,14 +136,23 @@ int main(int Argc, char **Argv) {
 
   std::string Source;
   if (!driver::loadInput("mixyc", Parser.positionals()[0], Source,
-                         resolveCorpus))
+                         resolveCorpus)) {
+    // The driver is live from here on: artifacts the user asked for
+    // (--trace, --metrics) are flushed on every exit path, including the
+    // exit-code-2 ones.
+    Driver.writeArtifacts("mixyc");
     return driver::ExitUsage;
+  }
+  if (Parser.positionals()[0] != "-")
+    Driver.setInputName(Parser.positionals()[0]);
 
   // Observability: the analysis (solver, caches, pool, fixpoint driver)
   // reports into the driver's registry; the trace sink is attached only
-  // under --trace.
+  // under --trace, the provenance sink only when the output renders
+  // evidence (--explain / --format=sarif).
   Opts.Metrics = &Driver.metrics();
   Opts.Trace = Driver.traceSink();
+  Opts.Prov = Driver.provenanceSink();
 
   CAstContext Ctx;
   DiagnosticEngine Diags;
@@ -156,7 +165,7 @@ int main(int Argc, char **Argv) {
 
   const CProgram *Program = parseC(Source, Ctx, Diags);
   if (!Program) {
-    Driver.emitDiagnostics(Diags);
+    Driver.emitDiagnostics(Diags, "mixyc");
     Driver.writeArtifacts("mixyc");
     return driver::ExitUsage;
   }
@@ -166,6 +175,9 @@ int main(int Argc, char **Argv) {
 
   unsigned Warnings = 0;
   if (Baseline) {
+    // Baseline inference runs outside MixyAnalysis, so the provenance
+    // sink is pushed into the qualifier options here.
+    Opts.Qual.Prov = Opts.Prov;
     QualInference Inference(*Program, Ctx, Diags, Opts.Qual);
     Inference.analyzeAll();
     Inference.solve();
@@ -206,7 +218,7 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  Driver.emitDiagnostics(Diags);
+  Driver.emitDiagnostics(Diags, "mixyc");
   if (!Driver.writeArtifacts("mixyc"))
     return driver::ExitUsage;
   if (!Driver.jsonOutput())
