@@ -47,6 +47,76 @@ std::string fixpointChain(unsigned N) {
   return Out;
 }
 
+/// A depth-D def-use chain: step_i copies x_{i-1} into x_i, and main
+/// calls the steps deepest-first, so the taint planted by source() must
+/// travel the whole chain before sink()'s error becomes visible. Under a
+/// round barrier every round re-runs all D+2 sites while the taint
+/// advances one link per round (O(D^2) block runs); the dependency-aware
+/// worklist re-runs only the link whose input actually changed.
+std::string deepCallChain(unsigned Depth) {
+  std::string Out = "void sysutil_free(void * nonnull p_ptr) MIX(typed);\n";
+  for (unsigned I = 0; I <= Depth; ++I)
+    Out += "int *x" + std::to_string(I) + ";\n";
+  for (unsigned I = 1; I <= Depth; ++I) {
+    std::string Idx = std::to_string(I);
+    Out += "void step" + Idx + "(void) MIX(symbolic) {\n"
+           "  x" + Idx + " = x" + std::to_string(I - 1) + ";\n}\n";
+  }
+  Out += "void sink(void) MIX(symbolic) {\n"
+         "  sysutil_free((void*)x" + std::to_string(Depth) + ");\n}\n"
+         "void source(void) MIX(symbolic) {\n"
+         "  x0 = NULL;\n}\n"
+         "int main(void) {\n  sink();\n";
+  for (unsigned I = Depth; I >= 1; --I)
+    Out += "  step" + std::to_string(I) + "();\n";
+  Out += "  source();\n  return 0;\n}\n";
+  return Out;
+}
+
+/// Runs \p Source through the parallel fixpoint under the schedule the
+/// benchmark axis selects (0 = round barrier, 1 = worklist) and reports
+/// the block-run counters that distinguish the two.
+void runSchedule(benchmark::State &State, const std::string &Source,
+                 unsigned MaxRounds = 0) {
+  bool Worklist = State.range(1) != 0;
+  unsigned Warnings = 0, Iterations = 0, Reruns = 0;
+  for (auto _ : State) {
+    CAstContext Ctx;
+    DiagnosticEngine Diags;
+    const CProgram *P = parseC(Source, Ctx, Diags);
+    MixyOptions Opts;
+    Opts.Jobs = 4;
+    if (MaxRounds)
+      Opts.MaxFixpointIterations = MaxRounds;
+    Opts.ParallelSchedule = Worklist ? MixyOptions::Schedule::Worklist
+                                     : MixyOptions::Schedule::RoundBarrier;
+    MixyAnalysis Analysis(*P, Ctx, Diags, Opts);
+    Warnings = Analysis.run(MixyAnalysis::StartMode::Typed);
+    Iterations = Analysis.stats().FixpointIterations;
+    Reruns = Analysis.stats().SymbolicBlockRuns;
+  }
+  State.counters["warnings"] = Warnings;
+  State.counters["fixpoint_iters"] = Iterations;
+  State.counters["block_runs"] = Reruns;
+}
+
+/// The schedule axis on the original E6 chain: late taints, but no
+/// cross-block dependencies, so the two schedules should be close —
+/// this is the "worklist must not be slower" guard.
+void BM_FixpointSchedule(benchmark::State &State) {
+  runSchedule(State, fixpointChain((unsigned)State.range(0)));
+}
+
+/// The schedule axis on the deep call chain, where dependency-aware
+/// scheduling is expected to win outright. The taint needs ~depth rounds
+/// to cross the chain, so the rounds budget scales with depth — with the
+/// default cap the round barrier silently truncates (and reports zero
+/// warnings), which would make the timing comparison meaningless.
+void BM_DeepChainSchedule(benchmark::State &State) {
+  unsigned Depth = (unsigned)State.range(0);
+  runSchedule(State, deepCallChain(Depth), 2 * Depth + 8);
+}
+
 void BM_Fixpoint(benchmark::State &State) {
   unsigned N = (unsigned)State.range(0);
   std::string Source = fixpointChain(N);
@@ -74,6 +144,24 @@ BENCHMARK(BM_Fixpoint)
     ->Arg(4)
     ->Arg(8)
     ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_FixpointSchedule)
+    ->ArgNames({"n", "worklist"})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_DeepChainSchedule)
+    ->ArgNames({"depth", "worklist"})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({32, 0})
+    ->Args({32, 1})
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

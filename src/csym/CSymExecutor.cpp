@@ -70,7 +70,11 @@ void CSymExecutor::warn(SourceLoc Loc, const std::string &Message,
     prov::WitnessPath W;
     W.Steps = State->Trail;
     const Term *Cond = WitnessCond ? WitnessCond : State->Path;
-    W.PathCondition = Cond->str();
+    // Renumber variables in first-occurrence order: the raw arena indices
+    // depend on how many fresh terms this worker had already allocated,
+    // which varies with the parallel schedule, and the rendered condition
+    // must be byte-identical across --jobs and replay.
+    W.PathCondition = smt::normalizedStr(Cond);
     smt::SmtModel Model;
     if (Solver.checkSat(Cond, &Model) == smt::SolveResult::Sat) {
       for (auto &[Name, Value] : smt::modelBindings(Terms, Model))

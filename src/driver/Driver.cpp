@@ -68,6 +68,13 @@ void DriverContext::registerOptions(OptionParser &P) {
       "under DIR and reuse them on later runs");
 }
 
+void mix::driver::registerCommonOptions(OptionParser &P, DriverContext &Driver,
+                                        unsigned *Jobs,
+                                        const std::string &JobsHelp) {
+  P.jobs(Jobs, JobsHelp);
+  Driver.registerOptions(P);
+}
+
 mix::persist::PersistSession *
 DriverContext::openPersist(bool Incremental, uint64_t BlockFingerprint,
                            DiagnosticEngine &Diags) {

@@ -119,6 +119,14 @@ private:
   OutputFormat Format = OutputFormat::Text;
 };
 
+/// Registers the flags every tool shares in one place, so the CLIs
+/// cannot drift apart: the --jobs parser (stored into \p *Jobs, with
+/// \p JobsHelp as its tool-specific description) and DriverContext's
+/// cross-cutting set (--trace, --metrics, --format, --explain, --stats,
+/// --cache-dir).
+void registerCommonOptions(OptionParser &P, DriverContext &Driver,
+                           unsigned *Jobs, const std::string &JobsHelp);
+
 /// Writes \p Content to \p Path. Returns false after printing
 /// "<tool>: cannot write '...'" to stderr.
 bool writeFile(const std::string &Tool, const std::string &Path,

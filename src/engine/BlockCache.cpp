@@ -5,9 +5,9 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "mixy/BlockCache.h"
+#include "engine/BlockCache.h"
 
-using namespace mix::c;
+using namespace mix::engine;
 
 std::string BlockCacheStats::str() const {
   return "hits=" + std::to_string(Hits) + " misses=" + std::to_string(Misses) +
@@ -16,7 +16,7 @@ std::string BlockCacheStats::str() const {
          " evictions=" + std::to_string(Evictions);
 }
 
-unsigned mix::c::blockCacheShardsFor(unsigned Workers) {
+unsigned mix::engine::blockCacheShardsFor(unsigned Workers) {
   if (Workers <= 1)
     return 1;
   unsigned N = 1;

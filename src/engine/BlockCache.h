@@ -19,10 +19,14 @@
 /// entries first; evictions only cost re-analysis, never soundness, which
 /// is exactly the contract of the paper's cache.
 ///
+/// This lives in the shared engine layer (src/engine/) so every mix
+/// instantiation — formal MIX, MIXY-for-C, the sign mix — caches block
+/// summaries through one implementation.
+///
 //===----------------------------------------------------------------------===//
 
-#ifndef MIX_MIXY_BLOCKCACHE_H
-#define MIX_MIXY_BLOCKCACHE_H
+#ifndef MIX_ENGINE_BLOCKCACHE_H
+#define MIX_ENGINE_BLOCKCACHE_H
 
 #include "observe/Metrics.h"
 #include "support/Hash.h"
@@ -36,7 +40,7 @@
 #include <string>
 #include <vector>
 
-namespace mix::c {
+namespace mix::engine {
 
 /// Counter snapshot of one cache (summed over shards).
 struct BlockCacheStats {
@@ -187,6 +191,6 @@ private:
   obs::Counter CHits, CMisses, CInserts, CDropped, CEvictions;
 };
 
-} // namespace mix::c
+} // namespace mix::engine
 
-#endif // MIX_MIXY_BLOCKCACHE_H
+#endif // MIX_ENGINE_BLOCKCACHE_H

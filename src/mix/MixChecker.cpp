@@ -28,7 +28,8 @@ MixChecker::MixChecker(TypeContext &Types, DiagnosticEngine &Diags,
                        MixOptions OptsIn)
     : Types(Types), Diags(Diags), Opts(normalizedOptions(OptsIn)), Syms(Types),
       Solver(Terms, Opts.Smt), Translator(Syms, Terms), Checker(Types, Diags),
-      Executor(Syms, Diags, executorOptionsFor(Opts)), Solvers(Opts.Smt) {
+      Executor(Syms, Diags, executorOptionsFor(Opts)), Solvers(Opts.Smt),
+      Eng(engineConfig(Opts)) {
   Checker.setSymBlockOracle(this);
   Executor.setTypedBlockOracle(this);
   Executor.setSolver(&Solver, &Translator);
@@ -39,6 +40,26 @@ MixChecker::MixChecker(TypeContext &Types, DiagnosticEngine &Diags,
     CInfeasible = Opts.Metrics->counter("mix.paths_infeasible");
     CExhaustive = Opts.Metrics->counter("mix.exhaustiveness_checks");
   }
+}
+
+MixChecker::Engine::Config MixChecker::engineConfig(const MixOptions &O) {
+  Engine::Config C;
+  C.Shards = engine::blockCacheShardsFor(O.Jobs);
+  C.Metrics = O.Metrics;
+  return C;
+}
+
+std::string MixChecker::gammaSig(const TypeEnv &Gamma) {
+  // TypeEnv is an ordered map, so iteration (and hence the signature) is
+  // deterministic.
+  std::string Sig;
+  for (const auto &[Name, Ty] : Gamma) {
+    Sig += Name;
+    Sig += ':';
+    Sig += Ty->str();
+    Sig += ';';
+  }
+  return Sig;
 }
 
 SymExecOptions MixChecker::executorOptionsFor(const MixOptions &Opts) {
@@ -60,9 +81,20 @@ const Type *MixChecker::checkSymbolic(const Expr *E, const TypeEnv &Gamma) {
 
 const Type *MixChecker::typeOfSymbolicBlock(const BlockExpr *Block,
                                             const TypeEnv &Gamma) {
+  // Counts boundary-rule applications, cached or not (a hit still means
+  // the rule fired at this site).
   ++Statistics.SymBlocksChecked;
   CSymBlocks.inc();
-  return checkSymbolicCore(Block->body(), Gamma, Block->loc());
+  Engine::Key K{Block, gammaSig(Gamma)};
+  engine::RunHooks<const Type *> H;
+  H.Eval = [&] {
+    return checkSymbolicCore(Block->body(), Gamma, Block->loc());
+  };
+  // Failures reported diagnostics; re-diagnose on later calls instead of
+  // silently replaying null.
+  H.ShouldCache = [](const Type *T) { return T != nullptr; };
+  H.KeepIterating = [](const Type *T) { return T != nullptr; };
+  return Eng.runSymbolic(K, BlockStack, H);
 }
 
 const Type *MixChecker::typeOfTypedBlock(const BlockExpr *Block,
@@ -84,33 +116,40 @@ const Type *MixChecker::typeOfTypedBlock(const BlockExpr *Block,
   TypeEnv Gamma;
   for (const auto &[Name, Value] : Env)
     Gamma[Name] = Value->type();
-  return Checker.check(Block->body(), Gamma);
+
+  Engine::Key K{Block, gammaSig(Gamma)};
+  engine::RunHooks<const Type *> H;
+  H.Eval = [&] { return Checker.check(Block->body(), Gamma); };
+  H.ShouldCache = [](const Type *T) { return T != nullptr; };
+  H.KeepIterating = [](const Type *T) { return T != nullptr; };
+  return Eng.runTyped(K, BlockStack, H);
 }
 
 bool MixChecker::verifyClosure(const SymExpr *Closure, SourceLoc Loc) {
-  auto It = VerifiedClosures.find(Closure);
-  if (It != VerifiedClosures.end())
-    return It->second;
-  // Guard against (impossible today) cycles while recursing through the
-  // type checker, which may re-enter via nested blocks.
-  VerifiedClosures[Closure] = true;
-
-  const FunExpr *Fun = Syms.closureFun(Closure);
-  TypeEnv Gamma;
-  for (const auto &[Name, Captured] : Syms.closureEnv(Closure))
-    Gamma[Name] = Captured->type();
-
-  size_t DiagsBefore = Diags.size();
-  bool Ok = Checker.check(Fun, Gamma) != nullptr;
-  if (!Ok) {
+  // Memoized in the engine's typed cache, keyed per closure value
+  // (failures included, so a bad closure is reported once). A cyclic
+  // re-verification — the type checker can re-enter via nested blocks —
+  // hits the Section 4.4 stack cut-off and answers with the assumption
+  // that the closure's annotation holds.
+  Engine::Key K{Closure, std::string()};
+  engine::RunHooks<const Type *> H;
+  H.Init = [&]() -> const Type * { return Closure->type(); };
+  H.Eval = [&]() -> const Type * {
+    const FunExpr *Fun = Syms.closureFun(Closure);
+    TypeEnv Gamma;
+    for (const auto &[Name, Captured] : Syms.closureEnv(Closure))
+      Gamma[Name] = Captured->type();
+    if (Checker.check(Fun, Gamma))
+      return Closure->type();
     Diags.error(Loc,
                 "function value escapes its symbolic block, so its "
                 "body must type check on all inputs",
                 DiagID::EscapedClosure);
-    (void)DiagsBefore;
-  }
-  VerifiedClosures[Closure] = Ok;
-  return Ok;
+    return nullptr;
+  };
+  // A failed check cannot improve by re-running with a weaker assumption.
+  H.KeepIterating = [](const Type *T) { return T != nullptr; };
+  return Eng.runTyped(K, BlockStack, H) != nullptr;
 }
 
 bool MixChecker::verifyEscapingClosures(const SymExpr *Value,

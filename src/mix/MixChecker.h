@@ -29,6 +29,7 @@
 #ifndef MIX_MIX_MIXCHECKER_H
 #define MIX_MIX_MIXCHECKER_H
 
+#include "engine/MixEngine.h"
 #include "runtime/ThreadPool.h"
 #include "solver/SolverPool.h"
 #include "symexec/SymExecutor.h"
@@ -129,7 +130,35 @@ public:
   smt::SmtSolver &solver() { return Solver; }
   SymArena &symbols() { return Syms; }
 
+  /// Section 4.3 block-cache statistics (shared engine layer). The
+  /// symbolic cache memoizes TSymBlock results per (block, Gamma); the
+  /// typed cache memoizes SETypBlock results and escaped-closure
+  /// verification verdicts.
+  engine::BlockCacheStats symCacheStats() const { return Eng.symCacheStats(); }
+  engine::BlockCacheStats typedCacheStats() const {
+    return Eng.typedCacheStats();
+  }
+
 private:
+  /// Engine instantiation for the formal MIX domain. A block's calling
+  /// context (Section 4.3) is its AST node plus a rendered Gamma
+  /// signature; both block sides summarize to the result type (null =
+  /// the analysis failed and diagnostics were reported).
+  struct EngineDomain {
+    using Key = engine::NodeContextKey;
+    using KeyHash = engine::NodeContextKey::Hash;
+    using SymOutcome = const Type *;
+    using TypedOutcome = const Type *;
+    static constexpr const char *Name = "mix";
+  };
+  using Engine = engine::MixEngine<EngineDomain>;
+
+  /// The engine configuration implied by \p O (cache sharding, metrics).
+  static Engine::Config engineConfig(const MixOptions &O);
+
+  /// Renders Gamma as a stable cache-key signature ("x:int;y:bool;").
+  static std::string gammaSig(const TypeEnv &Gamma);
+
   /// Shared body of TSymBlock and checkSymbolic: run the executor over
   /// all paths of \p Body from Gamma-derived inputs and validate the
   /// premises of the rule. \p Loc anchors diagnostics.
@@ -180,7 +209,6 @@ private:
   TypeChecker Checker;
   SymExecutor Executor;
   MixStats Statistics;
-  std::map<const SymExpr *, bool> VerifiedClosures;
 
   // Registry handles mirroring MixStats live (null/free without a
   // registry).
@@ -189,6 +217,12 @@ private:
   // Parallel classification (lazily built on first use).
   smt::SolverPool Solvers;
   std::unique_ptr<rt::ThreadPool> Pool;
+
+  // The shared engine layer: block caches plus the Section 4.4 block
+  // stack. Block analysis is serial per checker instance (Jobs only
+  // parallelizes path classification), so one stack suffices.
+  Engine Eng;
+  Engine::BlockStack BlockStack;
 };
 
 } // namespace mix

@@ -7,6 +7,7 @@
 
 #include "mixy/Mixy.h"
 
+#include "engine/Fixpoint.h"
 #include "persist/AstHash.h"
 #include "persist/PersistSession.h"
 #include "persist/RecordFile.h"
@@ -36,7 +37,7 @@ struct MixyAnalysis::WorkerContext {
   smt::SolverPool::Lease SolverLease;
   DiagnosticEngine Diags;
   CSymExecutor Exec;
-  std::vector<StackEntry> Stack;
+  Engine::BlockStack Stack;
   size_t Merged = 0; ///< diagnostics already consumed by earlier barriers
 
   explicit WorkerContext(MixyAnalysis &A)
@@ -82,17 +83,25 @@ uint64_t mix::c::mixyPersistFingerprint(const MixyOptions &Opts) {
   return H.digest();
 }
 
+MixyAnalysis::Engine::Config MixyAnalysis::engineConfig(const MixyOptions &O) {
+  Engine::Config C;
+  C.EnableCache = O.EnableCache;
+  C.MaxRecursionIterations = O.MaxRecursionIterations;
+  C.Shards = blockCacheShardsFor(O.Jobs);
+  C.Metrics = O.Metrics;
+  // Historical counter names predate the shared engine; keep them.
+  C.SymCachePrefix = "mixy.cache.sym.";
+  C.TypedCachePrefix = "mixy.cache.typed.";
+  return C;
+}
+
 MixyAnalysis::MixyAnalysis(const CProgram &Program, CAstContext &Ctx,
                            DiagnosticEngine &Diags, MixyOptions OptsIn)
     : Program(Program), Ctx(Ctx), Diags(Diags),
       Opts(normalizedOptions(std::move(OptsIn))), Solver(Terms, Opts.Smt),
       PtrAnal(Program, Ctx, Diags), Qual(Program, Ctx, Diags, Opts.Qual),
       Exec(Program, Ctx, Diags, Terms, Solver, Opts.Sym),
-      SymCache(blockCacheShardsFor(Opts.Jobs), 0, BlockKeyHash(), Opts.Metrics,
-               "mixy.cache.sym."),
-      TypedCache(blockCacheShardsFor(Opts.Jobs), 0, BlockKeyHash(),
-                 Opts.Metrics, "mixy.cache.typed."),
-      Solvers(Opts.Smt) {
+      Eng(engineConfig(Opts)), Solvers(Opts.Smt) {
   Qual.setSymHook(this);
   Exec.setTypedCallHook(this);
 }
@@ -127,41 +136,29 @@ void MixyAnalysis::publishStats() {
   Publish("mixy.recursions", Statistics.RecursionsDetected);
 }
 
-// === persistent cache / incremental engine (src/persist/) ====================
+// === dependency edges (persist closures + worklist site graph) ===============
 
-void MixyAnalysis::initPersist() {
-  persist::PersistSession *Session = Opts.Persist;
-  if (!Session || PersistReady)
-    return;
-  PersistReady = true;
-  PersistBlocks = Session->incremental();
-
-  // Content hash per defined function, from the printed AST (stable
-  // across runs; see persist/AstHash.h).
-  std::map<const CFuncDecl *, uint64_t> Content;
-  for (const CFuncDecl *F : Program.Funcs)
-    if (F->isDefined())
-      Content[F] = persist::functionContentHash(*F);
-  uint64_t Env = persist::environmentHash(Program);
-
-  // Dependency edges. A block's result depends on its callees (direct
-  // call graph; indirect calls conservatively reach every defined
-  // function, mirroring typedRegionFrom) and on its qualifier-alias
-  // neighbors: restoreAliasing unifies qualifiers of variables sharing a
-  // points-to class, so an edit to one such function can shift another's
-  // calling context.
+std::map<const CFuncDecl *, std::vector<const CFuncDecl *>>
+MixyAnalysis::dependencyEdges(bool &SawIndirect) {
+  // A block's result depends on its callees (direct call graph; indirect
+  // calls conservatively reach every defined function, mirroring
+  // typedRegionFrom) and on its qualifier-alias neighbors:
+  // restoreAliasing unifies qualifiers of variables sharing a points-to
+  // class, so an edit to one such function can shift another's calling
+  // context.
   std::map<const CFuncDecl *, std::vector<const CFuncDecl *>> Deps;
-  bool SawIndirect = false;
-  for (const auto &[F, Hash] : Content) {
-    (void)Hash;
+  SawIndirect = false;
+  for (const CFuncDecl *F : Program.Funcs) {
+    if (!F->isDefined())
+      continue;
     std::set<const CFuncDecl *> Callees;
     collectCallees(F->body(), Callees, SawIndirect);
     Deps[F].assign(Callees.begin(), Callees.end());
   }
   if (SawIndirect) {
     std::vector<const CFuncDecl *> All;
-    for (const auto &[F, Hash] : Content) {
-      (void)Hash;
+    for (const auto &[F, D] : Deps) {
+      (void)D;
       All.push_back(F);
     }
     for (auto &[F, D] : Deps) {
@@ -187,8 +184,29 @@ void MixyAnalysis::initPersist() {
             Deps[A].push_back(B);
     }
   }
+  return Deps;
+}
 
-  FuncClosure = persist::closureHashes(Content, Deps, Env);
+// === persistent cache / incremental engine (src/persist/) ====================
+
+void MixyAnalysis::initPersist() {
+  persist::PersistSession *Session = Opts.Persist;
+  if (!Session || PersistReady)
+    return;
+  PersistReady = true;
+  PersistBlocks = Session->incremental();
+
+  // Content hash per defined function, from the printed AST (stable
+  // across runs; see persist/AstHash.h).
+  std::map<const CFuncDecl *, uint64_t> Content;
+  for (const CFuncDecl *F : Program.Funcs)
+    if (F->isDefined())
+      Content[F] = persist::functionContentHash(*F);
+  uint64_t Env = persist::environmentHash(Program);
+
+  bool SawIndirect = false;
+  FuncClosure =
+      persist::closureHashes(Content, dependencyEdges(SawIndirect), Env);
 
   // Manifest bookkeeping: record this run's hashes and, in incremental
   // mode, diff against the previous run's to report how much of the
@@ -330,6 +348,78 @@ bool MixyAnalysis::decodeBlockSummary(
     Switches.push_back(std::move(S));
   }
   return R.ok() && R.atEnd();
+}
+
+void MixyAnalysis::storeBlockSummary(
+    uint64_t PKey, const SymOutcome &Outcome,
+    const std::vector<Diagnostic> &Slice,
+    const std::vector<TypedSwitch> &Switches) {
+  // Read-merge-write under a lock: a parallel run can evaluate the same
+  // calling context on two workers against different snapshots of the
+  // shared qualifier state, and each evaluation's outcome is a valid
+  // under-approximation of what the fixpoint ultimately applied. The
+  // qualifier graph received the union of the seedings, so the summary a
+  // warm run replays must be the union too — every fact here is a
+  // monotone may-be-null bit, so merging is an OR and reaches the same
+  // least fixpoint.
+  std::lock_guard<std::mutex> Lock(PersistStoreM);
+  SymOutcome MergedOutcome = Outcome;
+  std::vector<Diagnostic> MergedSlice = Slice;
+  std::vector<TypedSwitch> MergedSwitches = Switches;
+  if (auto Payload = Opts.Persist->blocks().lookup(PKey)) {
+    SymOutcome Old;
+    std::vector<Diagnostic> OldSlice;
+    std::vector<TypedSwitch> OldSwitches;
+    if (decodeBlockSummary(*Payload, Old, OldSlice, OldSwitches)) {
+      MergedOutcome.RetMayBeNull |= Old.RetMayBeNull;
+      if (MergedOutcome.ParamPointeeMayBeNull.size() <
+          Old.ParamPointeeMayBeNull.size())
+        MergedOutcome.ParamPointeeMayBeNull.resize(
+            Old.ParamPointeeMayBeNull.size(), false);
+      for (size_t I = 0; I != Old.ParamPointeeMayBeNull.size(); ++I)
+        if (Old.ParamPointeeMayBeNull[I])
+          MergedOutcome.ParamPointeeMayBeNull[I] = true;
+      for (const auto &[Name, MayNull] : Old.GlobalMayBeNull)
+        if (MayNull)
+          MergedOutcome.GlobalMayBeNull[Name] = true;
+      // Union the switch logs: replaying a switch re-seeds constraints
+      // the solver already has, so repeats are idempotent — but a switch
+      // only one evaluation recorded must survive.
+      auto SameSwitch = [](const TypedSwitch &A, const TypedSwitch &B) {
+        return A.Callee == B.Callee && A.Params == B.Params &&
+               A.Globals == B.Globals && A.Loc.Line == B.Loc.Line &&
+               A.Loc.Column == B.Loc.Column;
+      };
+      for (const TypedSwitch &S : OldSwitches) {
+        bool Seen = false;
+        for (const TypedSwitch &N : MergedSwitches)
+          Seen = Seen || SameSwitch(N, S);
+        if (!Seen)
+          MergedSwitches.push_back(S);
+      }
+      // Union the diagnostic slices, keeping each warning's trailing
+      // notes attached to it. Replay dedups repeated warnings anyway;
+      // deduping here keeps the payload from growing on every re-store.
+      auto GroupKey = [](const Diagnostic &D) {
+        return std::to_string((int)D.Kind) + "|" +
+               std::to_string((int)D.ID) + "|" + std::to_string(D.Loc.Line) +
+               ":" + std::to_string(D.Loc.Column) + "|" + D.Message;
+      };
+      std::set<std::string> Have;
+      for (const Diagnostic &D : MergedSlice)
+        if (D.Kind != DiagKind::Note)
+          Have.insert(GroupKey(D));
+      bool CopyGroup = false;
+      for (const Diagnostic &D : OldSlice) {
+        if (D.Kind != DiagKind::Note)
+          CopyGroup = Have.insert(GroupKey(D)).second;
+        if (CopyGroup)
+          MergedSlice.push_back(D);
+      }
+    }
+  }
+  Opts.Persist->blocks().store(
+      PKey, encodeBlockSummary(MergedOutcome, MergedSlice, MergedSwitches));
 }
 
 bool MixyAnalysis::switchesResolvable(
@@ -611,149 +701,136 @@ MixyAnalysis::translateResult(const CFuncDecl *F, const CSymResult &Result,
 
 MixyAnalysis::SymOutcome
 MixyAnalysis::computeSymOutcome(const BlockKey &Key, ExecContext C) {
-  if (Opts.EnableCache) {
-    if (auto Cached = SymCache.lookup(Key)) {
-      bumpStat(&MixyStats::SymbolicCacheHits);
-      return *Cached;
-    }
-  }
-
-  // Recursion detection (Section 4.4): the same block with a compatible
-  // calling context is already being analyzed (on this thread's stack —
-  // recursion cannot span threads, since a block's nested blocks run on
-  // the worker that runs the block).
-  for (StackEntry &Entry : C.Stack) {
-    if (Entry.Key == Key) {
-      Entry.Recursive = true;
-      bumpStat(&MixyStats::RecursionsDetected);
-      return Entry.SymAssumption;
-    }
-  }
-
-  // Persistent lookup (src/persist/), after the recursion check so a
-  // recursive re-entry still returns the in-flight assumption exactly as
-  // a cold run would. The stable key embeds the function's
-  // dependency-closure hash, so entries written before an edit anywhere
-  // in this block's dependency cone can never match.
   bool Persistable = PersistBlocks && FuncClosure.count(Key.F) != 0;
   uint64_t PKey = Persistable ? stableBlockKey(Key) : 0;
-  if (Persistable) {
-    if (auto Payload = Opts.Persist->blocks().lookup(PKey)) {
+
+  // Run state the engine hooks share: the trace span lives here so it
+  // brackets the whole run (it outlives OnEvalBegin and is still open
+  // through OnEvalEnd's provenance/persist work, like the historical
+  // inline code); the switch log records this run's sym-to-typed
+  // switches for the persistent summary.
+  std::optional<obs::TraceSpan> Span;
+  size_t DiagsBefore = 0;
+  std::vector<TypedSwitch> SwitchLog;
+  void *PrevLog = nullptr;
+
+  engine::RunHooks<SymOutcome> H;
+  H.OnCacheHit = [&](const SymOutcome &) {
+    bumpStat(&MixyStats::SymbolicCacheHits);
+  };
+  // Recursion cut-off (Section 4.4) — detected on this thread's stack;
+  // recursion cannot span threads, since a block's nested blocks run on
+  // the worker that runs the block.
+  H.OnRecursion = [&] { bumpStat(&MixyStats::RecursionsDetected); };
+  // Persistent replay (src/persist/). The stable key embeds the
+  // function's dependency-closure hash, so entries written before an
+  // edit anywhere in this block's dependency cone can never match.
+  if (Persistable)
+    H.Replay = [&]() -> std::optional<SymOutcome> {
+      auto Payload = Opts.Persist->blocks().lookup(PKey);
+      if (!Payload)
+        return std::nullopt;
       SymOutcome Outcome;
       std::vector<Diagnostic> Slice;
       std::vector<TypedSwitch> Switches;
       // A summary only replays when every recorded callee still resolves
       // (always true when the closure hash matched; checked up front so a
       // bad payload never half-replays).
-      if (decodeBlockSummary(*Payload, Outcome, Slice, Switches) &&
-          switchesResolvable(Switches)) {
-        // Replay the stored run's diagnostics through the executor's
-        // warning dedup, mirroring mergeRoundDiagnostics: a warning this
-        // context already saw is dropped along with its notes, so warm
-        // output matches cold output byte for byte. The slice replays
-        // first (it carries the cold emission order, including nested
-        // blocks' warnings); the typed switches after it re-seed the
-        // qualifier graph, and any diagnostics their nested replays
-        // surface deduplicate against the slice.
-        bool DropNotes = false;
-        for (const Diagnostic &D : Slice) {
-          if (D.Kind == DiagKind::Warning) {
-            DropNotes = !C.Exec.tryMarkWarningEmitted(D.Loc, D.Message);
-            if (DropNotes)
-              continue;
-          } else if (D.Kind == DiagKind::Note && DropNotes) {
+      if (!decodeBlockSummary(*Payload, Outcome, Slice, Switches) ||
+          !switchesResolvable(Switches))
+        return std::nullopt;
+      // Replay the stored run's diagnostics through the executor's
+      // warning dedup, mirroring mergeRoundDiagnostics: a warning this
+      // context already saw is dropped along with its notes, so warm
+      // output matches cold output byte for byte. The slice replays
+      // first (it carries the cold emission order, including nested
+      // blocks' warnings); the typed switches after it re-seed the
+      // qualifier graph, and any diagnostics their nested replays
+      // surface deduplicate against the slice.
+      bool DropNotes = false;
+      for (const Diagnostic &D : Slice) {
+        if (D.Kind == DiagKind::Warning) {
+          DropNotes = !C.Exec.tryMarkWarningEmitted(D.Loc, D.Message);
+          if (DropNotes)
             continue;
-          } else {
-            DropNotes = false;
-          }
-          size_t Idx = C.Diags.report(D.Kind, D.Loc, D.Message, D.ID);
-          // Re-attach the recorded explanation verbatim — including the
-          // disposition the cold run stamped — so --explain output is
-          // byte-identical cold vs. warm; only the replay counter tells
-          // the runs apart.
-          if (D.Prov) {
-            C.Diags.attachProvenance(Idx, D.Prov);
-            if (Opts.Prov)
-              Opts.Prov->countReplay();
-          }
+        } else if (D.Kind == DiagKind::Note && DropNotes) {
+          continue;
+        } else {
+          DropNotes = false;
         }
-        replayTypedSwitches(Switches, C);
-        if (Opts.EnableCache)
-          SymCache.insert(Key, Outcome);
-        return Outcome;
+        size_t Idx = C.Diags.report(D.Kind, D.Loc, D.Message, D.ID);
+        // Re-attach the recorded explanation verbatim — including the
+        // disposition the cold run stamped — so --explain output is
+        // byte-identical cold vs. warm; only the replay counter tells
+        // the runs apart.
+        if (D.Prov) {
+          C.Diags.attachProvenance(Idx, D.Prov);
+          if (Opts.Prov)
+            Opts.Prov->countReplay();
+        }
+      }
+      replayTypedSwitches(Switches, C);
+      return Outcome;
+    };
+  H.Init = [&] {
+    SymOutcome Assumption;
+    Assumption.ParamPointeeMayBeNull.assign(Key.F->params().size(), false);
+    return Assumption;
+  };
+  H.OnEvalBegin = [&] {
+    Span.emplace(Opts.Trace, "mixy.block.sym", "mixy");
+    if (Opts.Trace)
+      Span->setArgs("{\"function\": \"" + jsonEscape(Key.F->name()) + "\"}");
+    DiagsBefore = C.Diags.size();
+    // Nested blocks save and restore the log slot so each run logs only
+    // its own switches.
+    PrevLog = ActiveTypedLog;
+    ActiveTypedLog = Persistable ? &SwitchLog : nullptr;
+  };
+  H.OnIteration = [&](unsigned) { bumpStat(&MixyStats::SymbolicBlockRuns); };
+  H.Eval = [&] {
+    CSymResult Result = C.Exec.runFunction(Key.F, Key.Params, Key.Globals);
+    return translateResult(Key.F, Result, C.Exec);
+  };
+  H.OnEvalEnd = [&](const SymOutcome &Outcome) {
+    ActiveTypedLog = PrevLog;
+
+    if (Opts.Prov) {
+      // Stamp every diagnostic this run emitted with the block stack that
+      // was live while it ran (the engine has already popped this block,
+      // so C.Stack is the enclosing context). Nested block runs already
+      // stamped their own (deeper) stack and are left alone; notes
+      // inherit their parent's context implicitly.
+      std::vector<std::string> StackNames;
+      for (const Engine::StackEntry &E : C.Stack)
+        StackNames.push_back(E.K.F->name() +
+                             (E.Symbolic ? " [symbolic]" : " [typed]"));
+      StackNames.push_back(Key.F->name() + " [symbolic]");
+      const std::vector<Diagnostic> &All = C.Diags.diagnostics();
+      for (size_t I = DiagsBefore; I != All.size(); ++I) {
+        const Diagnostic &D = All[I];
+        if (D.Kind == DiagKind::Note)
+          continue;
+        if (D.Prov && !D.Prov->Block.Stack.empty())
+          continue;
+        auto P = std::make_shared<prov::DiagProvenance>(
+            D.Prov ? *D.Prov : prov::DiagProvenance());
+        P->Block.Stack = StackNames;
+        P->Block.Disposition = prov::BlockDisposition::Fresh;
+        C.Diags.attachProvenance(I, std::move(P));
+        Opts.Prov->countBlock();
       }
     }
-  }
 
-  C.Stack.push_back({Key, false, SymOutcome(), false});
-  C.Stack.back().SymAssumption.ParamPointeeMayBeNull.assign(
-      Key.F->params().size(), false);
-
-  obs::TraceSpan Span(Opts.Trace, "mixy.block.sym", "mixy");
-  if (Opts.Trace)
-    Span.setArgs("{\"function\": \"" + jsonEscape(Key.F->name()) + "\"}");
-
-  size_t DiagsBefore = C.Diags.size();
-
-  // Record this run's sym-to-typed switches for the persistent summary;
-  // nested blocks save and restore the slot so each run logs only its own
-  // switches.
-  std::vector<TypedSwitch> SwitchLog;
-  void *PrevLog = ActiveTypedLog;
-  ActiveTypedLog = Persistable ? &SwitchLog : nullptr;
-
-  SymOutcome Outcome;
-  for (unsigned Iter = 0; Iter != Opts.MaxRecursionIterations; ++Iter) {
-    C.Stack.back().Recursive = false;
-    bumpStat(&MixyStats::SymbolicBlockRuns);
-    CSymResult Result = C.Exec.runFunction(Key.F, Key.Params, Key.Globals);
-    Outcome = translateResult(Key.F, Result, C.Exec);
-    // "If the assumption is compatible with the actual result, we return
-    // the result; otherwise, we re-analyze the block using the actual
-    // result as the updated assumption." (Section 4.4)
-    if (!C.Stack.back().Recursive || Outcome == C.Stack.back().SymAssumption)
-      break;
-    C.Stack.back().SymAssumption = Outcome;
-  }
-  C.Stack.pop_back();
-  ActiveTypedLog = PrevLog;
-
-  if (Opts.Prov) {
-    // Stamp every diagnostic this run emitted with the block stack that
-    // was live while it ran. Nested block runs already stamped their own
-    // (deeper) stack and are left alone; notes inherit their parent's
-    // context implicitly.
-    std::vector<std::string> StackNames;
-    for (const StackEntry &E : C.Stack)
-      StackNames.push_back(E.Key.F->name() +
-                           (E.Key.Symbolic ? " [symbolic]" : " [typed]"));
-    StackNames.push_back(Key.F->name() + " [symbolic]");
-    const std::vector<Diagnostic> &All = C.Diags.diagnostics();
-    for (size_t I = DiagsBefore; I != All.size(); ++I) {
-      const Diagnostic &D = All[I];
-      if (D.Kind == DiagKind::Note)
-        continue;
-      if (D.Prov && !D.Prov->Block.Stack.empty())
-        continue;
-      auto P = std::make_shared<prov::DiagProvenance>(
-          D.Prov ? *D.Prov : prov::DiagProvenance());
-      P->Block.Stack = StackNames;
-      P->Block.Disposition = prov::BlockDisposition::Fresh;
-      C.Diags.attachProvenance(I, std::move(P));
-      Opts.Prov->countBlock();
+    if (Persistable) {
+      const std::vector<Diagnostic> &All = C.Diags.diagnostics();
+      std::vector<Diagnostic> Slice(All.begin() + (long)DiagsBefore,
+                                    All.end());
+      storeBlockSummary(PKey, Outcome, Slice, SwitchLog);
     }
-  }
+  };
 
-  if (Persistable) {
-    const std::vector<Diagnostic> &All = C.Diags.diagnostics();
-    std::vector<Diagnostic> Slice(All.begin() + (long)DiagsBefore, All.end());
-    Opts.Persist->blocks().store(
-        PKey, encodeBlockSummary(Outcome, Slice, SwitchLog));
-  }
-
-  if (Opts.EnableCache)
-    SymCache.insert(Key, Outcome);
-  return Outcome;
+  return Eng.runSymbolic(Key, C.Stack, H);
 }
 
 void MixyAnalysis::restoreAliasing(const CFuncDecl *Callee) {
@@ -874,32 +951,18 @@ bool MixyAnalysis::handleSymbolicCall(QualInference &Inference,
 
 bool MixyAnalysis::computeTypedRet(const BlockKey &Key, SourceLoc CallLoc,
                                    ExecContext C) {
-  if (Opts.EnableCache) {
-    if (auto Cached = TypedCache.lookup(Key)) {
-      bumpStat(&MixyStats::TypedCacheHits);
-      return *Cached;
-    }
-  }
+  std::optional<obs::TraceSpan> Span;
 
-  for (StackEntry &Entry : C.Stack) {
-    if (Entry.Key == Key) {
-      Entry.Recursive = true;
-      bumpStat(&MixyStats::RecursionsDetected);
-      return Entry.TypedAssumption;
-    }
-  }
-
-  C.Stack.push_back({Key, false, SymOutcome(), false});
-
-  obs::TraceSpan Span(Opts.Trace, "mixy.block.typed", "mixy");
-  if (Opts.Trace)
-    Span.setArgs("{\"function\": \"" + jsonEscape(Key.F->name()) + "\"}");
-
-  bool RetMayBeNull = false;
-  for (unsigned Iter = 0; Iter != Opts.MaxRecursionIterations; ++Iter) {
-    C.Stack.back().Recursive = false;
-    bumpStat(&MixyStats::TypedBlockRuns);
-
+  engine::RunHooks<bool> H;
+  H.OnCacheHit = [&](const bool &) { bumpStat(&MixyStats::TypedCacheHits); };
+  H.OnRecursion = [&] { bumpStat(&MixyStats::RecursionsDetected); };
+  H.OnEvalBegin = [&] {
+    Span.emplace(Opts.Trace, "mixy.block.typed", "mixy");
+    if (Opts.Trace)
+      Span->setArgs("{\"function\": \"" + jsonEscape(Key.F->name()) + "\"}");
+  };
+  H.OnIteration = [&](unsigned) { bumpStat(&MixyStats::TypedBlockRuns); };
+  H.Eval = [&] {
     // Run qualifier inference over the typed region rooted here; nested
     // MIX(symbolic) frontier calls re-enter handleSymbolicCall.
     for (const CFuncDecl *F : typedRegionFrom(Key.F))
@@ -926,18 +989,10 @@ bool MixyAnalysis::computeTypedRet(const BlockKey &Key, SourceLoc CallLoc,
 
     Qual.solve();
     const QualVec &RQ = Qual.qualsOfReturn(Key.F);
-    RetMayBeNull = !RQ.empty() && Qual.mayBeNull(RQ[0]);
+    return !RQ.empty() && Qual.mayBeNull(RQ[0]);
+  };
 
-    if (!C.Stack.back().Recursive ||
-        RetMayBeNull == C.Stack.back().TypedAssumption)
-      break;
-    C.Stack.back().TypedAssumption = RetMayBeNull;
-  }
-  C.Stack.pop_back();
-
-  if (Opts.EnableCache)
-    TypedCache.insert(Key, RetMayBeNull);
-  return RetMayBeNull;
+  return Eng.runTyped(Key, C.Stack, H);
 }
 
 bool MixyAnalysis::callTypedFunction(CSymExecutor &Exec2, CSymState &State,
@@ -1059,36 +1114,297 @@ unsigned MixyAnalysis::run(StartMode Mode, const std::string &Entry) {
     Qual.analyzeFunction(F);
 
   // Fixpoint (Section 4.1): re-run symbolic blocks whose calling context
-  // changed as constraints accumulated, until nothing changes.
-  for (unsigned Iter = 0; Iter != Opts.MaxFixpointIterations; ++Iter) {
-    obs::TraceSpan RoundSpan(Opts.Trace, "mixy.round", "mixy");
-    if (Opts.Trace)
-      RoundSpan.setArgs("{\"round\": " + std::to_string(Iter) + "}");
-    Qual.solve();
-    bool Changed = false;
-    for (SymCallSite &Site : SymCallSites) {
-      BlockKey Key;
-      Key.Symbolic = true;
-      Key.F = Site.Callee;
-      Key.Params = paramSeedsFromArgQuals(Site.Callee, Site.ArgQuals);
-      Key.Globals = globalSeedsFromQuals();
-      if (Key == Site.LastKey)
-        continue;
-      Changed = true;
-      Site.LastKey = Key;
+  // changed as constraints accumulated, until nothing changes. The
+  // engine driver's serial schedule is the historical Gauss-Seidel loop:
+  // each site's evaluation sees every earlier one's effects.
+  engine::FixpointConfig FC;
+  FC.MaxRounds = Opts.MaxFixpointIterations;
+  FC.Trace = Opts.Trace;
+  FC.RoundSpanName = "mixy.round";
+  FC.SpanCategory = "mixy";
+  FC.Metrics = Opts.Metrics;
+  engine::FixpointDriver Driver(FC);
+
+  engine::FixpointCallbacks CB;
+  CB.NumSites = [&] { return SymCallSites.size(); };
+  CB.OnRoundBegin = [&](unsigned) { Qual.solve(); };
+  CB.Refresh = [&](size_t I) { return refreshSite(I); };
+  CB.EvaluateWave = [&](const std::vector<size_t> &Sites, uint64_t) {
+    for (size_t I : Sites) {
+      // Copy the key before evaluating: a nested frontier call can grow
+      // SymCallSites and invalidate references into it.
+      BlockKey Key = SymCallSites[I].LastKey;
       SymOutcome Outcome = computeSymOutcome(Key, currentContext());
+      SymCallSite &Site = SymCallSites[I];
       applySymOutcome(Outcome, Site.Call, Site.Callee, Site.ArgQuals,
                       Site.RetQuals);
     }
-    if (!Changed)
-      break;
-    ++Statistics.FixpointIterations;
-  }
+  };
+  Statistics.FixpointIterations += Driver.runSerial(CB);
 
   Qual.solve();
   Qual.reportWarnings();
   publishStats();
   return Diags.warningCount();
+}
+
+bool MixyAnalysis::refreshSite(size_t I) {
+  // The worklist schedule refreshes sites from pool workers; every touch
+  // of the site table and the qualifier graph (the seed computations
+  // solve it) is serialized. Uncontended in the serial and round-barrier
+  // schedules, where only one thread refreshes.
+  std::lock_guard<std::recursive_mutex> Lock(QualM);
+  SymCallSite &Site = SymCallSites[I];
+  BlockKey Key;
+  Key.Symbolic = true;
+  Key.F = Site.Callee;
+  Key.Params = paramSeedsFromArgQuals(Site.Callee, Site.ArgQuals);
+  Key.Globals = globalSeedsFromQuals();
+  if (Site.LastKey.F && Key == Site.LastKey)
+    return false;
+  Site.LastKey = Key;
+  return true;
+}
+
+void MixyAnalysis::evaluateWave(const std::vector<size_t> &Sites,
+                                uint64_t Tag, bool Buffered) {
+  // Distinct calling contexts of the wave, in site order (two sites with
+  // the same context share one evaluation — and one diagnostics slice,
+  // like one cache entry).
+  std::vector<BlockKey> Keys;
+  std::vector<std::pair<size_t, size_t>> Apply; // (site, key index)
+  {
+    std::unique_lock<std::recursive_mutex> Lock(QualM, std::defer_lock);
+    if (Buffered)
+      Lock.lock(); // other SCCs' workers may be touching the site table
+    for (size_t I : Sites) {
+      const BlockKey &Key = SymCallSites[I].LastKey;
+      size_t KeyIdx = 0;
+      while (KeyIdx != Keys.size() && !(Keys[KeyIdx] == Key))
+        ++KeyIdx;
+      if (KeyIdx == Keys.size())
+        Keys.push_back(Key);
+      Apply.push_back({I, KeyIdx});
+    }
+  }
+
+  // Evaluate the wave. Results are carried out of the tasks directly
+  // (not via the cache, which may be disabled) and diagnostics are
+  // collected per task so their merge order is independent of worker
+  // scheduling.
+  std::vector<SymOutcome> Outcomes(Keys.size());
+  std::vector<std::vector<Diagnostic>> Slices(Keys.size());
+  Pool->parallelFor(Keys.size(), [&](size_t K) {
+    WorkerContext &W = workerContext();
+    void *Prev = ActiveWorkerCtx;
+    ActiveWorkerCtx = &W;
+    size_t Before = W.Diags.size();
+    Outcomes[K] =
+        computeSymOutcome(Keys[K], ExecContext{W.Exec, W.Diags, W.Stack});
+    const std::vector<Diagnostic> &All = W.Diags.diagnostics();
+    Slices[K].assign(All.begin() + (long)Before, All.end());
+    ActiveWorkerCtx = Prev;
+  });
+
+  if (Buffered) {
+    // Worklist: SCCs finish in timing-dependent order, so stash the
+    // slices under the deterministic wave tag; runTypedParallel merges
+    // them in tag order once the driver returns.
+    std::lock_guard<std::mutex> Lock(WaveM);
+    WaveDiags.emplace(Tag, std::move(Slices));
+  } else {
+    // Round barrier: the wave IS the round; merge at the barrier.
+    mergeRoundDiagnostics(Slices);
+  }
+
+  // Apply summaries in site order.
+  {
+    std::unique_lock<std::recursive_mutex> Lock(QualM, std::defer_lock);
+    if (Buffered)
+      Lock.lock();
+    for (const auto &[SiteIdx, KeyIdx] : Apply) {
+      SymCallSite &Site = SymCallSites[SiteIdx];
+      applySymOutcome(Outcomes[KeyIdx], Site.Call, Site.Callee,
+                      Site.ArgQuals, Site.RetQuals);
+    }
+  }
+}
+
+bool MixyAnalysis::writesPointerGlobal(
+    const CStmt *S, const std::set<std::string> &PtrGlobals) {
+  if (!S)
+    return false;
+  std::vector<const CExpr *> Exprs;
+  switch (S->kind()) {
+  case CStmtKind::Expr:
+    Exprs.push_back(cast<CExprStmt>(S)->expr());
+    break;
+  case CStmtKind::Decl:
+    if (cast<CDeclStmt>(S)->init())
+      Exprs.push_back(cast<CDeclStmt>(S)->init());
+    break;
+  case CStmtKind::If: {
+    const auto *I = cast<CIfStmt>(S);
+    Exprs.push_back(I->cond());
+    if (writesPointerGlobal(I->thenStmt(), PtrGlobals) ||
+        writesPointerGlobal(I->elseStmt(), PtrGlobals))
+      return true;
+    break;
+  }
+  case CStmtKind::While: {
+    const auto *W = cast<CWhileStmt>(S);
+    Exprs.push_back(W->cond());
+    if (writesPointerGlobal(W->body(), PtrGlobals))
+      return true;
+    break;
+  }
+  case CStmtKind::Return:
+    if (cast<CReturnStmt>(S)->value())
+      Exprs.push_back(cast<CReturnStmt>(S)->value());
+    break;
+  case CStmtKind::Block:
+    for (const CStmt *Sub : cast<CBlockStmt>(S)->stmts())
+      if (writesPointerGlobal(Sub, PtrGlobals))
+        return true;
+    break;
+  }
+
+  while (!Exprs.empty()) {
+    const CExpr *E = Exprs.back();
+    Exprs.pop_back();
+    switch (E->kind()) {
+    case CExprKind::Assign: {
+      const auto *A = cast<CAssign>(E);
+      const CExpr *Target = A->target();
+      if (Target->kind() == CExprKind::Ident) {
+        // Direct store to a named variable: a write only when the name
+        // is a pointer global (a shadowing local over-approximates).
+        if (PtrGlobals.count(cast<CIdent>(Target)->name()))
+          return true;
+      } else {
+        // Indirect store (*p = ..., p->f = ...): may hit anything.
+        return true;
+      }
+      Exprs.push_back(A->value());
+      break;
+    }
+    case CExprKind::Call: {
+      const auto *Call = cast<CCall>(E);
+      Exprs.push_back(Call->callee());
+      for (const CExpr *Arg : Call->args())
+        Exprs.push_back(Arg);
+      break;
+    }
+    case CExprKind::Unary:
+      Exprs.push_back(cast<CUnary>(E)->sub());
+      break;
+    case CExprKind::Binary:
+      Exprs.push_back(cast<CBinary>(E)->lhs());
+      Exprs.push_back(cast<CBinary>(E)->rhs());
+      break;
+    case CExprKind::Member:
+      Exprs.push_back(cast<CMember>(E)->base());
+      break;
+    case CExprKind::Cast:
+      Exprs.push_back(cast<CCast>(E)->sub());
+      break;
+    default:
+      break;
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<size_t, size_t>> MixyAnalysis::buildSiteGraph() {
+  // Called once from the coordinator before any worker starts, so the
+  // site table is stable. An edge i -> j means "re-evaluating site i may
+  // change site j's calling context". Contexts are built from two
+  // sources — the argument qualifiers at the site and the pointer
+  // globals' qualifiers — so i influences j when i's summary can move
+  // either. Precision is best-effort: the driver's validation sweep
+  // reaches the least fixpoint even where these edges under-approximate,
+  // and over-approximation only costs parallelism (an all-to-all graph
+  // collapses to one SCC, which behaves exactly like the round barrier).
+  std::vector<std::pair<size_t, size_t>> Edges;
+  size_t N = SymCallSites.size();
+  if (N < 2)
+    return Edges;
+
+  std::set<std::string> PtrGlobals;
+  for (const CGlobalDecl *G : Program.Globals)
+    if (G->type()->isPointer())
+      PtrGlobals.insert(G->name());
+  bool AnyPtrGlobal = !PtrGlobals.empty();
+
+  // Alias coupling (Section 4.2): applySymOutcome ends every summary
+  // application with restoreAliasing, which unifies the pointee classes
+  // of all pointer globals; when such a class holds two or more
+  // variables the unification can move qualifiers far from the site.
+  bool AliasCoupling = false;
+  if (Opts.RestoreAliasing && AnyPtrGlobal) {
+    for (const CGlobalDecl *G : Program.Globals) {
+      if (!G->type()->isPointer())
+        continue;
+      PointsToAnalysis::CellId Target =
+          PtrAnal.pointsTo(PtrAnal.cellOfVar(nullptr, G->name()));
+      if (Target != PointsToAnalysis::NoCell &&
+          PtrAnal.variablesInClass(Target).size() >= 2) {
+        AliasCoupling = true;
+        break;
+      }
+    }
+  }
+
+  bool SawIndirect = false;
+  std::map<const CFuncDecl *, std::vector<const CFuncDecl *>> Deps =
+      dependencyEdges(SawIndirect);
+  std::set<const CFuncDecl *> Writers;
+  for (const auto &[F, D] : Deps) {
+    (void)D;
+    if (writesPointerGlobal(F->body(), PtrGlobals))
+      Writers.insert(F);
+  }
+
+  // Does anything reachable from F (symbolically executed unmarked
+  // callees included) write a pointer global?
+  auto ClosureWrites = [&](const CFuncDecl *F) {
+    std::set<const CFuncDecl *> Visited;
+    std::vector<const CFuncDecl *> Work{F};
+    while (!Work.empty()) {
+      const CFuncDecl *Cur = Work.back();
+      Work.pop_back();
+      if (!Visited.insert(Cur).second)
+        continue;
+      if (Writers.count(Cur))
+        return true;
+      auto It = Deps.find(Cur);
+      if (It != Deps.end())
+        for (const CFuncDecl *Callee : It->second)
+          Work.push_back(Callee);
+    }
+    return false;
+  };
+
+  for (size_t I = 0; I != N; ++I) {
+    const CFuncDecl *Callee = SymCallSites[I].Callee;
+    // A pointer in the signature feeds summaries straight into the
+    // caller's qualifier graph (return quals / argument pointee quals),
+    // whose flow we do not track per-site: influence everything.
+    bool PtrSignature = Callee->returnType()->isPointer();
+    for (const auto &P : Callee->params())
+      PtrSignature = PtrSignature || P.Ty->isPointer();
+    // A global write anywhere in the block's call cone moves the global
+    // seeds, and every site's context includes every pointer global.
+    bool Influences =
+        PtrSignature || SawIndirect ||
+        (AnyPtrGlobal && (AliasCoupling || ClosureWrites(Callee)));
+    if (!Influences)
+      continue;
+    for (size_t J = 0; J != N; ++J)
+      if (J != I)
+        Edges.emplace_back(I, J);
+  }
+  return Edges;
 }
 
 unsigned MixyAnalysis::runTypedParallel(const CFuncDecl *EntryFunc) {
@@ -1108,66 +1424,41 @@ unsigned MixyAnalysis::runTypedParallel(const CFuncDecl *EntryFunc) {
   for (const CFuncDecl *F : typedRegionFrom(EntryFunc))
     Qual.analyzeFunction(F);
 
-  // Round-barrier fixpoint: each round recomputes every site's calling
-  // context against the current qualifier solution, evaluates the round's
-  // distinct contexts concurrently, then applies the summaries to the
-  // qualifier graph in deterministic site order at the barrier. The
-  // constraint system is monotone, so these Jacobi-style rounds reach the
-  // same least fixpoint as the serial site-at-a-time loop.
-  for (unsigned Iter = 0; Iter != Opts.MaxFixpointIterations; ++Iter) {
-    obs::TraceSpan RoundSpan(Opts.Trace, "mixy.round", "mixy");
-    if (Opts.Trace)
-      RoundSpan.setArgs("{\"round\": " + std::to_string(Iter) + "}");
-    Qual.solve();
+  // Parallel fixpoint via the engine driver. Worklist (default):
+  // condense the static site-dependency graph into SCCs, iterate each
+  // SCC to its own fixpoint on the pool, release dependents as soon as
+  // their inputs settle, then validate with plain rounds. Round barrier:
+  // the historical Jacobi schedule. The constraint system is monotone,
+  // so both reach the same least fixpoint as the serial loop.
+  engine::FixpointConfig FC;
+  FC.MaxRounds = Opts.MaxFixpointIterations;
+  FC.Trace = Opts.Trace;
+  FC.RoundSpanName = "mixy.round";
+  FC.SpanCategory = "mixy";
+  FC.Metrics = Opts.Metrics;
+  engine::FixpointDriver Driver(FC);
 
-    std::vector<std::pair<size_t, size_t>> Changed; // (site, key index)
-    std::vector<BlockKey> RoundKeys;
-    for (size_t I = 0; I != SymCallSites.size(); ++I) {
-      SymCallSite &Site = SymCallSites[I];
-      BlockKey Key;
-      Key.Symbolic = true;
-      Key.F = Site.Callee;
-      Key.Params = paramSeedsFromArgQuals(Site.Callee, Site.ArgQuals);
-      Key.Globals = globalSeedsFromQuals();
-      if (Site.LastKey.F && Key == Site.LastKey)
-        continue;
-      Site.LastKey = Key;
-      size_t KeyIdx = 0;
-      while (KeyIdx != RoundKeys.size() && !(RoundKeys[KeyIdx] == Key))
-        ++KeyIdx;
-      if (KeyIdx == RoundKeys.size())
-        RoundKeys.push_back(Key);
-      Changed.push_back({I, KeyIdx});
+  bool Worklist = Opts.ParallelSchedule == MixyOptions::Schedule::Worklist;
+  engine::FixpointCallbacks CB;
+  CB.NumSites = [&] { return SymCallSites.size(); };
+  CB.OnRoundBegin = [&](unsigned) { Qual.solve(); };
+  CB.Refresh = [&](size_t I) { return refreshSite(I); };
+  CB.EvaluateWave = [&](const std::vector<size_t> &Sites, uint64_t Tag) {
+    evaluateWave(Sites, Tag, Worklist);
+  };
+
+  if (Worklist) {
+    CB.Edges = [&] { return buildSiteGraph(); };
+    Statistics.FixpointIterations += Driver.runWorklist(CB, *Pool);
+    // Merge the buffered diagnostic slices in wave-tag order — a pure
+    // function of the SCC structure, not of completion timing.
+    for (const auto &[Tag, Slices] : WaveDiags) {
+      (void)Tag;
+      mergeRoundDiagnostics(Slices);
     }
-    if (Changed.empty())
-      break;
-    ++Statistics.FixpointIterations;
-
-    // Evaluate the round. Results are carried out of the tasks directly
-    // (not via the cache, which may be disabled) and diagnostics are
-    // collected per task so their merge order is independent of worker
-    // scheduling.
-    std::vector<SymOutcome> RoundOutcomes(RoundKeys.size());
-    std::vector<std::vector<Diagnostic>> RoundDiags(RoundKeys.size());
-    Pool->parallelFor(RoundKeys.size(), [&](size_t K) {
-      WorkerContext &W = workerContext();
-      void *Prev = ActiveWorkerCtx;
-      ActiveWorkerCtx = &W;
-      size_t Before = W.Diags.size();
-      RoundOutcomes[K] =
-          computeSymOutcome(RoundKeys[K], ExecContext{W.Exec, W.Diags, W.Stack});
-      const std::vector<Diagnostic> &All = W.Diags.diagnostics();
-      RoundDiags[K].assign(All.begin() + (long)Before, All.end());
-      ActiveWorkerCtx = Prev;
-    });
-    mergeRoundDiagnostics(RoundDiags);
-
-    // Barrier: apply summaries in site order.
-    for (const auto &[SiteIdx, KeyIdx] : Changed) {
-      SymCallSite &Site = SymCallSites[SiteIdx];
-      applySymOutcome(RoundOutcomes[KeyIdx], Site.Call, Site.Callee,
-                      Site.ArgQuals, Site.RetQuals);
-    }
+    WaveDiags.clear();
+  } else {
+    Statistics.FixpointIterations += Driver.runRoundBarrier(CB);
   }
 
   Qual.solve();

@@ -28,25 +28,36 @@
 ///  - Aliasing is restored at symbolic-to-typed transitions using the
 ///    may-points-to pre-pass (Section 4.2).
 ///  - Block results are cached per compatible calling context
-///    (Section 4.3) in a sharded, mutex-striped BlockCache, and recursion
-///    between blocks is resolved with a block stack and assumption
-///    iteration (Section 4.4).
+///    (Section 4.3), and recursion between blocks is resolved with a
+///    block stack and assumption iteration (Section 4.4) — both provided
+///    by the shared engine layer (src/engine/MixEngine.h); MIXY is one of
+///    its AnalysisDomain instantiations.
 ///
 /// Parallelism (Jobs > 1): symbolic blocks are independent at their
 /// boundaries — all a block exchanges with its caller is a calling
 /// context (the BlockKey) and a translated summary (the SymOutcome) — so
-/// each fixpoint round evaluates the round's distinct calling contexts
-/// concurrently on a work-stealing pool and joins at a round barrier,
-/// where summaries are applied to the qualifier graph in deterministic
-/// site order. Frontier calls met during constraint generation are
-/// *deferred* to the first round barrier instead of being analyzed
+/// their evaluations run concurrently on a work-stealing pool, scheduled
+/// by the engine fixpoint driver (src/engine/Fixpoint.h). The default
+/// schedule is the dependency-aware worklist: static dependency edges
+/// between frontier call sites (call graph reachability to pointer-global
+/// writers, pointer signatures, alias coupling) are condensed into SCCs,
+/// each SCC iterates to its own fixpoint, and an SCC's dependents start
+/// the moment it stabilizes — a block re-runs as soon as its inputs
+/// change instead of waiting for a whole-program round barrier. A final
+/// validation sweep (plain Jacobi rounds) guarantees the least fixpoint
+/// even where the static edges under-approximate. The historical
+/// round-barrier schedule remains selectable via
+/// MixyOptions::ParallelSchedule. Frontier calls met during constraint
+/// generation are *deferred* to the fixpoint instead of being analyzed
 /// inline; that is just more of the optimism the paper already requires a
-/// fixpoint for, and the qualifier constraint system is monotone, so the
-/// rounds converge to the same least solution as the serial
+/// fixpoint for, and the qualifier constraint system is monotone, so both
+/// schedules converge to the same least solution as the serial
 /// Gauss-Seidel-style loop. Every worker owns its executor, solver, term
 /// arena, block stack, and diagnostic buffer; the shared qualifier graph
-/// is only touched under a lock (by nested symbolic-to-typed switches) or
-/// at barriers. With Jobs <= 1 the original serial path runs unchanged.
+/// is only touched under a lock (by nested symbolic-to-typed switches and
+/// summary application), and per-wave diagnostics are merged in
+/// deterministic wave-tag order. With Jobs <= 1 the original serial path
+/// runs unchanged.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -54,7 +65,7 @@
 #define MIX_MIXY_MIXY_H
 
 #include "csym/CSymExecutor.h"
-#include "mixy/BlockCache.h"
+#include "engine/MixEngine.h"
 #include "ptranal/PointsTo.h"
 #include "qual/QualInference.h"
 #include "runtime/ThreadPool.h"
@@ -73,6 +84,12 @@ class PersistSession;
 
 namespace mix::c {
 
+// The block cache lives in the shared engine layer now (src/engine/);
+// these aliases keep the historical mix::c spellings working.
+using engine::BlockCache;
+using engine::BlockCacheStats;
+using engine::blockCacheShardsFor;
+
 /// Configuration of a MIXY run.
 struct MixyOptions {
   /// Cache block analysis results per calling context (Section 4.3).
@@ -84,8 +101,17 @@ struct MixyOptions {
   unsigned MaxRecursionIterations = 8;
   /// Worker threads for block-level parallelism. 1 (the default) is the
   /// serial engine, byte-for-byte identical to the pre-parallel driver;
-  /// N > 1 evaluates each fixpoint round's symbolic blocks on N workers.
+  /// N > 1 evaluates independent symbolic blocks on N workers.
   unsigned Jobs = 1;
+  /// Parallel fixpoint schedule (only meaningful with Jobs > 1). The
+  /// default worklist condenses static site-dependency edges into SCCs
+  /// and re-runs a block as soon as its inputs change; RoundBarrier is
+  /// the historical Jacobi schedule (evaluate every changed site, join,
+  /// apply, repeat). Both converge to the same least solution, so this
+  /// is a performance knob, not a semantic one — it is deliberately
+  /// excluded from mixyPersistFingerprint().
+  enum class Schedule { Worklist, RoundBarrier };
+  Schedule ParallelSchedule = Schedule::Worklist;
   CSymOptions Sym;
   QualOptions Qual;
   smt::SmtOptions Smt;
@@ -169,9 +195,9 @@ public:
   PointsToAnalysis &pointsTo() { return PtrAnal; }
 
   /// Counters of the sharded symbolic-block cache (Section 4.3).
-  BlockCacheStats symCacheStats() const { return SymCache.stats(); }
+  BlockCacheStats symCacheStats() const { return Eng.symCacheStats(); }
   /// Counters of the sharded typed-block cache.
-  BlockCacheStats typedCacheStats() const { return TypedCache.stats(); }
+  BlockCacheStats typedCacheStats() const { return Eng.typedCacheStats(); }
 
 private:
   /// Identity of a block analysis: the block plus its calling context,
@@ -245,12 +271,18 @@ private:
     BlockKey LastKey;
   };
 
-  struct StackEntry {
-    BlockKey Key;
-    bool Recursive = false;
-    SymOutcome SymAssumption;
-    bool TypedAssumption = false;
+  /// MIXY's instantiation of the shared engine's AnalysisDomain concept
+  /// (src/engine/MixEngine.h): the engine owns the per-context caches,
+  /// the recursion stack, and the assumption iteration; MIXY supplies
+  /// the key/outcome types and the evaluation hooks.
+  struct EngineDomain {
+    using Key = BlockKey;
+    using KeyHash = BlockKeyHash;
+    using SymOutcome = MixyAnalysis::SymOutcome;
+    using TypedOutcome = bool;
+    static constexpr const char *Name = "mixy";
   };
+  using Engine = engine::MixEngine<EngineDomain>;
 
   /// The per-thread slice of analysis state a block evaluation runs
   /// against: an executor (with its solver and term arena behind it), the
@@ -260,7 +292,7 @@ private:
   struct ExecContext {
     CSymExecutor &Exec;
     DiagnosticEngine &Diags;
-    std::vector<StackEntry> &Stack;
+    Engine::BlockStack &Stack;
   };
 
   /// Everything one pool worker owns privately (defined in Mixy.cpp).
@@ -310,6 +342,17 @@ private:
   bool decodeBlockSummary(const std::string &Payload, SymOutcome &Outcome,
                           std::vector<Diagnostic> &Slice,
                           std::vector<TypedSwitch> &Switches) const;
+  /// Writes a block summary, merging with whatever is already stored
+  /// under \p PKey. A parallel cold run can evaluate the same calling
+  /// context more than once against different snapshots of the shared
+  /// qualifier state, and the outcomes differ; the qualifier graph saw
+  /// the *union* of those seedings, so the persisted summary must carry
+  /// the union too (the facts are monotone may-be-null bits, so the
+  /// merge is an OR). A last-write-wins store here loses warnings on
+  /// warm parallel replay.
+  void storeBlockSummary(uint64_t PKey, const SymOutcome &Outcome,
+                         const std::vector<Diagnostic> &Slice,
+                         const std::vector<TypedSwitch> &Switches);
   /// Does every recorded callee still resolve? (Always true when the
   /// closure hash matched; a summary that fails this is stale and the
   /// block re-runs cold.)
@@ -331,8 +374,39 @@ private:
   ExecContext currentContext();
   /// Lazily builds the calling pool worker's private context.
   WorkerContext &workerContext();
-  /// The typed-start driver for Jobs > 1 (round-barrier fixpoint).
+  /// The typed-start driver for Jobs > 1. Seats the fixpoint on
+  /// engine::FixpointDriver — the dependency-aware worklist by default,
+  /// the historical round barrier via MixyOptions::ParallelSchedule.
   unsigned runTypedParallel(const CFuncDecl *EntryFunc);
+  /// Builds the engine configuration (cache sharding, recursion budget,
+  /// metrics prefixes) from the analysis options.
+  static Engine::Config engineConfig(const MixyOptions &O);
+  /// Recomputes site I's calling context from the current qualifier
+  /// solution. Returns true (and updates LastKey) when it changed.
+  bool refreshSite(size_t I);
+  /// Evaluates one wave of changed sites: distinct calling contexts run
+  /// concurrently on the pool, then summaries are applied in site order.
+  /// Buffered (worklist) waves stash their diagnostic slices under Tag
+  /// for a post-fixpoint merge in tag order; unbuffered (round-barrier)
+  /// waves merge immediately at the barrier.
+  void evaluateWave(const std::vector<size_t> &Sites, uint64_t Tag,
+                    bool Buffered);
+  /// Static dependency edges between frontier call sites for the
+  /// worklist schedule: site I influences site J when I's summary can
+  /// move J's calling context (pointer signature, reachable
+  /// pointer-global writer, alias coupling, or indirect calls). Sound
+  /// over-approximation is not required — the driver's validation sweep
+  /// catches anything these edges miss.
+  std::vector<std::pair<size_t, size_t>> buildSiteGraph();
+  /// Direct call-graph edges between defined functions (all-to-all when
+  /// an indirect call makes the callee set unknowable), shared by the
+  /// persistent-cache closure hashes and the site graph.
+  std::map<const CFuncDecl *, std::vector<const CFuncDecl *>>
+  dependencyEdges(bool &SawIndirect);
+  /// May \p S store to any pointer-typed global in \p PtrGlobals? Any
+  /// indirect store counts conservatively.
+  bool writesPointerGlobal(const CStmt *S,
+                           const std::set<std::string> &PtrGlobals);
   /// Appends a round's worker diagnostics to the shared engine in
   /// deterministic order, deduplicating warnings across workers the same
   /// way one executor deduplicates across runs.
@@ -353,13 +427,14 @@ private:
   QualInference Qual;
   CSymExecutor Exec;
 
-  BlockCache<BlockKey, SymOutcome, BlockKeyHash> SymCache;
-  BlockCache<BlockKey, bool, BlockKeyHash> TypedCache;
+  /// The shared mix engine: block caches, recursion stack discipline,
+  /// and assumption iteration (Sections 4.3 / 4.4).
+  Engine Eng;
 
-  std::vector<StackEntry> BlockStack;
+  /// The serial thread's recursion stack (workers own theirs).
+  Engine::BlockStack BlockStack;
 
   std::vector<SymCallSite> SymCallSites;
-  std::set<const CFuncDecl *> TypedRegionAnalyzed;
 
   // Persistent-cache state (read-only after initPersist, so workers need
   // no lock).
@@ -376,7 +451,17 @@ private:
   std::recursive_mutex QualM;
   std::mutex SlotsM;
   std::mutex StatsM;
+  // Serializes storeBlockSummary's read-merge-write of a persisted block
+  // summary, so concurrent evaluations of one calling context can't lose
+  // each other's contributions.
+  std::mutex PersistStoreM;
   std::set<std::string> MergedWarnings;
+
+  // Worklist-schedule diagnostic buffering: wave tag -> per-context
+  // diagnostic slices, merged in tag order after the driver returns so
+  // the merged stream is independent of SCC completion timing.
+  std::mutex WaveM;
+  std::map<uint64_t, std::vector<std::vector<Diagnostic>>> WaveDiags;
 
   MixyStats Statistics;
 };

@@ -15,10 +15,32 @@ SignMixChecker::SignMixChecker(TypeContext &PlainTypes,
                                DiagnosticEngine &Diags, MixOptions Opts)
     : PlainTypes(PlainTypes), Diags(Diags), Opts(Opts), STypes(PlainTypes),
       Syms(PlainTypes), Solver(Terms, Opts.Smt), Translator(Syms, Terms),
-      Checker(STypes, Diags), Executor(Syms, Diags, Opts.Exec) {
+      Checker(STypes, Diags), Executor(Syms, Diags, Opts.Exec),
+      Eng(engineConfig(Opts)) {
   Checker.setSymBlockOracle(this);
   Executor.setTypedBlockOracle(this);
   Executor.setSolver(&Solver, &Translator);
+}
+
+SignMixChecker::Engine::Config
+SignMixChecker::engineConfig(const MixOptions &O) {
+  Engine::Config C;
+  C.Shards = engine::blockCacheShardsFor(O.Jobs);
+  C.Metrics = O.Metrics;
+  return C;
+}
+
+std::string SignMixChecker::signSig(const SignEnv &Gamma) {
+  // SignEnv is an ordered map, so iteration (and the signature) is
+  // deterministic.
+  std::string Sig;
+  for (const auto &[Name, S] : Gamma) {
+    Sig += Name;
+    Sig += ':';
+    Sig += S->str();
+    Sig += ';';
+  }
+  return Sig;
 }
 
 const SType *SignMixChecker::checkTyped(const Expr *E,
@@ -28,6 +50,7 @@ const SType *SignMixChecker::checkTyped(const Expr *E,
 
 const SType *SignMixChecker::checkSymbolic(const Expr *E,
                                            const SignEnv &Gamma) {
+  ++Statistics.SymBlocksChecked;
   return checkSymbolicCore(E, Gamma, E->loc());
 }
 
@@ -61,33 +84,40 @@ SignQual SignMixChecker::signUnderPath(const SymExpr *Path,
   return SignQual::Unknown;
 }
 
+bool SignMixChecker::verifyClosure(const SymExpr *Closure, SourceLoc Loc) {
+  // Memoized in the engine's typed cache per closure value (failures
+  // included, so a bad closure is reported once); a cyclic
+  // re-verification hits the Section 4.4 stack cut-off and answers with
+  // the assumption that the annotation holds.
+  Engine::Key K{Closure, std::string()};
+  engine::RunHooks<const SType *> H;
+  H.Init = [&]() -> const SType * { return STypes.lift(Closure->type()); };
+  H.Eval = [&]() -> const SType * {
+    SignEnv Gamma;
+    for (const auto &[Name, Captured] : Syms.closureEnv(Closure))
+      Gamma[Name] = STypes.lift(Captured->type());
+    if (const SType *S = Checker.check(Syms.closureFun(Closure), Gamma))
+      return S;
+    Diags.error(Loc,
+                "function value escapes its symbolic block, so its "
+                "body must sign-check on all inputs",
+                DiagID::EscapedClosure);
+    return nullptr;
+  };
+  // A failed check cannot improve by re-running.
+  H.KeepIterating = [](const SType *S) { return S != nullptr; };
+  return Eng.runTyped(K, BlockStack, H) != nullptr;
+}
+
 bool SignMixChecker::verifyEscapingClosures(const SymExpr *Value,
                                             const MemNode *Mem,
                                             SourceLoc Loc) {
   std::vector<const SymExpr *> Closures;
   Syms.collectClosures(Value, Closures);
   Syms.collectClosuresInMemory(Mem, Closures);
-  for (const SymExpr *C : Closures) {
-    auto It = VerifiedClosures.find(C);
-    if (It != VerifiedClosures.end()) {
-      if (!It->second)
-        return false;
-      continue;
-    }
-    VerifiedClosures[C] = true;
-    SignEnv Gamma;
-    for (const auto &[Name, Captured] : Syms.closureEnv(C))
-      Gamma[Name] = STypes.lift(Captured->type());
-    bool Ok = Checker.check(Syms.closureFun(C), Gamma) != nullptr;
-    VerifiedClosures[C] = Ok;
-    if (!Ok) {
-      Diags.error(Loc,
-                  "function value escapes its symbolic block, so its "
-                  "body must sign-check on all inputs",
-                  DiagID::EscapedClosure);
+  for (const SymExpr *C : Closures)
+    if (!verifyClosure(C, Loc))
       return false;
-    }
-  }
   return true;
 }
 
@@ -132,7 +162,6 @@ const SType *SignMixChecker::checkSymbolicCore(const Expr *Body,
   RefinementAxioms = std::move(SavedAxioms);
 
   Statistics.PathsExplored += (unsigned)Result.Paths.size();
-  ++Statistics.SymBlocksChecked;
 
   if (Result.ResourceLimitHit) {
     Diags.error(Loc,
@@ -228,7 +257,17 @@ const SType *SignMixChecker::checkSymbolicCore(const Expr *Body,
 
 const SType *SignMixChecker::stypeOfSymbolicBlock(const BlockExpr *Block,
                                                   const SignEnv &Gamma) {
-  return checkSymbolicCore(Block->body(), Gamma, Block->loc());
+  // Counts boundary-rule applications, cached or not.
+  ++Statistics.SymBlocksChecked;
+  Engine::Key K{Block, signSig(Gamma)};
+  engine::RunHooks<const SType *> H;
+  H.Eval = [&] {
+    return checkSymbolicCore(Block->body(), Gamma, Block->loc());
+  };
+  // Failures reported diagnostics; re-diagnose instead of replaying null.
+  H.ShouldCache = [](const SType *S) { return S != nullptr; };
+  H.KeepIterating = [](const SType *S) { return S != nullptr; };
+  return Eng.runSymbolic(K, BlockStack, H);
 }
 
 const Type *SignMixChecker::typeOfTypedBlock(const BlockExpr *Block,
@@ -253,7 +292,15 @@ const Type *SignMixChecker::typeOfTypedBlock(const BlockExpr *Block,
       Gamma[Name] = STypes.lift(Value->type());
   }
 
-  const SType *S = Checker.check(Block->body(), Gamma);
+  Engine::Key K{Block, signSig(Gamma)};
+  engine::RunHooks<const SType *> H;
+  // A cache hit must still publish the result sign so
+  // refineTypedBlockResult refines the continuing execution.
+  H.OnCacheHit = [&](const SType *S) { TypedBlockResults[Block] = S; };
+  H.Eval = [&] { return Checker.check(Block->body(), Gamma); };
+  H.ShouldCache = [](const SType *S) { return S != nullptr; };
+  H.KeepIterating = [](const SType *S) { return S != nullptr; };
+  const SType *S = Eng.runTyped(K, BlockStack, H);
   if (!S)
     return nullptr;
   TypedBlockResults[Block] = S;

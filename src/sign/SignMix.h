@@ -76,7 +76,36 @@ public:
   SignTypeContext &signTypes() { return STypes; }
   smt::SmtSolver &solver() { return Solver; }
 
+  /// Section 4.3 block-cache statistics (shared engine layer).
+  engine::BlockCacheStats symCacheStats() const { return Eng.symCacheStats(); }
+  engine::BlockCacheStats typedCacheStats() const {
+    return Eng.typedCacheStats();
+  }
+
 private:
+  /// Engine instantiation for the sign domain: blocks are keyed by AST
+  /// node plus a rendered SignEnv signature, and both block sides
+  /// summarize to the sign-qualified result type (null = failed with
+  /// diagnostics).
+  struct EngineDomain {
+    using Key = engine::NodeContextKey;
+    using KeyHash = engine::NodeContextKey::Hash;
+    using SymOutcome = const SType *;
+    using TypedOutcome = const SType *;
+    static constexpr const char *Name = "sign";
+  };
+  using Engine = engine::MixEngine<EngineDomain>;
+
+  /// The engine configuration implied by \p O.
+  static Engine::Config engineConfig(const MixOptions &O);
+
+  /// Renders Gamma as a stable cache-key signature ("x:pos int;...").
+  static std::string signSig(const SignEnv &Gamma);
+
+  /// Sign-checks one escaped closure's body (memoized in the engine's
+  /// typed cache, failures included).
+  bool verifyClosure(const SymExpr *Closure, SourceLoc Loc);
+
   const SType *checkSymbolicCore(const Expr *Body, const SignEnv &Gamma,
                                  SourceLoc Loc);
 
@@ -105,9 +134,14 @@ private:
   MixStats Statistics;
 
   /// The sign result of the most recent typed-block check, consumed by
-  /// refineTypedBlockResult.
+  /// refineTypedBlockResult. Updated on engine cache hits too, so a
+  /// replayed typed block still refines the continuing execution.
   std::map<const BlockExpr *, const SType *> TypedBlockResults;
-  std::map<const SymExpr *, bool> VerifiedClosures;
+
+  // The shared engine layer: block caches plus the Section 4.4 block
+  // stack (the sign mix analyzes blocks serially, so one stack).
+  Engine Eng;
+  Engine::BlockStack BlockStack;
 
   /// Guards asserted by refineTypedBlockResult during the current
   /// symbolic run. They are *justified assumptions* (the sign checker

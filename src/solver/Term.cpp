@@ -9,23 +9,41 @@
 
 using namespace mix::smt;
 
-std::string Term::str() const {
-  switch (Kind) {
+namespace {
+
+/// Maps (variable term -> local index per sort) for normalizedStr().
+/// Variables are hash-consed, so pointer identity is variable identity.
+struct VarRenumbering {
+  std::unordered_map<const Term *, unsigned> Ids;
+  unsigned NextInt = 0;
+  unsigned NextBool = 0;
+
+  unsigned idOf(const Term *T) {
+    auto [It, Inserted] = Ids.try_emplace(T, 0);
+    if (Inserted)
+      It->second = T->sort() == Sort::Int ? NextInt++ : NextBool++;
+    return It->second;
+  }
+};
+
+std::string strImpl(const Term *T, VarRenumbering *Renumber) {
+  switch (T->kind()) {
   case TermKind::IntConst:
-    return std::to_string(Value);
+    return std::to_string(T->value());
   case TermKind::IntVar:
-    return "i" + std::to_string(Value);
+    return "i" + std::to_string(Renumber ? Renumber->idOf(T) : T->varId());
   case TermKind::BoolVar:
-    return "b" + std::to_string(Value);
+    return "b" + std::to_string(Renumber ? Renumber->idOf(T) : T->varId());
   case TermKind::BoolConst:
-    return Value ? "true" : "false";
+    return T->value() ? "true" : "false";
   case TermKind::MulConst:
-    return "(* " + std::to_string(Value) + " " + operand(0)->str() + ")";
+    return "(* " + std::to_string(T->value()) + " " +
+           strImpl(T->operand(0), Renumber) + ")";
   default:
     break;
   }
   const char *Op = "?";
-  switch (Kind) {
+  switch (T->kind()) {
   case TermKind::Add:
     Op = "+";
     break;
@@ -65,10 +83,19 @@ std::string Term::str() const {
     break;
   }
   std::string Out = std::string("(") + Op;
-  for (unsigned I = 0, E = numOperands(); I != E; ++I)
-    Out += " " + operand(I)->str();
+  for (unsigned I = 0, E = T->numOperands(); I != E; ++I)
+    Out += " " + strImpl(T->operand(I), Renumber);
   Out += ")";
   return Out;
+}
+
+} // namespace
+
+std::string Term::str() const { return strImpl(this, nullptr); }
+
+std::string mix::smt::normalizedStr(const Term *T) {
+  VarRenumbering Renumber;
+  return strImpl(T, &Renumber);
 }
 
 const Term *TermArena::make(TermKind Kind, Sort S, long long Value,

@@ -101,6 +101,14 @@ private:
   std::vector<const Term *> Ops;
 };
 
+/// Renders \p T like Term::str() but with variable indices renumbered in
+/// first-occurrence order (left-to-right), so the string depends only on the
+/// term's structure — not on how many fresh variables the owning arena had
+/// already allocated. Use this wherever a rendered term becomes externally
+/// observable output that must be byte-identical across thread schedules
+/// (e.g. witness-path path conditions in machine-readable reports).
+std::string normalizedStr(const Term *T);
+
 /// Owns and hash-conses terms. Also allocates fresh variable ids.
 ///
 /// The arena applies lightweight local simplifications on construction

@@ -12,7 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "mixy/BlockCache.h"
+#include "engine/BlockCache.h"
 
 #include <gtest/gtest.h>
 
@@ -22,7 +22,7 @@
 #include <thread>
 #include <vector>
 
-using namespace mix::c;
+using namespace mix::engine;
 
 namespace {
 

@@ -1,0 +1,485 @@
+//===--- EngineTest.cpp - Shared mix-engine tests -------------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+// The engine layer (src/engine/) is the generic recipe every mix
+// instantiation runs through: the Section-4.3 block cache, the
+// Section-4.4 block stack with recursion cut-off and assumption
+// iteration, and the fixpoint scheduler. These tests drive it with a
+// formal-MIX-shaped domain — keys are (AST node, typing-context
+// signature) pairs, outcomes are type-like values — so the cut-off and
+// iteration behavior the paper specifies is pinned down independently of
+// any one instantiation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Fixpoint.h"
+#include "engine/MixEngine.h"
+
+#include "runtime/ThreadPool.h"
+#include "support/Hash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace mix::engine;
+namespace obs = mix::obs;
+
+namespace {
+
+/// The shape of the formal MIX domain: a block analysis is identified by
+/// the block (an AST node address) plus the typing context it was entered
+/// under, and produces a type-like outcome (0 = "no type yet", the
+/// optimistic assumption).
+struct TestDomain {
+  struct Key {
+    const void *Node = nullptr;
+    std::string Sig;
+
+    bool operator==(const Key &O) const {
+      return Node == O.Node && Sig == O.Sig;
+    }
+    bool operator<(const Key &O) const {
+      return std::tie(Node, Sig) < std::tie(O.Node, O.Sig);
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      return mix::hashCombine(std::hash<const void *>()(K.Node),
+                              std::hash<std::string>()(K.Sig));
+    }
+  };
+  using SymOutcome = int;
+  using TypedOutcome = int;
+  static constexpr const char *Name = "test";
+};
+
+using Engine = MixEngine<TestDomain>;
+using Key = TestDomain::Key;
+
+int NodeA;
+
+Engine::Config config(obs::MetricsRegistry *Metrics = nullptr) {
+  Engine::Config C;
+  C.Metrics = Metrics;
+  return C;
+}
+
+} // namespace
+
+TEST(MixEngineTest, CacheHitSkipsEvaluation) {
+  obs::MetricsRegistry Metrics;
+  Engine E(config(&Metrics));
+  Engine::BlockStack Stack;
+  Key K{&NodeA, "x:int"};
+
+  int Evals = 0;
+  int Hits = 0;
+  RunHooks<int> H;
+  H.Eval = [&] {
+    ++Evals;
+    return 42;
+  };
+  H.OnCacheHit = [&](const int &V) {
+    EXPECT_EQ(V, 42);
+    ++Hits;
+  };
+
+  EXPECT_EQ(E.runSymbolic(K, Stack, H), 42);
+  EXPECT_EQ(E.runSymbolic(K, Stack, H), 42);
+  EXPECT_EQ(Evals, 1);
+  EXPECT_EQ(Hits, 1);
+  EXPECT_EQ(Metrics.counterValue("engine.test.blocks"), 1u);
+  EXPECT_EQ(Metrics.counterValue("engine.cache.test.hits"), 1u);
+  EXPECT_EQ(E.symCacheStats().Inserts, 1u);
+
+  // A different typing context is a different block analysis.
+  EXPECT_EQ(E.runSymbolic(Key{&NodeA, "x:bool"}, Stack, H), 42);
+  EXPECT_EQ(Evals, 2);
+}
+
+TEST(MixEngineTest, SymAndTypedCachesAreIndependent) {
+  Engine E(config());
+  Engine::BlockStack Stack;
+  Key K{&NodeA, "x:int"};
+
+  RunHooks<int> Sym;
+  Sym.Eval = [] { return 1; };
+  RunHooks<int> Typed;
+  Typed.Eval = [] { return 2; };
+
+  EXPECT_EQ(E.runSymbolic(K, Stack, Sym), 1);
+  // Same key on the typed side must not hit the symbolic entry.
+  EXPECT_EQ(E.runTyped(K, Stack, Typed), 2);
+  EXPECT_EQ(E.symCacheStats().Hits, 0u);
+  EXPECT_EQ(E.typedCacheStats().Hits, 0u);
+  EXPECT_EQ(E.runTyped(K, Stack, Typed), 2);
+  EXPECT_EQ(E.typedCacheStats().Hits, 1u);
+}
+
+// The Section 4.4 contract: a block that re-enters itself gets the
+// current assumption back instead of diverging, and the enclosing
+// evaluation re-runs with the actual result as the updated assumption
+// until assumption and result agree.
+TEST(MixEngineTest, RecursionCutoffIteratesToAgreement) {
+  obs::MetricsRegistry Metrics;
+  Engine E(config(&Metrics));
+  Engine::BlockStack Stack;
+  Key K{&NodeA, "f:int->int"};
+
+  int Evals = 0;
+  int Cutoffs = 0;
+  std::vector<unsigned> Iterations;
+  RunHooks<int> H;
+  H.Init = [] { return 0; }; // optimistic "no type yet"
+  H.OnRecursion = [&] { ++Cutoffs; };
+  H.OnIteration = [&](unsigned I) { Iterations.push_back(I); };
+  H.Eval = [&] {
+    ++Evals;
+    // The block calls itself: the nested run must be answered by the
+    // stack, with the in-flight assumption.
+    RunHooks<int> Nested = H;
+    int Assumed = E.runSymbolic(K, Stack, Nested);
+    // Monotone body: converges when the assumption reaches 3.
+    return std::min(Assumed + 1, 3);
+  };
+
+  EXPECT_EQ(E.runSymbolic(K, Stack, H), 3);
+  // Assumptions 0 -> 1 -> 2 -> 3, then 3 agrees with the result.
+  EXPECT_EQ(Evals, 4);
+  EXPECT_EQ(Cutoffs, 4);
+  EXPECT_EQ(Iterations, (std::vector<unsigned>{0, 1, 2, 3}));
+  EXPECT_TRUE(Stack.empty());
+  EXPECT_EQ(Metrics.counterValue("engine.test.recursions"), 4u);
+  // One push for the whole iteration, and the converged result cached.
+  EXPECT_EQ(Metrics.counterValue("engine.test.blocks"), 1u);
+  EXPECT_EQ(E.runSymbolic(K, Stack, H), 3);
+  EXPECT_EQ(Evals, 4);
+}
+
+TEST(MixEngineTest, RecursionIterationIsBounded) {
+  Engine::Config C = config();
+  C.MaxRecursionIterations = 5;
+  Engine E(C);
+  Engine::BlockStack Stack;
+  Key K{&NodeA, ""};
+
+  int Evals = 0;
+  RunHooks<int> H;
+  H.Init = [] { return 0; };
+  H.Eval = [&] {
+    ++Evals;
+    RunHooks<int> Nested = H;
+    return E.runSymbolic(K, Stack, Nested) + 1; // never agrees
+  };
+  EXPECT_EQ(E.runSymbolic(K, Stack, H), 5);
+  EXPECT_EQ(Evals, 5);
+  EXPECT_TRUE(Stack.empty());
+}
+
+TEST(MixEngineTest, KeepIteratingFalseStopsEarly) {
+  Engine E(config());
+  Engine::BlockStack Stack;
+  Key K{&NodeA, ""};
+
+  int Evals = 0;
+  RunHooks<int> H;
+  H.Init = [] { return 0; };
+  H.KeepIterating = [](const int &V) { return V >= 0; };
+  H.Eval = [&] {
+    ++Evals;
+    RunHooks<int> Nested = H;
+    (void)E.runSymbolic(K, Stack, Nested);
+    return -1; // a failure outcome iteration cannot improve
+  };
+  EXPECT_EQ(E.runSymbolic(K, Stack, H), -1);
+  EXPECT_EQ(Evals, 1);
+}
+
+TEST(MixEngineTest, ShouldCacheFalseReRunsNextCall) {
+  Engine E(config());
+  Engine::BlockStack Stack;
+  Key K{&NodeA, ""};
+
+  int Evals = 0;
+  RunHooks<int> H;
+  H.ShouldCache = [](const int &V) { return V >= 0; };
+  H.Eval = [&] {
+    ++Evals;
+    return -1; // failure: later calls must re-diagnose
+  };
+  EXPECT_EQ(E.runSymbolic(K, Stack, H), -1);
+  EXPECT_EQ(E.runSymbolic(K, Stack, H), -1);
+  EXPECT_EQ(Evals, 2);
+  EXPECT_EQ(E.symCacheStats().Inserts, 0u);
+}
+
+TEST(MixEngineTest, DisabledCacheNeverStoresOrCounts) {
+  Engine::Config C = config();
+  C.EnableCache = false;
+  Engine E(C);
+  Engine::BlockStack Stack;
+  Key K{&NodeA, ""};
+
+  int Evals = 0;
+  RunHooks<int> H;
+  H.Eval = [&] {
+    ++Evals;
+    return 7;
+  };
+  EXPECT_EQ(E.runSymbolic(K, Stack, H), 7);
+  EXPECT_EQ(E.runSymbolic(K, Stack, H), 7);
+  EXPECT_EQ(Evals, 2);
+  BlockCacheStats S = E.symCacheStats();
+  EXPECT_EQ(S.Hits + S.Misses + S.Inserts, 0u);
+}
+
+TEST(MixEngineTest, ReplayAnswersWithoutEvaluationAndWarmsTheCache) {
+  Engine E(config());
+  Engine::BlockStack Stack;
+  Key K{&NodeA, ""};
+
+  int Evals = 0;
+  int Replays = 0;
+  RunHooks<int> H;
+  H.Replay = [&]() -> std::optional<int> {
+    ++Replays;
+    return 9;
+  };
+  H.Eval = [&] {
+    ++Evals;
+    return 0;
+  };
+  EXPECT_EQ(E.runSymbolic(K, Stack, H), 9);
+  EXPECT_EQ(E.runSymbolic(K, Stack, H), 9); // in-memory hit, not replay
+  EXPECT_EQ(Evals, 0);
+  EXPECT_EQ(Replays, 1);
+  EXPECT_EQ(E.symCacheStats().Hits, 1u);
+}
+
+TEST(MixEngineTest, EvalBeginEndBracketTheRunOutsideTheStack) {
+  Engine E(config());
+  Engine::BlockStack Stack;
+  Key K{&NodeA, ""};
+
+  bool SawBegin = false;
+  RunHooks<int> H;
+  H.OnEvalBegin = [&] {
+    SawBegin = true;
+    ASSERT_EQ(Stack.size(), 1u);
+    EXPECT_TRUE(Stack.back().Symbolic);
+  };
+  H.OnEvalEnd = [&](const int &V) {
+    EXPECT_EQ(V, 4);
+    // The entry is popped before OnEvalEnd so provenance hooks see the
+    // caller's stack.
+    EXPECT_TRUE(Stack.empty());
+  };
+  H.Eval = [] { return 4; };
+  EXPECT_EQ(E.runSymbolic(K, Stack, H), 4);
+  EXPECT_TRUE(SawBegin);
+}
+
+// --- FixpointDriver ----------------------------------------------------------
+
+namespace {
+
+/// A synthetic monotone constraint system: site i's context is the value
+/// of its input site (site 0 reads an external target), and evaluating a
+/// site copies its context into its value. The least fixpoint sets every
+/// value on a chain to the target.
+struct ChainSystem {
+  explicit ChainSystem(size_t N, int Target) : Target(Target), Ctx(N, -1),
+                                               Val(N, 0) {}
+
+  FixpointCallbacks callbacks() {
+    FixpointCallbacks CB;
+    CB.NumSites = [this] { return Ctx.size(); };
+    CB.Refresh = [this](size_t I) {
+      int New = I == 0 ? Target : Val[I - 1];
+      if (New == Ctx[I])
+        return false;
+      Ctx[I] = New;
+      return true;
+    };
+    CB.EvaluateWave = [this](const std::vector<size_t> &Sites, uint64_t Tag) {
+      std::lock_guard<std::mutex> Lock(WavesM);
+      Waves.emplace_back(Tag, Sites);
+      for (size_t I : Sites)
+        Val[I] = Ctx[I];
+    };
+    CB.Edges = [this] {
+      std::vector<std::pair<size_t, size_t>> E;
+      for (size_t I = 1; I != Ctx.size(); ++I)
+        E.emplace_back(I - 1, I);
+      return E;
+    };
+    return CB;
+  }
+
+  int Target;
+  std::vector<int> Ctx, Val;
+  std::mutex WavesM;
+  std::vector<std::pair<uint64_t, std::vector<size_t>>> Waves;
+};
+
+} // namespace
+
+TEST(FixpointDriverTest, AllSchedulesReachTheSameFixpoint) {
+  auto Expect = [](ChainSystem &S) {
+    for (int V : S.Val)
+      EXPECT_EQ(V, 7);
+  };
+  {
+    ChainSystem S(6, 7);
+    FixpointDriver D((FixpointConfig()));
+    EXPECT_GT(D.runSerial(S.callbacks()), 0u);
+    Expect(S);
+  }
+  {
+    ChainSystem S(6, 7);
+    FixpointDriver D((FixpointConfig()));
+    EXPECT_GT(D.runRoundBarrier(S.callbacks()), 0u);
+    Expect(S);
+  }
+  {
+    ChainSystem S(6, 7);
+    FixpointDriver D((FixpointConfig()));
+    mix::rt::ThreadPool Pool(4);
+    EXPECT_GT(D.runWorklist(S.callbacks(), Pool), 0u);
+    Expect(S);
+  }
+}
+
+TEST(FixpointDriverTest, WorklistPipelinesAChainInOnePassPerSite) {
+  // On a chain whose edges are exact, the worklist evaluates each site
+  // exactly once (SCCs release in dependency order), where the round
+  // barrier needs a full round per chain link.
+  ChainSystem S(8, 3);
+  FixpointConfig C;
+  obs::MetricsRegistry Metrics;
+  C.Metrics = &Metrics;
+  FixpointDriver D(C);
+  mix::rt::ThreadPool Pool(4);
+  D.runWorklist(S.callbacks(), Pool);
+  for (int V : S.Val)
+    EXPECT_EQ(V, 3);
+  size_t Evaluations = 0;
+  for (auto &[Tag, Sites] : S.Waves)
+    Evaluations += Sites.size();
+  EXPECT_EQ(Evaluations, 8u);
+  EXPECT_EQ(Metrics.counterValue("engine.worklist.reruns"), 0u);
+}
+
+TEST(FixpointDriverTest, WorklistWaveTagsAreRunToRunDeterministic) {
+  auto Run = [] {
+    ChainSystem S(8, 3);
+    FixpointDriver D((FixpointConfig()));
+    mix::rt::ThreadPool Pool(4);
+    D.runWorklist(S.callbacks(), Pool);
+    std::sort(S.Waves.begin(), S.Waves.end());
+    return S.Waves;
+  };
+  auto A = Run();
+  for (int I = 0; I != 5; ++I)
+    EXPECT_EQ(Run(), A);
+}
+
+TEST(FixpointDriverTest, WorklistIteratesCyclesToTheirFixpoint) {
+  // Two mutually dependent sites (one SCC): site 0 raises its value
+  // toward 5 from site 1's, site 1 copies site 0's. The SCC must iterate
+  // internally until both stabilize at 5.
+  struct {
+    std::vector<int> Ctx{-1, -1}, Val{0, 0};
+  } S;
+  FixpointCallbacks CB;
+  CB.NumSites = [] { return (size_t)2; };
+  CB.Refresh = [&](size_t I) {
+    int New = I == 0 ? std::min(S.Val[1] + 1, 5) : S.Val[0];
+    if (New == S.Ctx[I])
+      return false;
+    S.Ctx[I] = New;
+    return true;
+  };
+  CB.EvaluateWave = [&](const std::vector<size_t> &Sites, uint64_t) {
+    for (size_t I : Sites)
+      S.Val[I] = S.Ctx[I];
+  };
+  CB.Edges = [] {
+    return std::vector<std::pair<size_t, size_t>>{{0, 1}, {1, 0}};
+  };
+  obs::MetricsRegistry Metrics;
+  FixpointConfig C;
+  C.Metrics = &Metrics;
+  FixpointDriver D(C);
+  mix::rt::ThreadPool Pool(2);
+  D.runWorklist(CB, Pool);
+  EXPECT_EQ(S.Val[0], 5);
+  EXPECT_EQ(S.Val[1], 5);
+  EXPECT_GT(Metrics.counterValue("engine.worklist.reruns"), 0u);
+  EXPECT_GT(Metrics.counterValue("engine.fixpoint.rounds"), 0u);
+}
+
+TEST(FixpointDriverTest, WorklistValidationSweepCoversMissingEdges) {
+  // Deliberately under-approximated edges (none at all): the SCC phase
+  // runs every site independently, and the validation sweep must still
+  // drive the chain to its least fixpoint.
+  ChainSystem S(5, 9);
+  FixpointCallbacks CB = S.callbacks();
+  CB.Edges = nullptr;
+  FixpointDriver D((FixpointConfig()));
+  mix::rt::ThreadPool Pool(4);
+  D.runWorklist(CB, Pool);
+  for (int V : S.Val)
+    EXPECT_EQ(V, 9);
+}
+
+TEST(FixpointDriverTest, WorklistPropagatesTaskExceptions) {
+  FixpointCallbacks CB;
+  CB.NumSites = [] { return (size_t)2; };
+  CB.Refresh = [](size_t) { return true; };
+  CB.EvaluateWave = [](const std::vector<size_t> &, uint64_t) {
+    throw std::runtime_error("boom");
+  };
+  FixpointDriver D((FixpointConfig()));
+  mix::rt::ThreadPool Pool(2);
+  EXPECT_THROW(D.runWorklist(CB, Pool), std::runtime_error);
+}
+
+TEST(FixpointDriverTest, SerialPicksUpSitesAppendedMidRound) {
+  // A site evaluation that discovers a new site (MIXY: a nested block
+  // hitting a new frontier call) must see it analyzed before the driver
+  // declares a fixpoint.
+  std::vector<int> Ctx(1, -1), Val(1, 0);
+  bool Appended = false;
+  FixpointCallbacks CB;
+  CB.NumSites = [&] { return Ctx.size(); };
+  CB.Refresh = [&](size_t I) {
+    int New = I == 0 ? 1 : Val[0];
+    if (New == Ctx[I])
+      return false;
+    Ctx[I] = New;
+    return true;
+  };
+  CB.EvaluateWave = [&](const std::vector<size_t> &Sites, uint64_t) {
+    for (size_t I : Sites) {
+      Val[I] = Ctx[I];
+      if (I == 0 && !Appended) {
+        Appended = true;
+        Ctx.push_back(-1);
+        Val.push_back(0);
+      }
+    }
+  };
+  FixpointDriver D((FixpointConfig()));
+  D.runSerial(CB);
+  ASSERT_EQ(Val.size(), 2u);
+  EXPECT_EQ(Val[1], 1);
+}

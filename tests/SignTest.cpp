@@ -242,6 +242,37 @@ TEST_F(SignMixTest, ResultRefinementFlowsBackIntoExecution) {
       << LastDiags;
 }
 
+TEST_F(SignMixTest, BlockResultsAreCachedThroughTheEngine) {
+  // Both symbolic paths (b true / b false) reach the same typed block
+  // with the same derived SignEnv, so the engine sign-checks it once and
+  // replays the cached summary on the second path — and the replay must
+  // still refine the continuing execution: the `= 0` test is decided by
+  // the replayed pos result, discarding the ill-typed branch.
+  AstContext LocalCtx;
+  DiagnosticEngine LocalDiags;
+  SignMixChecker LocalMix(LocalCtx.types(), LocalDiags);
+  SignEnv Gamma;
+  Gamma["b"] = LocalMix.signTypes().lift(LocalCtx.types().boolType());
+  Gamma["x"] = LocalMix.signTypes().intType(SignQual::Pos);
+  const Expr *E = parseExpression(
+      "{s (if b then 0 else 1); "
+      "(if {t x + 1 t} = 0 then true + 1 else 5) s}",
+      LocalCtx, LocalDiags);
+  ASSERT_NE(E, nullptr) << LocalDiags.str();
+  const SType *S = LocalMix.checkTyped(E, Gamma);
+  ASSERT_NE(S, nullptr) << LocalDiags.str();
+  EXPECT_EQ(S->str(), "pos int");
+  EXPECT_EQ(LocalMix.typedCacheStats().Inserts, 1u);
+  EXPECT_EQ(LocalMix.typedCacheStats().Hits, 1u);
+
+  // Re-checking the same program replays the whole symbolic block's
+  // summary from the Section 4.3 cache without re-running the executor.
+  unsigned PathsBefore = LocalMix.stats().PathsExplored;
+  ASSERT_NE(LocalMix.checkTyped(E, Gamma), nullptr);
+  EXPECT_EQ(LocalMix.symCacheStats().Hits, 1u);
+  EXPECT_EQ(LocalMix.stats().PathsExplored, PathsBefore);
+}
+
 TEST_F(SignMixTest, FeasibleSignErrorsAreCaught) {
   // A Gamma-provided pos cell written with an unknown-sign value inside
   // a symbolic block: the sign analogue of |- m ok flags it at exit.

@@ -135,10 +135,6 @@ int main(int Argc, char **Argv) {
       "via model extraction)");
   Parser.flag("--auto-place", &AutoPlace,
               "insert symbolic blocks automatically on failure");
-  Parser.jobs(&Opts.Jobs,
-              "check a block's paths (and auto-place candidates) on N\n"
-              "worker threads (default 1 = serial; 0 = one per hardware "
-              "thread)");
   Parser.separateValue(
       "--var",
       [&](const std::string &Spec) {
@@ -153,7 +149,11 @@ int main(int Argc, char **Argv) {
       "may be repeated");
   Parser.flag("--print-program", &PrintProgram,
               "echo the (possibly auto-annotated) program");
-  Driver.registerOptions(Parser);
+  driver::registerCommonOptions(
+      Parser, Driver, &Opts.Jobs,
+      "check a block's paths (and auto-place candidates) on N\n"
+      "worker threads (default 1 = serial; 0 = one per hardware "
+      "thread)");
   Parser.flag("--help", &Help, "this text");
 
   if (!Parser.parse(Argc, Argv))
@@ -254,7 +254,13 @@ int main(int Argc, char **Argv) {
          << "infeasible discarded    : "
          << Reg.counterValue("mix.paths_infeasible") << "\n"
          << "solver queries          : " << Reg.counterValue("solver.queries")
-         << "\n";
+         << "\n"
+         // The shared engine layer's view of the same run: blocks it
+         // scheduled and cache hits it served across both domains.
+         << "engine blocks scheduled : " << Reg.counterValue("engine.mix.blocks")
+         << "\n"
+         << "engine cache hits       : "
+         << Reg.counterValue("engine.cache.mix.hits") << "\n";
   }
 
   if (PrintProgram)

@@ -99,16 +99,16 @@ int main(int Argc, char **Argv) {
               "disable block-result caching (Section 4.3)");
   Parser.flag("--no-alias-restore", [&] { Opts.RestoreAliasing = false; },
               "disable aliasing restoration (Section 4.2)");
-  Parser.jobs(&Opts.Jobs,
-              "analyze symbolic blocks on N worker threads\n"
-              "(default 1 = serial; 0 = one per hardware thread)");
   Parser.flag("--warn-derefs",
               [&] {
                 Opts.Qual.WarnAllDereferences = true;
                 Opts.Sym.CheckDereferences = true;
               },
               "treat every dereference as a nonnull requirement");
-  Driver.registerOptions(Parser);
+  driver::registerCommonOptions(
+      Parser, Driver, &Opts.Jobs,
+      "analyze symbolic blocks on N worker threads\n"
+      "(default 1 = serial; 0 = one per hardware thread)");
   Parser.flag("--incremental", &Incremental,
               "with --cache-dir: reuse per-block summaries across runs,\n"
               "re-analyzing only functions whose code or dependencies "
@@ -209,7 +209,19 @@ int main(int Argc, char **Argv) {
            << "fixpoint iterations      : "
            << Reg.counterValue("mixy.fixpoint_rounds") << "\n"
            << "recursions detected      : "
-           << Reg.counterValue("mixy.recursions") << "\n";
+           << Reg.counterValue("mixy.recursions") << "\n"
+           // The shared engine layer's view of the same run: blocks it
+           // scheduled, cache hits it served, and how the fixpoint was
+           // driven (dependency-aware worklist re-runs vs round-barrier
+           // rounds).
+           << "engine blocks scheduled  : "
+           << Reg.counterValue("engine.mixy.blocks") << "\n"
+           << "engine cache hits        : "
+           << Reg.counterValue("engine.cache.mixy.hits") << "\n"
+           << "worklist re-runs         : "
+           << Reg.counterValue("engine.worklist.reruns") << "\n"
+           << "round-barrier rounds     : "
+           << Reg.counterValue("engine.fixpoint.rounds") << "\n";
       if (Opts.Jobs > 1)
         Info << "sym block cache          : " << Analysis.symCacheStats().str()
              << "\n"
