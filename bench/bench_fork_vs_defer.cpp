@@ -54,7 +54,7 @@ void runLadder(benchmark::State &State, SymExecOptions::Strategy Strat,
     MixChecker Mix(Ctx.types(), RunDiags, Opts);
     benchmark::DoNotOptimize(Mix.checkTyped(Program, Gamma));
     Paths = Mix.stats().PathsExplored;
-    Queries = Mix.solver().stats().Queries;
+    Queries = Mix.solver().queries();
   }
   State.counters["paths"] = Paths;
   State.counters["solver_queries"] = (double)Queries;

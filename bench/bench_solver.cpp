@@ -10,11 +10,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "solver/AssertionStack.h"
 #include "solver/Sat.h"
 #include "solver/SmtSolver.h"
+#include "solver/SolverFactory.h"
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <random>
 
 using namespace mix::smt;
@@ -97,6 +100,98 @@ void BM_Solver_IntegerTightening(benchmark::State &State) {
   }
 }
 
+/// The deep-branch exploration pattern path executors generate: DFS over
+/// a K-deep branch ladder with a then/else feasibility probe at every
+/// node. range(1) selects from-scratch conjunctions (0) or the
+/// incremental assertion stack (1) — the axis the incremental-mode
+/// regression test pins with query counters, measured here in time.
+void BM_Solver_DeepBranchProbes(benchmark::State &State) {
+  unsigned K = (unsigned)State.range(0);
+  bool Incremental = State.range(1) != 0;
+  uint64_t Queries = 0;
+  for (auto _ : State) {
+    TermArena A;
+    SmtSolver S(A);
+    std::vector<const Term *> Xs;
+    for (unsigned I = 0; I != K; ++I)
+      Xs.push_back(A.freshIntVar());
+    std::unique_ptr<AssertionStack> St;
+    if (Incremental)
+      St = S.openStack();
+    // DFS: probe both polarities of x_d > 0 at depth d, descend into the
+    // feasible ones.
+    std::function<void(unsigned, const Term *)> Walk =
+        [&](unsigned Depth, const Term *Path) {
+          if (Depth == K)
+            return;
+          const Term *Cond = A.lt(A.intConst(0), Xs[Depth]);
+          for (const Term *Delta : {Cond, A.notTerm(Cond)}) {
+            bool Feasible;
+            if (Incremental) {
+              St->push();
+              St->assertTerm(Delta);
+              Feasible = St->checkSat() != SolveResult::Unsat;
+              if (Feasible)
+                Walk(Depth + 1, A.andTerm(Path, Delta));
+              St->pop();
+            } else {
+              const Term *Whole = A.andTerm(Path, Delta);
+              Feasible = S.checkSat(Whole) != SolveResult::Unsat;
+              if (Feasible)
+                Walk(Depth + 1, Whole);
+            }
+          }
+        };
+    Walk(0, A.trueTerm());
+    Queries = S.queries();
+  }
+  State.counters["backend_queries"] = (double)Queries;
+}
+
+/// Every registered backend on the path-condition chain, so a backend
+/// whose latency regresses shows up in the archived JSON next to its
+/// peers. range(0) indexes registeredBackends() (sorted, stable).
+void BM_Solver_BackendPathCondition(benchmark::State &State) {
+  std::vector<std::string> Backends = registeredBackends();
+  const std::string &Name = Backends[(size_t)State.range(0)];
+  State.SetLabel(Name);
+  unsigned N = 16;
+  for (auto _ : State) {
+    TermArena A;
+    std::unique_ptr<ISolver> S = createBackend(Name, A, SmtOptions());
+    std::vector<const Term *> Xs;
+    for (unsigned I = 0; I <= N; ++I)
+      Xs.push_back(A.freshIntVar());
+    const Term *Path = A.trueTerm();
+    for (unsigned I = 0; I != N; ++I)
+      Path = A.andTerm(Path, A.lt(Xs[I], Xs[I + 1]));
+    Path = A.andTerm(Path, A.le(A.intConst(0), Xs[0]));
+    Path = A.andTerm(Path, A.le(Xs[N], A.intConst((long long)N)));
+    benchmark::DoNotOptimize(S->checkSat(Path));
+  }
+}
+
+/// Portfolio racing overhead/benefit on the same chain: range(0) turns
+/// the portfolio on. Latency is the point — verdicts are identical by
+/// construction.
+void BM_Solver_Portfolio(benchmark::State &State) {
+  SolverSpec Spec;
+  Spec.Portfolio = State.range(0) != 0;
+  unsigned N = 16;
+  for (auto _ : State) {
+    TermArena A;
+    std::unique_ptr<ISolver> S = createSolver(Spec, A, SmtOptions());
+    std::vector<const Term *> Xs;
+    for (unsigned I = 0; I <= N; ++I)
+      Xs.push_back(A.freshIntVar());
+    const Term *Path = A.trueTerm();
+    for (unsigned I = 0; I != N; ++I)
+      Path = A.andTerm(Path, A.lt(Xs[I], Xs[I + 1]));
+    Path = A.andTerm(Path, A.le(A.intConst(0), Xs[0]));
+    benchmark::DoNotOptimize(S->checkSat(Path));
+  }
+}
+
 } // namespace
 
 BENCHMARK(BM_Solver_PathCondition)
@@ -119,6 +214,20 @@ BENCHMARK(BM_Solver_IntegerTightening)
     ->Arg(2)
     ->Arg(8)
     ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Solver_DeepBranchProbes)
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Solver_BackendPathCondition)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Solver_Portfolio)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMicrosecond);
 
 BENCHMARK_MAIN();

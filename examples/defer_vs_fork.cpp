@@ -62,7 +62,7 @@ int main() {
       MixChecker Mix(Ctx.types(), D2, Opts);
       Mix.checkTyped(Program, Gamma);
       ForkPaths = Mix.stats().PathsExplored;
-      ForkQueries = (unsigned)Mix.solver().stats().Queries;
+      ForkQueries = (unsigned)Mix.solver().queries();
     }
 
     unsigned DeferPaths = 0, DeferQueries = 0;
@@ -73,7 +73,7 @@ int main() {
       MixChecker Mix(Ctx.types(), D2, Opts);
       Mix.checkTyped(Program, Gamma);
       DeferPaths = Mix.stats().PathsExplored;
-      DeferQueries = (unsigned)Mix.solver().stats().Queries;
+      DeferQueries = (unsigned)Mix.solver().queries();
     }
 
     std::printf("%-3u %11u %15u %14u %15u\n", N, ForkPaths, ForkQueries,

@@ -86,9 +86,8 @@ int main() {
   std::cout << "paths explored: " << Mix.stats().PathsExplored
             << ", exhaustiveness checks: "
             << Mix.stats().ExhaustivenessChecks << "\n";
-  std::cout << "solver: " << Mix.solver().stats().Queries
-            << " queries, " << Mix.solver().stats().TheoryChecks
-            << " theory checks\n\n";
+  std::cout << "solver: " << Mix.solver().queries() << " queries ("
+            << Mix.solver().name() << ")\n\n";
 
   // Peek under the hood: run the symbolic executor directly and print
   // each path's condition and value — the <g ; m> states of Figure 2.

@@ -12,9 +12,11 @@ using mix::smt::Term;
 
 CSymExecutor::CSymExecutor(const CProgram &Program, CAstContext &Ctx,
                            DiagnosticEngine &Diags, smt::TermArena &Terms,
-                           smt::SmtSolver &Solver, CSymOptions Opts)
+                           smt::ISolver &Solver, CSymOptions Opts)
     : Program(Program), Ctx(Ctx), Sema(Program, Ctx, Diags), Diags(Diags),
-      Terms(Terms), Solver(Solver), Opts(Opts) {
+      Terms(Terms), Solver(Solver),
+      PathChecker(Solver, Opts.IncrementalSolver, Solver.options().Metrics),
+      Opts(Opts) {
   Objects.push_back({nullptr, "<none>"}); // slot 0 = NoLoc
 }
 
@@ -52,10 +54,19 @@ const CType *CSymExecutor::cellType(LocId Loc,
   return Ty;
 }
 
-bool CSymExecutor::feasible(const Term *Path) {
-  if (Path->kind() == smt::TermKind::BoolConst)
-    return Path->value() != 0;
-  return !Solver.isDefinitelyUnsat(Path);
+bool CSymExecutor::feasible(const CSymState &State) {
+  if (State.Path->kind() == smt::TermKind::BoolConst)
+    return State.Path->value() != 0;
+  return PathChecker.checkPath(State.PC, State.Path) !=
+         smt::SolveResult::Unsat;
+}
+
+bool CSymExecutor::feasibleWith(const CSymState &State, const Term *Extra) {
+  const Term *Whole = Terms.andTerm(State.Path, Extra);
+  if (Whole->kind() == smt::TermKind::BoolConst)
+    return Whole->value() != 0;
+  return PathChecker.checkPathWith(State.PC, State.Path, Extra) !=
+         smt::SolveResult::Unsat;
 }
 
 void CSymExecutor::warn(SourceLoc Loc, const std::string &Message,
@@ -76,11 +87,14 @@ void CSymExecutor::warn(SourceLoc Loc, const std::string &Message,
     // must be byte-identical across --jobs and replay.
     W.PathCondition = smt::normalizedStr(Cond);
     smt::SmtModel Model;
-    if (Solver.checkSat(Cond, &Model) == smt::SolveResult::Sat) {
+    std::string DecidedBy;
+    if (Solver.checkSatDecided(Cond, &Model, DecidedBy) ==
+        smt::SolveResult::Sat) {
       for (auto &[Name, Value] : smt::modelBindings(Terms, Model))
         W.Model.push_back({Name, Value});
       W.ModelComplete = Model.Complete;
     }
+    W.DecidedBy = std::move(DecidedBy);
     Payload->Witness = std::move(W);
     Diags.attachProvenance(Idx, std::move(Payload));
     Opts.Prov->countWitness();
@@ -226,16 +240,15 @@ CSymExecutor::resolveLValue(const CExpr *E, CSymState State,
       if (Opts.CheckDereferences) {
         ++Statistics.NullChecks;
         const Term *NullG = F.Value.nullGuard(Terms);
-        const Term *NullPath = Terms.andTerm(F.State.Path, NullG);
-        if (feasible(NullPath))
-          warn(E->loc(), "possible null dereference", &F.State, NullPath);
+        if (feasibleWith(F.State, NullG))
+          warn(E->loc(), "possible null dereference", &F.State,
+               Terms.andTerm(F.State.Path, NullG));
       }
       // Continue under the assumption the dereference survived.
       LResolved R;
       R.State = std::move(F.State);
-      R.State.Path =
-          Terms.andTerm(R.State.Path, F.Value.nonNullGuard(Terms));
-      if (!feasible(R.State.Path))
+      extendPath(R.State, F.Value.nonNullGuard(Terms));
+      if (!feasible(R.State))
         continue; // definitely null: this path dies here
       for (const PtrCase &C : F.Value.cases()) {
         if (C.Target.K != PtrTarget::Kind::Object)
@@ -268,15 +281,14 @@ CSymExecutor::resolveLValue(const CExpr *E, CSymState State,
       if (Opts.CheckDereferences) {
         ++Statistics.NullChecks;
         const Term *NullG = F.Value.nullGuard(Terms);
-        const Term *NullPath = Terms.andTerm(F.State.Path, NullG);
-        if (feasible(NullPath))
-          warn(E->loc(), "possible null dereference", &F.State, NullPath);
+        if (feasibleWith(F.State, NullG))
+          warn(E->loc(), "possible null dereference", &F.State,
+               Terms.andTerm(F.State.Path, NullG));
       }
       LResolved R;
       R.State = std::move(F.State);
-      R.State.Path =
-          Terms.andTerm(R.State.Path, F.Value.nonNullGuard(Terms));
-      if (!feasible(R.State.Path))
+      extendPath(R.State, F.Value.nonNullGuard(Terms));
+      if (!feasible(R.State))
         continue;
       for (const PtrCase &C : F.Value.cases()) {
         if (C.Target.K != PtrTarget::Kind::Object)
@@ -359,13 +371,13 @@ CSymExecutor::evalExpr(const CExpr *E, CSymState State, const Frame &Frame) {
         if (Opts.CheckDereferences) {
           ++Statistics.NullChecks;
           const Term *NullG = F.Value.nullGuard(Terms);
-          const Term *NullPath = Terms.andTerm(F.State.Path, NullG);
-          if (feasible(NullPath))
-            warn(E->loc(), "possible null dereference", &F.State, NullPath);
+          if (feasibleWith(F.State, NullG))
+            warn(E->loc(), "possible null dereference", &F.State,
+                 Terms.andTerm(F.State.Path, NullG));
         }
         CSymState S = std::move(F.State);
-        S.Path = Terms.andTerm(S.Path, F.Value.nonNullGuard(Terms));
-        if (!feasible(S.Path))
+        extendPath(S, F.Value.nonNullGuard(Terms));
+        if (!feasible(S))
           continue;
         CSymValue Acc;
         bool First = true;
@@ -595,11 +607,10 @@ CSymExecutor::evalCall(const CCall *Call, CSymState State,
       }
       bool AnyTarget = false;
       for (const PtrCase &C : F.Value.cases()) {
-        const Term *Path = Terms.andTerm(F.State.Path, C.Guard);
-        if (!feasible(Path))
+        if (!feasibleWith(F.State, C.Guard))
           continue;
         CSymState Branch = F.State;
-        Branch.Path = Path;
+        extendPath(Branch, C.Guard);
         switch (C.Target.K) {
         case PtrTarget::Kind::Function:
           AnyTarget = true;
@@ -661,7 +672,7 @@ void CSymExecutor::dispatchCall(const CCall *Call, const CFuncDecl *Callee,
       ++Statistics.NullChecks;
       const Term *NullG = Args[I].nullGuard(Terms);
       const Term *NullPath = Terms.andTerm(State.Path, NullG);
-      if (feasible(NullPath))
+      if (feasibleWith(State, NullG))
         warn(Call->loc(),
              "possibly-null argument passed to nonnull "
              "parameter '" +
@@ -779,12 +790,11 @@ std::vector<CSymState> CSymExecutor::execStmt(const CStmt *S, CSymState State,
     for (Flow &F : evalExpr(I->cond(), std::move(State), Frame)) {
       const Term *Cond = truthTerm(F.Value);
 
-      const Term *ThenPath = Terms.andTerm(F.State.Path, Cond);
-      if (feasible(ThenPath)) {
+      if (feasibleWith(F.State, Cond)) {
         ++PathsThisRun;
         ++Statistics.PathsExplored;
         CSymState Then = F.State;
-        Then.Path = ThenPath;
+        extendPath(Then, Cond);
         if (Opts.Prov)
           Then.Trail.push_back({I->cond()->loc(), "condition true"});
         for (CSymState &R : execStmt(I->thenStmt(), std::move(Then), Frame))
@@ -793,13 +803,12 @@ std::vector<CSymState> CSymExecutor::execStmt(const CStmt *S, CSymState State,
         ++Statistics.ForksPruned;
       }
 
-      const Term *ElsePath =
-          Terms.andTerm(F.State.Path, Terms.notTerm(Cond));
-      if (feasible(ElsePath)) {
+      const Term *NotCond = Terms.notTerm(Cond);
+      if (feasibleWith(F.State, NotCond)) {
         ++PathsThisRun;
         ++Statistics.PathsExplored;
         CSymState Else = std::move(F.State);
-        Else.Path = ElsePath;
+        extendPath(Else, NotCond);
         if (Opts.Prov)
           Else.Trail.push_back({I->cond()->loc(), "condition false"});
         if (I->elseStmt()) {
@@ -868,19 +877,17 @@ std::vector<CSymState> CSymExecutor::execWhile(const CWhileStmt *W,
       }
       for (Flow &F : evalExpr(W->cond(), std::move(A), Frame)) {
         const Term *Cond = truthTerm(F.Value);
-        const Term *ExitPath =
-            Terms.andTerm(F.State.Path, Terms.notTerm(Cond));
-        if (feasible(ExitPath)) {
+        const Term *NotCond = Terms.notTerm(Cond);
+        if (feasibleWith(F.State, NotCond)) {
           CSymState Exit = F.State;
-          Exit.Path = ExitPath;
+          extendPath(Exit, NotCond);
           if (Opts.Prov)
             Exit.Trail.push_back({W->cond()->loc(), "loop exit"});
           Exited.push_back(std::move(Exit));
         }
-        const Term *LoopPath = Terms.andTerm(F.State.Path, Cond);
-        if (feasible(LoopPath)) {
+        if (feasibleWith(F.State, Cond)) {
           CSymState Loop = std::move(F.State);
-          Loop.Path = LoopPath;
+          extendPath(Loop, Cond);
           if (Opts.Prov)
             Loop.Trail.push_back({W->cond()->loc(), "loop iteration"});
           for (CSymState &R : execStmt(W->body(), std::move(Loop), Frame))

@@ -32,7 +32,7 @@
 #include "cfront/CSema.h"
 #include "csym/CSymValue.h"
 #include "provenance/Provenance.h"
-#include "solver/SmtSolver.h"
+#include "solver/PathSolver.h"
 #include "support/Diagnostics.h"
 
 #include <optional>
@@ -48,6 +48,13 @@ class CSymExecutor;
 /// frame) because declarations inside branches allocate per path.
 struct CSymState {
   const smt::Term *Path = nullptr;
+  /// The same condition as \ref Path, kept as a chain of branch deltas so
+  /// the executor's PathSolver can sync its assertion stack by diffing
+  /// against a sibling path instead of re-solving from scratch. Invariant:
+  /// PC.folded(Terms) == Path whenever Path was only ever extended through
+  /// the executor's own branch sites (PathSolver falls back to a direct
+  /// query if a hook breaks this).
+  smt::PathCondition PC;
   CStore Store;
   std::map<std::string, LocId> Locals;
   std::map<std::string, const CType *> LocalTypes;
@@ -86,6 +93,11 @@ struct CSymOptions {
   bool CheckNonnullArguments = true;
   /// Warn on dereferences whose null case is feasible.
   bool CheckDereferences = true;
+  /// Route feasibility checks through an incremental AssertionStack that
+  /// pushes/pops branch deltas between sibling paths (the tentpole's
+  /// per-path stacks). Off = every check is a from-scratch checkSat; the
+  /// verdicts and diagnostics are identical either way.
+  bool IncrementalSolver = true;
 
   /// Provenance recording (see src/provenance/). When attached, states
   /// carry branch trails and every warning emitted with a state in hand
@@ -133,7 +145,7 @@ class CSymExecutor {
 public:
   CSymExecutor(const CProgram &Program, CAstContext &Ctx,
                DiagnosticEngine &Diags, smt::TermArena &Terms,
-               smt::SmtSolver &Solver, CSymOptions Opts = CSymOptions());
+               smt::ISolver &Solver, CSymOptions Opts = CSymOptions());
 
   void setTypedCallHook(TypedCallHook *Hook) { this->Hook = Hook; }
 
@@ -179,7 +191,7 @@ public:
                           const std::string &Name);
 
   smt::TermArena &terms() { return Terms; }
-  smt::SmtSolver &solver() { return Solver; }
+  smt::ISolver &solver() { return Solver; }
   DiagnosticEngine &diags() { return Diags; }
   const CProgram &program() const { return Program; }
 
@@ -273,7 +285,19 @@ private:
   /// Coerces a value to an int-sorted scalar term.
   const smt::Term *intTerm(const CSymValue &V);
 
-  bool feasible(const smt::Term *Path);
+  /// Is the state's path condition satisfiable? Uses the incremental
+  /// stack when enabled (state chains share prefixes with siblings).
+  bool feasible(const CSymState &State);
+  /// Is Path ∧ Extra satisfiable? \p Extra is a probe (a null guard, a
+  /// branch condition being tested) asserted in a temporary frame, so the
+  /// synced path prefix is reused across probes on the same state.
+  bool feasibleWith(const CSymState &State, const smt::Term *Extra);
+  /// Conjoins \p Cond onto both representations of the state's path
+  /// condition, keeping the Path/PC invariant.
+  void extendPath(CSymState &State, const smt::Term *Cond) {
+    State.Path = Terms.andTerm(State.Path, Cond);
+    State.PC = State.PC.extend(Terms, Cond);
+  }
 
   /// Reports a (deduplicated) warning. When \p State is given and
   /// provenance recording is on, the warning carries a witness path built
@@ -293,7 +317,8 @@ private:
   CSema Sema;
   DiagnosticEngine &Diags;
   smt::TermArena &Terms;
-  smt::SmtSolver &Solver;
+  smt::ISolver &Solver;
+  smt::PathSolver PathChecker;
   CSymOptions Opts;
   TypedCallHook *Hook = nullptr;
 

@@ -66,6 +66,27 @@ void DriverContext::registerOptions(OptionParser &P) {
       "DIR",
       "persist solver results (and, with --incremental, block summaries)\n"
       "under DIR and reuse them on later runs");
+  P.value(
+      "--solver",
+      [this](const std::string &V) {
+        std::string Err;
+        if (!smt::parseSolverBackend(V, Solver, Err)) {
+          // The parser's generic "bad --solver value" line follows; this
+          // one names the choices.
+          std::cerr << Err << "\n";
+          return false;
+        }
+        return true;
+      },
+      "BACKEND",
+      "solver backend to decide path conditions with (default: smtlite;\n"
+      "every backend produces the same verdicts, so this changes latency\n"
+      "and diagnostics' \"decided by\" attribution, never findings)");
+  P.flag("--solver-portfolio",
+         [this]() { Solver.Portfolio = true; },
+         "race every registered backend against the --solver choice per\n"
+         "query and take the first definitive answer; witness models still\n"
+         "come from the primary backend, so output stays byte-identical");
 }
 
 void mix::driver::registerCommonOptions(OptionParser &P, DriverContext &Driver,

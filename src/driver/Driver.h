@@ -36,6 +36,7 @@
 #include "observe/Trace.h"
 #include "persist/PersistSession.h"
 #include "provenance/Provenance.h"
+#include "solver/SolverFactory.h"
 #include "support/Diagnostics.h"
 
 #include <memory>
@@ -49,9 +50,15 @@ class DriverContext {
 public:
   enum class OutputFormat { Text, Json, Sarif };
 
-  /// Registers --trace, --metrics, --format, --explain, --stats, and
-  /// --cache-dir on \p P.
+  /// Registers --trace, --metrics, --format, --explain, --stats,
+  /// --cache-dir, --solver, and --solver-portfolio on \p P.
   void registerOptions(OptionParser &P);
+
+  /// The solver backend selection parsed from --solver / --solver-portfolio
+  /// (defaults: smtlite, portfolio off). --solver validates its value
+  /// against the registered backends at parse time, so by the time a tool
+  /// reads this the spec is known-constructible.
+  const smt::SolverSpec &solverSpec() const { return Solver; }
 
   /// The registry every analysis in the process reports into.
   obs::MetricsRegistry &metrics() { return Registry; }
@@ -112,6 +119,7 @@ private:
   std::string MetricsFile;
   std::string CacheDir;
   std::string InputName;
+  smt::SolverSpec Solver;
   std::unique_ptr<persist::PersistSession> Persist;
   bool Stats = false;
   bool Explain = false;

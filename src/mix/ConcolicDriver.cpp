@@ -44,7 +44,7 @@ ConcolicSeed seedFromModel(const SymToSmt &Translator,
 } // namespace
 
 ConcolicExploreResult mix::exploreConcolic(SymExecutor &Exec,
-                                           smt::SmtSolver &Solver,
+                                           smt::ISolver &Solver,
                                            SymToSmt &Translator,
                                            const Expr *Body,
                                            const SymEnv &Env, SymState Init,

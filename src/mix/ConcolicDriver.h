@@ -52,7 +52,7 @@ struct ConcolicExploreResult {
 /// be put) in Strategy::Concolic for the duration; its previous seed is
 /// restored afterwards, so nested explorations compose.
 ConcolicExploreResult exploreConcolic(SymExecutor &Exec,
-                                      smt::SmtSolver &Solver,
+                                      smt::ISolver &Solver,
                                       SymToSmt &Translator, const Expr *Body,
                                       const SymEnv &Env, SymState Init,
                                       ConcolicOptions Opts = ConcolicOptions());

@@ -27,12 +27,16 @@ static MixOptions normalizedOptions(MixOptions O) {
 MixChecker::MixChecker(TypeContext &Types, DiagnosticEngine &Diags,
                        MixOptions OptsIn)
     : Types(Types), Diags(Diags), Opts(normalizedOptions(OptsIn)), Syms(Types),
-      Solver(Terms, Opts.Smt), Translator(Syms, Terms), Checker(Types, Diags),
-      Executor(Syms, Diags, executorOptionsFor(Opts)), Solvers(Opts.Smt),
+      Solver(smt::createSolver(Opts.Solver, Terms, Opts.Smt)),
+      Translator(Syms, Terms), Checker(Types, Diags),
+      Executor(Syms, Diags, executorOptionsFor(Opts)),
+      Solvers(Opts.Smt, Opts.Solver),
       Eng(engineConfig(Opts)) {
   Checker.setSymBlockOracle(this);
   Executor.setTypedBlockOracle(this);
-  Executor.setSolver(&Solver, &Translator);
+  assert(Solver && "unknown solver backend (validate the SolverSpec with "
+                   "parseSolverBackend before constructing)");
+  Executor.setSolver(Solver.get(), &Translator);
   if (Opts.Metrics) {
     CSymBlocks = Opts.Metrics->counter("mix.sym_blocks_checked");
     CTypedBlocks = Opts.Metrics->counter("mix.typed_blocks_executed");
@@ -197,8 +201,8 @@ std::string MixChecker::describeWitness(const SymEnv &Env,
 }
 
 void MixChecker::reportPathError(const PathResult &P, SourceLoc BlockLoc,
-                                 const SymEnv &Env,
-                                 const smt::SmtModel &Model) {
+                                 const SymEnv &Env, const smt::SmtModel &Model,
+                                 const std::string &DecidedBy) {
   SourceLoc Loc = P.ErrorLoc.isValid() ? P.ErrorLoc : BlockLoc;
   size_t Idx = Diags.report(DiagKind::Error, Loc,
                             P.ErrorMessage + " [on path " +
@@ -211,6 +215,7 @@ void MixChecker::reportPathError(const PathResult &P, SourceLoc BlockLoc,
     W.PathCondition = P.State.Path->str();
     W.Model = witnessBindings(Env, Model);
     W.ModelComplete = Model.Complete;
+    W.DecidedBy = DecidedBy;
     Payload->Witness = std::move(W);
     Diags.attachProvenance(Idx, std::move(Payload));
     Opts.Prov->countWitness();
@@ -259,7 +264,7 @@ const Type *MixChecker::checkSymbolicCore(const Expr *Body,
     Init.Mem = Syms.freshBaseMemory();
     ConcolicOptions COpts;
     COpts.MaxRuns = Opts.MaxConcolicRuns;
-    ConcolicExploreResult CR = exploreConcolic(Executor, Solver, Translator,
+    ConcolicExploreResult CR = exploreConcolic(Executor, *Solver, Translator,
                                                Body, Env, Init, COpts);
     Result.Paths = std::move(CR.Paths);
     Result.ResourceLimitHit = CR.BudgetExhausted;
@@ -297,8 +302,10 @@ const Type *MixChecker::checkSymbolicCore(const Expr *Body,
       }
       if (P.IsError) {
         smt::SmtModel Model;
-        Solver.checkSat(Translator.translate(P.State.Path), &Model);
-        reportPathError(P, Loc, Env, Model);
+        std::string DecidedBy;
+        Solver->checkSatDecided(Translator.translate(P.State.Path), &Model,
+                                DecidedBy);
+        reportPathError(P, Loc, Env, Model, DecidedBy);
         return nullptr;
       }
       Live.push_back(&P);
@@ -306,7 +313,9 @@ const Type *MixChecker::checkSymbolicCore(const Expr *Body,
   } else {
     for (const PathResult &P : Result.Paths) {
       smt::SmtModel Model;
-      if (Solver.checkSat(Translator.translate(P.State.Path), &Model) ==
+      std::string DecidedBy;
+      if (Solver->checkSatDecided(Translator.translate(P.State.Path), &Model,
+                                  DecidedBy) ==
           smt::SolveResult::Unsat) {
         ++Statistics.InfeasiblePathsDiscarded;
         CInfeasible.inc();
@@ -315,7 +324,7 @@ const Type *MixChecker::checkSymbolicCore(const Expr *Body,
       if (P.IsError) {
         // A concrete witness makes the report actionable: values for the
         // block's inputs under which the failing path is taken.
-        reportPathError(P, Loc, Env, Model);
+        reportPathError(P, Loc, Env, Model, DecidedBy);
         return nullptr;
       }
       Live.push_back(&P);
@@ -369,7 +378,7 @@ const Type *MixChecker::checkSymbolicCore(const Expr *Body,
     Guards.reserve(Live.size());
     for (const PathResult *P : Live)
       Guards.push_back(Translator.translate(P->State.Path));
-    if (!Solver.isDefinitelyValid(Terms.orList(Guards))) {
+    if (!Solver->isDefinitelyValid(Terms.orList(Guards))) {
       Diags.error(Loc,
                   "symbolic block paths are not exhaustive: the "
                   "disjunction of path conditions is not a tautology",

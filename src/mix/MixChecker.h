@@ -75,6 +75,11 @@ struct MixOptions {
 
   smt::SmtOptions Smt;
 
+  /// Which solver backend answers feasibility/exhaustiveness queries,
+  /// and whether each instance (the shared solver and every pooled
+  /// worker) races the full registered portfolio.
+  smt::SolverSpec Solver;
+
   /// Observability sinks (see src/observe/). The checker copies these
   /// into Smt and Exec, so solver latency histograms and executor
   /// fork/defer/havoc events land in the same registry/trace; it also
@@ -127,7 +132,7 @@ public:
                                const SymState &State) override;
 
   const MixStats &stats() const { return Statistics; }
-  smt::SmtSolver &solver() { return Solver; }
+  smt::ISolver &solver() { return *Solver; }
   SymArena &symbols() { return Syms; }
 
   /// Section 4.3 block-cache statistics (shared engine layer). The
@@ -187,7 +192,8 @@ private:
   /// Reports the SymExecError for failed path \p P (with its witness
   /// note) and, when provenance is on, attaches the witness-path payload.
   void reportPathError(const PathResult &P, SourceLoc BlockLoc,
-                       const SymEnv &Env, const smt::SmtModel &Model);
+                       const SymEnv &Env, const smt::SmtModel &Model,
+                       const std::string &DecidedBy);
 
   /// The executor configuration implied by \p Opts (adjusts the strategy
   /// for concolic exploration).
@@ -204,7 +210,7 @@ private:
 
   SymArena Syms;
   smt::TermArena Terms;
-  smt::SmtSolver Solver;
+  std::unique_ptr<smt::ISolver> Solver;
   SymToSmt Translator;
   TypeChecker Checker;
   SymExecutor Executor;

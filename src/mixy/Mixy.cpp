@@ -80,6 +80,12 @@ uint64_t mix::c::mixyPersistFingerprint(const MixyOptions &Opts) {
   // provenance of their diagnostics), so explain-on and explain-off runs
   // must not share a block store.
   H.boolean(Opts.Prov != nullptr);
+  // Backend choice changes the DecidedBy provenance persisted inside
+  // block summaries (verdicts themselves are backend-independent).
+  // Sym.IncrementalSolver is deliberately excluded: it only changes how
+  // queries are batched, never a verdict or a diagnostic.
+  H.str(Opts.Solver.Backend);
+  H.boolean(Opts.Solver.Portfolio);
   return H.digest();
 }
 
@@ -98,10 +104,13 @@ MixyAnalysis::Engine::Config MixyAnalysis::engineConfig(const MixyOptions &O) {
 MixyAnalysis::MixyAnalysis(const CProgram &Program, CAstContext &Ctx,
                            DiagnosticEngine &Diags, MixyOptions OptsIn)
     : Program(Program), Ctx(Ctx), Diags(Diags),
-      Opts(normalizedOptions(std::move(OptsIn))), Solver(Terms, Opts.Smt),
+      Opts(normalizedOptions(std::move(OptsIn))),
+      Solver(smt::createSolver(Opts.Solver, Terms, Opts.Smt)),
       PtrAnal(Program, Ctx, Diags), Qual(Program, Ctx, Diags, Opts.Qual),
-      Exec(Program, Ctx, Diags, Terms, Solver, Opts.Sym),
-      Eng(engineConfig(Opts)), Solvers(Opts.Smt) {
+      Exec(Program, Ctx, Diags, Terms, *Solver, Opts.Sym),
+      Eng(engineConfig(Opts)), Solvers(Opts.Smt, Opts.Solver) {
+  assert(Solver && "unknown solver backend (validate the SolverSpec with "
+                   "parseSolverBackend before constructing)");
   Qual.setSymHook(this);
   Exec.setTypedCallHook(this);
 }

@@ -115,6 +115,10 @@ struct MixyOptions {
   CSymOptions Sym;
   QualOptions Qual;
   smt::SmtOptions Smt;
+  /// Which solver backend answers feasibility queries (and whether every
+  /// instance races the full registered portfolio). Applies to the serial
+  /// solver and every pooled worker instance alike.
+  smt::SolverSpec Solver;
 
   /// Observability sinks (see src/observe/). The analysis copies these
   /// into Smt (solver counters/latency), the block caches
@@ -422,7 +426,7 @@ private:
   MixyOptions Opts;
 
   smt::TermArena Terms;
-  smt::SmtSolver Solver;
+  std::unique_ptr<smt::ISolver> Solver;
   PointsToAnalysis PtrAnal;
   QualInference Qual;
   CSymExecutor Exec;

@@ -38,7 +38,7 @@ namespace mix::persist {
 
 /// Bumped whenever any store's record encoding changes; skew degrades the
 /// file to a cold load.
-constexpr uint32_t FormatVersion = 2;
+constexpr uint32_t FormatVersion = 3;
 
 /// Serializes fixed little-endian layouts into a byte string.
 class ByteWriter {

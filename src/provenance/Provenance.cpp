@@ -62,6 +62,8 @@ std::string mix::prov::renderExplain(const DiagProvenance &P,
         Out += " (model may be partial)";
       Out += "\n";
     }
+    if (!W.DecidedBy.empty())
+      Out += Indent + "decided by: " + W.DecidedBy + "\n";
   }
   if (P.Flow) {
     Out += Indent + "qualifier flow:\n";
@@ -137,6 +139,7 @@ void mix::prov::encodeProvenance(const DiagProvenance &P,
     for (const ModelBinding &B : WP.Model)
       W.str(B.Name).str(B.Value);
     W.boolean(WP.ModelComplete);
+    W.str(WP.DecidedBy);
   }
   W.boolean(P.Flow.has_value());
   if (P.Flow) {
@@ -174,6 +177,7 @@ mix::prov::decodeProvenance(persist::ByteReader &R) {
       WP.Model.push_back(std::move(B));
     }
     WP.ModelComplete = R.boolean();
+    WP.DecidedBy = R.str();
     P->Witness = std::move(WP);
   }
   if (R.boolean()) {

@@ -43,6 +43,7 @@
 #define MIX_SIGN_SIGNMIX_H
 
 #include "mix/MixChecker.h"
+#include "solver/SmtSolver.h"
 #include "sign/SignChecker.h"
 
 namespace mix {

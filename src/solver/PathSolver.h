@@ -1,0 +1,130 @@
+//===--- PathSolver.h - Per-path incremental feasibility --------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bridge between path exploration and AssertionStack. Executors fork
+/// states freely (breadth-style), so they cannot each own a physical
+/// solver stack; instead every state carries a PathCondition — an
+/// immutable, cheaply-copyable chain of branch deltas — and the executor
+/// owns ONE PathSolver that re-synchronizes its backend stack to whatever
+/// state it is asked about by diffing against the chain it currently has
+/// asserted: pop to the common prefix, push the remaining deltas. Sibling
+/// paths share their prefix, so the common case at a fork is one pop and
+/// one push, not a from-scratch re-solve of the whole path condition —
+/// this is the "one stack per path, push/pop branch deltas" shape of the
+/// tentpole, realized with one physical stack.
+///
+/// Every node caches the folded conjunction (hash-consed, so
+/// pointer-comparable). PathSolver cross-checks that fold against the
+/// executor's own Path term on every query: if some hook rewrote the path
+/// outside the chain, the query silently falls back to a direct
+/// checkSat of the executor's term (counted in "solver.inc.fallbacks").
+/// Correctness therefore never depends on the chain being in sync.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_SOLVER_PATHSOLVER_H
+#define MIX_SOLVER_PATHSOLVER_H
+
+#include "solver/AssertionStack.h"
+#include "solver/ISolver.h"
+
+#include <memory>
+#include <vector>
+
+namespace mix::smt {
+
+/// An immutable path condition: a persistent cons-list of branch deltas.
+/// Copying is one shared_ptr copy; extension allocates one node. The
+/// empty condition denotes true.
+class PathCondition {
+public:
+  PathCondition() = default;
+
+  /// This condition with \p Delta conjoined. Returns *this unchanged when
+  /// the conjunction simplifies to the current fold (e.g. a true or
+  /// duplicate guard).
+  PathCondition extend(TermArena &Arena, const Term *Delta) const {
+    const Term *Prev = Tail ? Tail->Folded : Arena.trueTerm();
+    const Term *Next = Arena.andTerm(Prev, Delta);
+    if (Next == Prev)
+      return *this;
+    auto N = std::make_shared<Node>();
+    N->Parent = Tail;
+    N->Delta = Delta;
+    N->Folded = Next;
+    N->Len = length() + 1;
+    PathCondition Out;
+    Out.Tail = std::move(N);
+    return Out;
+  }
+
+  /// The folded conjunction (true when empty). Pointer-equal to the same
+  /// sequence of andTerm() calls applied to trueTerm — the drift guard.
+  const Term *folded(TermArena &Arena) const {
+    return Tail ? Tail->Folded : Arena.trueTerm();
+  }
+
+  size_t length() const { return Tail ? Tail->Len : 0; }
+
+private:
+  friend class PathSolver;
+  struct Node {
+    std::shared_ptr<const Node> Parent;
+    const Term *Delta = nullptr;
+    const Term *Folded = nullptr;
+    size_t Len = 0;
+  };
+  std::shared_ptr<const Node> Tail;
+};
+
+/// One physical assertion stack, re-synced per query to the queried
+/// path. Construct with Incremental=false to bypass the stack entirely
+/// (every query becomes a direct backend checkSat) — the from-scratch
+/// baseline the regression tests compare against.
+class PathSolver {
+public:
+  PathSolver(ISolver &Backend, bool Incremental,
+             obs::MetricsRegistry *Metrics = nullptr);
+
+  /// Satisfiability of \p PC, whose folded term the caller knows as
+  /// \p PathTerm. When the two disagree (the executor's path was rewritten
+  /// outside the chain), falls back to checkSat(PathTerm).
+  SolveResult checkPath(const PathCondition &PC, const Term *PathTerm,
+                        SmtModel *ModelOut = nullptr);
+
+  /// Satisfiability of \p PC with \p Extra conjoined (a probe like a
+  /// may-be-null guard that does not extend the path): asserted in a
+  /// temporary frame, so the synced path prefix — and its cached model —
+  /// is reused across probes.
+  SolveResult checkPathWith(const PathCondition &PC, const Term *PathTerm,
+                            const Term *Extra, SmtModel *ModelOut = nullptr);
+
+  ISolver &backend() { return Backend; }
+  bool incremental() const { return Stack != nullptr; }
+
+private:
+  /// Pops to the common prefix of the synced chain and \p PC, then pushes
+  /// PC's remaining deltas, one frame each.
+  void syncTo(const PathCondition &PC);
+  void mirrorStackStats();
+
+  ISolver &Backend;
+  std::unique_ptr<AssertionStack> Stack; ///< null = non-incremental mode
+  /// The chain nodes currently asserted, outermost first; frame i holds
+  /// Synced[i]->Delta.
+  std::vector<std::shared_ptr<const PathCondition::Node>> Synced;
+
+  AssertionStack::Stats Mirrored; ///< stack stats already mirrored
+
+  obs::Counter CPush, CPop, CFallbacks, CCached, CModelReuse, CUnsatPrefix,
+      CStackQueries;
+};
+
+} // namespace mix::smt
+
+#endif // MIX_SOLVER_PATHSOLVER_H

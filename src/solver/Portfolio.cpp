@@ -1,0 +1,171 @@
+//===--- Portfolio.cpp - Racing solver portfolio --------------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Portfolio.h"
+
+#include "solver/SolverFactory.h"
+#include "solver/TermEval.h"
+
+#include <cassert>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+using namespace mix::smt;
+
+PortfolioSolver::PortfolioSolver(TermArena &Arena, SmtOptions Opts,
+                                 const std::vector<std::string> &BackendNames)
+    : Arena(Arena), Opts(Opts) {
+  assert(!BackendNames.empty() && "portfolio needs at least one backend");
+
+  // The primary shares the caller's arena and keeps the persistent cache,
+  // but metrics and tracing detach — the portfolio layer books the
+  // per-query observability itself, so counters tell the same story with
+  // the portfolio on or off.
+  SmtOptions PrimaryOpts = Opts;
+  PrimaryOpts.Metrics = nullptr;
+  PrimaryOpts.Trace = nullptr;
+  PrimaryOpts.Cancel = &Cancel;
+  Primary = createBackend(BackendNames[0], Arena, PrimaryOpts);
+  assert(Primary && "unknown primary backend");
+
+  for (size_t I = 1; I != BackendNames.size(); ++I) {
+    Rival R;
+    R.Name = BackendNames[I];
+    R.Terms = std::make_unique<TermArena>();
+    SmtOptions RivalOpts = Opts;
+    RivalOpts.Metrics = nullptr;
+    RivalOpts.Trace = nullptr;
+    RivalOpts.Cache = nullptr; // rivals never touch the persistent memo
+    RivalOpts.Cancel = &Cancel;
+    R.Backend = createBackend(R.Name, *R.Terms, RivalOpts);
+    assert(R.Backend && "unknown rival backend");
+    Rivals.push_back(std::move(R));
+  }
+
+  if (Opts.Metrics) {
+    CQueries = Opts.Metrics->counter("solver.queries");
+    CSat = Opts.Metrics->counter("solver.sat");
+    CUnsat = Opts.Metrics->counter("solver.unsat");
+    CUnknown = Opts.Metrics->counter("solver.unknown");
+    HQueryUs = Opts.Metrics->histogram("solver.query_us");
+    auto Register = [&](const std::string &Name) {
+      CWins.push_back(
+          Opts.Metrics->counter("solver.portfolio.win." + Name));
+      HLatency.push_back(
+          Opts.Metrics->histogram("solver.portfolio.latency_us." + Name));
+    };
+    Register(Primary->name());
+    for (const Rival &R : Rivals)
+      Register(R.Name);
+  } else {
+    CWins.resize(1 + Rivals.size());
+    HLatency.resize(1 + Rivals.size());
+  }
+}
+
+PortfolioSolver::~PortfolioSolver() = default;
+
+SolveResult PortfolioSolver::decideRaced(const Term *Formula,
+                                         std::string &DecidedBy) {
+  // Pre-clone into each rival's private arena on this thread: arenas are
+  // not thread-safe, and the primary mutates the shared one while
+  // solving. The memo persists across queries, so re-racing a grown path
+  // condition clones only the new nodes.
+  std::vector<const Term *> Cloned(Rivals.size());
+  for (size_t I = 0; I != Rivals.size(); ++I)
+    Cloned[I] = cloneTerm(Formula, Arena, *Rivals[I].Terms,
+                          Rivals[I].CloneMemo);
+
+  std::mutex M;
+  int Winner = -1;
+  SolveResult Verdict = SolveResult::Unknown;
+  auto Report = [&](int Lane, SolveResult R, uint64_t DurUs) {
+    HLatency[Lane].record(DurUs);
+    if (R == SolveResult::Unknown)
+      return;
+    std::lock_guard<std::mutex> Lock(M);
+    if (Winner >= 0)
+      return;
+    Winner = Lane;
+    Verdict = R;
+    Cancel.store(true, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Rivals.size());
+  for (size_t I = 0; I != Rivals.size(); ++I)
+    Threads.emplace_back([&, I] {
+      auto T0 = std::chrono::steady_clock::now();
+      SolveResult R = Rivals[I].Backend->checkSat(Cloned[I]);
+      uint64_t DurUs =
+          (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - T0)
+              .count();
+      Report((int)I + 1, R, DurUs);
+    });
+
+  {
+    auto T0 = std::chrono::steady_clock::now();
+    SolveResult R = Primary->checkSat(Formula);
+    uint64_t DurUs =
+        (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count();
+    Report(0, R, DurUs);
+  }
+
+  for (std::thread &T : Threads)
+    T.join();
+
+  if (Winner < 0) {
+    // Every lane hit its resource cap.
+    DecidedBy = name();
+    return SolveResult::Unknown;
+  }
+  CWins[Winner].inc();
+  DecidedBy = Winner == 0 ? Primary->name() : Rivals[Winner - 1].Name;
+  return Verdict;
+}
+
+SolveResult PortfolioSolver::checkSatDecided(const Term *Formula,
+                                             SmtModel *ModelOut,
+                                             std::string &DecidedBy) {
+  // Clear any cancellation left over from the previous race before the
+  // primary (which watches the same flag) runs again.
+  Cancel.store(false, std::memory_order_relaxed);
+
+  auto T0 = std::chrono::steady_clock::now();
+  SolveResult R;
+  if (ModelOut) {
+    // Model-bearing queries never race: the witness must come from the
+    // primary so diagnostics are identical with the portfolio off.
+    DecidedBy = Primary->name();
+    R = Primary->checkSat(Formula, ModelOut);
+  } else {
+    R = decideRaced(Formula, DecidedBy);
+  }
+  uint64_t DurUs =
+      (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count();
+
+  ++QueryCount;
+  CQueries.inc();
+  (R == SolveResult::Sat     ? CSat
+   : R == SolveResult::Unsat ? CUnsat
+                             : CUnknown)
+      .inc();
+  HQueryUs.record(DurUs);
+  return R;
+}
+
+SolveResult PortfolioSolver::checkSat(const Term *Formula,
+                                      SmtModel *ModelOut) {
+  std::string Ignored;
+  return checkSatDecided(Formula, ModelOut, Ignored);
+}

@@ -1,0 +1,92 @@
+//===--- Portfolio.h - Racing solver portfolio ------------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Portfolio mode: race the primary backend against rival backends on
+/// each verdict-only query; the first definitive (Sat/Unsat) answer wins
+/// and the losers are stopped through their cooperative cancel flag.
+///
+/// Determinism. Definitive verdicts agree across correct backends (the
+/// differential harness exists to keep that true), so racing changes
+/// which backend *answers*, never what the answer is — except that a
+/// rival can rescue a primary resource-cap Unknown into a definitive
+/// verdict, which is itself deterministic because rival verdicts don't
+/// depend on race timing. Model-bearing queries (witness extraction) do
+/// not race at all: they go to the primary alone, so diagnostics are
+/// byte-identical with the portfolio on or off, at any `--jobs` level.
+///
+/// Each rival runs over a private arena (terms are cloned across, memoized
+/// per rival) with metrics/trace/cache detached, so "solver.queries" and
+/// the persistent cache see exactly the single-backend story. The
+/// portfolio layer itself books the per-query counters plus
+/// "solver.portfolio.win.<backend>" and
+/// "solver.portfolio.latency_us.<backend>".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_SOLVER_PORTFOLIO_H
+#define MIX_SOLVER_PORTFOLIO_H
+
+#include "solver/ISolver.h"
+
+#include <unordered_map>
+
+namespace mix::smt {
+
+/// ISolver that races a primary backend against rivals per query.
+class PortfolioSolver : public ISolver {
+public:
+  /// \p BackendNames must name registered backends; the first is the
+  /// primary. Construction fails an assert on unknown names — callers go
+  /// through SolverFactory, which validates first.
+  PortfolioSolver(TermArena &Arena, SmtOptions Opts,
+                  const std::vector<std::string> &BackendNames);
+  ~PortfolioSolver() override;
+
+  const char *name() const override { return "portfolio"; }
+  SolveResult checkSat(const Term *Formula,
+                       SmtModel *ModelOut = nullptr) override;
+  SolveResult checkSatDecided(const Term *Formula, SmtModel *ModelOut,
+                              std::string &DecidedBy) override;
+  TermArena &arena() override { return Arena; }
+  const SmtOptions &options() const override { return Opts; }
+  uint64_t queries() const override { return QueryCount; }
+
+  ISolver &primary() { return *Primary; }
+
+private:
+  SolveResult decideRaced(const Term *Formula, std::string &DecidedBy);
+
+  TermArena &Arena;
+  SmtOptions Opts;
+
+  /// Raised to stop the losers once a definitive verdict lands; rivals
+  /// and the primary all watch this flag during raced queries.
+  std::atomic<bool> Cancel{false};
+
+  std::unique_ptr<ISolver> Primary;
+  struct Rival {
+    std::string Name;
+    std::unique_ptr<TermArena> Terms;
+    std::unique_ptr<ISolver> Backend;
+    std::unordered_map<const Term *, const Term *> CloneMemo;
+  };
+  std::vector<Rival> Rivals;
+
+  uint64_t QueryCount = 0;
+
+  obs::Counter CQueries, CSat, CUnsat, CUnknown;
+  obs::Histogram HQueryUs;
+  /// Win counter and latency histogram per lane, index-aligned with
+  /// {primary, rivals...}.
+  std::vector<obs::Counter> CWins;
+  std::vector<obs::Histogram> HLatency;
+};
+
+} // namespace mix::smt
+
+#endif // MIX_SOLVER_PORTFOLIO_H

@@ -222,7 +222,7 @@ void SatSolver::resetSearchState() {
   PropagateHead = 0;
 }
 
-SatResult SatSolver::solve() {
+SatResult SatSolver::solve(const std::vector<Lit> &Assumptions) {
   if (FoundEmptyClause)
     return SatResult::Unsat;
 
@@ -239,6 +239,9 @@ SatResult SatSolver::solve() {
   uint64_t ConflictsThisRestart = 0;
 
   for (;;) {
+    if (InterruptFlag && InterruptFlag->load(std::memory_order_relaxed))
+      return SatResult::Interrupted;
+
     ClauseRef Conflict = propagate();
     if (Conflict != NoReason) {
       ++Statistics.Conflicts;
@@ -270,6 +273,21 @@ SatResult SatSolver::solve() {
       ConflictsThisRestart = 0;
       ConflictBudget = ConflictBudget + ConflictBudget / 2;
       backtrackTo(0);
+      continue;
+    }
+
+    // (Re-)establish assumptions as the first decision levels; restarts
+    // and backjumps past them land here again. A vacuous level is pushed
+    // for assumptions already implied, keeping level indices aligned with
+    // the assumption order (the MiniSat convention).
+    if (TrailLimits.size() < Assumptions.size()) {
+      Lit A = Assumptions[TrailLimits.size()];
+      LBool V = litValue(A);
+      if (V == LBool::False)
+        return SatResult::Unsat; // conflicts with clauses or prior assumptions
+      TrailLimits.push_back((unsigned)Trail.size());
+      if (V == LBool::Undef)
+        enqueue(A, NoReason);
       continue;
     }
 

@@ -17,6 +17,7 @@
 #ifndef MIX_SOLVER_SAT_H
 #define MIX_SOLVER_SAT_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -48,8 +49,9 @@ private:
 /// Ternary truth value of a variable or literal during search.
 enum class LBool : uint8_t { False = 0, True = 1, Undef = 2 };
 
-/// Satisfiability verdict.
-enum class SatResult { Sat, Unsat };
+/// Satisfiability verdict. Interrupted reports a search abandoned at the
+/// cooperative interrupt flag (see setInterrupt) — no verdict.
+enum class SatResult { Sat, Unsat, Interrupted };
 
 /// The CDCL solver. Usage: newVar() for each variable, addClause() for each
 /// clause, then solve(); repeat addClause()/solve() for incremental use
@@ -66,7 +68,22 @@ public:
   void addClause(std::vector<Lit> Lits);
 
   /// Runs the CDCL search. Safe to call repeatedly after adding clauses.
-  SatResult solve();
+  SatResult solve() { return solve({}); }
+
+  /// Runs the CDCL search under \p Assumptions: each literal is decided
+  /// (in order) before any free decision, so an Unsat answer means
+  /// "unsatisfiable together with the assumptions" — the clause database
+  /// and learned clauses remain valid for later calls with different
+  /// assumptions. This is what gives the SMT layer retractable assertion
+  /// frames: guard each frame's clauses with an activation literal and
+  /// assume the literals of the live frames.
+  SatResult solve(const std::vector<Lit> &Assumptions);
+
+  /// Installs a cooperative interrupt flag (null to clear): when the flag
+  /// becomes true, the next main-loop iteration abandons the search and
+  /// returns SatResult::Interrupted. Used by the portfolio to stop losing
+  /// backends.
+  void setInterrupt(const std::atomic<bool> *Flag) { InterruptFlag = Flag; }
 
   /// After solve() returns Sat: the model value of \p Var.
   bool modelValue(unsigned Var) const { return Model[Var]; }
@@ -126,6 +143,7 @@ private:
   std::vector<bool> Model;
   double ActivityInc = 1.0;
   bool FoundEmptyClause = false;
+  const std::atomic<bool> *InterruptFlag = nullptr;
   Stats Statistics;
 };
 

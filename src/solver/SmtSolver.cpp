@@ -1,4 +1,4 @@
-//===--- SmtSolver.cpp - DPLL(T) SMT facade -------------------------------===//
+//===--- SmtSolver.cpp - DPLL(T) SMT backend ("smtlite") ------------------===//
 //
 // Part of the Mix reproduction of "Mixing Type Checking and Symbolic
 // Execution" (PLDI 2010).
@@ -7,419 +7,35 @@
 
 #include "solver/SmtSolver.h"
 
-#include "solver/QueryHash.h"
-#include "solver/Sat.h"
+#include "solver/AssertionStack.h"
+#include "solver/SmtInternals.h"
 
-#include <algorithm>
 #include <cassert>
-#include <unordered_map>
+#include <chrono>
 
 using namespace mix::smt;
+using namespace mix::smt::detail;
 
 namespace {
 
-/// Rewrites away IteInt terms: each distinct if-then-else integer term is
-/// replaced by a fresh integer variable constrained by guarded defining
-/// equations. The rewrite is equisatisfiability-preserving.
-class IteLowering {
-public:
-  explicit IteLowering(TermArena &Arena) : Arena(Arena) {}
-
-  const Term *lower(const Term *T) {
-    auto It = Cache.find(T);
-    if (It != Cache.end())
-      return It->second;
-    const Term *Result = lowerUncached(T);
-    Cache[T] = Result;
-    return Result;
-  }
-
-  /// Defining constraints accumulated for introduced variables.
-  const std::vector<const Term *> &definitions() const { return Defs; }
-
-private:
-  const Term *lowerUncached(const Term *T) {
-    switch (T->kind()) {
-    case TermKind::IntConst:
-    case TermKind::IntVar:
-    case TermKind::BoolConst:
-    case TermKind::BoolVar:
-      return T;
-    case TermKind::IteInt: {
-      const Term *Cond = lower(T->operand(0));
-      const Term *Then = lower(T->operand(1));
-      const Term *Else = lower(T->operand(2));
-      const Term *Fresh = Arena.freshIntVar("ite");
-      Defs.push_back(Arena.implies(Cond, Arena.eqInt(Fresh, Then)));
-      Defs.push_back(
-          Arena.implies(Arena.notTerm(Cond), Arena.eqInt(Fresh, Else)));
-      return Fresh;
-    }
-    case TermKind::Add:
-      return Arena.add(lower(T->operand(0)), lower(T->operand(1)));
-    case TermKind::Sub:
-      return Arena.sub(lower(T->operand(0)), lower(T->operand(1)));
-    case TermKind::Neg:
-      return Arena.neg(lower(T->operand(0)));
-    case TermKind::MulConst:
-      return Arena.mulConst(T->value(), lower(T->operand(0)));
-    case TermKind::EqInt:
-      return Arena.eqInt(lower(T->operand(0)), lower(T->operand(1)));
-    case TermKind::Lt:
-      return Arena.lt(lower(T->operand(0)), lower(T->operand(1)));
-    case TermKind::Le:
-      return Arena.le(lower(T->operand(0)), lower(T->operand(1)));
-    case TermKind::EqBool:
-      return Arena.eqBool(lower(T->operand(0)), lower(T->operand(1)));
-    case TermKind::Not:
-      return Arena.notTerm(lower(T->operand(0)));
-    case TermKind::And:
-      return Arena.andTerm(lower(T->operand(0)), lower(T->operand(1)));
-    case TermKind::Or:
-      return Arena.orTerm(lower(T->operand(0)), lower(T->operand(1)));
-    case TermKind::Implies:
-      return Arena.implies(lower(T->operand(0)), lower(T->operand(1)));
-    case TermKind::IteBool:
-      return Arena.iteBool(lower(T->operand(0)), lower(T->operand(1)),
-                           lower(T->operand(2)));
-    }
-    assert(false && "unhandled term kind in lowering");
-    return T;
-  }
-
-  TermArena &Arena;
-  std::unordered_map<const Term *, const Term *> Cache;
-  std::vector<const Term *> Defs;
-};
-
-/// A linear view of an integer term: Coeffs * vars + Const.
-struct LinSum {
-  std::map<unsigned, long long> Coeffs;
-  long long Const = 0;
-};
-
-/// Converts a lowered (IteInt-free) integer term to a LinSum.
-LinSum linearize(const Term *T) {
-  switch (T->kind()) {
-  case TermKind::IntConst: {
-    LinSum S;
-    S.Const = T->value();
-    return S;
-  }
-  case TermKind::IntVar: {
-    LinSum S;
-    S.Coeffs[T->varId()] = 1;
-    return S;
-  }
-  case TermKind::Add: {
-    LinSum L = linearize(T->operand(0));
-    LinSum R = linearize(T->operand(1));
-    for (const auto &[V, C] : R.Coeffs)
-      L.Coeffs[V] += C;
-    L.Const += R.Const;
-    return L;
-  }
-  case TermKind::Sub: {
-    LinSum L = linearize(T->operand(0));
-    LinSum R = linearize(T->operand(1));
-    for (const auto &[V, C] : R.Coeffs)
-      L.Coeffs[V] -= C;
-    L.Const -= R.Const;
-    return L;
-  }
-  case TermKind::Neg: {
-    LinSum S = linearize(T->operand(0));
-    for (auto &[V, C] : S.Coeffs) {
-      (void)V;
-      C = -C;
-    }
-    S.Const = -S.Const;
-    return S;
-  }
-  case TermKind::MulConst: {
-    LinSum S = linearize(T->operand(0));
-    for (auto &[V, C] : S.Coeffs) {
-      (void)V;
-      C *= T->value();
-    }
-    S.Const *= T->value();
-    return S;
-  }
-  default:
-    assert(false && "non-linear integer term after lowering");
-    return LinSum();
-  }
-}
-
-/// Tseitin encoder: maps boolean terms to SAT literals, emitting the
-/// defining clauses for composite connectives. Integer atoms are recorded
-/// so the theory loop can look them up per model.
-class TseitinEncoder {
-public:
-  explicit TseitinEncoder(SatSolver &Sat) : Sat(Sat) {}
-
-  /// Atoms with integer content, paired with their SAT variable.
-  struct TheoryAtom {
-    const Term *Atom;
-    unsigned SatVar;
-  };
-
-  Lit encode(const Term *T) {
-    auto It = Cache.find(T);
-    if (It != Cache.end())
-      return It->second;
-    Lit L = encodeUncached(T);
-    Cache[T] = L;
-    return L;
-  }
-
-  const std::vector<TheoryAtom> &theoryAtoms() const { return Atoms; }
-
-  /// SAT variables standing for the formula's free boolean variables.
-  const std::unordered_map<unsigned, Lit> &boolVarLits() const {
-    return BoolVarLits;
-  }
-
-private:
-  Lit freshVarLit() { return Lit(Sat.newVar(), /*Negated=*/false); }
-
-  Lit encodeUncached(const Term *T) {
-    assert(T->isBool() && "Tseitin encoding of a non-boolean term");
-    switch (T->kind()) {
-    case TermKind::BoolConst: {
-      // Arena simplification folds constants away except (possibly) at the
-      // root; represent with a fresh variable forced to the right value.
-      Lit P = freshVarLit();
-      Sat.addClause({T->value() ? P : ~P});
-      return P;
-    }
-    case TermKind::BoolVar: {
-      auto BIt = BoolVarLits.find(T->varId());
-      if (BIt != BoolVarLits.end())
-        return BIt->second;
-      Lit P = freshVarLit();
-      BoolVarLits[T->varId()] = P;
-      return P;
-    }
-    case TermKind::EqInt:
-    case TermKind::Lt:
-    case TermKind::Le: {
-      Lit P = freshVarLit();
-      Atoms.push_back({T, P.var()});
-      return P;
-    }
-    case TermKind::Not:
-      return ~encode(T->operand(0));
-    case TermKind::And: {
-      Lit A = encode(T->operand(0));
-      Lit B = encode(T->operand(1));
-      Lit P = freshVarLit();
-      Sat.addClause({~P, A});
-      Sat.addClause({~P, B});
-      Sat.addClause({P, ~A, ~B});
-      return P;
-    }
-    case TermKind::Or: {
-      Lit A = encode(T->operand(0));
-      Lit B = encode(T->operand(1));
-      Lit P = freshVarLit();
-      Sat.addClause({~P, A, B});
-      Sat.addClause({P, ~A});
-      Sat.addClause({P, ~B});
-      return P;
-    }
-    case TermKind::EqBool: {
-      Lit A = encode(T->operand(0));
-      Lit B = encode(T->operand(1));
-      Lit P = freshVarLit();
-      Sat.addClause({~P, ~A, B});
-      Sat.addClause({~P, A, ~B});
-      Sat.addClause({P, A, B});
-      Sat.addClause({P, ~A, ~B});
-      return P;
-    }
-    case TermKind::IteBool: {
-      Lit C = encode(T->operand(0));
-      Lit A = encode(T->operand(1));
-      Lit B = encode(T->operand(2));
-      Lit P = freshVarLit();
-      Sat.addClause({~P, ~C, A});
-      Sat.addClause({~P, C, B});
-      Sat.addClause({P, ~C, ~A});
-      Sat.addClause({P, C, ~B});
-      return P;
-    }
-    case TermKind::Implies: {
-      Lit A = encode(T->operand(0));
-      Lit B = encode(T->operand(1));
-      Lit P = freshVarLit();
-      Sat.addClause({~P, ~A, B});
-      Sat.addClause({P, A});
-      Sat.addClause({P, ~B});
-      return P;
-    }
-    default:
-      assert(false && "unexpected boolean term kind");
-      return freshVarLit();
-    }
-  }
-
-  SatSolver &Sat;
-  std::unordered_map<const Term *, Lit> Cache;
-  std::unordered_map<unsigned, Lit> BoolVarLits;
-  std::vector<TheoryAtom> Atoms;
-};
-
-/// Converts a polarity-assigned integer atom to a LinConstraint.
-LinConstraint atomToConstraint(const Term *Atom, bool Positive) {
-  LinSum L = linearize(Atom->operand(0));
-  LinSum R = linearize(Atom->operand(1));
-  // Combine as lhs - rhs: Coeffs * x + K  REL  0, i.e. Coeffs * x REL -K.
-  LinConstraint C;
-  C.Coeffs = std::move(L.Coeffs);
-  for (const auto &[V, Coeff] : R.Coeffs)
-    C.Coeffs[V] -= Coeff;
-  long long K = L.Const - R.Const;
-
-  switch (Atom->kind()) {
-  case TermKind::EqInt:
-    if (Positive) {
-      C.Rel = LinRel::Eq;
-      C.Rhs = -K;
-    } else {
-      C.Rel = LinRel::Ne;
-      C.Rhs = -K;
-    }
-    return C;
-  case TermKind::Lt:
-    if (Positive) {
-      // lhs - rhs < 0  ==>  Coeffs <= -K - 1
-      C.Rel = LinRel::Le;
-      C.Rhs = -K - 1;
-    } else {
-      // lhs >= rhs  ==>  -(Coeffs) <= K
-      for (auto &[V, Coeff] : C.Coeffs) {
-        (void)V;
-        Coeff = -Coeff;
-      }
-      C.Rel = LinRel::Le;
-      C.Rhs = K;
-    }
-    return C;
-  case TermKind::Le:
-    if (Positive) {
-      C.Rel = LinRel::Le;
-      C.Rhs = -K;
-    } else {
-      // lhs > rhs  ==>  -(Coeffs) <= K - 1
-      for (auto &[V, Coeff] : C.Coeffs) {
-        (void)V;
-        Coeff = -Coeff;
-      }
-      C.Rel = LinRel::Le;
-      C.Rhs = K - 1;
-    }
-    return C;
-  default:
-    assert(false && "not an integer atom");
-    return C;
-  }
-}
-
-} // namespace
-
-static const char *solveResultName(SolveResult R) {
-  switch (R) {
-  case SolveResult::Sat:
-    return "sat";
-  case SolveResult::Unsat:
-    return "unsat";
-  case SolveResult::Unknown:
-    return "unknown";
-  }
-  return "unknown";
-}
-
-QueryCache::~QueryCache() = default;
-
-SolveResult SmtSolver::checkSat(const Term *Formula, SmtModel *ModelOut) {
-  // Persistent memo (src/persist/): only verdicts are stored, so a model
-  // request must run the real solver; Unknown is a resource-cap artifact
-  // and is neither served nor recorded. A hit still counts as a query so
-  // hit-rate arithmetic against "solver.queries" stays meaningful.
-  uint64_t CacheKey = 0;
-  bool UseCache = Opts.Cache && !ModelOut;
-  if (UseCache) {
-    CacheKey = canonicalQueryHash(Formula);
-    SolveResult R;
-    if (Opts.Cache->lookup(CacheKey, R)) {
-      CQueries.inc();
-      (R == SolveResult::Sat ? CSat : CUnsat).inc();
-      return R;
-    }
-  }
-
-  // The uninstrumented run is the common case: both sinks null, so the
-  // whole observability layer costs two branches per query.
-  if (!HQueryUs && !Opts.Trace) {
-    SolveResult R = checkSatImpl(Formula, ModelOut);
-    CQueries.inc();
-    (R == SolveResult::Sat ? CSat
-     : R == SolveResult::Unsat ? CUnsat
-                               : CUnknown)
-        .inc();
-    if (UseCache && R != SolveResult::Unknown)
-      Opts.Cache->store(CacheKey, R);
-    return R;
-  }
-
-  uint64_t Start =
-      Opts.Trace ? Opts.Trace->nowUs() : 0;
-  auto T0 = std::chrono::steady_clock::now();
-  SolveResult R = checkSatImpl(Formula, ModelOut);
-  uint64_t DurUs = (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
-                       std::chrono::steady_clock::now() - T0)
-                       .count();
-  CQueries.inc();
-  (R == SolveResult::Sat ? CSat
-   : R == SolveResult::Unsat ? CUnsat
-                             : CUnknown)
-      .inc();
-  HQueryUs.record(DurUs);
-  if (Opts.Trace)
-    Opts.Trace->complete("solver.query", "solver", Start, DurUs,
-                         std::string("{\"result\": \"") + solveResultName(R) +
-                             "\"}");
-  if (UseCache && R != SolveResult::Unknown)
-    Opts.Cache->store(CacheKey, R);
-  return R;
-}
-
-SolveResult SmtSolver::checkSatImpl(const Term *Formula, SmtModel *ModelOut) {
-  ++Statistics.Queries;
-  assert(Formula->isBool() && "checkSat() requires a boolean formula");
-
-  // Lower if-then-else integer terms and conjoin their definitions.
-  IteLowering Lowering(Arena);
-  const Term *F = Lowering.lower(Formula);
-  for (const Term *Def : Lowering.definitions())
-    F = Arena.andTerm(F, Def);
-
-  if (F->kind() == TermKind::BoolConst) {
-    if (ModelOut)
-      *ModelOut = SmtModel();
-    return F->value() ? SolveResult::Sat : SolveResult::Unsat;
-  }
-
-  SatSolver Sat;
-  TseitinEncoder Encoder(Sat);
-  Lit Root = Encoder.encode(F);
-  Sat.addClause({Root});
-
+/// The lazy DPLL(T) loop shared by the one-shot path and the native
+/// incremental stack: alternate CDCL SAT search (under \p Assumptions)
+/// with theory checks of the integer atoms each propositional model
+/// assigns, blocking theory-conflicting polarity combinations. Blocking
+/// clauses are theory-valid regardless of which assertion frames are
+/// live, so the incremental stack adds them unguarded and they survive
+/// pops.
+SolveResult runTheoryLoop(SatSolver &Sat, TseitinEncoder &Encoder,
+                          const std::vector<Lit> &Assumptions,
+                          const SmtOptions &Opts, SmtSolver::Stats &Stats,
+                          SmtModel *ModelOut) {
   for (unsigned Iter = 0; Iter != Opts.MaxTheoryIterations; ++Iter) {
-    ++Statistics.SatCalls;
-    if (Sat.solve() == SatResult::Unsat)
+    ++Stats.SatCalls;
+    SatResult SR = Sat.solve(Assumptions);
+    if (SR == SatResult::Unsat)
       return SolveResult::Unsat;
+    if (SR == SatResult::Interrupted)
+      return SolveResult::Unknown;
 
     auto FillBools = [&] {
       if (!ModelOut)
@@ -450,7 +66,7 @@ SolveResult SmtSolver::checkSatImpl(const Term *Formula, SmtModel *ModelOut) {
       ModelLits.push_back(Lit(A.SatVar, /*Negated=*/!Positive));
     }
 
-    ++Statistics.TheoryChecks;
+    ++Stats.TheoryChecks;
     LiaResult R = checkLinearConjunction(Constraints, Opts.Lia);
     if (R.Verdict == LiaVerdict::Sat) {
       if (ModelOut) {
@@ -477,21 +93,107 @@ SolveResult SmtSolver::checkSatImpl(const Term *Formula, SmtModel *ModelOut) {
     if (Blocking.empty())
       return SolveResult::Unsat;
     Sat.addClause(std::move(Blocking));
-    ++Statistics.BlockedModels;
+    ++Stats.BlockedModels;
   }
   return SolveResult::Unknown;
 }
 
-std::vector<std::pair<std::string, std::string>>
-mix::smt::modelBindings(const TermArena &Arena, const SmtModel &Model) {
-  std::vector<std::pair<std::string, std::string>> Out;
-  for (const auto &[Var, Value] : Model.Ints)
-    if (Var < Arena.numIntVars())
-      Out.emplace_back(Arena.varName(Sort::Int, Var), std::to_string(Value));
-  for (const auto &[Var, Value] : Model.Bools)
-    if (Var < Arena.numBoolVars())
-      Out.emplace_back(Arena.varName(Sort::Bool, Var),
-                       Value ? "true" : "false");
-  std::sort(Out.begin(), Out.end());
-  return Out;
+} // namespace
+
+SolveResult SmtSolver::decide(const Term *Formula, SmtModel *ModelOut) {
+  ++Statistics.Queries;
+  assert(Formula->isBool() && "checkSat() requires a boolean formula");
+
+  // Lower if-then-else integer terms and conjoin their definitions.
+  IteLowering Lowering(Arena);
+  const Term *F = Lowering.lower(Formula);
+  for (const Term *Def : Lowering.definitions())
+    F = Arena.andTerm(F, Def);
+
+  if (F->kind() == TermKind::BoolConst) {
+    if (ModelOut)
+      *ModelOut = SmtModel();
+    return F->value() ? SolveResult::Sat : SolveResult::Unsat;
+  }
+
+  SatSolver Sat;
+  Sat.setInterrupt(Opts.Cancel);
+  TseitinEncoder Encoder(Sat);
+  Lit Root = Encoder.encode(F);
+  Sat.addClause({Root});
+
+  return runTheoryLoop(Sat, Encoder, /*Assumptions=*/{}, Opts, Statistics,
+                       ModelOut);
+}
+
+namespace mix::smt {
+
+/// The native incremental stack over the smtlite engine: one persistent
+/// SAT solver + Tseitin encoder for the stack's whole lifetime. Every
+/// frame f gets an activation literal a_f; a frame's assertions are added
+/// as clauses (~a_f \/ encoded) and a check solves under the assumptions
+/// {a_f | f live}. pop() adds the unit clause ~a_f, which permanently
+/// satisfies (neutralizes) the frame's guarded clauses *and* every
+/// learned clause whose derivation used them (such clauses contain ~a_f).
+/// Ite-lowering definitions are unguarded: they define fresh variables
+/// and are valid independent of which frames are live. Re-pushed frames
+/// get fresh activation literals, so retirement is permanent per literal.
+class SmtLiteStack : public AssertionStack {
+public:
+  explicit SmtLiteStack(SmtSolver &Owner)
+      : AssertionStack(Owner), Owner(Owner), Lowering(Owner.arena()),
+        Encoder(Sat) {
+    Sat.setInterrupt(Owner.options().Cancel);
+    // Base-level activation literal: never retired (base assertions are
+    // permanent), but keeps every clause uniformly guarded.
+    ActLits.push_back(freshActivation());
+  }
+
+protected:
+  void onPush() override { ActLits.push_back(freshActivation()); }
+
+  void onPop() override {
+    Sat.addClause({~ActLits.back()});
+    ActLits.pop_back();
+  }
+
+  void onAssert(const Term *T) override {
+    const Term *F = Lowering.lower(T);
+    // Encode definitions introduced since the last assert, unguarded.
+    const auto &Defs = Lowering.definitions();
+    for (; DefsEncoded != Defs.size(); ++DefsEncoded)
+      Sat.addClause({Encoder.encode(Defs[DefsEncoded])});
+    Sat.addClause({~ActLits.back(), Encoder.encode(F)});
+  }
+
+  SolveResult solveCurrent(SmtModel *ModelOut) override {
+    auto T0 = std::chrono::steady_clock::now();
+    SolveResult R = runTheoryLoop(Sat, Encoder, ActLits, Owner.options(),
+                                  Owner.Statistics, ModelOut);
+    uint64_t DurUs =
+        (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count();
+    ++Owner.Statistics.Queries;
+    // Book the decision under the owner's counters so "solver.queries"
+    // means "backend decisions" with and without incremental mode.
+    Owner.noteExternalQuery(R, DurUs);
+    return R;
+  }
+
+private:
+  Lit freshActivation() { return Lit(Sat.newVar(), /*Negated=*/false); }
+
+  SmtSolver &Owner;
+  SatSolver Sat;
+  detail::IteLowering Lowering;
+  detail::TseitinEncoder Encoder;
+  std::vector<Lit> ActLits; ///< base + one per open frame
+  size_t DefsEncoded = 0;   ///< watermark into Lowering.definitions()
+};
+
+} // namespace mix::smt
+
+std::unique_ptr<AssertionStack> SmtSolver::openStack() {
+  return std::make_unique<SmtLiteStack>(*this);
 }

@@ -1,4 +1,4 @@
-//===--- SmtSolver.h - DPLL(T) SMT facade -----------------------*- C++ -*-===//
+//===--- SmtSolver.h - DPLL(T) SMT backend ("smtlite") ----------*- C++ -*-===//
 //
 // Part of the Mix reproduction of "Mixing Type Checking and Symbolic
 // Execution" (PLDI 2010).
@@ -6,148 +6,57 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The solver interface the rest of the project uses — the stand-in for
-/// STP in the paper's prototype. Satisfiability of quantifier-free
-/// formulas over booleans and linear integer arithmetic is decided with a
-/// lazy DPLL(T) loop: Tseitin encoding to CNF, CDCL SAT search, and
-/// theory-checking of the integer atoms in each propositional model, with
-/// unsat cores turned into blocking clauses.
+/// The project's default solver backend — the stand-in for STP in the
+/// paper's prototype, registered with SolverFactory as "smtlite".
+/// Satisfiability of quantifier-free formulas over booleans and linear
+/// integer arithmetic is decided with a lazy DPLL(T) loop: Tseitin
+/// encoding to CNF, CDCL SAT search, and theory-checking of the integer
+/// atoms in each propositional model, with unsat cores turned into
+/// blocking clauses.
 ///
 /// If-then-else integer terms (from the SEIf-Defer rule and the
 /// null-pointer encoding of Section 4.1) are lowered to fresh variables
 /// with guarded defining equations.
 ///
-/// Three-valued results: Unknown arises only from resource caps; every
-/// client in this project treats Unknown in the conservative direction
-/// (possible path is explored, exhaustiveness is rejected, a warning is
-/// kept).
+/// openStack() returns a *native* incremental stack: one persistent SAT
+/// solver and Tseitin encoder, per-frame activation literals guarding
+/// each frame's clauses, solving under assumptions. pop() retires the
+/// frame's activation literal with a unit clause, which permanently
+/// neutralizes both the frame's clauses and any learned clauses derived
+/// from them — the "learned-clause invalidation" that makes retraction
+/// sound while keeping still-valid learned clauses and theory blocking
+/// clauses (which are globally valid) across branches.
+///
+/// The shared solver surface (SolveResult, SmtModel, SmtOptions,
+/// QueryCache, the convenience verdict helpers) lives in ISolver.h.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MIX_SOLVER_SMTSOLVER_H
 #define MIX_SOLVER_SMTSOLVER_H
 
-#include "observe/Metrics.h"
-#include "observe/Trace.h"
-#include "solver/LinearArith.h"
-#include "solver/Term.h"
-
-#include <cstdint>
+#include "solver/ISolver.h"
 
 namespace mix::smt {
 
-/// Verdict of a satisfiability query.
-enum class SolveResult { Sat, Unsat, Unknown };
-
-/// A satisfying assignment for a Sat query. Variables not mentioned were
-/// unconstrained (any value works; treat as 0/false). Complete is false
-/// when integer-model reconstruction hit a gap the rational relaxation
-/// glossed over — the Sat verdict still stands, but the integer values
-/// are unavailable.
-struct SmtModel {
-  std::map<unsigned, long long> Ints;
-  std::map<unsigned, bool> Bools;
-  bool Complete = true;
-
-  long long intValue(unsigned Var) const {
-    auto It = Ints.find(Var);
-    return It == Ints.end() ? 0 : It->second;
-  }
-  bool boolValue(unsigned Var) const {
-    auto It = Bools.find(Var);
-    return It != Bools.end() && It->second;
-  }
-};
-
-/// Renders \p Model as deterministic, name-sorted (name, value) pairs
-/// using the source-level variable names interned in \p Arena. Only the
-/// variables the model actually constrains appear (unconstrained ones
-/// may take any value). The model-extraction surface diagnostic
-/// provenance renders concrete witnesses from.
-std::vector<std::pair<std::string, std::string>>
-modelBindings(const TermArena &Arena, const SmtModel &Model);
-
-/// A persistent memo of query verdicts, keyed by canonicalQueryHash (see
-/// solver/QueryHash.h). Implemented by src/persist/ over an on-disk
-/// store; the solver consults it only for model-free queries and never
-/// stores Unknown (a resource-cap artifact, not a property of the
-/// formula). Implementations must be thread-safe: SolverPool copies one
-/// cache pointer into every pooled instance.
-class QueryCache {
-public:
-  virtual ~QueryCache();
-  /// True (with \p Out set to Sat or Unsat) when \p Key has a recorded
-  /// verdict.
-  virtual bool lookup(uint64_t Key, SolveResult &Out) = 0;
-  /// Records a Sat/Unsat verdict for \p Key.
-  virtual void store(uint64_t Key, SolveResult Result) = 0;
-};
-
-/// Configuration for SmtSolver.
-struct SmtOptions {
-  LiaOptions Lia;
-  /// Bound on SAT-model / theory-check round trips per query.
-  unsigned MaxTheoryIterations = 50000;
-
-  /// Observability sinks (see src/observe/). When attached, every query
-  /// bumps the "solver.queries" / "solver.sat" / "solver.unsat" /
-  /// "solver.unknown" counters and records its latency in the
-  /// "solver.query_us" histogram; a trace sink additionally gets one
-  /// "solver.query" span per query, tagged with the verdict. Null (the
-  /// default) keeps the hot path at a single branch. SolverPool copies
-  /// these into every pooled instance, so per-worker solvers aggregate
-  /// into the same registry.
-  obs::MetricsRegistry *Metrics = nullptr;
-  obs::TraceSink *Trace = nullptr;
-
-  /// Optional persistent query memo (see QueryCache above). Null — the
-  /// default — keeps checkSat untouched.
-  QueryCache *Cache = nullptr;
-};
+class SmtLiteStack;
 
 /// One-shot and reusable SMT queries over a TermArena.
 ///
 /// The solver object is stateless between queries apart from cumulative
 /// statistics, so a single instance can serve an entire analysis run.
-class SmtSolver {
+class SmtSolver : public SolverBase {
 public:
   explicit SmtSolver(TermArena &Arena, SmtOptions Opts = SmtOptions())
-      : Arena(Arena), Opts(Opts) {
-    if (Opts.Metrics) {
-      CQueries = Opts.Metrics->counter("solver.queries");
-      CSat = Opts.Metrics->counter("solver.sat");
-      CUnsat = Opts.Metrics->counter("solver.unsat");
-      CUnknown = Opts.Metrics->counter("solver.unknown");
-      HQueryUs = Opts.Metrics->histogram("solver.query_us");
-    }
-  }
+      : SolverBase(Arena, Opts) {}
 
-  /// Is \p Formula (bool sort) satisfiable? When \p ModelOut is non-null
-  /// and the answer is Sat, it receives a satisfying assignment.
-  SolveResult checkSat(const Term *Formula, SmtModel *ModelOut = nullptr);
+  const char *name() const override { return "smtlite"; }
 
-  /// Convenience: true iff the formula is definitely unsatisfiable.
-  /// Unknown maps to false — the conservative direction for feasibility
-  /// pruning (an Unknown path is still explored).
-  bool isDefinitelyUnsat(const Term *Formula) {
-    return checkSat(Formula) == SolveResult::Unsat;
-  }
+  /// Native incremental stack (activation-literal frame tagging over a
+  /// persistent SAT solver); see the file comment.
+  std::unique_ptr<AssertionStack> openStack() override;
 
-  /// Convenience: true iff the formula is definitely valid (a tautology).
-  /// This implements the paper's exhaustive(g1, ..., gn) check: the
-  /// disjunction of path conditions must be a tautology. Unknown maps to
-  /// false — the conservative direction (exhaustiveness is rejected).
-  bool isDefinitelyValid(const Term *Formula) {
-    return checkSat(Arena.notTerm(Formula)) == SolveResult::Unsat;
-  }
-
-  /// Convenience: true iff the formula may be satisfiable (Sat or
-  /// Unknown) — the conservative answer for "could this error occur".
-  bool isPossiblySat(const Term *Formula) {
-    return checkSat(Formula) != SolveResult::Unsat;
-  }
-
-  /// Cumulative statistics across queries.
+  /// Cumulative statistics across queries (including stack solves).
   struct Stats {
     uint64_t Queries = 0;
     uint64_t SatCalls = 0;
@@ -156,18 +65,12 @@ public:
   };
   const Stats &stats() const { return Statistics; }
 
-  TermArena &arena() { return Arena; }
+protected:
+  SolveResult decide(const Term *Formula, SmtModel *ModelOut) override;
 
 private:
-  SolveResult checkSatImpl(const Term *Formula, SmtModel *ModelOut);
-
-  TermArena &Arena;
-  SmtOptions Opts;
+  friend class SmtLiteStack;
   Stats Statistics;
-
-  // Observability handles; detached (free) unless Opts.Metrics was set.
-  obs::Counter CQueries, CSat, CUnsat, CUnknown;
-  obs::Histogram HQueryUs;
 };
 
 } // namespace mix::smt

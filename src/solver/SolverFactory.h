@@ -1,0 +1,66 @@
+//===--- SolverFactory.h - Solver backend registry --------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name-keyed registry of solver backends and the SolverSpec the driver
+/// layer parses `--solver=` / `--solver-portfolio` into. The built-in
+/// backends ("smtlite", "dnf") self-register; tests may register extras.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_SOLVER_SOLVERFACTORY_H
+#define MIX_SOLVER_SOLVERFACTORY_H
+
+#include "solver/ISolver.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mix::smt {
+
+/// Which backend to run, and whether to race the rest against it. The
+/// named backend is always the *primary*: witness models and diagnostics
+/// come from it deterministically, so portfolio mode changes latency but
+/// never output.
+struct SolverSpec {
+  std::string Backend = "smtlite";
+  bool Portfolio = false;
+};
+
+/// Validates and parses a `--solver=` value into \p Out. On failure
+/// returns false with a message (listing the registered backends) in
+/// \p Err.
+bool parseSolverBackend(const std::string &Name, SolverSpec &Out,
+                        std::string &Err);
+
+/// Registered backend names, sorted (deterministic across runs).
+std::vector<std::string> registeredBackends();
+
+/// Registers a backend factory under \p Name (tests and extensions;
+/// built-ins are pre-registered). Returns false if the name is taken.
+bool registerSolverBackend(
+    const std::string &Name,
+    std::function<std::unique_ptr<ISolver>(TermArena &, const SmtOptions &)>
+        Factory);
+
+/// Creates the plain backend registered under \p Name over \p Arena.
+/// Returns null for an unknown name.
+std::unique_ptr<ISolver> createBackend(const std::string &Name,
+                                       TermArena &Arena,
+                                       const SmtOptions &Opts);
+
+/// Creates the solver \p Spec describes: the named backend, wrapped in a
+/// racing portfolio (against every other registered backend) when
+/// Spec.Portfolio is set. Returns null for an unknown backend name.
+std::unique_ptr<ISolver> createSolver(const SolverSpec &Spec, TermArena &Arena,
+                                      const SmtOptions &Opts);
+
+} // namespace mix::smt
+
+#endif // MIX_SOLVER_SOLVERFACTORY_H

@@ -26,7 +26,7 @@ SolverPool::Lease SolverPool::acquire() {
     }
   }
   // Construct outside the lock; arena setup is not free.
-  auto Fresh = std::make_unique<Instance>(Opts);
+  auto Fresh = std::make_unique<Instance>(Spec, Opts);
   Instance *Inst = Fresh.get();
   {
     std::lock_guard<std::mutex> Lock(M);
@@ -47,7 +47,7 @@ uint64_t SolverPool::totalQueries() const {
   std::lock_guard<std::mutex> Lock(M);
   uint64_t Total = 0;
   for (const auto &Inst : All)
-    Total += Inst->Solver.stats().Queries;
+    Total += Inst->Solver->queries();
   return Total;
 }
 

@@ -6,12 +6,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// SmtSolver is cheap to construct but holds mutable state during a
+/// Solver backends are cheap to construct but hold mutable state during a
 /// query, and every solver writes lowered terms into its TermArena — so
 /// neither can be shared between concurrent analysis workers. SolverPool
-/// hands out (TermArena, SmtSolver) instances under an RAII lease:
+/// hands out (TermArena, ISolver) instances under an RAII lease:
 /// parallel block analyses acquire one per task or pin one per worker for
 /// the lifetime of a parallel analysis run.
+///
+/// The pool builds whatever the SolverSpec selects — a plain backend or a
+/// full racing portfolio per instance — so `--solver` / `--solver-portfolio`
+/// apply uniformly to the parallel engines.
 ///
 /// Instances are reused across leases (arena allocations amortize), and
 /// statistics survive reuse so a pool-wide query count can be reported.
@@ -21,7 +25,7 @@
 #ifndef MIX_SOLVER_SOLVERPOOL_H
 #define MIX_SOLVER_SOLVERPOOL_H
 
-#include "solver/SmtSolver.h"
+#include "solver/SolverFactory.h"
 
 #include <memory>
 #include <mutex>
@@ -35,8 +39,9 @@ public:
   /// One pooled instance: a private term arena and a solver over it.
   struct Instance {
     TermArena Terms;
-    SmtSolver Solver;
-    explicit Instance(const SmtOptions &Opts) : Solver(Terms, Opts) {}
+    std::unique_ptr<ISolver> Solver;
+    Instance(const SolverSpec &Spec, const SmtOptions &Opts)
+        : Solver(createSolver(Spec, Terms, Opts)) {}
   };
 
   /// RAII lease of one instance; returns it to the pool on destruction.
@@ -60,7 +65,7 @@ public:
     ~Lease() { release(); }
 
     TermArena &terms() { return Inst->Terms; }
-    SmtSolver &solver() { return Inst->Solver; }
+    ISolver &solver() { return *Inst->Solver; }
     explicit operator bool() const { return Inst != nullptr; }
 
     void release();
@@ -73,9 +78,11 @@ public:
   };
 
   /// \p MaxIdle caps how many returned instances are kept for reuse;
-  /// acquire() beyond the cap still succeeds with a fresh instance.
-  explicit SolverPool(SmtOptions Opts = SmtOptions(), size_t MaxIdle = 64)
-      : Opts(Opts), MaxIdle(MaxIdle) {}
+  /// acquire() beyond the cap still succeeds with a fresh instance. The
+  /// default spec builds the default backend (smtlite, no portfolio).
+  explicit SolverPool(SmtOptions Opts = SmtOptions(),
+                      SolverSpec Spec = SolverSpec(), size_t MaxIdle = 64)
+      : Opts(Opts), Spec(Spec), MaxIdle(MaxIdle) {}
 
   /// Takes an idle instance or constructs a new one. Thread-safe.
   Lease acquire();
@@ -87,11 +94,14 @@ public:
   /// Number of instances created over the pool's lifetime.
   size_t instancesCreated() const;
 
+  const SolverSpec &spec() const { return Spec; }
+
 private:
   friend class Lease;
   void releaseInstance(Instance *Inst);
 
   SmtOptions Opts;
+  SolverSpec Spec;
   size_t MaxIdle;
 
   mutable std::mutex M;

@@ -123,6 +123,16 @@ const Term *TermArena::freshBoolVar(std::string Name) {
   return make(TermKind::BoolVar, Sort::Bool, Id, {});
 }
 
+const Term *TermArena::intVar(unsigned VarId) {
+  assert(VarId < IntVarNames.size() && "unknown integer variable id");
+  return make(TermKind::IntVar, Sort::Int, VarId, {});
+}
+
+const Term *TermArena::boolVar(unsigned VarId) {
+  assert(VarId < BoolVarNames.size() && "unknown boolean variable id");
+  return make(TermKind::BoolVar, Sort::Bool, VarId, {});
+}
+
 const std::string &TermArena::varName(Sort S, unsigned VarId) const {
   const auto &Names = S == Sort::Int ? IntVarNames : BoolVarNames;
   assert(VarId < Names.size() && "unknown variable id");

@@ -127,6 +127,10 @@ public:
   const Term *freshIntVar(std::string Name = "");
   /// Allocates a fresh boolean variable with an optional debug name.
   const Term *freshBoolVar(std::string Name = "");
+  /// The already-allocated integer variable with id \p VarId.
+  const Term *intVar(unsigned VarId);
+  /// The already-allocated boolean variable with id \p VarId.
+  const Term *boolVar(unsigned VarId);
   /// Returns the debug name of variable \p VarId of sort \p S (may be "").
   const std::string &varName(Sort S, unsigned VarId) const;
   unsigned numIntVars() const { return (unsigned)IntVarNames.size(); }

@@ -62,7 +62,8 @@ bool SymExecutor::pruned(const SymState &S) {
     return false;
   if (S.Path->isConst())
     return !S.Path->boolValue();
-  return Solver->isDefinitelyUnsat(Translator->translate(S.Path));
+  return PathChecker->checkPath(S.PC, Translator->translate(S.Path)) ==
+         smt::SolveResult::Unsat;
 }
 
 bool SymExecutor::derefMemoryOk(const SymState &S, const SymExpr *Addr) {
@@ -94,8 +95,8 @@ bool SymExecutor::derefMemoryOk(const SymState &S, const SymExpr *Addr) {
       return false;
     const smt::Term *Eq = Translator->terms().eqInt(
         Translator->translate(Addr), Translator->translate(BadAddr));
-    if (!Solver->isDefinitelyUnsat(
-            Translator->terms().andTerm(Translator->translate(S.Path), Eq)))
+    if (PathChecker->checkPathWith(S.PC, Translator->translate(S.Path), Eq) !=
+        smt::SolveResult::Unsat)
       return false;
   }
   return true;
@@ -373,7 +374,7 @@ std::vector<PathResult> SymExecutor::execIfConcolic(const IfExpr *I,
   bool TakeThen = concreteTruth(Guard);
   const SymExpr *Signed = TakeThen ? Guard : Arena.notG(Guard);
   SymState Next = std::move(S);
-  Next.Path = Arena.andG(Next.Path, Signed);
+  extendPath(Next, Signed);
   Next.Decisions.push_back(Signed);
   if (Opts.Prov)
     Next.Trail.push_back({I->cond()->loc(),
@@ -414,7 +415,7 @@ std::vector<PathResult> SymExecutor::execIf(const IfExpr *I, const SymEnv &Env,
         }
 
         SymState ThenState = S1;
-        ThenState.Path = Arena.andG(S1.Path, G);
+        extendPath(ThenState, G);
         if (Opts.Prov)
           ThenState.Trail.push_back({I->cond()->loc(), "condition true"});
         if (!pruned(ThenState)) {
@@ -424,7 +425,7 @@ std::vector<PathResult> SymExecutor::execIf(const IfExpr *I, const SymEnv &Env,
         }
 
         SymState ElseState = S1;
-        ElseState.Path = Arena.andG(S1.Path, Arena.notG(G));
+        extendPath(ElseState, Arena.notG(G));
         if (Opts.Prov)
           ElseState.Trail.push_back({I->cond()->loc(), "condition false"});
         if (!pruned(ElseState)) {
@@ -458,9 +459,9 @@ std::vector<PathResult> SymExecutor::execIfDefer(const IfExpr *I,
           Opts.Trace->instant("sym.defer", "sym");
 
         SymState ThenState = S1;
-        ThenState.Path = Arena.andG(S1.Path, G);
+        extendPath(ThenState, G);
         SymState ElseState = S1;
-        ElseState.Path = Arena.andG(S1.Path, Arena.notG(G));
+        extendPath(ElseState, Arena.notG(G));
         if (Opts.Prov) {
           ThenState.Trail.push_back(
               {I->cond()->loc(), "condition true (deferred)"});
@@ -501,6 +502,12 @@ std::vector<PathResult> SymExecutor::execIfDefer(const IfExpr *I,
             SymState Merged;
             Merged.Path = Arena.ite(G, T.State.Path, F.State.Path);
             Merged.Mem = Arena.iteMem(G, T.State.Mem, F.State.Mem);
+            // The merged condition is rebuilt as an ite, not a
+            // conjunction extension; restart the delta chain from it so
+            // later branch deltas still diff incrementally.
+            if (Translator)
+              Merged.PC = smt::PathCondition().extend(
+                  Translator->terms(), Translator->translate(Merged.Path));
             if (Opts.Prov) {
               Merged.Trail = S1.Trail;
               Merged.Trail.push_back(
@@ -587,7 +594,7 @@ std::vector<PathResult> SymExecutor::execTypedBlock(const BlockExpr *B,
   if (const SymExpr *Guard =
           TypedOracle->refineTypedBlockResult(B, Result, Arena)) {
     assert(Guard->type()->isBool() && "refinement guard must be boolean");
-    S1.Path = Arena.andG(S1.Path, Guard);
+    extendPath(S1, Guard);
   }
   return {PathResult::success(S1, Result)};
 }

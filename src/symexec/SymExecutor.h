@@ -34,7 +34,7 @@
 #include "support/Diagnostics.h"
 #include "sym/SymArena.h"
 #include "sym/SymToSmt.h"
-#include "solver/SmtSolver.h"
+#include "solver/PathSolver.h"
 
 #include <optional>
 #include <string>
@@ -46,6 +46,13 @@ namespace mix {
 struct SymState {
   const SymExpr *Path = nullptr; ///< g — the path condition (bool-typed).
   const MemNode *Mem = nullptr;  ///< m — the symbolic memory.
+  /// The path condition as a chain of *translated* (smt::Term) branch
+  /// deltas, mirroring Path guard-for-guard. Lets the executor's
+  /// PathSolver sync its incremental assertion stack by diffing against
+  /// sibling paths. Empty until a solver+translator are attached; a
+  /// deferred-merge path (whose condition is rebuilt as an ite) restarts
+  /// the chain from the merged condition.
+  smt::PathCondition PC;
   /// In concolic mode: the signed branch guards taken, in order (the
   /// decision list DART negates to reach new paths). Empty otherwise.
   std::vector<const SymExpr *> Decisions;
@@ -171,6 +178,12 @@ struct SymExecOptions {
   /// addresses are distinct by construction; other pairs ask the solver).
   bool PreciseDeref = false;
 
+  /// Route pruning/deref feasibility checks through an incremental
+  /// AssertionStack (push/pop branch deltas between sibling paths)
+  /// instead of from-scratch solving. Purely a query-count/latency knob:
+  /// verdicts are identical either way.
+  bool IncrementalSolver = true;
+
   /// Observability sinks (see src/observe/). With a registry attached the
   /// executor maintains "sym.forks", "sym.defers", and "sym.havocs"
   /// counters; with a trace sink it emits matching "sym.fork" /
@@ -219,9 +232,13 @@ public:
   void setTypedBlockOracle(TypedBlockOracle *Oracle) { TypedOracle = Oracle; }
 
   /// Attaches a solver for infeasible-path pruning (optional).
-  void setSolver(smt::SmtSolver *Solver, SymToSmt *Translator) {
+  void setSolver(smt::ISolver *Solver, SymToSmt *Translator) {
     this->Solver = Solver;
     this->Translator = Translator;
+    PathChecker.reset();
+    if (Solver)
+      PathChecker = std::make_unique<smt::PathSolver>(
+          *Solver, Opts.IncrementalSolver, Opts.Metrics);
   }
 
   /// Installs the concrete valuation for Strategy::Concolic (not owned;
@@ -275,6 +292,15 @@ private:
   /// \p Addr under the path condition.
   bool derefMemoryOk(const SymState &S, const SymExpr *Addr);
 
+  /// Conjoins \p Guard onto the state's path condition, mirroring the
+  /// translated delta into the state's PathCondition chain so the
+  /// incremental solver can diff sibling paths.
+  void extendPath(SymState &S, const SymExpr *Guard) {
+    S.Path = Arena.andG(S.Path, Guard);
+    if (Translator)
+      S.PC = S.PC.extend(Translator->terms(), Translator->translate(Guard));
+  }
+
   bool budgetExceeded() const {
     return Steps > Opts.MaxSteps || LivePaths > Opts.MaxPaths;
   }
@@ -283,8 +309,9 @@ private:
   DiagnosticEngine &Diags;
   SymExecOptions Opts;
   TypedBlockOracle *TypedOracle = nullptr;
-  smt::SmtSolver *Solver = nullptr;
+  smt::ISolver *Solver = nullptr;
   SymToSmt *Translator = nullptr;
+  std::unique_ptr<smt::PathSolver> PathChecker;
   const ConcolicSeed *Seed = nullptr;
 
   unsigned Steps = 0;

@@ -13,6 +13,7 @@
 #include "cfront/CParser.h"
 #include "cfront/CPrinter.h"
 #include "csym/CSymExecutor.h"
+#include "solver/SmtSolver.h"
 
 #include <gtest/gtest.h>
 

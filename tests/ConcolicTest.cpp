@@ -14,6 +14,8 @@
 #include "mix/ConcolicDriver.h"
 #include "mix/MixChecker.h"
 
+#include "solver/SmtSolver.h"
+
 #include <gtest/gtest.h>
 
 #include <set>

@@ -190,6 +190,7 @@ int main(int Argc, char **Argv) {
   Opts.Metrics = &Driver.metrics();
   Opts.Trace = Driver.traceSink();
   Opts.Prov = Driver.provenanceSink();
+  Opts.Solver = Driver.solverSpec();
 
   AstContext Ctx;
   DiagnosticEngine Diags;

@@ -153,6 +153,9 @@ int main(int Argc, char **Argv) {
   Opts.Metrics = &Driver.metrics();
   Opts.Trace = Driver.traceSink();
   Opts.Prov = Driver.provenanceSink();
+  // Before the fingerprint below: the backend choice is part of the
+  // persisted-summary identity (DecidedBy lives in witness payloads).
+  Opts.Solver = Driver.solverSpec();
 
   CAstContext Ctx;
   DiagnosticEngine Diags;
