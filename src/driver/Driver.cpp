@@ -7,8 +7,6 @@
 
 #include "driver/Driver.h"
 
-#include "provenance/Sarif.h"
-
 #include <fstream>
 #include <iostream>
 
@@ -33,6 +31,7 @@ void DriverContext::registerOptions(OptionParser &P) {
         return true;
       },
       "FILE", "write the metrics registry as JSON to FILE");
+  P.beginGroup("cli-output");
   P.value(
       "--format",
       [this](const std::string &V) {
@@ -55,6 +54,7 @@ void DriverContext::registerOptions(OptionParser &P) {
          "path (with a concrete counterexample) or the qualifier flow\n"
          "chain, plus the MIX block it came from");
   P.flag("--stats", &Stats, "print analysis statistics after the run");
+  P.endGroup();
   P.value(
       "--cache-dir",
       [this](const std::string &V) {
@@ -96,71 +96,51 @@ void mix::driver::registerCommonOptions(OptionParser &P, DriverContext &Driver,
   Driver.registerOptions(P);
 }
 
-mix::persist::PersistSession *
-DriverContext::openPersist(bool Incremental, uint64_t BlockFingerprint,
-                           DiagnosticEngine &Diags) {
-  if (CacheDir.empty())
-    return nullptr;
-  persist::PersistOptions PO;
-  PO.Dir = CacheDir;
-  PO.Incremental = Incremental;
-  PO.BlockFingerprint = BlockFingerprint;
-  PO.Metrics = &Registry;
-  Persist = std::make_unique<persist::PersistSession>(std::move(PO));
-  if (!Persist->degradedReason().empty())
-    Diags.note(SourceLoc(),
-               "persistent cache unusable (" + Persist->degradedReason() +
-                   "); analysis starts cold",
-               DiagID::CacheDegraded);
-  return Persist.get();
+void DriverContext::applyCommonRequest(service::AnalysisRequest &Req) const {
+  switch (Format) {
+  case OutputFormat::Text:
+    Req.OutputFormat = service::Format::Text;
+    break;
+  case OutputFormat::Json:
+    Req.OutputFormat = service::Format::Json;
+    break;
+  case OutputFormat::Sarif:
+    Req.OutputFormat = service::Format::Sarif;
+    break;
+  }
+  Req.Explain = Explain;
+  Req.Trace = !TraceFile.empty();
+  Req.CacheDir = CacheDir;
+  Req.Solver = Solver;
+  Req.InputName = InputName;
+}
+
+void DriverContext::emitPayload(const std::string &Payload) {
+  // Machine formats own stdout (exactly one document); text diagnostics
+  // keep their historical home on stderr.
+  (jsonOutput() ? std::cout : std::cerr) << Payload;
 }
 
 bool DriverContext::writeArtifacts(const std::string &Tool) {
   bool Ok = true;
-  if (Persist) {
+  {
     // A failed save only costs the next run its warm start; the analysis
     // already finished, so warn without touching the exit code.
     std::string Error;
-    if (!Persist->save(&Error))
+    if (!Svc.save(&Error))
       std::cerr << Tool << ": warning: cache not saved: " << Error << "\n";
   }
   if (!TraceFile.empty())
-    Ok = writeFile(Tool, TraceFile, Sink.renderJSON()) && Ok;
+    Ok = writeFile(Tool, TraceFile, Svc.traceSink().renderJSON()) && Ok;
   if (!MetricsFile.empty())
-    Ok = writeFile(Tool, MetricsFile, Registry.renderJSON()) && Ok;
+    Ok = writeFile(Tool, MetricsFile, Svc.metrics().renderJSON()) && Ok;
   return Ok;
 }
 
 mix::prov::ProvenanceSink *DriverContext::provenanceSink() {
   if (!Explain && Format != OutputFormat::Sarif)
     return nullptr;
-  if (!ProvAttached) {
-    Prov.attachMetrics(Registry);
-    ProvAttached = true;
-  }
-  return &Prov;
-}
-
-void DriverContext::emitDiagnostics(const DiagnosticEngine &Diags,
-                                    const std::string &Tool) {
-  switch (Format) {
-  case OutputFormat::Sarif: {
-    prov::SarifOptions SO;
-    SO.ToolName = Tool;
-    SO.ArtifactUri = InputName;
-    std::cout << prov::renderSarif(Diags, SO) << "\n";
-    return;
-  }
-  case OutputFormat::Json:
-    std::cout << Diags.renderJSON(/*Sorted=*/true) << "\n";
-    return;
-  case OutputFormat::Text:
-    if (Explain)
-      std::cerr << prov::renderExplainText(Diags);
-    else
-      std::cerr << Diags.str();
-    return;
-  }
+  return Svc.provenanceSink();
 }
 
 bool mix::driver::writeFile(const std::string &Tool, const std::string &Path,

@@ -6,11 +6,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The observability and output half of the shared driver layer. Both
-/// tools own a DriverContext; it registers the cross-cutting flags
-/// (--trace=FILE, --metrics=FILE, --format=text|json|sarif, --explain,
-/// --stats), carries the metrics registry and trace sink the analyses
-/// report into, and writes the requested artifacts at exit.
+/// The CLI half of the shared driver layer. Both tools own a
+/// DriverContext; it registers the cross-cutting flags (--trace=FILE,
+/// --metrics=FILE, --format=text|json|sarif, --explain, --stats,
+/// --cache-dir, --solver, --solver-portfolio), owns the process's
+/// AnalysisService, and writes the requested artifacts at exit.
+///
+/// The analysis itself no longer lives here: since the service layer
+/// (src/service) became the one request path, the context's job is to
+/// translate flags into an AnalysisRequest (applyCommonRequest), route
+/// the response's payload to the historical stream (emitPayload), and
+/// flush artifacts. The observability accessors forward into the owned
+/// service so library code and tests see one registry/sink per process:
 ///
 ///  - The registry is always live: --stats renders from it and the
 ///    library counters (block caches, solver, analyses) are cheap relaxed
@@ -34,25 +41,47 @@
 #include "driver/OptionParser.h"
 #include "observe/Metrics.h"
 #include "observe/Trace.h"
-#include "persist/PersistSession.h"
 #include "provenance/Provenance.h"
+#include "service/AnalysisService.h"
 #include "solver/SolverFactory.h"
-#include "support/Diagnostics.h"
 
-#include <memory>
 #include <string>
 
 namespace mix::driver {
 
-/// Cross-cutting driver state: observability sinks plus the output-format
-/// switches, shared verbatim by both CLIs.
+/// Cross-cutting driver state: the owned analysis service plus the
+/// output-format switches, shared verbatim by both CLIs.
 class DriverContext {
 public:
   enum class OutputFormat { Text, Json, Sarif };
 
+  /// The CLIs default-construct (one-shot service, shared registry);
+  /// mixyd passes its daemon configuration (warm sessions, per-request
+  /// metrics) so artifact writing and observability still route through
+  /// one context.
+  explicit DriverContext(service::ServiceConfig Config = {}) : Svc(Config) {}
+
   /// Registers --trace, --metrics, --format, --explain, --stats,
-  /// --cache-dir, --solver, and --solver-portfolio on \p P.
+  /// --cache-dir, --solver, and --solver-portfolio on \p P. The
+  /// CLI-output trio (--format, --explain, --stats) registers under the
+  /// option group "cli-output", so a front end with per-request output
+  /// (mixyd) can excludeGroup("cli-output") and still reuse this
+  /// registrar without inheriting flags that make no sense for it.
   void registerOptions(OptionParser &P);
+
+  /// The service this context runs requests against (CLI configuration:
+  /// no warm sessions, shared metrics registry).
+  service::AnalysisService &service() { return Svc; }
+
+  /// Copies the parsed cross-cutting flags into \p Req: output format,
+  /// --explain, --trace attachment, --cache-dir, the solver spec, and
+  /// the input name recorded by setInputName.
+  void applyCommonRequest(service::AnalysisRequest &Req) const;
+
+  /// Writes a response's diagnostics payload to the historical stream:
+  /// machine formats (json/sarif) are the one document on stdout, text
+  /// goes to stderr.
+  void emitPayload(const std::string &Payload);
 
   /// The solver backend selection parsed from --solver / --solver-portfolio
   /// (defaults: smtlite, portfolio off). --solver validates its value
@@ -61,12 +90,14 @@ public:
   const smt::SolverSpec &solverSpec() const { return Solver; }
 
   /// The registry every analysis in the process reports into.
-  obs::MetricsRegistry &metrics() { return Registry; }
+  obs::MetricsRegistry &metrics() { return Svc.metrics(); }
 
   /// The trace sink to hand to analyses: the real sink when --trace was
   /// given, null otherwise (which turns every instrumentation site into a
   /// branch).
-  obs::TraceSink *traceSink() { return TraceFile.empty() ? nullptr : &Sink; }
+  obs::TraceSink *traceSink() {
+    return TraceFile.empty() ? nullptr : &Svc.traceSink();
+  }
 
   /// The provenance sink to hand to analyses: live (counting into the
   /// registry's provenance.* counters) when the selected output renders
@@ -87,43 +118,21 @@ public:
   bool cacheDirRequested() const { return !CacheDir.empty(); }
   const std::string &cacheDir() const { return CacheDir; }
 
-  /// Opens the persistent cache session for this run, or returns null
-  /// when --cache-dir was not given. Loads whatever the directory holds;
-  /// a rejected cache (corruption, version skew, unusable directory)
-  /// degrades to a cold session and reports one free-standing MIX502
-  /// note on \p Diags — never an error, findings are unaffected. The
-  /// session is owned by the context and saved by writeArtifacts.
-  persist::PersistSession *openPersist(bool Incremental,
-                                       uint64_t BlockFingerprint,
-                                       DiagnosticEngine &Diags);
-
   /// Writes the --trace and --metrics artifacts, if requested, and saves
-  /// the persistent cache session (if open). Returns false (with an
-  /// error on stderr) when a file cannot be written; a cache save
-  /// failure warns on stderr but does not fail the run.
+  /// the service's persistent cache sessions (if any). Returns false
+  /// (with an error on stderr) when a file cannot be written; a cache
+  /// save failure warns on stderr but does not fail the run.
   bool writeArtifacts(const std::string &Tool);
 
-  /// Renders \p Diags the way the selected --format dictates: text to
-  /// stderr (the historical shape; with --explain each diagnostic is
-  /// followed by its recorded evidence), or one JSON/SARIF document to
-  /// stdout (sorted by location so the bytes are --jobs-invariant).
-  /// \p Tool names the SARIF tool.driver.
-  void emitDiagnostics(const DiagnosticEngine &Diags,
-                       const std::string &Tool = "mix");
-
 private:
-  obs::MetricsRegistry Registry;
-  obs::TraceSink Sink;
-  prov::ProvenanceSink Prov;
+  service::AnalysisService Svc;
   std::string TraceFile;
   std::string MetricsFile;
   std::string CacheDir;
   std::string InputName;
   smt::SolverSpec Solver;
-  std::unique_ptr<persist::PersistSession> Persist;
   bool Stats = false;
   bool Explain = false;
-  bool ProvAttached = false;
   OutputFormat Format = OutputFormat::Text;
 };
 

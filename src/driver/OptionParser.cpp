@@ -10,10 +10,22 @@
 #include "runtime/ThreadPool.h"
 #include "support/StringExtras.h"
 
+#include <algorithm>
 #include <iostream>
 #include <sstream>
 
 using namespace mix::driver;
+
+void OptionParser::add(Option O) {
+  // Registrations under an excluded group vanish: the option neither
+  // parses nor appears in help, matching the contract that a front end
+  // which excluded a group treats its flags as unknown.
+  if (!ActiveGroup.empty() &&
+      std::find(Excluded.begin(), Excluded.end(), ActiveGroup) !=
+          Excluded.end())
+    return;
+  Options.push_back(std::move(O));
+}
 
 void OptionParser::flag(const std::string &Name, bool *Target,
                         const std::string &Help) {
@@ -26,7 +38,7 @@ void OptionParser::flag(const std::string &Name, std::function<void()> Fn,
   O.Name = Name;
   O.Run = std::move(Fn);
   O.Help = Help;
-  Options.push_back(std::move(O));
+  add(std::move(O));
 }
 
 void OptionParser::value(const std::string &Name,
@@ -38,7 +50,7 @@ void OptionParser::value(const std::string &Name,
   O.Apply = std::move(Fn);
   O.Meta = Meta;
   O.Help = Help;
-  Options.push_back(std::move(O));
+  add(std::move(O));
 }
 
 void OptionParser::separateValue(const std::string &Name,
@@ -52,7 +64,7 @@ void OptionParser::separateValue(const std::string &Name,
   O.Apply = std::move(Fn);
   O.Meta = Meta;
   O.Help = Help;
-  Options.push_back(std::move(O));
+  add(std::move(O));
 }
 
 void OptionParser::jobs(unsigned *Jobs, const std::string &Help) {

@@ -74,6 +74,18 @@ public:
   /// per hardware thread, result stored into \p *Jobs.
   void jobs(unsigned *Jobs, const std::string &Help = std::string());
 
+  /// Option groups let one registrar serve several front ends: wrap a
+  /// set of registrations in beginGroup("name")/endGroup(), and a front
+  /// end that has no use for them (the daemon has no --format — output
+  /// format is per-request) calls excludeGroup("name") *before* the
+  /// registrar runs. Registrations under an excluded group are dropped
+  /// entirely: not parsed, absent from renderHelp()/optionNames(), and
+  /// never offered as a did-you-mean suggestion, so an excluded flag gets
+  /// the same "unknown option" exit-2 contract as a misspelled one.
+  void beginGroup(const std::string &Name) { ActiveGroup = Name; }
+  void endGroup() { ActiveGroup.clear(); }
+  void excludeGroup(const std::string &Name) { Excluded.push_back(Name); }
+
   /// The "options:" body of --help: one line (or more, on '\n' in the
   /// help text) per registered option, in registration order.
   std::string renderHelp() const;
@@ -107,10 +119,13 @@ private:
   };
 
   bool usageError(const std::string &Message) const;
+  void add(Option O);
 
   std::string Tool;
   std::vector<Option> Options;
   std::vector<std::string> Positionals;
+  std::string ActiveGroup;
+  std::vector<std::string> Excluded;
 };
 
 } // namespace mix::driver

@@ -89,6 +89,25 @@ std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::counters() const 
   return Out;
 }
 
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot Out;
+  for (const auto &[Name, Value] : counters())
+    Out.Counters.emplace(Name, Value);
+  return Out;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+MetricsRegistry::deltaSince(const MetricsSnapshot &Since) const {
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  for (const auto &[Name, Now] : counters()) {
+    auto It = Since.Counters.find(Name);
+    uint64_t Then = It == Since.Counters.end() ? 0 : It->second;
+    if (Now > Then)
+      Out.emplace_back(Name, Now - Then);
+  }
+  return Out;
+}
+
 std::vector<std::string> MetricsRegistry::histogramNames() const {
   std::lock_guard<std::mutex> Lock(M);
   std::vector<std::string> Out;

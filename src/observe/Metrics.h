@@ -165,6 +165,15 @@ private:
   detail::HistogramData *Data = nullptr;
 };
 
+/// Point-in-time view of every counter in a registry, used to compute
+/// per-request deltas in long-lived processes (the mixyd daemon serves
+/// many requests from one registry; each response carries only what that
+/// request added). Histograms are deliberately excluded: their min/max
+/// are not subtractable, and no per-request consumer needs them.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> Counters;
+};
+
 /// The registry: interns metric names to sharded storage and renders the
 /// whole set as text or JSON. Registration is mutex-guarded (cold path);
 /// recording goes through the handles above (lock-free).
@@ -190,6 +199,16 @@ public:
 
   /// All counters, name-sorted, with their current sums.
   std::vector<std::pair<std::string, uint64_t>> counters() const;
+
+  /// Current counter sums, for later use with deltaSince(). Exact when
+  /// taken at a barrier (no concurrent recording), like every other read.
+  MetricsSnapshot snapshot() const;
+
+  /// Name-sorted (name, now - then) pairs for every counter that grew
+  /// since \p Since was taken; counters absent from the snapshot count
+  /// from zero, zero deltas are dropped.
+  std::vector<std::pair<std::string, uint64_t>>
+  deltaSince(const MetricsSnapshot &Since) const;
 
   /// All histogram names, sorted.
   std::vector<std::string> histogramNames() const;

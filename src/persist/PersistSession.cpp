@@ -118,6 +118,11 @@ size_t BlockSummaryStore::size() const {
   return Map.size();
 }
 
+void BlockSummaryStore::clear() {
+  std::lock_guard<std::mutex> Lock(M);
+  Map.clear();
+}
+
 std::vector<std::string> BlockSummaryStore::encode() const {
   std::lock_guard<std::mutex> Lock(M);
   std::vector<std::string> Records;
@@ -189,10 +194,29 @@ uint64_t nowUs() {
       .count();
 }
 
+/// Reads the generation stamp from \p Dir; a missing or malformed stamp
+/// reads as 0 (the pre-stamp world had exactly one writer per process
+/// lifetime, which generation 0 models). Never degrades the session —
+/// the stamp guards manifest replay, it is not itself cached data.
+uint64_t readGeneration(const std::string &Dir) {
+  std::vector<std::string> Records;
+  std::string Error;
+  if (loadRecordFile(Dir + "/generation.mixcache", /*Fingerprint=*/0, Records,
+                     Error) != LoadStatus::Ok ||
+      Records.size() != 1)
+    return 0;
+  ByteReader R(Records[0]);
+  uint64_t Gen = R.u64();
+  return R.ok() && R.atEnd() ? Gen : 0;
+}
+
 } // namespace
 
 PersistSession::PersistSession(PersistOptions O)
     : Opts(std::move(O)), Solver(Opts.Metrics), Blocks(Opts.Metrics) {
+  if (Opts.InMemory)
+    return; // stores start empty and live purely in memory
+
   uint64_t Start = nowUs();
 
   std::error_code EC;
@@ -223,6 +247,8 @@ PersistSession::PersistSession(PersistOptions O)
     }
   };
 
+  Gen = readGeneration(Opts.Dir);
+
   LoadInto("solver.mixcache", SolverFingerprint,
            [&](const std::vector<std::string> &R) { return Solver.decode(R); });
   if (Opts.Incremental) {
@@ -243,6 +269,8 @@ PersistSession::PersistSession(PersistOptions O)
 bool PersistSession::save(std::string *Error) {
   std::string Local;
   std::string &Err = Error ? *Error : Local;
+  if (Opts.InMemory)
+    return true; // nothing to publish; the warm state *is* the store
   if (!DirUsable) {
     Err = "cache directory unusable";
     return false;
@@ -259,7 +287,34 @@ bool PersistSession::save(std::string *Error) {
                           Opts.BlockFingerprint, Current.encode(), Err);
   }
 
+  // The generation stamp publishes last, after every data file is in
+  // place, so a concurrent reader that observes the new generation also
+  // observes the new data. Writing it claims the directory for this
+  // session: any other open session now reports externallyModified().
+  if (Ok) {
+    ByteWriter W;
+    W.u64(Gen + 1);
+    Ok = saveRecordFile(Opts.Dir + "/generation.mixcache", /*Fingerprint=*/0,
+                        {W.take()}, Err);
+    if (Ok)
+      ++Gen;
+  }
+
   if (Opts.Metrics)
     Opts.Metrics->histogram("persist.save_us").record(nowUs() - Start);
   return Ok;
+}
+
+bool PersistSession::externallyModified() const {
+  if (Opts.InMemory || !DirUsable)
+    return false;
+  return readGeneration(Opts.Dir) != Gen;
+}
+
+void PersistSession::invalidateSummaries() {
+  Blocks.clear();
+  Previous.Funcs.clear();
+  Current.Funcs.clear();
+  if (Opts.Metrics)
+    Opts.Metrics->counter("persist.invalidations").inc();
 }

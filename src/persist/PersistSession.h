@@ -61,6 +61,10 @@ struct PersistOptions {
   uint64_t BlockFingerprint = 0;
   /// Counters/latency land here ("persist.*"); null disables.
   obs::MetricsRegistry *Metrics = nullptr;
+  /// Keep every store in memory only, without a cache directory: no disk
+  /// I/O, save() succeeds as a no-op, never degraded. This is how mixyd
+  /// keeps summaries warm across requests when no --cache-dir is given.
+  bool InMemory = false;
 };
 
 /// The persistent Sat/Unsat memo (thread-safe; see smt::QueryCache).
@@ -95,6 +99,7 @@ public:
   void store(uint64_t Key, std::string Payload);
 
   size_t size() const;
+  void clear();
 
   std::vector<std::string> encode() const;
   bool decode(const std::vector<std::string> &Records);
@@ -137,10 +142,30 @@ public:
   /// Sets this run's manifest, written back by save().
   void setCurrentManifest(Manifest M) { Current = std::move(M); }
 
-  /// Writes all stores back to the cache directory. Returns false with
-  /// \p Error set on the first file that could not be written (the run's
-  /// findings are unaffected either way).
+  /// Writes all stores back to the cache directory (bumping the on-disk
+  /// generation stamp). Returns false with \p Error set on the first file
+  /// that could not be written (the run's findings are unaffected either
+  /// way). In-memory sessions succeed without touching disk.
   bool save(std::string *Error = nullptr);
+
+  /// The generation this session loaded (0 on a cold start); each save()
+  /// publishes generation + 1. Sessions opened before the stamp existed
+  /// observe generation 0, matching the historical single-writer world.
+  uint64_t generation() const { return Gen; }
+
+  /// True when another writer has published into this cache directory
+  /// since this session loaded it — i.e. the on-disk generation no longer
+  /// matches generation(). A long-lived process must not keep replaying
+  /// its loaded manifest/summaries past this point: reopen the directory
+  /// (fresh PersistSession) or call invalidateSummaries(). Always false
+  /// for in-memory and unusable-directory sessions.
+  bool externallyModified() const;
+
+  /// Drops the loaded manifest and every block summary (the solver store
+  /// survives: verdicts are keyed by the formula alone, so they can never
+  /// go stale when source files change). Used by the daemon when a client
+  /// reports a file changed.
+  void invalidateSummaries();
 
 private:
   PersistOptions Opts;
@@ -149,6 +174,7 @@ private:
   Manifest Previous, Current;
   std::string DegradedReason;
   bool DirUsable = false;
+  uint64_t Gen = 0;
 };
 
 } // namespace mix::persist

@@ -1,0 +1,86 @@
+//===--- Protocol.h - Wire codec for the analysis service -------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The versioned JSON wire form of AnalysisRequest/AnalysisResponse, plus
+/// the JSON-RPC 2.0 envelope helpers mixyd frames them in. One line per
+/// message (newline-delimited JSON): encoders never emit '\n' inside a
+/// document, so framing is exactly "split on newline".
+///
+/// Requests decode strictly: an unsupported "version" and any unknown
+/// field are errors, so a client typo ("formt") fails loudly instead of
+/// silently running with defaults — the wire analogue of the CLI's
+/// unknown-option exit 2. Optional fields encode only when they differ
+/// from their defaults, which keeps the golden protocol files readable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_SERVICE_PROTOCOL_H
+#define MIX_SERVICE_PROTOCOL_H
+
+#include "service/AnalysisService.h"
+#include "support/Json.h"
+
+#include <string>
+
+namespace mix::service {
+
+/// JSON-RPC 2.0 error codes mixyd responds with. The -327xx ones are the
+/// spec's; the -320xx ones are this server's (spec-reserved range).
+enum RpcErrorCode : int {
+  RpcParseError = -32700,     ///< line was not valid JSON
+  RpcInvalidRequest = -32600, ///< not a valid jsonrpc-2.0 request object
+  RpcMethodNotFound = -32601, ///< unknown "method"
+  RpcInvalidParams = -32602,  ///< params failed decodeRequest
+  RpcDeadlineExceeded = -32000, ///< request ran past --deadline-ms
+  RpcServerBusy = -32001,       ///< admission control: max in-flight reached
+};
+
+/// Encodes \p Req as one line of JSON (no trailing newline). Fields at
+/// their default value are omitted; "version" and "tool" always appear.
+std::string encodeRequest(const AnalysisRequest &Req);
+
+/// Decodes a request object (already-parsed JSON). Returns false with
+/// \p Error set on a version mismatch, a missing/bad "tool", any unknown
+/// field, or a type mismatch.
+bool decodeRequest(const json::Value &V, AnalysisRequest &Out,
+                   std::string &Error);
+
+/// Convenience: parse + decode one request line.
+bool decodeRequest(const std::string &Text, AnalysisRequest &Out,
+                   std::string &Error);
+
+/// Encodes \p Resp as one line of JSON (no trailing newline). Same
+/// omission rule; "version" and "exit" always appear.
+std::string encodeResponse(const AnalysisResponse &Resp);
+
+/// Decodes a response object. Strict like decodeRequest.
+bool decodeResponse(const json::Value &V, AnalysisResponse &Out,
+                    std::string &Error);
+bool decodeResponse(const std::string &Text, AnalysisResponse &Out,
+                    std::string &Error);
+
+/// Re-encodes a JSON-RPC "id" member (number, string, or null — anything
+/// else encodes as null, which is also what an absent id yields).
+std::string encodeRpcId(const json::Value &Id);
+
+/// {"jsonrpc": "2.0", "id": <Id>, "result": <ResultJson>} — \p Id and
+/// \p ResultJson are already-encoded JSON fragments.
+std::string rpcResult(const std::string &Id, const std::string &ResultJson);
+
+/// {"jsonrpc": "2.0", "id": <Id>, "error": {"code": ..., "message": ...}}
+std::string rpcError(const std::string &Id, int Code,
+                     const std::string &Message);
+
+/// {"jsonrpc": "2.0", "method": <Method>, "params": <ParamsJson>} — how
+/// mixyd streams per-diagnostic notifications.
+std::string rpcNotification(const std::string &Method,
+                            const std::string &ParamsJson);
+
+} // namespace mix::service
+
+#endif // MIX_SERVICE_PROTOCOL_H

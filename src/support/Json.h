@@ -1,0 +1,292 @@
+//===--- Json.h - Minimal JSON value and parser -----------------*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON parser and value model, shared by the
+/// mixyd request decoder, the service protocol tests, and every test that
+/// asserts over the project's JSON renderers (tests/TestJson.h aliases
+/// into this header). Numbers are kept as doubles — every number the
+/// renderers emit and every number the protocol accepts fits exactly.
+///
+/// Writing JSON stays string-building with mix::jsonEscape (the
+/// renderers' historical idiom); this header only reads it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_SUPPORT_JSON_H
+#define MIX_SUPPORT_JSON_H
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mix::json {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object } K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Elems;
+  std::map<std::string, Value> Fields;
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isString() const { return K == Kind::String; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool has(const std::string &Key) const { return Fields.count(Key) != 0; }
+  const Value &operator[](const std::string &Key) const {
+    static const Value Missing;
+    auto It = Fields.find(Key);
+    return It == Fields.end() ? Missing : It->second;
+  }
+  const Value &operator[](size_t I) const { return Elems[I]; }
+  size_t size() const { return K == Kind::Array ? Elems.size() : Fields.size(); }
+
+  /// Typed accessors with defaults, for optional protocol fields.
+  std::string str(const std::string &Default = std::string()) const {
+    return K == Kind::String ? Str : Default;
+  }
+  double number(double Default = 0) const {
+    return K == Kind::Number ? Num : Default;
+  }
+  bool boolean(bool Default = false) const {
+    return K == Kind::Bool ? B : Default;
+  }
+};
+
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  /// Parses one JSON document; returns false (with Error set) on any
+  /// syntax error or trailing garbage.
+  bool parse(Value &Out) {
+    Pos = 0;
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters");
+    return true;
+  }
+
+  std::string Error;
+
+private:
+  bool fail(const std::string &Why) {
+    if (Error.empty())
+      Error = Why + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() && std::isspace((unsigned char)Text[Pos]))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return fail(std::string("expected '") + C + "'");
+  }
+
+  bool parseValue(Value &Out) {
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject(Out);
+    if (C == '[')
+      return parseArray(Out);
+    if (C == '"') {
+      Out.K = Value::Kind::String;
+      return parseString(Out.Str);
+    }
+    if (C == 't' || C == 'f')
+      return parseKeyword(Out);
+    if (C == 'n')
+      return parseNull(Out);
+    return parseNumber(Out);
+  }
+
+  bool parseObject(Value &Out) {
+    Out.K = Value::Kind::Object;
+    if (!consume('{'))
+      return false;
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      std::string Key;
+      skipWs();
+      if (!parseString(Key))
+        return false;
+      if (!consume(':'))
+        return false;
+      Value V;
+      if (!parseValue(V))
+        return false;
+      Out.Fields.emplace(std::move(Key), std::move(V));
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool parseArray(Value &Out) {
+    Out.K = Value::Kind::Array;
+    if (!consume('['))
+      return false;
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      Value V;
+      if (!parseValue(V))
+        return false;
+      Out.Elems.push_back(std::move(V));
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    if (Pos >= Text.size() || Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    Out.clear();
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("bad escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"': Out += '"'; break;
+      case '\\': Out += '\\'; break;
+      case '/': Out += '/'; break;
+      case 'n': Out += '\n'; break;
+      case 't': Out += '\t'; break;
+      case 'r': Out += '\r'; break;
+      case 'b': Out += '\b'; break;
+      case 'f': Out += '\f'; break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("bad \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= H - '0';
+          else if (H >= 'a' && H <= 'f')
+            Code |= H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            Code |= H - 'A' + 10;
+          else
+            return fail("bad \\u digit");
+        }
+        // The renderers only escape control characters, so ASCII is
+        // enough; a non-ASCII code point is truncated rather than
+        // rejected (protocol strings are UTF-8 passed through verbatim).
+        Out += (char)Code;
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    if (Pos >= Text.size())
+      return fail("unterminated string");
+    ++Pos; // closing quote
+    return true;
+  }
+
+  bool parseKeyword(Value &Out) {
+    if (Text.compare(Pos, 4, "true") == 0) {
+      Out.K = Value::Kind::Bool;
+      Out.B = true;
+      Pos += 4;
+      return true;
+    }
+    if (Text.compare(Pos, 5, "false") == 0) {
+      Out.K = Value::Kind::Bool;
+      Out.B = false;
+      Pos += 5;
+      return true;
+    }
+    return fail("bad keyword");
+  }
+
+  bool parseNull(Value &Out) {
+    if (Text.compare(Pos, 4, "null") == 0) {
+      Out.K = Value::Kind::Null;
+      Pos += 4;
+      return true;
+    }
+    return fail("bad keyword");
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit((unsigned char)Text[Pos]) || Text[Pos] == '.' ||
+            Text[Pos] == 'e' || Text[Pos] == 'E' || Text[Pos] == '+' ||
+            Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected value");
+    try {
+      Out.Num = std::stod(Text.substr(Start, Pos - Start));
+    } catch (...) {
+      return fail("bad number");
+    }
+    Out.K = Value::Kind::Number;
+    return true;
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+/// Parses \p Text into \p Out; on failure returns false and, when
+/// \p ErrorOut is given, stores the parser's first error.
+inline bool parseDocument(const std::string &Text, Value &Out,
+                          std::string *ErrorOut = nullptr) {
+  Parser P(Text);
+  bool Ok = P.parse(Out);
+  if (!Ok && ErrorOut)
+    *ErrorOut = P.Error;
+  return Ok;
+}
+
+} // namespace mix::json
+
+#endif // MIX_SUPPORT_JSON_H

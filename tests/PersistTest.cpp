@@ -371,6 +371,113 @@ TEST(PersistSessionTest, SolverStoreSharedAcrossFingerprints) {
   EXPECT_TRUE(S.solverCache().lookup(5, R));
 }
 
+TEST(PersistSessionTest, GenerationStampLifecycle) {
+  TempDir D("generation");
+  PersistSession A(sessionOpts(D.Path));
+  EXPECT_EQ(A.generation(), 0u); // cold start: no stamp on disk
+  EXPECT_FALSE(A.externallyModified());
+
+  ASSERT_TRUE(A.save());
+  EXPECT_EQ(A.generation(), 1u);
+  // Our own save is not an external modification.
+  EXPECT_FALSE(A.externallyModified());
+
+  PersistSession B(sessionOpts(D.Path));
+  EXPECT_EQ(B.generation(), 1u); // loads what A published
+  ASSERT_TRUE(B.save());
+  EXPECT_EQ(B.generation(), 2u);
+}
+
+TEST(PersistSessionTest, ReopenInProcessAfterExternalWriter) {
+  // The daemon scenario: a long-lived session must notice that another
+  // writer published into its cache directory, and a reopened session
+  // (what AnalysisService does on externallyModified) sees the new data
+  // instead of replaying the stale manifest.
+  TempDir D("reopen");
+  PersistSession A(sessionOpts(D.Path));
+  A.blocks().store(7, "from A");
+  Manifest MA;
+  MA.Funcs["f"] = {1, 1};
+  A.setCurrentManifest(std::move(MA));
+  ASSERT_TRUE(A.save());
+  EXPECT_FALSE(A.externallyModified());
+
+  {
+    // A second writer (another process, modeled in-process) publishes.
+    PersistSession B(sessionOpts(D.Path));
+    B.blocks().store(8, "from B");
+    Manifest MB;
+    MB.Funcs["g"] = {2, 2};
+    B.setCurrentManifest(std::move(MB));
+    ASSERT_TRUE(B.save());
+  }
+
+  // A's loaded state is now stale and it must say so.
+  EXPECT_TRUE(A.externallyModified());
+
+  // Reopening the directory observes the latest generation and data.
+  PersistSession C(sessionOpts(D.Path));
+  EXPECT_EQ(C.generation(), 2u);
+  EXPECT_FALSE(C.externallyModified());
+  EXPECT_TRUE(C.blocks().lookup(8).has_value());
+  EXPECT_EQ(C.previousManifest().Funcs.count("g"), 1u);
+}
+
+TEST(PersistSessionTest, StampIsWrittenLast) {
+  // The generation stamp publishes after the data files, so a reader
+  // that observes the new generation also observes the new data: after
+  // any successful save, the stamp on disk equals the session's
+  // generation and every data file is in place.
+  TempDir D("stamplast");
+  PersistSession S(sessionOpts(D.Path));
+  S.blocks().store(1, "payload");
+  ASSERT_TRUE(S.save());
+  EXPECT_TRUE(std::filesystem::exists(D.file("generation.mixcache")));
+  EXPECT_TRUE(std::filesystem::exists(D.file("blocks.mixcache")));
+  // A fresh reader agrees on the generation and finds the data.
+  PersistSession R(sessionOpts(D.Path));
+  EXPECT_EQ(R.generation(), S.generation());
+  EXPECT_TRUE(R.blocks().lookup(1).has_value());
+}
+
+TEST(PersistSessionTest, InvalidateSummariesClearsButKeepsSolver) {
+  obs::MetricsRegistry Reg;
+  TempDir D("invalidate");
+  PersistOptions PO = sessionOpts(D.Path);
+  PO.Metrics = &Reg;
+  PersistSession S(PO);
+  S.solverCache().store(5, smt::SolveResult::Unsat);
+  S.blocks().store(7, "summary");
+  Manifest M;
+  M.Funcs["main"] = {1, 2};
+  S.setCurrentManifest(std::move(M));
+
+  S.invalidateSummaries();
+  EXPECT_EQ(Reg.counterValue("persist.invalidations"), 1u);
+  EXPECT_FALSE(S.blocks().lookup(7).has_value());
+  EXPECT_TRUE(S.previousManifest().Funcs.empty());
+  // Solver verdicts are formula-keyed: they can never go stale when a
+  // source file changes, so they survive the invalidation.
+  smt::SolveResult R;
+  EXPECT_TRUE(S.solverCache().lookup(5, R));
+  EXPECT_EQ(R, smt::SolveResult::Unsat);
+}
+
+TEST(PersistSessionTest, InMemorySessionNeverTouchesDisk) {
+  TempDir D("inmemory");
+  PersistOptions PO = sessionOpts(D.Path);
+  PO.InMemory = true;
+  PersistSession S(PO);
+  EXPECT_TRUE(S.degradedReason().empty());
+  S.blocks().store(7, "summary");
+  S.solverCache().store(5, smt::SolveResult::Sat);
+  ASSERT_TRUE(S.save()); // a successful no-op
+  EXPECT_FALSE(S.externallyModified());
+  // The warm state *is* the store; nothing was published to disk.
+  EXPECT_TRUE(std::filesystem::is_empty(D.Path));
+  EXPECT_TRUE(S.blocks().lookup(7).has_value());
+}
+
 TEST(PersistSessionTest, MetricsCounters) {
   obs::MetricsRegistry Reg;
   TempDir D("metrics");

@@ -4,21 +4,19 @@
 // Execution" (PLDI 2010).
 //
 // Checks a core-language program (with `{t ... t}` / `{s ... s}` blocks)
-// using the mixed analysis. See --help for options.
+// using the mixed analysis. A thin client of the AnalysisService: the
+// flags build an AnalysisRequest, the service runs it, and this file only
+// routes the response pieces to the historical streams in the historical
+// order. See --help for options.
 //
 //===----------------------------------------------------------------------===//
 
 #include "driver/Driver.h"
 #include "driver/InputLoader.h"
-#include "lang/AstPrinter.h"
-#include "lang/Parser.h"
-#include "mix/AutoPlacement.h"
-#include "mix/MixChecker.h"
+#include "service/AnalysisService.h"
 
 #include <iostream>
-#include <sstream>
 #include <string>
-#include <vector>
 
 using namespace mix;
 
@@ -41,36 +39,12 @@ usage or parse errors.
 )";
 }
 
-/// Parses a type spelled on the command line, e.g. "int ref ref".
-const Type *parseTypeSpec(TypeContext &Types, const std::string &Spec) {
-  std::istringstream In(Spec);
-  std::string Word;
-  if (!(In >> Word))
-    return nullptr;
-  const Type *T = nullptr;
-  if (Word == "int")
-    T = Types.intType();
-  else if (Word == "bool")
-    T = Types.boolType();
-  else
-    return nullptr;
-  while (In >> Word) {
-    if (Word != "ref")
-      return nullptr;
-    T = Types.refType(T);
-  }
-  return T;
-}
-
 } // namespace
 
 int main(int Argc, char **Argv) {
   bool Help = false;
-  bool Symbolic = false;
-  bool AutoPlace = false;
-  bool PrintProgram = false;
-  MixOptions Opts;
-  std::vector<std::pair<std::string, std::string>> VarSpecs;
+  service::AnalysisRequest Req;
+  Req.ToolKind = service::Tool::MixCheck;
 
   driver::OptionParser Parser("mixcheck");
   driver::DriverContext Driver;
@@ -78,9 +52,9 @@ int main(int Argc, char **Argv) {
       "--mode",
       [&](const std::string &V) {
         if (V == "typed")
-          Symbolic = false;
+          Req.Symbolic = false;
         else if (V == "symbolic")
-          Symbolic = true;
+          Req.Symbolic = true;
         else
           return false;
         return true;
@@ -91,9 +65,9 @@ int main(int Argc, char **Argv) {
       "--strategy",
       [&](const std::string &V) {
         if (V == "fork")
-          Opts.Exec.Strat = SymExecOptions::Strategy::Fork;
+          Req.Strategy = SymExecOptions::Strategy::Fork;
         else if (V == "defer")
-          Opts.Exec.Strat = SymExecOptions::Strategy::Defer;
+          Req.Strategy = SymExecOptions::Strategy::Defer;
         else
           return false;
         return true;
@@ -103,29 +77,26 @@ int main(int Argc, char **Argv) {
       "--havoc",
       [&](const std::string &V) {
         if (V == "full")
-          Opts.Exec.Havoc = SymExecOptions::HavocPolicy::FullMemory;
+          Req.Havoc = SymExecOptions::HavocPolicy::FullMemory;
         else if (V == "effects")
-          Opts.Exec.Havoc = SymExecOptions::HavocPolicy::WriteEffects;
+          Req.Havoc = SymExecOptions::HavocPolicy::WriteEffects;
         else
           return false;
         return true;
       },
       "full|effects",
       "SETypBlock memory havoc policy (Section 3.2); default full");
-  Parser.flag("--precise-deref", &Opts.Exec.PreciseDeref,
+  Parser.flag("--precise-deref", &Req.PreciseDeref,
               "use the refined SEDeref rule (Section 3.1)");
-  Parser.flag("--assume-complete",
-              [&] {
-                Opts.Exhaustive = MixOptions::Exhaustiveness::AssumeComplete;
-              },
+  Parser.flag("--assume-complete", [&] { Req.AssumeComplete = true; },
               "skip the exhaustive() check (unsound mode)");
   Parser.value(
       "--explore",
       [&](const std::string &V) {
         if (V == "concolic")
-          Opts.Explore = MixOptions::Exploration::Concolic;
+          Req.Explore = MixOptions::Exploration::Concolic;
         else if (V == "all")
-          Opts.Explore = MixOptions::Exploration::AllPaths;
+          Req.Explore = MixOptions::Exploration::AllPaths;
         else
           return false;
         return true;
@@ -133,7 +104,7 @@ int main(int Argc, char **Argv) {
       "concolic",
       "enumerate paths DART-style (one per concrete run, flips solved\n"
       "via model extraction)");
-  Parser.flag("--auto-place", &AutoPlace,
+  Parser.flag("--auto-place", &Req.AutoPlace,
               "insert symbolic blocks automatically on failure");
   Parser.separateValue(
       "--var",
@@ -141,16 +112,16 @@ int main(int Argc, char **Argv) {
         size_t Colon = Spec.find(':');
         if (Colon == std::string::npos)
           return false;
-        VarSpecs.emplace_back(Spec.substr(0, Colon), Spec.substr(Colon + 1));
+        Req.Vars.emplace_back(Spec.substr(0, Colon), Spec.substr(Colon + 1));
         return true;
       },
       "name:type",
       "add a free variable to Gamma (type: int, bool, 'int ref', ...);\n"
       "may be repeated");
-  Parser.flag("--print-program", &PrintProgram,
+  Parser.flag("--print-program", &Req.PrintProgram,
               "echo the (possibly auto-annotated) program");
   driver::registerCommonOptions(
-      Parser, Driver, &Opts.Jobs,
+      Parser, Driver, &Req.Jobs,
       "check a block's paths (and auto-place candidates) on N\n"
       "worker threads (default 1 = serial; 0 = one per hardware "
       "thread)");
@@ -183,66 +154,28 @@ int main(int Argc, char **Argv) {
   if (Parser.positionals()[0] != "-")
     Driver.setInputName(Parser.positionals()[0]);
 
-  // Observability: every analysis below reports into the driver's
-  // registry; the trace sink is attached only under --trace, the
-  // provenance sink only when the output renders evidence (--explain /
-  // --format=sarif).
-  Opts.Metrics = &Driver.metrics();
-  Opts.Trace = Driver.traceSink();
-  Opts.Prov = Driver.provenanceSink();
-  Opts.Solver = Driver.solverSpec();
+  // The request carries the resolved source plus every cross-cutting flag;
+  // run() attaches observability (metrics always; trace under --trace,
+  // provenance when the output renders evidence) and the persist session
+  // (--cache-dir) on the service side.
+  Req.Source = std::move(Source);
+  Req.HasSource = true;
+  Driver.applyCommonRequest(Req);
 
-  AstContext Ctx;
-  DiagnosticEngine Diags;
-
-  // Persistence (--cache-dir): reuse solver verdicts across runs. The
-  // session is saved by writeArtifacts; a rejected cache degrades to a
-  // cold run with one MIX502 note.
-  if (auto *Session = Driver.openPersist(/*Incremental=*/false,
-                                         /*BlockFingerprint=*/0, Diags))
-    Opts.Smt.Cache = &Session->solverCache();
-
-  const Expr *Program = parseExpression(Source, Ctx, Diags);
-  if (!Program) {
-    Driver.emitDiagnostics(Diags, "mixcheck");
-    Driver.writeArtifacts("mixcheck");
-    return driver::ExitUsage;
-  }
-
-  TypeEnv Gamma;
-  for (const auto &[Name, Spec] : VarSpecs) {
-    const Type *T = parseTypeSpec(Ctx.types(), Spec);
-    if (!T) {
-      std::cerr << "mixcheck: bad type '" << Spec << "' for variable " << Name
-                << "\n";
-      Driver.emitDiagnostics(Diags, "mixcheck");
-      Driver.writeArtifacts("mixcheck");
-      return driver::ExitUsage;
-    }
-    Gamma[Name] = T;
-  }
+  service::AnalysisResponse Resp = Driver.service().run(Req);
 
   std::ostream &Info = Driver.jsonOutput() ? std::cerr : std::cout;
 
-  const Type *ResultType = nullptr;
-  if (AutoPlace) {
-    AutoPlacementOptions APOpts;
-    APOpts.Mix = Opts;
-    APOpts.Jobs = Opts.Jobs;
-    AutoPlacementResult R =
-        autoPlaceSymbolicBlocks(Ctx, Program, Gamma, Diags, APOpts);
-    ResultType = R.ResultType;
-    Program = R.Program;
-    if (R.BlocksInserted)
-      Info << "auto-placement inserted " << R.BlocksInserted
-           << " symbolic block(s) in " << R.Refinements << " refinement(s)\n";
-  } else {
-    MixChecker Mix(Ctx.types(), Diags, Opts);
-    ResultType = Symbolic ? Mix.checkSymbolic(Program, Gamma)
-                          : Mix.checkTyped(Program, Gamma);
-  }
+  // Historical stream order: the usage error (bad --var type), the
+  // auto-placement note, the stats block, the echoed program, then the
+  // diagnostics payload.
+  if (!Resp.ErrorText.empty())
+    std::cerr << "mixcheck: " << Resp.ErrorText << "\n";
+  if (!Resp.AutoPlaceNote.empty())
+    Info << Resp.AutoPlaceNote;
 
-  if (Driver.statsRequested() && !AutoPlace) {
+  if (Driver.statsRequested() && !Req.AutoPlace &&
+      Resp.Exit != driver::ExitUsage) {
     // Rendered from the metrics registry — the same numbers --metrics
     // exports (and, serially, the same the pre-registry tool printed).
     const obs::MetricsRegistry &Reg = Driver.metrics();
@@ -264,18 +197,18 @@ int main(int Argc, char **Argv) {
          << Reg.counterValue("engine.cache.mix.hits") << "\n";
   }
 
-  if (PrintProgram)
-    Info << printExpr(Program) << "\n";
+  if (!Resp.PrintedProgram.empty())
+    Info << Resp.PrintedProgram;
 
-  Driver.emitDiagnostics(Diags, "mixcheck");
+  Driver.emitPayload(Resp.Payload);
+  if (Resp.Exit == driver::ExitUsage) {
+    Driver.writeArtifacts("mixcheck");
+    return driver::ExitUsage;
+  }
   if (!Driver.writeArtifacts("mixcheck"))
     return driver::ExitUsage;
-  if (!ResultType) {
-    if (!Driver.jsonOutput())
-      std::cout << "rejected\n";
-    return driver::ExitFindings;
-  }
   if (!Driver.jsonOutput())
-    std::cout << "ok: " << ResultType->str() << "\n";
-  return driver::ExitClean;
+    std::cout << (Resp.Accepted ? "ok: " + Resp.ResultType : "rejected")
+              << "\n";
+  return Resp.Exit;
 }

@@ -5,23 +5,22 @@
 //
 // Runs null/nonnull checking on a mini-C file: pure type qualifier
 // inference (--baseline) or the full MIXY analysis with MIX(typed) /
-// MIX(symbolic) block switching. See --help.
+// MIX(symbolic) block switching. A thin client of the AnalysisService:
+// the flags build an AnalysisRequest, the service runs it, and this file
+// only routes the response pieces to the historical streams. See --help.
 //
 //===----------------------------------------------------------------------===//
 
-#include "cfront/CParser.h"
 #include "driver/Driver.h"
 #include "driver/InputLoader.h"
-#include "mixy/Mixy.h"
-#include "mixy/VsftpdMini.h"
+#include "service/AnalysisService.h"
 
 #include <iostream>
 #include <string>
 
-using namespace mix::c;
-using mix::DiagnosticEngine;
+using mix::obs::MetricsRegistry;
 namespace driver = mix::driver;
-namespace obs = mix::obs;
+namespace service = mix::service;
 
 namespace {
 
@@ -43,43 +42,32 @@ exit status: 0 with no warnings, 1 with warnings, 2 on usage/parse errors.
 )";
 }
 
-/// The built-in corpus behind '@' specs ("case1".."case4" and "vsftpd",
-/// with an optional ":baseline" suffix for the un-annotated variants).
+/// The built-in corpus behind '@' specs, resolved through the service so
+/// the CLI and the daemon serve the exact same bytes per spec.
 bool resolveCorpus(const std::string &Spec, std::string &SourceOut) {
-  bool Annotated = Spec.find(":baseline") == std::string::npos;
-  std::string Corpus = Spec.substr(0, Spec.find(':'));
-  if (Corpus == "vsftpd") {
-    SourceOut = corpus::vsftpdFull(Annotated);
-    return true;
-  }
-  if (Corpus.size() == 5 && Corpus.rfind("case", 0) == 0 && Corpus[4] >= '1' &&
-      Corpus[4] <= '4') {
-    SourceOut = corpus::vsftpdCase(Corpus[4] - '0', Annotated);
-    return true;
-  }
-  return false;
+  service::AnalysisRequest R;
+  R.Corpus = Spec;
+  std::string Error;
+  return service::AnalysisService::resolveInput(R, SourceOut, Error);
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   bool Help = false;
-  std::string Entry = "main";
-  bool Baseline = false;
-  bool Incremental = false;
-  MixyAnalysis::StartMode Mode = MixyAnalysis::StartMode::Typed;
-  MixyOptions Opts;
+  service::AnalysisRequest Req;
+  Req.ToolKind = service::Tool::Mixy;
 
   driver::OptionParser Parser("mixyc");
   driver::DriverContext Driver;
-  Parser.flag("--baseline", &Baseline,
+  Parser.flag("--baseline", &Req.Baseline,
               "pure type qualifier inference (ignore MIX blocks)");
   Parser.value(
       "--entry",
       [&](const std::string &V) {
         if (V.empty())
           return false;
-        Entry = V;
+        Req.Entry = V;
         return true;
       },
       "NAME", "entry function (default: main)");
@@ -87,29 +75,25 @@ int main(int Argc, char **Argv) {
       "--start",
       [&](const std::string &V) {
         if (V == "typed")
-          Mode = MixyAnalysis::StartMode::Typed;
+          Req.StartSymbolic = false;
         else if (V == "symbolic")
-          Mode = MixyAnalysis::StartMode::Symbolic;
+          Req.StartSymbolic = true;
         else
           return false;
         return true;
       },
       "typed|symbolic", "initial analysis mode (default: typed)");
-  Parser.flag("--no-cache", [&] { Opts.EnableCache = false; },
+  Parser.flag("--no-cache", &Req.NoCache,
               "disable block-result caching (Section 4.3)");
-  Parser.flag("--no-alias-restore", [&] { Opts.RestoreAliasing = false; },
+  Parser.flag("--no-alias-restore", &Req.NoAliasRestore,
               "disable aliasing restoration (Section 4.2)");
-  Parser.flag("--warn-derefs",
-              [&] {
-                Opts.Qual.WarnAllDereferences = true;
-                Opts.Sym.CheckDereferences = true;
-              },
+  Parser.flag("--warn-derefs", &Req.WarnDerefs,
               "treat every dereference as a nonnull requirement");
   driver::registerCommonOptions(
-      Parser, Driver, &Opts.Jobs,
+      Parser, Driver, &Req.Jobs,
       "analyze symbolic blocks on N worker threads\n"
       "(default 1 = serial; 0 = one per hardware thread)");
-  Parser.flag("--incremental", &Incremental,
+  Parser.flag("--incremental", &Req.Incremental,
               "with --cache-dir: reuse per-block summaries across runs,\n"
               "re-analyzing only functions whose code or dependencies "
               "changed");
@@ -121,7 +105,7 @@ int main(int Argc, char **Argv) {
     printUsage(Parser);
     return driver::ExitClean;
   }
-  if (Incremental && !Driver.cacheDirRequested()) {
+  if (Req.Incremental && !Driver.cacheDirRequested()) {
     std::cerr << "mixyc: --incremental requires --cache-dir\n";
     return driver::ExitUsage;
   }
@@ -146,59 +130,29 @@ int main(int Argc, char **Argv) {
   if (Parser.positionals()[0] != "-")
     Driver.setInputName(Parser.positionals()[0]);
 
-  // Observability: the analysis (solver, caches, pool, fixpoint driver)
-  // reports into the driver's registry; the trace sink is attached only
-  // under --trace, the provenance sink only when the output renders
-  // evidence (--explain / --format=sarif).
-  Opts.Metrics = &Driver.metrics();
-  Opts.Trace = Driver.traceSink();
-  Opts.Prov = Driver.provenanceSink();
-  // Before the fingerprint below: the backend choice is part of the
-  // persisted-summary identity (DecidedBy lives in witness payloads).
-  Opts.Solver = Driver.solverSpec();
+  // The request carries the resolved source plus every cross-cutting flag;
+  // run() attaches observability (metrics always; trace under --trace,
+  // provenance when the output renders evidence) and the persist session
+  // (--cache-dir, honoring --incremental) on the service side.
+  Req.Source = std::move(Source);
+  Req.HasSource = true;
+  Driver.applyCommonRequest(Req);
 
-  CAstContext Ctx;
-  DiagnosticEngine Diags;
-
-  // Persistence: the session (null without --cache-dir) is loaded now and
-  // saved by writeArtifacts. A rejected cache degrades to a cold run with
-  // one MIX502 note.
-  Opts.Persist =
-      Driver.openPersist(Incremental, mixyPersistFingerprint(Opts), Diags);
-
-  const CProgram *Program = parseC(Source, Ctx, Diags);
-  if (!Program) {
-    Driver.emitDiagnostics(Diags, "mixyc");
-    Driver.writeArtifacts("mixyc");
-    return driver::ExitUsage;
-  }
+  service::AnalysisResponse Resp = Driver.service().run(Req);
 
   std::ostream &Info = Driver.jsonOutput() ? std::cerr : std::cout;
-  obs::MetricsRegistry &Reg = Driver.metrics();
+  const MetricsRegistry &Reg = Driver.metrics();
 
-  unsigned Warnings = 0;
-  if (Baseline) {
-    // Baseline inference runs outside MixyAnalysis, so the provenance
-    // sink is pushed into the qualifier options here.
-    Opts.Qual.Prov = Opts.Prov;
-    QualInference Inference(*Program, Ctx, Diags, Opts.Qual);
-    Inference.analyzeAll();
-    Inference.solve();
-    Warnings = Inference.reportWarnings();
-    Reg.counter("qual.variables").add(Inference.graph().numNodes());
-    Reg.counter("qual.flow_edges").add(Inference.graph().numEdges());
-    if (Driver.statsRequested())
+  if (Driver.statsRequested() && Resp.Exit != driver::ExitUsage) {
+    // Rendered from the metrics registry — the same numbers --metrics
+    // exports (the analyses publish their stats there at the end of each
+    // run).
+    if (Req.Baseline) {
       Info << "qualifier variables : " << Reg.counterValue("qual.variables")
            << "\n"
            << "flow edges          : " << Reg.counterValue("qual.flow_edges")
            << "\n";
-  } else {
-    MixyAnalysis Analysis(*Program, Ctx, Diags, Opts);
-    Warnings = Analysis.run(Mode, Entry);
-    if (Driver.statsRequested()) {
-      // Rendered from the metrics registry — the same numbers --metrics
-      // exports (MixyAnalysis publishes its stats there at the end of
-      // each run).
+    } else {
       Info << "typed->symbolic switches : "
            << Reg.counterValue("mixy.switch.typed_to_sym") << "\n"
            << "symbolic->typed switches : "
@@ -225,18 +179,20 @@ int main(int Argc, char **Argv) {
            << Reg.counterValue("engine.worklist.reruns") << "\n"
            << "round-barrier rounds     : "
            << Reg.counterValue("engine.fixpoint.rounds") << "\n";
-      if (Opts.Jobs > 1)
-        Info << "sym block cache          : " << Analysis.symCacheStats().str()
-             << "\n"
-             << "typed block cache        : "
-             << Analysis.typedCacheStats().str() << "\n";
+      if (Req.Jobs > 1)
+        Info << "sym block cache          : " << Resp.SymCacheStats << "\n"
+             << "typed block cache        : " << Resp.TypedCacheStats << "\n";
     }
   }
 
-  Driver.emitDiagnostics(Diags, "mixyc");
+  Driver.emitPayload(Resp.Payload);
+  if (Resp.Exit == driver::ExitUsage) {
+    Driver.writeArtifacts("mixyc");
+    return driver::ExitUsage;
+  }
   if (!Driver.writeArtifacts("mixyc"))
     return driver::ExitUsage;
   if (!Driver.jsonOutput())
-    std::cout << Warnings << " warning(s)\n";
-  return Warnings == 0 ? driver::ExitClean : driver::ExitFindings;
+    std::cout << Resp.Warnings << " warning(s)\n";
+  return Resp.Exit;
 }
