@@ -17,7 +17,9 @@
 #include "qual/QualInference.h"
 #include "support/Hash.h"
 
+#include <algorithm>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 using namespace mix;
@@ -283,16 +285,25 @@ void AnalysisService::fileChanged(const std::string &Path) {
   std::lock_guard<std::mutex> Lock(M);
   Registry.counter("service.file_changed").inc();
   // Drop cached responses computed from that path (content hashing would
-  // catch this on the next run anyway; this frees the memory now).
+  // catch this on the next run anyway; this frees the memory now). The
+  // eviction queue must forget the keys too, or a re-cached key is queued
+  // twice and its stale front entry later evicts the fresh response.
+  std::set<uint64_t> Dropped;
   for (auto It = ResponseCache.begin(); It != ResponseCache.end();) {
     auto P = ResponsePath.find(It->first);
     if (P != ResponsePath.end() && P->second == Path) {
+      Dropped.insert(It->first);
       ResponsePath.erase(P);
       It = ResponseCache.erase(It);
     } else {
       ++It;
     }
   }
+  if (!Dropped.empty())
+    ResponseOrder.erase(
+        std::remove_if(ResponseOrder.begin(), ResponseOrder.end(),
+                       [&](uint64_t K) { return Dropped.count(K) != 0; }),
+        ResponseOrder.end());
   // Warm sessions forget their summaries and manifests; solver verdicts
   // are formula-keyed and survive.
   for (auto &[Key, Entry] : Sessions) {
@@ -566,8 +577,10 @@ AnalysisResponse AnalysisService::serve(const AnalysisRequest &Req) {
         ResponseCache.erase(Evict);
         ResponsePath.erase(Evict);
       }
-      ResponseCache.emplace(Key, Resp);
-      ResponseOrder.push_back(Key);
+      // emplace and the order queue must stay in lockstep: a key that is
+      // somehow already cached must not be queued a second time.
+      if (ResponseCache.emplace(Key, Resp).second)
+        ResponseOrder.push_back(Key);
       if (!Req.HasSource && Req.Corpus.empty() && !Req.Path.empty())
         ResponsePath.emplace(Key, Req.Path);
     }

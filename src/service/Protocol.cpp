@@ -12,6 +12,7 @@
 #include <cmath>
 #include <functional>
 #include <initializer_list>
+#include <limits>
 #include <set>
 
 using namespace mix;
@@ -229,7 +230,11 @@ public:
 
   template <typename IntT> bool num(const char *Name, IntT &Out) {
     return field(Name, [&](const json::Value &F) {
-      if (!F.isNumber() || F.Num != std::floor(F.Num) || F.Num < 0)
+      // 2^digits is exactly representable as a double, so this bound also
+      // rejects values the double-to-IntT cast could not represent (that
+      // conversion would be undefined behavior, not saturation).
+      if (!F.isNumber() || F.Num != std::floor(F.Num) || F.Num < 0 ||
+          F.Num >= std::ldexp(1.0, std::numeric_limits<IntT>::digits))
         return fail(Name, "a non-negative integer");
       Out = (IntT)F.Num;
       return true;

@@ -196,25 +196,28 @@ private:
       case 'b': Out += '\b'; break;
       case 'f': Out += '\f'; break;
       case 'u': {
-        if (Pos + 4 > Text.size())
-          return fail("bad \\u escape");
+        // Standard clients escape non-ASCII by default (Python json.dumps
+        // ensure_ascii), so the full UTF-16 escape grammar — including
+        // surrogate pairs for non-BMP code points — must decode to the
+        // exact UTF-8 bytes the client meant.
         unsigned Code = 0;
-        for (int I = 0; I != 4; ++I) {
-          char H = Text[Pos++];
-          Code <<= 4;
-          if (H >= '0' && H <= '9')
-            Code |= H - '0';
-          else if (H >= 'a' && H <= 'f')
-            Code |= H - 'a' + 10;
-          else if (H >= 'A' && H <= 'F')
-            Code |= H - 'A' + 10;
-          else
-            return fail("bad \\u digit");
+        if (!parseHex4(Code))
+          return false;
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          if (Pos + 2 > Text.size() || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u')
+            return fail("unpaired surrogate");
+          Pos += 2;
+          unsigned Low = 0;
+          if (!parseHex4(Low))
+            return false;
+          if (Low < 0xDC00 || Low > 0xDFFF)
+            return fail("unpaired surrogate");
+          Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+        } else if (Code >= 0xDC00 && Code <= 0xDFFF) {
+          return fail("unpaired surrogate");
         }
-        // The renderers only escape control characters, so ASCII is
-        // enough; a non-ASCII code point is truncated rather than
-        // rejected (protocol strings are UTF-8 passed through verbatim).
-        Out += (char)Code;
+        appendUtf8(Out, Code);
         break;
       }
       default:
@@ -225,6 +228,43 @@ private:
       return fail("unterminated string");
     ++Pos; // closing quote
     return true;
+  }
+
+  bool parseHex4(unsigned &Code) {
+    if (Pos + 4 > Text.size())
+      return fail("bad \\u escape");
+    Code = 0;
+    for (int I = 0; I != 4; ++I) {
+      char H = Text[Pos++];
+      Code <<= 4;
+      if (H >= '0' && H <= '9')
+        Code |= H - '0';
+      else if (H >= 'a' && H <= 'f')
+        Code |= H - 'a' + 10;
+      else if (H >= 'A' && H <= 'F')
+        Code |= H - 'A' + 10;
+      else
+        return fail("bad \\u digit");
+    }
+    return true;
+  }
+
+  static void appendUtf8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out += (char)Code;
+    } else if (Code < 0x800) {
+      Out += (char)(0xC0 | (Code >> 6));
+      Out += (char)(0x80 | (Code & 0x3F));
+    } else if (Code < 0x10000) {
+      Out += (char)(0xE0 | (Code >> 12));
+      Out += (char)(0x80 | ((Code >> 6) & 0x3F));
+      Out += (char)(0x80 | (Code & 0x3F));
+    } else {
+      Out += (char)(0xF0 | (Code >> 18));
+      Out += (char)(0x80 | ((Code >> 12) & 0x3F));
+      Out += (char)(0x80 | ((Code >> 6) & 0x3F));
+      Out += (char)(0x80 | (Code & 0x3F));
+    }
   }
 
   bool parseKeyword(Value &Out) {

@@ -165,6 +165,12 @@ TEST(ProtocolTest, RequestDecodeIsStrict) {
       "{\"version\": 1, \"tool\": \"mixy\", \"jobs\": -1}", Out, Error));
   EXPECT_EQ(Error, "field 'jobs' must be a non-negative integer");
 
+  // An integral double beyond the target type's range must be rejected,
+  // not cast (the out-of-range conversion is undefined behavior).
+  EXPECT_FALSE(service::decodeRequest(
+      "{\"version\": 1, \"tool\": \"mixy\", \"jobs\": 1e30}", Out, Error));
+  EXPECT_EQ(Error, "field 'jobs' must be a non-negative integer");
+
   EXPECT_FALSE(service::decodeRequest(
       "{\"version\": 1, \"tool\": \"mixy\", \"entry\": \"\"}", Out, Error));
   EXPECT_EQ(Error, "field 'entry' must be a non-empty string");
@@ -172,6 +178,25 @@ TEST(ProtocolTest, RequestDecodeIsStrict) {
   // Not JSON at all: the parse error surfaces.
   EXPECT_FALSE(service::decodeRequest("{not json", Out, Error));
   EXPECT_FALSE(Error.empty());
+}
+
+TEST(ProtocolTest, UnicodeEscapesDecodeToUtf8) {
+  json::Value V;
+  std::string Error;
+  // ensure_ascii clients (Python json.dumps and friends) escape every
+  // non-ASCII character; the decoded bytes must be the UTF-8 the client
+  // meant, not a one-byte truncation of the code point.
+  ASSERT_TRUE(json::parseDocument(
+      "{\"path\": \"caf\\u00e9\", \"text\": \"\\u0041\\u20ac\\ud83d\\ude00\"}",
+      V, &Error))
+      << Error;
+  EXPECT_EQ(V["path"].str(), "caf\xc3\xa9");
+  EXPECT_EQ(V["text"].str(), "A\xe2\x82\xac\xf0\x9f\x98\x80");
+
+  // Lone or out-of-order surrogates are malformed input, not data.
+  EXPECT_FALSE(json::parseDocument("\"\\ud83d\"", V, &Error));
+  EXPECT_FALSE(json::parseDocument("\"\\ude00\\ud83d\"", V, &Error));
+  EXPECT_FALSE(json::parseDocument("\"\\ud83dxx\"", V, &Error));
 }
 
 TEST(ProtocolTest, ResponseGoldenRoundTrip) {
@@ -581,6 +606,40 @@ TEST(ServiceServeTest, FileChangedDropsCachedPathResponses) {
   service::AnalysisResponse After = Svc.serve(Req);
   EXPECT_FALSE(After.FromCache);
   EXPECT_EQ(After.Payload, Cold.Payload); // same bytes -> same findings
+
+  std::filesystem::remove(Path);
+}
+
+TEST(ServiceServeTest, FileChangedForgetsEvictionOrder) {
+  // fileChanged must drop invalidated keys from the eviction queue too:
+  // with a stale front entry left behind, a re-cached key is queued
+  // twice and the duplicate later evicts the fresh response early.
+  std::string Path = ::testing::TempDir() + "mix_service_fc_order.c";
+  {
+    std::ofstream Out(Path, std::ios::trunc);
+    Out << "int main(void) { return 0; }\n";
+  }
+
+  service::ServiceConfig SC = daemonConfig();
+  SC.ResponseCacheCap = 2;
+  service::AnalysisService Svc(SC);
+
+  service::AnalysisRequest A;
+  A.ToolKind = service::Tool::Mixy;
+  A.Path = Path;
+  service::AnalysisRequest B;
+  B.ToolKind = service::Tool::Mixy;
+  B.Corpus = "case1";
+
+  EXPECT_FALSE(Svc.serve(A).FromCache); // cache: [A]
+  Svc.fileChanged(Path);                // cache: [] (queue too)
+  EXPECT_FALSE(Svc.serve(A).FromCache); // cache: [A] again
+  EXPECT_FALSE(Svc.serve(B).FromCache); // cache: [A, B] — within cap
+
+  // Both must still be resident; a stale queue entry for A would have
+  // evicted the fresh A when B was cached.
+  EXPECT_TRUE(Svc.serve(A).FromCache);
+  EXPECT_TRUE(Svc.serve(B).FromCache);
 
   std::filesystem::remove(Path);
 }

@@ -23,6 +23,7 @@ import json
 import signal
 import subprocess
 import sys
+import time
 
 
 class DaemonClient:
@@ -184,6 +185,25 @@ def main():
     assert client.request(11, "shutdown")["result"]["ok"]
     code = client.close()
     assert code == 0, f"daemon exited {code}"
+
+    # 10. Deadline mode: a request that finishes before --deadline-ms gets
+    #     exactly one reply. The watcher sweeps at the deadline even when
+    #     the worker already answered; it must retire the ticket silently,
+    #     not append a second bogus timeout error for the same id.
+    client = DaemonClient(mixyd, ["--deadline-ms=1000"])
+    ok = client.request(
+        1, "analyze", analyze_params(corpus="case1", input_name="@case1",
+                                     format="json"))
+    assert ok["result"]["exit"] == 0, ok
+    time.sleep(1.5)  # let the deadline pass and the watcher sweep
+    status = client.request(2, "status")["result"]
+    assert status["timeouts"] == 0, status
+    assert not client.pending, \
+        f"extra envelopes after completion: {client.pending}"
+    assert client.request(3, "shutdown")["result"]["ok"]
+    code = client.close()
+    assert code == 0, f"deadline-mode daemon exited {code}"
+
     print("mixyd stdio smoke: all checks passed")
 
 

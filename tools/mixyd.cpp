@@ -143,18 +143,18 @@ private:
       std::vector<std::function<void()>> Fired;
       auto Next = Now + std::chrono::hours(24);
       for (size_t I = 0; I < Tickets.size();) {
-        if (Tickets[I].Claimed->load() ||
-            (Tickets[I].Deadline <= Now &&
-             !Tickets[I].Claimed->exchange(true))) {
-          if (Tickets[I].Deadline <= Now && Tickets[I].OnTimeout)
-            Fired.push_back(std::move(Tickets[I].OnTimeout));
+        if (Tickets[I].Claimed->load()) {
+          // The worker already replied; retire the ticket silently even
+          // when the sweep runs at/after its deadline.
           Tickets[I] = std::move(Tickets.back());
           Tickets.pop_back();
           continue;
         }
         if (Tickets[I].Deadline <= Now) {
-          // Completed concurrently (Claimed was set between the checks);
-          // drop the ticket on the next sweep.
+          // Fire only when this sweep wins the claim; losing the race
+          // to a concurrent completion must stay silent too.
+          if (!Tickets[I].Claimed->exchange(true) && Tickets[I].OnTimeout)
+            Fired.push_back(std::move(Tickets[I].OnTimeout));
           Tickets[I] = std::move(Tickets.back());
           Tickets.pop_back();
           continue;
@@ -547,13 +547,20 @@ int main(int Argc, char **Argv) {
     }
     ::close(ListenFd);
     ::unlink(ListenPath.c_str());
+    // Unblock the reader threads but leave the write side open: drained
+    // in-flight workers can still deliver their final replies.
     {
       std::lock_guard<std::mutex> Lock(ClientsMu);
       for (int Fd : ClientFds)
-        ::shutdown(Fd, SHUT_RDWR);
+        ::shutdown(Fd, SHUT_RD);
     }
     for (std::thread &T : Clients)
       T.join();
+    // Drain in-flight analyses before closing the fds their Channels
+    // wrap: the analyses themselves open files (source reads, persist
+    // save, artifacts), so a closed fd number could be reused and a late
+    // reply would write response JSON into an unrelated file.
+    D.finish();
     {
       std::lock_guard<std::mutex> Lock(ClientsMu);
       for (int Fd : ClientFds)
