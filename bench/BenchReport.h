@@ -1,0 +1,60 @@
+//===--- BenchReport.h - Shared main() for the benchmark binaries ---------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MIX_BENCH_MAIN(name) replaces BENCHMARK_MAIN() in every bench_*
+/// binary: unless the caller already passed --benchmark_out, results are
+/// additionally written to BENCH_<name>.json (google benchmark's JSON
+/// format) in the working directory. CI uploads the uniform BENCH_*.json
+/// artifact set without per-binary plumbing; local runs get the same
+/// files for free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_BENCH_BENCHREPORT_H
+#define MIX_BENCH_BENCHREPORT_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mix {
+namespace benchreport {
+
+inline int benchMain(int argc, char **argv, const char *Name) {
+  std::vector<char *> Args(argv, argv + argc);
+  bool HasOut = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strncmp(argv[I], "--benchmark_out=", 16) == 0)
+      HasOut = true;
+  std::string OutFlag, FmtFlag;
+  if (!HasOut) {
+    OutFlag = std::string("--benchmark_out=BENCH_") + Name + ".json";
+    FmtFlag = "--benchmark_out_format=json";
+    Args.push_back(OutFlag.data());
+    Args.push_back(FmtFlag.data());
+  }
+  int Argc = (int)Args.size();
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+} // namespace benchreport
+} // namespace mix
+
+#define MIX_BENCH_MAIN(name)                                                   \
+  int main(int argc, char **argv) {                                            \
+    return mix::benchreport::benchMain(argc, argv, #name);                     \
+  }
+
+#endif // MIX_BENCH_BENCHREPORT_H

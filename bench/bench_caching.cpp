@@ -11,6 +11,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
+
 #include "cfront/CParser.h"
 #include "mixy/Mixy.h"
 
@@ -86,4 +88,4 @@ BENCHMARK(BM_Caching_Off)
     ->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+MIX_BENCH_MAIN(caching)

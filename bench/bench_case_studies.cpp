@@ -11,6 +11,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
+
 #include "cfront/CParser.h"
 #include "mixy/Mixy.h"
 #include "mixy/VsftpdMini.h"
@@ -71,4 +73,4 @@ void BM_Case_Mixy(benchmark::State &State) {
 BENCHMARK(BM_Case_Baseline)->DenseRange(1, 4)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_Case_Mixy)->DenseRange(1, 4)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+MIX_BENCH_MAIN(case_studies)

@@ -12,6 +12,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
+
 #include "cfront/CParser.h"
 #include "mixy/Mixy.h"
 
@@ -164,4 +166,4 @@ BENCHMARK(BM_DeepChainSchedule)
     ->Args({32, 1})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+MIX_BENCH_MAIN(fixpoint)

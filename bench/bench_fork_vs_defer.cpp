@@ -11,6 +11,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
+
 #include "lang/Parser.h"
 #include "mix/MixChecker.h"
 
@@ -97,4 +99,4 @@ BENCHMARK(BM_Ladder_Concolic)
     ->Arg(8)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+MIX_BENCH_MAIN(fork_vs_defer)

@@ -12,6 +12,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
+
 #include "lang/Parser.h"
 #include "mix/MixChecker.h"
 
@@ -87,4 +89,4 @@ BENCHMARK(BM_MixedAnalysis)
     ->Arg(12)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+MIX_BENCH_MAIN(mix_tradeoff)

@@ -11,6 +11,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
+
 #include "cfront/CParser.h"
 #include "mixy/Mixy.h"
 #include "mixy/VsftpdMini.h"
@@ -139,4 +141,4 @@ BENCHMARK(BM_Mixy_MetricsOn);
 BENCHMARK(BM_Mixy_MetricsAndTraceOn);
 BENCHMARK(BM_Mixy_ProvenanceOn);
 
-BENCHMARK_MAIN();
+MIX_BENCH_MAIN(observe)

@@ -12,6 +12,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
+
 #include "cfront/CParser.h"
 #include "mixy/Mixy.h"
 #include "mixy/VsftpdMini.h"
@@ -109,4 +111,4 @@ BENCHMARK(BM_Mixy_NoCache)->Arg(2)->Arg(6)->Arg(12)->Unit(benchmark::kMillisecon
 BENCHMARK(BM_Mixy_Cold)->Arg(2)->Arg(6)->Arg(12)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Mixy_Warm)->Arg(2)->Arg(6)->Arg(12)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+MIX_BENCH_MAIN(persist)

@@ -15,6 +15,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
+
 #include "cfront/CParser.h"
 #include "mixy/Mixy.h"
 #include "mixy/VsftpdMini.h"
@@ -108,4 +110,4 @@ BENCHMARK(BM_Scaling_Threads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-BENCHMARK_MAIN();
+MIX_BENCH_MAIN(scaling)

@@ -10,6 +10,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
+
 #include "solver/AssertionStack.h"
 #include "solver/Sat.h"
 #include "solver/SmtSolver.h"
@@ -230,4 +232,4 @@ BENCHMARK(BM_Solver_Portfolio)
     ->Arg(1)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+MIX_BENCH_MAIN(solver)

@@ -1,0 +1,18 @@
+//===--- ExecFactory.cpp - Execution-engine selection ---------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "concolic/IrExecutor.h"
+
+using namespace mix;
+
+std::unique_ptr<ExecEngine>
+concolic::makeExecEngine(SymArena &Arena, DiagnosticEngine &Diags,
+                         const SymExecOptions &Opts) {
+  if (Opts.ExecMode == SymExecOptions::Engine::Ir)
+    return std::make_unique<IrExecutor>(Arena, Diags, Opts);
+  return std::make_unique<SymExecutor>(Arena, Diags, Opts);
+}

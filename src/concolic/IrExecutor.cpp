@@ -1,0 +1,954 @@
+//===--- IrExecutor.cpp - Concolic interpreter over the bytecode ----------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "concolic/IrExecutor.h"
+
+#include "symexec/Effects.h"
+#include "symexec/MemCheck.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mix;
+using namespace mix::concolic;
+
+IrExecutor::IrExecutor(SymArena &Arena, DiagnosticEngine &Diags,
+                       SymExecOptions Opts)
+    : Arena(Arena), Diags(Diags), Opts(Opts) {
+  (void)this->Diags;
+  if (Opts.Metrics) {
+    CForks = Opts.Metrics->counter("sym.forks");
+    CDefers = Opts.Metrics->counter("sym.defers");
+    CHavocs = Opts.Metrics->counter("sym.havocs");
+    CExecPaths = Opts.Metrics->counter("exec.paths");
+    CBranchesConc = Opts.Metrics->counter("exec.branches.concrete");
+    CTermsBuilt = Opts.Metrics->counter("exec.terms.built");
+    CTermsGcd = Opts.Metrics->counter("exec.terms.gcd");
+    CLowerHits = Opts.Metrics->counter("ir.lower.hits");
+    CLowerMisses = Opts.Metrics->counter("ir.lower.misses");
+  }
+}
+
+void IrExecutor::setSolver(smt::ISolver *Solver, SymToSmt *Translator) {
+  this->Solver = Solver;
+  this->Translator = Translator;
+  PathChecker.reset();
+  if (Solver)
+    PathChecker = std::make_unique<smt::PathSolver>(
+        *Solver, Opts.IncrementalSolver, Opts.Metrics);
+}
+
+// --- Shadow/expression conversions ----------------------------------------
+
+const SymExpr *IrExecutor::toSym(const RegValue &V) {
+  switch (V.Kind) {
+  case RegValue::K::CInt:
+    return Arena.intConst(V.I);
+  case RegValue::K::CBool:
+    return Arena.boolConst(V.B);
+  case RegValue::K::Sym:
+    return V.S;
+  case RegValue::K::Invalid:
+    break;
+  }
+  assert(false && "use of an unwritten register");
+  return nullptr;
+}
+
+IrExecutor::RegValue IrExecutor::fromSym(const SymExpr *E) {
+  if (E->kind() == SymKind::IntConst)
+    return cint(E->intValue());
+  if (E->kind() == SymKind::BoolConst)
+    return cbool(E->boolValue());
+  return symv(E);
+}
+
+const Type *IrExecutor::typeOf(const RegValue &V) {
+  switch (V.Kind) {
+  case RegValue::K::CInt:
+    return Arena.types().intType();
+  case RegValue::K::CBool:
+    return Arena.types().boolType();
+  case RegValue::K::Sym:
+    return V.S->type();
+  case RegValue::K::Invalid:
+    break;
+  }
+  assert(false && "use of an unwritten register");
+  return Arena.types().intType();
+}
+
+IrExecutor::Outcome IrExecutor::errorOutcome(SymState S, SourceLoc Loc,
+                                             std::string Msg) {
+  Outcome O;
+  O.S = std::move(S);
+  O.IsError = true;
+  O.ErrLoc = Loc;
+  O.ErrMsg = std::move(Msg);
+  return O;
+}
+
+// --- Semantics fragments shared verbatim with the AST engine --------------
+
+bool IrExecutor::pruned(const SymState &S) {
+  if (!Opts.PruneInfeasible || !Solver || !Translator)
+    return false;
+  if (S.Path->isConst())
+    return !S.Path->boolValue();
+  return PathChecker->checkPath(S.PC, Translator->translate(S.Path)) ==
+         smt::SolveResult::Unsat;
+}
+
+bool IrExecutor::derefMemoryOk(const SymState &S, const SymExpr *Addr) {
+  MemCheckResult Check = checkMemoryOk(S.Mem);
+  if (Check.Ok)
+    return true;
+  if (!Opts.PreciseDeref)
+    return false;
+
+  // The refinement from Section 3.1: the read is still sound if the
+  // address is disequal to every inconsistent write's address.
+  for (const MemNode *Bad : Check.BadWrites) {
+    const SymExpr *BadAddr = Bad->address();
+    if (BadAddr == Addr)
+      return false; // syntactically the same cell: definitely unsafe
+    bool BothVars = BadAddr->kind() == SymKind::Var &&
+                    Addr->kind() == SymKind::Var;
+    if (BothVars &&
+        (Arena.isAllocAddress(BadAddr) || Arena.isAllocAddress(Addr)))
+      continue;
+    if (!Solver || !Translator)
+      return false;
+    const smt::Term *Eq = Translator->terms().eqInt(
+        Translator->translate(Addr), Translator->translate(BadAddr));
+    if (PathChecker->checkPathWith(S.PC, Translator->translate(S.Path), Eq) !=
+        smt::SolveResult::Unsat)
+      return false;
+  }
+  return true;
+}
+
+void IrExecutor::extendPath(SymState &S, const SymExpr *Guard) {
+  S.Path = Arena.andG(S.Path, Guard);
+  if (Translator)
+    S.PC = S.PC.extend(Translator->terms(), Translator->translate(Guard));
+}
+
+bool IrExecutor::concreteTruth(const SymExpr *Guard) const {
+  switch (Guard->kind()) {
+  case SymKind::BoolConst:
+    return Guard->boolValue();
+  case SymKind::Var: {
+    if (!Seed)
+      return false;
+    auto It = Seed->BoolVars.find(Guard->varId());
+    return It != Seed->BoolVars.end() && It->second;
+  }
+  case SymKind::Eq: {
+    const SymExpr *L = Guard->operand(0);
+    if (L->type()->isBool())
+      return concreteTruth(L) == concreteTruth(Guard->operand(1));
+    return concreteInt(L) == concreteInt(Guard->operand(1));
+  }
+  case SymKind::Lt:
+    return concreteInt(Guard->operand(0)) < concreteInt(Guard->operand(1));
+  case SymKind::Le:
+    return concreteInt(Guard->operand(0)) <= concreteInt(Guard->operand(1));
+  case SymKind::Not:
+    return !concreteTruth(Guard->operand(0));
+  case SymKind::And:
+    return concreteTruth(Guard->operand(0)) &&
+           concreteTruth(Guard->operand(1));
+  case SymKind::Or:
+    return concreteTruth(Guard->operand(0)) ||
+           concreteTruth(Guard->operand(1));
+  case SymKind::Ite:
+    return concreteTruth(Guard->operand(0))
+               ? concreteTruth(Guard->operand(1))
+               : concreteTruth(Guard->operand(2));
+  case SymKind::Select: {
+    if (!Seed)
+      return false;
+    auto It = Seed->BoolSelects.find(Guard);
+    return It != Seed->BoolSelects.end() && It->second;
+  }
+  default:
+    return false;
+  }
+}
+
+long long IrExecutor::concreteInt(const SymExpr *E) const {
+  switch (E->kind()) {
+  case SymKind::IntConst:
+    return E->intValue();
+  case SymKind::Var: {
+    if (!Seed)
+      return 0;
+    auto It = Seed->IntVars.find(E->varId());
+    return It == Seed->IntVars.end() ? 0 : It->second;
+  }
+  case SymKind::Add:
+    return concreteInt(E->operand(0)) + concreteInt(E->operand(1));
+  case SymKind::Sub:
+    return concreteInt(E->operand(0)) - concreteInt(E->operand(1));
+  case SymKind::Ite:
+    return concreteTruth(E->operand(0)) ? concreteInt(E->operand(1))
+                                        : concreteInt(E->operand(2));
+  case SymKind::Select: {
+    if (!Seed)
+      return 0;
+    auto It = Seed->IntSelects.find(E);
+    return It == Seed->IntSelects.end() ? 0 : It->second;
+  }
+  default:
+    return 0;
+  }
+}
+
+const MemNode *IrExecutor::havocForTypedBlock(const BlockExpr *B,
+                                              const SymEnv &Env,
+                                              const MemNode *Mem) {
+  CHavocs.inc();
+  if (Opts.Trace)
+    Opts.Trace->instant("sym.havoc", "sym");
+  if (Opts.Havoc == SymExecOptions::HavocPolicy::FullMemory)
+    return Arena.freshBaseMemory();
+
+  WriteEffects Effects = computeWriteEffects(B->body());
+  if (Effects.MayWriteUnknown)
+    return Arena.freshBaseMemory();
+
+  const MemNode *Result = Mem;
+  for (const std::string &Name : Effects.Vars) {
+    auto It = Env.find(Name);
+    if (It == Env.end())
+      continue;
+    const SymExpr *Target = It->second;
+    if (!Target->type()->isRef())
+      continue;
+    Result = Arena.update(Result, Target,
+                          Arena.freshVar(Target->type()->pointee()));
+  }
+  return Result;
+}
+
+// --- Lowering cache --------------------------------------------------------
+
+namespace {
+
+std::string envSig(const std::vector<std::string> &Names) {
+  std::string Sig;
+  for (const std::string &N : Names) {
+    Sig += N;
+    Sig += '\x1f'; // unit separator: names cannot contain it
+  }
+  return Sig;
+}
+
+} // namespace
+
+const ir::IrFunction &IrExecutor::lowered(const Expr *Root,
+                                          std::vector<std::string> EnvNames) {
+  std::pair<const void *, std::string> Key(Root, envSig(EnvNames));
+  auto It = LoweredCache.find(Key);
+  if (It != LoweredCache.end()) {
+    CLowerHits.inc();
+    return *It->second;
+  }
+  CLowerMisses.inc();
+  auto F = std::make_unique<ir::IrFunction>(
+      ir::lower(Root, std::move(EnvNames)));
+  assert(ir::verify(*F).empty() && "lowering produced ill-formed bytecode");
+  const ir::IrFunction &Ref = *F;
+  LoweredCache.emplace(std::move(Key), std::move(F));
+  return Ref;
+}
+
+const ir::IrFunction &IrExecutor::loweredCallee(const FunExpr *FE,
+                                                const SymEnv &CloEnv) {
+  std::vector<std::string> Names;
+  Names.reserve(CloEnv.size());
+  for (const auto &[Name, Val] : CloEnv) {
+    (void)Val;
+    Names.push_back(Name);
+  }
+  return lowered(FE->body(), std::move(Names));
+}
+
+// --- The interpreter -------------------------------------------------------
+
+std::vector<IrExecutor::Outcome>
+IrExecutor::continueSegment(const ir::IrFunction &F, uint32_t R, size_t I,
+                            uint32_t Dst, std::vector<Outcome> Outs,
+                            size_t End) {
+  for (Outcome &O : Outs)
+    if (!O.IsError)
+      O.Regs[Dst] = O.Value;
+
+  // One live outcome resumes directly — no barrier is observable.
+  if (Outs.size() == 1) {
+    if (Outs[0].IsError)
+      return Outs;
+    return runSegment(F, R, std::move(Outs[0].Regs), std::move(Outs[0].S),
+                      I + 1, End);
+  }
+
+  // Several outcomes: replay the AST engine's nested `andThen`. Every
+  // node span enclosing instruction I contributes a continuation
+  // barrier at its end — the innermost enclosing node's remaining
+  // instructions run for all outcomes (in order) before the next level
+  // out. Errors skip the work but keep their list position, exactly as
+  // `andThen` propagates them.
+  std::vector<size_t> Barriers;
+  for (const auto &[Start, SpanEnd] : F.Regions[R].Spans)
+    if (Start <= I && I < SpanEnd && SpanEnd > I + 1 && SpanEnd < End)
+      Barriers.push_back(SpanEnd);
+  std::sort(Barriers.begin(), Barriers.end());
+  Barriers.erase(std::unique(Barriers.begin(), Barriers.end()),
+                 Barriers.end());
+  Barriers.push_back(End);
+
+  std::vector<Outcome> Cur = std::move(Outs);
+  size_t Pos = I + 1;
+  for (size_t Barrier : Barriers) {
+    std::vector<Outcome> Next;
+    for (Outcome &O : Cur) {
+      if (O.IsError) {
+        Next.push_back(std::move(O));
+        continue;
+      }
+      std::vector<Outcome> Rest =
+          runSegment(F, R, std::move(O.Regs), std::move(O.S), Pos, Barrier);
+      for (Outcome &Nx : Rest)
+        Next.push_back(std::move(Nx));
+    }
+    Cur = std::move(Next);
+    Pos = Barrier;
+  }
+  return Cur;
+}
+
+std::vector<IrExecutor::Outcome>
+IrExecutor::runSegment(const ir::IrFunction &F, uint32_t R,
+                       std::vector<RegValue> Regs, SymState S, size_t From,
+                       size_t End) {
+  // Concrete branches — the common case the engine exists for — are
+  // executed iteratively: entering a taken sub-region pushes a resume
+  // frame instead of recursing, so a fully concrete program runs as one
+  // allocation-free loop over the register file. Only multi-outcome
+  // instructions (symbolic branches, calls) fall back to the recursive
+  // outcome machinery, threading pending frames through continueSegment.
+  struct Frame {
+    uint32_t R;
+    size_t I, End;
+    uint32_t Dst;
+  };
+  std::vector<Frame> Stack;
+  auto Unwind = [&](std::vector<Outcome> Outs) {
+    while (!Stack.empty()) {
+      Frame Fr = Stack.back();
+      Stack.pop_back();
+      Outs = continueSegment(F, Fr.R, Fr.I - 1, Fr.Dst, std::move(Outs),
+                             Fr.End);
+    }
+    return Outs;
+  };
+
+  const ir::Region *Reg = &F.Regions[R];
+  size_t I = From;
+  for (;;) {
+    if (I >= End) {
+      if (Stack.empty())
+        break;
+      // Sub-region fall-through: its result register feeds the Branch
+      // destination, execution resumes after the Branch instruction.
+      Frame Fr = Stack.back();
+      Stack.pop_back();
+      Regs[Fr.Dst] = Regs[Reg->Result];
+      R = Fr.R;
+      I = Fr.I;
+      End = Fr.End;
+      Reg = &F.Regions[R];
+      continue;
+    }
+    const ir::Instr &In = Reg->Code[I];
+    switch (In.Op) {
+    case ir::Opcode::Step:
+      if (++Steps > Opts.MaxSteps) {
+        HitLimit = true;
+        return {errorOutcome(std::move(S), In.Loc,
+                             "symbolic execution step budget exceeded")};
+      }
+      break;
+
+    case ir::Opcode::Unbound:
+      return {errorOutcome(std::move(S), In.Loc,
+                           "unbound variable '" + F.Names[In.Aux] + "'")};
+
+    case ir::Opcode::ConstInt:
+      Regs[In.Dst] = cint(In.Imm);
+      break;
+
+    case ir::Opcode::ConstBool:
+      Regs[In.Dst] = cbool(In.BImm);
+      break;
+
+    case ir::Opcode::BinOp: {
+      const RegValue &L = Regs[In.A];
+      const RegValue &Rv = Regs[In.B];
+      // Operand classes come from the shadow kind when concrete — no
+      // type object is touched on the hot path; typeOf() runs only for
+      // symbolic operands and for error messages.
+      bool LI = L.Kind == RegValue::K::CInt ||
+                (L.Kind == RegValue::K::Sym && L.S->type()->isInt());
+      bool LB = L.Kind == RegValue::K::CBool ||
+                (L.Kind == RegValue::K::Sym && L.S->type()->isBool());
+      bool RI = Rv.Kind == RegValue::K::CInt ||
+                (Rv.Kind == RegValue::K::Sym && Rv.S->type()->isInt());
+      bool RB = Rv.Kind == RegValue::K::CBool ||
+                (Rv.Kind == RegValue::K::Sym && Rv.S->type()->isBool());
+      const char *Need = "supported operator";
+      bool Ok = false;
+      switch (In.BOp) {
+      case BinaryOp::Add:
+      case BinaryOp::Sub:
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+        Need = "int operands";
+        Ok = LI && RI;
+        break;
+      case BinaryOp::Eq:
+        Need = "two ints or two bools";
+        Ok = (LI && RI) || (LB && RB);
+        break;
+      case BinaryOp::And:
+      case BinaryOp::Or:
+        Need = "bool operands";
+        Ok = LB && RB;
+        break;
+      }
+      if (!Ok)
+        return {errorOutcome(std::move(S), In.Loc,
+                             std::string("operator '") +
+                                 binaryOpSpelling(In.BOp) + "' applied to " +
+                                 typeOf(L)->str() + " and " +
+                                 typeOf(Rv)->str() + " (needs " + Need +
+                                 ")")};
+      RegValue Out;
+      if (L.Kind != RegValue::K::Sym && Rv.Kind != RegValue::K::Sym) {
+        // Both operands concrete: compute natively, no arena traffic.
+        // The arena's constant folding computes the same values, so a
+        // later materialization is pointer-identical to what the AST
+        // engine built.
+        switch (In.BOp) {
+        case BinaryOp::Add:
+          Out = cint(L.I + Rv.I);
+          break;
+        case BinaryOp::Sub:
+          Out = cint(L.I - Rv.I);
+          break;
+        case BinaryOp::Lt:
+          Out = cbool(L.I < Rv.I);
+          break;
+        case BinaryOp::Le:
+          Out = cbool(L.I <= Rv.I);
+          break;
+        case BinaryOp::Eq:
+          Out = cbool(L.Kind == RegValue::K::CInt ? L.I == Rv.I
+                                                  : L.B == Rv.B);
+          break;
+        case BinaryOp::And:
+          Out = cbool(L.B && Rv.B);
+          break;
+        case BinaryOp::Or:
+          Out = cbool(L.B || Rv.B);
+          break;
+        }
+      } else {
+        const SymExpr *LS = toSym(L);
+        const SymExpr *RS = toSym(Rv);
+        const SymExpr *ES = nullptr;
+        switch (In.BOp) {
+        case BinaryOp::Add:
+          ES = Arena.add(LS, RS);
+          break;
+        case BinaryOp::Sub:
+          ES = Arena.sub(LS, RS);
+          break;
+        case BinaryOp::Lt:
+          ES = Arena.lt(LS, RS);
+          break;
+        case BinaryOp::Le:
+          ES = Arena.le(LS, RS);
+          break;
+        case BinaryOp::Eq:
+          ES = Arena.eq(LS, RS);
+          break;
+        case BinaryOp::And:
+          ES = Arena.andG(LS, RS);
+          break;
+        case BinaryOp::Or:
+          ES = Arena.orG(LS, RS);
+          break;
+        }
+        // Demote arena-folded constants (x and false, e == e, ...) back
+        // to shadows so later branches on them stay concrete — exactly
+        // the guards the AST engine's execIf treats as constant.
+        Out = fromSym(ES);
+      }
+      Regs[In.Dst] = Out;
+      break;
+    }
+
+    case ir::Opcode::Not: {
+      const RegValue &V = Regs[In.A];
+      if (!typeOf(V)->isBool())
+        return {errorOutcome(
+            std::move(S), In.Loc,
+            "'not' applied to non-bool symbolic value of type " +
+                typeOf(V)->str())};
+      Regs[In.Dst] = V.Kind == RegValue::K::CBool
+                         ? cbool(!V.B)
+                         : fromSym(Arena.notG(V.S));
+      break;
+    }
+
+    case ir::Opcode::Branch: {
+      const RegValue &GV = Regs[In.A];
+      bool Concrete;
+      if (GV.Kind == RegValue::K::CBool) {
+        Concrete = true;
+      } else if (GV.Kind == RegValue::K::Sym && GV.S->type()->isBool()) {
+        // Demoted constants never reach here as expressions, but a
+        // folded constant is still taken concretely if one does.
+        Concrete = GV.S->isConst();
+      } else {
+        return {errorOutcome(std::move(S), In.Loc2,
+                             "condition has non-bool type " +
+                                 typeOf(GV)->str())};
+      }
+      if (Concrete) {
+        CBranchesConc.inc();
+        bool Taken =
+            GV.Kind == RegValue::K::CBool ? GV.B : GV.S->boolValue();
+        Stack.push_back({R, I + 1, End, In.Dst});
+        R = Taken ? In.R1 : In.R2;
+        Reg = &F.Regions[R];
+        I = 0;
+        End = Reg->Code.size();
+        continue;
+      }
+      return Unwind(execBranch(F, R, I, std::move(Regs), std::move(S), End));
+    }
+
+    case ir::Opcode::LetCheck: {
+      const Type *VT = typeOf(Regs[In.A]);
+      if (In.Ty && VT != In.Ty)
+        return {errorOutcome(std::move(S), In.Loc,
+                             "let binding declares " + In.Ty->str() +
+                                 " but value has type " + VT->str())};
+      break;
+    }
+
+    case ir::Opcode::Ref: {
+      const SymExpr *V = toSym(Regs[In.A]);
+      const Type *RefTy = Arena.types().refType(V->type());
+      const SymExpr *Addr = Arena.freshVar(RefTy, /*IsAllocAddr=*/true);
+      S.Mem = Arena.alloc(S.Mem, Addr, V);
+      Regs[In.Dst] = symv(Addr);
+      break;
+    }
+
+    case ir::Opcode::Deref: {
+      const RegValue &V = Regs[In.A];
+      if (!typeOf(V)->isRef())
+        return {errorOutcome(
+            std::move(S), In.Loc,
+            "'!' applied to non-reference symbolic value of type " +
+                typeOf(V)->str())};
+      // Reference-typed values are always expressions (shadows cover
+      // only int and bool).
+      if (!derefMemoryOk(S, V.S))
+        return {errorOutcome(std::move(S), In.Loc,
+                             "memory is not consistently typed at "
+                             "dereference (|- m ok fails)")};
+      Regs[In.Dst] = fromSym(Arena.select(S.Mem, V.S));
+      break;
+    }
+
+    case ir::Opcode::AssignCheck: {
+      const Type *VT = typeOf(Regs[In.A]);
+      if (!VT->isRef())
+        return {errorOutcome(
+            std::move(S), In.Loc,
+            "':=' target is a non-reference symbolic value of type " +
+                VT->str())};
+      break;
+    }
+
+    case ir::Opcode::Assign:
+      S.Mem = Arena.update(S.Mem, Regs[In.A].S, toSym(Regs[In.B]));
+      break;
+
+    case ir::Opcode::MakeClosure: {
+      const auto *FE = cast<FunExpr>(In.Node);
+      const Type *FnTy =
+          Arena.types().funType(FE->paramType(), FE->resultType());
+      SymEnv Env;
+      for (const auto &[Name, SReg] : *F.Scopes[In.Aux])
+        Env[Name] = toSym(Regs[SReg]);
+      Regs[In.Dst] = symv(Arena.closure(FnTy, FE, std::move(Env)));
+      break;
+    }
+
+    case ir::Opcode::CheckCallee: {
+      const RegValue &Fn = Regs[In.A];
+      if (!typeOf(Fn)->isFun())
+        return {errorOutcome(
+            std::move(S), In.Loc,
+            "application of non-function symbolic value of type " +
+                typeOf(Fn)->str())};
+      if (Fn.S->kind() != SymKind::Closure)
+        return {errorOutcome(
+            std::move(S), In.Loc,
+            "cannot symbolically execute a call through a symbolic "
+            "function value; wrap the call in a typed block")};
+      break;
+    }
+
+    case ir::Opcode::Call:
+      return Unwind(execCall(F, R, I, Regs, std::move(S), End));
+
+    case ir::Opcode::TypedBlock: {
+      const auto *B = cast<BlockExpr>(In.Node);
+      if (!TypedOracle)
+        return {errorOutcome(std::move(S), In.Loc,
+                             "typed block is not allowed here (no type "
+                             "checker attached)")};
+      if (!checkMemoryOk(S.Mem).Ok)
+        return {errorOutcome(std::move(S), In.Loc,
+                             "memory is not consistently typed at typed "
+                             "block entry (|- m ok fails)")};
+      SymEnv Env;
+      for (const auto &[Name, SReg] : *F.Scopes[In.Aux])
+        Env[Name] = toSym(Regs[SReg]);
+      // The oracle sees the pre-havoc state (it may re-enter run()).
+      const Type *Tau = TypedOracle->typeOfTypedBlock(B, Env, S);
+      if (!Tau)
+        return {errorOutcome(std::move(S), In.Loc,
+                             "typed block failed to type check")};
+      S.Mem = havocForTypedBlock(B, Env, S.Mem);
+      const SymExpr *Result = Arena.freshVar(Tau);
+      if (const SymExpr *Guard =
+              TypedOracle->refineTypedBlockResult(B, Result, Arena)) {
+        assert(Guard->type()->isBool() &&
+               "refinement guard must be boolean");
+        extendPath(S, Guard);
+        // The oracle may retain the guard past this run (SignMix
+        // translates its refinement axioms afterwards): root it for the
+        // end-of-run sweep.
+        RefineRoots.push_back(Guard);
+      }
+      Regs[In.Dst] = symv(Result);
+      break;
+    }
+    }
+    ++I;
+  }
+
+  // Built by hand rather than with an initializer list: list elements
+  // are const, which would force a deep copy of the register file.
+  std::vector<Outcome> Outs;
+  Outs.reserve(1);
+  Outs.emplace_back();
+  Outs.back().Value = Regs[Reg->Result];
+  Outs.back().S = std::move(S);
+  Outs.back().Regs = std::move(Regs);
+  return Outs;
+}
+
+std::vector<IrExecutor::Outcome>
+IrExecutor::execBranch(const ir::IrFunction &F, uint32_t R, size_t I,
+                       std::vector<RegValue> Regs, SymState S, size_t End) {
+  // runSegment already validated the guard type and routed concrete
+  // guards through its iterative fast path: the guard here is a
+  // genuinely symbolic boolean.
+  const ir::Instr &In = F.Regions[R].Code[I];
+  const SymExpr *G = Regs[In.A].S;
+
+  if (Opts.Strat == SymExecOptions::Strategy::Defer) {
+    // SEIf-Defer: run both arms under extended guards, then merge values,
+    // path conditions, and memories with conditional expressions.
+    CDefers.inc();
+    if (Opts.Trace)
+      Opts.Trace->instant("sym.defer", "sym");
+
+    SymState ThenState = S;
+    extendPath(ThenState, G);
+    SymState ElseState = S;
+    extendPath(ElseState, Arena.notG(G));
+    if (Opts.Prov) {
+      ThenState.Trail.push_back({In.Loc2, "condition true (deferred)"});
+      ElseState.Trail.push_back({In.Loc2, "condition false (deferred)"});
+    }
+
+    std::vector<Outcome> ThenOuts =
+        runSegment(F, In.R1, Regs, std::move(ThenState), 0,
+                   F.Regions[In.R1].Code.size());
+    std::vector<Outcome> ElseOuts =
+        runSegment(F, In.R2, Regs, std::move(ElseState), 0,
+                   F.Regions[In.R2].Code.size());
+
+    // Errors on either side surface as errors under their own guard;
+    // success pairs merge into a single deferred outcome.
+    std::vector<Outcome> Merged;
+    for (Outcome &T : ThenOuts)
+      if (T.IsError)
+        Merged.push_back(std::move(T));
+    for (Outcome &E : ElseOuts)
+      if (E.IsError)
+        Merged.push_back(std::move(E));
+
+    for (const Outcome &T : ThenOuts) {
+      if (T.IsError)
+        continue;
+      for (const Outcome &E : ElseOuts) {
+        if (E.IsError)
+          continue;
+        if (typeOf(T.Value) != typeOf(E.Value)) {
+          Merged.push_back(errorOutcome(
+              S, In.Loc,
+              "SEIf-Defer requires both branches to have the same "
+              "type, got " +
+                  typeOf(T.Value)->str() + " vs " + typeOf(E.Value)->str()));
+          continue;
+        }
+        Outcome O;
+        O.S.Path = Arena.ite(G, T.S.Path, E.S.Path);
+        O.S.Mem = Arena.iteMem(G, T.S.Mem, E.S.Mem);
+        // The merged condition is rebuilt as an ite, not a conjunction
+        // extension; restart the delta chain from it so later branch
+        // deltas still diff incrementally.
+        if (Translator)
+          O.S.PC = smt::PathCondition().extend(
+              Translator->terms(), Translator->translate(O.S.Path));
+        if (Opts.Prov) {
+          O.S.Trail = S.Trail;
+          O.S.Trail.push_back({In.Loc2, "branches merged (defer)"});
+        }
+        // Registers defined inside the arms are arm-local (the verifier
+        // guarantees the continuation never reads them), so the merged
+        // path resumes with the pre-branch register file.
+        O.Regs = Regs;
+        O.Value = fromSym(Arena.ite(G, toSym(T.Value), toSym(E.Value)));
+        Merged.push_back(std::move(O));
+      }
+    }
+    return continueSegment(F, R, I, In.Dst, std::move(Merged), End);
+  }
+
+  if (Opts.Strat == SymExecOptions::Strategy::Concolic) {
+    // The DART/CUTE style: continue down the path the concrete seed
+    // takes, recording the signed guard for the driver to negate.
+    bool TakeThen = concreteTruth(G);
+    const SymExpr *Signed = TakeThen ? G : Arena.notG(G);
+    extendPath(S, Signed);
+    S.Decisions.push_back(Signed);
+    if (Opts.Prov)
+      S.Trail.push_back(
+          {In.Loc2, TakeThen ? "condition true" : "condition false"});
+    uint32_t Sub = TakeThen ? In.R1 : In.R2;
+    std::vector<Outcome> Outs =
+        runSegment(F, Sub, std::move(Regs), std::move(S), 0,
+                   F.Regions[Sub].Code.size());
+    return continueSegment(F, R, I, In.Dst, std::move(Outs), End);
+  }
+
+  // SEIf-True / SEIf-False: fork, extending the path condition with the
+  // guard or its negation.
+  std::vector<Outcome> Results;
+  ++LivePaths;
+  CForks.inc();
+  if (Opts.Trace)
+    Opts.Trace->instant("sym.fork", "sym");
+  if (LivePaths > Opts.MaxPaths) {
+    HitLimit = true;
+    return {errorOutcome(std::move(S), In.Loc,
+                         "path budget exceeded at conditional")};
+  }
+
+  SymState ThenState = S;
+  extendPath(ThenState, G);
+  if (Opts.Prov)
+    ThenState.Trail.push_back({In.Loc2, "condition true"});
+  if (!pruned(ThenState)) {
+    std::vector<Outcome> Then =
+        runSegment(F, In.R1, Regs, std::move(ThenState), 0,
+                   F.Regions[In.R1].Code.size());
+    for (Outcome &O : Then)
+      Results.push_back(std::move(O));
+  }
+
+  // Note: the negated guard is built only now, after the then-arm ran —
+  // the AST engine's arena-operation order, kept for determinism.
+  SymState ElseState = std::move(S);
+  extendPath(ElseState, Arena.notG(G));
+  if (Opts.Prov)
+    ElseState.Trail.push_back({In.Loc2, "condition false"});
+  if (!pruned(ElseState)) {
+    std::vector<Outcome> Else =
+        runSegment(F, In.R2, std::move(Regs), std::move(ElseState), 0,
+                   F.Regions[In.R2].Code.size());
+    for (Outcome &O : Else)
+      Results.push_back(std::move(O));
+  }
+  return continueSegment(F, R, I, In.Dst, std::move(Results), End);
+}
+
+std::vector<IrExecutor::Outcome>
+IrExecutor::execCall(const ir::IrFunction &F, uint32_t R, size_t I,
+                     std::vector<RegValue> &Regs, SymState S, size_t End) {
+  const ir::Instr &In = F.Regions[R].Code[I];
+  const SymExpr *Fn = Regs[In.A].S; // CheckCallee validated: a closure
+  const RegValue &Arg = Regs[In.B];
+  const FunExpr *FE = Arena.closureFun(Fn);
+  if (typeOf(Arg) != FE->paramType())
+    return {errorOutcome(std::move(S), In.Loc,
+                         "argument has type " + typeOf(Arg)->str() +
+                             " but function expects " +
+                             FE->paramType()->str())};
+
+  SymEnv CalleeEnv = Arena.closureEnv(Fn);
+  CalleeEnv[FE->param()] = toSym(Arg);
+  const ir::IrFunction &Callee = loweredCallee(FE, CalleeEnv);
+
+  std::vector<RegValue> CRegs(Callee.NumRegs);
+  size_t Idx = 0;
+  for (const auto &[Name, Val] : CalleeEnv) {
+    (void)Name;
+    CRegs[Idx++] = fromSym(Val);
+  }
+
+  std::vector<Outcome> BodyOuts =
+      runSegment(Callee, 0, std::move(CRegs), std::move(S), 0,
+                 Callee.Regions[0].Code.size());
+
+  std::vector<Outcome> Outs;
+  Outs.reserve(BodyOuts.size());
+  for (Outcome &O : BodyOuts) {
+    if (O.IsError) {
+      Outs.push_back(std::move(O));
+      continue;
+    }
+    if (typeOf(O.Value) != FE->resultType()) {
+      Outs.push_back(errorOutcome(
+          std::move(O.S), In.Loc,
+          "function body produced " + typeOf(O.Value)->str() +
+              " but declares result type " + FE->resultType()->str()));
+      continue;
+    }
+    O.Regs = Regs; // resume with the caller's register file
+    Outs.push_back(std::move(O));
+  }
+  return continueSegment(F, R, I, In.Dst, std::move(Outs), End);
+}
+
+// --- Top-level runs --------------------------------------------------------
+
+SymExecResult IrExecutor::run(const Expr *E, const SymEnv &Env,
+                              SymState Init) {
+  // run() re-enters through the block oracles (a typed block's checker
+  // may contain symbolic blocks); each run gets its own budget, and the
+  // enclosing run's counters are restored afterwards.
+  unsigned SavedSteps = Steps;
+  unsigned SavedLivePaths = LivePaths;
+  bool SavedHitLimit = HitLimit;
+  Steps = 0;
+  LivePaths = 1;
+  HitLimit = false;
+  if (Depth == 0) {
+    RunMark = Arena.mark();
+    RefineRoots.clear();
+  }
+  ++Depth;
+
+  std::vector<std::string> EnvNames;
+  EnvNames.reserve(Env.size());
+  for (const auto &[Name, Val] : Env) {
+    (void)Val;
+    EnvNames.push_back(Name);
+  }
+  const ir::IrFunction &F = lowered(E, std::move(EnvNames));
+
+  std::vector<RegValue> Regs(F.NumRegs);
+  size_t Idx = 0;
+  for (const auto &[Name, Val] : Env) {
+    (void)Name;
+    Regs[Idx++] = fromSym(Val);
+  }
+
+  std::vector<Outcome> Outs =
+      runSegment(F, 0, std::move(Regs), std::move(Init), 0,
+                 F.Regions[0].Code.size());
+
+  SymExecResult Result;
+  Result.Paths.reserve(Outs.size());
+  for (Outcome &O : Outs) {
+    if (O.IsError)
+      Result.Paths.push_back(
+          PathResult::failure(std::move(O.S), O.ErrLoc, std::move(O.ErrMsg)));
+    else
+      Result.Paths.push_back(PathResult::success(O.S, toSym(O.Value)));
+  }
+  Result.ResourceLimitHit = HitLimit;
+
+  Steps = SavedSteps;
+  LivePaths = SavedLivePaths;
+  HitLimit = SavedHitLimit;
+  --Depth;
+  CExecPaths.add(Result.Paths.size());
+
+  if (Depth == 0) {
+    CTermsBuilt.add(Arena.numExprs() - RunMark.Exprs);
+    if (Opts.ExprGC &&
+        Opts.Strat != SymExecOptions::Strategy::Concolic) {
+      // Sweep expressions this run created that none of its results can
+      // reach. Everything a caller can see flows through the path
+      // results (or the refinement guards the oracle kept), so those
+      // are the roots; the translator cache is evicted per freed node
+      // to keep pointer-identity caching sound across address reuse.
+      std::vector<const SymExpr *> ExprRoots;
+      std::vector<const MemNode *> MemRoots;
+      for (const PathResult &P : Result.Paths) {
+        if (P.State.Path)
+          ExprRoots.push_back(P.State.Path);
+        if (P.State.Mem)
+          MemRoots.push_back(P.State.Mem);
+        if (P.Value)
+          ExprRoots.push_back(P.Value);
+        for (const SymExpr *D : P.State.Decisions)
+          ExprRoots.push_back(D);
+      }
+      ExprRoots.insert(ExprRoots.end(), RefineRoots.begin(),
+                       RefineRoots.end());
+      size_t Freed = Arena.sweepSince(
+          RunMark, ExprRoots, MemRoots, [this](const SymExpr *Dead) {
+            if (Translator)
+              Translator->evict(Dead);
+          });
+      CTermsGcd.add(Freed);
+    }
+  }
+  return Result;
+}
+
+SymExecResult IrExecutor::run(const Expr *E, const SymEnv &Env) {
+  SymState Init;
+  Init.Path = Arena.trueGuard();
+  Init.Mem = Arena.freshBaseMemory();
+  return run(E, Env, Init);
+}

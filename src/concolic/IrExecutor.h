@@ -1,0 +1,199 @@
+//===--- IrExecutor.h - Concolic interpreter over the bytecode --*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiled execution engine (--exec=ir): a concolic interpreter over
+/// the flat register bytecode of src/ir/, in the SymCC style. Every
+/// register carries a *concrete shadow* when its value is fully concrete;
+/// SymExpr terms are built only for taint-reachable values (anything
+/// derived from a symbolic input), fully concrete branches never fork and
+/// never consult the solver, and symbolic expressions that died during a
+/// top-level run are swept from the SymArena when it ends.
+///
+/// The engine is observationally identical to the AST-walking
+/// SymExecutor: materializing a concrete shadow goes through the arena's
+/// hash-consing constructors (so the AST engine's constant-folded
+/// expressions are pointer-identical), regions are interpreted in the
+/// same continuation order as `andThen` (so fresh-variable numbering,
+/// path order, trails, and budget trips match exactly), and every error
+/// message and location is replicated verbatim. The differential harness
+/// (tests/IrDiffTest.cpp) enforces this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_CONCOLIC_IREXECUTOR_H
+#define MIX_CONCOLIC_IREXECUTOR_H
+
+#include "ir/Ir.h"
+#include "symexec/SymExecutor.h"
+
+#include <map>
+#include <memory>
+
+namespace mix {
+namespace concolic {
+
+/// The IR-interpreting execution engine.
+class IrExecutor final : public ExecEngine {
+public:
+  IrExecutor(SymArena &Arena, DiagnosticEngine &Diags,
+             SymExecOptions Opts = SymExecOptions());
+
+  void setTypedBlockOracle(TypedBlockOracle *Oracle) override {
+    TypedOracle = Oracle;
+  }
+  void setSolver(smt::ISolver *Solver, SymToSmt *Translator) override;
+  void setConcolicSeed(const ConcolicSeed *Seed) override {
+    this->Seed = Seed;
+  }
+  const ConcolicSeed *concolicSeed() const override { return Seed; }
+
+  SymExecResult run(const Expr *E, const SymEnv &Env,
+                    SymState Init) override;
+  SymExecResult run(const Expr *E, const SymEnv &Env) override;
+
+  SymArena &arena() override { return Arena; }
+
+private:
+  /// A register value: a concrete shadow (no arena traffic) or a
+  /// symbolic expression. The demotion invariant — every arena result
+  /// that folded to a constant is demoted back to a shadow — guarantees
+  /// a bool register is symbolic only when the AST engine's guard would
+  /// be non-constant, which is what keeps branch behavior identical.
+  struct RegValue {
+    enum class K : uint8_t { Invalid, CInt, CBool, Sym };
+    K Kind = K::Invalid;
+    long long I = 0;
+    bool B = false;
+    const SymExpr *S = nullptr;
+  };
+
+  /// One path outcome of running (part of) a region: a final state plus
+  /// the register file the enclosing region resumes with.
+  struct Outcome {
+    SymState S;
+    std::vector<RegValue> Regs;
+    RegValue Value;
+    bool IsError = false;
+    SourceLoc ErrLoc;
+    std::string ErrMsg;
+  };
+
+  static RegValue cint(long long V) {
+    RegValue R;
+    R.Kind = RegValue::K::CInt;
+    R.I = V;
+    return R;
+  }
+  static RegValue cbool(bool V) {
+    RegValue R;
+    R.Kind = RegValue::K::CBool;
+    R.B = V;
+    return R;
+  }
+  static RegValue symv(const SymExpr *E) {
+    RegValue R;
+    R.Kind = RegValue::K::Sym;
+    R.S = E;
+    return R;
+  }
+
+  /// Materializes a shadow as the (hash-consed) constant expression the
+  /// AST engine would hold — pointer-identical by interning.
+  const SymExpr *toSym(const RegValue &V);
+  /// Demotes a constant expression back to a shadow; non-constant
+  /// expressions stay symbolic.
+  static RegValue fromSym(const SymExpr *E);
+  const Type *typeOf(const RegValue &V);
+
+  /// Runs one state through instructions [From, End) of region \p R;
+  /// a successful outcome is a fall-through at End. The whole region is
+  /// runSegment(F, R, Regs, S, 0, Code.size()).
+  std::vector<Outcome> runSegment(const ir::IrFunction &F, uint32_t R,
+                                  std::vector<RegValue> Regs, SymState S,
+                                  size_t From, size_t End);
+  /// Resumes region \p R after multi-outcome instruction \p I (register
+  /// Dst receives each outcome value), propagating errors in order and
+  /// honoring the continuation barriers of Region::Spans: each enclosing
+  /// node's remaining instructions run for all outcomes before the next
+  /// enclosing level — the nested `andThen` of the AST engine.
+  std::vector<Outcome> continueSegment(const ir::IrFunction &F, uint32_t R,
+                                       size_t I, uint32_t Dst,
+                                       std::vector<Outcome> Outs,
+                                       size_t End);
+
+  std::vector<Outcome> execBranch(const ir::IrFunction &F, uint32_t R,
+                                  size_t I, std::vector<RegValue> Regs,
+                                  SymState S, size_t End);
+  std::vector<Outcome> execCall(const ir::IrFunction &F, uint32_t R,
+                                size_t I, std::vector<RegValue> &Regs,
+                                SymState S, size_t End);
+
+  static Outcome errorOutcome(SymState S, SourceLoc Loc, std::string Msg);
+
+  /// The fragments shared verbatim with SymExecutor's semantics.
+  bool pruned(const SymState &S);
+  bool derefMemoryOk(const SymState &S, const SymExpr *Addr);
+  void extendPath(SymState &S, const SymExpr *Guard);
+  bool concreteTruth(const SymExpr *Guard) const;
+  long long concreteInt(const SymExpr *E) const;
+  const MemNode *havocForTypedBlock(const BlockExpr *B, const SymEnv &Env,
+                                    const MemNode *Mem);
+
+  /// Lowering cache: one-time lowering per (root, environment-name
+  /// signature); callee bodies are lowered lazily on first call. Warm
+  /// runs (daemon KeepWarm sessions, repeated paths through one call
+  /// site) skip lowering entirely — ir.lower.hits counts them.
+  const ir::IrFunction &lowered(const Expr *Root,
+                                std::vector<std::string> EnvNames);
+  const ir::IrFunction &loweredCallee(const FunExpr *FE,
+                                      const SymEnv &CloEnv);
+
+  SymArena &Arena;
+  DiagnosticEngine &Diags;
+  SymExecOptions Opts;
+  TypedBlockOracle *TypedOracle = nullptr;
+  smt::ISolver *Solver = nullptr;
+  SymToSmt *Translator = nullptr;
+  std::unique_ptr<smt::PathSolver> PathChecker;
+  const ConcolicSeed *Seed = nullptr;
+
+  unsigned Steps = 0;
+  unsigned LivePaths = 1;
+  bool HitLimit = false;
+  unsigned Depth = 0;
+
+  /// Arena epoch at the start of the current top-level run: the baseline
+  /// for exec.terms.built and the boundary for the end-of-run sweep.
+  SymArena::Mark RunMark;
+
+  /// Refinement guards handed back by the oracle during the current
+  /// top-level run. They may be retained by the oracle past path
+  /// reachability (SignMix translates its axioms after the run), so they
+  /// are GC roots.
+  std::vector<const SymExpr *> RefineRoots;
+
+  std::map<std::pair<const void *, std::string>,
+           std::unique_ptr<ir::IrFunction>>
+      LoweredCache;
+
+  obs::Counter CForks, CDefers, CHavocs;
+  obs::Counter CExecPaths, CBranchesConc, CTermsBuilt, CTermsGcd;
+  obs::Counter CLowerHits, CLowerMisses;
+};
+
+/// Builds the engine selected by \p Opts.ExecMode (the `--exec=` knob):
+/// the AST walker or the IR concolic interpreter, behind the common
+/// ExecEngine interface.
+std::unique_ptr<ExecEngine> makeExecEngine(SymArena &Arena,
+                                           DiagnosticEngine &Diags,
+                                           const SymExecOptions &Opts);
+
+} // namespace concolic
+} // namespace mix
+
+#endif // MIX_CONCOLIC_IREXECUTOR_H

@@ -1,0 +1,154 @@
+//===--- Ir.h - Flat register-based bytecode for the core language -*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flat, register-based bytecode lowered once from `lang::Ast` and
+/// interpreted by the concolic executor (src/concolic/). The design goal
+/// is *observational equivalence* with the AST-walking SymExecutor —
+/// byte-identical diagnostics, fresh-variable numbering, trails, and
+/// budgets — while letting straight-line code run as array-indexed
+/// register operations instead of tree dispatch.
+///
+/// Shape:
+///  - Every lowered expression leaves its value in a *register* (written
+///    exactly once; bindings are immutable in the core language, so a
+///    variable reference is just the binder's register).
+///  - Control flow is *region-structured*: a Branch instruction names two
+///    sub-regions (then/else). The interpreter runs a taken sub-region to
+///    completion and then resumes the enclosing region after the Branch,
+///    once per sub-region outcome — exactly the continuation order of the
+///    AST executor's `andThen`, which is what keeps fresh-variable ids
+///    and path order identical.
+///  - A Step instruction is emitted at every AST node entry in pre-order,
+///    replicating the AST executor's per-node step budget accounting
+///    (budget trips happen at the same node with the same location).
+///  - Check instructions (LetCheck, AssignCheck, CheckCallee) sit exactly
+///    where the AST executor checks, so error ordering and messages match.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_IR_IR_H
+#define MIX_IR_IR_H
+
+#include "lang/Ast.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mix {
+namespace ir {
+
+enum class Opcode : uint8_t {
+  Step,         ///< per-AST-node budget tick; Loc = node location
+  Unbound,      ///< statically unbound variable: fail this path; Name, Loc
+  ConstInt,     ///< Dst = Imm (concrete shadow; no arena traffic)
+  ConstBool,    ///< Dst = BImm
+  BinOp,        ///< Dst = A <BOp> B; Loc = operator location
+  Not,          ///< Dst = !A; Loc
+  Branch,       ///< fork/defer/concolic on A; R1 = then, R2 = else;
+                ///< Dst receives the taken/merged value; Loc = if
+                ///< location, Loc2 = condition location
+  LetCheck,     ///< declared-type ascription check on A against Ty; Loc
+  Ref,          ///< Dst = fresh allocation address; logs (Dst ->a A)
+  Deref,        ///< Dst = memory[A]; |- m ok checked; Loc
+  AssignCheck,  ///< ':=' target A must be a reference; Loc
+  Assign,       ///< logs write (A -> B); value is B's register
+  MakeClosure,  ///< Dst = closure of Node (a FunExpr) over Scope
+  CheckCallee,  ///< A must be a closure value; Loc = application location
+  Call,         ///< Dst = apply closure A to B; Loc = application location
+  TypedBlock,   ///< Dst = fresh var typed by the oracle for Node (a
+                ///< BlockExpr), memory havocked; env rebuilt from Scope
+};
+
+const char *opcodeName(Opcode Op);
+
+/// The visible bindings at an instruction that must materialize a
+/// `SymEnv` (MakeClosure, TypedBlock): name -> register, sorted by name.
+/// Shared because many instructions lowered under one scope reuse it.
+using ScopeTable = std::vector<std::pair<std::string, uint32_t>>;
+
+/// One instruction. Kept deliberately small (48 bytes): the interpreter
+/// is memory-bound streaming the instruction array, so per-opcode cold
+/// payloads live in a union and variable-size payloads (names, scope
+/// tables) live in pools on the IrFunction, referenced by Aux index.
+struct Instr {
+  Opcode Op = Opcode::Step;
+  BinaryOp BOp = BinaryOp::Add; ///< BinOp payload
+  bool BImm = false;            ///< ConstBool payload
+  uint32_t Dst = 0;             ///< result register
+  uint32_t A = 0, B = 0;        ///< operand registers
+  uint32_t R1 = 0, R2 = 0;      ///< Branch sub-regions
+  uint32_t Aux = 0; ///< Unbound: IrFunction::Names index; MakeClosure /
+                    ///< TypedBlock: IrFunction::Scopes index
+  SourceLoc Loc;    ///< error/budget location
+  union {
+    long long Imm;     ///< ConstInt payload
+    SourceLoc Loc2;    ///< Branch: condition location
+    const Type *Ty;    ///< LetCheck: declared type
+    const Expr *Node;  ///< MakeClosure: FunExpr; TypedBlock: BlockExpr
+  };
+  Instr() : Imm(0) {}
+};
+
+/// A straight-line instruction sequence ending in a result register.
+struct Region {
+  std::vector<Instr> Code;
+  uint32_t Result = 0; ///< register holding the region's value on fall-through
+
+  /// The [start, end) instruction range of every AST node lowered into
+  /// this region, in lowering-completion (post-) order. Spans nest like
+  /// the AST. They exist for *continuation barriers*: when an
+  /// instruction yields several outcomes (a fork, a deferred merge with
+  /// errors, a call whose body forked), the AST executor's nested
+  /// `andThen` runs each enclosing node's remaining work for all
+  /// outcomes before moving one level out. The interpreter replays that
+  /// by running the outcomes segment-by-segment between the enclosing
+  /// span ends — which is what keeps fresh-variable numbering and step
+  /// accounting identical to the AST engine. Single-outcome execution
+  /// never consults the table.
+  std::vector<std::pair<uint32_t, uint32_t>> Spans;
+};
+
+/// One lowered root expression. Registers 0..EnvNames.size()-1 hold the
+/// initial environment (in EnvNames order) when region 0 starts.
+struct IrFunction {
+  const Expr *Root = nullptr;
+  std::vector<std::string> EnvNames;
+  uint32_t NumRegs = 0;
+  std::vector<Region> Regions; ///< Regions[0] is the body
+  /// Payload pools referenced by Instr::Aux (see Instr).
+  std::vector<std::string> Names;
+  std::vector<std::shared_ptr<const ScopeTable>> Scopes;
+  /// Stable content hash of the printed bytecode (observability and
+  /// golden tests; lowering is deterministic, so equal programs lowered
+  /// under equal environments hash equally across runs and platforms).
+  uint64_t CodeHash = 0;
+};
+
+/// Lowers \p Root to bytecode. \p EnvNames are the names bound on entry
+/// (register 0..n-1 in the given order); every other free variable
+/// lowers to an Unbound instruction that fails its path at run time,
+/// mirroring the AST executor's unbound-variable error.
+IrFunction lower(const Expr *Root, std::vector<std::string> EnvNames);
+
+/// Structural verifier: write-once registers, operands defined before
+/// use, region tree well-formed (each sub-region referenced exactly
+/// once), payloads present. Returns an empty string when the function is
+/// well-formed, else a description of the first defect.
+std::string verify(const IrFunction &F);
+
+/// Stable printer for golden tests and debugging.
+std::string print(const IrFunction &F);
+
+} // namespace ir
+} // namespace mix
+
+#endif // MIX_IR_IR_H

@@ -1,0 +1,332 @@
+//===--- Lower.cpp - One-time lowering from lang::Ast to bytecode ---------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ir.h"
+
+#include "support/Hash.h"
+
+#include <map>
+#include <optional>
+
+using namespace mix;
+using namespace mix::ir;
+
+namespace {
+
+/// Lowers one root expression. Scoping is resolved statically: the core
+/// language binds only lexically (let bodies, function parameters), so a
+/// variable reference is the binder's register and shadowing is a scope
+/// map update that is undone when the binder's body ends.
+class Lowerer {
+public:
+  explicit Lowerer(IrFunction &F) : F(F) {}
+
+  void run() {
+    NextReg = (uint32_t)F.EnvNames.size();
+    for (uint32_t I = 0; I != NextReg; ++I)
+      Scope[F.EnvNames[I]] = I;
+    newRegion(); // region 0: the body
+    F.Regions[0].Result = lowerInto(0, F.Root);
+    F.NumRegs = NextReg;
+  }
+
+private:
+  IrFunction &F;
+  std::map<std::string, uint32_t> Scope;
+  std::shared_ptr<const ScopeTable> CachedScope;
+  uint32_t CachedScopeIdx = 0;
+  uint32_t NextReg = 0;
+
+  uint32_t fresh() { return NextReg++; }
+
+  uint32_t newRegion() {
+    F.Regions.emplace_back();
+    return (uint32_t)(F.Regions.size() - 1);
+  }
+
+  void push(uint32_t R, Instr I) {
+    F.Regions[R].Code.push_back(std::move(I));
+  }
+
+  /// The current visible bindings as a shared, name-sorted table
+  /// (std::map iterates sorted), interned into F.Scopes. Rebuilt lazily
+  /// after scope changes; consecutive instructions lowered under one
+  /// scope share the same pool slot.
+  uint32_t scopeIndex() {
+    if (!CachedScope) {
+      auto T = std::make_shared<ScopeTable>();
+      T->reserve(Scope.size());
+      for (const auto &[Name, Reg] : Scope)
+        T->emplace_back(Name, Reg);
+      CachedScope = std::move(T);
+      F.Scopes.push_back(CachedScope);
+      CachedScopeIdx = (uint32_t)(F.Scopes.size() - 1);
+    }
+    return CachedScopeIdx;
+  }
+
+  uint32_t internName(std::string Name) {
+    F.Names.push_back(std::move(Name));
+    return (uint32_t)(F.Names.size() - 1);
+  }
+
+  /// Lowers a sub-region (a branch arm): bindings made inside it are
+  /// local, so the scope is restored afterwards.
+  uint32_t lowerRegion(const Expr *E) {
+    uint32_t R = newRegion();
+    auto SavedScope = Scope;
+    auto SavedCache = CachedScope;
+    uint32_t SavedCacheIdx = CachedScopeIdx;
+    uint32_t Result = lowerInto(R, E);
+    F.Regions[R].Result = Result;
+    Scope = std::move(SavedScope);
+    CachedScope = std::move(SavedCache);
+    CachedScopeIdx = SavedCacheIdx;
+    return R;
+  }
+
+  uint32_t lowerInto(uint32_t R, const Expr *E);
+  uint32_t lowerNode(uint32_t R, const Expr *E);
+};
+
+uint32_t Lowerer::lowerInto(uint32_t R, const Expr *E) {
+  // Record the node's instruction span for the interpreter's
+  // continuation barriers (see Region::Spans).
+  uint32_t Start = (uint32_t)F.Regions[R].Code.size();
+  uint32_t Result = lowerNode(R, E);
+  F.Regions[R].Spans.emplace_back(Start,
+                                  (uint32_t)F.Regions[R].Code.size());
+  return Result;
+}
+
+uint32_t Lowerer::lowerNode(uint32_t R, const Expr *E) {
+  // The AST executor charges one step per exec() entry; replicate that
+  // exactly, including the budget-trip location.
+  {
+    Instr S;
+    S.Op = Opcode::Step;
+    S.Loc = E->loc();
+    push(R, std::move(S));
+  }
+
+  switch (E->kind()) {
+  case ExprKind::Var: {
+    const auto *V = cast<VarExpr>(E);
+    auto It = Scope.find(V->name());
+    if (It != Scope.end())
+      return It->second;
+    Instr I;
+    I.Op = Opcode::Unbound;
+    I.Dst = fresh();
+    I.Aux = internName(V->name());
+    I.Loc = E->loc();
+    uint32_t Dst = I.Dst;
+    push(R, std::move(I));
+    return Dst; // never written: the path fails at the instruction
+  }
+  case ExprKind::IntLit: {
+    Instr I;
+    I.Op = Opcode::ConstInt;
+    I.Dst = fresh();
+    I.Imm = cast<IntLitExpr>(E)->value();
+    uint32_t Dst = I.Dst;
+    push(R, std::move(I));
+    return Dst;
+  }
+  case ExprKind::BoolLit: {
+    Instr I;
+    I.Op = Opcode::ConstBool;
+    I.Dst = fresh();
+    I.BImm = cast<BoolLitExpr>(E)->value();
+    uint32_t Dst = I.Dst;
+    push(R, std::move(I));
+    return Dst;
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    uint32_t L = lowerInto(R, B->lhs());
+    uint32_t Rhs = lowerInto(R, B->rhs());
+    Instr I;
+    I.Op = Opcode::BinOp;
+    I.BOp = B->op();
+    I.Dst = fresh();
+    I.A = L;
+    I.B = Rhs;
+    I.Loc = B->loc();
+    uint32_t Dst = I.Dst;
+    push(R, std::move(I));
+    return Dst;
+  }
+  case ExprKind::Not: {
+    uint32_t A = lowerInto(R, cast<NotExpr>(E)->sub());
+    Instr I;
+    I.Op = Opcode::Not;
+    I.Dst = fresh();
+    I.A = A;
+    I.Loc = E->loc();
+    uint32_t Dst = I.Dst;
+    push(R, std::move(I));
+    return Dst;
+  }
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    uint32_t G = lowerInto(R, I->cond());
+    uint32_t Then = lowerRegion(I->thenExpr());
+    uint32_t Else = lowerRegion(I->elseExpr());
+    Instr B;
+    B.Op = Opcode::Branch;
+    B.Dst = fresh();
+    B.A = G;
+    B.R1 = Then;
+    B.R2 = Else;
+    B.Loc = E->loc();
+    B.Loc2 = I->cond()->loc();
+    uint32_t Dst = B.Dst;
+    push(R, std::move(B));
+    return Dst;
+  }
+  case ExprKind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    uint32_t V = lowerInto(R, L->init());
+    if (L->declaredType()) {
+      Instr C;
+      C.Op = Opcode::LetCheck;
+      C.A = V;
+      C.Ty = L->declaredType();
+      C.Loc = E->loc();
+      push(R, std::move(C));
+    }
+    std::optional<uint32_t> Shadowed;
+    auto It = Scope.find(L->name());
+    if (It != Scope.end())
+      Shadowed = It->second;
+    Scope[L->name()] = V;
+    CachedScope.reset();
+    uint32_t Body = lowerInto(R, L->body());
+    if (Shadowed)
+      Scope[L->name()] = *Shadowed;
+    else
+      Scope.erase(L->name());
+    CachedScope.reset();
+    return Body;
+  }
+  case ExprKind::Ref: {
+    uint32_t V = lowerInto(R, cast<RefExpr>(E)->sub());
+    Instr I;
+    I.Op = Opcode::Ref;
+    I.Dst = fresh();
+    I.A = V;
+    uint32_t Dst = I.Dst;
+    push(R, std::move(I));
+    return Dst;
+  }
+  case ExprKind::Deref: {
+    uint32_t V = lowerInto(R, cast<DerefExpr>(E)->sub());
+    Instr I;
+    I.Op = Opcode::Deref;
+    I.Dst = fresh();
+    I.A = V;
+    I.Loc = E->loc();
+    uint32_t Dst = I.Dst;
+    push(R, std::move(I));
+    return Dst;
+  }
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    uint32_t Target = lowerInto(R, A->target());
+    {
+      // The AST executor validates the target before evaluating the
+      // value; keep that error order.
+      Instr C;
+      C.Op = Opcode::AssignCheck;
+      C.A = Target;
+      C.Loc = E->loc();
+      push(R, std::move(C));
+    }
+    uint32_t V = lowerInto(R, A->value());
+    Instr I;
+    I.Op = Opcode::Assign;
+    I.A = Target;
+    I.B = V;
+    push(R, std::move(I));
+    return V; // the assignment's value is the stored value
+  }
+  case ExprKind::Seq: {
+    const auto *Q = cast<SeqExpr>(E);
+    (void)lowerInto(R, Q->first());
+    return lowerInto(R, Q->second());
+  }
+  case ExprKind::Block: {
+    const auto *B = cast<BlockExpr>(E);
+    if (B->blockKind() == BlockKind::Symbolic)
+      return lowerInto(R, B->body()); // symbolic-in-symbolic passes through
+    Instr I;
+    I.Op = Opcode::TypedBlock;
+    I.Dst = fresh();
+    I.Node = B;
+    I.Loc = B->loc();
+    I.Aux = scopeIndex();
+    uint32_t Dst = I.Dst;
+    push(R, std::move(I));
+    return Dst;
+  }
+  case ExprKind::Fun: {
+    Instr I;
+    I.Op = Opcode::MakeClosure;
+    I.Dst = fresh();
+    I.Node = E;
+    I.Aux = scopeIndex();
+    uint32_t Dst = I.Dst;
+    push(R, std::move(I));
+    return Dst;
+  }
+  case ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    uint32_t Fn = lowerInto(R, A->fn());
+    {
+      // Callee checks happen before argument evaluation in the AST
+      // executor.
+      Instr C;
+      C.Op = Opcode::CheckCallee;
+      C.A = Fn;
+      C.Loc = A->loc();
+      push(R, std::move(C));
+    }
+    uint32_t Arg = lowerInto(R, A->arg());
+    Instr I;
+    I.Op = Opcode::Call;
+    I.Dst = fresh();
+    I.A = Fn;
+    I.B = Arg;
+    I.Loc = A->loc();
+    uint32_t Dst = I.Dst;
+    push(R, std::move(I));
+    return Dst;
+  }
+  }
+  // Unreachable for well-formed ASTs; keep the register flow total.
+  Instr I;
+  I.Op = Opcode::Unbound;
+  I.Dst = fresh();
+  I.Aux = internName("<unhandled expression form>");
+  I.Loc = E->loc();
+  uint32_t Dst = I.Dst;
+  push(R, std::move(I));
+  return Dst;
+}
+
+} // namespace
+
+IrFunction ir::lower(const Expr *Root, std::vector<std::string> EnvNames) {
+  IrFunction F;
+  F.Root = Root;
+  F.EnvNames = std::move(EnvNames);
+  Lowerer L(F);
+  L.run();
+  F.CodeHash = stableHash64(print(F));
+  return F;
+}

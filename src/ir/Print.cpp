@@ -1,0 +1,171 @@
+//===--- Print.cpp - Stable printer for the bytecode ----------------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ir.h"
+
+#include <sstream>
+
+using namespace mix;
+using namespace mix::ir;
+
+const char *ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Step:
+    return "step";
+  case Opcode::Unbound:
+    return "unbound";
+  case Opcode::ConstInt:
+    return "const_int";
+  case Opcode::ConstBool:
+    return "const_bool";
+  case Opcode::BinOp:
+    return "binop";
+  case Opcode::Not:
+    return "not";
+  case Opcode::Branch:
+    return "branch";
+  case Opcode::LetCheck:
+    return "let_check";
+  case Opcode::Ref:
+    return "ref";
+  case Opcode::Deref:
+    return "deref";
+  case Opcode::AssignCheck:
+    return "assign_check";
+  case Opcode::Assign:
+    return "assign";
+  case Opcode::MakeClosure:
+    return "closure";
+  case Opcode::CheckCallee:
+    return "check_callee";
+  case Opcode::Call:
+    return "call";
+  case Opcode::TypedBlock:
+    return "typed_block";
+  }
+  return "<bad opcode>";
+}
+
+namespace {
+
+void printLoc(std::ostringstream &OS, SourceLoc Loc) {
+  if (Loc.isValid())
+    OS << " @" << Loc.str();
+}
+
+void printScope(std::ostringstream &OS, const IrFunction &F,
+                const Instr &In) {
+  OS << " scope{";
+  bool First = true;
+  if (In.Aux < F.Scopes.size() && F.Scopes[In.Aux])
+    for (const auto &[Name, Reg] : *F.Scopes[In.Aux]) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << Name << "=%" << Reg;
+    }
+  OS << "}";
+}
+
+void printInstr(std::ostringstream &OS, const IrFunction &F,
+                const Instr &In) {
+  OS << "  ";
+  switch (In.Op) {
+  case Opcode::Step:
+    OS << "step";
+    printLoc(OS, In.Loc);
+    break;
+  case Opcode::Unbound:
+    OS << "%" << In.Dst << " = unbound '"
+       << (In.Aux < F.Names.size() ? F.Names[In.Aux] : "<bad name index>")
+       << "'";
+    printLoc(OS, In.Loc);
+    break;
+  case Opcode::ConstInt:
+    OS << "%" << In.Dst << " = const_int " << In.Imm;
+    break;
+  case Opcode::ConstBool:
+    OS << "%" << In.Dst << " = const_bool "
+       << (In.BImm ? "true" : "false");
+    break;
+  case Opcode::BinOp:
+    OS << "%" << In.Dst << " = binop '" << binaryOpSpelling(In.BOp)
+       << "' %" << In.A << " %" << In.B;
+    printLoc(OS, In.Loc);
+    break;
+  case Opcode::Not:
+    OS << "%" << In.Dst << " = not %" << In.A;
+    printLoc(OS, In.Loc);
+    break;
+  case Opcode::Branch:
+    OS << "%" << In.Dst << " = branch %" << In.A << " ? r" << In.R1
+       << " : r" << In.R2;
+    printLoc(OS, In.Loc);
+    printLoc(OS, In.Loc2);
+    break;
+  case Opcode::LetCheck:
+    OS << "let_check %" << In.A << " : "
+       << (In.Ty ? In.Ty->str() : "<none>");
+    printLoc(OS, In.Loc);
+    break;
+  case Opcode::Ref:
+    OS << "%" << In.Dst << " = ref %" << In.A;
+    break;
+  case Opcode::Deref:
+    OS << "%" << In.Dst << " = deref %" << In.A;
+    printLoc(OS, In.Loc);
+    break;
+  case Opcode::AssignCheck:
+    OS << "assign_check %" << In.A;
+    printLoc(OS, In.Loc);
+    break;
+  case Opcode::Assign:
+    OS << "assign %" << In.A << " := %" << In.B;
+    break;
+  case Opcode::MakeClosure: {
+    const auto *Fn = cast<FunExpr>(In.Node);
+    OS << "%" << In.Dst << " = closure fun " << Fn->param() << " : "
+       << Fn->paramType()->str() << " -> " << Fn->resultType()->str();
+    printScope(OS, F, In);
+    break;
+  }
+  case Opcode::CheckCallee:
+    OS << "check_callee %" << In.A;
+    printLoc(OS, In.Loc);
+    break;
+  case Opcode::Call:
+    OS << "%" << In.Dst << " = call %" << In.A << " (%" << In.B << ")";
+    printLoc(OS, In.Loc);
+    break;
+  case Opcode::TypedBlock:
+    OS << "%" << In.Dst << " = typed_block";
+    printScope(OS, F, In);
+    printLoc(OS, In.Loc);
+    break;
+  }
+  OS << "\n";
+}
+
+} // namespace
+
+std::string ir::print(const IrFunction &F) {
+  std::ostringstream OS;
+  OS << "func (";
+  for (size_t I = 0; I < F.EnvNames.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << F.EnvNames[I] << "=%" << I;
+  }
+  OS << ") regs=" << F.NumRegs << " regions=" << F.Regions.size() << "\n";
+  for (size_t R = 0; R < F.Regions.size(); ++R) {
+    OS << "region " << R << ":\n";
+    for (const Instr &In : F.Regions[R].Code)
+      printInstr(OS, F, In);
+    OS << "  result %" << F.Regions[R].Result << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,171 @@
+//===--- Verify.cpp - Structural verifier for the bytecode ----------------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ir.h"
+
+using namespace mix;
+using namespace mix::ir;
+
+namespace {
+
+struct Verifier {
+  const IrFunction &F;
+  std::vector<unsigned> RegionRefs; // times each region was entered
+  std::string Err;
+
+  bool fail(uint32_t R, size_t I, std::string Msg) {
+    Err = "region " + std::to_string(R) + ", instr " + std::to_string(I) +
+          ": " + std::move(Msg);
+    return false;
+  }
+
+  bool use(uint32_t R, size_t I, uint32_t Reg,
+           const std::vector<char> &Def) {
+    if (Reg >= F.NumRegs)
+      return fail(R, I, "register %" + std::to_string(Reg) +
+                            " out of range");
+    if (!Def[Reg])
+      return fail(R, I, "use of undefined register %" +
+                            std::to_string(Reg));
+    return true;
+  }
+
+  bool def(uint32_t R, size_t I, uint32_t Reg, std::vector<char> &Def) {
+    if (Reg >= F.NumRegs)
+      return fail(R, I, "register %" + std::to_string(Reg) +
+                            " out of range");
+    if (Def[Reg])
+      return fail(R, I, "register %" + std::to_string(Reg) +
+                            " written twice");
+    Def[Reg] = 1;
+    return true;
+  }
+
+  /// Walks one region with the defined-register set at its entry.
+  /// Branch sub-regions see a copy (their definitions are path-local).
+  bool verifyRegion(uint32_t R, std::vector<char> Def) {
+    if (R >= F.Regions.size()) {
+      Err = "region r" + std::to_string(R) + " out of range";
+      return false;
+    }
+    if (++RegionRefs[R] > 1) {
+      Err = "region r" + std::to_string(R) + " referenced more than once";
+      return false;
+    }
+    const Region &Reg = F.Regions[R];
+    for (size_t I = 0; I < Reg.Code.size(); ++I) {
+      const Instr &In = Reg.Code[I];
+      switch (In.Op) {
+      case Opcode::Step:
+        break;
+      case Opcode::Unbound:
+        if (In.Aux >= F.Names.size() || F.Names[In.Aux].empty())
+          return fail(R, I, "unbound without a variable name");
+        if (!def(R, I, In.Dst, Def))
+          return false;
+        break;
+      case Opcode::ConstInt:
+      case Opcode::ConstBool:
+        if (!def(R, I, In.Dst, Def))
+          return false;
+        break;
+      case Opcode::BinOp:
+        if (!use(R, I, In.A, Def) || !use(R, I, In.B, Def) ||
+            !def(R, I, In.Dst, Def))
+          return false;
+        break;
+      case Opcode::Not:
+      case Opcode::Deref:
+      case Opcode::Ref:
+        if (!use(R, I, In.A, Def) || !def(R, I, In.Dst, Def))
+          return false;
+        break;
+      case Opcode::Branch:
+        if (!use(R, I, In.A, Def))
+          return false;
+        if (!verifyRegion(In.R1, Def) || !verifyRegion(In.R2, Def))
+          return false;
+        if (!def(R, I, In.Dst, Def))
+          return false;
+        break;
+      case Opcode::LetCheck:
+        if (!In.Ty)
+          return fail(R, I, "let_check without a declared type");
+        if (!use(R, I, In.A, Def))
+          return false;
+        break;
+      case Opcode::AssignCheck:
+        if (!use(R, I, In.A, Def))
+          return false;
+        break;
+      case Opcode::Assign:
+        if (!use(R, I, In.A, Def) || !use(R, I, In.B, Def))
+          return false;
+        break;
+      case Opcode::MakeClosure:
+        if (!In.Node || !isa<FunExpr>(In.Node))
+          return fail(R, I, "closure without a function node");
+        if (In.Aux >= F.Scopes.size() || !F.Scopes[In.Aux])
+          return fail(R, I, "closure without a scope table");
+        for (const auto &[Name, SReg] : *F.Scopes[In.Aux]) {
+          (void)Name;
+          if (!use(R, I, SReg, Def))
+            return false;
+        }
+        if (!def(R, I, In.Dst, Def))
+          return false;
+        break;
+      case Opcode::CheckCallee:
+        if (!use(R, I, In.A, Def))
+          return false;
+        break;
+      case Opcode::Call:
+        if (!use(R, I, In.A, Def) || !use(R, I, In.B, Def) ||
+            !def(R, I, In.Dst, Def))
+          return false;
+        break;
+      case Opcode::TypedBlock:
+        if (!In.Node || !isa<BlockExpr>(In.Node))
+          return fail(R, I, "typed_block without a block node");
+        if (In.Aux >= F.Scopes.size() || !F.Scopes[In.Aux])
+          return fail(R, I, "typed_block without a scope table");
+        for (const auto &[Name, SReg] : *F.Scopes[In.Aux]) {
+          (void)Name;
+          if (!use(R, I, SReg, Def))
+            return false;
+        }
+        if (!def(R, I, In.Dst, Def))
+          return false;
+        break;
+      }
+    }
+    if (Reg.Result >= F.NumRegs || !Def[Reg.Result])
+      return fail(R, Reg.Code.size(),
+                  "region result %" + std::to_string(Reg.Result) +
+                      " is not defined at region end");
+    return true;
+  }
+};
+
+} // namespace
+
+std::string ir::verify(const IrFunction &F) {
+  if (F.Regions.empty())
+    return "function has no regions";
+  if (F.NumRegs < F.EnvNames.size())
+    return "fewer registers than environment bindings";
+  Verifier V{F, std::vector<unsigned>(F.Regions.size(), 0), ""};
+  std::vector<char> Def(F.NumRegs, 0);
+  for (size_t I = 0; I < F.EnvNames.size(); ++I)
+    Def[I] = 1;
+  if (!V.verifyRegion(0, std::move(Def)))
+    return V.Err;
+  for (size_t R = 0; R < F.Regions.size(); ++R)
+    if (!V.RegionRefs[R])
+      return "region r" + std::to_string(R) + " is unreachable";
+  return "";
+}

@@ -138,6 +138,7 @@ uint64_t AnalysisService::requestKey(const AnalysisRequest &Req,
   // Jobs is deliberately excluded: results are jobs-invariant.
   H.boolean(Req.Symbolic).boolean(Req.AutoPlace).boolean(Req.PrintProgram);
   H.u8((uint8_t)Req.Strategy).u8((uint8_t)Req.Havoc);
+  H.u8((uint8_t)Req.ExecMode);
   H.boolean(Req.PreciseDeref).boolean(Req.AssumeComplete);
   H.u8((uint8_t)Req.Explore);
   H.u64(Req.Vars.size());
@@ -329,6 +330,7 @@ void AnalysisService::runMixCheck(const AnalysisRequest &Req,
   MixOptions Opts;
   Opts.Exec.Strat = Req.Strategy;
   Opts.Exec.Havoc = Req.Havoc;
+  Opts.Exec.ExecMode = Req.ExecMode;
   Opts.Exec.PreciseDeref = Req.PreciseDeref;
   if (Req.AssumeComplete)
     Opts.Exhaustive = MixOptions::Exhaustiveness::AssumeComplete;

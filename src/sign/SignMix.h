@@ -131,7 +131,8 @@ private:
   smt::SmtSolver Solver;
   SymToSmt Translator;
   SignChecker Checker;
-  SymExecutor Executor;
+  /// The engine SymExecOptions::ExecMode selected (--exec=ast|ir).
+  std::unique_ptr<ExecEngine> Executor;
   MixStats Statistics;
 
   /// The sign result of the most recent typed-block check, consumed by

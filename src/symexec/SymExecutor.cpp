@@ -23,6 +23,9 @@ SymExecResult SymExecutor::run(const Expr *E, const SymEnv &Env,
   Steps = 0;
   LivePaths = 1;
   HitLimit = false;
+  if (Depth == 0)
+    RunBaseExprs = Arena.numExprs();
+  ++Depth;
 
   SymExecResult Result;
   Result.Paths = exec(E, Env, Init);
@@ -31,6 +34,10 @@ SymExecResult SymExecutor::run(const Expr *E, const SymEnv &Env,
   Steps = SavedSteps;
   LivePaths = SavedLivePaths;
   HitLimit = SavedHitLimit;
+  --Depth;
+  CExecPaths.add(Result.Paths.size());
+  if (Depth == 0)
+    CTermsBuilt.add(Arena.numExprs() - RunBaseExprs);
   return Result;
 }
 
@@ -397,9 +404,13 @@ std::vector<PathResult> SymExecutor::execIf(const IfExpr *I, const SymEnv &Env,
           return {PathResult::failure(S1, I->cond()->loc(),
                                       "condition has non-bool type " +
                                           G->type()->str())};
-        if (G->isConst())
+        if (G->isConst()) {
+          // Partial evaluation: a concrete guard takes one branch and
+          // never consults the solver.
+          CBranchesConc.inc();
           return exec(G->boolValue() ? I->thenExpr() : I->elseExpr(), Env,
                       S1);
+        }
         if (Opts.Strat == SymExecOptions::Strategy::Concolic)
           return execIfConcolic(I, Env, std::move(S1), G);
 
@@ -450,9 +461,11 @@ std::vector<PathResult> SymExecutor::execIfDefer(const IfExpr *I,
           return {PathResult::failure(S1, I->cond()->loc(),
                                       "condition has non-bool type " +
                                           G->type()->str())};
-        if (G->isConst())
+        if (G->isConst()) {
+          CBranchesConc.inc();
           return exec(G->boolValue() ? I->thenExpr() : I->elseExpr(), Env,
                       S1);
+        }
 
         CDefers.inc();
         if (Opts.Trace)

@@ -1,0 +1,281 @@
+//===--- IrDiffTest.cpp - AST-vs-IR engine differential harness -----------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+// The --exec=ir contract is observational equivalence: for any program,
+// the compiled concolic engine must reproduce the AST walker's behavior
+// exactly — same path outcomes in the same order, same error messages at
+// the same locations, same fresh-variable numbering (visible in rendered
+// expressions), same budget trips, and byte-identical diagnostics through
+// the full MixChecker / AnalysisService stack. This harness property-tests
+// that contract on >=1000 generated programs per strategy plus the full
+// service path, so any divergence names the program that exposed it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ProgramGen.h"
+
+#include "concolic/IrExecutor.h"
+#include "lang/AstPrinter.h"
+#include "lang/Parser.h"
+#include "mix/MixChecker.h"
+#include "service/AnalysisService.h"
+#include "service/Protocol.h"
+#include "symexec/SymExecutor.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mix;
+
+namespace {
+
+/// Renders every path outcome of a run to a comparable string: verdict,
+/// location, message, value, path condition, memory log, and decision
+/// list. Fresh-variable ids appear in the rendered expressions, so any
+/// drift in allocation order shows up here.
+std::vector<std::string> renderPaths(const SymExecResult &R) {
+  std::vector<std::string> Out;
+  for (const PathResult &P : R.Paths) {
+    std::string S;
+    if (P.IsError)
+      S = "error " + P.ErrorLoc.str() + " " + P.ErrorMessage;
+    else
+      S = "value " + P.Value->str();
+    S += " | path " + P.State.Path->str();
+    S += " | mem " + P.State.Mem->str();
+    S += " | decisions";
+    for (const SymExpr *D : P.State.Decisions)
+      S += " " + D->str();
+    Out.push_back(std::move(S));
+  }
+  Out.push_back(R.ResourceLimitHit ? "limit hit" : "limit ok");
+  return Out;
+}
+
+/// Runs \p E under both engines with identical fresh arenas and options;
+/// returns the two renderings.
+std::pair<std::vector<std::string>, std::vector<std::string>>
+runBoth(AstContext &Ctx, const Expr *E, SymExecOptions Opts) {
+  auto RunWith = [&](SymExecOptions::Engine Mode) {
+    SymExecOptions O = Opts;
+    O.ExecMode = Mode;
+    SymArena A(Ctx.types());
+    DiagnosticEngine D;
+    std::unique_ptr<ExecEngine> Exec = concolic::makeExecEngine(A, D, O);
+    SymEnv Env;
+    Env["x"] = Exec->arena().freshVar(Ctx.types().intType(), false, "x");
+    Env["y"] = Exec->arena().freshVar(Ctx.types().intType(), false, "y");
+    Env["b"] = Exec->arena().freshVar(Ctx.types().boolType(), false, "b");
+    Env["p"] = Exec->arena().freshVar(
+        Ctx.types().refType(Ctx.types().intType()), false, "p");
+    return renderPaths(Exec->run(E, Env));
+  };
+  return {RunWith(SymExecOptions::Engine::Ast),
+          RunWith(SymExecOptions::Engine::Ir)};
+}
+
+class IrDiffTest : public ::testing::TestWithParam<unsigned> {};
+
+//===----------------------------------------------------------------------===//
+// Executor level: >=1000 generated programs, both strategies
+//===----------------------------------------------------------------------===//
+
+TEST_P(IrDiffTest, GeneratedProgramsAgreeUnderForkAndDefer) {
+  std::mt19937 Rng(GetParam());
+  testgen::ProgramGenerator::Scope Scope;
+  Scope.IntVars = {"x", "y"};
+  Scope.BoolVars = {"b"};
+  Scope.RefVars = {"p"};
+
+  for (int Round = 0; Round != 500; ++Round) {
+    AstContext Ctx;
+    testgen::ProgramGenerator Gen(Ctx, Rng, /*AllowBlocks=*/false);
+    const Expr *E =
+        Rng() % 2 ? Gen.genInt(Scope, 4) : Gen.genBool(Scope, 4);
+    std::string Printed = printExpr(E);
+
+    for (auto Strat :
+         {SymExecOptions::Strategy::Fork, SymExecOptions::Strategy::Defer}) {
+      SymExecOptions Opts;
+      Opts.Strat = Strat;
+      auto [Ast, Ir] = runBoth(Ctx, E, Opts);
+      ASSERT_EQ(Ast, Ir) << "strategy "
+                         << (Strat == SymExecOptions::Strategy::Fork
+                                 ? "fork"
+                                 : "defer")
+                         << " diverged on:\n"
+                         << Printed;
+    }
+  }
+}
+
+TEST_P(IrDiffTest, BudgetTripsAtTheSameStep) {
+  // A starved step budget must trip at the same node in both engines:
+  // same error location, same partial path list, same ResourceLimitHit.
+  std::mt19937 Rng(GetParam() + 77);
+  testgen::ProgramGenerator::Scope Scope;
+  Scope.IntVars = {"x", "y"};
+  Scope.BoolVars = {"b"};
+  Scope.RefVars = {"p"};
+
+  for (int Round = 0; Round != 120; ++Round) {
+    AstContext Ctx;
+    testgen::ProgramGenerator Gen(Ctx, Rng, /*AllowBlocks=*/false);
+    const Expr *E = Gen.genInt(Scope, 4);
+    SymExecOptions Opts;
+    Opts.MaxSteps = 1 + Rng() % 40;
+    auto [Ast, Ir] = runBoth(Ctx, E, Opts);
+    ASSERT_EQ(Ast, Ir) << "MaxSteps=" << Opts.MaxSteps << " diverged on:\n"
+                       << printExpr(E);
+  }
+}
+
+TEST_P(IrDiffTest, ExpressionGcDoesNotChangeOutcomes) {
+  // The IR engine's epoch sweep must be invisible: same renderings with
+  // the collector on and off, across back-to-back runs in one arena.
+  std::mt19937 Rng(GetParam() + 101);
+  testgen::ProgramGenerator::Scope Scope;
+  Scope.IntVars = {"x", "y"};
+  Scope.BoolVars = {"b"};
+  Scope.RefVars = {"p"};
+
+  AstContext Ctx;
+  auto RunSeq = [&](bool Gc, const std::vector<const Expr *> &Programs) {
+    SymExecOptions Opts;
+    Opts.ExecMode = SymExecOptions::Engine::Ir;
+    Opts.ExprGC = Gc;
+    SymArena A(Ctx.types());
+    DiagnosticEngine D;
+    std::unique_ptr<ExecEngine> Exec = concolic::makeExecEngine(A, D, Opts);
+    std::vector<std::string> Out;
+    for (const Expr *E : Programs) {
+      SymEnv Env;
+      Env["x"] = Exec->arena().freshVar(Ctx.types().intType(), false, "x");
+      Env["b"] = Exec->arena().freshVar(Ctx.types().boolType(), false, "b");
+      for (std::string &S : renderPaths(Exec->run(E, Env)))
+        Out.push_back(std::move(S));
+    }
+    return Out;
+  };
+
+  std::vector<const Expr *> Programs;
+  testgen::ProgramGenerator Gen(Ctx, Rng, /*AllowBlocks=*/false);
+  testgen::ProgramGenerator::Scope Small;
+  Small.IntVars = {"x"};
+  Small.BoolVars = {"b"};
+  for (int I = 0; I != 40; ++I)
+    Programs.push_back(Gen.genInt(Small, 4));
+
+  EXPECT_EQ(RunSeq(false, Programs), RunSeq(true, Programs));
+}
+
+//===----------------------------------------------------------------------===//
+// MixChecker level: blocks, oracle re-entry, diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST_P(IrDiffTest, MixCheckerDiagnosticsAgree) {
+  std::mt19937 Rng(GetParam() + 7);
+  testgen::ProgramGenerator::Scope Scope;
+  Scope.IntVars = {"x", "y"};
+  Scope.BoolVars = {"b"};
+  Scope.RefVars = {"p"};
+
+  unsigned Accepted = 0;
+  for (int Round = 0; Round != 150; ++Round) {
+    AstContext Ctx;
+    testgen::ProgramGenerator Gen(Ctx, Rng, /*AllowBlocks=*/true);
+    const Expr *E =
+        Rng() % 2 ? Gen.genInt(Scope, 4) : Gen.genBool(Scope, 4);
+
+    TypeEnv Gamma;
+    Gamma["x"] = Ctx.types().intType();
+    Gamma["y"] = Ctx.types().intType();
+    Gamma["b"] = Ctx.types().boolType();
+    Gamma["p"] = Ctx.types().refType(Ctx.types().intType());
+
+    auto CheckWith = [&](SymExecOptions::Engine Mode) {
+      MixOptions Opts;
+      Opts.Exec.ExecMode = Mode;
+      DiagnosticEngine D;
+      MixChecker Mix(Ctx.types(), D, Opts);
+      const Type *T = Mix.checkTyped(E, Gamma);
+      return std::make_pair(T ? T->str() : "<rejected>", D.str());
+    };
+
+    auto Ast = CheckWith(SymExecOptions::Engine::Ast);
+    auto Ir = CheckWith(SymExecOptions::Engine::Ir);
+    ASSERT_EQ(Ast, Ir) << "diverged on:\n" << printExpr(E);
+    if (Ast.first != "<rejected>")
+      ++Accepted;
+  }
+  // The property is vacuous if generation only produces rejects.
+  EXPECT_GT(Accepted, 10u);
+}
+
+//===----------------------------------------------------------------------===//
+// Full stack: AnalysisService payload bytes
+//===----------------------------------------------------------------------===//
+
+TEST(IrServiceDiffTest, ServicePayloadsAreByteIdentical) {
+  const struct {
+    const char *Source;
+    service::Format Fmt;
+    bool Explain;
+  } Cases[] = {
+      {"{s if b then {t 1 + true t} else {t 0 t} s}", service::Format::Text,
+       true},
+      {"{s if b then {t 1 + true t} else {t 0 t} s}", service::Format::Json,
+       false},
+      {"{s if b then {t 1 + true t} else {t 0 t} s}", service::Format::Sarif,
+       false},
+      {"{s if 0 < x then x else 0 - x s}", service::Format::Text, false},
+      {"1 + true", service::Format::Text, false},
+  };
+  for (const auto &C : Cases) {
+    auto RunWith = [&](SymExecOptions::Engine Mode) {
+      service::AnalysisService Svc;
+      service::AnalysisRequest Req;
+      Req.ToolKind = service::Tool::MixCheck;
+      Req.Source = C.Source;
+      Req.HasSource = true;
+      Req.OutputFormat = C.Fmt;
+      Req.Explain = C.Explain;
+      Req.ExecMode = Mode;
+      Req.Vars = {{"b", "bool"}, {"x", "int"}};
+      service::AnalysisResponse Resp = Svc.run(Req);
+      return std::make_tuple(Resp.Exit, Resp.Payload, Resp.ErrorText,
+                             Resp.Accepted, Resp.ResultType);
+    };
+    EXPECT_EQ(RunWith(SymExecOptions::Engine::Ast),
+              RunWith(SymExecOptions::Engine::Ir))
+        << C.Source;
+  }
+}
+
+TEST(IrServiceDiffTest, RequestKeySeparatesEngines) {
+  // The daemon's response cache must not serve an --exec=ast result to an
+  // --exec=ir request (identical though they are, the cache key is the
+  // contract): the wire encodings differ, and decoding round-trips.
+  service::AnalysisRequest Req;
+  Req.ToolKind = service::Tool::MixCheck;
+  Req.Source = "1";
+  Req.HasSource = true;
+  std::string AstWire = service::encodeRequest(Req);
+  Req.ExecMode = SymExecOptions::Engine::Ir;
+  std::string IrWire = service::encodeRequest(Req);
+  EXPECT_NE(AstWire, IrWire);
+  EXPECT_NE(IrWire.find("\"exec\": \"ir\""), std::string::npos) << IrWire;
+
+  service::AnalysisRequest Out;
+  std::string Error;
+  ASSERT_TRUE(service::decodeRequest(IrWire, Out, Error)) << Error;
+  EXPECT_EQ(Out.ExecMode, SymExecOptions::Engine::Ir);
+  EXPECT_EQ(service::encodeRequest(Out), IrWire);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrDiffTest, ::testing::Values(1u, 2u));
+
+} // namespace

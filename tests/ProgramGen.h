@@ -27,8 +27,10 @@ namespace mix::testgen {
 /// expressions over a fixed Gamma, with analysis blocks sprinkled in.
 class ProgramGenerator {
 public:
-  ProgramGenerator(AstContext &Ctx, std::mt19937 &Rng, bool AllowBlocks)
-      : Ctx(Ctx), Rng(Rng), AllowBlocks(AllowBlocks) {}
+  ProgramGenerator(AstContext &Ctx, std::mt19937 &Rng, bool AllowBlocks,
+                   bool AllowRefs = true, bool AllowCalls = true)
+      : Ctx(Ctx), Rng(Rng), AllowBlocks(AllowBlocks), AllowRefs(AllowRefs),
+        AllowCalls(AllowCalls) {}
 
   /// Variables available to the generated program.
   struct Scope {
@@ -68,7 +70,7 @@ private:
     // Occasionally build and immediately apply a function literal; the
     // literal itself may get wrapped in an analysis block by maybeBlock,
     // exercising closure escape across boundaries.
-    if (Rng() % 8 == 0) {
+    if (AllowCalls && Rng() % 8 == 0) {
       std::string Param = freshName();
       Scope Inner = S;
       Inner.IntVars.push_back(Param);
@@ -95,6 +97,8 @@ private:
                                genInt(S, Depth - 1), genInt(Inner, Depth - 1));
     }
     case 4: {
+      if (!AllowRefs)
+        return genIntRaw(S, Depth - 1);
       // let r = ref <int> in <int with r in scope>
       std::string Name = freshName();
       Scope Inner = S;
@@ -159,6 +163,8 @@ private:
   AstContext &Ctx;
   std::mt19937 &Rng;
   bool AllowBlocks;
+  bool AllowRefs = true;
+  bool AllowCalls = true;
   bool UsedTypedBlock = false;
   unsigned Counter = 0;
 };

@@ -194,7 +194,18 @@ int main(int Argc, char **Argv) {
          << "engine blocks scheduled : " << Reg.counterValue("engine.mix.blocks")
          << "\n"
          << "engine cache hits       : "
-         << Reg.counterValue("engine.cache.mix.hits") << "\n";
+         << Reg.counterValue("engine.cache.mix.hits") << "\n"
+         // The execution engine's own counters (--exec=ast|ir): both
+         // engines report paths and solver-skipped concrete branches;
+         // terms built/GC'd expose the IR engine's lazy-expression win.
+         << "exec paths run          : " << Reg.counterValue("exec.paths")
+         << "\n"
+         << "exec concrete branches  : "
+         << Reg.counterValue("exec.branches.concrete") << "\n"
+         << "exec terms built        : "
+         << Reg.counterValue("exec.terms.built") << "\n"
+         << "exec terms collected    : "
+         << Reg.counterValue("exec.terms.gcd") << "\n";
   }
 
   if (!Resp.PrintedProgram.empty())
