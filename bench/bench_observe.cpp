@@ -17,6 +17,7 @@
 #include "mixy/Mixy.h"
 #include "mixy/VsftpdMini.h"
 #include "observe/Metrics.h"
+#include "observe/Phase.h"
 #include "observe/Trace.h"
 #include "provenance/Provenance.h"
 
@@ -69,6 +70,37 @@ void BM_Histogram_Attached(benchmark::State &State) {
   }
 }
 
+void BM_PhaseTimer_Detached(benchmark::State &State) {
+  // Null telemetry context: constructor and destructor are one branch
+  // each, no clock reads — the state every CLI run without --stats or
+  // --profile is in.
+  for (auto _ : State) {
+    obs::PhaseTimer Timer(nullptr, obs::Phase::BlockExec);
+    benchmark::DoNotOptimize(Timer);
+  }
+}
+
+void BM_PhaseTimer_Attached(benchmark::State &State) {
+  obs::RequestTelemetry T;
+  for (auto _ : State) {
+    obs::PhaseTimer Timer(&T, obs::Phase::BlockExec);
+    benchmark::DoNotOptimize(Timer);
+  }
+  State.counters["block_exec_us"] =
+      (double)T.phaseUs(obs::Phase::BlockExec);
+}
+
+void BM_PhaseTimer_AttachedWithSpans(benchmark::State &State) {
+  obs::TraceSink Sink;
+  obs::RequestTelemetry T;
+  T.enableSpans(Sink.epoch());
+  for (auto _ : State) {
+    obs::PhaseTimer Timer(&T, obs::Phase::BlockExec);
+    benchmark::DoNotOptimize(Timer);
+  }
+  State.counters["events"] = (double)(T.sink() ? T.sink()->eventCount() : 0);
+}
+
 void BM_TraceSpan_NullSink(benchmark::State &State) {
   for (auto _ : State) {
     obs::TraceSpan Span(nullptr, "bench.span", "bench");
@@ -92,7 +124,7 @@ void BM_TraceSpan_LiveSink(benchmark::State &State) {
 //===----------------------------------------------------------------------===//
 
 void runCase(benchmark::State &State, bool Metrics, bool Trace,
-             bool Explain = false) {
+             bool Explain = false, bool Telemetry = false) {
   std::string Source = corpus::vsftpdCase(2, true);
   for (auto _ : State) {
     CAstContext Ctx;
@@ -101,6 +133,7 @@ void runCase(benchmark::State &State, bool Metrics, bool Trace,
     obs::MetricsRegistry Reg;
     obs::TraceSink Sink;
     prov::ProvenanceSink Prov;
+    obs::RequestTelemetry T;
     MixyOptions Opts;
     if (Metrics)
       Opts.Metrics = &Reg;
@@ -108,6 +141,8 @@ void runCase(benchmark::State &State, bool Metrics, bool Trace,
       Opts.Trace = &Sink;
     if (Explain)
       Opts.Prov = &Prov;
+    if (Telemetry)
+      Opts.Telemetry = &T;
     MixyAnalysis Analysis(*P, Ctx, Diags, Opts);
     benchmark::DoNotOptimize(Analysis.run(MixyAnalysis::StartMode::Typed));
   }
@@ -127,6 +162,11 @@ void BM_Mixy_MetricsAndTraceOn(benchmark::State &State) {
 void BM_Mixy_ProvenanceOn(benchmark::State &State) {
   runCase(State, true, false, /*Explain=*/true);
 }
+// Per-request phase attribution on top of metrics — the daemon's default
+// request configuration (spans stay off unless the request traces).
+void BM_Mixy_TelemetryOn(benchmark::State &State) {
+  runCase(State, true, false, /*Explain=*/false, /*Telemetry=*/true);
+}
 
 } // namespace
 
@@ -134,11 +174,15 @@ BENCHMARK(BM_Counter_Detached);
 BENCHMARK(BM_Counter_Attached);
 BENCHMARK(BM_Histogram_Detached);
 BENCHMARK(BM_Histogram_Attached);
+BENCHMARK(BM_PhaseTimer_Detached);
+BENCHMARK(BM_PhaseTimer_Attached);
+BENCHMARK(BM_PhaseTimer_AttachedWithSpans);
 BENCHMARK(BM_TraceSpan_NullSink);
 BENCHMARK(BM_TraceSpan_LiveSink);
 BENCHMARK(BM_Mixy_ObservabilityOff);
 BENCHMARK(BM_Mixy_MetricsOn);
 BENCHMARK(BM_Mixy_MetricsAndTraceOn);
 BENCHMARK(BM_Mixy_ProvenanceOn);
+BENCHMARK(BM_Mixy_TelemetryOn);
 
 MIX_BENCH_MAIN(observe)

@@ -30,6 +30,8 @@ IrExecutor::IrExecutor(SymArena &Arena, DiagnosticEngine &Diags,
     CTermsGcd = Opts.Metrics->counter("exec.terms.gcd");
     CLowerHits = Opts.Metrics->counter("ir.lower.hits");
     CLowerMisses = Opts.Metrics->counter("ir.lower.misses");
+    CFastpathHits = Opts.Metrics->counter("ir.lower.fastpath.hits");
+    CFastpathMisses = Opts.Metrics->counter("ir.lower.fastpath.misses");
   }
 }
 
@@ -260,6 +262,7 @@ const ir::IrFunction &IrExecutor::lowered(const Expr *Root,
     return *It->second;
   }
   CLowerMisses.inc();
+  obs::PhaseTimer Timer(Opts.Telemetry, obs::Phase::IrLower);
   auto F = std::make_unique<ir::IrFunction>(
       ir::lower(Root, std::move(EnvNames)));
   assert(ir::verify(*F).empty() && "lowering produced ill-formed bytecode");
@@ -270,13 +273,36 @@ const ir::IrFunction &IrExecutor::lowered(const Expr *Root,
 
 const ir::IrFunction &IrExecutor::loweredCallee(const FunExpr *FE,
                                                 const SymEnv &CloEnv) {
+  // Fast path: a closure is almost always re-entered with the same
+  // environment shape, so one pointer lookup plus an allocation-free
+  // name comparison replaces the env-signature string build. SymEnv is
+  // an ordered map, so its iteration order matches the stored Names.
+  auto It = CalleeCache.find(FE);
+  if (It != CalleeCache.end() && It->second.Names.size() == CloEnv.size()) {
+    size_t I = 0;
+    bool Match = true;
+    for (const auto &[Name, Val] : CloEnv) {
+      (void)Val;
+      if (It->second.Names[I++] != Name) {
+        Match = false;
+        break;
+      }
+    }
+    if (Match) {
+      CFastpathHits.inc();
+      return *It->second.F;
+    }
+  }
+  CFastpathMisses.inc();
   std::vector<std::string> Names;
   Names.reserve(CloEnv.size());
   for (const auto &[Name, Val] : CloEnv) {
     (void)Val;
     Names.push_back(Name);
   }
-  return lowered(FE->body(), std::move(Names));
+  const ir::IrFunction &F = lowered(FE->body(), Names);
+  CalleeCache[FE] = CalleeCacheEntry{std::move(Names), &F};
+  return F;
 }
 
 // --- The interpreter -------------------------------------------------------

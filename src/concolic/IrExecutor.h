@@ -181,9 +181,23 @@ private:
            std::unique_ptr<ir::IrFunction>>
       LoweredCache;
 
+  /// Pointer-keyed fast path over LoweredCache for callee lowering: the
+  /// per-call env-signature string build + map lookup is a measured cost
+  /// on call-heavy code, and in practice a closure is re-entered with the
+  /// same environment shape every time. The entry is validated against
+  /// the call's environment names (SymEnv iterates them sorted, matching
+  /// the stored order) with no allocation; a shape change falls back to
+  /// the string-keyed cache and refreshes the entry.
+  struct CalleeCacheEntry {
+    std::vector<std::string> Names;
+    const ir::IrFunction *F = nullptr; ///< owned by LoweredCache
+  };
+  std::map<const FunExpr *, CalleeCacheEntry> CalleeCache;
+
   obs::Counter CForks, CDefers, CHavocs;
   obs::Counter CExecPaths, CBranchesConc, CTermsBuilt, CTermsGcd;
   obs::Counter CLowerHits, CLowerMisses;
+  obs::Counter CFastpathHits, CFastpathMisses;
 };
 
 /// Builds the engine selected by \p Opts.ExecMode (the `--exec=` knob):

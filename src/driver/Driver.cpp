@@ -7,6 +7,7 @@
 
 #include "driver/Driver.h"
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 
@@ -22,6 +23,20 @@ void DriverContext::registerOptions(OptionParser &P) {
         return true;
       },
       "FILE", "write a JSON event trace of the run to FILE");
+  P.value(
+      "--profile",
+      [this](const std::string &V) {
+        if (V.empty())
+          return false;
+        ProfileFile = V;
+        // Speedscope rendering needs phase spans, and phase spans need
+        // per-request telemetry turned on.
+        Svc.enableRequestTelemetry();
+        return true;
+      },
+      "FILE",
+      "write a speedscope-compatible JSON profile of the run's phase\n"
+      "spans to FILE (open at https://www.speedscope.app)");
   P.value(
       "--metrics",
       [this](const std::string &V) {
@@ -53,7 +68,15 @@ void DriverContext::registerOptions(OptionParser &P) {
          "follow each diagnostic with its evidence: the symbolic witness\n"
          "path (with a concrete counterexample) or the qualifier flow\n"
          "chain, plus the MIX block it came from");
-  P.flag("--stats", &Stats, "print analysis statistics after the run");
+  P.flag(
+      "--stats",
+      [this]() {
+        Stats = true;
+        // The --stats phase-breakdown table reads the response's
+        // per-phase attribution, which only exists with telemetry on.
+        Svc.enableRequestTelemetry();
+      },
+      "print analysis statistics after the run");
   P.endGroup();
   P.value(
       "--cache-dir",
@@ -126,7 +149,7 @@ void DriverContext::applyCommonRequest(service::AnalysisRequest &Req) const {
     break;
   }
   Req.Explain = Explain;
-  Req.Trace = !TraceFile.empty();
+  Req.Trace = !TraceFile.empty() || !ProfileFile.empty();
   Req.CacheDir = CacheDir;
   Req.Solver = Solver;
   Req.ExecMode = Exec;
@@ -150,6 +173,9 @@ bool DriverContext::writeArtifacts(const std::string &Tool) {
   }
   if (!TraceFile.empty())
     Ok = writeFile(Tool, TraceFile, Svc.traceSink().renderJSON()) && Ok;
+  if (!ProfileFile.empty())
+    Ok = writeFile(Tool, ProfileFile,
+                   Svc.traceSink().renderSpeedscope(Tool)) && Ok;
   if (!MetricsFile.empty())
     Ok = writeFile(Tool, MetricsFile, Svc.metrics().renderJSON()) && Ok;
   return Ok;
@@ -159,6 +185,30 @@ mix::prov::ProvenanceSink *DriverContext::provenanceSink() {
   if (!Explain && Format != OutputFormat::Sarif)
     return nullptr;
   return Svc.provenanceSink();
+}
+
+std::string
+mix::driver::renderPhaseBreakdown(const service::AnalysisResponse &Resp) {
+  bool Any = false;
+  for (uint64_t V : Resp.PhaseUs)
+    Any |= V != 0;
+  if (!Any && !Resp.TotalUs)
+    return std::string();
+  std::string Out = "phase breakdown (inclusive, total " +
+                    std::to_string(Resp.TotalUs) + " us):\n";
+  for (unsigned I = 0; I != obs::NumPhases; ++I) {
+    if (!Resp.PhaseUs[I])
+      continue;
+    double Pct = Resp.TotalUs
+                     ? 100.0 * (double)Resp.PhaseUs[I] / (double)Resp.TotalUs
+                     : 0.0;
+    char Line[96];
+    std::snprintf(Line, sizeof(Line), "  %-10s : %10llu us (%5.1f%%)\n",
+                  obs::phaseName((obs::Phase)I),
+                  (unsigned long long)Resp.PhaseUs[I], Pct);
+    Out += Line;
+  }
+  return Out;
 }
 
 bool mix::driver::writeFile(const std::string &Tool, const std::string &Path,

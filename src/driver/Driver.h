@@ -96,11 +96,12 @@ public:
   /// The registry every analysis in the process reports into.
   obs::MetricsRegistry &metrics() { return Svc.metrics(); }
 
-  /// The trace sink to hand to analyses: the real sink when --trace was
-  /// given, null otherwise (which turns every instrumentation site into a
-  /// branch).
+  /// The trace sink to hand to analyses: the real sink when --trace or
+  /// --profile was given (both need recorded spans), null otherwise
+  /// (which turns every instrumentation site into a branch).
   obs::TraceSink *traceSink() {
-    return TraceFile.empty() ? nullptr : &Svc.traceSink();
+    return TraceFile.empty() && ProfileFile.empty() ? nullptr
+                                                    : &Svc.traceSink();
   }
 
   /// The provenance sink to hand to analyses: live (counting into the
@@ -131,6 +132,7 @@ public:
 private:
   service::AnalysisService Svc;
   std::string TraceFile;
+  std::string ProfileFile;
   std::string MetricsFile;
   std::string CacheDir;
   std::string InputName;
@@ -153,6 +155,13 @@ void registerCommonOptions(OptionParser &P, DriverContext &Driver,
 /// "<tool>: cannot write '...'" to stderr.
 bool writeFile(const std::string &Tool, const std::string &Path,
                const std::string &Content);
+
+/// The --stats "phase breakdown" table: one line per phase the response
+/// attributes time to, with its share of the request's wall time. Phases
+/// nest (typecheck contains fixpoint contains block-exec contains
+/// solver), so the percentages are inclusive and do not sum to 100.
+/// Empty when the response carries no attribution (telemetry off).
+std::string renderPhaseBreakdown(const service::AnalysisResponse &Resp);
 
 } // namespace mix::driver
 

@@ -25,6 +25,7 @@ FixpointDriver::FixpointDriver(FixpointConfig C) : Cfg(std::move(C)) {
 }
 
 unsigned FixpointDriver::runSerial(const FixpointCallbacks &CB) {
+  obs::PhaseTimer Timer(Cfg.Telemetry, obs::Phase::Fixpoint);
   unsigned Rounds = 0;
   std::vector<bool> Seen;
   for (unsigned Iter = 0; Iter != Cfg.MaxRounds; ++Iter) {
@@ -59,6 +60,7 @@ unsigned FixpointDriver::runSerial(const FixpointCallbacks &CB) {
 }
 
 unsigned FixpointDriver::runRoundBarrier(const FixpointCallbacks &CB) {
+  obs::PhaseTimer Timer(Cfg.Telemetry, obs::Phase::Fixpoint);
   unsigned Rounds = 0;
   std::vector<bool> Seen;
   for (unsigned Iter = 0; Iter != Cfg.MaxRounds; ++Iter) {
@@ -165,6 +167,7 @@ tarjanSccs(size_t N, const std::vector<std::vector<size_t>> &Adj) {
 
 unsigned FixpointDriver::runWorklist(const FixpointCallbacks &CB,
                                      rt::ThreadPool &Pool) {
+  obs::PhaseTimer Timer(Cfg.Telemetry, obs::Phase::Fixpoint);
   // The SCC partition is built over the sites known now; sites appended
   // during evaluation are handled by the validation sweep below.
   size_t N0 = CB.NumSites();

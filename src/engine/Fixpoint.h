@@ -48,6 +48,7 @@
 #define MIX_ENGINE_FIXPOINT_H
 
 #include "observe/Metrics.h"
+#include "observe/Phase.h"
 #include "observe/Trace.h"
 
 #include <cstddef>
@@ -75,6 +76,9 @@ struct FixpointConfig {
   const char *RoundSpanName = "engine.round";
   const char *SpanCategory = "engine";
   obs::MetricsRegistry *Metrics = nullptr;
+  /// Per-request telemetry: every run() variant charges its wall time to
+  /// the request's fixpoint phase. Null costs one branch per run.
+  obs::RequestTelemetry *Telemetry = nullptr;
 };
 
 /// The type-erased domain callbacks (see file comment).

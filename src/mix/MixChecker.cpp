@@ -19,8 +19,10 @@ using namespace mix;
 static MixOptions normalizedOptions(MixOptions O) {
   O.Smt.Metrics = O.Metrics;
   O.Smt.Trace = O.Trace;
+  O.Smt.Telemetry = O.Telemetry;
   O.Exec.Metrics = O.Metrics;
   O.Exec.Trace = O.Trace;
+  O.Exec.Telemetry = O.Telemetry;
   O.Exec.Prov = O.Prov;
   return O;
 }
@@ -108,6 +110,7 @@ const Type *MixChecker::typeOfTypedBlock(const BlockExpr *Block,
                                          const SymState &State) {
   ++Statistics.TypedBlocksExecuted;
   CTypedBlocks.inc();
+  obs::PhaseTimer Timer(Opts.Telemetry, obs::Phase::BlockExec);
   obs::TraceSpan Span(Opts.Trace, "mix.block.typed", "mix");
   // Closures entering the typed world through Sigma or memory are
   // trusted at their arrow types; verify their bodies first.
@@ -249,6 +252,7 @@ MixChecker::classifyFeasibility(const std::vector<PathResult> &Paths) {
 const Type *MixChecker::checkSymbolicCore(const Expr *Body,
                                           const TypeEnv &Gamma,
                                           SourceLoc Loc) {
+  obs::PhaseTimer Timer(Opts.Telemetry, obs::Phase::BlockExec);
   obs::TraceSpan Span(Opts.Trace, "mix.block.sym", "mix");
   // TSymBlock, premise 1: Sigma maps each x in dom(Gamma) to a fresh
   // alpha_x : Gamma(x).

@@ -89,6 +89,12 @@ struct MixOptions {
   obs::MetricsRegistry *Metrics = nullptr;
   obs::TraceSink *Trace = nullptr;
 
+  /// Per-request telemetry context (see src/observe/Phase.h). Copied into
+  /// Smt and Exec like the sinks above; block boundaries and solver
+  /// queries attribute their wall time to the request's phase breakdown.
+  /// Null — the default — costs one branch per site.
+  obs::RequestTelemetry *Telemetry = nullptr;
+
   /// Provenance recording (see src/provenance/). When attached — the
   /// checker copies it into Exec — every feasible-path error carries a
   /// witness path: the branch trail, the path condition, and the solver

@@ -56,6 +56,7 @@ struct MixyAnalysis::WorkerContext {
 static MixyOptions normalizedOptions(MixyOptions O) {
   O.Smt.Metrics = O.Metrics;
   O.Smt.Trace = O.Trace;
+  O.Smt.Telemetry = O.Telemetry;
   O.Sym.Prov = O.Prov;
   O.Qual.Prov = O.Prov;
   if (O.Persist)
@@ -719,6 +720,7 @@ MixyAnalysis::computeSymOutcome(const BlockKey &Key, ExecContext C) {
   // inline code); the switch log records this run's sym-to-typed
   // switches for the persistent summary.
   std::optional<obs::TraceSpan> Span;
+  std::optional<obs::PhaseTimer> Timer;
   size_t DiagsBefore = 0;
   std::vector<TypedSwitch> SwitchLog;
   void *PrevLog = nullptr;
@@ -787,6 +789,7 @@ MixyAnalysis::computeSymOutcome(const BlockKey &Key, ExecContext C) {
     return Assumption;
   };
   H.OnEvalBegin = [&] {
+    Timer.emplace(Opts.Telemetry, obs::Phase::BlockExec);
     Span.emplace(Opts.Trace, "mixy.block.sym", "mixy");
     if (Opts.Trace)
       Span->setArgs("{\"function\": \"" + jsonEscape(Key.F->name()) + "\"}");
@@ -961,11 +964,13 @@ bool MixyAnalysis::handleSymbolicCall(QualInference &Inference,
 bool MixyAnalysis::computeTypedRet(const BlockKey &Key, SourceLoc CallLoc,
                                    ExecContext C) {
   std::optional<obs::TraceSpan> Span;
+  std::optional<obs::PhaseTimer> Timer;
 
   engine::RunHooks<bool> H;
   H.OnCacheHit = [&](const bool &) { bumpStat(&MixyStats::TypedCacheHits); };
   H.OnRecursion = [&] { bumpStat(&MixyStats::RecursionsDetected); };
   H.OnEvalBegin = [&] {
+    Timer.emplace(Opts.Telemetry, obs::Phase::BlockExec);
     Span.emplace(Opts.Trace, "mixy.block.typed", "mixy");
     if (Opts.Trace)
       Span->setArgs("{\"function\": \"" + jsonEscape(Key.F->name()) + "\"}");
@@ -1100,6 +1105,7 @@ unsigned MixyAnalysis::run(StartMode Mode, const std::string &Entry) {
     // no sibling blocks to farm out, so this path is always serial.
     ++Statistics.SymbolicBlockRuns;
     {
+      obs::PhaseTimer Timer(Opts.Telemetry, obs::Phase::BlockExec);
       obs::TraceSpan Span(Opts.Trace, "mixy.block.sym", "mixy");
       if (Opts.Trace)
         Span.setArgs("{\"function\": \"" + jsonEscape(EntryFunc->name()) +
@@ -1132,6 +1138,7 @@ unsigned MixyAnalysis::run(StartMode Mode, const std::string &Entry) {
   FC.RoundSpanName = "mixy.round";
   FC.SpanCategory = "mixy";
   FC.Metrics = Opts.Metrics;
+  FC.Telemetry = Opts.Telemetry;
   engine::FixpointDriver Driver(FC);
 
   engine::FixpointCallbacks CB;
@@ -1445,6 +1452,7 @@ unsigned MixyAnalysis::runTypedParallel(const CFuncDecl *EntryFunc) {
   FC.RoundSpanName = "mixy.round";
   FC.SpanCategory = "mixy";
   FC.Metrics = Opts.Metrics;
+  FC.Telemetry = Opts.Telemetry;
   engine::FixpointDriver Driver(FC);
 
   bool Worklist = Opts.ParallelSchedule == MixyOptions::Schedule::Worklist;

@@ -131,6 +131,12 @@ struct MixyOptions {
   obs::MetricsRegistry *Metrics = nullptr;
   obs::TraceSink *Trace = nullptr;
 
+  /// Per-request telemetry context (see src/observe/Phase.h). Copied into
+  /// Smt and the fixpoint config, so solver queries, fixpoint rounds, and
+  /// block boundaries attribute wall time to the request's phase
+  /// breakdown. Null — the default — costs one branch per site.
+  obs::RequestTelemetry *Telemetry = nullptr;
+
   /// Provenance recording (see src/provenance/). When attached — the
   /// analysis copies it into Sym and Qual — qualifier warnings carry
   /// their flow chain (with mix-boundary and alias edges labeled),

@@ -9,6 +9,10 @@
 
 #include "support/StringExtras.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
 using namespace mix::obs;
 
 unsigned mix::obs::threadSlot() {
@@ -32,6 +36,33 @@ HistogramSnapshot Histogram::snapshot() const {
   }
   Out.Min = Out.Count == 0 ? 0 : Min;
   return Out;
+}
+
+double HistogramSnapshot::quantile(double Q) const {
+  if (Count == 0)
+    return 0.0;
+  Q = std::min(1.0, std::max(0.0, Q));
+  // Rank in [0, Count]; the bucket whose cumulative count reaches it
+  // holds the quantile.
+  double Rank = Q * (double)Count;
+  uint64_t Cum = 0;
+  for (unsigned B = 0; B != detail::HistogramBuckets; ++B) {
+    uint64_t N = Buckets[B];
+    if (N == 0)
+      continue;
+    if ((double)(Cum + N) >= Rank) {
+      // Bucket 0 covers [0, 2); bucket B covers [2^B, 2^(B+1)).
+      double Lo = B == 0 ? 0.0 : std::ldexp(1.0, (int)B);
+      double Hi = std::ldexp(1.0, (int)B + 1);
+      double Frac = (Rank - (double)Cum) / (double)N;
+      double V = Lo + Frac * (Hi - Lo);
+      // The true range within the bucket is narrower than the bucket
+      // bounds whenever Min/Max landed inside it.
+      return std::min(std::max(V, (double)Min), (double)Max);
+    }
+    Cum += N;
+  }
+  return (double)Max;
 }
 
 static unsigned roundPow2(unsigned N) {
@@ -162,5 +193,65 @@ std::string MetricsRegistry::renderJSON() const {
   }
   Out += First ? "}\n" : "\n  }\n";
   Out += "}\n";
+  return Out;
+}
+
+/// Metric names in OpenMetrics are [a-zA-Z_:][a-zA-Z0-9_:]*; dots (the
+/// registry's separator) and anything else exotic become underscores.
+static std::string openMetricsName(const std::string &Name) {
+  std::string Out = "mix_";
+  for (char C : Name) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_' || C == ':';
+    Out += Ok ? C : '_';
+  }
+  return Out;
+}
+
+/// Shortest round-trip-ish rendering of a quantile estimate ("12", or
+/// "12.5"): fixed precision, trailing zeros trimmed, deterministic.
+static std::string openMetricsDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+  std::string S(Buf);
+  while (!S.empty() && S.back() == '0')
+    S.pop_back();
+  if (!S.empty() && S.back() == '.')
+    S.pop_back();
+  return S.empty() ? "0" : S;
+}
+
+std::string MetricsRegistry::renderOpenMetrics() const {
+  std::string Out;
+  for (const auto &[Name, Value] : counters()) {
+    std::string N = openMetricsName(Name);
+    Out += "# TYPE " + N + " counter\n";
+    Out += N + "_total " + std::to_string(Value) + "\n";
+  }
+  for (const std::string &Name : histogramNames()) {
+    HistogramSnapshot S = histogramSnapshot(Name);
+    std::string N = openMetricsName(Name);
+    Out += "# TYPE " + N + " histogram\n";
+    // Cumulative buckets; bucket B's upper bound is 2^(B+1) (bucket 0 is
+    // [0, 2)). Trailing empty buckets collapse into the +Inf series.
+    unsigned Last = detail::HistogramBuckets;
+    while (Last > 0 && S.Buckets[Last - 1] == 0)
+      --Last;
+    uint64_t Cum = 0;
+    for (unsigned B = 0; B != Last; ++B) {
+      Cum += S.Buckets[B];
+      Out += N + "_bucket{le=\"" + std::to_string((uint64_t)1 << (B + 1)) +
+             "\"} " + std::to_string(Cum) + "\n";
+    }
+    Out += N + "_bucket{le=\"+Inf\"} " + std::to_string(S.Count) + "\n";
+    Out += N + "_sum " + std::to_string(S.Sum) + "\n";
+    Out += N + "_count " + std::to_string(S.Count) + "\n";
+    for (double Q : {0.5, 0.9, 0.99}) {
+      std::string QN = N + (Q == 0.5 ? "_p50" : Q == 0.9 ? "_p90" : "_p99");
+      Out += "# TYPE " + QN + " gauge\n";
+      Out += QN + " " + openMetricsDouble(S.quantile(Q)) + "\n";
+    }
+  }
+  Out += "# EOF\n";
   return Out;
 }

@@ -118,6 +118,12 @@ struct HistogramSnapshot {
   uint64_t Min = 0; ///< 0 when Count == 0
   uint64_t Max = 0;
   std::array<uint64_t, detail::HistogramBuckets> Buckets{};
+
+  /// Quantile estimate for \p Q in [0, 1]: finds the log2 bucket holding
+  /// the rank and interpolates linearly within it, so the error is
+  /// bounded by that bucket's width. Clamped to the observed [Min, Max];
+  /// 0 when the histogram is empty.
+  double quantile(double Q) const;
 };
 
 /// Hot-path handle to a registry histogram (values are unit-free; the
@@ -218,6 +224,14 @@ public:
 
   /// {"counters": {...}, "histograms": {...}} — the --metrics=FILE body.
   std::string renderJSON() const;
+
+  /// OpenMetrics text exposition (the mixyd `metrics` RPC body and the
+  /// --metrics-file flush format): every counter as a `_total` series,
+  /// every histogram as cumulative `_bucket{le="..."}` series derived
+  /// from the log2 buckets plus `_sum`/`_count`, and interpolated
+  /// p50/p90/p99 gauges. Names are prefixed "mix_" and sanitized to
+  /// [a-zA-Z0-9_:]. Ends with "# EOF".
+  std::string renderOpenMetrics() const;
 
 private:
   unsigned Shards;

@@ -33,10 +33,37 @@
 
 namespace mix::obs {
 
+/// Chrome trace event phases. 'X' = complete (span), 'i' = instant,
+/// 'M' = metadata (thread names).
+enum class TracePhase : char { Complete = 'X', Instant = 'i', Metadata = 'M' };
+
+/// One recorded event. Public so a request-scoped sink's events can be
+/// snapshotted into an AnalysisResponse and imported into the global
+/// sink (timestamps stay comparable when the sinks share an epoch).
+struct TraceEvent {
+  TracePhase Ph = TracePhase::Complete;
+  std::string Name;
+  std::string Cat;
+  uint64_t Ts = 0;
+  uint64_t Dur = 0;
+  unsigned Tid = 0;
+  std::string Args; ///< pre-rendered JSON object, may be empty
+};
+
 /// Collects trace events; thread-safe.
 class TraceSink {
 public:
+  using EpochTime = std::chrono::steady_clock::time_point;
+
   TraceSink();
+
+  /// Epoch-sharing constructor: nowUs() counts from \p SharedEpoch, so
+  /// events recorded here and in the sink the epoch came from use one
+  /// time base (the service gives each request sink the global epoch).
+  explicit TraceSink(EpochTime SharedEpoch);
+
+  /// The time zero of nowUs().
+  EpochTime epoch() const { return Epoch; }
 
   /// Microseconds since the sink was created (steady clock).
   uint64_t nowUs() const;
@@ -61,27 +88,30 @@ public:
   /// timestamp (deterministic rendering for a given event multiset).
   std::string renderJSON() const;
 
+  /// Every event recorded so far, sorted by (ts, tid, name) like
+  /// renderJSON — the building block for per-request span trees.
+  std::vector<TraceEvent> snapshotEvents() const;
+
+  /// Appends \p Events verbatim, preserving their tids and timestamps
+  /// (meaningful only when both sinks share an epoch). Used to fold a
+  /// request-scoped sink back into the process-global trace.
+  void import(const std::vector<TraceEvent> &Events);
+
+  /// The complete spans as a speedscope-compatible JSON profile
+  /// (https://www.speedscope.app/file-format-schema.json): one "evented"
+  /// profile per thread lane, frames deduplicated by span name, child
+  /// spans clamped into their parents. \p Name labels the document.
+  std::string renderSpeedscope(const std::string &Name = "mix") const;
+
 private:
-  enum class Phase : char { Complete = 'X', Instant = 'i', Metadata = 'M' };
-
-  struct Event {
-    Phase Ph;
-    std::string Name;
-    const char *Cat;
-    uint64_t Ts = 0;
-    uint64_t Dur = 0;
-    unsigned Tid = 0;
-    std::string Args; ///< pre-rendered JSON object, may be empty
-  };
-
   /// One thread-slot's buffer. The mutex is uncontended unless two
   /// threads share a slot (more threads than shards).
   struct alignas(64) Shard {
     std::mutex M;
-    std::vector<Event> Events;
+    std::vector<TraceEvent> Events;
   };
 
-  void record(Event E);
+  void record(TraceEvent E);
 
   std::chrono::steady_clock::time_point Epoch;
   static constexpr unsigned NumShards = 64;

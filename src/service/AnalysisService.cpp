@@ -326,6 +326,7 @@ void AnalysisService::runMixCheck(const AnalysisRequest &Req,
                                   const std::string &Source,
                                   DiagnosticEngine &Diags,
                                   obs::MetricsRegistry &Reg,
+                                  obs::RequestTelemetry *T,
                                   AnalysisResponse &Resp) {
   MixOptions Opts;
   Opts.Exec.Strat = Req.Strategy;
@@ -337,7 +338,11 @@ void AnalysisService::runMixCheck(const AnalysisRequest &Req,
   Opts.Explore = Req.Explore;
   Opts.Jobs = Req.Jobs;
   Opts.Metrics = &Reg;
-  Opts.Trace = Req.Trace ? &Sink : nullptr;
+  // A traced request with telemetry records into its own sink; the events
+  // fold back into the global trace at request end (shared epoch).
+  Opts.Trace =
+      Req.Trace ? (T && T->sink() ? T->sink() : &Sink) : nullptr;
+  Opts.Telemetry = T;
   Opts.Prov = (Req.Explain || Req.OutputFormat == Format::Sarif)
                   ? provenanceSink()
                   : nullptr;
@@ -355,45 +360,55 @@ void AnalysisService::runMixCheck(const AnalysisRequest &Req,
     Opts.Smt.Cache = &Session->solverCache();
 
   auto finish = [&](int Exit) {
-    Resp.Payload = renderPayload(Diags, Req.OutputFormat, Req.Explain,
-                                 "mixcheck", Req.InputName);
+    {
+      obs::PhaseTimer Render(T, obs::Phase::Render);
+      Resp.Payload = renderPayload(Diags, Req.OutputFormat, Req.Explain,
+                                   "mixcheck", Req.InputName);
+    }
     fillStructured(Diags, Resp);
     Resp.Warnings = Diags.warningCount();
     Resp.Exit = Exit;
   };
 
-  const Expr *Program = parseExpression(Source, Ctx, Diags);
+  const Expr *Program;
+  {
+    obs::PhaseTimer Parse(T, obs::Phase::Parse);
+    Program = parseExpression(Source, Ctx, Diags);
+  }
   if (!Program)
     return finish(2);
 
   TypeEnv Gamma;
   for (const auto &[Name, Spec] : Req.Vars) {
-    const Type *T = parseTypeSpec(Ctx.types(), Spec);
-    if (!T) {
+    const Type *VarType = parseTypeSpec(Ctx.types(), Spec);
+    if (!VarType) {
       Resp.ErrorText = "bad type '" + Spec + "' for variable " + Name;
       return finish(2);
     }
-    Gamma[Name] = T;
+    Gamma[Name] = VarType;
   }
 
   const Type *ResultType = nullptr;
-  if (Req.AutoPlace) {
-    AutoPlacementOptions APOpts;
-    APOpts.Mix = Opts;
-    APOpts.Jobs = Opts.Jobs;
-    AutoPlacementResult R =
-        autoPlaceSymbolicBlocks(Ctx, Program, Gamma, Diags, APOpts);
-    ResultType = R.ResultType;
-    Program = R.Program;
-    if (R.BlocksInserted)
-      Resp.AutoPlaceNote = "auto-placement inserted " +
-                           std::to_string(R.BlocksInserted) +
-                           " symbolic block(s) in " +
-                           std::to_string(R.Refinements) + " refinement(s)\n";
-  } else {
-    MixChecker Mix(Ctx.types(), Diags, Opts);
-    ResultType = Req.Symbolic ? Mix.checkSymbolic(Program, Gamma)
-                              : Mix.checkTyped(Program, Gamma);
+  {
+    obs::PhaseTimer Check(T, obs::Phase::Typecheck);
+    if (Req.AutoPlace) {
+      AutoPlacementOptions APOpts;
+      APOpts.Mix = Opts;
+      APOpts.Jobs = Opts.Jobs;
+      AutoPlacementResult R =
+          autoPlaceSymbolicBlocks(Ctx, Program, Gamma, Diags, APOpts);
+      ResultType = R.ResultType;
+      Program = R.Program;
+      if (R.BlocksInserted)
+        Resp.AutoPlaceNote = "auto-placement inserted " +
+                             std::to_string(R.BlocksInserted) +
+                             " symbolic block(s) in " +
+                             std::to_string(R.Refinements) + " refinement(s)\n";
+    } else {
+      MixChecker Mix(Ctx.types(), Diags, Opts);
+      ResultType = Req.Symbolic ? Mix.checkSymbolic(Program, Gamma)
+                                : Mix.checkTyped(Program, Gamma);
+    }
   }
 
   if (Req.PrintProgram)
@@ -409,6 +424,7 @@ void AnalysisService::runMixy(const AnalysisRequest &Req,
                               const std::string &Source,
                               DiagnosticEngine &Diags,
                               obs::MetricsRegistry &Reg,
+                              obs::RequestTelemetry *T,
                               AnalysisResponse &Resp) {
   c::MixyOptions Opts;
   Opts.EnableCache = !Req.NoCache;
@@ -419,7 +435,8 @@ void AnalysisService::runMixy(const AnalysisRequest &Req,
   }
   Opts.Jobs = Req.Jobs;
   Opts.Metrics = &Reg;
-  Opts.Trace = Req.Trace ? &Sink : nullptr;
+  Opts.Trace = Req.Trace ? (T && T->sink() ? T->sink() : &Sink) : nullptr;
+  Opts.Telemetry = T;
   Opts.Prov = (Req.Explain || Req.OutputFormat == Format::Sarif)
                   ? provenanceSink()
                   : nullptr;
@@ -439,37 +456,47 @@ void AnalysisService::runMixy(const AnalysisRequest &Req,
   Opts.Persist = Session.get();
 
   auto finish = [&](int Exit) {
-    Resp.Payload = renderPayload(Diags, Req.OutputFormat, Req.Explain, "mixyc",
-                                 Req.InputName);
+    {
+      obs::PhaseTimer Render(T, obs::Phase::Render);
+      Resp.Payload = renderPayload(Diags, Req.OutputFormat, Req.Explain,
+                                   "mixyc", Req.InputName);
+    }
     fillStructured(Diags, Resp);
     Resp.Exit = Exit;
   };
 
-  const c::CProgram *Program = c::parseC(Source, Ctx, Diags);
+  const c::CProgram *Program;
+  {
+    obs::PhaseTimer Parse(T, obs::Phase::Parse);
+    Program = c::parseC(Source, Ctx, Diags);
+  }
   if (!Program) {
     Resp.Warnings = Diags.warningCount();
     return finish(2);
   }
 
   unsigned Warnings = 0;
-  if (Req.Baseline) {
-    // Baseline inference runs outside MixyAnalysis, so the provenance
-    // sink is pushed into the qualifier options here.
-    Opts.Qual.Prov = Opts.Prov;
-    c::QualInference Inference(*Program, Ctx, Diags, Opts.Qual);
-    Inference.analyzeAll();
-    Inference.solve();
-    Warnings = Inference.reportWarnings();
-    Reg.counter("qual.variables").add(Inference.graph().numNodes());
-    Reg.counter("qual.flow_edges").add(Inference.graph().numEdges());
-  } else {
-    c::MixyAnalysis Analysis(*Program, Ctx, Diags, Opts);
-    Warnings = Analysis.run(Req.StartSymbolic
-                                ? c::MixyAnalysis::StartMode::Symbolic
-                                : c::MixyAnalysis::StartMode::Typed,
-                            Req.Entry);
-    Resp.SymCacheStats = Analysis.symCacheStats().str();
-    Resp.TypedCacheStats = Analysis.typedCacheStats().str();
+  {
+    obs::PhaseTimer Check(T, obs::Phase::Typecheck);
+    if (Req.Baseline) {
+      // Baseline inference runs outside MixyAnalysis, so the provenance
+      // sink is pushed into the qualifier options here.
+      Opts.Qual.Prov = Opts.Prov;
+      c::QualInference Inference(*Program, Ctx, Diags, Opts.Qual);
+      Inference.analyzeAll();
+      Inference.solve();
+      Warnings = Inference.reportWarnings();
+      Reg.counter("qual.variables").add(Inference.graph().numNodes());
+      Reg.counter("qual.flow_edges").add(Inference.graph().numEdges());
+    } else {
+      c::MixyAnalysis Analysis(*Program, Ctx, Diags, Opts);
+      Warnings = Analysis.run(Req.StartSymbolic
+                                  ? c::MixyAnalysis::StartMode::Symbolic
+                                  : c::MixyAnalysis::StartMode::Typed,
+                              Req.Entry);
+      Resp.SymCacheStats = Analysis.symCacheStats().str();
+      Resp.TypedCacheStats = Analysis.typedCacheStats().str();
+    }
   }
 
   Resp.Warnings = Warnings;
@@ -480,6 +507,20 @@ AnalysisResponse AnalysisService::execute(const AnalysisRequest &Req,
                                           const std::string &Source) {
   AnalysisResponse Resp;
   Registry.counter("service.requests").inc();
+
+  // Request telemetry: a per-request context the engines see only as a
+  // nullable pointer. Span recording is opt-in per request (Trace), with
+  // the request sink sharing the global sink's epoch so its events can be
+  // folded back with comparable timestamps.
+  std::unique_ptr<obs::RequestTelemetry> Telemetry;
+  std::chrono::steady_clock::time_point StartTime;
+  if (Config.RequestTelemetry) {
+    Telemetry = std::make_unique<obs::RequestTelemetry>();
+    Telemetry->Id = nextRequestId();
+    if (Req.Trace)
+      Telemetry->enableSpans(Sink.epoch());
+    StartTime = std::chrono::steady_clock::now();
+  }
 
   // Metrics isolation: in daemon mode each request records into a private
   // registry so its deltas are exact under concurrency; the shared
@@ -493,9 +534,9 @@ AnalysisResponse AnalysisService::execute(const AnalysisRequest &Req,
 
   DiagnosticEngine Diags;
   if (Req.ToolKind == Tool::MixCheck)
-    runMixCheck(Req, Source, Diags, Reg, Resp);
+    runMixCheck(Req, Source, Diags, Reg, Telemetry.get(), Resp);
   else
-    runMixy(Req, Source, Diags, Reg, Resp);
+    runMixy(Req, Source, Diags, Reg, Telemetry.get(), Resp);
 
   if (Config.PerRequestMetrics) {
     for (const auto &[Name, Value] : Local.counters())
@@ -508,7 +549,61 @@ AnalysisResponse AnalysisService::execute(const AnalysisRequest &Req,
   } else {
     Resp.Metrics = Registry.deltaSince(Before);
   }
+
+  if (Telemetry) {
+    Resp.RequestId = Telemetry->Id;
+    Resp.TotalUs =
+        (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - StartTime)
+            .count();
+    for (unsigned I = 0; I != obs::NumPhases; ++I)
+      Resp.PhaseUs[I] = Telemetry->phaseUs((obs::Phase)I);
+    // One sample per request into the global histograms — exact even
+    // under concurrency (the request total is accumulated privately and
+    // recorded once, at this barrier).
+    Registry.histogram("service.request.us").record(Resp.TotalUs);
+    for (unsigned I = 0; I != obs::NumPhases; ++I)
+      if (Resp.PhaseUs[I])
+        Registry
+            .histogram(std::string("phase.") +
+                       obs::phaseName((obs::Phase)I) + ".us")
+            .record(Resp.PhaseUs[I]);
+    if (obs::TraceSink *RS = Telemetry->sink()) {
+      Resp.Spans = RS->snapshotEvents();
+      Sink.import(Resp.Spans);
+    }
+    noteSlowRequest(Resp, requestKey(Req, Source));
+  }
   return Resp;
+}
+
+void AnalysisService::noteSlowRequest(const AnalysisResponse &Resp,
+                                      uint64_t Key) {
+  if (Config.SlowLogCap == 0)
+    return;
+  SlowRequest S;
+  S.Id = Resp.RequestId;
+  S.Key = Key;
+  S.TotalUs = Resp.TotalUs;
+  S.PhaseUs = Resp.PhaseUs;
+  S.Exit = Resp.Exit;
+  S.Warnings = Resp.Warnings;
+  S.Errors = Resp.Errors;
+  std::lock_guard<std::mutex> Lock(M);
+  // Keep the log sorted slowest-first; the fastest entry falls off when
+  // the cap is hit.
+  auto It = std::upper_bound(SlowLog.begin(), SlowLog.end(), S.TotalUs,
+                             [](uint64_t V, const SlowRequest &E) {
+                               return V > E.TotalUs;
+                             });
+  SlowLog.insert(It, std::move(S));
+  if (SlowLog.size() > Config.SlowLogCap)
+    SlowLog.pop_back();
+}
+
+std::vector<SlowRequest> AnalysisService::slowRequests() const {
+  std::lock_guard<std::mutex> Lock(const_cast<std::mutex &>(M));
+  return SlowLog;
 }
 
 AnalysisResponse AnalysisService::run(const AnalysisRequest &Req) {
@@ -540,8 +635,14 @@ AnalysisResponse AnalysisService::serve(const AnalysisRequest &Req) {
       Registry.counter("service.cache.hits").inc();
       AnalysisResponse R = Hit->second;
       R.FromCache = true;
-      // A cache hit did no engine work; its deltas say exactly that.
+      // A cache hit did no engine work; its deltas and phase breakdown
+      // say exactly that. It is still its own request, so it gets a
+      // fresh id.
       R.Metrics.clear();
+      R.TotalUs = 0;
+      R.PhaseUs = {};
+      R.Spans.clear();
+      R.RequestId = Config.RequestTelemetry ? nextRequestId() : std::string();
       return R;
     }
     auto In = InFlight.find(Key);
@@ -562,6 +663,10 @@ AnalysisResponse AnalysisService::serve(const AnalysisRequest &Req) {
     AnalysisResponse R = Theirs->Response;
     R.Deduped = true;
     R.Metrics.clear();
+    R.TotalUs = 0;
+    R.PhaseUs = {};
+    R.Spans.clear();
+    R.RequestId = Config.RequestTelemetry ? nextRequestId() : std::string();
     return R;
   }
 
@@ -580,9 +685,14 @@ AnalysisResponse AnalysisService::serve(const AnalysisRequest &Req) {
         ResponsePath.erase(Evict);
       }
       // emplace and the order queue must stay in lockstep: a key that is
-      // somehow already cached must not be queued a second time.
-      if (ResponseCache.emplace(Key, Resp).second)
+      // somehow already cached must not be queued a second time. The
+      // cached copy drops its span tree — hits never serve spans, so
+      // there is no reason to hold them.
+      auto Cached = ResponseCache.emplace(Key, Resp);
+      if (Cached.second) {
+        Cached.first->second.Spans.clear();
         ResponseOrder.push_back(Key);
+      }
       if (!Req.HasSource && Req.Corpus.empty() && !Req.Path.empty())
         ResponsePath.emplace(Key, Req.Path);
     }

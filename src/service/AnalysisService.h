@@ -39,6 +39,7 @@
 
 #include "mix/MixChecker.h"
 #include "observe/Metrics.h"
+#include "observe/Phase.h"
 #include "observe/Trace.h"
 #include "persist/PersistSession.h"
 #include "provenance/Provenance.h"
@@ -46,6 +47,8 @@
 #include "support/Diagnostics.h"
 #include "symexec/SymExecutor.h"
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -178,6 +181,22 @@ struct AnalysisResponse {
 
   bool FromCache = false; ///< served from the response cache (serve())
   bool Deduped = false;   ///< coalesced onto an identical in-flight run
+
+  // --- request telemetry (ServiceConfig::RequestTelemetry) ---
+
+  /// Stable per-request id ("r-17"); empty when telemetry is off. Cache
+  /// and dedup hits get their own fresh id.
+  std::string RequestId;
+  /// End-to-end wall time of the execution, microseconds; 0 when
+  /// telemetry is off or the response came from the cache.
+  uint64_t TotalUs = 0;
+  /// Inclusive per-phase wall microseconds, indexed by obs::Phase (the
+  /// phase breakdown: typecheck contains fixpoint contains block-exec
+  /// contains solver). All zero when telemetry is off.
+  std::array<uint64_t, obs::NumPhases> PhaseUs{};
+  /// This request's span tree (telemetry on and Trace requested), sorted
+  /// by (ts, tid, name); empty otherwise.
+  std::vector<obs::TraceEvent> Spans;
 };
 
 /// Service-level behavior switches.
@@ -194,6 +213,27 @@ struct ServiceConfig {
   bool PerRequestMetrics = false;
   /// serve() response-cache capacity (FIFO eviction); 0 disables caching.
   size_t ResponseCacheCap = 128;
+  /// Attach a RequestTelemetry context to every executed request: stable
+  /// request ids, a phase breakdown in the response, per-phase and
+  /// whole-request histograms in metrics(), the slow-request log, and —
+  /// when the request also sets Trace — a request-scoped span tree.
+  /// Costs nothing on engine hot paths when off (null-handle discipline).
+  bool RequestTelemetry = false;
+  /// Capacity of the slow-request log (the slowest requests by wall
+  /// time); 0 disables it.
+  size_t SlowLogCap = 32;
+};
+
+/// One slow-request log entry: enough to answer "which request was slow,
+/// and where did its time go" without a trace.
+struct SlowRequest {
+  std::string Id;
+  uint64_t Key = 0; ///< requestKey() of the request
+  uint64_t TotalUs = 0;
+  std::array<uint64_t, obs::NumPhases> PhaseUs{};
+  int Exit = 0;
+  unsigned Warnings = 0;
+  unsigned Errors = 0;
 };
 
 /// The service: owns the observability surfaces and warm state, turns
@@ -215,6 +255,18 @@ public:
   /// The provenance sink used for requests that render evidence; counts
   /// into metrics() (attached lazily, once).
   prov::ProvenanceSink *provenanceSink();
+
+  /// Turns on per-request telemetry after construction (the driver does
+  /// this when --stats or --profile asks for a phase breakdown). Call
+  /// before the first request.
+  void enableRequestTelemetry() { Config.RequestTelemetry = true; }
+
+  /// Whether requests get telemetry contexts.
+  bool requestTelemetryEnabled() const { return Config.RequestTelemetry; }
+
+  /// The slowest requests seen so far, slowest first (bounded by
+  /// ServiceConfig::SlowLogCap).
+  std::vector<SlowRequest> slowRequests() const;
 
   /// Executes the request unconditionally (no dedup, no response cache;
   /// warm sessions still apply under KeepWarm). What the CLIs call.
@@ -282,10 +334,19 @@ private:
                            const std::string &Source);
   void runMixCheck(const AnalysisRequest &Req, const std::string &Source,
                    DiagnosticEngine &Diags, obs::MetricsRegistry &Reg,
-                   AnalysisResponse &Resp);
+                   obs::RequestTelemetry *T, AnalysisResponse &Resp);
   void runMixy(const AnalysisRequest &Req, const std::string &Source,
                DiagnosticEngine &Diags, obs::MetricsRegistry &Reg,
-               AnalysisResponse &Resp);
+               obs::RequestTelemetry *T, AnalysisResponse &Resp);
+
+  /// Fresh "r-<n>" id (telemetry mode only).
+  std::string nextRequestId() {
+    return "r-" + std::to_string(
+                      NextRequestId.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
+
+  /// Records a finished request into the bounded slow-request log.
+  void noteSlowRequest(const AnalysisResponse &Resp, uint64_t Key);
 
   /// Finds or opens the persist session for this request (null when the
   /// request gets none), emitting the MIX502 degradation note exactly as
@@ -304,7 +365,10 @@ private:
   prov::ProvenanceSink Prov;
   bool ProvAttached = false;
 
+  std::atomic<uint64_t> NextRequestId{0};
+
   std::mutex M; ///< guards everything below (cold path only)
+  std::vector<SlowRequest> SlowLog; ///< sorted slowest-first, bounded
   std::map<std::string, SessionEntry> Sessions;
   std::map<uint64_t, std::shared_ptr<Pending>> InFlight;
   std::map<uint64_t, AnalysisResponse> ResponseCache;

@@ -7,6 +7,7 @@
 
 #include "service/Protocol.h"
 
+#include "observe/Phase.h"
 #include "support/StringExtras.h"
 
 #include <cmath>
@@ -192,6 +193,48 @@ std::string mix::service::encodeResponse(const AnalysisResponse &Resp) {
              "\": " + std::to_string(Resp.Metrics[I].second);
     }
     W.raw("metrics", Obj + "}");
+  }
+
+  if (!Resp.RequestId.empty())
+    W.str("request_id", Resp.RequestId);
+  if (Resp.TotalUs)
+    W.num("total_us", Resp.TotalUs);
+  {
+    std::string Obj;
+    for (unsigned I = 0; I != obs::NumPhases; ++I) {
+      if (!Resp.PhaseUs[I])
+        continue;
+      Obj += Obj.empty() ? "{" : ", ";
+      Obj += "\"" + std::string(obs::phaseName((obs::Phase)I)) +
+             "\": " + std::to_string(Resp.PhaseUs[I]);
+    }
+    if (!Obj.empty())
+      W.raw("phases", Obj + "}");
+  }
+  if (!Resp.Spans.empty()) {
+    // Span args are pre-rendered JSON whose decode would need a value
+    // re-renderer; the wire span tree carries the structural fields only
+    // (the server-side global trace keeps the full events).
+    std::string Arr = "[";
+    for (size_t I = 0; I != Resp.Spans.size(); ++I) {
+      const obs::TraceEvent &E = Resp.Spans[I];
+      if (I)
+        Arr += ", ";
+      Arr += "{\"name\": \"" + jsonEscape(E.Name) + "\", \"cat\": \"" +
+             jsonEscape(E.Cat) + "\"";
+      if (E.Ph != obs::TracePhase::Complete) {
+        Arr += ", \"ph\": \"";
+        Arr += (char)E.Ph;
+        Arr += "\"";
+      }
+      Arr += ", \"ts\": " + std::to_string(E.Ts);
+      if (E.Dur)
+        Arr += ", \"dur\": " + std::to_string(E.Dur);
+      if (E.Tid)
+        Arr += ", \"tid\": " + std::to_string(E.Tid);
+      Arr += "}";
+    }
+    W.raw("spans", Arr + "]");
   }
 
   if (Resp.FromCache)
@@ -482,6 +525,75 @@ bool mix::service::decodeResponse(const json::Value &V, AnalysisResponse &Out,
         return false;
       }
       Out.Metrics.emplace_back(Name, (uint64_t)MV.Num);
+    }
+    return true;
+  });
+
+  D.str("request_id", Out.RequestId);
+  D.num("total_us", Out.TotalUs);
+
+  D.raw("phases", [&](const json::Value &F) {
+    if (!F.isObject()) {
+      Error = "field 'phases' must be an object";
+      return false;
+    }
+    for (const auto &[Name, PV] : F.Fields) {
+      unsigned I = 0;
+      while (I != obs::NumPhases && Name != obs::phaseName((obs::Phase)I))
+        ++I;
+      if (I == obs::NumPhases) {
+        Error = "field 'phases' has unknown phase '" + Name + "'";
+        return false;
+      }
+      if (!PV.isNumber() || PV.Num != std::floor(PV.Num) || PV.Num < 0) {
+        Error = "field 'phases' values must be non-negative integers";
+        return false;
+      }
+      Out.PhaseUs[I] = (uint64_t)PV.Num;
+    }
+    return true;
+  });
+
+  D.raw("spans", [&](const json::Value &F) {
+    if (!F.isArray()) {
+      Error = "field 'spans' must be an array";
+      return false;
+    }
+    for (size_t I = 0; I != F.size(); ++I) {
+      const json::Value &E = F[I];
+      if (!E.isObject() || !E["name"].isString() || !E["cat"].isString() ||
+          !E["ts"].isNumber()) {
+        Error = "field 'spans' entries are malformed";
+        return false;
+      }
+      obs::TraceEvent Ev;
+      Ev.Name = E["name"].Str;
+      Ev.Cat = E["cat"].Str;
+      Ev.Ts = (uint64_t)E["ts"].Num;
+      if (E.has("ph")) {
+        const json::Value &P = E["ph"];
+        if (!P.isString() || P.Str.size() != 1 ||
+            (P.Str[0] != 'X' && P.Str[0] != 'i' && P.Str[0] != 'M')) {
+          Error = "field 'spans' entries have a malformed 'ph'";
+          return false;
+        }
+        Ev.Ph = (obs::TracePhase)P.Str[0];
+      }
+      if (E.has("dur")) {
+        if (!E["dur"].isNumber()) {
+          Error = "field 'spans' entries are malformed";
+          return false;
+        }
+        Ev.Dur = (uint64_t)E["dur"].Num;
+      }
+      if (E.has("tid")) {
+        if (!E["tid"].isNumber()) {
+          Error = "field 'spans' entries are malformed";
+          return false;
+        }
+        Ev.Tid = (unsigned)E["tid"].Num;
+      }
+      Out.Spans.push_back(std::move(Ev));
     }
     return true;
   });

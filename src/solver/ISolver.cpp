@@ -79,6 +79,8 @@ void SolverBase::noteExternalQuery(SolveResult R, uint64_t DurUs) {
   CQueries.inc();
   bumpVerdict(R);
   HQueryUs.record(DurUs);
+  if (Opts.Telemetry)
+    Opts.Telemetry->addPhase(obs::Phase::Solver, DurUs);
 }
 
 SolveResult SolverBase::checkSat(const Term *Formula, SmtModel *ModelOut) {
@@ -98,9 +100,10 @@ SolveResult SolverBase::checkSat(const Term *Formula, SmtModel *ModelOut) {
     }
   }
 
-  // The uninstrumented run is the common case: both sinks null, so the
-  // whole observability layer costs two branches per query.
-  if (!HQueryUs && !Opts.Trace) {
+  // The uninstrumented run is the common case: every sink null, so the
+  // whole observability layer costs three branches per query and no
+  // clock reads.
+  if (!HQueryUs && !Opts.Trace && !Opts.Telemetry) {
     SolveResult R = decide(Formula, ModelOut);
     ++QueryCount;
     CQueries.inc();
@@ -121,6 +124,8 @@ SolveResult SolverBase::checkSat(const Term *Formula, SmtModel *ModelOut) {
   CQueries.inc();
   bumpVerdict(R);
   HQueryUs.record(DurUs);
+  if (Opts.Telemetry)
+    Opts.Telemetry->addPhase(obs::Phase::Solver, DurUs);
   if (Opts.Trace)
     Opts.Trace->complete("solver.query", "solver", Start, DurUs,
                          std::string("{\"result\": \"") + solveResultName(R) +

@@ -30,6 +30,7 @@
 #define MIX_SOLVER_ISOLVER_H
 
 #include "observe/Metrics.h"
+#include "observe/Phase.h"
 #include "observe/Trace.h"
 #include "solver/LinearArith.h"
 #include "solver/Term.h"
@@ -116,6 +117,11 @@ struct SmtOptions {
   /// into the same registry.
   obs::MetricsRegistry *Metrics = nullptr;
   obs::TraceSink *Trace = nullptr;
+
+  /// Per-request telemetry context (see src/observe/Phase.h). When
+  /// attached, each query's wall time is added to the request's solver
+  /// phase. Null keeps the no-histogram fast path clock-free.
+  obs::RequestTelemetry *Telemetry = nullptr;
 
   /// Optional persistent query memo (see QueryCache above). Null — the
   /// default — keeps checkSat untouched.

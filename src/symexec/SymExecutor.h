@@ -29,6 +29,7 @@
 
 #include "lang/Ast.h"
 #include "observe/Metrics.h"
+#include "observe/Phase.h"
 #include "observe/Trace.h"
 #include "provenance/Provenance.h"
 #include "support/Diagnostics.h"
@@ -191,6 +192,11 @@ struct SymExecOptions {
   /// branch per site.
   obs::MetricsRegistry *Metrics = nullptr;
   obs::TraceSink *Trace = nullptr;
+
+  /// Per-request telemetry context (see src/observe/Phase.h). The IR
+  /// executor charges lowering time to the request's ir-lower phase.
+  /// Null — the default — costs one branch per site.
+  obs::RequestTelemetry *Telemetry = nullptr;
 
   /// Provenance recording (see src/provenance/). When attached, every
   /// state carries its branch trail (SymState::Trail) so diagnostics can

@@ -11,12 +11,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "observe/Metrics.h"
+#include "observe/Phase.h"
 #include "observe/Trace.h"
 
 #include "TestJson.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -143,6 +145,126 @@ TEST(MetricsTest, HistogramExactUnderThreads) {
   EXPECT_EQ(S.Sum, 36 * PerThread);
   EXPECT_EQ(S.Min, 1u);
   EXPECT_EQ(S.Max, 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Quantile estimation
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, QuantileEmptyIsZero) {
+  HistogramSnapshot S;
+  EXPECT_EQ(S.quantile(0.5), 0.0);
+  EXPECT_EQ(S.quantile(0.99), 0.0);
+}
+
+TEST(MetricsTest, QuantileClampsToSingleValue) {
+  // Every quantile of a one-value distribution is that value: the
+  // estimate interpolates inside the log2 bucket, but the clamp to the
+  // observed [Min, Max] collapses it.
+  MetricsRegistry Reg;
+  Histogram H = Reg.histogram("q");
+  for (int I = 0; I != 5; ++I)
+    H.record(7);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.quantile(0.0), 7.0);
+  EXPECT_EQ(S.quantile(0.5), 7.0);
+  EXPECT_EQ(S.quantile(0.99), 7.0);
+}
+
+TEST(MetricsTest, QuantileUniformOnes) {
+  // 100 samples of 1 land in bucket 0 ([0, 2)); interpolation says 1.0
+  // at p50 and the Min clamp pins every other quantile to 1 as well.
+  MetricsRegistry Reg;
+  Histogram H = Reg.histogram("q");
+  for (int I = 0; I != 100; ++I)
+    H.record(1);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_DOUBLE_EQ(S.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(S.quantile(0.99), 1.0);
+}
+
+TEST(MetricsTest, QuantileBimodalWithinBucketBounds) {
+  // 90 x 1 and 10 x 1000: p50 must land in the low bucket (error bounded
+  // by its [1, 2) width after clamping) and p99 in 1000's bucket
+  // ([512, 1024), clamped above by Max = 1000).
+  MetricsRegistry Reg;
+  Histogram H = Reg.histogram("q");
+  for (int I = 0; I != 90; ++I)
+    H.record(1);
+  for (int I = 0; I != 10; ++I)
+    H.record(1000);
+  HistogramSnapshot S = H.snapshot();
+  double P50 = S.quantile(0.5);
+  EXPECT_GE(P50, 1.0);
+  EXPECT_LT(P50, 2.0);
+  double P99 = S.quantile(0.99);
+  EXPECT_GE(P99, 512.0);
+  EXPECT_LE(P99, 1000.0);
+}
+
+TEST(MetricsTest, QuantilesMonotone) {
+  MetricsRegistry Reg;
+  Histogram H = Reg.histogram("q");
+  for (uint64_t V = 1; V <= 1000; ++V)
+    H.record(V);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_LE(S.quantile(0.5), S.quantile(0.9));
+  EXPECT_LE(S.quantile(0.9), S.quantile(0.99));
+  EXPECT_GE(S.quantile(0.5), (double)S.Min);
+  EXPECT_LE(S.quantile(0.99), (double)S.Max);
+}
+
+//===----------------------------------------------------------------------===//
+// OpenMetrics exposition
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, OpenMetricsGolden) {
+  MetricsRegistry Reg;
+  Reg.counter("service.requests").add(3);
+  Histogram H = Reg.histogram("req.us");
+  H.record(1);
+  H.record(1);
+  H.record(3);
+  H.record(1000);
+
+  std::string Text = Reg.renderOpenMetrics();
+  // Counter: TYPE line plus the _total series, name sanitized to
+  // underscores with the mix_ prefix.
+  EXPECT_NE(Text.find("# TYPE mix_service_requests counter\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("mix_service_requests_total 3\n"), std::string::npos);
+  // Histogram: cumulative buckets with power-of-two upper bounds
+  // (1,1 -> le=2; 3 -> le=4; 1000 -> le=1024), then +Inf/_sum/_count.
+  EXPECT_NE(Text.find("# TYPE mix_req_us histogram\n"), std::string::npos);
+  EXPECT_NE(Text.find("mix_req_us_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(Text.find("mix_req_us_bucket{le=\"4\"} 3\n"), std::string::npos);
+  EXPECT_NE(Text.find("mix_req_us_bucket{le=\"1024\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("mix_req_us_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("mix_req_us_sum 1005\n"), std::string::npos);
+  EXPECT_NE(Text.find("mix_req_us_count 4\n"), std::string::npos);
+  // Quantile gauges exist for every histogram.
+  EXPECT_NE(Text.find("# TYPE mix_req_us_p50 gauge\n"), std::string::npos);
+  EXPECT_NE(Text.find("mix_req_us_p90 "), std::string::npos);
+  EXPECT_NE(Text.find("mix_req_us_p99 "), std::string::npos);
+  // The exposition terminator is the last line.
+  ASSERT_GE(Text.size(), 6u);
+  EXPECT_EQ(Text.substr(Text.size() - 6), "# EOF\n");
+}
+
+TEST(MetricsTest, OpenMetricsEmptyRegistryIsJustEOF) {
+  MetricsRegistry Reg;
+  EXPECT_EQ(Reg.renderOpenMetrics(), "# EOF\n");
+}
+
+TEST(MetricsTest, OpenMetricsSanitizesNames) {
+  MetricsRegistry Reg;
+  Reg.counter("ir.lower.fastpath.hits").inc();
+  std::string Text = Reg.renderOpenMetrics();
+  EXPECT_NE(Text.find("mix_ir_lower_fastpath_hits_total 1\n"),
+            std::string::npos);
+  EXPECT_EQ(Text.find("ir.lower"), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//
@@ -300,6 +422,154 @@ TEST(TraceTest, ArgsEscapedStringsSurvive) {
   std::string Error;
   ASSERT_TRUE(testjson::parseDocument(Sink.renderJSON(), Doc, &Error)) << Error;
   EXPECT_EQ(Doc["traceEvents"][0]["args"]["s"].Str, "a \"b\" c");
+}
+
+//===----------------------------------------------------------------------===//
+// Request telemetry: phase timers and per-request span sinks
+//===----------------------------------------------------------------------===//
+
+TEST(PhaseTest, NullTelemetryTimerIsSafe) {
+  // The off switch matches counters and trace sinks: a null context makes
+  // the timer's constructor and destructor each one branch, no clocks.
+  PhaseTimer Timer(nullptr, Phase::Solver);
+}
+
+TEST(PhaseTest, TimerAccumulatesIntoPhase) {
+  RequestTelemetry T;
+  EXPECT_EQ(T.phaseUs(Phase::BlockExec), 0u);
+  {
+    PhaseTimer Timer(&T, Phase::BlockExec);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(T.phaseUs(Phase::BlockExec), 1000u);
+  EXPECT_EQ(T.phaseUs(Phase::Solver), 0u);
+}
+
+TEST(PhaseTest, AddPhaseIsExactAcrossThreads) {
+  RequestTelemetry T;
+  constexpr unsigned Threads = 8;
+  constexpr uint64_t PerThread = 10000;
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W != Threads; ++W)
+    Workers.emplace_back([&T] {
+      for (uint64_t I = 0; I != PerThread; ++I)
+        T.addPhase(Phase::Fixpoint, 1);
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(T.phaseUs(Phase::Fixpoint), Threads * PerThread);
+}
+
+TEST(PhaseTest, PhaseNamesStable) {
+  EXPECT_STREQ(phaseName(Phase::Parse), "parse");
+  EXPECT_STREQ(phaseName(Phase::Typecheck), "typecheck");
+  EXPECT_STREQ(phaseName(Phase::Fixpoint), "fixpoint");
+  EXPECT_STREQ(phaseName(Phase::BlockExec), "block-exec");
+  EXPECT_STREQ(phaseName(Phase::IrLower), "ir-lower");
+  EXPECT_STREQ(phaseName(Phase::Solver), "solver");
+  EXPECT_STREQ(phaseName(Phase::Render), "render");
+  EXPECT_STREQ(phaseSpanName(Phase::Solver), "phase.solver");
+}
+
+TEST(PhaseTest, TimerEmitsSpanWhenEnabled) {
+  TraceSink Global;
+  RequestTelemetry T;
+  EXPECT_EQ(T.sink(), nullptr);
+  T.enableSpans(Global.epoch());
+  ASSERT_NE(T.sink(), nullptr);
+  {
+    PhaseTimer Timer(&T, Phase::Parse);
+  }
+  std::vector<TraceEvent> Events = T.sink()->snapshotEvents();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Name, "phase.parse");
+  EXPECT_EQ(Events[0].Cat, "phase");
+  EXPECT_EQ(Events[0].Ph, TracePhase::Complete);
+}
+
+TEST(TraceTest, ImportPreservesEventsAndTimebase) {
+  // The daemon pattern: a request-scoped sink shares the global sink's
+  // epoch, so folding its events back keeps the timestamps comparable.
+  TraceSink Global;
+  {
+    TraceSpan Span(&Global, "global.before", "test");
+  }
+  TraceSink Request(Global.epoch());
+  {
+    TraceSpan Span(&Request, "request.span", "test");
+  }
+  std::vector<TraceEvent> Snapshot = Request.snapshotEvents();
+  ASSERT_EQ(Snapshot.size(), 1u);
+  Global.import(Snapshot);
+  EXPECT_EQ(Global.eventCount(), 2u);
+  bool Found = false;
+  for (const TraceEvent &E : Global.snapshotEvents())
+    if (E.Name == "request.span") {
+      Found = true;
+      EXPECT_EQ(E.Ts, Snapshot[0].Ts);
+      EXPECT_EQ(E.Tid, Snapshot[0].Tid);
+    }
+  EXPECT_TRUE(Found);
+}
+
+//===----------------------------------------------------------------------===//
+// Speedscope rendering
+//===----------------------------------------------------------------------===//
+
+TEST(TraceTest, SpeedscopeWellFormed) {
+  TraceSink Sink;
+  {
+    TraceSpan Outer(&Sink, "outer", "phase");
+    Sink.instant("marker", "test"); // instants must not become frames
+    { TraceSpan Inner(&Sink, "inner", "phase"); }
+  }
+
+  testjson::Value Doc;
+  std::string Error;
+  ASSERT_TRUE(
+      testjson::parseDocument(Sink.renderSpeedscope("unit"), Doc, &Error))
+      << Error;
+  ASSERT_TRUE(Doc.isObject());
+  EXPECT_EQ(Doc["$schema"].Str,
+            "https://www.speedscope.app/file-format-schema.json");
+  EXPECT_EQ(Doc["name"].Str, "unit");
+
+  // Frames: deduplicated span names, sorted — "inner" before "outer".
+  const testjson::Value &Frames = Doc["shared"]["frames"];
+  ASSERT_EQ(Frames.size(), 2u);
+  EXPECT_EQ(Frames[0]["name"].Str, "inner");
+  EXPECT_EQ(Frames[1]["name"].Str, "outer");
+
+  // One evented profile (single thread), microsecond unit, O/C events
+  // balanced and the stack never negative.
+  const testjson::Value &Profiles = Doc["profiles"];
+  ASSERT_EQ(Profiles.size(), 1u);
+  const testjson::Value &P = Profiles[0];
+  EXPECT_EQ(P["type"].Str, "evented");
+  EXPECT_EQ(P["unit"].Str, "microseconds");
+  const testjson::Value &Events = P["events"];
+  ASSERT_EQ(Events.size(), 4u);
+  int Depth = 0;
+  double LastAt = 0;
+  for (size_t I = 0; I != Events.size(); ++I) {
+    const testjson::Value &E = Events[I];
+    EXPECT_GE(E["at"].Num, LastAt);
+    LastAt = E["at"].Num;
+    Depth += E["type"].Str == "O" ? 1 : -1;
+    EXPECT_GE(Depth, 0);
+  }
+  EXPECT_EQ(Depth, 0);
+  EXPECT_GE(P["endValue"].Num, LastAt);
+}
+
+TEST(TraceTest, SpeedscopeEmptySinkParses) {
+  TraceSink Sink;
+  testjson::Value Doc;
+  std::string Error;
+  ASSERT_TRUE(testjson::parseDocument(Sink.renderSpeedscope(), Doc, &Error))
+      << Error;
+  EXPECT_EQ(Doc["shared"]["frames"].size(), 0u);
+  EXPECT_EQ(Doc["profiles"].size(), 0u);
 }
 
 TEST(ThreadSlotTest, StableWithinThreadDistinctAcross) {

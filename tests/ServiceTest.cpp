@@ -243,6 +243,59 @@ TEST(ProtocolTest, ResponseGoldenRoundTrip) {
   EXPECT_EQ(Error, "unknown response field 'bogus'");
 }
 
+TEST(ProtocolTest, ResponseTelemetryFieldsGoldenRoundTrip) {
+  service::AnalysisResponse Resp;
+  Resp.Exit = 0;
+  Resp.RequestId = "r-42";
+  Resp.TotalUs = 1234;
+  Resp.PhaseUs[(unsigned)obs::Phase::Parse] = 10;
+  Resp.PhaseUs[(unsigned)obs::Phase::Typecheck] = 1200;
+  obs::TraceEvent Span;
+  Span.Name = "phase.parse";
+  Span.Cat = "phase";
+  Span.Ts = 5;
+  Span.Dur = 10;
+  Span.Tid = 1;
+  Resp.Spans.push_back(Span);
+
+  const std::string Golden =
+      "{\"version\": 1, \"exit\": 0, \"request_id\": \"r-42\", "
+      "\"total_us\": 1234, \"phases\": {\"parse\": 10, \"typecheck\": 1200}, "
+      "\"spans\": [{\"name\": \"phase.parse\", \"cat\": \"phase\", "
+      "\"ts\": 5, \"dur\": 10, \"tid\": 1}]}";
+  EXPECT_EQ(service::encodeResponse(Resp), Golden);
+
+  service::AnalysisResponse Out;
+  std::string Error;
+  ASSERT_TRUE(service::decodeResponse(Golden, Out, Error)) << Error;
+  EXPECT_EQ(Out.RequestId, "r-42");
+  EXPECT_EQ(Out.TotalUs, 1234u);
+  EXPECT_EQ(Out.PhaseUs[(unsigned)obs::Phase::Parse], 10u);
+  EXPECT_EQ(Out.PhaseUs[(unsigned)obs::Phase::Typecheck], 1200u);
+  EXPECT_EQ(Out.PhaseUs[(unsigned)obs::Phase::Solver], 0u);
+  ASSERT_EQ(Out.Spans.size(), 1u);
+  EXPECT_EQ(Out.Spans[0].Name, "phase.parse");
+  EXPECT_EQ(Out.Spans[0].Cat, "phase");
+  EXPECT_EQ(Out.Spans[0].Ts, 5u);
+  EXPECT_EQ(Out.Spans[0].Dur, 10u);
+  EXPECT_EQ(Out.Spans[0].Tid, 1u);
+  EXPECT_EQ(Out.Spans[0].Ph, obs::TracePhase::Complete);
+  EXPECT_EQ(service::encodeResponse(Out), Golden);
+
+  // A response with no telemetry encodes none of the new fields.
+  service::AnalysisResponse Plain;
+  EXPECT_EQ(service::encodeResponse(Plain), "{\"version\": 1, \"exit\": 0}");
+
+  // Strictness: unknown phase names and malformed spans are rejected.
+  EXPECT_FALSE(service::decodeResponse(
+      "{\"version\": 1, \"exit\": 0, \"phases\": {\"warp\": 3}}", Out, Error));
+  EXPECT_EQ(Error, "field 'phases' has unknown phase 'warp'");
+  EXPECT_FALSE(service::decodeResponse(
+      "{\"version\": 1, \"exit\": 0, \"spans\": [{\"name\": \"x\"}]}", Out,
+      Error));
+  EXPECT_EQ(Error, "field 'spans' entries are malformed");
+}
+
 TEST(ProtocolTest, RpcIdEncoding) {
   json::Value Id;
   Id.K = json::Value::Kind::Number;
@@ -779,6 +832,114 @@ TEST(ServiceServeTest, ConcurrentIdenticalRequestsCoalesce) {
     Coalesced = Svc.metrics().counterValue("service.dedup.hits") > Before;
   }
   EXPECT_TRUE(Coalesced) << "no volley coalesced in 25 attempts";
+}
+
+//===----------------------------------------------------------------------===//
+// serve(): per-request telemetry (request ids, phase attribution, spans)
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceServeTest, TelemetryOffLeavesResponseClean) {
+  // The default daemon config has RequestTelemetry off: responses carry
+  // no ids, no phase attribution, no spans, and the request-latency
+  // histogram never materializes — the null-handle off switch.
+  service::AnalysisService Svc(daemonConfig());
+  service::AnalysisRequest Req;
+  Req.ToolKind = service::Tool::Mixy;
+  Req.Corpus = "case1";
+
+  service::AnalysisResponse Resp = Svc.serve(Req);
+  EXPECT_TRUE(Resp.RequestId.empty());
+  EXPECT_EQ(Resp.TotalUs, 0u);
+  for (uint64_t V : Resp.PhaseUs)
+    EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(Resp.Spans.empty());
+  EXPECT_EQ(Svc.metrics().histogramSnapshot("service.request.us").Count, 0u);
+  EXPECT_TRUE(Svc.slowRequests().empty());
+}
+
+TEST(ServiceServeTest, TelemetryPhaseBreakdownAndFreshIds) {
+  service::ServiceConfig SC = daemonConfig();
+  SC.RequestTelemetry = true;
+  service::AnalysisService Svc(SC);
+  service::AnalysisRequest Req;
+  Req.ToolKind = service::Tool::Mixy;
+  Req.Corpus = "case1";
+
+  // Cold: the request executed, so it carries a wall time, per-phase
+  // attribution, and a slot in the slow-request log.
+  service::AnalysisResponse Cold = Svc.serve(Req);
+  EXPECT_FALSE(Cold.FromCache);
+  EXPECT_EQ(Cold.RequestId, "r-1");
+  EXPECT_GT(Cold.TotalUs, 0u);
+  bool AnyPhase = false;
+  for (uint64_t V : Cold.PhaseUs)
+    AnyPhase |= V != 0;
+  EXPECT_TRUE(AnyPhase);
+  // Inclusive attribution: no phase can outlast the whole request.
+  for (uint64_t V : Cold.PhaseUs)
+    EXPECT_LE(V, Cold.TotalUs);
+  // Spans stay off unless the request traces.
+  EXPECT_TRUE(Cold.Spans.empty());
+  EXPECT_EQ(Svc.metrics().histogramSnapshot("service.request.us").Count, 1u);
+  ASSERT_EQ(Svc.slowRequests().size(), 1u);
+  EXPECT_EQ(Svc.slowRequests()[0].Id, "r-1");
+  EXPECT_EQ(Svc.slowRequests()[0].TotalUs, Cold.TotalUs);
+
+  // Warm: a cache hit gets a fresh id (it is a distinct request) but no
+  // phase work, no histogram sample, and no slow-log entry — nothing
+  // executed.
+  service::AnalysisResponse Warm = Svc.serve(Req);
+  EXPECT_TRUE(Warm.FromCache);
+  EXPECT_EQ(Warm.RequestId, "r-2");
+  EXPECT_EQ(Warm.TotalUs, 0u);
+  for (uint64_t V : Warm.PhaseUs)
+    EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(Warm.Spans.empty());
+  EXPECT_EQ(Svc.metrics().histogramSnapshot("service.request.us").Count, 1u);
+  EXPECT_EQ(Svc.slowRequests().size(), 1u);
+}
+
+TEST(ServiceServeTest, ConcurrentRequestsGetDisjointSpanTrees) {
+  // Two requests in flight at once, each tracing: every span a response
+  // carries must come from its own request's sink — distinct ids,
+  // exactly one "phase.parse" span each, no cross-request leakage.
+  service::ServiceConfig SC = daemonConfig();
+  SC.RequestTelemetry = true;
+  service::AnalysisService Svc(SC);
+
+  service::AnalysisRequest A;
+  A.ToolKind = service::Tool::Mixy;
+  A.Corpus = "case1";
+  A.Trace = true;
+  service::AnalysisRequest B = A;
+  B.Corpus = "case2";
+
+  service::AnalysisResponse RespA, RespB;
+  std::thread TA([&] { RespA = Svc.serve(A); });
+  std::thread TB([&] { RespB = Svc.serve(B); });
+  TA.join();
+  TB.join();
+
+  EXPECT_FALSE(RespA.RequestId.empty());
+  EXPECT_FALSE(RespB.RequestId.empty());
+  EXPECT_NE(RespA.RequestId, RespB.RequestId);
+
+  auto CountParse = [](const std::vector<obs::TraceEvent> &Spans) {
+    size_t N = 0;
+    for (const obs::TraceEvent &E : Spans)
+      N += E.Name == "phase.parse";
+    return N;
+  };
+  EXPECT_FALSE(RespA.Spans.empty());
+  EXPECT_FALSE(RespB.Spans.empty());
+  EXPECT_EQ(CountParse(RespA.Spans), 1u);
+  EXPECT_EQ(CountParse(RespB.Spans), 1u);
+
+  // Both request trees were also imported into the service-global sink.
+  size_t GlobalParse = 0;
+  for (const obs::TraceEvent &E : Svc.traceSink().snapshotEvents())
+    GlobalParse += E.Name == "phase.parse";
+  EXPECT_EQ(GlobalParse, 2u);
 }
 
 //===----------------------------------------------------------------------===//

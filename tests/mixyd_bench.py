@@ -88,6 +88,10 @@ def bench_cold_cli(mixyc):
 def bench_warm_daemon(daemon):
     times = []
     cached = 0
+    # Per-phase wall time (inclusive, microseconds) as attributed by the
+    # daemon's request telemetry. Only executed requests carry a phase
+    # breakdown; cache hits contribute a latency sample but no phases.
+    phase_us = {}
     for _ in range(ROUNDS):
         for corpus in CORPORA:
             params = {"version": 1, "tool": "mixy", "corpus": corpus,
@@ -97,7 +101,9 @@ def bench_warm_daemon(daemon):
             times.append((time.monotonic() - start) * 1000.0)
             if resp["result"].get("from_cache"):
                 cached += 1
-    return times, cached
+            for phase, us in resp["result"].get("phases", {}).items():
+                phase_us.setdefault(phase, []).append(us)
+    return times, cached, phase_us
 
 
 def bench_dedup(daemon, burst=8):
@@ -121,12 +127,19 @@ def bench_dedup(daemon, burst=8):
     }
 
 
+def percentile(ordered, q):
+    """Nearest-rank percentile of a pre-sorted sample."""
+    return ordered[min(len(ordered) - 1, int(len(ordered) * q))]
+
+
 def stats(times):
     ordered = sorted(times)
     return {
         "samples": len(ordered),
         "mean_ms": round(sum(ordered) / len(ordered), 3),
-        "p50_ms": round(ordered[len(ordered) // 2], 3),
+        "p50_ms": round(percentile(ordered, 0.50), 3),
+        "p90_ms": round(percentile(ordered, 0.90), 3),
+        "p99_ms": round(percentile(ordered, 0.99), 3),
         "max_ms": round(ordered[-1], 3),
     }
 
@@ -142,7 +155,7 @@ def main():
     # default is one worker per hardware thread, which on a small runner
     # serializes the burst and never reaches the dedup path).
     daemon = Daemon(mixyd, ["--jobs=4"])
-    warm, cached = bench_warm_daemon(daemon)
+    warm, cached, phase_us = bench_warm_daemon(daemon)
     dedup = bench_dedup(daemon)
     code = daemon.close()
     assert code == 0, f"daemon exited {code}"
@@ -154,6 +167,13 @@ def main():
         "cold_cli_ms": stats(cold),
         "warm_daemon_ms": stats(warm),
         "warm_from_cache": cached,
+        # Median inclusive wall time per phase across the executed warm
+        # requests (typecheck contains fixpoint contains block-exec
+        # contains solver, so the medians do not sum to the total).
+        "phase_median_us": {
+            phase: percentile(sorted(samples), 0.50)
+            for phase, samples in sorted(phase_us.items())
+        },
         "dedup": dedup,
     }
     with open(out_path, "w") as f:

@@ -11,7 +11,11 @@ Speaks newline-delimited JSON-RPC 2.0 to one daemon process and asserts:
   * "stream": true delivers per-diagnostic notifications before the result,
   * protocol errors (bad JSON, bad version, unknown field, unknown method)
     come back as the right structured JSON-RPC error codes,
-  * status counters account for every request, and shutdown exits 0.
+  * executed responses carry request telemetry (request_id, total_us,
+    phases) and cache hits carry a fresh id but no phase work,
+  * status counters account for every request and expose request-latency
+    quantiles plus the slow-request log,
+  * the metrics method returns OpenMetrics text, and shutdown exits 0.
 
 Responses are matched by JSON-RPC id, never by arrival order: analyses run
 on a worker pool, so the daemon may legally answer out of order.
@@ -103,6 +107,12 @@ def main():
     assert result["exit"] == 0, result
     assert result.get("metrics"), "cold request must carry metric deltas"
     assert not result.get("from_cache"), result
+    # The daemon runs with request telemetry on: an executed request
+    # carries its id, wall time, and inclusive per-phase attribution.
+    assert result.get("request_id"), result
+    assert result.get("total_us", 0) > 0, result
+    assert result.get("phases"), "executed request must carry phases"
+    assert all(us <= result["total_us"] for us in result["phases"].values())
 
     # 2. Identical repeat: answered from the response cache, with no
     #    metrics field — the observable proof the fixpoint did not re-run.
@@ -111,6 +121,11 @@ def main():
                                      format="json"))["result"]
     assert warm.get("from_cache") is True, warm
     assert "metrics" not in warm, "a cache hit did no engine work"
+    # A cache hit is still a distinct request (fresh id) but did no phase
+    # work, so the phase fields are absent.
+    assert warm.get("request_id") and \
+        warm["request_id"] != result["request_id"], warm
+    assert "phases" not in warm and "total_us" not in warm, warm
     assert warm.get("payload", "") == result.get("payload", ""), \
         "warm payload must be byte-identical"
 
@@ -180,13 +195,33 @@ def main():
     assert status["cache_hits"] == 1, status
     assert status["busy_rejections"] == 0, status
     assert status["timeouts"] == 0, status
+    # Request-latency quantiles: one histogram sample per executed
+    # request, and the estimates are ordered.
+    rq = status["request_us"]
+    assert rq["count"] == 4, status
+    assert 0 < rq["p50"] <= rq["p90"] <= rq["p99"], status
+    # Slow-request log: every executed request, slowest first, unique ids.
+    slow = status["slow_requests"]
+    assert len(slow) == 4, status
+    totals = [s["total_us"] for s in slow]
+    assert totals == sorted(totals, reverse=True), status
+    assert len({s["id"] for s in slow}) == 4, status
 
-    # 9. Clean shutdown.
-    assert client.request(11, "shutdown")["result"]["ok"]
+    # 9. OpenMetrics export: counters as _total, latency histograms as
+    #    cumulative _bucket/_sum/_count series, terminated by # EOF.
+    om = client.request(11, "metrics")["result"]["openmetrics"]
+    assert "mix_service_requests_total 4" in om, om
+    assert 'mix_service_request_us_bucket{le="+Inf"} 4' in om, om
+    assert "mix_service_request_us_count 4" in om, om
+    assert "mix_service_request_us_sum" in om, om
+    assert om.endswith("# EOF\n"), om[-100:]
+
+    # 10. Clean shutdown.
+    assert client.request(12, "shutdown")["result"]["ok"]
     code = client.close()
     assert code == 0, f"daemon exited {code}"
 
-    # 10. Deadline mode: a request that finishes before --deadline-ms gets
+    # 11. Deadline mode: a request that finishes before --deadline-ms gets
     #     exactly one reply. The watcher sweeps at the deadline even when
     #     the worker already answered; it must retire the ticket silently,
     #     not append a second bogus timeout error for the same id.

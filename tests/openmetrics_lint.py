@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Lints an OpenMetrics text exposition (the subset mixyd emits).
+
+Usage: openmetrics_lint.py <exposition.txt> [...]
+
+Checks, per file:
+  * the exposition ends with a final `# EOF` line and nothing after it,
+  * every `# TYPE` line declares a valid name and a known type, once,
+  * every sample line parses as `name[{labels}] value`, the name uses
+    the metric charset, and belongs to a declared family with the
+    suffix its type allows (counter -> `_total`; histogram ->
+    `_bucket`/`_sum`/`_count`; gauge -> the bare name),
+  * histogram buckets are cumulative (monotone non-decreasing), their
+    `le` bounds strictly increase, the last bucket is `le="+Inf"`, and
+    its value equals the family's `_count` sample.
+
+Exits non-zero with a message naming the offending line on failure.
+Used by the CI daemon metrics step; has no dependencies beyond the
+standard library.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>[^ ]+)$")
+TYPES = {"counter", "gauge", "histogram"}
+
+# type -> allowed sample-name suffixes relative to the family name
+SUFFIXES = {
+    "counter": ["_total"],
+    "gauge": [""],
+    "histogram": ["_bucket", "_sum", "_count"],
+}
+
+
+def fail(path, lineno, message):
+    sys.exit(f"{path}:{lineno}: {message}")
+
+
+def family_for(name, families):
+    """The declared family a sample name belongs to, or None."""
+    for fam, typ in families.items():
+        for suffix in SUFFIXES[typ]:
+            if name == fam + suffix:
+                return fam, typ
+    return None
+
+
+def lint(path):
+    with open(path) as f:
+        text = f.read()
+    if not text.endswith("# EOF\n"):
+        fail(path, text.count("\n"), "exposition must end with '# EOF'")
+
+    families = {}  # name -> type
+    # histogram family -> list of (le, cumulative count); counts by family
+    buckets = {}
+    counts = {}
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, 1):
+        if line == "# EOF":
+            if lineno != len(lines):
+                fail(path, lineno, "'# EOF' must be the last line")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                fail(path, lineno, f"malformed TYPE line: {line!r}")
+            _, _, name, typ = parts
+            if not NAME_RE.match(name):
+                fail(path, lineno, f"bad metric name {name!r}")
+            if typ not in TYPES:
+                fail(path, lineno, f"unknown metric type {typ!r}")
+            if name in families:
+                fail(path, lineno, f"duplicate TYPE for {name!r}")
+            families[name] = typ
+            continue
+        if line.startswith("#"):
+            fail(path, lineno, f"unknown comment line: {line!r}")
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(path, lineno, f"malformed sample line: {line!r}")
+        name = m.group("name")
+        hit = family_for(name, families)
+        if hit is None:
+            fail(path, lineno, f"sample {name!r} has no TYPE declaration")
+        fam, typ = hit
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            fail(path, lineno, f"non-numeric value {m.group('value')!r}")
+        if name == fam + "_bucket":
+            labels = m.group("labels") or ""
+            lm = re.match(r'^le="([^"]+)"$', labels)
+            if not lm:
+                fail(path, lineno, f"_bucket needs exactly an le label: {line!r}")
+            le = float("inf") if lm.group(1) == "+Inf" else float(lm.group(1))
+            buckets.setdefault(fam, []).append((lineno, le, value))
+        elif name == fam + "_count":
+            counts[fam] = (lineno, value)
+
+    for fam, series in buckets.items():
+        prev_le, prev_cum = None, None
+        for lineno, le, cum in series:
+            if prev_le is not None and le <= prev_le:
+                fail(path, lineno, f"{fam}: le bounds must increase")
+            if prev_cum is not None and cum < prev_cum:
+                fail(path, lineno, f"{fam}: buckets must be cumulative")
+            prev_le, prev_cum = le, cum
+        last_line, last_le, last_cum = series[-1]
+        if last_le != float("inf"):
+            fail(path, last_line, f"{fam}: last bucket must be le=\"+Inf\"")
+        if fam not in counts:
+            fail(path, last_line, f"{fam}: histogram without a _count sample")
+        if counts[fam][1] != last_cum:
+            fail(path, counts[fam][0],
+                 f"{fam}: _count {counts[fam][1]} != +Inf bucket {last_cum}")
+
+    print(f"{path}: OpenMetrics exposition OK "
+          f"({len(families)} families, {len(buckets)} histograms)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    for path in sys.argv[1:]:
+        lint(path)
+
+
+if __name__ == "__main__":
+    main()

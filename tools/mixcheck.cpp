@@ -205,7 +205,8 @@ int main(int Argc, char **Argv) {
          << "exec terms built        : "
          << Reg.counterValue("exec.terms.built") << "\n"
          << "exec terms collected    : "
-         << Reg.counterValue("exec.terms.gcd") << "\n";
+         << Reg.counterValue("exec.terms.gcd") << "\n"
+         << driver::renderPhaseBreakdown(Resp);
   }
 
   if (!Resp.PrintedProgram.empty())

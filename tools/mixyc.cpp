@@ -183,6 +183,7 @@ int main(int Argc, char **Argv) {
         Info << "sym block cache          : " << Resp.SymCacheStats << "\n"
              << "typed block cache        : " << Resp.TypedCacheStats << "\n";
     }
+    Info << driver::renderPhaseBreakdown(Resp);
   }
 
   Driver.emitPayload(Resp.Payload);

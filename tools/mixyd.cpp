@@ -16,8 +16,14 @@
 //                as a "diagnostic" notification before the final result.
 //   fileChanged  params = {"path": P}; drops cached responses computed
 //                from P and invalidates warm per-function summaries.
-//   status       in-flight/admission/cache counters.
+//   status       in-flight/admission/cache counters, request-latency
+//                quantiles, and the slowest requests seen so far.
+//   metrics      the full metrics registry as OpenMetrics text.
 //   shutdown     saves warm sessions, writes artifacts, exits cleanly.
+//
+// SIGINT/SIGTERM take the same clean-shutdown path as the shutdown
+// method: in-flight work drains, warm sessions save, and the --trace /
+// --metrics / --metrics-file artifacts flush before exit.
 //
 // The payload inside an "analyze" result is byte-identical to what the
 // corresponding CLI prints for the same input and format (the CI daemon
@@ -36,8 +42,10 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <deque>
 #include <iostream>
 #include <memory>
@@ -53,6 +61,22 @@ namespace driver = mix::driver;
 namespace service = mix::service;
 
 namespace {
+
+/// Set by the SIGINT/SIGTERM handler; polled by the serve loops. The
+/// handlers are installed without SA_RESTART so a blocked read()/accept()
+/// returns EINTR and the loop can notice the flag.
+volatile std::sig_atomic_t GSignal = 0;
+
+void onShutdownSignal(int Sig) { GSignal = Sig; }
+
+void installSignalHandlers() {
+  struct sigaction SA{};
+  SA.sa_handler = onShutdownSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0; // no SA_RESTART: blocked syscalls must wake up
+  ::sigaction(SIGINT, &SA, nullptr);
+  ::sigaction(SIGTERM, &SA, nullptr);
+}
 
 void printUsage(const driver::OptionParser &Parser) {
   std::cout <<
@@ -256,8 +280,47 @@ public:
           ", \"busy_rejections\": " +
           std::to_string(Reg.counterValue("daemon.busy_rejections")) +
           ", \"timeouts\": " +
-          std::to_string(Reg.counterValue("daemon.timeouts")) + "}";
+          std::to_string(Reg.counterValue("daemon.timeouts"));
+      // Latency quantiles over every executed (non-cached) request, in
+      // integer microseconds — bucket-interpolated, so read them as
+      // order-of-magnitude numbers, not exact ranks.
+      obs::HistogramSnapshot H = Reg.histogramSnapshot("service.request.us");
+      S += ", \"request_us\": {\"count\": " + std::to_string(H.Count) +
+           ", \"p50\": " + std::to_string((uint64_t)(H.quantile(0.5) + 0.5)) +
+           ", \"p90\": " + std::to_string((uint64_t)(H.quantile(0.9) + 0.5)) +
+           ", \"p99\": " + std::to_string((uint64_t)(H.quantile(0.99) + 0.5)) +
+           "}";
+      S += ", \"slow_requests\": [";
+      bool FirstSlow = true;
+      for (const service::SlowRequest &SR : Svc.slowRequests()) {
+        S += FirstSlow ? "{" : ", {";
+        FirstSlow = false;
+        S += "\"id\": \"" + jsonEscape(SR.Id) + "\", \"key\": \"" +
+             std::to_string(SR.Key) + "\", \"total_us\": " +
+             std::to_string(SR.TotalUs) + ", \"exit\": " +
+             std::to_string(SR.Exit) + ", \"warnings\": " +
+             std::to_string(SR.Warnings) + ", \"errors\": " +
+             std::to_string(SR.Errors);
+        std::string Phases;
+        for (unsigned I = 0; I != obs::NumPhases; ++I) {
+          if (!SR.PhaseUs[I])
+            continue;
+          Phases += Phases.empty() ? "{" : ", ";
+          Phases += "\"" + std::string(obs::phaseName((obs::Phase)I)) +
+                    "\": " + std::to_string(SR.PhaseUs[I]);
+        }
+        if (!Phases.empty())
+          S += ", \"phases\": " + Phases + "}";
+        S += "}";
+      }
+      S += "]}";
       Out->send(service::rpcResult(Id, S));
+      return;
+    }
+    if (Method == "metrics") {
+      Out->send(service::rpcResult(
+          Id, "{\"openmetrics\": \"" +
+                  jsonEscape(Svc.metrics().renderOpenMetrics()) + "\"}"));
       return;
     }
     if (Method == "shutdown") {
@@ -399,12 +462,15 @@ private:
   std::vector<rt::TaskFuture<void>> Futures;
 };
 
-/// Reads newline-delimited messages from \p Fd until EOF or daemon stop.
+/// Reads newline-delimited messages from \p Fd until EOF, daemon stop, or
+/// a shutdown signal.
 void serveFd(Daemon &D, int Fd, std::shared_ptr<Channel> Out) {
   std::string Buf;
   char Chunk[4096];
-  while (!D.stopped()) {
+  while (!D.stopped() && !GSignal) {
     ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0 && errno == EINTR)
+      continue; // the loop condition rechecks GSignal
     if (N <= 0)
       break;
     Buf.append(Chunk, (size_t)N);
@@ -439,6 +505,9 @@ int main(int Argc, char **Argv) {
     service::ServiceConfig SC;
     SC.KeepWarm = true;
     SC.PerRequestMetrics = true;
+    // Daemon responses always carry their request id and phase breakdown;
+    // span trees additionally need the request to ask for tracing.
+    SC.RequestTelemetry = true;
     return SC;
   }());
 
@@ -472,6 +541,28 @@ int main(int Argc, char **Argv) {
       },
       "T", "answer analyze requests that run longer than T ms with a\n"
            "structured timeout error (default 0 = no deadline)");
+  std::string MetricsFilePath;
+  unsigned MetricsIntervalMs = 5000;
+  Parser.value(
+      "--metrics-file",
+      [&](const std::string &V) {
+        if (V.empty())
+          return false;
+        MetricsFilePath = V;
+        return true;
+      },
+      "PATH", "periodically rewrite PATH with the metrics registry as\n"
+              "OpenMetrics text (scrape it with any OpenMetrics collector);\n"
+              "also flushed once at shutdown");
+  Parser.value(
+      "--metrics-interval-ms",
+      [&](const std::string &V) {
+        if (V.empty() || V.find_first_not_of("0123456789") != std::string::npos)
+          return false;
+        MetricsIntervalMs = (unsigned)std::stoul(V);
+        return MetricsIntervalMs != 0;
+      },
+      "T", "rewrite --metrics-file every T ms (default 5000)");
   driver::registerCommonOptions(
       Parser, Driver, &Workers,
       "serve analyze requests on N pool workers (default: one per\n"
@@ -491,14 +582,37 @@ int main(int Argc, char **Argv) {
   }
 
   Daemon D(Driver, Workers, MaxInflight, DeadlineMs);
+  installSignalHandlers();
+
+  // The --metrics-file flusher: one background thread rewriting the file
+  // every interval, woken early at shutdown for the final flush. Reads
+  // sum the sharded slots, so an off-barrier flush is approximate in the
+  // same way any scrape of a live process is.
+  std::mutex FlushMu;
+  std::condition_variable FlushCv;
+  bool FlushStop = false;
+  std::thread Flusher;
+  if (!MetricsFilePath.empty())
+    Flusher = std::thread([&] {
+      std::unique_lock<std::mutex> Lock(FlushMu);
+      for (;;) {
+        FlushCv.wait_for(Lock, std::chrono::milliseconds(MetricsIntervalMs),
+                         [&] { return FlushStop; });
+        if (FlushStop)
+          return;
+        Lock.unlock();
+        driver::writeFile("mixyd", MetricsFilePath,
+                          Driver.metrics().renderOpenMetrics());
+        Lock.lock();
+      }
+    });
 
   if (ListenPath.empty()) {
-    // Stdio mode: one client, the pipe is the connection.
+    // Stdio mode: one client, the pipe is the connection. Reading fd 0
+    // directly (instead of std::getline) lets a shutdown signal
+    // interrupt the blocked read.
     auto Out = std::make_shared<Channel>(-1);
-    std::string Line;
-    while (!D.stopped() && std::getline(std::cin, Line))
-      if (!std::string(trim(Line)).empty())
-        D.handleLine(Line, Out);
+    serveFd(D, 0, Out);
   } else {
     int ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (ListenFd < 0) {
@@ -528,11 +642,14 @@ int main(int Argc, char **Argv) {
     std::vector<std::thread> Clients;
     std::vector<int> ClientFds;
     std::mutex ClientsMu;
-    while (!D.stopped()) {
+    while (!D.stopped() && !GSignal) {
       int Fd = ::accept(ListenFd, nullptr, nullptr);
-      if (Fd < 0)
+      if (Fd < 0) {
+        if (errno == EINTR && !GSignal && !D.stopped())
+          continue;
         break;
-      if (D.stopped()) {
+      }
+      if (D.stopped() || GSignal) {
         ::close(Fd);
         break;
       }
@@ -570,9 +687,22 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  // Clean shutdown: finish in-flight work first, then publish warm
-  // sessions and flush --trace/--metrics artifacts.
+  // Clean shutdown — reached from the shutdown method, client EOF, and
+  // SIGINT/SIGTERM alike: finish in-flight work first, then publish warm
+  // sessions and flush the --trace/--metrics/--metrics-file artifacts
+  // (the final --metrics-file write runs at a barrier, so it is exact).
   D.finish();
-  return Driver.writeArtifacts("mixyd") ? driver::ExitClean
-                                        : driver::ExitUsage;
+  if (Flusher.joinable()) {
+    {
+      std::lock_guard<std::mutex> Lock(FlushMu);
+      FlushStop = true;
+    }
+    FlushCv.notify_one();
+    Flusher.join();
+  }
+  bool Ok = Driver.writeArtifacts("mixyd");
+  if (!MetricsFilePath.empty())
+    Ok = driver::writeFile("mixyd", MetricsFilePath,
+                           Driver.metrics().renderOpenMetrics()) && Ok;
+  return Ok ? driver::ExitClean : driver::ExitUsage;
 }
