@@ -1,0 +1,557 @@
+//===--- CIrExecutor.cpp - Concolic interpreter for mini-C bodies ---------===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+//
+// Every opcode here is a transcription of the matching CSymExecutor AST
+// case (resolveLValue / evalExpr / evalCall / execStmt / execWhile). The
+// porting rule is byte-identity: the same warnings in the same order,
+// the same fresh terms and objects in the same order, the same trail
+// entries and budget trips. Where the walker's helper returns a
+// completed flow vector before its caller continues, the bytecode's
+// span barriers reproduce the synchronization (see ConcolicCore.h);
+// where the walker drops a flow (dead path), the interpreter returns
+// zero outcomes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concolic/CIrExecutor.h"
+
+#include "concolic/ConcolicCore.h"
+
+#include <cassert>
+
+using namespace mix;
+using namespace mix::concolic;
+using mix::c::CSymState;
+using mix::c::CSymValue;
+using mix::c::LocId;
+using mix::c::PtrCase;
+using mix::c::PtrTarget;
+using mix::smt::Term;
+
+CIrExecutor::CIrExecutor(c::CSymExecutor &Exec, obs::MetricsRegistry *Metrics,
+                         obs::RequestTelemetry *Telemetry)
+    : Exec(Exec), Telemetry(Telemetry) {
+  if (Metrics) {
+    CExecPaths = Metrics->counter("exec.paths");
+    CLowerHits = Metrics->counter("ir.lower.hits");
+    CLowerMisses = Metrics->counter("ir.lower.misses");
+    CFallbackAst = Metrics->counter("exec.fallback.ast");
+  }
+}
+
+const ir::CIrFunction *CIrExecutor::lowered(const c::CFuncDecl *Fn) {
+  auto It = LoweredCache.find(Fn);
+  if (It != LoweredCache.end()) {
+    if (It->second)
+      CLowerHits.inc();
+    return It->second.get();
+  }
+  obs::PhaseTimer Timer(Telemetry, obs::Phase::IrLower);
+  CLowerMisses.inc();
+  std::unique_ptr<ir::CIrFunction> F = ir::lowerC(Fn, Exec.program());
+  if (F)
+    assert(ir::verifyC(*F).empty() &&
+           "lowering produced ill-formed bytecode");
+  const ir::CIrFunction *Ptr = F.get();
+  LoweredCache.emplace(Fn, std::move(F));
+  return Ptr;
+}
+
+bool CIrExecutor::runBody(const c::CFuncDecl *Fn, CSymState &State,
+                          unsigned Depth, std::vector<CSymState> &Out) {
+  const ir::CIrFunction *F = lowered(Fn);
+  if (!F) {
+    // Residual construct: fall back to the AST walker, loudly.
+    CFallbackAst.inc();
+    return false;
+  }
+
+  unsigned SavedDepth = CurDepth;
+  const c::CFuncDecl *SavedFunc = CurFunc;
+  CurDepth = Depth;
+  CurFunc = Fn;
+
+  std::vector<Outcome> Res =
+      runSegment(*F, 0, std::vector<RegVal>(F->NumRegs), std::move(State),
+                 0, F->Regions[0].Code.size());
+
+  CurDepth = SavedDepth;
+  CurFunc = SavedFunc;
+
+  CExecPaths.add(Res.size());
+  for (Outcome &O : Res)
+    Out.push_back(std::move(O.S));
+  return true;
+}
+
+std::vector<CIrExecutor::Outcome>
+CIrExecutor::runRegion(const ir::CIrFunction &F, uint32_t R,
+                       const std::vector<RegVal> &Regs, CSymState S) {
+  return runSegment(F, R, Regs, std::move(S), 0, F.Regions[R].Code.size());
+}
+
+std::vector<CIrExecutor::Outcome>
+CIrExecutor::continueSegment(const ir::CIrFunction &F, uint32_t R, size_t I,
+                             uint32_t Dst, std::vector<Outcome> Outs,
+                             size_t End) {
+  if (Dst != ir::CNoReg)
+    for (Outcome &O : Outs)
+      O.Regs[Dst] = O.Value;
+
+  // One outcome resumes directly — no barrier is observable.
+  if (Outs.size() == 1)
+    return runSegment(F, R, std::move(Outs[0].Regs), std::move(Outs[0].S),
+                      I + 1, End);
+
+  return continueWithBarriers(
+      F.Regions[R].Spans, I, End, std::move(Outs),
+      [&](Outcome O, size_t From, size_t To) {
+        return runSegment(F, R, std::move(O.Regs), std::move(O.S), From, To);
+      });
+}
+
+std::vector<CIrExecutor::Outcome>
+CIrExecutor::runSegment(const ir::CIrFunction &F, uint32_t R,
+                        std::vector<RegVal> Regs, CSymState S, size_t From,
+                        size_t End) {
+  smt::TermArena &T = Exec.terms();
+  const c::CProgram &Program = Exec.program();
+
+  for (size_t I = From; I < End; ++I) {
+    const ir::CInstr &In = F.Regions[R].Code[I];
+    switch (In.Op) {
+    case ir::COpcode::CStmtEntry: {
+      // execStmt's entry checks: returned states pass through, path
+      // budget trips mark the run incomplete; both skip the statement.
+      if (S.Returned) {
+        assert((size_t)In.Imm <= End && "skip target crosses a barrier");
+        I = (size_t)In.Imm - 1;
+        break;
+      }
+      if (Exec.pathBudgetExceeded()) {
+        Exec.noteIncomplete();
+        assert((size_t)In.Imm <= End && "skip target crosses a barrier");
+        I = (size_t)In.Imm - 1;
+        break;
+      }
+      break;
+    }
+    case ir::COpcode::CConstInt:
+      Regs[In.Dst] = val(CSymValue::scalar(T.intConst(In.Imm)));
+      break;
+    case ir::COpcode::CStr: {
+      LocId Obj = Exec.newObject(Exec.context().charType(), "<string>");
+      Regs[In.Dst] =
+          val(CSymValue::pointerTo(T, PtrTarget::object(Obj)));
+      break;
+    }
+    case ir::COpcode::CNull:
+      Regs[In.Dst] = val(CSymValue::nullPointer(T));
+      break;
+    case ir::COpcode::CLoadIdent: {
+      const std::string &Name = F.Names[In.Aux];
+      // Function names decay to function pointers unless shadowed.
+      if (!S.Locals.count(Name) && !Program.findGlobal(Name))
+        if (const c::CFuncDecl *Fn = Program.findFunc(Name)) {
+          Regs[In.Dst] =
+              val(CSymValue::pointerTo(T, PtrTarget::function(Fn)));
+          break;
+        }
+      LocId Loc = c::NoLoc;
+      auto It = S.Locals.find(Name);
+      if (It != S.Locals.end())
+        Loc = It->second;
+      else if (Program.findGlobal(Name))
+        Loc = Exec.globalLoc(Name);
+      if (Loc == c::NoLoc) {
+        Exec.warn(In.Loc, "unknown variable '" + Name + "'");
+        return {}; // the walker drops this flow: the path dies
+      }
+      Regs[In.Dst] = val(Exec.readCell(S, Loc, ""));
+      break;
+    }
+    case ir::COpcode::CLValIdent: {
+      const std::string &Name = F.Names[In.Aux];
+      LocId Loc = c::NoLoc;
+      auto It = S.Locals.find(Name);
+      if (It != S.Locals.end())
+        Loc = It->second;
+      else if (Program.findGlobal(Name))
+        Loc = Exec.globalLoc(Name);
+      if (Loc == c::NoLoc) {
+        Exec.warn(In.Loc, "unknown variable '" + Name + "'");
+        return {};
+      }
+      Regs[In.Dst] = cells({{T.trueTerm(), Loc, ""}});
+      break;
+    }
+    case ir::COpcode::CLValDeref:
+    case ir::COpcode::CLValArrow: {
+      const CSymValue &V = Regs[In.A].V;
+      bool Arrow = In.Op == ir::COpcode::CLValArrow;
+      if (!V.isPtr()) {
+        Exec.warn(In.Loc, Arrow ? "'->' on a non-pointer value"
+                                : "dereference of a non-pointer value");
+        return {};
+      }
+      if (Exec.options().CheckDereferences) {
+        Exec.noteNullCheck();
+        const Term *NullG = V.nullGuard(T);
+        if (Exec.feasibleWith(S, NullG))
+          Exec.warn(In.Loc, "possible null dereference", &S,
+                    T.andTerm(S.Path, NullG));
+      }
+      // Continue under the assumption the dereference survived.
+      Exec.extendPath(S, V.nonNullGuard(T));
+      if (!Exec.feasible(S))
+        return {}; // definitely null: this path dies here
+      std::vector<c::CSymExecutor::LVal> Cs;
+      for (const PtrCase &C : V.cases()) {
+        if (C.Target.K != PtrTarget::Kind::Object)
+          continue;
+        if (!Arrow) {
+          Cs.push_back({C.Guard, C.Target.Loc, C.Target.Field});
+          continue;
+        }
+        const std::string &Fld = F.Names[In.Aux];
+        std::string Field =
+            C.Target.Field.empty() ? Fld : C.Target.Field + "." + Fld;
+        Cs.push_back({C.Guard, C.Target.Loc, std::move(Field)});
+      }
+      Regs[In.Dst] = cells(std::move(Cs));
+      break;
+    }
+    case ir::COpcode::CLValField: {
+      // base.field: extend the base cells' field paths.
+      std::vector<c::CSymExecutor::LVal> Cs = Regs[In.A].Cells;
+      const std::string &Fld = F.Names[In.Aux];
+      for (c::CSymExecutor::LVal &Cell : Cs)
+        Cell.Field =
+            Cell.Field.empty() ? Fld : Cell.Field + "." + Fld;
+      Regs[In.Dst] = cells(std::move(Cs));
+      break;
+    }
+    case ir::COpcode::CReadMerged: {
+      const std::vector<c::CSymExecutor::LVal> &Cs = Regs[In.A].Cells;
+      if (Cs.empty())
+        return {}; // the walker skips empty-cell resolutions
+      CSymValue Acc = Exec.readCell(S, Cs[0].Loc, Cs[0].Field);
+      for (size_t K = 1; K != Cs.size(); ++K) {
+        CSymValue Next = Exec.readCell(S, Cs[K].Loc, Cs[K].Field);
+        if (Next.kind() == Acc.kind())
+          Acc = CSymValue::ite(T, Cs[K].Guard, Next, Acc);
+      }
+      Regs[In.Dst] = val(std::move(Acc));
+      break;
+    }
+    case ir::COpcode::CDerefRead: {
+      const CSymValue &V = Regs[In.A].V;
+      // Functions decay: *f is f for function-pointer values.
+      if (V.isPtr()) {
+        bool IsFnPtr = false;
+        for (const PtrCase &C : V.cases())
+          if (C.Target.K == PtrTarget::Kind::Function ||
+              C.Target.K == PtrTarget::Kind::UnknownFn)
+            IsFnPtr = true;
+        if (IsFnPtr) {
+          Regs[In.Dst] = val(V);
+          break;
+        }
+      }
+      if (!V.isPtr()) {
+        Exec.warn(In.Loc, "dereference of a non-pointer value");
+        return {};
+      }
+      // Reading through a data pointer: null check, then merge the
+      // possible cells' contents.
+      if (Exec.options().CheckDereferences) {
+        Exec.noteNullCheck();
+        const Term *NullG = V.nullGuard(T);
+        if (Exec.feasibleWith(S, NullG))
+          Exec.warn(In.Loc, "possible null dereference", &S,
+                    T.andTerm(S.Path, NullG));
+      }
+      Exec.extendPath(S, V.nonNullGuard(T));
+      if (!Exec.feasible(S))
+        return {};
+      CSymValue Acc;
+      bool First = true;
+      for (const PtrCase &C : V.cases()) {
+        if (C.Target.K != PtrTarget::Kind::Object)
+          continue;
+        CSymValue Next = Exec.readCell(S, C.Target.Loc, C.Target.Field);
+        if (First) {
+          Acc = std::move(Next);
+          First = false;
+        } else if (Next.kind() == Acc.kind()) {
+          Acc = CSymValue::ite(T, C.Guard, Next, Acc);
+        }
+      }
+      if (First)
+        return {}; // no object target: nothing to read
+      Regs[In.Dst] = val(std::move(Acc));
+      break;
+    }
+    case ir::COpcode::CAddrOf: {
+      std::vector<PtrCase> Cases;
+      for (const c::CSymExecutor::LVal &Cell : Regs[In.A].Cells)
+        Cases.push_back(
+            {Cell.Guard, PtrTarget::object(Cell.Loc, Cell.Field)});
+      if (Cases.empty())
+        return {};
+      Regs[In.Dst] = val(CSymValue::pointer(std::move(Cases)));
+      break;
+    }
+    case ir::COpcode::CNot:
+      Regs[In.Dst] =
+          val(CSymValue::scalar(T.notTerm(Exec.truthTerm(Regs[In.A].V))));
+      break;
+    case ir::COpcode::CNeg:
+      Regs[In.Dst] =
+          val(CSymValue::scalar(T.neg(Exec.intTerm(Regs[In.A].V))));
+      break;
+    case ir::COpcode::CBinOp:
+      Regs[In.Dst] =
+          val(Exec.evalBinaryValues(In.BOp, Regs[In.A].V, Regs[In.B].V));
+      break;
+    case ir::COpcode::CStoreCells:
+      Exec.writeCells(S, Regs[In.A].Cells, Regs[In.B].V);
+      break;
+    case ir::COpcode::CMalloc: {
+      const c::CType *Pointee = In.Ty;
+      if (!Pointee || Pointee->isVoid())
+        Pointee = Exec.context().intType();
+      LocId Obj = Exec.newObject(Pointee, F.Names[In.Aux]);
+      Regs[In.Dst] =
+          val(CSymValue::pointerTo(T, PtrTarget::object(Obj)));
+      break;
+    }
+    case ir::COpcode::CDeclLocal: {
+      LocId Loc = Exec.newObject(In.Ty, F.Names[In.Aux2]);
+      S.Locals[F.Names[In.Aux]] = Loc;
+      S.LocalTypes[F.Names[In.Aux]] = In.Ty;
+      Regs[In.Dst] = cells({{T.trueTerm(), Loc, ""}});
+      break;
+    }
+    case ir::COpcode::CInitLocal: {
+      // Strong update of the freshly declared cell.
+      const c::CSymExecutor::LVal &Cell = Regs[In.A].Cells[0];
+      S.Store.set({Cell.Loc, Cell.Field}, Regs[In.B].V);
+      break;
+    }
+    case ir::COpcode::CCall:
+      return continueSegment(F, R, I, In.Dst,
+                             execCall(F, R, I, Regs, std::move(S), End),
+                             End);
+    case ir::COpcode::CBranch:
+      return execBranch(F, R, I, std::move(Regs), std::move(S), End);
+    case ir::COpcode::CLoop:
+      return execLoop(F, R, I, std::move(Regs), std::move(S), End);
+    case ir::COpcode::CReturn: {
+      S.Returned = true;
+      S.RetValue = In.A == ir::CNoReg
+                       ? CSymValue::scalar(T.intConst(0))
+                       : Regs[In.A].V;
+      break;
+    }
+    }
+  }
+
+  // Fall-through at End.
+  Outcome O;
+  O.S = std::move(S);
+  O.Regs = std::move(Regs);
+  std::vector<Outcome> Res;
+  Res.push_back(std::move(O));
+  return Res;
+}
+
+std::vector<CIrExecutor::Outcome>
+CIrExecutor::execCall(const ir::CIrFunction &F, uint32_t R, size_t I,
+                      const std::vector<RegVal> &Regs, CSymState S,
+                      size_t End) {
+  (void)End;
+  const ir::CInstr &In = F.Regions[R].Code[I];
+
+  std::vector<CSymValue> Args;
+  Args.reserve(In.ArgsCount);
+  for (uint32_t K = 0; K < In.ArgsCount; ++K)
+    Args.push_back(Regs[F.ArgRegs[In.ArgsBegin + K]].V);
+
+  c::CSymExecutor::Frame Frame;
+  Frame.Func = CurFunc;
+  Frame.Depth = CurDepth;
+
+  std::vector<c::CSymExecutor::Flow> Flows;
+  if (In.Callee) {
+    Exec.dispatchCall(In.CallNode, In.Callee, Args, std::move(S), Frame,
+                      Flows);
+  } else {
+    // Indirect call: fork per feasible callee-pointer target.
+    const CSymValue &CV = Regs[In.A].V;
+    if (!CV.isPtr()) {
+      Exec.warn(In.Loc, "call through a non-pointer value");
+      return {};
+    }
+    bool AnyTarget = false;
+    for (const PtrCase &C : CV.cases()) {
+      if (!Exec.feasibleWith(S, C.Guard))
+        continue;
+      CSymState Branch = S;
+      Exec.extendPath(Branch, C.Guard);
+      switch (C.Target.K) {
+      case PtrTarget::Kind::Function:
+        AnyTarget = true;
+        Exec.dispatchCall(In.CallNode, C.Target.Fn, Args, std::move(Branch),
+                          Frame, Flows);
+        break;
+      case PtrTarget::Kind::UnknownFn: {
+        AnyTarget = true;
+        Exec.warn(In.Loc,
+                  "call through unknown function pointer cannot be "
+                  "executed symbolically; consider MIX(typed)",
+                  &Branch);
+        Flows.push_back(
+            Exec.externCall(In.CallNode, nullptr, Args, std::move(Branch)));
+        break;
+      }
+      case PtrTarget::Kind::Null:
+        Exec.warn(In.Loc, "possible call through null function pointer",
+                  &Branch);
+        break;
+      case PtrTarget::Kind::Object:
+        break;
+      }
+    }
+    if (!AnyTarget)
+      Exec.warn(In.Loc, "indirect call has no callable target");
+  }
+
+  std::vector<Outcome> Outs;
+  Outs.reserve(Flows.size());
+  for (c::CSymExecutor::Flow &Fl : Flows) {
+    Outcome O;
+    O.S = std::move(Fl.State);
+    O.Regs = Regs;
+    O.Value = val(std::move(Fl.Value));
+    Outs.push_back(std::move(O));
+  }
+  return Outs;
+}
+
+std::vector<CIrExecutor::Outcome>
+CIrExecutor::execBranch(const ir::CIrFunction &F, uint32_t R, size_t I,
+                        std::vector<RegVal> Regs, CSymState S, size_t End) {
+  smt::TermArena &T = Exec.terms();
+  const ir::CInstr &In = F.Regions[R].Code[I];
+  const Term *Cond = Exec.truthTerm(Regs[In.A].V);
+
+  std::vector<Outcome> Outs;
+  if (Exec.feasibleWith(S, Cond)) {
+    Exec.notePathExplored();
+    CSymState Then = S;
+    Exec.extendPath(Then, Cond);
+    if (Exec.options().Prov)
+      Then.Trail.push_back({In.Loc2, "condition true"});
+    for (Outcome &O : runRegion(F, In.R1, Regs, std::move(Then)))
+      Outs.push_back(std::move(O));
+  } else {
+    Exec.noteForkPruned();
+  }
+
+  const Term *NotCond = T.notTerm(Cond);
+  if (Exec.feasibleWith(S, NotCond)) {
+    Exec.notePathExplored();
+    CSymState Else = std::move(S);
+    Exec.extendPath(Else, NotCond);
+    if (Exec.options().Prov)
+      Else.Trail.push_back({In.Loc2, "condition false"});
+    if (In.R2 != ir::CNoRegion) {
+      for (Outcome &O : runRegion(F, In.R2, Regs, std::move(Else)))
+        Outs.push_back(std::move(O));
+    } else {
+      Outcome O;
+      O.S = std::move(Else);
+      O.Regs = std::move(Regs);
+      Outs.push_back(std::move(O));
+    }
+  } else {
+    Exec.noteForkPruned();
+  }
+
+  return continueSegment(F, R, I, ir::CNoReg, std::move(Outs), End);
+}
+
+std::vector<CIrExecutor::Outcome>
+CIrExecutor::execLoop(const ir::CIrFunction &F, uint32_t R, size_t I,
+                      std::vector<RegVal> Regs, CSymState S, size_t End) {
+  smt::TermArena &T = Exec.terms();
+  const ir::CInstr &In = F.Regions[R].Code[I];
+  const ir::CRegion &CondR = F.Regions[In.R1];
+
+  // Bounded unrolling, exactly as execWhile: each round forks on the
+  // condition; paths still looping after the bound are kept (without the
+  // exit constraint) and the run is flagged incomplete.
+  std::vector<Outcome> Active;
+  {
+    Outcome A;
+    A.S = std::move(S);
+    A.Regs = std::move(Regs);
+    Active.push_back(std::move(A));
+  }
+  std::vector<Outcome> Exited;
+
+  for (unsigned Round = 0;
+       Round != Exec.options().LoopBound && !Active.empty(); ++Round) {
+    std::vector<Outcome> NextActive;
+    for (Outcome &A : Active) {
+      if (A.S.Returned) {
+        Exited.push_back(std::move(A));
+        continue;
+      }
+      for (Outcome &C : runRegion(F, In.R1, A.Regs, std::move(A.S))) {
+        const Term *Cond = Exec.truthTerm(C.Regs[CondR.Result].V);
+        const Term *NotCond = T.notTerm(Cond);
+        if (Exec.feasibleWith(C.S, NotCond)) {
+          Outcome Exit;
+          Exit.S = C.S;
+          Exit.Regs = C.Regs;
+          Exec.extendPath(Exit.S, NotCond);
+          if (Exec.options().Prov)
+            Exit.S.Trail.push_back({In.Loc2, "loop exit"});
+          Exited.push_back(std::move(Exit));
+        }
+        if (Exec.feasibleWith(C.S, Cond)) {
+          CSymState Loop = std::move(C.S);
+          Exec.extendPath(Loop, Cond);
+          if (Exec.options().Prov)
+            Loop.Trail.push_back({In.Loc2, "loop iteration"});
+          for (Outcome &O : runRegion(F, In.R2, C.Regs, std::move(Loop)))
+            NextActive.push_back(std::move(O));
+        }
+      }
+    }
+    Active = std::move(NextActive);
+  }
+
+  if (!Active.empty()) {
+    Exec.noteIncomplete();
+    for (Outcome &A : Active)
+      Exited.push_back(std::move(A));
+  }
+
+  return continueSegment(F, R, I, ir::CNoReg, std::move(Exited), End);
+}
+
+std::unique_ptr<c::CBodyEngine>
+concolic::makeCBodyEngine(c::CSymExecutor &Exec, SymExecOptions::Engine Mode,
+                          obs::MetricsRegistry *Metrics,
+                          obs::RequestTelemetry *Telemetry) {
+  if (Mode == SymExecOptions::Engine::Ast)
+    return nullptr;
+  return std::make_unique<CIrExecutor>(Exec, Metrics, Telemetry);
+}

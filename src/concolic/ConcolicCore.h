@@ -1,0 +1,77 @@
+//===--- ConcolicCore.h - Shared machinery of the concolic core -*- C++ -*-===//
+//
+// Part of the Mix reproduction of "Mixing Type Checking and Symbolic
+// Execution" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine-independent heart of the compiled concolic interpreters.
+/// Both bytecode dialects (ir::IrFunction for the core expression
+/// language, ir::CIrFunction for mini-C) pair a flat instruction stream
+/// with Region::Spans, and both interpreters replay their AST engine's
+/// nested continuation order the same way: when an instruction yields
+/// several outcomes, every span enclosing it contributes a barrier at
+/// its end — the innermost enclosing node's remaining instructions run
+/// for all outcomes (in order) before the next level out. What differs
+/// per engine is only the memory model behind `Run` (register shadows +
+/// SymState vs. CSymState cells), which is exactly the adapter seam.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MIX_CONCOLIC_CONCOLICCORE_H
+#define MIX_CONCOLIC_CONCOLICCORE_H
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mix::concolic {
+
+/// Resumes execution after the multi-outcome instruction at index \p I,
+/// running the outcomes \p Outs barrier-by-barrier to \p End. \p Spans
+/// are the enclosing region's node spans (plus any synthetic prefix
+/// spans); \p Run executes one outcome over a half-open instruction
+/// range: `Run(Outcome, From, To) -> std::vector<Outcome>`. Outcomes
+/// with IsError set skip the work but keep their list position, exactly
+/// as the AST engines propagate errors through `andThen`.
+///
+/// The caller handles the single-outcome fast path (resume directly, no
+/// barrier is observable) before calling this.
+template <class Outcome, class RunSeg>
+std::vector<Outcome>
+continueWithBarriers(const std::vector<std::pair<uint32_t, uint32_t>> &Spans,
+                     size_t I, size_t End, std::vector<Outcome> Outs,
+                     RunSeg Run) {
+  std::vector<size_t> Barriers;
+  for (const auto &[Start, SpanEnd] : Spans)
+    if (Start <= I && I < SpanEnd && SpanEnd > I + 1 && SpanEnd < End)
+      Barriers.push_back(SpanEnd);
+  std::sort(Barriers.begin(), Barriers.end());
+  Barriers.erase(std::unique(Barriers.begin(), Barriers.end()),
+                 Barriers.end());
+  Barriers.push_back(End);
+
+  std::vector<Outcome> Cur = std::move(Outs);
+  size_t Pos = I + 1;
+  for (size_t Barrier : Barriers) {
+    std::vector<Outcome> Next;
+    for (Outcome &O : Cur) {
+      if (O.IsError) {
+        Next.push_back(std::move(O));
+        continue;
+      }
+      std::vector<Outcome> Rest = Run(std::move(O), Pos, Barrier);
+      for (Outcome &Nx : Rest)
+        Next.push_back(std::move(Nx));
+    }
+    Cur = std::move(Next);
+    Pos = Barrier;
+  }
+  return Cur;
+}
+
+} // namespace mix::concolic
+
+#endif // MIX_CONCOLIC_CONCOLICCORE_H

@@ -7,6 +7,7 @@
 
 #include "concolic/IrExecutor.h"
 
+#include "concolic/ConcolicCore.h"
 #include "symexec/Effects.h"
 #include "symexec/MemCheck.h"
 
@@ -323,39 +324,13 @@ IrExecutor::continueSegment(const ir::IrFunction &F, uint32_t R, size_t I,
                       I + 1, End);
   }
 
-  // Several outcomes: replay the AST engine's nested `andThen`. Every
-  // node span enclosing instruction I contributes a continuation
-  // barrier at its end — the innermost enclosing node's remaining
-  // instructions run for all outcomes (in order) before the next level
-  // out. Errors skip the work but keep their list position, exactly as
-  // `andThen` propagates them.
-  std::vector<size_t> Barriers;
-  for (const auto &[Start, SpanEnd] : F.Regions[R].Spans)
-    if (Start <= I && I < SpanEnd && SpanEnd > I + 1 && SpanEnd < End)
-      Barriers.push_back(SpanEnd);
-  std::sort(Barriers.begin(), Barriers.end());
-  Barriers.erase(std::unique(Barriers.begin(), Barriers.end()),
-                 Barriers.end());
-  Barriers.push_back(End);
-
-  std::vector<Outcome> Cur = std::move(Outs);
-  size_t Pos = I + 1;
-  for (size_t Barrier : Barriers) {
-    std::vector<Outcome> Next;
-    for (Outcome &O : Cur) {
-      if (O.IsError) {
-        Next.push_back(std::move(O));
-        continue;
-      }
-      std::vector<Outcome> Rest =
-          runSegment(F, R, std::move(O.Regs), std::move(O.S), Pos, Barrier);
-      for (Outcome &Nx : Rest)
-        Next.push_back(std::move(Nx));
-    }
-    Cur = std::move(Next);
-    Pos = Barrier;
-  }
-  return Cur;
+  // Several outcomes: replay the AST engine's nested `andThen` through
+  // the shared barrier machinery (ConcolicCore.h).
+  return continueWithBarriers(
+      F.Regions[R].Spans, I, End, std::move(Outs),
+      [&](Outcome O, size_t From, size_t To) {
+        return runSegment(F, R, std::move(O.Regs), std::move(O.S), From, To);
+      });
 }
 
 std::vector<IrExecutor::Outcome>

@@ -7,6 +7,7 @@
 
 #include "mixy/Mixy.h"
 
+#include "concolic/CIrExecutor.h"
 #include "engine/Fixpoint.h"
 #include "persist/AstHash.h"
 #include "persist/PersistSession.h"
@@ -37,6 +38,7 @@ struct MixyAnalysis::WorkerContext {
   smt::SolverPool::Lease SolverLease;
   DiagnosticEngine Diags;
   CSymExecutor Exec;
+  std::unique_ptr<CBodyEngine> BodyEngine;
   Engine::BlockStack Stack;
   size_t Merged = 0; ///< diagnostics already consumed by earlier barriers
 
@@ -45,6 +47,10 @@ struct MixyAnalysis::WorkerContext {
         Exec(A.Program, A.Ctx, Diags, SolverLease.terms(),
              SolverLease.solver(), A.Opts.Sym) {
     Exec.setTypedCallHook(&A);
+    BodyEngine = concolic::makeCBodyEngine(Exec, A.Opts.ExecMode,
+                                           A.Opts.Metrics, A.Opts.Telemetry);
+    if (BodyEngine)
+      Exec.setBodyEngine(BodyEngine.get());
   }
 };
 
@@ -84,7 +90,9 @@ uint64_t mix::c::mixyPersistFingerprint(const MixyOptions &Opts) {
   // Backend choice changes the DecidedBy provenance persisted inside
   // block summaries (verdicts themselves are backend-independent).
   // Sym.IncrementalSolver is deliberately excluded: it only changes how
-  // queries are batched, never a verdict or a diagnostic.
+  // queries are batched, never a verdict or a diagnostic. ExecMode is
+  // excluded for the same reason: the IR engine is byte-identical to the
+  // AST walker, so --exec=ast and --exec=ir runs share a block store.
   H.str(Opts.Solver.Backend);
   H.boolean(Opts.Solver.Portfolio);
   return H.digest();
@@ -114,6 +122,10 @@ MixyAnalysis::MixyAnalysis(const CProgram &Program, CAstContext &Ctx,
                    "parseSolverBackend before constructing)");
   Qual.setSymHook(this);
   Exec.setTypedCallHook(this);
+  BodyEngine = concolic::makeCBodyEngine(Exec, Opts.ExecMode, Opts.Metrics,
+                                         Opts.Telemetry);
+  if (BodyEngine)
+    Exec.setBodyEngine(BodyEngine.get());
 }
 
 MixyAnalysis::~MixyAnalysis() = default;

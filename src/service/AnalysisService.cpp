@@ -441,8 +441,10 @@ void AnalysisService::runMixy(const AnalysisRequest &Req,
                   ? provenanceSink()
                   : nullptr;
   // Before the fingerprint: the backend choice and provenance attachment
-  // are part of the persisted-summary identity.
+  // are part of the persisted-summary identity. ExecMode is not (the
+  // engines are byte-identical), but the analysis needs it either way.
   Opts.Solver = Req.Solver;
+  Opts.ExecMode = Req.ExecMode;
 
   c::CAstContext Ctx;
 

@@ -16,12 +16,17 @@
 
 #include "ProgramGen.h"
 
+#include "cfront/CParser.h"
+#include "concolic/CIrExecutor.h"
 #include "concolic/IrExecutor.h"
+#include "csym/CSymExecutor.h"
 #include "lang/AstPrinter.h"
 #include "lang/Parser.h"
 #include "mix/MixChecker.h"
+#include "observe/Metrics.h"
 #include "service/AnalysisService.h"
 #include "service/Protocol.h"
+#include "solver/SolverFactory.h"
 #include "symexec/SymExecutor.h"
 
 #include <gtest/gtest.h>
@@ -277,5 +282,239 @@ TEST(IrServiceDiffTest, RequestKeySeparatesEngines) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IrDiffTest, ::testing::Values(1u, 2u));
+
+//===----------------------------------------------------------------------===//
+// Mini-C executor level: the shared concolic core under CSymExecutor
+//===----------------------------------------------------------------------===//
+
+/// One mini-C run, fully rendered for comparison. The render captures
+/// everything the walker's behavior is observable through — per-path
+/// conditions, return values, final stores, diagnostics, stats — and
+/// SolverQueries pins the *term traffic*: byte-identical output with a
+/// different query sequence would still be a port bug.
+struct CDiffRun {
+  std::vector<std::string> Render;
+  uint64_t SolverQueries = 0;
+  uint64_t LowerMisses = 0;
+  uint64_t LowerHits = 0;
+  uint64_t Fallbacks = 0;
+  uint64_t ExecPaths = 0;
+};
+
+CDiffRun runMiniC(const std::string &Source, const std::string &Entry,
+                  SymExecOptions::Engine Mode, const std::string &Backend) {
+  CDiffRun R;
+  c::CAstContext Ctx;
+  DiagnosticEngine Diags;
+  const c::CProgram *P = c::parseC(Source, Ctx, Diags);
+  EXPECT_NE(P, nullptr) << Diags.str() << "\n" << Source;
+  if (!P)
+    return R;
+  smt::TermArena Terms;
+  obs::MetricsRegistry Reg;
+  smt::SmtOptions SO;
+  SO.Metrics = &Reg;
+  std::unique_ptr<smt::ISolver> Solver = smt::createBackend(Backend, Terms, SO);
+  EXPECT_NE(Solver, nullptr) << Backend;
+  if (!Solver)
+    return R;
+  c::CSymExecutor Exec(*P, Ctx, Diags, Terms, *Solver);
+  std::unique_ptr<c::CBodyEngine> Engine =
+      concolic::makeCBodyEngine(Exec, Mode, &Reg, nullptr);
+  if (Engine)
+    Exec.setBodyEngine(Engine.get());
+
+  c::CSymResult Res = Exec.runFunction(P->findFunc(Entry));
+  for (const c::CSymResult::PathOut &PO : Res.Paths) {
+    std::string S = "path " + PO.Path->str();
+    S += PO.Returned ? " | ret " + PO.Ret.str() : " | fellthrough";
+    S += " | store";
+    for (const auto &KV : PO.Store.Cells)
+      S += " [" + std::to_string(KV.first.first) + "." + KV.first.second +
+           "]=" + KV.second.str();
+    R.Render.push_back(std::move(S));
+  }
+  R.Render.push_back(Res.Incomplete ? "incomplete" : "exhaustive");
+  R.Render.push_back("warnings " + std::to_string(Res.WarningCount));
+  R.Render.push_back("diags " + Diags.str());
+  const c::CSymExecutor::Stats &St = Exec.stats();
+  R.Render.push_back(
+      "stats " + std::to_string(St.PathsExplored) + " " +
+      std::to_string(St.ForksPruned) + " " + std::to_string(St.NullChecks) +
+      " " + std::to_string(St.CallsInlined));
+  R.SolverQueries = Reg.counterValue("solver.queries");
+  R.LowerMisses = Reg.counterValue("ir.lower.misses");
+  R.LowerHits = Reg.counterValue("ir.lower.hits");
+  R.Fallbacks = Reg.counterValue("exec.fallback.ast");
+  R.ExecPaths = Reg.counterValue("exec.paths");
+  return R;
+}
+
+/// Alias- and call-heavy generated mini-C bodies: every statement is a
+/// construct both the walker and the lowering model, sampled over shared
+/// locals, pointers into them, a struct, heap cells, and direct plus
+/// function-pointer calls.
+std::string genMiniCProgram(std::mt19937 &Rng) {
+  static const char *Pool[] = {
+      "  x = x + y;\n",
+      "  y = y - 1;\n",
+      "  x = helper(x, p);\n",
+      "  y = fp(y, q);\n",
+      "  p = &x;\n",
+      "  q = (int*) malloc(sizeof(int));\n",
+      "  *p = x + 1;\n",
+      "  x = *q;\n",
+      "  p = NULL;\n",
+      "  n.val = x;\n",
+      "  y = n.val;\n",
+      "  h->val = y;\n",
+      "  x = h->val;\n",
+      "  h->next = NULL;\n",
+      "  p = q;\n",
+      "  if (x < y) { x = x + 1; } else { y = *p; }\n",
+      "  while (x > 0) { x = x - 1; }\n",
+      "  if (!y) { q = &x; x = helper(y, q); }\n",
+  };
+  std::string Src = R"(struct node { int val; struct node *next; };
+int helper(int a, int *w) { if (a > 0) { return a; } return 0; }
+int main(int argc) {
+  int x = argc;
+  int y = 2;
+  int *p;
+  int *q;
+  p = &x;
+  q = &y;
+  struct node n;
+  struct node *h;
+  n.val = 0;
+  h = &n;
+  int (*fp)(int, int*);
+  fp = helper;
+)";
+  unsigned N = 3 + Rng() % 5;
+  for (unsigned I = 0; I != N; ++I)
+    Src += Pool[Rng() % (sizeof(Pool) / sizeof(Pool[0]))];
+  Src += "  return x + y;\n}\n";
+  return Src;
+}
+
+class CIrDiffTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CIrDiffTest, GeneratedMiniCBodiesAgreeAcrossBackends) {
+  std::mt19937 Rng(GetParam() * 131);
+  for (int Round = 0; Round != 40; ++Round) {
+    std::string Src = genMiniCProgram(Rng);
+    for (const char *Backend : {"smtlite", "dnf"}) {
+      CDiffRun Ast =
+          runMiniC(Src, "main", SymExecOptions::Engine::Ast, Backend);
+      CDiffRun Ir = runMiniC(Src, "main", SymExecOptions::Engine::Ir, Backend);
+      ASSERT_EQ(Ast.Render, Ir.Render)
+          << "backend " << Backend << " diverged on:\n" << Src;
+      // Same bytes via the same solver conversation: the IR engine must
+      // not add, drop, or reorder queries.
+      ASSERT_EQ(Ast.SolverQueries, Ir.SolverQueries)
+          << "backend " << Backend << " query drift on:\n" << Src;
+      // And it must actually have lowered the bodies, not fallen back.
+      // (ExecPaths may legitimately be 0: a definite-null deref prunes
+      // every path, so the body yields no outcomes in either engine.)
+      EXPECT_EQ(Ir.Fallbacks, 0u) << Src;
+      EXPECT_GT(Ir.LowerMisses, 0u) << Src;
+    }
+  }
+}
+
+TEST(CIrDiffFallbackTest, UnloweredBodyFallsBackLoudly) {
+  // `a + 1` in lvalue position is outside the lowering's model: the
+  // engine must decline (one loud exec.fallback.ast bump), and the
+  // AST-walker fallback must behave byte-identically to a bare run —
+  // including the "expression is not an lvalue" warning.
+  const std::string Src = R"(int bad(int a) {
+  a + 1 = 2;
+  return a;
+}
+)";
+  CDiffRun Ast = runMiniC(Src, "bad", SymExecOptions::Engine::Ast, "smtlite");
+  CDiffRun Ir = runMiniC(Src, "bad", SymExecOptions::Engine::Ir, "smtlite");
+  EXPECT_EQ(Ast.Render, Ir.Render);
+  EXPECT_EQ(Ast.SolverQueries, Ir.SolverQueries);
+  EXPECT_EQ(Ast.Fallbacks, 0u);
+  EXPECT_EQ(Ir.Fallbacks, 1u);
+  EXPECT_EQ(Ir.ExecPaths, 0u);
+  // The walker really warned, so the fallback path was exercised.
+  bool Warned = false;
+  for (const std::string &S : Ast.Render)
+    if (S.find("not an lvalue") != std::string::npos)
+      Warned = true;
+  EXPECT_TRUE(Warned);
+}
+
+TEST(CIrDiffFallbackTest, LoweredBodiesAreCachedPerFunction) {
+  // Recursion re-enters the same body: the second entry must be served
+  // from the per-function bytecode cache (hits), not re-lowered
+  // (misses).
+  const std::string Src = R"(int down(int k) {
+  if (k > 0) { return down(k - 1); }
+  return 0;
+}
+)";
+  CDiffRun Ir = runMiniC(Src, "down", SymExecOptions::Engine::Ir, "smtlite");
+  EXPECT_EQ(Ir.Fallbacks, 0u);
+  EXPECT_EQ(Ir.LowerMisses, 1u);
+  EXPECT_GT(Ir.LowerHits, 0u);
+  CDiffRun Ast = runMiniC(Src, "down", SymExecOptions::Engine::Ast, "smtlite");
+  EXPECT_EQ(Ast.Render, Ir.Render);
+  EXPECT_EQ(Ast.SolverQueries, Ir.SolverQueries);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CIrDiffTest, ::testing::Values(1u, 2u));
+
+//===----------------------------------------------------------------------===//
+// Full stack: MIXY corpus payload bytes across engines
+//===----------------------------------------------------------------------===//
+
+TEST(CIrServiceDiffTest, MixyCorpusPayloadsAreByteIdentical) {
+  // Every built-in corpus program through the full MIXY analysis, in
+  // every output format the daemon serves: --exec=ir must produce the
+  // same bytes as --exec=ast end to end.
+  const struct {
+    const char *Spec;
+    service::Format Fmt;
+    bool Explain;
+  } Cases[] = {
+      {"case1", service::Format::Text, true},
+      {"case1", service::Format::Json, false},
+      {"case2", service::Format::Text, false},
+      {"case2", service::Format::Sarif, false},
+      {"case3", service::Format::Text, true},
+      {"case4", service::Format::Sarif, false},
+      {"vsftpd", service::Format::Text, true},
+      {"vsftpd", service::Format::Json, false},
+      {"vsftpd", service::Format::Sarif, false},
+  };
+  for (const auto &C : Cases) {
+    service::AnalysisRequest Resolve;
+    Resolve.Corpus = C.Spec;
+    std::string Source, Error;
+    ASSERT_TRUE(service::AnalysisService::resolveInput(Resolve, Source, Error))
+        << C.Spec << ": " << Error;
+
+    auto RunWith = [&](SymExecOptions::Engine Mode) {
+      service::AnalysisService Svc;
+      service::AnalysisRequest Req;
+      Req.ToolKind = service::Tool::Mixy;
+      Req.Source = Source;
+      Req.HasSource = true;
+      Req.OutputFormat = C.Fmt;
+      Req.Explain = C.Explain;
+      Req.ExecMode = Mode;
+      service::AnalysisResponse Resp = Svc.run(Req);
+      return std::make_tuple(Resp.Exit, Resp.Payload, Resp.ErrorText,
+                             Resp.Warnings, Resp.Accepted);
+    };
+    EXPECT_EQ(RunWith(SymExecOptions::Engine::Ast),
+              RunWith(SymExecOptions::Engine::Ir))
+        << C.Spec;
+  }
+}
 
 } // namespace
